@@ -1,0 +1,51 @@
+//! End-to-end FTL replay throughput: one Criterion group per paper
+//! benchmark profile, one function per FTL. This measures *simulator*
+//! throughput (wall-clock speed of replaying a trace), complementing the
+//! experiment binaries that report *simulated* IOPS.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use esp_core::{precondition, run_trace_qd, FtlConfig};
+use esp_nand::Geometry;
+use esp_workload::{generate, Benchmark};
+
+fn bench_config() -> FtlConfig {
+    FtlConfig {
+        geometry: Geometry {
+            channels: 4,
+            chips_per_channel: 2,
+            blocks_per_chip: 16,
+            pages_per_block: 32,
+            subpages_per_page: 4,
+            subpage_bytes: 4096,
+        },
+        write_buffer_sectors: 256,
+        ..FtlConfig::paper_default()
+    }
+}
+
+fn ftl_throughput(c: &mut Criterion) {
+    let cfg = bench_config();
+    let footprint = (cfg.logical_sectors() as f64 * 0.625) as u64;
+    for bench in [Benchmark::Sysbench, Benchmark::Ycsb] {
+        let trace = generate(&bench.config(footprint, 4_000, 7));
+        let mut group = c.benchmark_group(format!("replay/{}", bench.name()));
+        group.sample_size(10);
+        for kind in esp_bench::FtlKind::ALL {
+            group.bench_function(kind.name(), |b| {
+                b.iter_batched(
+                    || {
+                        let mut ftl = kind.build(&cfg);
+                        precondition(ftl.as_mut(), 0.625);
+                        ftl
+                    },
+                    |mut ftl| run_trace_qd(ftl.as_mut(), &trace, 8),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, ftl_throughput);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the hot FTL paths: single-sector writes per FTL
+//! (mapping update + allocator + device program bookkeeping) and the
+//! subpage-region allocator's lap machinery under churn.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use esp_core::{Ftl, FtlConfig, SubFtl};
+use esp_nand::Geometry;
+use esp_sim::SimTime;
+
+fn cfg() -> FtlConfig {
+    FtlConfig {
+        geometry: Geometry {
+            channels: 4,
+            chips_per_channel: 2,
+            blocks_per_chip: 16,
+            pages_per_block: 32,
+            subpages_per_page: 4,
+            subpage_bytes: 4096,
+        },
+        write_buffer_sectors: 64,
+        ..FtlConfig::paper_default()
+    }
+}
+
+fn write_path(c: &mut Criterion) {
+    let cfg = cfg();
+    let mut group = c.benchmark_group("write_path/sync_4k");
+    group.sample_size(20);
+    for kind in esp_bench::FtlKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || (kind.build(&cfg), 0u64, SimTime::ZERO),
+                |(mut ftl, mut lsn, mut clock)| {
+                    for _ in 0..256 {
+                        clock = ftl.write(lsn % 1024, 1, true, clock);
+                        lsn = lsn.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    ftl
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn sub_region_churn(c: &mut Criterion) {
+    let cfg = cfg();
+    c.bench_function("sub_region/lap_churn_1k_writes", |b| {
+        b.iter_batched(
+            || SubFtl::new(&cfg),
+            |mut ftl| {
+                let mut clock = SimTime::ZERO;
+                for i in 0..1024u64 {
+                    clock = ftl.write(i % 97, 1, true, clock);
+                }
+                ftl
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, write_path, sub_region_churn);
+criterion_main!(benches);

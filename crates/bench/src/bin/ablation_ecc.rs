@@ -1,0 +1,61 @@
+//! **Ablation A8 — ECC strength vs subpage retention** (paper Fig 3/Fig 5:
+//! the ECC limit is what turns the `Npp`-dependent BER uplift into a
+//! retention cliff; Fig 4's "uncorrectable failure" is a codeword exceeding
+//! the engine's correction capability).
+//!
+//! Sweeps the engine's correction strength (bits per 1 KB codeword) and
+//! reports each `Npp` type's retention capability — answering "how much
+//! ECC would it take to lift the subpage region's 1-month bound?"
+
+use esp_bench::TextTable;
+use esp_nand::EccConfig;
+use esp_sim::SimDuration;
+
+fn main() {
+    println!("Ablation A8: ECC correction strength vs subpage retention capability");
+    println!("(1 KB codewords; the reproduction's default engine corrects 40 bits)");
+    println!();
+    let mut t = TextTable::new([
+        "correctable bits",
+        "normalized limit",
+        "Npp^0 (days)",
+        "Npp^1 (days)",
+        "Npp^2 (days)",
+        "Npp^3 (days)",
+        "Npp^3 2-month ok?",
+    ]);
+    for bits in [24u32, 32, 40, 48, 60, 72] {
+        let ecc = EccConfig {
+            correctable_bits: bits,
+            ..EccConfig::paper_default()
+        };
+        let model = ecc.retention_model();
+        let days = |npp: u32| {
+            format!(
+                "{:.0}",
+                model.retention_capability(1000, npp).as_secs_f64() / 86_400.0
+            )
+        };
+        t.row([
+            bits.to_string(),
+            format!("{:.2}", ecc.normalized_limit()),
+            days(0),
+            days(1),
+            days(2),
+            days(3),
+            if model.is_readable(1000, 3, SimDuration::from_months(2)) {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Expected: the paper's device class (40-bit ECC) gives Npp^3 about\n\
+         five weeks — hence the conservative 1-month rule and the 15-day\n\
+         scrubber. Raising correction into the 60-bit range would double\n\
+         subpage retention and let subFTL relax its scrub cadence; dropping\n\
+         to 24 bits would make even Npp^0 marginal."
+    );
+}

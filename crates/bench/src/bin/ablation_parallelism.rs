@@ -1,0 +1,106 @@
+//! **Ablation A7 — multi-channel parallelism** (paper §4.2: "subFTL is
+//! developed to maximize I/O parallelism of a multi-channel architecture";
+//! §5 evaluates on 8 channels × 4 chips).
+//!
+//! Scales the channel count at constant capacity and reports how each FTL's
+//! throughput grows: striped allocation should let all three scale, with
+//! subFTL keeping its relative advantage.
+
+use esp_bench::{FtlKind, TextTable, FILL_FRACTION};
+use esp_core::{precondition, run_trace_qd, FtlConfig};
+use esp_nand::Geometry;
+use esp_workload::{generate, SyntheticConfig};
+
+fn main() {
+    println!("Ablation A7: channel scaling at constant 512 MiB capacity (QD 16)");
+    println!();
+    let mut t = TextTable::new([
+        "channels x ways",
+        "cgmFTL IOPS",
+        "fgmFTL IOPS",
+        "subFTL IOPS",
+        "sub/fgm",
+    ]);
+    for (channels, ways, bpc) in [(1u32, 1u32, 512u32), (2, 2, 128), (4, 4, 32), (8, 4, 16), (16, 4, 8)] {
+        let cfg = FtlConfig {
+            geometry: Geometry {
+                channels,
+                chips_per_channel: ways,
+                blocks_per_chip: bpc,
+                pages_per_block: 64,
+                subpages_per_page: 4,
+                subpage_bytes: 4096,
+            },
+            ..FtlConfig::paper_default()
+        };
+        let footprint = (cfg.logical_sectors() as f64 * FILL_FRACTION) as u64;
+        let trace = generate(&SyntheticConfig {
+            footprint_sectors: footprint,
+            requests: 40_000,
+            r_small: 1.0,
+            r_synch: 1.0,
+            zipf_theta: 0.9,
+            small_zone_sectors: Some((footprint / 64).max(64)),
+            rewrite_distance: 512,
+            seed: 0xAB7,
+            ..SyntheticConfig::default()
+        });
+        let mut iops = [0.0f64; 3];
+        for (k, kind) in FtlKind::ALL.into_iter().enumerate() {
+            let mut ftl = kind.build(&cfg);
+            precondition(ftl.as_mut(), FILL_FRACTION);
+            iops[k] = run_trace_qd(ftl.as_mut(), &trace, 16).iops;
+        }
+        t.row([
+            format!("{channels} x {ways}"),
+            format!("{:.0}", iops[0]),
+            format!("{:.0}", iops[1]),
+            format!("{:.0}", iops[2]),
+            format!("{:.2}", iops[2] / iops[1]),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Multi-plane dies: the other parallelism axis. Visible when chips are
+    // few enough to be contended (here: a 2-chip device at QD 16).
+    println!("Planes per chip (1 x 2 chips, QD 16, subFTL):");
+    let mut t = TextTable::new(["planes", "subFTL IOPS"]);
+    for planes in [1u32, 2, 4] {
+        let cfg = FtlConfig {
+            geometry: Geometry {
+                channels: 1,
+                chips_per_channel: 2,
+                blocks_per_chip: 256,
+                pages_per_block: 64,
+                subpages_per_page: 4,
+                subpage_bytes: 4096,
+            },
+            planes_per_chip: planes,
+            ..FtlConfig::paper_default()
+        };
+        let footprint = (cfg.logical_sectors() as f64 * FILL_FRACTION) as u64;
+        let trace = generate(&SyntheticConfig {
+            footprint_sectors: footprint,
+            requests: 40_000,
+            r_small: 1.0,
+            r_synch: 1.0,
+            zipf_theta: 0.9,
+            small_zone_sectors: Some((footprint / 64).max(64)),
+            rewrite_distance: 512,
+            seed: 0xAB7,
+            ..SyntheticConfig::default()
+        });
+        let mut ftl = FtlKind::Sub.build(&cfg);
+        precondition(ftl.as_mut(), FILL_FRACTION);
+        let r = run_trace_qd(ftl.as_mut(), &trace, 16);
+        t.row([planes.to_string(), format!("{:.0}", r.iops)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Expected: throughput grows with chip/channel count until host\n\
+         concurrency (QD 16) is exhausted; subFTL holds its edge at every\n\
+         width because its allocator stripes subpage programs the same way.\n\
+         Extra planes help mainly by letting GC overlap host programs on\n\
+         the same chip."
+    );
+}

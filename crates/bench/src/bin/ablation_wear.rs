@@ -1,0 +1,86 @@
+//! **Ablation A6 — wear leveling across regions** (paper §4.2: "blocks in
+//! the subpage region are more rapidly worn out than those in the full-page
+//! region. This unbalanced wearing problem is solved by using existing
+//! wear-leveling algorithms" — block type is "decided at the program time",
+//! so regions can swap blocks).
+//!
+//! Runs a long small-write churn with the cross-region swap threshold at
+//! several settings and reports the per-block erase-count distribution.
+
+use esp_bench::{big_flag, experiment_config, footprint_sectors, TextTable, FILL_FRACTION};
+use esp_core::{precondition, run_trace_qd, Ftl, FtlConfig, SubFtl};
+use esp_sim::RunningStats;
+use esp_workload::{generate, SyntheticConfig};
+
+fn wear_distribution(ftl: &SubFtl) -> (RunningStats, u32) {
+    let ssd = ftl.ssd();
+    let g = ssd.geometry().clone();
+    let mut stats = RunningStats::new();
+    let mut max = 0u32;
+    for gbi in 0..g.block_count() {
+        let pe = ssd.device().pe_cycles(g.block_addr(gbi));
+        stats.record(f64::from(pe));
+        max = max.max(pe);
+    }
+    (stats, max)
+}
+
+fn main() {
+    let base = experiment_config(big_flag());
+    let footprint = footprint_sectors(&base);
+    let requests = if big_flag() { 4_800_000 } else { 600_000 };
+    let trace = generate(&SyntheticConfig {
+        footprint_sectors: footprint,
+        requests,
+        r_small: 1.0,
+        r_synch: 1.0,
+        zipf_theta: 0.9,
+        small_zone_sectors: Some((footprint / 64).max(64)),
+        rewrite_distance: 512,
+        seed: 0xAB6,
+        ..SyntheticConfig::default()
+    });
+
+    println!(
+        "Ablation A6: cross-region wear leveling ({requests} small sync writes)"
+    );
+    println!();
+    let mut t = TextTable::new([
+        "swap threshold",
+        "swaps",
+        "mean P/E",
+        "max P/E",
+        "P/E std dev",
+        "IOPS",
+    ]);
+    for (label, delta) in [
+        ("off (u32::MAX)", u32::MAX),
+        ("50 cycles", 50),
+        ("20 cycles (default)", 20),
+        ("5 cycles", 5),
+    ] {
+        let cfg = FtlConfig {
+            wear_delta_threshold: delta,
+            ..base.clone()
+        };
+        let mut ftl = SubFtl::new(&cfg);
+        precondition(&mut ftl, FILL_FRACTION);
+        let r = run_trace_qd(&mut ftl, &trace, 8);
+        let (dist, max) = wear_distribution(&ftl);
+        t.row([
+            label.to_string(),
+            r.stats.wear_swaps.to_string(),
+            format!("{:.2}", dist.mean()),
+            max.to_string(),
+            format!("{:.2}", dist.std_dev()),
+            format!("{:.0}", r.iops),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Expected: with swapping off, the 20% subpage region absorbs nearly\n\
+         all erases and its blocks race ahead (high max and std dev); lower\n\
+         thresholds trade a few block swaps for a flatter distribution —\n\
+         longer device life at negligible IOPS cost."
+    );
+}

@@ -1,0 +1,40 @@
+//! **Fig 1 — Trend of the NAND page size and capacity** (paper §1).
+//!
+//! Background data, not an experiment: NAND device capacity and page size
+//! versus process technology node, 2000 → 2016. Values follow the paper's
+//! figure (page size growing 256 B → 16 KB as capacity grows to 768 Gb).
+
+use esp_bench::TextTable;
+
+fn main() {
+    println!("Fig 1: trend of the NAND page size and capacity");
+    println!();
+    let mut t = TextTable::new(["node (nm)", "~year", "capacity (Gb)", "page size (KB)"]);
+    let rows: [(&str, &str, f64, f64); 12] = [
+        ("300", "2000", 0.25, 0.25),
+        ("200", "2001", 0.5, 0.5),
+        ("130", "2003", 1.0, 2.0),
+        ("70", "2005", 8.0, 2.0),
+        ("60", "2006", 16.0, 4.0),
+        ("50", "2007", 32.0, 4.0),
+        ("4x", "2008", 64.0, 8.0),
+        ("3x", "2010", 128.0, 8.0),
+        ("2x", "2011", 128.0, 8.0),
+        ("2y", "2013", 256.0, 16.0),
+        ("1x", "2015", 512.0, 16.0),
+        ("1y", "2016", 768.0, 16.0),
+    ];
+    for (node, year, cap, page) in rows {
+        t.row([
+            node.to_string(),
+            year.to_string(),
+            format!("{cap}"),
+            format!("{page}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The large-page problem: with 16 KB pages, any write below 16 KB is\n\
+         a *small* write and wastes page space under conventional mapping."
+    );
+}

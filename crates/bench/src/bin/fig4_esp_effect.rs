@@ -1,0 +1,82 @@
+//! **Fig 4 — Effect of subpage programming on NAND reliability** (paper
+//! §3.2).
+//!
+//! Reproduces the paper's two-subpage scenario on the device model:
+//!
+//! * (a) subpage sp1 is programmed — a normal program, data intact;
+//! * (b) subpage sp2 is then programmed with no intervening erase — sp1 is
+//!   destroyed (BER beyond the ECC limit), while sp2 holds data with a
+//!   *reduced retention capability* (it became an `Npp^1`-type subpage).
+
+use esp_bench::TextTable;
+use esp_nand::{Geometry, NandDevice, Oob, SubpageState};
+use esp_sim::{SimDuration, SimTime};
+
+fn state_name(s: &SubpageState) -> String {
+    match s {
+        SubpageState::Erased => "erased".into(),
+        SubpageState::Destroyed => "DESTROYED (uncorrectable)".into(),
+        SubpageState::Written(w) => format!("written (Npp^{})", w.npp),
+    }
+}
+
+fn main() {
+    let mut dev = NandDevice::new(Geometry::tiny());
+    dev.precycle(1000); // the paper measures after 1K P/E cycles
+    let page = dev.geometry().block_addr(0).page(0);
+
+    println!("Fig 4: effect of erase-free subpage programming on reliability");
+    println!("(two subpages of one page; device pre-cycled to 1K P/E)");
+    println!();
+
+    let mut t = TextTable::new(["step", "sp1 state", "sp2 state"]);
+    t.row([
+        "erased page".to_string(),
+        state_name(dev.subpage_state(page.subpage(0))),
+        state_name(dev.subpage_state(page.subpage(1))),
+    ]);
+
+    dev.program_subpage(page.subpage(0), Oob { lsn: 1, seq: 1 }, SimTime::ZERO)
+        .expect("first subpage program");
+    t.row([
+        "program sp1 @ t1".to_string(),
+        state_name(dev.subpage_state(page.subpage(0))),
+        state_name(dev.subpage_state(page.subpage(1))),
+    ]);
+
+    dev.program_subpage(page.subpage(1), Oob { lsn: 2, seq: 2 }, SimTime::ZERO)
+        .expect("second subpage program, erase-free");
+    t.row([
+        "program sp2 @ t1+dt".to_string(),
+        state_name(dev.subpage_state(page.subpage(0))),
+        state_name(dev.subpage_state(page.subpage(1))),
+    ]);
+    println!("{}", t.render());
+
+    println!("Read-back at increasing retention ages:");
+    let mut t = TextTable::new(["age", "read sp1", "read sp2"]);
+    for months in [0u64, 1, 2, 6] {
+        let now = SimTime::ZERO + SimDuration::from_months(months);
+        let r1 = dev.read_subpage(page.subpage(0), now);
+        let r2 = dev.read_subpage(page.subpage(1), now);
+        let fmt = |r: Result<Oob, esp_nand::ReadFault>| match r {
+            Ok(o) => format!("ok (lsn {})", o.lsn),
+            Err(e) => format!("FAIL: {e}"),
+        };
+        t.row([format!("{months} month(s)"), fmt(r1), fmt(r2)]);
+    }
+    println!("{}", t.render());
+
+    let model = dev.retention_model().clone();
+    println!(
+        "sp2 retention capability (Npp^1 @ 1K P/E): {:.1} days (vs {:.1} days for Npp^0)",
+        model.retention_capability(1000, 1).as_secs_f64() / 86_400.0,
+        model.retention_capability(1000, 0).as_secs_f64() / 86_400.0,
+    );
+    println!(
+        "Conclusion: programming sp2 destroyed sp1's data but sp2 itself\n\
+         stores data correctly within a reduced retention window — the ESP\n\
+         discipline (program a subpage only when no other subpage of the\n\
+         page holds valid data) makes erase-free subpage writes safe."
+    );
+}

@@ -1,0 +1,105 @@
+//! **Fig 7 — subFTL's writing policy in the subpage region** (paper §4.2).
+//!
+//! Walks the paper's literal example on a miniature region of two blocks
+//! (B_X, B_Y) with four pages of four subpages each:
+//!
+//! * (b) the request sequence R = ⟨0, 1, 2, 3, 1, 2, 3, 7⟩ fills the 0th
+//!   subpages of both blocks;
+//! * (c) three more requests ⟨7, 8, 9⟩ force lap 1: B_X (fewest valid
+//!   subpages) is selected, its surviving subpage (sector 0) migrates to
+//!   the next subpage of the same page, and the new data lands in the
+//!   following pages.
+
+use esp_core::{Ftl, FtlConfig, SubFtl};
+use esp_nand::{Geometry, SubpageState};
+use esp_sim::SimTime;
+
+/// Prints the physical state of the first `blocks` subpage-region blocks.
+fn dump_region(ftl: &SubFtl, label: &str) {
+    println!("{label}:");
+    let ssd = ftl.ssd();
+    let g = ssd.geometry();
+    // The subpage region occupies blocks 0..3 of the chip; block 0 is the
+    // GC reserve, so the example's B_X and B_Y are blocks 1 and 2.
+    for (name, gbi) in [("B_X", 1u32), ("B_Y", 2u32)] {
+        print!("  {name}: ");
+        for page in 0..g.pages_per_block {
+            let mut cells = Vec::new();
+            for slot in 0..g.subpages_per_page as u8 {
+                let addr = g.block_addr(gbi).page(page).subpage(slot);
+                let c = match ssd.device().subpage_state(addr) {
+                    SubpageState::Erased => ".".to_string(),
+                    SubpageState::Destroyed => "x".to_string(),
+                    SubpageState::Written(w) => match w.oob {
+                        Some(o) => o.lsn.to_string(),
+                        None => "p".to_string(),
+                    },
+                };
+                cells.push(c);
+            }
+            print!("[{}] ", cells.join(" "));
+        }
+        println!();
+    }
+    println!("  (columns are subpage slots; '.' erased, 'x' destroyed stale data)");
+    println!();
+}
+
+fn main() {
+    // Two subpage-region blocks per chip on a tiny single-purpose device.
+    let cfg = FtlConfig {
+        geometry: Geometry {
+            channels: 1,
+            chips_per_channel: 1,
+            blocks_per_chip: 16,
+            pages_per_block: 4,
+            subpages_per_page: 4,
+            subpage_bytes: 4096,
+        },
+        overprovision: 0.6,
+        subpage_region_fraction: 0.19, // 3 blocks: B_X, B_Y + the reserve
+        write_buffer_sectors: 4,
+        ..FtlConfig::paper_default()
+    };
+    let mut ftl = SubFtl::new(&cfg);
+
+    println!("Fig 7: subFTL writing policy in the subpage region");
+    println!("(B_X, B_Y: 4 pages x 4 subpages each; sectors are 4 KB writes)");
+    println!();
+    dump_region(&ftl, "(a) initial state");
+
+    let mut clock = SimTime::ZERO;
+    for &lsn in &[0u64, 1, 2, 3, 1, 2, 3, 7] {
+        clock = ftl.write(lsn, 1, true, clock);
+    }
+    dump_region(&ftl, "(b) after R = <0, 1, 2, 3, 1, 2, 3, 7>");
+    println!(
+        "   Old versions of 1, 2, 3 in B_X are stale; only sector 0 in B_X\n\
+         is still valid. All 0th subpages are used up."
+    );
+    println!();
+
+    for &lsn in &[7u64, 8, 9] {
+        clock = ftl.write(lsn, 1, true, clock);
+    }
+    dump_region(&ftl, "(c) after R = <7, 8, 9>");
+    println!(
+        "   Lap 1 selected the block with the fewest valid subpages; the\n\
+         surviving sector 0 migrated to the next subpage of its own page\n\
+         (destroying only its stale old copy), then 7, 8, 9 filled the\n\
+         following pages' next subpages."
+    );
+    println!();
+    println!(
+        "lap migrations: {}   subpage programs: {}   erases: {}",
+        ftl.stats().lap_migrations,
+        ftl.ssd().device().stats().subpage_programs,
+        ftl.ssd().device().stats().erases,
+    );
+    // Everything still readable.
+    for lsn in [0u64, 1, 2, 3, 7, 8, 9] {
+        ftl.read(lsn, 1, clock);
+    }
+    assert_eq!(ftl.stats().read_faults, 0);
+    println!("all live sectors read back correctly (0 faults)");
+}

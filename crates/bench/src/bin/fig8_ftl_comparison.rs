@@ -1,0 +1,91 @@
+//! **Fig 8 — Performance comparisons of three FTLs** (paper §5).
+//!
+//! Panel (a): IOPS of cgmFTL / fgmFTL / subFTL under the five benchmarks,
+//! normalized per benchmark to cgmFTL = 1.0.
+//!
+//! Panel (b): GC invocations of fgmFTL and subFTL, normalized per benchmark
+//! to subFTL = 1.0.
+//!
+//! Expected shape (paper): cgmFTL worst everywhere (RMW-bound); subFTL beats
+//! fgmFTL on every benchmark, with the largest gains on the sync-small-write
+//! benchmarks (Sysbench / Varmail / Postmark — paper: up to +74.3 % IOPS
+//! over fgmFTL) and modest gains on YCSB / TPC-C (paper: +19.3 % / +10.3 %);
+//! fgmFTL's GC invocations exceed subFTL's by up to ~2.8× (the paper's
+//! "+177 %").
+
+use esp_bench::{
+    big_flag, experiment_config, footprint_sectors, FtlKind, TextTable, FILL_FRACTION,
+};
+use esp_core::{precondition, run_trace_qd};
+use esp_workload::{generate, Benchmark};
+
+/// The paper's benchmarks are multithreaded; replay with 8 host threads.
+const QUEUE_DEPTH: usize = 8;
+
+fn main() {
+    let cfg = experiment_config(big_flag());
+    let footprint = footprint_sectors(&cfg);
+    let requests = if big_flag() { 480_000 } else { 60_000 };
+
+    println!(
+        "Fig 8: three-FTL comparison ({} requests/benchmark, footprint {} sectors)",
+        requests, footprint
+    );
+    println!();
+
+    let mut iops_tbl = TextTable::new(["benchmark", "cgmFTL", "fgmFTL", "subFTL", "sub/fgm gain"]);
+    let mut gc_tbl = TextTable::new(["benchmark", "fgmFTL GCs", "subFTL GCs", "fgm/sub ratio"]);
+    let mut waf_rows = Vec::new();
+
+    for bench in Benchmark::ALL {
+        let trace = generate(&bench.config(footprint, requests, 0xF180));
+        let mut iops = [0.0f64; 3];
+        let mut gc = [0u64; 3];
+        let mut erases = [0u64; 3];
+        for (k, kind) in FtlKind::ALL.into_iter().enumerate() {
+            let mut ftl = kind.build(&cfg);
+            precondition(ftl.as_mut(), FILL_FRACTION);
+            let report = run_trace_qd(ftl.as_mut(), &trace, QUEUE_DEPTH);
+            assert_eq!(
+                report.stats.read_faults, 0,
+                "{} surfaced read faults on {bench}",
+                kind.name()
+            );
+            iops[k] = report.iops;
+            gc[k] = report.stats.gc_invocations;
+            erases[k] = report.erases;
+            if kind == FtlKind::Sub {
+                waf_rows.push((bench, report.stats.small_write_fraction(), report.stats.small_request_waf()));
+            }
+        }
+        iops_tbl.row([
+            bench.name().to_string(),
+            "1.000".to_string(),
+            format!("{:.3}", iops[1] / iops[0]),
+            format!("{:.3}", iops[2] / iops[0]),
+            format!("{:+.1}%", (iops[2] / iops[1] - 1.0) * 100.0),
+        ]);
+        gc_tbl.row([
+            bench.name().to_string(),
+            gc[1].to_string(),
+            gc[2].to_string(),
+            format!("{:.2}x", gc[1] as f64 / gc[2].max(1) as f64),
+        ]);
+    }
+
+    println!("(a) Normalized IOPS (cgmFTL = 1.0 per benchmark)");
+    println!("{}", iops_tbl.render());
+    println!("(b) GC invocations (lifetime proxy; fewer is better)");
+    println!("{}", gc_tbl.render());
+
+    println!("subFTL per-benchmark small-write profile (cross-check for Table 1):");
+    let mut t = TextTable::new(["benchmark", "% small writes", "avg request WAF"]);
+    for (b, frac, waf) in waf_rows {
+        t.row([
+            b.name().to_string(),
+            format!("{:.1}%", frac * 100.0),
+            format!("{waf:.3}"),
+        ]);
+    }
+    println!("{}", t.render());
+}

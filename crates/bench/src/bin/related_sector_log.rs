@@ -1,0 +1,57 @@
+//! **§6 related work, measured — subFTL vs the sector-log technique.**
+//!
+//! The paper argues (§6) that Jin et al.'s sector log, although also a
+//! hybrid-mapping design, "supports subpage programming at the logical
+//! level as with other FGM-based FTLs", so "its performance suffers when
+//! synchronous small writes occur fairly frequently". With both FTLs
+//! implemented over the same device, that claim becomes measurable.
+
+use esp_bench::{
+    big_flag, experiment_config, footprint_sectors, TextTable, FILL_FRACTION,
+};
+use esp_core::{precondition, run_trace_qd, FtlConfig, SectorLogFtl, SubFtl};
+use esp_workload::{generate, Benchmark};
+
+fn main() {
+    let cfg: FtlConfig = experiment_config(big_flag());
+    let footprint = footprint_sectors(&cfg);
+    let requests = if big_flag() { 400_000 } else { 50_000 };
+
+    println!("§6 related work: sector log (Jin et al.) vs subFTL ({requests} requests, QD 16)");
+    println!("(both hybrids reserve the same 20% region; only subFTL programs erase-free subpages)");
+    println!();
+    let mut t = TextTable::new([
+        "benchmark",
+        "sectorLog IOPS",
+        "subFTL IOPS",
+        "sub gain",
+        "sectorLog erases",
+        "subFTL erases",
+    ]);
+    for bench in [Benchmark::Sysbench, Benchmark::Postmark, Benchmark::TpcC] {
+        let trace = generate(&bench.config(footprint, requests, 0x6E6));
+        let mut sl = SectorLogFtl::new(&cfg);
+        precondition(&mut sl, FILL_FRACTION);
+        let sl_r = run_trace_qd(&mut sl, &trace, 16);
+        let mut sub = SubFtl::new(&cfg);
+        precondition(&mut sub, FILL_FRACTION);
+        let sub_r = run_trace_qd(&mut sub, &trace, 16);
+        assert_eq!(sl_r.stats.read_faults + sub_r.stats.read_faults, 0);
+        t.row([
+            bench.name().to_string(),
+            format!("{:.0}", sl_r.iops),
+            format!("{:.0}", sub_r.iops),
+            format!("{:+.1}%", (sub_r.iops / sl_r.iops - 1.0) * 100.0),
+            sl_r.erases.to_string(),
+            sub_r.erases.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Expected: the hybrid layout alone does not rescue the sector log on\n\
+         fsync-heavy workloads — each sync small write still burns a 16 KB\n\
+         page program plus merge-time RMWs, while subFTL's erase-free 4 KB\n\
+         subpage programs avoid both. Gains shrink on TPC-C, where large\n\
+         writes dominate and the two hybrids behave alike."
+    );
+}

@@ -1,0 +1,259 @@
+//! The DRAM write buffer shared by all three FTLs (paper §4.1: "subFTL puts
+//! [writes] into a write buffer to merge several small writes with
+//! consecutive logical block addresses into one sequential write"; the FGM
+//! scheme is defined around the same buffer in §1).
+//!
+//! Overwrites of buffered sectors are absorbed in DRAM. Synchronous writes
+//! force their sectors (together with any buffered neighbors that form a
+//! contiguous run with them) out immediately — this is exactly why
+//! synchronous small writes "miss an opportunity to be merged" (§1) and the
+//! crux of the FGM scheme's fragility that subFTL fixes.
+
+use std::collections::BTreeMap;
+
+/// One buffered sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BufEntry {
+    /// Did this sector arrive as part of a *small* host write? Used to
+    /// attribute flash consumption to small-write request WAF.
+    small_origin: bool,
+}
+
+/// A contiguous run of dirty sectors leaving the buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushChunk {
+    /// First logical sector of the run.
+    pub start_lsn: u64,
+    /// Per-sector small-write-origin flags; the run length is
+    /// `origins.len()`.
+    pub origins: Vec<bool>,
+}
+
+impl FlushChunk {
+    /// Run length in sectors.
+    #[must_use]
+    pub fn sectors(&self) -> u32 {
+        self.origins.len() as u32
+    }
+
+    /// One-past-the-end sector.
+    #[must_use]
+    pub fn end_lsn(&self) -> u64 {
+        self.start_lsn + u64::from(self.sectors())
+    }
+}
+
+/// A fixed-capacity, coalescing write buffer keyed by logical sector.
+///
+/// # Examples
+///
+/// ```
+/// use esp_core::WriteBuffer;
+///
+/// let mut buf = WriteBuffer::new(8);
+/// buf.insert(10, 2, true);
+/// buf.insert(12, 1, true);
+/// // The three sectors coalesce into one contiguous chunk.
+/// let chunks = buf.drain_all();
+/// assert_eq!(chunks.len(), 1);
+/// assert_eq!(chunks[0].start_lsn, 10);
+/// assert_eq!(chunks[0].sectors(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteBuffer {
+    capacity: usize,
+    entries: BTreeMap<u64, BufEntry>,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer holding up to `capacity_sectors` dirty sectors.
+    #[must_use]
+    pub fn new(capacity_sectors: usize) -> Self {
+        WriteBuffer {
+            capacity: capacity_sectors,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Number of dirty sectors currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no sectors are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True once the buffer is at or beyond capacity (time to flush).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// True if the sector is buffered (reads hit DRAM).
+    #[must_use]
+    pub fn contains(&self, lsn: u64) -> bool {
+        self.entries.contains_key(&lsn)
+    }
+
+    /// Buffers `sectors` sectors starting at `lsn`; overwrites of already
+    /// buffered sectors are absorbed in place.
+    pub fn insert(&mut self, lsn: u64, sectors: u32, small_origin: bool) {
+        for s in lsn..lsn + u64::from(sectors) {
+            self.entries.insert(s, BufEntry { small_origin });
+        }
+    }
+
+    /// Removes and returns every buffered sector as maximal contiguous
+    /// chunks, in ascending LSN order.
+    pub fn drain_all(&mut self) -> Vec<FlushChunk> {
+        let entries = std::mem::take(&mut self.entries);
+        Self::runs(entries.into_iter())
+    }
+
+    /// Discards any buffered sectors in `[lsn, lsn + sectors)` (host trim:
+    /// the data will never be needed again). Returns how many sectors were
+    /// dropped.
+    pub fn discard(&mut self, lsn: u64, sectors: u32) -> u32 {
+        let mut dropped = 0;
+        for s in lsn..lsn + u64::from(sectors) {
+            if self.entries.remove(&s).is_some() {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Removes and returns the contiguous runs that overlap
+    /// `[lsn, lsn + sectors)` — the sectors a synchronous write must force
+    /// out, together with their merge partners.
+    pub fn take_overlapping(&mut self, lsn: u64, sectors: u32) -> Vec<FlushChunk> {
+        let end = lsn + u64::from(sectors);
+        // Grow the window to cover full contiguous runs touching the range.
+        let mut lo = lsn;
+        while lo > 0 && self.entries.contains_key(&(lo - 1)) {
+            lo -= 1;
+        }
+        let mut hi = end;
+        while self.entries.contains_key(&hi) {
+            hi += 1;
+        }
+        let taken: Vec<(u64, BufEntry)> = {
+            let keys: Vec<u64> = self.entries.range(lo..hi).map(|(k, _)| *k).collect();
+            keys.into_iter()
+                .map(|k| (k, self.entries.remove(&k).expect("key just observed")))
+                .collect()
+        };
+        Self::runs(taken.into_iter())
+    }
+
+    fn runs(iter: impl Iterator<Item = (u64, BufEntry)>) -> Vec<FlushChunk> {
+        let mut chunks: Vec<FlushChunk> = Vec::new();
+        for (lsn, e) in iter {
+            match chunks.last_mut() {
+                Some(c) if c.end_lsn() == lsn => c.origins.push(e.small_origin),
+                _ => chunks.push(FlushChunk {
+                    start_lsn: lsn,
+                    origins: vec![e.small_origin],
+                }),
+            }
+        }
+        chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_absorb() {
+        let mut b = WriteBuffer::new(100);
+        b.insert(5, 3, true);
+        assert_eq!(b.len(), 3);
+        // Overwrite absorbs (no growth) and updates origin.
+        b.insert(6, 1, false);
+        assert_eq!(b.len(), 3);
+        let chunks = b.drain_all();
+        assert_eq!(chunks[0].origins, vec![true, false, true]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn drain_produces_maximal_runs() {
+        let mut b = WriteBuffer::new(100);
+        b.insert(0, 2, true);
+        b.insert(10, 1, false);
+        b.insert(2, 1, true); // extends the first run
+        let chunks = b.drain_all();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!((chunks[0].start_lsn, chunks[0].sectors()), (0, 3));
+        assert_eq!((chunks[1].start_lsn, chunks[1].sectors()), (10, 1));
+    }
+
+    #[test]
+    fn take_overlapping_grabs_whole_runs() {
+        let mut b = WriteBuffer::new(100);
+        b.insert(4, 4, true); // run 4..8
+        b.insert(20, 1, false);
+        // Sync write of sector 5 must flush the whole 4..8 run (its merge
+        // partners) but leave 20 alone.
+        let chunks = b.take_overlapping(5, 1);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!((chunks[0].start_lsn, chunks[0].sectors()), (4, 4));
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(20));
+    }
+
+    #[test]
+    fn take_overlapping_extends_in_both_directions() {
+        let mut b = WriteBuffer::new(100);
+        b.insert(8, 2, true); // 8,9
+        b.insert(12, 2, true); // 12,13
+        // Taking [9, 13) touches both runs; each comes out whole.
+        let chunks = b.take_overlapping(9, 4);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!((chunks[0].start_lsn, chunks[0].sectors()), (8, 2));
+        assert_eq!((chunks[1].start_lsn, chunks[1].sectors()), (12, 2));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn take_overlapping_on_empty_range_returns_nothing() {
+        let mut b = WriteBuffer::new(100);
+        b.insert(0, 1, true);
+        assert!(b.take_overlapping(50, 2).is_empty());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn discard_drops_buffered_sectors() {
+        let mut b = WriteBuffer::new(100);
+        b.insert(0, 4, true);
+        assert_eq!(b.discard(1, 2), 2);
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(0) && b.contains(3));
+        assert_eq!(b.discard(10, 5), 0);
+    }
+
+    #[test]
+    fn capacity_signals_fullness() {
+        let mut b = WriteBuffer::new(2);
+        assert!(!b.is_full());
+        b.insert(0, 2, false);
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn chunk_accessors() {
+        let c = FlushChunk {
+            start_lsn: 7,
+            origins: vec![true, true],
+        };
+        assert_eq!(c.sectors(), 2);
+        assert_eq!(c.end_lsn(), 9);
+    }
+}

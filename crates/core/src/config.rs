@@ -1,0 +1,278 @@
+//! FTL configuration.
+
+use std::fmt;
+
+use esp_nand::{Geometry, NandTiming, RetentionModel};
+use esp_sim::SimDuration;
+use esp_workload::SECTORS_PER_PAGE;
+
+/// What subFTL's subpage-region GC does with a victim block's valid
+/// subpages (paper §4.2; the default refines the paper's rule with a
+/// second chance — see the ablation `ablation_eviction`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictionPolicy {
+    /// Updated subpages stay in the region but their updated flag is
+    /// cleared; if they are not updated again by the next GC encounter,
+    /// they are evicted then. Never-updated subpages are evicted now.
+    #[default]
+    SecondChance,
+    /// The paper's literal rule: subpages "that have been updated at least
+    /// once" move within the region (and keep counting as hot forever);
+    /// never-updated subpages are evicted.
+    KeepUpdatedForever,
+    /// Evict every valid subpage to the full-page region (no hot/cold
+    /// separation; stresses RMW eviction).
+    EvictAll,
+    /// Keep every valid subpage in the region (no cold eviction; only the
+    /// retention scrubber ever demotes data).
+    KeepAll,
+}
+
+impl fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            EvictionPolicy::SecondChance => "second-chance",
+            EvictionPolicy::KeepUpdatedForever => "keep-updated",
+            EvictionPolicy::EvictAll => "evict-all",
+            EvictionPolicy::KeepAll => "keep-all",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Configuration shared by all three FTLs (cgmFTL, fgmFTL, subFTL).
+///
+/// The defaults reproduce the paper's §5 setup where the paper specifies a
+/// value, and use stated, conventional values elsewhere:
+///
+/// * subpage region = **20 %** of flash (paper §4),
+/// * retention-scrub threshold = **15 days** of the 1-month device bound
+///   (paper §4.3),
+/// * full-page program 1600 µs / subpage program 1300 µs (paper §5),
+/// * exported (logical) capacity = 75 % of raw flash. The paper does not
+///   state its over-provisioning; 25 % is chosen so that subFTL's full-page
+///   region (80 % of raw) can always hold the entire logical space, and the
+///   *same* logical capacity is exported by all three FTLs so comparisons
+///   are apples-to-apples.
+///
+/// # Examples
+///
+/// ```
+/// use esp_core::FtlConfig;
+///
+/// let cfg = FtlConfig::paper_default();
+/// assert!((cfg.subpage_region_fraction - 0.20).abs() < 1e-12);
+/// assert!(cfg.logical_sectors() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FtlConfig {
+    /// NAND geometry (channels × ways × blocks × pages × subpages).
+    pub geometry: Geometry,
+    /// NAND operation latencies.
+    pub timing: NandTiming,
+    /// Subpage-aware retention model.
+    pub retention: RetentionModel,
+    /// Fraction of raw capacity hidden from the host (over-provisioning).
+    pub overprovision: f64,
+    /// Write-buffer capacity in 4 KB sectors.
+    pub write_buffer_sectors: usize,
+    /// GC starts when a region's free-block count drops below this.
+    pub gc_free_watermark: u32,
+    /// Fraction of blocks assigned to subFTL's subpage region (paper: 0.20).
+    pub subpage_region_fraction: f64,
+    /// subFTL evicts subpages older than this to the full-page region
+    /// (paper: 15 days against the 1-month device bound).
+    pub retention_threshold: SimDuration,
+    /// How often subFTL scans for over-age subpages.
+    pub retention_scan_interval: SimDuration,
+    /// Wear-leveling: swap free blocks between regions when the P/E delta
+    /// exceeds this.
+    pub wear_delta_threshold: u32,
+    /// How many erased blocks a subpage-region GC episode reclaims before
+    /// writing resumes (0 = automatic: every profitable victim). Reclaiming
+    /// a batch keeps several blocks in write rotation, so consecutive laps
+    /// of one block are separated by writes to the others and hot subpages
+    /// are overwritten (rather than migrated) in between.
+    pub subpage_gc_batch: u32,
+    /// Hot/cold handling in subpage-region GC.
+    pub eviction_policy: EvictionPolicy,
+    /// Run garbage collection in host idle windows (an extension beyond
+    /// the paper; see the `future_background_gc` experiment). Off by
+    /// default to match the paper's foreground-GC behaviour.
+    pub background_gc: bool,
+    /// Independent planes per chip (cell operations on different planes of
+    /// one chip overlap; blocks alternate planes). 1 matches the paper's
+    /// timing assumptions; 2 models typical multi-plane TLC dies.
+    pub planes_per_chip: u32,
+}
+
+impl FtlConfig {
+    /// The paper's configuration over the default 4 GiB-shaped device.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        FtlConfig {
+            geometry: Geometry::paper_default(),
+            timing: NandTiming::paper_default(),
+            retention: RetentionModel::paper_default(),
+            overprovision: 0.25,
+            write_buffer_sectors: 2048, // 8 MiB
+            gc_free_watermark: 2,
+            subpage_region_fraction: 0.20,
+            retention_threshold: SimDuration::from_days(15),
+            retention_scan_interval: SimDuration::from_days(1),
+            wear_delta_threshold: 20,
+            subpage_gc_batch: 0,
+            eviction_policy: EvictionPolicy::SecondChance,
+            background_gc: false,
+            planes_per_chip: 1,
+        }
+    }
+
+    /// A small configuration for unit tests (tiny geometry, tiny buffer,
+    /// generous over-provisioning so GC headroom exists on 16 blocks).
+    #[must_use]
+    pub fn tiny() -> Self {
+        FtlConfig {
+            geometry: Geometry::tiny(),
+            write_buffer_sectors: 16,
+            overprovision: 0.5,
+            ..FtlConfig::paper_default()
+        }
+    }
+
+    /// Number of logical sectors exported to the host: raw sectors scaled by
+    /// `1 - overprovision`, rounded down to a full-page multiple.
+    #[must_use]
+    pub fn logical_sectors(&self) -> u64 {
+        let raw = self.geometry.subpage_count();
+        let logical = (raw as f64 * (1.0 - self.overprovision)) as u64;
+        logical / u64::from(SECTORS_PER_PAGE) * u64::from(SECTORS_PER_PAGE)
+    }
+
+    /// Validates ranges and cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field, including the
+    /// requirement that the full-page region can hold all logical data.
+    pub fn validate(&self) -> Result<(), String> {
+        self.geometry.validate()?;
+        // The FTL layer works in 4 KB host sectors mapped 1:1 onto
+        // subpages; other shapes would silently corrupt the RMW/packing
+        // logic, so reject them loudly.
+        if self.geometry.subpages_per_page != SECTORS_PER_PAGE {
+            return Err(format!(
+                "FTLs require {} subpages per page (geometry has {})",
+                SECTORS_PER_PAGE, self.geometry.subpages_per_page
+            ));
+        }
+        if u64::from(self.geometry.subpage_bytes) != esp_workload::SECTOR_BYTES {
+            return Err(format!(
+                "FTLs require {} B subpages (geometry has {})",
+                esp_workload::SECTOR_BYTES,
+                self.geometry.subpage_bytes
+            ));
+        }
+        if !(0.0..1.0).contains(&self.overprovision) {
+            return Err(format!("overprovision must be in [0,1), got {}", self.overprovision));
+        }
+        if !(0.0..1.0).contains(&self.subpage_region_fraction) {
+            return Err(format!(
+                "subpage_region_fraction must be in [0,1), got {}",
+                self.subpage_region_fraction
+            ));
+        }
+        if self.gc_free_watermark < 2 {
+            return Err("gc_free_watermark must be at least 2".into());
+        }
+        if self.write_buffer_sectors == 0 {
+            return Err("write_buffer_sectors must be non-zero".into());
+        }
+        let full_fraction = 1.0 - self.subpage_region_fraction;
+        let full_sectors = (self.geometry.subpage_count() as f64 * full_fraction) as u64;
+        let watermark_sectors = u64::from(self.gc_free_watermark + 2)
+            * u64::from(self.geometry.pages_per_block)
+            * u64::from(self.geometry.subpages_per_page);
+        if self.logical_sectors() + watermark_sectors > full_sectors {
+            return Err(format!(
+                "logical capacity ({} sectors) does not fit in the full-page \
+                 region ({} sectors) with GC headroom; raise overprovision or \
+                 lower subpage_region_fraction",
+                self.logical_sectors(),
+                full_sectors
+            ));
+        }
+        if self.planes_per_chip == 0 {
+            return Err("planes_per_chip must be at least 1".into());
+        }
+        if self.retention_threshold >= SimDuration::from_months(1) {
+            return Err("retention_threshold must be below the 1-month device bound".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        FtlConfig::paper_default().validate().unwrap();
+        FtlConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn logical_capacity_is_page_aligned_and_below_raw() {
+        let cfg = FtlConfig::paper_default();
+        let logical = cfg.logical_sectors();
+        assert_eq!(logical % u64::from(SECTORS_PER_PAGE), 0);
+        assert!(logical < cfg.geometry.subpage_count());
+        assert!(logical > cfg.geometry.subpage_count() / 2);
+    }
+
+    #[test]
+    fn validate_rejects_overcommitted_full_region() {
+        let cfg = FtlConfig {
+            overprovision: 0.05,
+            subpage_region_fraction: 0.30,
+            ..FtlConfig::paper_default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("full-page region"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_threshold_beyond_device_bound() {
+        let cfg = FtlConfig {
+            retention_threshold: SimDuration::from_days(40),
+            ..FtlConfig::paper_default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_foreign_subpage_shape() {
+        let mut cfg = FtlConfig::paper_default();
+        cfg.geometry.subpages_per_page = 8;
+        assert!(cfg.validate().unwrap_err().contains("subpages per page"));
+        let mut cfg = FtlConfig::paper_default();
+        cfg.geometry.subpage_bytes = 2048;
+        assert!(cfg.validate().unwrap_err().contains("B subpages"));
+    }
+
+    #[test]
+    fn validate_rejects_tiny_watermark() {
+        let cfg = FtlConfig {
+            gc_free_watermark: 1,
+            ..FtlConfig::paper_default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Shared host-read helpers.
+//!
+//! Reads are not the paper's focus ("there are no significant differences
+//! from conventional FTLs in handling reads", §4), but they must be correct
+//! and they must cost simulated time, since the evaluation benchmarks mix
+//! reads in. The helpers here serve reads from (in priority order) the DRAM
+//! write buffer, then the flash mapping supplied by the caller.
+
+use esp_nand::ReadFault;
+use esp_sim::SimTime;
+use esp_ssd::Ssd;
+use esp_workload::SECTORS_PER_PAGE;
+
+use crate::buffer::WriteBuffer;
+use crate::full_region::FullRegionEngine;
+use crate::stats::FtlStats;
+
+/// Classifies a read result: benign misses (never-written data) are fine;
+/// destroyed/aged/injected data is a fault the FTL must never expose.
+pub(crate) fn note_read_result(
+    result: &Result<esp_nand::Oob, ReadFault>,
+    expect_lsn: u64,
+    stats: &mut FtlStats,
+) {
+    match result {
+        Ok(oob) => {
+            debug_assert_eq!(oob.lsn, expect_lsn, "mapping returned wrong sector");
+        }
+        Err(ReadFault::NotWritten) | Err(ReadFault::Padding) => {}
+        Err(_) => stats.read_faults += 1,
+    }
+}
+
+/// Serves a host read over a coarse (page-granularity) map: buffer hits are
+/// free; mapped sectors are fetched per physical page (one full-page read
+/// when two or more sectors of the same page are needed, a subpage read
+/// otherwise). Returns the completion time.
+pub(crate) fn read_sectors_coarse(
+    lsn: u64,
+    sectors: u32,
+    issue: SimTime,
+    ssd: &mut Ssd,
+    engine: &FullRegionEngine,
+    buffer: &WriteBuffer,
+    stats: &mut FtlStats,
+) -> SimTime {
+    let page = u64::from(SECTORS_PER_PAGE);
+    let (lo, hi) = (lsn, lsn + u64::from(sectors));
+    let mut done = issue;
+    let first_lpn = lo / page;
+    let last_lpn = (hi - 1) / page;
+    for lpn in first_lpn..=last_lpn {
+        let s_lo = lo.max(lpn * page);
+        let s_hi = hi.min((lpn + 1) * page);
+        let needed: Vec<u64> = (s_lo..s_hi).filter(|s| !buffer.contains(*s)).collect();
+        if needed.is_empty() {
+            continue;
+        }
+        let Some(ptr) = engine.lookup(lpn) else {
+            continue; // never written: reads as zeros, no flash op
+        };
+        let addr = engine.page_addr(ptr, ssd);
+        if needed.len() >= 2 {
+            let (slots, t) = ssd.read_full(addr, issue);
+            for s in needed {
+                let slot = (s - lpn * page) as usize;
+                note_read_result(&slots[slot], s, stats);
+            }
+            done = done.max(t);
+        } else {
+            let s = needed[0];
+            let slot = (s - lpn * page) as u8;
+            let (r, t) = ssd.read_subpage(addr.subpage(slot), issue);
+            note_read_result(&r, s, stats);
+            done = done.max(t);
+        }
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esp_nand::Oob;
+
+    #[test]
+    fn benign_misses_are_not_faults() {
+        let mut stats = FtlStats::new();
+        note_read_result(&Err(ReadFault::NotWritten), 0, &mut stats);
+        note_read_result(&Err(ReadFault::Padding), 0, &mut stats);
+        assert_eq!(stats.read_faults, 0);
+    }
+
+    #[test]
+    fn corruption_counts_as_fault() {
+        let mut stats = FtlStats::new();
+        note_read_result(&Err(ReadFault::DestroyedByProgram), 0, &mut stats);
+        note_read_result(&Err(ReadFault::RetentionExceeded), 0, &mut stats);
+        note_read_result(&Err(ReadFault::Injected), 0, &mut stats);
+        assert_eq!(stats.read_faults, 3);
+    }
+
+    #[test]
+    fn good_data_is_clean() {
+        let mut stats = FtlStats::new();
+        note_read_result(&Ok(Oob { lsn: 7, seq: 1 }), 7, &mut stats);
+        assert_eq!(stats.read_faults, 0);
+    }
+}

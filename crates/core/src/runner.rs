@@ -1,0 +1,314 @@
+//! The `Ftl` trait and the trace-replay engine.
+//!
+//! Replay semantics match the paper's host-level FTL measurements:
+//!
+//! * **synchronous writes** block the host — the next request issues only
+//!   after the write (and any GC it triggered) completes;
+//! * **asynchronous writes** land in the DRAM write buffer and return
+//!   immediately; flash work happens on buffer-full flushes and pipelines
+//!   across channels/chips;
+//! * **reads** block the host until data is returned.
+//!
+//! IOPS is requests over the simulated makespan, so foreground GC, RMW
+//! traffic and program-latency differences all show up exactly as they do
+//! in the paper's figures.
+
+use esp_sim::{SimDuration, SimTime};
+use esp_ssd::Ssd;
+use esp_workload::{IoOp, Trace};
+
+use crate::stats::{FtlStats, RunReport};
+
+/// A flash translation layer: the host-facing write/read/flush interface
+/// plus statistics.
+///
+/// All three of the paper's FTLs (`cgmFTL`, `fgmFTL`, `subFTL`) implement
+/// this trait; [`run_trace`] drives any of them over a workload.
+pub trait Ftl {
+    /// Short display name ("cgmFTL", "fgmFTL", "subFTL").
+    fn name(&self) -> &'static str;
+
+    /// Number of logical 4 KB sectors exported to the host.
+    fn logical_sectors(&self) -> u64;
+
+    /// Handles a host write of `sectors` sectors at `lsn`, issued at
+    /// `issue`. Returns the completion time the host observes: for
+    /// synchronous writes, when the data is durable; for asynchronous
+    /// writes, effectively `issue`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the request exceeds
+    /// [`Ftl::logical_sectors`].
+    fn write(&mut self, lsn: u64, sectors: u32, sync: bool, issue: SimTime) -> SimTime;
+
+    /// Handles a host read, returning its completion time.
+    fn read(&mut self, lsn: u64, sectors: u32, issue: SimTime) -> SimTime;
+
+    /// Drains the write buffer to flash. Returns the completion time.
+    fn flush(&mut self, issue: SimTime) -> SimTime;
+
+    /// Periodic maintenance hook (subFTL's retention scrubbing). Called by
+    /// the runner with the current host clock before each request.
+    fn maintain(&mut self, _now: SimTime) {}
+
+    /// Idle-window hook: the host is quiet from `from` until (at least)
+    /// `until`. FTLs with background GC use the window to reclaim blocks
+    /// off the critical path; the default does nothing. Implementations may
+    /// slightly overrun `until` to finish the victim they started.
+    fn idle(&mut self, _from: SimTime, _until: SimTime) {}
+
+    /// Diagnostic hook: the write sequence number stored on flash for the
+    /// newest durable copy of `lsn`, or `None` if the sector is unmapped or
+    /// its newest copy still sits in the write buffer. Test harnesses use
+    /// this to prove that reads can never observe stale or lost data: for a
+    /// fixed `lsn` the stored sequence number must never decrease.
+    fn stored_seq(&self, lsn: u64) -> Option<u64>;
+
+    /// Host trim/discard: the sectors in `[lsn, lsn + sectors)` will never
+    /// be read again. The FTL drops buffered copies and invalidates flash
+    /// mappings where its granularity allows (coarse page maps can only
+    /// drop fully-covered 16 KB pages), turning future GC copies into free
+    /// reclamation. Costs no flash I/O.
+    fn trim(&mut self, lsn: u64, sectors: u32);
+
+    /// Bytes of RAM the FTL spends on logical-to-physical mapping state —
+    /// the quantity §4.2 of the paper argues subFTL keeps small by mapping
+    /// only the subpage region at fine grain (hash table) and the rest at
+    /// page grain.
+    fn mapping_memory_bytes(&self) -> u64;
+
+    /// FTL counters.
+    fn stats(&self) -> &FtlStats;
+
+    /// The underlying timed SSD.
+    fn ssd(&self) -> &Ssd;
+}
+
+impl FtlStats {
+    /// Field-wise difference `self - earlier`; used to report per-run
+    /// deltas when the same FTL instance replays several traces
+    /// (preconditioning, then measurement).
+    #[must_use]
+    pub fn minus(&self, earlier: &FtlStats) -> FtlStats {
+        FtlStats {
+            host_write_requests: self.host_write_requests - earlier.host_write_requests,
+            host_write_sectors: self.host_write_sectors - earlier.host_write_sectors,
+            host_read_requests: self.host_read_requests - earlier.host_read_requests,
+            host_read_sectors: self.host_read_sectors - earlier.host_read_sectors,
+            small_write_requests: self.small_write_requests - earlier.small_write_requests,
+            flash_sectors_consumed: self.flash_sectors_consumed - earlier.flash_sectors_consumed,
+            gc_flash_sectors: self.gc_flash_sectors - earlier.gc_flash_sectors,
+            gc_invocations: self.gc_invocations - earlier.gc_invocations,
+            gc_subpage_region: self.gc_subpage_region - earlier.gc_subpage_region,
+            gc_copied_sectors: self.gc_copied_sectors - earlier.gc_copied_sectors,
+            rmw_operations: self.rmw_operations - earlier.rmw_operations,
+            lap_migrations: self.lap_migrations - earlier.lap_migrations,
+            cold_evictions: self.cold_evictions - earlier.cold_evictions,
+            retention_evictions: self.retention_evictions - earlier.retention_evictions,
+            wear_swaps: self.wear_swaps - earlier.wear_swaps,
+            read_faults: self.read_faults - earlier.read_faults,
+            small_waf_flash_sectors: self.small_waf_flash_sectors
+                - earlier.small_waf_flash_sectors,
+            small_waf_host_sectors: self.small_waf_host_sectors - earlier.small_waf_host_sectors,
+        }
+    }
+}
+
+/// Replays `trace` through `ftl` and reports per-run metrics (deltas
+/// against the FTL's state at entry, so preconditioning runs do not
+/// pollute measurement runs).
+///
+/// Single-threaded host semantics (`queue_depth = 1`); see
+/// [`run_trace_qd`] for concurrent hosts. Trace arrival times are
+/// interpreted relative to the FTL's current makespan, so back-to-back
+/// runs compose naturally.
+pub fn run_trace<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace) -> RunReport {
+    run_trace_qd(ftl, trace, 1)
+}
+
+/// Replays `trace` through `ftl` with `queue_depth` concurrent host
+/// threads (the paper's benchmarks — Sysbench, Varmail, YCSB, TPC-C — are
+/// multithreaded, so synchronous writes from different threads overlap in
+/// flight and the device becomes throughput-bound rather than
+/// latency-bound).
+///
+/// Each request is issued by the earliest-available thread; a synchronous
+/// write or a read blocks only its own thread.
+///
+/// # Panics
+///
+/// Panics if `queue_depth` is zero.
+pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: usize) -> RunReport {
+    assert!(queue_depth > 0, "queue_depth must be at least 1");
+    let base = ftl.ssd().makespan();
+    let stats0 = ftl.stats().clone();
+    let dev0 = *ftl.ssd().device().stats();
+
+    let mut threads = vec![base; queue_depth];
+    let mut clock = base;
+    let mut latency = esp_sim::Log2Histogram::new();
+    for r in trace {
+        let arrival = base + SimDuration::from_nanos(r.arrival.as_nanos());
+        // The earliest-free thread picks the request up.
+        let (t_idx, &t_free) = threads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("at least one thread");
+        let issue = t_free.max(arrival);
+        if arrival > t_free {
+            // Every thread is quiet until `arrival`: a background window.
+            let all_free = threads.iter().copied().max().expect("non-empty");
+            if arrival > all_free {
+                ftl.idle(all_free, arrival);
+            }
+        }
+        ftl.maintain(issue);
+        let done = match r.op {
+            IoOp::Write => {
+                let done = ftl.write(r.lsn, r.sectors, r.sync, issue);
+                if r.sync {
+                    latency.record(done.saturating_since(issue).as_nanos());
+                    done
+                } else {
+                    issue
+                }
+            }
+            IoOp::Read => {
+                let done = ftl.read(r.lsn, r.sectors, issue);
+                latency.record(done.saturating_since(issue).as_nanos());
+                done
+            }
+        };
+        threads[t_idx] = done;
+        clock = clock.max(done);
+    }
+    let flushed = ftl.flush(clock);
+
+    let end = ftl.ssd().makespan().max(flushed).max(clock);
+    let makespan_ns = end.saturating_since(base);
+    let makespan = SimTime::ZERO + makespan_ns;
+    let secs = makespan_ns.as_secs_f64();
+    let requests = trace.len() as u64;
+    let iops = if secs > 0.0 {
+        requests as f64 / secs
+    } else {
+        0.0
+    };
+    let dev = ftl.ssd().device().stats();
+    RunReport {
+        ftl: ftl.name(),
+        requests,
+        makespan,
+        iops,
+        stats: ftl.stats().minus(&stats0),
+        erases: dev.erases - dev0.erases,
+        programs: (
+            dev.full_programs - dev0.full_programs,
+            dev.subpage_programs - dev0.subpage_programs,
+        ),
+        latency,
+    }
+}
+
+/// Preconditions `ftl` to the paper's steady state: sequentially fills
+/// `fill_fraction` of the logical space (the paper fills 10 GB of its
+/// 16 GB device, i.e. 0.625).
+pub fn precondition<F: Ftl + ?Sized>(ftl: &mut F, fill_fraction: f64) -> RunReport {
+    let fill = esp_workload::precondition_fill(ftl.logical_sectors(), fill_fraction);
+    run_trace(ftl, &fill)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FtlConfig, SubFtl};
+    use esp_workload::IoRequest;
+
+    #[test]
+    fn qd_one_serializes_sync_writes() {
+        let mut ftl = SubFtl::new(&FtlConfig::tiny());
+        let mut t = Trace::new(64);
+        for i in 0..8u64 {
+            t.push(IoRequest::write(SimTime::ZERO, i, 1, true));
+        }
+        let serial = run_trace(&mut ftl, &t);
+        let mut ftl2 = SubFtl::new(&FtlConfig::tiny());
+        let parallel = run_trace_qd(&mut ftl2, &t, 8);
+        assert!(
+            parallel.makespan < serial.makespan,
+            "8 threads must beat 1 thread on independent sync writes"
+        );
+        assert_eq!(serial.requests, parallel.requests);
+    }
+
+    #[test]
+    fn sync_latencies_are_recorded_async_are_not() {
+        let mut ftl = SubFtl::new(&FtlConfig::tiny());
+        let mut t = Trace::new(64);
+        t.push(IoRequest::write(SimTime::ZERO, 0, 1, true));
+        t.push(IoRequest::write(SimTime::ZERO, 1, 1, false));
+        t.push(IoRequest::read(SimTime::ZERO, 0, 1));
+        let r = run_trace(&mut ftl, &t);
+        // 1 sync write + 1 read recorded; the async write is not.
+        assert_eq!(r.latency.count(), 2);
+        assert!(r.latency_p50() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arrival_times_gate_issue() {
+        let mut ftl = SubFtl::new(&FtlConfig::tiny());
+        let mut t = Trace::new(64);
+        // One write arriving 5 seconds in: the makespan must include the
+        // idle wait.
+        t.push(IoRequest::write(SimTime::from_secs(5), 0, 1, true));
+        let r = run_trace(&mut ftl, &t);
+        assert!(r.makespan >= SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn back_to_back_runs_rebase_arrivals() {
+        let mut ftl = SubFtl::new(&FtlConfig::tiny());
+        let mut t = Trace::new(64);
+        t.push(IoRequest::write(SimTime::ZERO, 0, 1, true));
+        let first = run_trace(&mut ftl, &t);
+        let second = run_trace(&mut ftl, &t);
+        // Each run reports its own makespan, not cumulative time.
+        assert!(second.makespan.as_nanos() < first.makespan.as_nanos() * 3);
+        assert_eq!(second.requests, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_depth")]
+    fn zero_queue_depth_rejected() {
+        let mut ftl = SubFtl::new(&FtlConfig::tiny());
+        let t = Trace::new(64);
+        let _ = run_trace_qd(&mut ftl, &t, 0);
+    }
+
+    #[test]
+    fn precondition_fills_requested_fraction() {
+        let mut ftl = SubFtl::new(&FtlConfig::tiny());
+        let r = precondition(&mut ftl, 0.5);
+        let expected = ftl.logical_sectors() / 2;
+        assert!(r.stats.host_write_sectors >= expected - 16);
+        assert!(r.stats.host_write_sectors <= expected);
+    }
+
+    #[test]
+    fn stats_minus_is_fieldwise() {
+        let mut a = FtlStats::new();
+        a.gc_invocations = 10;
+        a.small_waf_flash_sectors = 8.0;
+        a.small_waf_host_sectors = 4;
+        let mut b = FtlStats::new();
+        b.gc_invocations = 3;
+        b.small_waf_flash_sectors = 2.0;
+        b.small_waf_host_sectors = 1;
+        let d = a.minus(&b);
+        assert_eq!(d.gc_invocations, 7);
+        assert_eq!(d.small_waf_host_sectors, 3);
+        assert!((d.small_waf_flash_sectors - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! FTL-level statistics: the quantities the paper's evaluation reports.
+
+use esp_sim::{Log2Histogram, SimDuration, SimTime};
+use esp_workload::SECTOR_BYTES;
+
+/// Counters maintained by every FTL.
+///
+/// Terminology follows the paper:
+///
+/// * **GC invocations** (Fig 2(b), Fig 8(b)) — one per victim block
+///   collected.
+/// * **Request WAF of a small write** (§2, Table 1) — `s_flash / s`, where
+///   `s_flash` is the flash space consumed on behalf of the request. A 4 KB
+///   write that occupies a 16 KB page alone has WAF 4; a 4 KB write stored
+///   in a 4 KB subpage has WAF 1. subFTL's lap migrations and cold/retention
+///   evictions are charged to the numerator too, which is why its average
+///   sits slightly above 1.0 (Table 1).
+#[derive(Debug, Clone, Default)]
+pub struct FtlStats {
+    /// Host write requests observed.
+    pub host_write_requests: u64,
+    /// Host sectors written (4 KB units).
+    pub host_write_sectors: u64,
+    /// Host read requests observed.
+    pub host_read_requests: u64,
+    /// Host sectors read.
+    pub host_read_sectors: u64,
+    /// Host small-write requests (shorter than one full page).
+    pub small_write_requests: u64,
+
+    /// Flash sectors consumed by host-data programs, **including padding**
+    /// (a full-page program always consumes 4 sectors of flash space).
+    pub flash_sectors_consumed: u64,
+    /// Flash sectors consumed by GC relocation programs.
+    pub gc_flash_sectors: u64,
+
+    /// GC invocations (victim blocks collected), total.
+    pub gc_invocations: u64,
+    /// GC invocations in subFTL's subpage region (subset of total).
+    pub gc_subpage_region: u64,
+    /// Sectors copied by GC (valid-data relocation).
+    pub gc_copied_sectors: u64,
+    /// Read-modify-write operations performed (CGM-style partial updates).
+    pub rmw_operations: u64,
+
+    /// subFTL: lap migrations of valid subpages to the next subpage level.
+    pub lap_migrations: u64,
+    /// subFTL: cold subpages evicted to the full-page region during GC.
+    pub cold_evictions: u64,
+    /// subFTL: subpages evicted because they approached the retention bound.
+    pub retention_evictions: u64,
+    /// Wear-leveling block swaps between regions.
+    pub wear_swaps: u64,
+
+    /// Host reads that could not be served (uncorrectable or unmapped data
+    /// faults; must stay zero when the FTL is correct).
+    pub read_faults: u64,
+
+    /// Accumulated small-write request-WAF numerator (flash sectors
+    /// attributed to small writes, including later migrations/evictions).
+    pub small_waf_flash_sectors: f64,
+    /// Small-write request-WAF denominator (host sectors from small writes).
+    pub small_waf_host_sectors: u64,
+}
+
+impl FtlStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average request WAF over all small writes (Table 1). Returns 1.0 when
+    /// no small writes occurred.
+    #[must_use]
+    pub fn small_request_waf(&self) -> f64 {
+        if self.small_waf_host_sectors == 0 {
+            1.0
+        } else {
+            self.small_waf_flash_sectors / self.small_waf_host_sectors as f64
+        }
+    }
+
+    /// Overall write amplification: all flash sectors consumed (host +
+    /// GC + padding) over host sectors written.
+    #[must_use]
+    pub fn total_waf(&self) -> f64 {
+        if self.host_write_sectors == 0 {
+            0.0
+        } else {
+            (self.flash_sectors_consumed + self.gc_flash_sectors) as f64
+                / self.host_write_sectors as f64
+        }
+    }
+
+    /// Fraction of host writes that were small.
+    #[must_use]
+    pub fn small_write_fraction(&self) -> f64 {
+        if self.host_write_requests == 0 {
+            0.0
+        } else {
+            self.small_write_requests as f64 / self.host_write_requests as f64
+        }
+    }
+}
+
+/// The result of replaying one trace through one FTL.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// FTL name ("cgmFTL", "fgmFTL", "subFTL").
+    pub ftl: &'static str,
+    /// Host requests replayed.
+    pub requests: u64,
+    /// Simulated makespan (last completion).
+    pub makespan: SimTime,
+    /// I/O operations per second over the makespan.
+    pub iops: f64,
+    /// FTL counters at the end of the run.
+    pub stats: FtlStats,
+    /// Device erase count (lifetime proxy).
+    pub erases: u64,
+    /// Device program counts (full, subpage).
+    pub programs: (u64, u64),
+    /// Host-observed request latencies in nanoseconds (synchronous writes
+    /// and reads; asynchronous writes complete in DRAM and are excluded).
+    pub latency: Log2Histogram,
+}
+
+impl RunReport {
+    /// Median host-observed request latency.
+    #[must_use]
+    pub fn latency_p50(&self) -> SimDuration {
+        SimDuration::from_nanos(self.latency.percentile(0.50))
+    }
+
+    /// 99th-percentile host-observed request latency.
+    #[must_use]
+    pub fn latency_p99(&self) -> SimDuration {
+        SimDuration::from_nanos(self.latency.percentile(0.99))
+    }
+
+    /// Host write bandwidth over the makespan, in MB/s.
+    #[must_use]
+    pub fn write_bandwidth_mbps(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.stats.host_write_sectors * SECTOR_BYTES) as f64 / 1e6 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_request_waf_defaults_to_one() {
+        assert_eq!(FtlStats::new().small_request_waf(), 1.0);
+    }
+
+    #[test]
+    fn small_request_waf_ratio() {
+        let mut s = FtlStats::new();
+        s.small_waf_host_sectors = 10;
+        s.small_waf_flash_sectors = 40.0;
+        assert!((s.small_request_waf() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_waf_counts_gc_and_padding() {
+        let mut s = FtlStats::new();
+        s.host_write_sectors = 100;
+        s.flash_sectors_consumed = 120;
+        s.gc_flash_sectors = 30;
+        assert!((s.total_waf() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_write_fraction() {
+        let mut s = FtlStats::new();
+        s.host_write_requests = 200;
+        s.small_write_requests = 50;
+        assert!((s.small_write_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(FtlStats::new().small_write_fraction(), 0.0);
+    }
+
+    #[test]
+    fn report_bandwidth() {
+        let r = RunReport {
+            ftl: "test",
+            requests: 1,
+            makespan: SimTime::from_secs(2),
+            iops: 0.5,
+            stats: {
+                let mut s = FtlStats::new();
+                s.host_write_sectors = 1000;
+                s
+            },
+            erases: 0,
+            programs: (0, 0),
+            latency: Log2Histogram::new(),
+        };
+        let mbps = r.write_bandwidth_mbps();
+        assert!((mbps - 1000.0 * 4096.0 / 1e6 / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,556 @@
+//! The NAND device: geometry + per-block state + retention-aware reads.
+//!
+//! [`NandDevice`] is a *behavioural* model, not a timing model: operations
+//! mutate state and return immediately. The cost of each operation is exposed
+//! through [`NandDevice::op_cost`], and the multi-channel timing simulation
+//! (which chip is busy when) lives in the `esp-ssd` crate. Keeping mechanism
+//! and timing separate lets unit tests drive the state machine directly.
+
+use std::collections::HashSet;
+
+use esp_sim::{SimDuration, SimTime};
+
+use crate::error::{NandError, ReadFault};
+use crate::geometry::{BlockAddr, Geometry, PageAddr, SubpageAddr};
+use crate::page::{Oob, Page, SubpageState, WrittenSubpage};
+use crate::reliability::RetentionModel;
+use crate::timing::NandTiming;
+
+/// One erase block: pages plus wear state.
+#[derive(Debug, Clone)]
+pub struct Block {
+    pages: Vec<Page>,
+    pe_cycles: u32,
+}
+
+impl Block {
+    fn new(geometry: &Geometry) -> Self {
+        Block {
+            pages: (0..geometry.pages_per_block)
+                .map(|_| Page::new(geometry.subpages_per_page))
+                .collect(),
+            pe_cycles: 0,
+        }
+    }
+
+    /// Program/erase cycles this block has endured.
+    #[must_use]
+    pub fn pe_cycles(&self) -> u32 {
+        self.pe_cycles
+    }
+
+    /// The page at `page` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    #[must_use]
+    pub fn page(&self, page: u32) -> &Page {
+        &self.pages[page as usize]
+    }
+}
+
+/// Kinds of device operation, used for cost lookup and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Full-page read (cell sense + full-page bus transfer).
+    ReadFull,
+    /// Subpage read (cell sense + subpage bus transfer).
+    ReadSubpage,
+    /// Full-page program (bus transfer + 1600 µs cell program).
+    ProgramFull,
+    /// Subpage program (bus transfer + 1300 µs cell program).
+    ProgramSubpage,
+    /// Block erase.
+    Erase,
+}
+
+/// Bus and cell occupancy of one operation: the channel is busy for
+/// `bus`, the chip for `cell` (the `esp-ssd` crate serializes these on the
+/// corresponding resources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCost {
+    /// Channel (data transfer) occupancy.
+    pub bus: SimDuration,
+    /// Chip (cell operation) occupancy.
+    pub cell: SimDuration,
+}
+
+impl OpCost {
+    /// Total serial latency of the operation (bus + cell).
+    #[must_use]
+    pub fn total(&self) -> SimDuration {
+        self.bus + self.cell
+    }
+}
+
+/// Operation counters for the whole device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Full-page program operations.
+    pub full_programs: u64,
+    /// Subpage (ESP) program operations.
+    pub subpage_programs: u64,
+    /// Subpage read operations.
+    pub reads: u64,
+    /// Block erase operations.
+    pub erases: u64,
+    /// Subpages destroyed as a side effect of ESP programs. Non-zero values
+    /// indicate that some program destroyed *valid-looking* data; the subFTL
+    /// discipline keeps destroyed slots limited to already-invalid data.
+    pub subpages_destroyed: u64,
+    /// Reads that failed because retention exceeded the ECC limit.
+    pub retention_failures: u64,
+}
+
+impl DeviceStats {
+    /// Total program operations of either kind.
+    #[must_use]
+    pub fn total_programs(&self) -> u64 {
+        self.full_programs + self.subpage_programs
+    }
+}
+
+/// A behavioural model of a multi-chip NAND subsystem.
+///
+/// # Examples
+///
+/// ```
+/// use esp_nand::{Geometry, NandDevice, Oob};
+/// use esp_sim::SimTime;
+///
+/// let mut dev = NandDevice::new(Geometry::tiny());
+/// let page = dev.geometry().block_addr(0).page(0);
+/// // ESP: program subpage 0, then subpage 1 of the same page with no erase.
+/// dev.program_subpage(page.subpage(0), Oob { lsn: 7, seq: 1 }, SimTime::ZERO)?;
+/// dev.program_subpage(page.subpage(1), Oob { lsn: 8, seq: 2 }, SimTime::ZERO)?;
+/// // Subpage 1 holds data; subpage 0 was destroyed by the second program.
+/// assert_eq!(dev.read_subpage(page.subpage(1), SimTime::ZERO)?.lsn, 8);
+/// assert!(dev.read_subpage(page.subpage(0), SimTime::ZERO).is_err());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NandDevice {
+    geometry: Geometry,
+    timing: NandTiming,
+    retention: RetentionModel,
+    /// Blocks indexed by the device-global block index.
+    blocks: Vec<Block>,
+    stats: DeviceStats,
+    forced_faults: HashSet<SubpageAddr>,
+}
+
+impl NandDevice {
+    /// Creates a device with default timing and retention models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails [`Geometry::validate`].
+    #[must_use]
+    pub fn new(geometry: Geometry) -> Self {
+        Self::with_models(geometry, NandTiming::paper_default(), RetentionModel::paper_default())
+    }
+
+    /// Creates a device with explicit timing and retention models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails [`Geometry::validate`].
+    #[must_use]
+    pub fn with_models(
+        geometry: Geometry,
+        timing: NandTiming,
+        retention: RetentionModel,
+    ) -> Self {
+        geometry.validate().expect("invalid NAND geometry");
+        let blocks = (0..geometry.block_count())
+            .map(|_| Block::new(&geometry))
+            .collect();
+        NandDevice {
+            geometry,
+            timing,
+            retention,
+            blocks,
+            stats: DeviceStats::default(),
+            forced_faults: HashSet::new(),
+        }
+    }
+
+    /// Device geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Latency parameters.
+    #[must_use]
+    pub fn timing(&self) -> &NandTiming {
+        &self.timing
+    }
+
+    /// The retention model used to judge reads.
+    #[must_use]
+    pub fn retention_model(&self) -> &RetentionModel {
+        &self.retention
+    }
+
+    /// Operation counters.
+    #[must_use]
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Bus/cell occupancy of an operation of the given kind.
+    #[must_use]
+    pub fn op_cost(&self, kind: OpKind) -> OpCost {
+        let g = &self.geometry;
+        let t = &self.timing;
+        match kind {
+            OpKind::ReadFull => OpCost {
+                bus: t.transfer(g.page_bytes()),
+                cell: t.read_full,
+            },
+            OpKind::ReadSubpage => OpCost {
+                bus: t.transfer(u64::from(g.subpage_bytes)),
+                cell: t.read_subpage,
+            },
+            OpKind::ProgramFull => OpCost {
+                bus: t.transfer(g.page_bytes()),
+                cell: t.program_full,
+            },
+            OpKind::ProgramSubpage => OpCost {
+                bus: t.transfer(u64::from(g.subpage_bytes)),
+                cell: t.program_subpage,
+            },
+            OpKind::Erase => OpCost {
+                bus: SimDuration::ZERO,
+                cell: t.erase,
+            },
+        }
+    }
+
+    fn block_mut(&mut self, addr: BlockAddr) -> Result<&mut Block, NandError> {
+        let idx = if addr.chip.channel < self.geometry.channels
+            && addr.chip.way < self.geometry.chips_per_channel
+            && addr.block < self.geometry.blocks_per_chip
+        {
+            self.geometry.block_index(addr) as usize
+        } else {
+            return Err(NandError::AddressOutOfRange);
+        };
+        Ok(&mut self.blocks[idx])
+    }
+
+    /// The block at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the geometry.
+    #[must_use]
+    pub fn block(&self, addr: BlockAddr) -> &Block {
+        &self.blocks[self.geometry.block_index(addr) as usize]
+    }
+
+    /// P/E cycles endured by the block at `addr`.
+    #[must_use]
+    pub fn pe_cycles(&self, addr: BlockAddr) -> u32 {
+        self.block(addr).pe_cycles()
+    }
+
+    /// Programs a whole physical page (conventional CGM/FGM write path).
+    ///
+    /// # Errors
+    ///
+    /// See [`Page::program_full`]; also rejects out-of-geometry addresses.
+    pub fn program_full(
+        &mut self,
+        page: PageAddr,
+        oobs: &[Option<Oob>],
+        now: SimTime,
+    ) -> Result<(), NandError> {
+        let block = self.block_mut(page.block)?;
+        if page.page >= block.pages.len() as u32 {
+            return Err(NandError::AddressOutOfRange);
+        }
+        // Word lines must be programmed in order: a full-page program is
+        // only legal if the preceding page has been programmed.
+        if page.page > 0 && block.pages[(page.page - 1) as usize].is_erased() {
+            return Err(NandError::NonSequentialProgram { page: page.page });
+        }
+        let pe = block.pe_cycles;
+        block.pages[page.page as usize].program_full(oobs, now, pe)?;
+        self.stats.full_programs += 1;
+        Ok(())
+    }
+
+    /// Programs a single subpage via ESP (erase-free subpage programming).
+    ///
+    /// Any previously programmed subpage of the same page is destroyed;
+    /// the count of destroyed subpages is recorded in [`DeviceStats`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Page::program_subpage`]; also rejects out-of-geometry addresses.
+    pub fn program_subpage(
+        &mut self,
+        addr: SubpageAddr,
+        oob: Oob,
+        now: SimTime,
+    ) -> Result<(), NandError> {
+        if !self.geometry.contains(addr) {
+            return Err(NandError::AddressOutOfRange);
+        }
+        let block = self.block_mut(addr.page.block)?;
+        let pe = block.pe_cycles;
+        let destroyed =
+            block.pages[addr.page.page as usize].program_subpage(addr.slot, oob, now, pe)?;
+        self.stats.subpage_programs += 1;
+        self.stats.subpages_destroyed += destroyed.len() as u64;
+        Ok(())
+    }
+
+    /// Reads the subpage at `addr`, judging retention at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReadFault::NotWritten`] / [`ReadFault::Padding`] /
+    ///   [`ReadFault::DestroyedByProgram`] — see [`Page::read_subpage`].
+    /// * [`ReadFault::RetentionExceeded`] if the data has aged past its
+    ///   `Npp`-dependent retention capability.
+    /// * [`ReadFault::Injected`] if a fault was injected at this address.
+    pub fn read_subpage(&mut self, addr: SubpageAddr, now: SimTime) -> Result<Oob, ReadFault> {
+        self.stats.reads += 1;
+        if self.forced_faults.contains(&addr) {
+            return Err(ReadFault::Injected);
+        }
+        let w = self.written_subpage(addr)?;
+        let elapsed = now.saturating_since(w.programmed_at);
+        let block_index = u64::from(self.geometry.block_index(addr.page.block));
+        let ber = self.retention.normalized_ber_on_block(
+            block_index,
+            w.pe_at_program,
+            u32::from(w.npp),
+            elapsed,
+        );
+        if ber > self.retention.ecc_limit() {
+            self.stats.retention_failures += 1;
+            return Err(ReadFault::RetentionExceeded);
+        }
+        Ok(w.oob.expect("written_subpage filters padding"))
+    }
+
+    fn written_subpage(&self, addr: SubpageAddr) -> Result<WrittenSubpage, ReadFault> {
+        assert!(self.geometry.contains(addr), "address outside geometry");
+        let block = self.block(addr.page.block);
+        block.pages[addr.page.page as usize]
+            .read_subpage(addr.slot)
+            .copied()
+    }
+
+    /// Introspects the raw state of a subpage (no ECC judgment, no
+    /// statistics). Intended for tests and characterization harnesses.
+    #[must_use]
+    pub fn subpage_state(&self, addr: SubpageAddr) -> &SubpageState {
+        assert!(self.geometry.contains(addr), "address outside geometry");
+        self.block(addr.page.block).pages[addr.page.page as usize].subpage(addr.slot)
+    }
+
+    /// Erases a block, resetting all of its pages and incrementing its P/E
+    /// cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::AddressOutOfRange`] for addresses outside the
+    /// geometry.
+    pub fn erase(&mut self, addr: BlockAddr, _now: SimTime) -> Result<(), NandError> {
+        let block = self.block_mut(addr)?;
+        for page in &mut block.pages {
+            page.erase();
+        }
+        block.pe_cycles += 1;
+        self.stats.erases += 1;
+        Ok(())
+    }
+
+    /// Pre-ages every block to `pe_cycles` without touching page contents.
+    ///
+    /// The paper performs 1K P/E cycles before its retention measurements;
+    /// characterization harnesses use this to reproduce that precondition
+    /// without simulating a thousand full device overwrites.
+    pub fn precycle(&mut self, pe_cycles: u32) {
+        for b in &mut self.blocks {
+            b.pe_cycles = b.pe_cycles.max(pe_cycles);
+        }
+    }
+
+    /// Forces the next and all subsequent reads of `addr` to fail with
+    /// [`ReadFault::Injected`] until [`NandDevice::clear_fault`] is called.
+    pub fn inject_read_fault(&mut self, addr: SubpageAddr) {
+        self.forced_faults.insert(addr);
+    }
+
+    /// Removes an injected fault.
+    pub fn clear_fault(&mut self, addr: SubpageAddr) {
+        self.forced_faults.remove(&addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oob(lsn: u64) -> Oob {
+        Oob { lsn, seq: lsn }
+    }
+
+    fn dev() -> NandDevice {
+        NandDevice::new(Geometry::tiny())
+    }
+
+    #[test]
+    fn full_program_then_read_round_trips() {
+        let mut d = dev();
+        let blk = d.geometry().block_addr(3);
+        // Pages program in word-line order; fill pages 0-1 to reach page 2.
+        d.program_full(blk.page(0), &[None; 4], SimTime::ZERO).unwrap();
+        d.program_full(blk.page(1), &[None; 4], SimTime::ZERO).unwrap();
+        let page = blk.page(2);
+        let oobs: Vec<_> = (0..4).map(|i| Some(oob(100 + i))).collect();
+        d.program_full(page, &oobs, SimTime::ZERO).unwrap();
+        for slot in 0..4u8 {
+            let got = d.read_subpage(page.subpage(slot), SimTime::ZERO).unwrap();
+            assert_eq!(got.lsn, 100 + u64::from(slot));
+        }
+        assert_eq!(d.stats().full_programs, 3);
+        assert_eq!(d.stats().reads, 4);
+    }
+
+    #[test]
+    fn erase_increments_pe_and_resets_pages() {
+        let mut d = dev();
+        let blk = d.geometry().block_addr(0);
+        let page = blk.page(0);
+        d.program_subpage(page.subpage(0), oob(1), SimTime::ZERO).unwrap();
+        d.erase(blk, SimTime::ZERO).unwrap();
+        assert_eq!(d.pe_cycles(blk), 1);
+        assert_eq!(
+            d.read_subpage(page.subpage(0), SimTime::ZERO),
+            Err(ReadFault::NotWritten)
+        );
+        assert_eq!(d.stats().erases, 1);
+    }
+
+    #[test]
+    fn retention_failure_after_aging() {
+        let mut d = dev();
+        d.precycle(1000);
+        let page = d.geometry().block_addr(0).page(0);
+        // Build an Npp^3 subpage: 3 programs, then program slot 3.
+        for slot in 0..3u8 {
+            d.program_subpage(page.subpage(slot), oob(u64::from(slot)), SimTime::ZERO)
+                .unwrap();
+        }
+        d.program_subpage(page.subpage(3), oob(99), SimTime::ZERO).unwrap();
+        // Readable at 1 month...
+        let one_month = SimTime::ZERO + SimDuration::from_months(1);
+        assert_eq!(d.read_subpage(page.subpage(3), one_month).unwrap().lsn, 99);
+        // ...unreadable at 2 months (Fig 5).
+        let two_months = SimTime::ZERO + SimDuration::from_months(2);
+        assert_eq!(
+            d.read_subpage(page.subpage(3), two_months),
+            Err(ReadFault::RetentionExceeded)
+        );
+        assert_eq!(d.stats().retention_failures, 1);
+    }
+
+    #[test]
+    fn npp0_subpage_survives_a_year() {
+        let mut d = dev();
+        d.precycle(1000);
+        let page = d.geometry().block_addr(0).page(0);
+        d.program_subpage(page.subpage(0), oob(1), SimTime::ZERO).unwrap();
+        let year = SimTime::ZERO + SimDuration::from_months(12);
+        assert!(d.read_subpage(page.subpage(0), year).is_ok());
+    }
+
+    #[test]
+    fn op_costs_reflect_paper_latencies() {
+        let d = dev();
+        let full = d.op_cost(OpKind::ProgramFull);
+        let sub = d.op_cost(OpKind::ProgramSubpage);
+        assert_eq!(full.cell, SimDuration::from_micros(1600));
+        assert_eq!(sub.cell, SimDuration::from_micros(1300));
+        assert!(sub.bus < full.bus, "subpage transfers 1/4 of the bytes");
+        assert_eq!(d.op_cost(OpKind::Erase).bus, SimDuration::ZERO);
+        assert!(full.total() > full.cell);
+    }
+
+    #[test]
+    fn destroyed_counter_tracks_esp_side_effects() {
+        let mut d = dev();
+        let page = d.geometry().block_addr(0).page(0);
+        d.program_subpage(page.subpage(0), oob(1), SimTime::ZERO).unwrap();
+        d.program_subpage(page.subpage(1), oob(2), SimTime::ZERO).unwrap();
+        assert_eq!(d.stats().subpages_destroyed, 1);
+        assert_eq!(d.stats().subpage_programs, 2);
+    }
+
+    #[test]
+    fn out_of_range_addresses_are_rejected() {
+        let mut d = dev();
+        let bad_block = BlockAddr {
+            chip: d.geometry().chip_addr(0),
+            block: d.geometry().blocks_per_chip,
+        };
+        assert_eq!(
+            d.erase(bad_block, SimTime::ZERO),
+            Err(NandError::AddressOutOfRange)
+        );
+        let bad_page = d.geometry().block_addr(0).page(99);
+        assert_eq!(
+            d.program_full(bad_page, &[None; 4], SimTime::ZERO),
+            Err(NandError::AddressOutOfRange)
+        );
+    }
+
+    #[test]
+    fn full_programs_must_follow_page_order() {
+        let mut d = dev();
+        let blk = d.geometry().block_addr(0);
+        // Page 1 before page 0: rejected.
+        assert_eq!(
+            d.program_full(blk.page(1), &[None; 4], SimTime::ZERO),
+            Err(NandError::NonSequentialProgram { page: 1 })
+        );
+        // In order: fine.
+        d.program_full(blk.page(0), &[None; 4], SimTime::ZERO).unwrap();
+        d.program_full(blk.page(1), &[None; 4], SimTime::ZERO).unwrap();
+        // ESP subpage programs are exempt (lap discipline revisits pages).
+        let other = d.geometry().block_addr(1);
+        d.program_subpage(other.page(3).subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        d.program_subpage(other.page(0).subpage(0), oob(2), SimTime::ZERO)
+            .unwrap();
+    }
+
+    #[test]
+    fn fault_injection_forces_and_clears() {
+        let mut d = dev();
+        let sp = d.geometry().block_addr(0).page(0).subpage(0);
+        d.program_subpage(sp, oob(5), SimTime::ZERO).unwrap();
+        d.inject_read_fault(sp);
+        assert_eq!(d.read_subpage(sp, SimTime::ZERO), Err(ReadFault::Injected));
+        d.clear_fault(sp);
+        assert_eq!(d.read_subpage(sp, SimTime::ZERO).unwrap().lsn, 5);
+    }
+
+    #[test]
+    fn precycle_only_raises() {
+        let mut d = dev();
+        let blk = d.geometry().block_addr(0);
+        d.erase(blk, SimTime::ZERO).unwrap();
+        d.erase(blk, SimTime::ZERO).unwrap();
+        d.precycle(1);
+        assert_eq!(d.pe_cycles(blk), 2, "precycle must not lower wear");
+    }
+}

@@ -1,0 +1,128 @@
+//! Error types for NAND device operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// An illegal or failed NAND command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NandError {
+    /// A full-page program was issued to a page that has been programmed
+    /// since its last erase.
+    ProgramOnDirtyPage,
+    /// The page has already been programmed `N_sub` times since its last
+    /// erase; it must be erased before any further program.
+    ProgramLimitExceeded,
+    /// The target subpage slot does not exist on this page.
+    SlotOutOfRange {
+        /// Requested slot.
+        slot: u8,
+        /// Subpages per page.
+        n_sub: u32,
+    },
+    /// A full-page program supplied the wrong number of spare-area entries.
+    SlotCountMismatch {
+        /// Expected entry count (`N_sub`).
+        expected: u32,
+        /// Supplied entry count.
+        got: u32,
+    },
+    /// The address does not exist in the device geometry.
+    AddressOutOfRange,
+    /// Full-page programs must fill a block in page order (WL order); the
+    /// targeted page's predecessor is still erased. (Erase-free subpage
+    /// programs are exempt: the ESP lap discipline legitimately revisits
+    /// earlier pages.)
+    NonSequentialProgram {
+        /// Targeted page.
+        page: u32,
+    },
+}
+
+impl fmt::Display for NandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NandError::ProgramOnDirtyPage => {
+                write!(f, "full-page program issued to a non-erased page")
+            }
+            NandError::ProgramLimitExceeded => {
+                write!(f, "page already programmed N_sub times since last erase")
+            }
+            NandError::SlotOutOfRange { slot, n_sub } => {
+                write!(f, "subpage slot {slot} out of range (N_sub = {n_sub})")
+            }
+            NandError::SlotCountMismatch { expected, got } => {
+                write!(f, "full-page program supplied {got} spare entries, expected {expected}")
+            }
+            NandError::AddressOutOfRange => write!(f, "address outside device geometry"),
+            NandError::NonSequentialProgram { page } => {
+                write!(f, "full-page program to page {page} before its predecessor")
+            }
+        }
+    }
+}
+
+impl Error for NandError {}
+
+/// Why a subpage read returned no usable data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The subpage has not been programmed since the last erase.
+    NotWritten,
+    /// The subpage was programmed as padding (no logical data).
+    Padding,
+    /// The subpage's data was corrupted by a later program operation on the
+    /// same page (the Fig 4(b) "uncorrectable failure").
+    DestroyedByProgram,
+    /// The subpage's retention BER has crossed the ECC limit: the data aged
+    /// out (paper Fig 5, "uncorrectable errors").
+    RetentionExceeded,
+    /// A fault-injection hook forced this read to fail.
+    Injected,
+}
+
+impl fmt::Display for ReadFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadFault::NotWritten => write!(f, "subpage not written"),
+            ReadFault::Padding => write!(f, "subpage holds padding, not data"),
+            ReadFault::DestroyedByProgram => {
+                write!(f, "data destroyed by a later program on the same page")
+            }
+            ReadFault::RetentionExceeded => {
+                write!(f, "retention BER exceeded the ECC limit")
+            }
+            ReadFault::Injected => write!(f, "injected read fault"),
+        }
+    }
+}
+
+impl Error for ReadFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let msgs = [
+            NandError::ProgramOnDirtyPage.to_string(),
+            NandError::ProgramLimitExceeded.to_string(),
+            NandError::SlotOutOfRange { slot: 9, n_sub: 4 }.to_string(),
+            NandError::AddressOutOfRange.to_string(),
+            ReadFault::NotWritten.to_string(),
+            ReadFault::RetentionExceeded.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(NandError::ProgramOnDirtyPage);
+        takes_error(ReadFault::NotWritten);
+    }
+}

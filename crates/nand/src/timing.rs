@@ -1,0 +1,123 @@
+//! NAND operation latencies.
+//!
+//! The paper measured (on real 2x-nm TLC chips) a full-page program of
+//! 1600 µs and a *subpage* program of 1300 µs — subpage programs are faster
+//! because fewer bit lines are precharged during verify-reads and a shorter
+//! word-line span is driven to the high program voltage (§5). The remaining
+//! latencies (read, erase, bus transfer) are not given in the paper; defaults
+//! here are typical values for the same device class and are configurable.
+
+use esp_sim::SimDuration;
+
+/// Latency parameters for one NAND chip and its channel.
+///
+/// # Examples
+///
+/// ```
+/// use esp_nand::NandTiming;
+///
+/// let t = NandTiming::paper_default();
+/// assert!(t.program_subpage < t.program_full);
+/// assert_eq!(t.read_subpage, t.read_full); // paper hardware: no fast subpage read
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NandTiming {
+    /// Cell read time for a full page (tR).
+    pub read_full: SimDuration,
+    /// Cell read time when sensing a single subpage.
+    ///
+    /// The paper's hardware senses the whole page regardless (§7 lists fast
+    /// subpage reads as future work), so the default equals `read_full`;
+    /// [`NandTiming::with_fast_subpage_read`] models the §7 extension where
+    /// precharging only a quarter of the bit lines shortens the sense.
+    pub read_subpage: SimDuration,
+    /// Cell program time for a full page (the paper: 1600 µs).
+    pub program_full: SimDuration,
+    /// Cell program time for a single subpage (the paper: 1300 µs).
+    pub program_subpage: SimDuration,
+    /// Block erase time (tBERS).
+    pub erase: SimDuration,
+    /// Channel (bus) bandwidth in bytes per microsecond; 400 B/µs = 400 MB/s.
+    pub bus_bytes_per_us: u64,
+}
+
+impl NandTiming {
+    /// Latencies used throughout the reproduction: the paper's two measured
+    /// program times plus typical TLC read/erase/bus figures.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        NandTiming {
+            read_full: SimDuration::from_micros(90),
+            read_subpage: SimDuration::from_micros(90),
+            program_full: SimDuration::from_micros(1600),
+            program_subpage: SimDuration::from_micros(1300),
+            erase: SimDuration::from_millis(5),
+            bus_bytes_per_us: 400,
+        }
+    }
+
+    /// The paper's §7 future-work extension: subpage reads sense fewer bit
+    /// lines, shortening the cell read. The scaling mirrors the measured
+    /// program-side saving (1300/1600 ≈ 0.81 of the full-page time).
+    #[must_use]
+    pub fn with_fast_subpage_read(mut self) -> Self {
+        let ns = self.read_full.as_nanos() * 13 / 16;
+        self.read_subpage = SimDuration::from_nanos(ns);
+        self
+    }
+
+    /// Time to move `bytes` across the channel.
+    #[must_use]
+    pub fn transfer(&self, bytes: u64) -> SimDuration {
+        // Round up to the next nanosecond: (bytes * 1000 ns/us) / (B/us).
+        let ns = (bytes * 1_000).div_ceil(self.bus_bytes_per_us.max(1));
+        SimDuration::from_nanos(ns)
+    }
+}
+
+impl Default for NandTiming {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_program_latencies() {
+        let t = NandTiming::paper_default();
+        assert_eq!(t.program_full, SimDuration::from_micros(1600));
+        assert_eq!(t.program_subpage, SimDuration::from_micros(1300));
+        assert_eq!(t.read_subpage, t.read_full);
+    }
+
+    #[test]
+    fn fast_subpage_read_scales_like_program_saving() {
+        let t = NandTiming::paper_default().with_fast_subpage_read();
+        assert!(t.read_subpage < t.read_full);
+        // 90 us * 13/16 = 73.125 us.
+        assert_eq!(t.read_subpage, SimDuration::from_nanos(73_125));
+    }
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let t = NandTiming::paper_default();
+        // 16 KB at 400 MB/s = 40.96 us.
+        let full = t.transfer(16 * 1024);
+        assert_eq!(full, SimDuration::from_nanos(40_960));
+        let sub = t.transfer(4 * 1024);
+        assert_eq!(sub, SimDuration::from_nanos(10_240));
+    }
+
+    #[test]
+    fn transfer_rounds_up() {
+        let t = NandTiming {
+            bus_bytes_per_us: 3,
+            ..NandTiming::paper_default()
+        };
+        // 1 byte at 3 B/us = 333.33 ns, rounded up to 334.
+        assert_eq!(t.transfer(1), SimDuration::from_nanos(334));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for ESP device invariants.
+
+use esp_nand::{Geometry, NandDevice, NandError, Oob, ReadFault, RetentionModel, SubpageState};
+use esp_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn oob(lsn: u64) -> Oob {
+    Oob { lsn, seq: lsn }
+}
+
+/// One random page-level action.
+#[derive(Debug, Clone)]
+enum Action {
+    ProgramSub { slot: u8, lsn: u64 },
+    ProgramFull { lsns: Vec<u64> },
+    Erase,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..4, 0u64..1000).prop_map(|(slot, lsn)| Action::ProgramSub { slot, lsn }),
+        prop::collection::vec(0u64..1000, 4).prop_map(|lsns| Action::ProgramFull { lsns }),
+        Just(Action::Erase),
+    ]
+}
+
+proptest! {
+    /// Under arbitrary op sequences on a single page:
+    /// * the page never accepts more than N_sub programs between erases,
+    /// * at most one subpage ever holds live data after any subpage program,
+    /// * the live subpage (if any) is always the most recently programmed
+    ///   never-before-programmed slot.
+    #[test]
+    fn page_program_invariants(actions in prop::collection::vec(action_strategy(), 1..60)) {
+        let mut dev = NandDevice::new(Geometry::tiny());
+        let page = dev.geometry().block_addr(0).page(0);
+        let blk = page.block;
+        // Shadow model of the page.
+        let mut programs_since_erase = 0u32;
+        let mut slot_programmed = [false; 4];
+        let mut expected_live: Option<(u8, u64)> = None;
+        let mut full_written: Option<Vec<u64>> = None;
+
+        for a in actions {
+            match a {
+                Action::ProgramSub { slot, lsn } => {
+                    let r = dev.program_subpage(page.subpage(slot), oob(lsn), SimTime::ZERO);
+                    if programs_since_erase >= 4 {
+                        prop_assert_eq!(r, Err(NandError::ProgramLimitExceeded));
+                    } else {
+                        prop_assert!(r.is_ok());
+                        // A program on an already-programmed slot leaves
+                        // garbage; on a fresh slot it becomes the only live
+                        // subpage. Either way all other data died.
+                        expected_live = if slot_programmed[slot as usize] {
+                            None
+                        } else {
+                            Some((slot, lsn))
+                        };
+                        slot_programmed[slot as usize] = true;
+                        full_written = None;
+                        programs_since_erase += 1;
+                    }
+                }
+                Action::ProgramFull { lsns } => {
+                    let oobs: Vec<_> = lsns.iter().map(|&l| Some(oob(l))).collect();
+                    let r = dev.program_full(page, &oobs, SimTime::ZERO);
+                    if programs_since_erase > 0 {
+                        prop_assert_eq!(r, Err(NandError::ProgramOnDirtyPage));
+                    } else {
+                        prop_assert!(r.is_ok());
+                        full_written = Some(lsns);
+                        expected_live = None;
+                        slot_programmed = [true; 4];
+                        programs_since_erase = 1;
+                    }
+                }
+                Action::Erase => {
+                    dev.erase(blk, SimTime::ZERO).unwrap();
+                    programs_since_erase = 0;
+                    slot_programmed = [false; 4];
+                    expected_live = None;
+                    full_written = None;
+                }
+            }
+
+            // Validate observable state.
+            if let Some(lsns) = &full_written {
+                for (slot, &lsn) in lsns.iter().enumerate() {
+                    let got = dev.read_subpage(page.subpage(slot as u8), SimTime::ZERO);
+                    prop_assert_eq!(got.map(|o| o.lsn), Ok(lsn));
+                }
+            } else {
+                let mut live = 0;
+                for slot in 0..4u8 {
+                    if dev.read_subpage(page.subpage(slot), SimTime::ZERO).is_ok() {
+                        live += 1;
+                        if let Some((ls, ll)) = expected_live {
+                            prop_assert_eq!(slot, ls);
+                            let got = dev.read_subpage(page.subpage(slot), SimTime::ZERO).unwrap();
+                            prop_assert_eq!(got.lsn, ll);
+                        }
+                    }
+                }
+                prop_assert!(live <= 1, "subpage programs left {live} live subpages");
+            }
+        }
+    }
+
+    /// Npp of a written subpage always equals the number of programs the
+    /// page saw before it, and retention capability is monotone in Npp.
+    #[test]
+    fn npp_matches_program_order(order in Just([0u8,1,2,3]).prop_shuffle()) {
+        let mut dev = NandDevice::new(Geometry::tiny());
+        dev.precycle(1000);
+        let page = dev.geometry().block_addr(1).page(1);
+        for (k, &slot) in order.iter().enumerate() {
+            dev.program_subpage(page.subpage(slot), oob(k as u64), SimTime::ZERO).unwrap();
+            match dev.subpage_state(page.subpage(slot)) {
+                SubpageState::Written(w) => prop_assert_eq!(w.npp, k as u8),
+                other => prop_assert!(false, "unexpected state {:?}", other),
+            }
+        }
+    }
+
+    /// The retention model is monotone: more wear, more prior programs, or
+    /// more elapsed time never decreases BER.
+    #[test]
+    fn retention_ber_monotone(
+        pe in 0u32..3000,
+        npp in 0u32..3,
+        days in 0u64..120,
+    ) {
+        let m = RetentionModel::paper_default();
+        let t = SimDuration::from_days(days);
+        let t2 = SimDuration::from_days(days + 1);
+        prop_assert!(m.normalized_ber(pe, npp, t) <= m.normalized_ber(pe + 100, npp, t));
+        prop_assert!(m.normalized_ber(pe, npp, t) <= m.normalized_ber(pe, npp + 1, t));
+        prop_assert!(m.normalized_ber(pe, npp, t) <= m.normalized_ber(pe, npp, t2));
+    }
+
+    /// Reads inside the reported retention capability always succeed; reads
+    /// past it always fail.
+    #[test]
+    fn capability_is_exact_boundary(npp_programs in 0u8..4, frac in 0.05f64..0.95) {
+        let mut dev = NandDevice::new(Geometry::tiny());
+        dev.precycle(1000);
+        let page = dev.geometry().block_addr(2).page(0);
+        // Burn npp_programs programs on other slots first.
+        for k in 0..npp_programs {
+            dev.program_subpage(page.subpage(k), oob(u64::from(k)), SimTime::ZERO).unwrap();
+        }
+        let target = npp_programs; // next free slot
+        dev.program_subpage(page.subpage(target), oob(77), SimTime::ZERO).unwrap();
+        let cap = dev
+            .retention_model()
+            .retention_capability(1000, u32::from(npp_programs));
+        let inside = SimTime::ZERO + SimDuration::from_nanos((cap.as_nanos() as f64 * frac) as u64);
+        prop_assert!(dev.read_subpage(page.subpage(target), inside).is_ok());
+        let outside = SimTime::ZERO + SimDuration::from_nanos((cap.as_nanos() as f64 * (1.0 + frac)) as u64 + 1);
+        prop_assert_eq!(
+            dev.read_subpage(page.subpage(target), outside),
+            Err(ReadFault::RetentionExceeded)
+        );
+    }
+
+    /// Erase always restores full programmability regardless of history.
+    #[test]
+    fn erase_restores_page(slots in prop::collection::vec(0u8..4, 0..4)) {
+        let mut dev = NandDevice::new(Geometry::tiny());
+        let blk = dev.geometry().block_addr(0);
+        let page = blk.page(3);
+        for (i, &s) in slots.iter().enumerate() {
+            let _ = dev.program_subpage(page.subpage(s), oob(i as u64), SimTime::ZERO);
+        }
+        let pe_before = dev.pe_cycles(blk);
+        dev.erase(blk, SimTime::ZERO).unwrap();
+        prop_assert_eq!(dev.pe_cycles(blk), pe_before + 1);
+        // Full programs resume in word-line order from page 0.
+        let oobs: Vec<_> = (0..4).map(|i| Some(oob(i))).collect();
+        for p in 0..=3 {
+            prop_assert!(dev.program_full(blk.page(p), &oobs, SimTime::ZERO).is_ok());
+        }
+        let _ = page;
+    }
+}

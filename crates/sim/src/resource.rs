@@ -1,0 +1,134 @@
+//! Resource timelines: first-come-first-served occupancy scheduling.
+//!
+//! The SSD timing model treats each contended hardware unit — a flash channel,
+//! a NAND chip — as a [`Resource`] that can execute one operation at a time.
+//! Scheduling an operation asks the resource for the earliest start at or
+//! after a requested time, occupies it for the operation's duration, and
+//! returns the completion instant. The sum of all occupied spans is tracked so
+//! utilization can be reported.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A serially-occupied hardware unit (a channel, a chip, ...).
+///
+/// # Examples
+///
+/// ```
+/// use esp_sim::{Resource, SimDuration, SimTime};
+///
+/// let mut chip = Resource::new();
+/// // A program op requested at t=0 that takes 1600 us:
+/// let done = chip.occupy(SimTime::ZERO, SimDuration::from_micros(1600));
+/// assert_eq!(done, SimTime::from_micros(1600));
+/// // A second op requested "in the past" queues behind the first:
+/// let done2 = chip.occupy(SimTime::from_micros(100), SimDuration::from_micros(1600));
+/// assert_eq!(done2, SimTime::from_micros(3200));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Resource {
+    next_free: SimTime,
+    busy: SimDuration,
+    ops: u64,
+}
+
+impl Resource {
+    /// Creates an idle resource, free from [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Earliest instant at which the resource is free.
+    #[must_use]
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total time the resource has spent occupied.
+    #[must_use]
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of operations scheduled on this resource.
+    #[must_use]
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+
+    /// When would an operation requested at `earliest` start?
+    ///
+    /// Does not occupy the resource; use [`Resource::occupy`] to commit.
+    #[must_use]
+    pub fn start_at(&self, earliest: SimTime) -> SimTime {
+        self.next_free.max(earliest)
+    }
+
+    /// Occupies the resource for `duration`, starting no earlier than
+    /// `earliest` and no earlier than the end of all previously scheduled
+    /// work. Returns the completion instant.
+    pub fn occupy(&mut self, earliest: SimTime, duration: SimDuration) -> SimTime {
+        let start = self.start_at(earliest);
+        let end = start + duration;
+        self.next_free = end;
+        self.busy += duration;
+        self.ops += 1;
+        end
+    }
+
+    /// Fraction of `[SimTime::ZERO, horizon]` the resource spent busy.
+    ///
+    /// Returns 0.0 for a zero horizon.
+    #[must_use]
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / horizon.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_queue_back_to_back() {
+        let mut r = Resource::new();
+        let d = SimDuration::from_micros(10);
+        assert_eq!(r.occupy(SimTime::ZERO, d), SimTime::from_micros(10));
+        assert_eq!(r.occupy(SimTime::ZERO, d), SimTime::from_micros(20));
+        assert_eq!(r.op_count(), 2);
+        assert_eq!(r.busy_time(), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn late_request_starts_at_request_time() {
+        let mut r = Resource::new();
+        let d = SimDuration::from_micros(10);
+        r.occupy(SimTime::ZERO, d);
+        // Requested long after the resource went idle: starts on request.
+        let end = r.occupy(SimTime::from_micros(100), d);
+        assert_eq!(end, SimTime::from_micros(110));
+        // There is now an idle gap, so busy < horizon.
+        assert!(r.busy_time() < end - SimTime::ZERO);
+    }
+
+    #[test]
+    fn start_at_previews_without_committing() {
+        let mut r = Resource::new();
+        r.occupy(SimTime::ZERO, SimDuration::from_micros(10));
+        let preview = r.start_at(SimTime::from_micros(3));
+        assert_eq!(preview, SimTime::from_micros(10));
+        assert_eq!(r.op_count(), 1);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_horizon() {
+        let mut r = Resource::new();
+        r.occupy(SimTime::ZERO, SimDuration::from_micros(25));
+        let u = r.utilization(SimTime::from_micros(100));
+        assert!((u - 0.25).abs() < 1e-12);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+}

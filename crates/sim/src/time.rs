@@ -1,0 +1,320 @@
+//! Simulated time.
+//!
+//! All simulation components share a single notion of time: nanoseconds since
+//! the start of the simulation, stored in a `u64`. A `u64` of nanoseconds can
+//! represent more than 580 years, far beyond any retention experiment.
+//!
+//! Two newtypes keep instants and spans apart at the type level:
+//!
+//! * [`SimTime`] — an instant ("at 12 µs into the simulation").
+//! * [`SimDuration`] — a span ("the program operation takes 1600 µs").
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, measured in nanoseconds from the start of
+/// the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use esp_sim::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_micros(1600);
+/// assert_eq!(t.as_nanos(), 1_600_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use esp_sim::SimDuration;
+///
+/// let full_page_program = SimDuration::from_micros(1600);
+/// let subpage_program = SimDuration::from_micros(1300);
+/// assert!(subpage_program < full_page_program);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since the simulation start.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) microseconds.
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// Returns [`SimDuration::ZERO`] if `earlier` is later than `self`
+    /// (saturating, like [`std::time::Instant::saturating_duration_since`]).
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a span from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a span from whole days (86 400 s each).
+    #[must_use]
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * 86_400 * 1_000_000_000)
+    }
+
+    /// Creates a span from 30-day "retention months", the unit used by the
+    /// paper's retention model.
+    #[must_use]
+    pub const fn from_months(m: u64) -> Self {
+        SimDuration(m * 30 * 86_400 * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span in (fractional) microseconds.
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This span in (fractional) seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// This span in (fractional) 30-day months, the retention-model unit.
+    #[must_use]
+    pub fn as_months_f64(self) -> f64 {
+        self.0 as f64 / (30.0 * 86_400.0 * 1e9)
+    }
+
+    /// True if the span is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The larger of two spans.
+    #[must_use]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::from_micros(5);
+        let d = SimDuration::from_micros(3);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d).as_nanos(), 8_000);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = SimTime::from_nanos(10);
+        let late = SimTime::from_nanos(30);
+        assert_eq!(late.saturating_since(early).as_nanos(), 20);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn month_unit_is_thirty_days() {
+        assert_eq!(
+            SimDuration::from_months(1).as_nanos(),
+            SimDuration::from_days(30).as_nanos()
+        );
+        let half = SimDuration::from_days(15);
+        assert!((half.as_months_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_sum_and_scale() {
+        let parts = [SimDuration::from_micros(1), SimDuration::from_micros(2)];
+        let total: SimDuration = parts.iter().copied().sum();
+        assert_eq!(total, SimDuration::from_micros(3));
+        assert_eq!(total * 2, SimDuration::from_micros(6));
+    }
+
+    #[test]
+    fn display_picks_reasonable_units() {
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_micros(1300).to_string(), "1.300ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn time_max_and_ordering() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert_eq!(a.max(b), b);
+        assert!(a < b);
+    }
+}

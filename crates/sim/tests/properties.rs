@@ -1,0 +1,113 @@
+//! Property-based tests for the simulation substrate.
+
+use esp_sim::{Log2Histogram, Resource, Rng, RunningStats, SimDuration, SimTime, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    /// A resource never starts an op before it was requested, never overlaps
+    /// ops, and its busy time equals the sum of scheduled durations.
+    #[test]
+    fn resource_schedule_is_serial_and_monotone(
+        ops in prop::collection::vec((0u64..10_000, 1u64..5_000), 1..100)
+    ) {
+        let mut r = Resource::new();
+        let mut prev_end = SimTime::ZERO;
+        let mut total = SimDuration::ZERO;
+        for &(earliest, dur) in &ops {
+            let earliest = SimTime::from_nanos(earliest);
+            let dur = SimDuration::from_nanos(dur);
+            let end = r.occupy(earliest, dur);
+            // Start = end - dur must be >= both the request time and the
+            // previous completion.
+            let start = SimTime::from_nanos(end.as_nanos() - dur.as_nanos());
+            prop_assert!(start >= earliest);
+            prop_assert!(start >= prev_end);
+            prev_end = end;
+            total += dur;
+        }
+        prop_assert_eq!(r.busy_time(), total);
+        prop_assert_eq!(r.op_count(), ops.len() as u64);
+        prop_assert_eq!(r.next_free(), prev_end);
+    }
+
+    /// Makespan (latest completion) is at least the busy time of any single
+    /// resource and at most the sum of all durations (serial execution).
+    #[test]
+    fn multi_resource_makespan_bounds(
+        ops in prop::collection::vec((0usize..4, 1u64..1_000), 1..200)
+    ) {
+        let mut resources = vec![Resource::new(); 4];
+        let mut makespan = SimTime::ZERO;
+        let mut serial = SimDuration::ZERO;
+        for &(which, dur) in &ops {
+            let dur = SimDuration::from_nanos(dur);
+            let end = resources[which].occupy(SimTime::ZERO, dur);
+            makespan = makespan.max(end);
+            serial += dur;
+        }
+        for r in &resources {
+            prop_assert!(makespan.saturating_since(SimTime::ZERO) >= r.busy_time());
+        }
+        prop_assert!(makespan.saturating_since(SimTime::ZERO) <= serial.max(SimDuration::ZERO));
+    }
+
+    /// next_below is always within bounds for arbitrary seeds and bounds.
+    #[test]
+    fn rng_bounds_hold(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Zipf samples are always valid ranks.
+    #[test]
+    fn zipf_in_range(seed in any::<u64>(), n in 1u64..100_000, theta in 0.0f64..0.999) {
+        let zipf = Zipf::new(n, theta);
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+    }
+
+    /// RunningStats mean/min/max always bracket the data.
+    #[test]
+    fn stats_bracket_samples(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), lo);
+        prop_assert_eq!(s.max(), hi);
+        prop_assert!(s.mean() >= lo - 1e-9 && s.mean() <= hi + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    /// Histogram percentile is monotone in q and within 2x of true values.
+    #[test]
+    fn histogram_percentile_monotone(xs in prop::collection::vec(1u64..1_000_000, 1..200)) {
+        let mut h = Log2Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut prev = 0;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let p = h.percentile(q);
+            prop_assert!(p >= prev);
+            prev = p;
+        }
+        let max = *xs.iter().max().unwrap();
+        prop_assert!(h.percentile(1.0) <= max.next_power_of_two());
+    }
+
+    /// Time arithmetic: (t + d) - t == d for all representable pairs.
+    #[test]
+    fn time_add_sub_inverse(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(t);
+        let d = SimDuration::from_nanos(d);
+        prop_assert_eq!((t + d) - t, d);
+    }
+}

@@ -1,0 +1,496 @@
+//! # esp-ssd — multi-channel SSD timing model
+//!
+//! Wraps an [`esp_nand::NandDevice`] with the contention model of the
+//! paper's evaluation platform (§5): 8 channels, each with 4 TLC NAND chips.
+//! Every flash operation occupies
+//!
+//! * its **channel** for the data-transfer phase (page or subpage bytes at
+//!   bus bandwidth), and
+//! * its **chip** for the cell-operation phase (read 90 µs, full-page
+//!   program 1600 µs, subpage program 1300 µs, erase 5 ms by default),
+//!
+//! using first-come-first-served [`esp_sim::Resource`] timelines. Operations
+//! on different chips pipeline; operations on one chip serialize — exactly
+//! the first-order behaviour that makes GC and RMW traffic depress IOPS in
+//! the paper's measurements.
+//!
+//! The FTLs in `esp-core` issue operations with explicit issue times and
+//! receive completion times, so request-level dependencies (e.g. the read
+//! half of a read-modify-write must finish before the program half starts)
+//! are expressed by threading completion times through.
+//!
+//! # Examples
+//!
+//! ```
+//! use esp_nand::{Geometry, Oob};
+//! use esp_sim::SimTime;
+//! use esp_ssd::Ssd;
+//!
+//! let mut ssd = Ssd::new(Geometry::tiny());
+//! let page = ssd.geometry().block_addr(0).page(0);
+//! let done = ssd.program_subpage(page.subpage(0), Oob { lsn: 1, seq: 1 }, SimTime::ZERO)?;
+//! // subpage program: 4 KB transfer + 1300 us cell time
+//! assert!(done > SimTime::from_micros(1300));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use esp_nand::{
+    BlockAddr, Geometry, NandDevice, NandError, NandTiming, Oob, OpKind, PageAddr, ReadFault,
+    RetentionModel, SubpageAddr,
+};
+use esp_sim::{Log2Histogram, Resource, SimTime};
+
+/// Aggregate timing statistics for the SSD.
+#[derive(Debug, Clone, Default)]
+pub struct SsdStats {
+    /// Latest completion time of any operation (the simulation makespan).
+    pub makespan: SimTime,
+    /// Latency distribution of individual flash operations (ns).
+    pub op_latency: Log2Histogram,
+}
+
+/// A timing-aware SSD: an [`NandDevice`] plus per-channel and per-chip
+/// occupancy timelines.
+#[derive(Debug, Clone)]
+pub struct Ssd {
+    device: NandDevice,
+    channels: Vec<Resource>,
+    /// One cell-operation timeline per plane (chips × planes_per_chip);
+    /// a block's plane is `block % planes_per_chip`.
+    planes: Vec<Resource>,
+    planes_per_chip: u32,
+    stats: SsdStats,
+}
+
+impl Ssd {
+    /// Creates an SSD with default timing and retention models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`Geometry::validate`]).
+    #[must_use]
+    pub fn new(geometry: Geometry) -> Self {
+        Self::with_device(NandDevice::new(geometry))
+    }
+
+    /// Creates an SSD with explicit timing and retention models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    #[must_use]
+    pub fn with_models(geometry: Geometry, timing: NandTiming, retention: RetentionModel) -> Self {
+        Self::with_device(NandDevice::with_models(geometry, timing, retention))
+    }
+
+    /// Wraps an existing device (useful when the device was pre-conditioned
+    /// or pre-cycled out of band). Single-plane chips; see
+    /// [`Ssd::with_planes`] for multi-plane devices.
+    #[must_use]
+    pub fn with_device(device: NandDevice) -> Self {
+        Self::with_device_planes(device, 1)
+    }
+
+    /// Like [`Ssd::with_device`] but with `planes_per_chip` independent
+    /// planes per chip: cell operations on blocks of different planes of
+    /// the same chip overlap (block `b` belongs to plane
+    /// `b % planes_per_chip`), as on real multi-plane NAND. The channel is
+    /// still shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes_per_chip` is zero.
+    #[must_use]
+    pub fn with_device_planes(device: NandDevice, planes_per_chip: u32) -> Self {
+        assert!(planes_per_chip > 0, "planes_per_chip must be at least 1");
+        let g = device.geometry();
+        let channels = vec![Resource::new(); g.channels as usize];
+        let planes = vec![Resource::new(); (g.chip_count() * planes_per_chip) as usize];
+        Ssd {
+            device,
+            channels,
+            planes,
+            planes_per_chip,
+            stats: SsdStats::default(),
+        }
+    }
+
+    /// Creates a multi-plane SSD with explicit models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid or `planes_per_chip` is zero.
+    #[must_use]
+    pub fn with_planes(
+        geometry: Geometry,
+        timing: NandTiming,
+        retention: RetentionModel,
+        planes_per_chip: u32,
+    ) -> Self {
+        Self::with_device_planes(
+            NandDevice::with_models(geometry, timing, retention),
+            planes_per_chip,
+        )
+    }
+
+    /// Device geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        self.device.geometry()
+    }
+
+    /// The underlying behavioural device (for state introspection).
+    #[must_use]
+    pub fn device(&self) -> &NandDevice {
+        &self.device
+    }
+
+    /// Mutable access to the underlying device (pre-cycling, fault
+    /// injection).
+    pub fn device_mut(&mut self) -> &mut NandDevice {
+        &mut self.device
+    }
+
+    /// Timing statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SsdStats {
+        &self.stats
+    }
+
+    /// Latest completion time across all operations so far.
+    #[must_use]
+    pub fn makespan(&self) -> SimTime {
+        self.stats.makespan
+    }
+
+    /// Utilization of every channel over the current makespan.
+    #[must_use]
+    pub fn channel_utilization(&self) -> Vec<f64> {
+        self.channels
+            .iter()
+            .map(|c| c.utilization(self.stats.makespan))
+            .collect()
+    }
+
+    /// Utilization of every chip over the current makespan (mean across
+    /// the chip's planes).
+    #[must_use]
+    pub fn chip_utilization(&self) -> Vec<f64> {
+        let ppc = self.planes_per_chip as usize;
+        self.planes
+            .chunks(ppc)
+            .map(|planes| {
+                planes
+                    .iter()
+                    .map(|p| p.utilization(self.stats.makespan))
+                    .sum::<f64>()
+                    / ppc as f64
+            })
+            .collect()
+    }
+
+    /// Planes per chip configured for this SSD.
+    #[must_use]
+    pub fn planes_per_chip(&self) -> u32 {
+        self.planes_per_chip
+    }
+
+    fn indices(&self, block: BlockAddr) -> (usize, usize) {
+        let g = self.device.geometry();
+        let chip = g.chip_index(block.chip);
+        let plane = block.block % self.planes_per_chip;
+        (
+            block.chip.channel as usize,
+            (chip * self.planes_per_chip + plane) as usize,
+        )
+    }
+
+    /// Schedules a program-like op: channel transfer first, then cell time.
+    fn schedule_write(&mut self, block: BlockAddr, kind: OpKind, issue: SimTime) -> SimTime {
+        let cost = self.device.op_cost(kind);
+        let (ch, plane) = self.indices(block);
+        let xfer_done = self.channels[ch].occupy(issue, cost.bus);
+        let done = self.planes[plane].occupy(xfer_done, cost.cell);
+        self.finish(issue, done)
+    }
+
+    /// Schedules a read-like op: cell time first, then channel transfer.
+    fn schedule_read(&mut self, block: BlockAddr, kind: OpKind, issue: SimTime) -> SimTime {
+        let cost = self.device.op_cost(kind);
+        let (ch, plane) = self.indices(block);
+        let sensed = self.planes[plane].occupy(issue, cost.cell);
+        let done = self.channels[ch].occupy(sensed, cost.bus);
+        self.finish(issue, done)
+    }
+
+    fn finish(&mut self, issue: SimTime, done: SimTime) -> SimTime {
+        self.stats.makespan = self.stats.makespan.max(done);
+        self.stats
+            .op_latency
+            .record(done.saturating_since(issue).as_nanos());
+        done
+    }
+
+    /// Programs a full page, returning the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NandError`] from the device; failed commands consume no
+    /// simulated time.
+    pub fn program_full(
+        &mut self,
+        page: PageAddr,
+        oobs: &[Option<Oob>],
+        issue: SimTime,
+    ) -> Result<SimTime, NandError> {
+        self.device.program_full(page, oobs, issue)?;
+        Ok(self.schedule_write(page.block, OpKind::ProgramFull, issue))
+    }
+
+    /// Programs a single subpage (ESP), returning the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NandError`] from the device; failed commands consume no
+    /// simulated time.
+    pub fn program_subpage(
+        &mut self,
+        addr: SubpageAddr,
+        oob: Oob,
+        issue: SimTime,
+    ) -> Result<SimTime, NandError> {
+        self.device.program_subpage(addr, oob, issue)?;
+        Ok(self.schedule_write(addr.page.block, OpKind::ProgramSubpage, issue))
+    }
+
+    /// Reads one subpage. The returned completion time is charged whether or
+    /// not the data was correctable (the flash array and bus were occupied
+    /// either way).
+    pub fn read_subpage(
+        &mut self,
+        addr: SubpageAddr,
+        issue: SimTime,
+    ) -> (Result<Oob, ReadFault>, SimTime) {
+        let data = self.device.read_subpage(addr, issue);
+        let done = self.schedule_read(addr.page.block, OpKind::ReadSubpage, issue);
+        (data, done)
+    }
+
+    /// Reads every data-bearing subpage of a full page in one page read
+    /// (one cell sense + one full-page transfer).
+    ///
+    /// Returns per-slot results plus the completion time.
+    pub fn read_full(
+        &mut self,
+        page: PageAddr,
+        issue: SimTime,
+    ) -> (Vec<Result<Oob, ReadFault>>, SimTime) {
+        let n = self.geometry().subpages_per_page;
+        let results: Vec<_> = (0..n)
+            .map(|slot| self.device.read_subpage(page.subpage(slot as u8), issue))
+            .collect();
+        let done = self.schedule_read(page.block, OpKind::ReadFull, issue);
+        (results, done)
+    }
+
+    /// Erases a block, returning the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NandError`] from the device.
+    pub fn erase(&mut self, block: BlockAddr, issue: SimTime) -> Result<SimTime, NandError> {
+        self.device.erase(block, issue)?;
+        let cost = self.device.op_cost(OpKind::Erase);
+        let (_, plane) = self.indices(block);
+        let done = self.planes[plane].occupy(issue, cost.cell);
+        Ok(self.finish(issue, done))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oob(lsn: u64) -> Oob {
+        Oob { lsn, seq: lsn }
+    }
+
+    fn ssd() -> Ssd {
+        Ssd::new(Geometry::tiny())
+    }
+
+    #[test]
+    fn single_program_latency_is_bus_plus_cell() {
+        let mut s = ssd();
+        let page = s.geometry().block_addr(0).page(0);
+        let done = s
+            .program_subpage(page.subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        let cost = s.device().op_cost(OpKind::ProgramSubpage);
+        assert_eq!(done.saturating_since(SimTime::ZERO), cost.total());
+    }
+
+    #[test]
+    fn same_chip_ops_serialize() {
+        let mut s = ssd();
+        let blk = s.geometry().block_addr(0);
+        let d1 = s
+            .program_full(blk.page(0), &[None; 4], SimTime::ZERO)
+            .unwrap();
+        let d2 = s
+            .program_full(blk.page(1), &[None; 4], SimTime::ZERO)
+            .unwrap();
+        let cell = s.device().op_cost(OpKind::ProgramFull).cell;
+        assert_eq!(d2.saturating_since(d1), cell);
+    }
+
+    #[test]
+    fn different_channel_ops_pipeline() {
+        let mut s = ssd();
+        let g = s.geometry().clone();
+        // tiny(): 2 channels x 1 chip, blocks 0..8 on chip 0, 8..16 on chip 1.
+        let b0 = g.block_addr(0);
+        let b1 = g.block_addr(g.blocks_per_chip); // second chip, other channel
+        assert_ne!(b0.chip.channel, b1.chip.channel);
+        let d0 = s.program_full(b0.page(0), &[None; 4], SimTime::ZERO).unwrap();
+        let d1 = s.program_full(b1.page(0), &[None; 4], SimTime::ZERO).unwrap();
+        // Fully parallel: identical completion times.
+        assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn same_channel_transfers_contend() {
+        let g = Geometry {
+            chips_per_channel: 2,
+            ..Geometry::tiny()
+        };
+        let mut s = Ssd::new(g.clone());
+        // Two chips on channel 0: cell phases overlap, transfers serialize.
+        let b0 = g.block_addr(0);
+        let b1 = g.block_addr(g.blocks_per_chip);
+        assert_eq!(b0.chip.channel, b1.chip.channel);
+        assert_ne!(b0.chip, b1.chip);
+        let d0 = s.program_full(b0.page(0), &[None; 4], SimTime::ZERO).unwrap();
+        let d1 = s.program_full(b1.page(0), &[None; 4], SimTime::ZERO).unwrap();
+        let bus = s.device().op_cost(OpKind::ProgramFull).bus;
+        assert_eq!(d1.saturating_since(d0), bus);
+    }
+
+    #[test]
+    fn read_is_sense_then_transfer() {
+        let mut s = ssd();
+        let page = s.geometry().block_addr(0).page(0);
+        s.program_subpage(page.subpage(0), oob(9), SimTime::ZERO).unwrap();
+        let issue = SimTime::from_secs(1);
+        let (data, done) = s.read_subpage(page.subpage(0), issue);
+        assert_eq!(data.unwrap().lsn, 9);
+        let cost = s.device().op_cost(OpKind::ReadSubpage);
+        assert_eq!(done.saturating_since(issue), cost.total());
+    }
+
+    #[test]
+    fn read_full_returns_all_slots() {
+        let mut s = ssd();
+        let page = s.geometry().block_addr(1).page(0);
+        let oobs = vec![Some(oob(1)), Some(oob(2)), None, None];
+        s.program_full(page, &oobs, SimTime::ZERO).unwrap();
+        let (results, _) = s.read_full(page, SimTime::from_secs(1));
+        assert_eq!(results[0], Ok(oob(1)));
+        assert_eq!(results[1], Ok(oob(2)));
+        assert_eq!(results[2], Err(ReadFault::Padding));
+        assert_eq!(results[3], Err(ReadFault::Padding));
+    }
+
+    #[test]
+    fn erase_occupies_chip_only() {
+        let mut s = ssd();
+        let blk = s.geometry().block_addr(0);
+        let done = s.erase(blk, SimTime::ZERO).unwrap();
+        assert_eq!(
+            done.saturating_since(SimTime::ZERO),
+            s.device().op_cost(OpKind::Erase).cell
+        );
+        // Channel untouched: a transfer on the same channel starts at 0.
+        assert_eq!(s.channel_utilization()[0], 0.0);
+    }
+
+    #[test]
+    fn failed_commands_cost_no_time() {
+        let mut s = ssd();
+        let page = s.geometry().block_addr(0).page(0);
+        s.program_full(page, &[None; 4], SimTime::ZERO).unwrap();
+        let before = s.makespan();
+        // Second full program on the same page is illegal.
+        assert!(s.program_full(page, &[None; 4], SimTime::ZERO).is_err());
+        assert_eq!(s.makespan(), before);
+    }
+
+    #[test]
+    fn makespan_and_histogram_track_ops() {
+        let mut s = ssd();
+        let page = s.geometry().block_addr(0).page(0);
+        s.program_subpage(page.subpage(0), oob(1), SimTime::ZERO).unwrap();
+        s.program_subpage(page.subpage(1), oob(2), SimTime::ZERO).unwrap();
+        assert_eq!(s.stats().op_latency.count(), 2);
+        assert!(s.makespan() > SimTime::from_micros(2600));
+    }
+
+    #[test]
+    fn planes_overlap_cell_ops_on_one_chip() {
+        let g = Geometry::tiny(); // 8 blocks/chip: blocks 0,1 on planes 0,1
+        let single = {
+            let mut s = Ssd::new(g.clone());
+            s.program_full(g.block_addr(0).page(0), &[None; 4], SimTime::ZERO)
+                .unwrap();
+            s.program_full(g.block_addr(1).page(0), &[None; 4], SimTime::ZERO)
+                .unwrap()
+        };
+        let dual = {
+            let mut s = Ssd::with_planes(
+                g.clone(),
+                esp_nand::NandTiming::paper_default(),
+                esp_nand::RetentionModel::paper_default(),
+                2,
+            );
+            assert_eq!(s.planes_per_chip(), 2);
+            s.program_full(g.block_addr(0).page(0), &[None; 4], SimTime::ZERO)
+                .unwrap();
+            s.program_full(g.block_addr(1).page(0), &[None; 4], SimTime::ZERO)
+                .unwrap()
+        };
+        assert!(
+            dual < single,
+            "different-plane programs must overlap: dual {dual} vs single {single}"
+        );
+    }
+
+    #[test]
+    fn same_plane_blocks_still_serialize() {
+        let g = Geometry::tiny();
+        let mut s = Ssd::with_planes(
+            g.clone(),
+            esp_nand::NandTiming::paper_default(),
+            esp_nand::RetentionModel::paper_default(),
+            2,
+        );
+        // Blocks 0 and 2 share plane 0.
+        let d0 = s
+            .program_full(g.block_addr(0).page(0), &[None; 4], SimTime::ZERO)
+            .unwrap();
+        let d2 = s
+            .program_full(g.block_addr(2).page(0), &[None; 4], SimTime::ZERO)
+            .unwrap();
+        let cell = s.device().op_cost(OpKind::ProgramFull).cell;
+        assert_eq!(d2.saturating_since(d0), cell);
+    }
+
+    #[test]
+    fn utilization_vectors_have_device_shape() {
+        let s = ssd();
+        assert_eq!(s.channel_utilization().len(), 2);
+        assert_eq!(s.chip_utilization().len(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the SSD timing model.
+
+use esp_nand::{Geometry, Oob, OpKind};
+use esp_sim::{SimDuration, SimTime};
+use esp_ssd::Ssd;
+use proptest::prelude::*;
+
+fn oob(lsn: u64) -> Oob {
+    Oob { lsn, seq: lsn }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TimedOp {
+    ProgramSub { block: u32, page: u32, slot: u8 },
+    Read { block: u32, page: u32, slot: u8 },
+    Erase { block: u32 },
+}
+
+fn op_strategy(blocks: u32, pages: u32) -> impl Strategy<Value = TimedOp> {
+    prop_oneof![
+        3 => (0..blocks, 0..pages, 0u8..4).prop_map(|(block, page, slot)| TimedOp::ProgramSub {
+            block,
+            page,
+            slot
+        }),
+        2 => (0..blocks, 0..pages, 0u8..4)
+            .prop_map(|(block, page, slot)| TimedOp::Read { block, page, slot }),
+        1 => (0..blocks).prop_map(|block| TimedOp::Erase { block }),
+    ]
+}
+
+proptest! {
+    /// Makespan is monotone, bounded below by the busiest chip and bounded
+    /// above by fully serial execution.
+    #[test]
+    fn makespan_bounds(ops in prop::collection::vec(op_strategy(16, 4), 1..80)) {
+        let g = Geometry::tiny();
+        let mut ssd = Ssd::new(g.clone());
+        let mut serial = SimDuration::ZERO;
+        let mut prev_makespan = SimTime::ZERO;
+        let mut lsn = 0u64;
+        for op in ops {
+            match op {
+                TimedOp::ProgramSub { block, page, slot } => {
+                    let addr = g.block_addr(block).page(page).subpage(slot);
+                    lsn += 1;
+                    if ssd.program_subpage(addr, oob(lsn), SimTime::ZERO).is_ok() {
+                        serial += ssd.device().op_cost(OpKind::ProgramSubpage).total();
+                    }
+                }
+                TimedOp::Read { block, page, slot } => {
+                    let addr = g.block_addr(block).page(page).subpage(slot);
+                    let _ = ssd.read_subpage(addr, SimTime::ZERO);
+                    serial += ssd.device().op_cost(OpKind::ReadSubpage).total();
+                }
+                TimedOp::Erase { block } => {
+                    if ssd.erase(g.block_addr(block), SimTime::ZERO).is_ok() {
+                        serial += ssd.device().op_cost(OpKind::Erase).total();
+                    }
+                }
+            }
+            prop_assert!(ssd.makespan() >= prev_makespan, "makespan regressed");
+            prev_makespan = ssd.makespan();
+        }
+        // Upper bound: fully serial execution.
+        prop_assert!(ssd.makespan() - SimTime::ZERO <= serial);
+        // Lower bound: the busiest chip's occupancy.
+        let horizon = ssd.makespan();
+        for (i, u) in ssd.chip_utilization().iter().enumerate() {
+            prop_assert!(*u <= 1.0 + 1e-9, "chip {i} over 100% utilized");
+        }
+        let _ = horizon;
+    }
+
+    /// Operations on distinct chips at the same issue time complete in
+    /// parallel: the makespan equals the slowest single op, not the sum.
+    #[test]
+    fn distinct_chips_run_parallel(n in 1usize..2) {
+        let g = Geometry {
+            channels: 4,
+            chips_per_channel: 1,
+            blocks_per_chip: 2,
+            pages_per_block: 4,
+            subpages_per_page: 4,
+            subpage_bytes: 4096,
+        };
+        let mut ssd = Ssd::new(g.clone());
+        let _ = n;
+        for chip in 0..4u32 {
+            let gbi = chip * g.blocks_per_chip;
+            let addr = g.block_addr(gbi).page(0).subpage(0);
+            ssd.program_subpage(addr, oob(u64::from(chip)), SimTime::ZERO).unwrap();
+        }
+        let single = ssd.device().op_cost(OpKind::ProgramSubpage).total();
+        prop_assert_eq!(ssd.makespan() - SimTime::ZERO, single);
+    }
+
+    /// The op-latency histogram records exactly one entry per successful
+    /// operation.
+    #[test]
+    fn histogram_counts_ops(programs in 1u32..10) {
+        let g = Geometry::tiny();
+        let mut ssd = Ssd::new(g.clone());
+        for i in 0..programs {
+            let addr = g.block_addr(i % 8).page(0).subpage(0);
+            let _ = ssd.program_subpage(addr, oob(u64::from(i)), SimTime::ZERO);
+        }
+        // Every attempt either succeeded (counted) or failed without time.
+        prop_assert!(ssd.stats().op_latency.count() <= u64::from(programs));
+        prop_assert!(ssd.stats().op_latency.count() >= 1);
+    }
+}
+
+#[test]
+fn fast_subpage_read_shortens_read_latency() {
+    let g = Geometry::tiny();
+    let timing = esp_nand::NandTiming::paper_default().with_fast_subpage_read();
+    let mut fast = Ssd::with_models(g.clone(), timing, esp_nand::RetentionModel::paper_default());
+    let mut slow = Ssd::new(g.clone());
+    for ssd in [&mut fast, &mut slow] {
+        let addr = g.block_addr(0).page(0).subpage(0);
+        ssd.program_subpage(addr, oob(1), SimTime::ZERO).unwrap();
+    }
+    let t0 = SimTime::from_secs(1);
+    let (_, fast_done) = fast.read_subpage(g.block_addr(0).page(0).subpage(0), t0);
+    let (_, slow_done) = slow.read_subpage(g.block_addr(0).page(0).subpage(0), t0);
+    assert!(fast_done < slow_done, "fast subpage sense must be faster");
+}

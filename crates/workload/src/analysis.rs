@@ -1,0 +1,228 @@
+//! Trace characterization beyond `r_small`/`r_synch`.
+//!
+//! The paper's analysis (§2, §4.1) leans on three workload properties:
+//! the small/sync ratios, the *update frequency* of small writes ("small
+//! writes are likely to have higher update frequencies than large writes"),
+//! and spatial concentration (hot/cold separation). [`analyze`] measures
+//! all of them from a trace, so imported real traces can be compared
+//! against the synthetic profiles they substitute for.
+
+use std::collections::HashMap;
+
+use crate::request::{IoOp, Trace, TraceStats};
+
+/// Distribution summary of a trace's write behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// The basic ratios (`r_small`, `r_synch`, volumes).
+    pub stats: TraceStats,
+    /// Distinct sectors written at least once.
+    pub unique_write_sectors: u64,
+    /// Distinct sectors touched by *small* writes (the live set subFTL's
+    /// subpage region must accommodate).
+    pub unique_small_write_sectors: u64,
+    /// Fraction of write requests that start exactly where the previous
+    /// write request ended (log-style sequentiality).
+    pub sequential_write_fraction: f64,
+    /// Fraction of all written sectors that land on the hottest 10 % of
+    /// touched sectors (1.0 = everything hits a tiny hot set; ≈0.1 =
+    /// uniform).
+    pub top_decile_write_share: f64,
+    /// Median number of intervening write requests between successive
+    /// writes to the same sector (`None` if no sector is ever rewritten).
+    /// Short distances mean buffers/page caches absorb rewrites; long
+    /// distances mean flash-level updates.
+    pub median_rewrite_distance: Option<u64>,
+    /// Mean writes per touched sector (update frequency).
+    pub mean_writes_per_sector: f64,
+}
+
+/// Measures [`TraceAnalysis`] over a trace.
+///
+/// # Examples
+///
+/// ```
+/// use esp_workload::{analyze, generate, SyntheticConfig};
+///
+/// let trace = generate(&SyntheticConfig {
+///     requests: 2_000,
+///     zipf_theta: 0.9,
+///     ..SyntheticConfig::default()
+/// });
+/// let a = analyze(&trace);
+/// // Zipf-skewed writes concentrate well beyond a uniform 10%.
+/// assert!(a.top_decile_write_share > 0.2);
+/// ```
+#[must_use]
+pub fn analyze(trace: &Trace) -> TraceAnalysis {
+    let stats = trace.stats();
+    let mut write_counts: HashMap<u64, u64> = HashMap::new();
+    let mut small_sectors: HashMap<u64, ()> = HashMap::new();
+    let mut last_writer: HashMap<u64, u64> = HashMap::new();
+    let mut rewrite_distances: Vec<u64> = Vec::new();
+    let mut sequential = 0u64;
+    let mut prev_write_end: Option<u64> = None;
+    let mut write_index = 0u64;
+
+    for r in trace {
+        if r.op != IoOp::Write {
+            continue;
+        }
+        if prev_write_end == Some(r.lsn) {
+            sequential += 1;
+        }
+        prev_write_end = Some(r.end_lsn());
+        for s in r.lsn..r.end_lsn() {
+            *write_counts.entry(s).or_insert(0) += 1;
+            if r.is_small_write() {
+                small_sectors.insert(s, ());
+            }
+            if let Some(prev) = last_writer.insert(s, write_index) {
+                rewrite_distances.push(write_index - prev);
+            }
+        }
+        write_index += 1;
+    }
+
+    let unique = write_counts.len() as u64;
+    let total_written: u64 = write_counts.values().sum();
+    let mut counts: Vec<u64> = write_counts.values().copied().collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let decile = (counts.len().div_ceil(10)).max(1);
+    let top_share = if total_written == 0 {
+        0.0
+    } else {
+        counts.iter().take(decile).sum::<u64>() as f64 / total_written as f64
+    };
+    rewrite_distances.sort_unstable();
+    let median_rewrite = if rewrite_distances.is_empty() {
+        None
+    } else {
+        Some(rewrite_distances[rewrite_distances.len() / 2])
+    };
+
+    TraceAnalysis {
+        stats,
+        unique_write_sectors: unique,
+        unique_small_write_sectors: small_sectors.len() as u64,
+        sequential_write_fraction: if stats.writes == 0 {
+            0.0
+        } else {
+            sequential as f64 / stats.writes as f64
+        },
+        top_decile_write_share: top_share,
+        median_rewrite_distance: median_rewrite,
+        mean_writes_per_sector: if unique == 0 {
+            0.0
+        } else {
+            total_written as f64 / unique as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::IoRequest;
+    use crate::synthetic::{generate, SyntheticConfig};
+    use esp_sim::SimTime;
+
+    #[test]
+    fn sequential_stream_detected() {
+        let mut t = Trace::new(1024);
+        for i in 0..10u64 {
+            t.push(IoRequest::write(SimTime::ZERO, i * 4, 4, false));
+        }
+        let a = analyze(&t);
+        // 9 of 10 requests start at the previous end.
+        assert!((a.sequential_write_fraction - 0.9).abs() < 1e-12);
+        assert_eq!(a.unique_write_sectors, 40);
+        assert_eq!(a.unique_small_write_sectors, 0);
+        assert_eq!(a.median_rewrite_distance, None);
+        assert!((a.mean_writes_per_sector - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rewrite_distance_measured() {
+        let mut t = Trace::new(64);
+        // Write A, B, A, B: each sector rewritten at distance 2.
+        for lsn in [0u64, 8, 0, 8] {
+            t.push(IoRequest::write(SimTime::ZERO, lsn, 1, true));
+        }
+        let a = analyze(&t);
+        assert_eq!(a.median_rewrite_distance, Some(2));
+        assert_eq!(a.unique_write_sectors, 2);
+        assert_eq!(a.unique_small_write_sectors, 2);
+        assert!((a.mean_writes_per_sector - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_set_concentration() {
+        let mut t = Trace::new(1024);
+        // 90 writes to one sector, 10 writes to ten other sectors.
+        for _ in 0..90 {
+            t.push(IoRequest::write(SimTime::ZERO, 0, 1, true));
+        }
+        for i in 1..=10u64 {
+            t.push(IoRequest::write(SimTime::ZERO, i * 8, 1, true));
+        }
+        let a = analyze(&t);
+        // The top decile (ceil(11/10) = 2 sectors) holds 91/100 writes.
+        assert!(a.top_decile_write_share > 0.9);
+    }
+
+    #[test]
+    fn reads_do_not_affect_write_metrics() {
+        let mut t = Trace::new(64);
+        t.push(IoRequest::write(SimTime::ZERO, 0, 1, true));
+        t.push(IoRequest::read(SimTime::ZERO, 1, 4));
+        t.push(IoRequest::write(SimTime::ZERO, 1, 1, true));
+        let a = analyze(&t);
+        assert_eq!(a.unique_write_sectors, 2);
+        // Write at 1 follows write ending at 1: sequential.
+        assert!((a.sequential_write_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeros() {
+        let a = analyze(&Trace::new(64));
+        assert_eq!(a.unique_write_sectors, 0);
+        assert_eq!(a.sequential_write_fraction, 0.0);
+        assert_eq!(a.median_rewrite_distance, None);
+        assert_eq!(a.mean_writes_per_sector, 0.0);
+    }
+
+    #[test]
+    fn profile_traces_show_designed_locality() {
+        let hot = generate(&SyntheticConfig {
+            requests: 5_000,
+            zipf_theta: 0.95,
+            small_zone_sectors: Some(256),
+            ..SyntheticConfig::default()
+        });
+        let uniform = generate(&SyntheticConfig {
+            requests: 5_000,
+            zipf_theta: 0.0,
+            ..SyntheticConfig::default()
+        });
+        let a_hot = analyze(&hot);
+        let a_uni = analyze(&uniform);
+        assert!(a_hot.top_decile_write_share > a_uni.top_decile_write_share);
+        assert!(a_hot.unique_write_sectors < a_uni.unique_write_sectors);
+    }
+
+    #[test]
+    fn rewrite_distance_honours_generator_constraint() {
+        let t = generate(&SyntheticConfig {
+            requests: 5_000,
+            zipf_theta: 0.9,
+            small_zone_sectors: Some(2048),
+            rewrite_distance: 64,
+            ..SyntheticConfig::default()
+        });
+        let a = analyze(&t);
+        if let Some(d) = a.median_rewrite_distance {
+            assert!(d >= 32, "median rewrite distance {d} violates the constraint");
+        }
+    }
+}

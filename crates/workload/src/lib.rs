@@ -1,0 +1,46 @@
+//! # esp-workload — I/O traces and workload synthesis
+//!
+//! Host-side request/trace types and the workload generators used by the
+//! ESP/subFTL reproduction (Kim et al., DAC 2017):
+//!
+//! * [`IoRequest`] / [`Trace`] — 4 KB-sector host requests with arrival
+//!   times and the synchronous-write flag the paper's analysis hinges on.
+//! * [`SyntheticConfig`] / [`generate`] — a parametric generator exposing
+//!   the paper's two governing ratios, `r_small` and `r_synch` (§2), plus
+//!   skew, mix and sizing knobs. Deterministic for a given seed.
+//! * [`Benchmark`] — the five §5 evaluation profiles (Sysbench, Varmail,
+//!   Postmark, YCSB, TPC-C) as instances of the generator, calibrated to
+//!   the small-write fractions of Table 1.
+//! * [`precondition_fill`] — the sequential pre-fill the paper applies to
+//!   reach SSD steady state before measuring.
+//! * [`save_trace`] / [`load_trace`] — a line-oriented text format so traces
+//!   can be stored, inspected and replayed.
+//!
+//! # Examples
+//!
+//! ```
+//! use esp_workload::{generate, Benchmark};
+//!
+//! let cfg = Benchmark::Varmail.config(64 * 1024, 1_000, 42);
+//! let trace = generate(&cfg);
+//! let stats = trace.stats();
+//! assert!(stats.r_small() > 0.9); // Varmail: 95.3% small writes
+//! assert!(stats.r_synch() > 0.9); // ...almost all synchronous
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod msr;
+mod profiles;
+mod request;
+mod synthetic;
+mod trace_io;
+
+pub use analysis::{analyze, TraceAnalysis};
+pub use msr::{load_msr_trace, MsrOptions};
+pub use profiles::Benchmark;
+pub use request::{IoOp, IoRequest, Trace, TraceStats, SECTORS_PER_PAGE, SECTOR_BYTES};
+pub use synthetic::{generate, precondition_fill, SyntheticConfig};
+pub use trace_io::{load_trace, save_trace, ParseTraceError};

@@ -1,0 +1,234 @@
+//! The five benchmark profiles of the paper's evaluation (§5).
+//!
+//! The paper drives its emulated SSD with Sysbench, Varmail, Postmark,
+//! YCSB-on-Cassandra and TPC-C. We do not have the authors' traces, so each
+//! profile is a [`SyntheticConfig`] whose *write-level characteristics*
+//! match what the paper reports:
+//!
+//! * Table 1 gives the exact fraction of small writes per benchmark
+//!   (99.7 / 95.3 / 99.9 / 19.3 / 11.8 %);
+//! * §5 states that in Sysbench, Varmail and Postmark synchronous small
+//!   writes exceed 95 % of total writes, while YCSB and TPC-C have fewer
+//!   than 20 % 4 KB writes;
+//! * small writes have higher update frequency than large writes (§4.1,
+//!   citing Chang et al.), captured by Zipf-skewed placement.
+//!
+//! Since §2 demonstrates that FTL behaviour is governed by `r_small`,
+//! `r_synch` and update locality, matching those marginals exercises the
+//! same code paths as the original traces (see DESIGN.md §2).
+
+use crate::synthetic::SyntheticConfig;
+use std::fmt;
+
+/// One of the paper's five evaluation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Sysbench: system-performance benchmark; 99.7 % small writes, almost
+    /// all synchronous.
+    Sysbench,
+    /// Varmail (filebench): mail-server workload; 95.3 % small writes,
+    /// fsync-heavy.
+    Varmail,
+    /// Postmark: mail-server workload; 99.9 % small writes.
+    Postmark,
+    /// YCSB on Cassandra: 19.3 % small writes; large sequential SSTable
+    /// flush/compaction writes dominate.
+    Ycsb,
+    /// TPC-C: OLTP; 11.8 % small writes; large log/page writes dominate.
+    TpcC,
+}
+
+impl Benchmark {
+    /// All five benchmarks in the paper's presentation order.
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::Sysbench,
+        Benchmark::Varmail,
+        Benchmark::Postmark,
+        Benchmark::Ycsb,
+        Benchmark::TpcC,
+    ];
+
+    /// Display name as used in the paper's figures.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Sysbench => "Sysbench",
+            Benchmark::Varmail => "Varmail",
+            Benchmark::Postmark => "Postmark",
+            Benchmark::Ycsb => "YCSB",
+            Benchmark::TpcC => "TPC-C",
+        }
+    }
+
+    /// The fraction of small writes the paper reports for this benchmark
+    /// (Table 1, "% of small write").
+    #[must_use]
+    pub fn paper_small_write_fraction(&self) -> f64 {
+        match self {
+            Benchmark::Sysbench => 0.997,
+            Benchmark::Varmail => 0.953,
+            Benchmark::Postmark => 0.999,
+            Benchmark::Ycsb => 0.193,
+            Benchmark::TpcC => 0.118,
+        }
+    }
+
+    /// The generator configuration for this benchmark over the given
+    /// footprint.
+    ///
+    /// `r_synch` values follow §5's characterization (sync small writes are
+    /// "more than 95 % of the total writes" for the first three; the paper
+    /// gives no figure for YCSB/TPC-C, where small writes are few — we use
+    /// moderate values and note them in EXPERIMENTS.md).
+    #[must_use]
+    pub fn config(&self, footprint_sectors: u64, requests: u64, seed: u64) -> SyntheticConfig {
+        // Small writes concentrate in a hot zone (journals, mail files,
+        // commit logs) — 1/64 of the footprint for the small-write-dominated
+        // benchmarks, 1/128 for the database benchmarks whose few small
+        // writes are metadata/log updates. With the paper's shape (subpage
+        // region = 20 % of raw flash, footprint = 62.5 % of a 75 % logical
+        // export) this keeps the live small-write set well inside the
+        // subpage region's one-valid-subpage-per-page capacity — the §4.1
+        // sizing regime under which the paper reports near-1.0 request WAF
+        // (Table 1); see EXPERIMENTS.md for the sensitivity of this choice.
+        let zone = |frac: u64| Some((footprint_sectors / frac).max(64));
+        let base = SyntheticConfig {
+            footprint_sectors,
+            requests,
+            seed,
+            r_small: self.paper_small_write_fraction(),
+            small_zone_sectors: zone(64),
+            rewrite_distance: 512,
+            ..SyntheticConfig::default()
+        };
+        match self {
+            Benchmark::Sysbench => SyntheticConfig {
+                r_synch: 0.99,
+                read_fraction: 0.05,
+                zipf_theta: 0.9,
+                small_sector_weights: [16, 1, 1],
+                ..base
+            },
+            Benchmark::Varmail => SyntheticConfig {
+                r_synch: 0.98,
+                read_fraction: 0.10,
+                zipf_theta: 0.8,
+                small_sector_weights: [6, 3, 1],
+                ..base
+            },
+            Benchmark::Postmark => SyntheticConfig {
+                r_synch: 0.96,
+                read_fraction: 0.10,
+                zipf_theta: 0.75,
+                small_sector_weights: [8, 2, 1],
+                ..base
+            },
+            Benchmark::Ycsb => SyntheticConfig {
+                r_synch: 0.30,
+                read_fraction: 0.20,
+                zipf_theta: 0.99,
+                sequential_large: true,
+                large_sector_weights: [1, 2, 4],
+                small_zone_sectors: zone(128),
+                ..base
+            },
+            Benchmark::TpcC => SyntheticConfig {
+                r_synch: 0.50,
+                read_fraction: 0.20,
+                zipf_theta: 0.85,
+                sequential_large: true,
+                large_sector_weights: [2, 2, 3],
+                small_zone_sectors: zone(128),
+                ..base
+            },
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::generate;
+
+    #[test]
+    fn profile_small_write_fractions_match_table1() {
+        for b in Benchmark::ALL {
+            let cfg = b.config(64 * 1024, 20_000, 1);
+            let stats = generate(&cfg).stats();
+            let want = b.paper_small_write_fraction();
+            assert!(
+                (stats.r_small() - want).abs() < 0.02,
+                "{b}: r_small {} want {want}",
+                stats.r_small()
+            );
+        }
+    }
+
+    #[test]
+    fn mail_benchmarks_are_sync_dominated() {
+        for b in [Benchmark::Sysbench, Benchmark::Varmail, Benchmark::Postmark] {
+            let stats = generate(&b.config(64 * 1024, 20_000, 2)).stats();
+            // Sync small writes should exceed 90% of all writes (the paper
+            // says >95% of total writes; allow sampling noise).
+            let frac = stats.sync_small_writes as f64 / stats.writes as f64;
+            assert!(frac > 0.85, "{b}: sync-small/writes = {frac}");
+        }
+    }
+
+    #[test]
+    fn database_benchmarks_are_large_write_dominated() {
+        for b in [Benchmark::Ycsb, Benchmark::TpcC] {
+            let stats = generate(&b.config(64 * 1024, 20_000, 3)).stats();
+            assert!(stats.r_small() < 0.25, "{b}: r_small = {}", stats.r_small());
+        }
+    }
+
+    #[test]
+    fn names_and_order_match_paper() {
+        let names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Sysbench", "Varmail", "Postmark", "YCSB", "TPC-C"]
+        );
+        assert_eq!(Benchmark::Ycsb.to_string(), "YCSB");
+    }
+
+    #[test]
+    fn small_writes_are_hotter_than_large_writes() {
+        // §4.1: "small writes are likely to have higher update frequencies
+        // than large writes" — the property subFTL's placement heuristic
+        // relies on. Verify it holds in the generated profiles.
+        use crate::analysis::analyze;
+        for b in [Benchmark::Sysbench, Benchmark::Varmail, Benchmark::Ycsb] {
+            let t = generate(&b.config(64 * 1024, 30_000, 4));
+            let a = analyze(&t);
+            // Small writes confine themselves to a much smaller set of
+            // sectors than they write in volume: updates dominate.
+            let small_sectors = a.unique_small_write_sectors.max(1);
+            let small_volume: u64 = t
+                .iter()
+                .filter(|r| r.is_small_write())
+                .map(|r| u64::from(r.sectors))
+                .sum();
+            let small_updates_per_sector = small_volume as f64 / small_sectors as f64;
+            assert!(
+                small_updates_per_sector > a.mean_writes_per_sector,
+                "{b}: small writes ({small_updates_per_sector:.2}/sector) must be hotter                  than average ({:.2}/sector)",
+                a.mean_writes_per_sector
+            );
+        }
+    }
+
+    #[test]
+    fn configs_validate() {
+        for b in Benchmark::ALL {
+            b.config(64 * 1024, 100, 0).validate().expect("valid profile");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Power-loss drill: write a mixed workload, pull the plug, and rebuild the
+//! whole FTL from nothing but the flash contents.
+//!
+//! ```sh
+//! cargo run --release --example power_loss
+//! ```
+
+use esp_storage::ftl::{run_trace, Ftl, FtlConfig, SubFtl};
+use esp_storage::workload::{generate, SyntheticConfig};
+
+fn main() {
+    let cfg = FtlConfig {
+        write_buffer_sectors: 64,
+        ..FtlConfig::paper_default()
+    };
+    let mut ftl = SubFtl::new(&cfg);
+
+    // A mixed workload: sync small writes (durable on return) and async
+    // large writes (buffered in DRAM until flushed).
+    let trace = generate(&SyntheticConfig {
+        footprint_sectors: (cfg.logical_sectors() as f64 * 0.5) as u64,
+        requests: 20_000,
+        r_small: 0.8,
+        r_synch: 0.9,
+        zipf_theta: 0.9,
+        small_zone_sectors: Some(cfg.logical_sectors() / 64),
+        seed: 404,
+        ..SyntheticConfig::default()
+    });
+    let report = run_trace(&mut ftl, &trace);
+    println!(
+        "before the crash: {} requests served, {} subpage-region entries, {} erases",
+        report.requests,
+        ftl.subpage_entries(),
+        report.erases
+    );
+
+    // One more durable write and one buffered write that will be lost.
+    let t = ftl.ssd().makespan();
+    let t = ftl.write(0, 1, true, t); // fsync'd: survives
+    ftl.write(1, 1, false, t); // DRAM only: lost with the power
+    let durable_version = ftl.stored_seq(0).expect("fsync'd data is on flash");
+
+    // ---- power loss: all DRAM state vanishes. Only the NAND survives. ----
+    let flash_contents = ftl.ssd().clone();
+    drop(ftl);
+
+    let before_scan = flash_contents.makespan();
+    let mut recovered = SubFtl::recover(flash_contents, &cfg);
+    let scan_cost = recovered.ssd().makespan() - before_scan;
+    println!(
+        "after recovery: {} subpage-region entries rebuilt, mount scan took {} of simulated time",
+        recovered.subpage_entries(),
+        scan_cost,
+    );
+
+    assert_eq!(
+        recovered.stored_seq(0),
+        Some(durable_version),
+        "the fsync'd write survived at the same version"
+    );
+    println!("fsync'd sector 0: recovered at the exact pre-crash version");
+    println!("buffered sector 1: correctly reported at its last durable version (or absent)");
+
+    // Business as usual afterwards.
+    let t = recovered.ssd().makespan();
+    let t = recovered.write(2, 1, true, t);
+    recovered.read(0, 3, t);
+    assert_eq!(recovered.stats().read_faults, 0);
+    recovered.check_invariants();
+    println!("post-recovery writes and reads proceed with zero faults");
+}

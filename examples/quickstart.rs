@@ -1,0 +1,61 @@
+//! Quickstart: build the three FTLs, run the same synchronous-small-write
+//! burst through each, and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use esp_storage::ftl::{run_trace, CgmFtl, FgmFtl, Ftl, FtlConfig, SubFtl};
+use esp_storage::workload::{generate, SyntheticConfig};
+
+fn main() {
+    // The paper-shaped device (8 channels x 4 chips, 16 KB pages of four
+    // 4 KB subpages) at a small capacity so the example runs instantly.
+    let mut config = FtlConfig::paper_default();
+    config.geometry.blocks_per_chip = 8;
+
+    // A workload of 4 KB synchronous writes — the fsync-heavy pattern that
+    // cripples conventional FTLs on large-page NAND.
+    let trace = generate(&SyntheticConfig {
+        footprint_sectors: config.logical_sectors() / 2,
+        requests: 5_000,
+        r_small: 1.0,
+        r_synch: 1.0,
+        zipf_theta: 0.9,
+        small_zone_sectors: Some(config.logical_sectors() / 64),
+        seed: 7,
+        ..SyntheticConfig::default()
+    });
+
+    println!("device: {}", config.geometry);
+    println!("workload: {} requests, all 4 KB-class synchronous writes\n", trace.len());
+    println!(
+        "{:>8}  {:>9}  {:>7}  {:>7}  {:>12}  {:>8}",
+        "FTL", "IOPS", "erases", "GCs", "request WAF", "RMW ops"
+    );
+
+    let mut ftls: Vec<Box<dyn Ftl>> = vec![
+        Box::new(CgmFtl::new(&config)),
+        Box::new(FgmFtl::new(&config)),
+        Box::new(SubFtl::new(&config)),
+    ];
+    for ftl in &mut ftls {
+        let report = run_trace(ftl.as_mut(), &trace);
+        println!(
+            "{:>8}  {:>9.0}  {:>7}  {:>7}  {:>12.3}  {:>8}",
+            report.ftl,
+            report.iops,
+            report.erases,
+            report.stats.gc_invocations,
+            report.stats.small_request_waf(),
+            report.stats.rmw_operations,
+        );
+        assert_eq!(report.stats.read_faults, 0);
+    }
+
+    println!(
+        "\nsubFTL serves each small write with one erase-free 4 KB subpage\n\
+         program (request WAF ~1), while cgmFTL pays a 16 KB read-modify-write\n\
+         and fgmFTL wastes 3/4 of every page it programs."
+    );
+}

@@ -1,0 +1,342 @@
+//! `espsim` — command-line front end for the ESP/subFTL simulator.
+//!
+//! ```text
+//! espsim run      --ftl sub --benchmark varmail --requests 50000 --qd 8
+//! espsim compare  --benchmark sysbench --requests 40000
+//! espsim gen      --out trace.txt --benchmark postmark --requests 10000
+//! espsim replay   --ftl sub --trace trace.txt
+//! ```
+//!
+//! Run `espsim help` for every flag. All runs are deterministic for a given
+//! `--seed`.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fs::File;
+use std::process::ExitCode;
+
+use esp_storage::ftl::{
+    precondition, run_trace_qd, CgmFtl, FgmFtl, Ftl, FtlConfig, RunReport, SectorLogFtl, SubFtl,
+};
+use esp_storage::nand::Geometry;
+use esp_storage::workload::{
+    generate, load_msr_trace, load_trace, save_trace, Benchmark, MsrOptions, SyntheticConfig,
+    Trace,
+};
+
+const HELP: &str = "\
+espsim — erase-free subpage programming (ESP/subFTL) simulator
+
+USAGE:
+    espsim <COMMAND> [FLAGS]
+
+COMMANDS:
+    run        replay a workload through one FTL and print a report
+    compare    replay the same workload through all four FTLs
+    gen        generate a trace file
+    replay     replay a saved trace file (use with --trace / --msr)
+    stats      print the characteristics of a workload (r_small, r_synch, ...)
+    help       print this text
+
+WORKLOAD FLAGS (run / compare / gen):
+    --benchmark <name>   sysbench | varmail | postmark | ycsb | tpcc
+    --rsmall <0..1>      custom mix instead of a benchmark profile
+    --rsynch <0..1>        (with --rsmall; defaults 1.0 / 1.0)
+    --requests <n>       request count           [default 20000]
+    --seed <n>           RNG seed                [default 42]
+    --trace <file>       replay this esp-trace file instead of generating
+    --msr <file>         import an MSR-Cambridge CSV block trace
+    --msr-rsynch <0..1>  sync probability for imported small writes [0.5]
+    --msr-disk <n>       import only this disk number
+    --take <n>           keep only the first n requests of the workload
+    --time-scale <f>     compress (>1) / stretch (<1) arrival times
+
+DEVICE / FTL FLAGS:
+    --ftl <name>         sub | cgm | fgm | sectorlog   [default sub]
+    --qd <n>             host queue depth              [default 8]
+    --fill <0..1>        preconditioning fill          [default 0.625]
+    --geometry <CxWxBxP> channels x ways x blocks/chip x pages/block
+                         [default 8x4x16x64]
+    --op <0..1>          over-provisioning (hidden capacity) [default 0.25]
+    --planes <n>         planes per chip               [default 1]
+    --out <file>         (gen) output path
+";
+
+fn main() -> ExitCode {
+    match run_cli() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("espsim: {e}");
+            eprintln!("run `espsim help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed `--flag value` pairs.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, Box<dyn Error>> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{a}`").into());
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Flags(map))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(String::as_str)
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, Box<dyn Error>>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("bad value for --{name}: {e}").into()),
+        }
+    }
+}
+
+fn run_cli() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        println!("{HELP}");
+        return Ok(());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        "run" => cmd_run(&flags, false),
+        "replay" => cmd_run(&flags, true),
+        "compare" => cmd_compare(&flags),
+        "gen" => cmd_gen(&flags),
+        "stats" => cmd_stats(&flags),
+        other => Err(format!("unknown command `{other}`").into()),
+    }
+}
+
+fn config_from(flags: &Flags) -> Result<FtlConfig, Box<dyn Error>> {
+    let geo = flags.get("geometry").unwrap_or("8x4x16x64");
+    let parts: Vec<u32> = geo
+        .split('x')
+        .map(|p| p.parse::<u32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad --geometry `{geo}`: {e}"))?;
+    let [channels, ways, bpc, ppb] = parts.as_slice() else {
+        return Err(format!("--geometry wants CxWxBxP, got `{geo}`").into());
+    };
+    let cfg = FtlConfig {
+        geometry: Geometry {
+            channels: *channels,
+            chips_per_channel: *ways,
+            blocks_per_chip: *bpc,
+            pages_per_block: *ppb,
+            subpages_per_page: 4,
+            subpage_bytes: 4096,
+        },
+        overprovision: flags.parse_or("op", 0.25)?,
+        planes_per_chip: flags.parse_or("planes", 1)?,
+        ..FtlConfig::paper_default()
+    };
+    cfg.validate().map_err(|e| format!("invalid config: {e}"))?;
+    Ok(cfg)
+}
+
+fn build_ftl(name: &str, cfg: &FtlConfig) -> Result<Box<dyn Ftl>, Box<dyn Error>> {
+    Ok(match name {
+        "sub" => Box::new(SubFtl::new(cfg)),
+        "cgm" => Box::new(CgmFtl::new(cfg)),
+        "fgm" => Box::new(FgmFtl::new(cfg)),
+        "sectorlog" => Box::new(SectorLogFtl::new(cfg)),
+        other => return Err(format!("unknown --ftl `{other}`").into()),
+    })
+}
+
+fn benchmark_from(name: &str) -> Result<Benchmark, Box<dyn Error>> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "sysbench" => Benchmark::Sysbench,
+        "varmail" => Benchmark::Varmail,
+        "postmark" => Benchmark::Postmark,
+        "ycsb" => Benchmark::Ycsb,
+        "tpcc" | "tpc-c" => Benchmark::TpcC,
+        other => return Err(format!("unknown --benchmark `{other}`").into()),
+    })
+}
+
+fn trace_from(flags: &Flags, cfg: &FtlConfig, force_file: bool) -> Result<Trace, Box<dyn Error>> {
+    let postprocess = |mut t: Trace| -> Result<Trace, Box<dyn Error>> {
+        if let Some(n) = flags.get("take") {
+            let n: usize = n.parse().map_err(|e| format!("bad --take: {e}"))?;
+            t = t.take(n);
+        }
+        if let Some(f) = flags.get("time-scale") {
+            let f: f64 = f.parse().map_err(|e| format!("bad --time-scale: {e}"))?;
+            t = t.scale_time(f);
+        }
+        Ok(t)
+    };
+    if let Some(path) = flags.get("msr") {
+        let opts = MsrOptions {
+            r_synch: flags.parse_or("msr-rsynch", 0.5)?,
+            disk: match flags.get("msr-disk") {
+                None => None,
+                Some(v) => Some(v.parse().map_err(|e| format!("bad --msr-disk: {e}"))?),
+            },
+            ..MsrOptions::default()
+        };
+        return postprocess(load_msr_trace(File::open(path)?, &opts)?);
+    }
+    if let Some(path) = flags.get("trace") {
+        return postprocess(load_trace(File::open(path)?)?);
+    }
+    if force_file {
+        return Err("replay needs --trace <file> or --msr <file>".into());
+    }
+    let requests: u64 = flags.parse_or("requests", 20_000)?;
+    let seed: u64 = flags.parse_or("seed", 42)?;
+    let footprint = (cfg.logical_sectors() as f64 * 0.625) as u64;
+    if let Some(b) = flags.get("benchmark") {
+        let bench = benchmark_from(b)?;
+        return postprocess(generate(&bench.config(footprint, requests, seed)));
+    }
+    let r_small: f64 = flags.parse_or("rsmall", 1.0)?;
+    let r_synch: f64 = flags.parse_or("rsynch", 1.0)?;
+    postprocess(generate(&SyntheticConfig {
+        footprint_sectors: footprint,
+        requests,
+        r_small,
+        r_synch,
+        zipf_theta: 0.9,
+        small_zone_sectors: Some((footprint / 64).max(64)),
+        rewrite_distance: 512,
+        seed,
+        ..SyntheticConfig::default()
+    }))
+}
+
+fn print_report(r: &RunReport) {
+    println!("=== {} ===", r.ftl);
+    println!("  requests        {}", r.requests);
+    println!("  simulated time  {}", r.makespan);
+    println!("  IOPS            {:.0}", r.iops);
+    println!("  write bandwidth {:.1} MB/s", r.write_bandwidth_mbps());
+    println!("  latency p50/p99 {} / {}", r.latency_p50(), r.latency_p99());
+    println!("  erases          {}", r.erases);
+    println!("  GC invocations  {}", r.stats.gc_invocations);
+    println!("  RMW operations  {}", r.stats.rmw_operations);
+    println!("  programs        {} full / {} subpage", r.programs.0, r.programs.1);
+    println!("  small writes    {:.1}%", r.stats.small_write_fraction() * 100.0);
+    println!("  request WAF     {:.3}", r.stats.small_request_waf());
+    println!("  total WAF       {:.3}", r.stats.total_waf());
+    println!("  read faults     {}", r.stats.read_faults);
+}
+
+fn check_capacity(trace: &Trace, cfg: &FtlConfig) -> Result<(), Box<dyn Error>> {
+    if trace.footprint_sectors > cfg.logical_sectors() {
+        return Err(format!(
+            "trace footprint ({} sectors) exceeds the device's logical              capacity ({} sectors); pick a larger --geometry",
+            trace.footprint_sectors,
+            cfg.logical_sectors()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+fn cmd_run(flags: &Flags, force_file: bool) -> Result<(), Box<dyn Error>> {
+    let cfg = config_from(flags)?;
+    let trace = trace_from(flags, &cfg, force_file)?;
+    check_capacity(&trace, &cfg)?;
+    let qd: usize = flags.parse_or("qd", 8)?;
+    let fill: f64 = flags.parse_or("fill", 0.625)?;
+    let mut ftl = build_ftl(flags.get("ftl").unwrap_or("sub"), &cfg)?;
+    println!("device: {}", cfg.geometry);
+    precondition(ftl.as_mut(), fill);
+    let report = run_trace_qd(ftl.as_mut(), &trace, qd);
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<(), Box<dyn Error>> {
+    let cfg = config_from(flags)?;
+    let trace = trace_from(flags, &cfg, false)?;
+    check_capacity(&trace, &cfg)?;
+    let qd: usize = flags.parse_or("qd", 8)?;
+    let fill: f64 = flags.parse_or("fill", 0.625)?;
+    println!("device: {}", cfg.geometry);
+    println!(
+        "{:>14} {:>9} {:>8} {:>8} {:>12} {:>10}",
+        "FTL", "IOPS", "erases", "GCs", "request WAF", "map bytes"
+    );
+    for name in ["cgm", "fgm", "sectorlog", "sub"] {
+        let mut ftl = build_ftl(name, &cfg)?;
+        precondition(ftl.as_mut(), fill);
+        let r = run_trace_qd(ftl.as_mut(), &trace, qd);
+        println!(
+            "{:>14} {:>9.0} {:>8} {:>8} {:>12.3} {:>10}",
+            r.ftl,
+            r.iops,
+            r.erases,
+            r.stats.gc_invocations,
+            r.stats.small_request_waf(),
+            ftl.mapping_memory_bytes(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), Box<dyn Error>> {
+    let cfg = config_from(flags)?;
+    let trace = trace_from(flags, &cfg, false)?;
+    let a = esp_storage::workload::analyze(&trace);
+    let s = &a.stats;
+    println!("requests            {}", s.requests);
+    println!(
+        "footprint           {} sectors ({} MiB)",
+        trace.footprint_sectors,
+        trace.footprint_sectors * 4096 / (1024 * 1024)
+    );
+    println!("writes / reads      {} / {}", s.writes, s.reads);
+    println!("write volume        {} MiB", s.write_sectors * 4096 / (1024 * 1024));
+    println!("r_small             {:.3}", s.r_small());
+    println!("r_synch             {:.3}", s.r_synch());
+    println!("unique sectors      {} written, {} by small writes", a.unique_write_sectors, a.unique_small_write_sectors);
+    println!("sequential writes   {:.1}%", a.sequential_write_fraction * 100.0);
+    println!("top-10% write share {:.1}%", a.top_decile_write_share * 100.0);
+    println!("writes per sector   {:.2} (mean)", a.mean_writes_per_sector);
+    match a.median_rewrite_distance {
+        Some(d) => println!("rewrite distance    {d} requests (median)"),
+        None => println!("rewrite distance    n/a (no sector rewritten)"),
+    }
+    Ok(())
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), Box<dyn Error>> {
+    let cfg = config_from(flags)?;
+    let trace = trace_from(flags, &cfg, false)?;
+    let out = flags.get("out").ok_or("gen needs --out <file>")?;
+    save_trace(&trace, File::create(out)?)?;
+    let stats = trace.stats();
+    println!(
+        "wrote {} requests to {out} (r_small {:.1}%, r_synch {:.1}%)",
+        trace.len(),
+        stats.r_small() * 100.0,
+        stats.r_synch() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! # esp-storage — erase-free subpage programming for large-page NAND
+//!
+//! A from-scratch Rust reproduction of Kim et al., *"Improving Performance
+//! and Lifetime of Large-Page NAND Storages Using Erase-Free Subpage
+//! Programming"* (DAC 2017): the ESP NAND programming scheme, its
+//! subpage-aware retention model, the **subFTL** flash translation layer
+//! built on it, the `cgmFTL`/`fgmFTL` baselines, a timed multi-channel SSD
+//! model, and the workload machinery to regenerate every figure and table
+//! of the paper's evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace crates so an
+//! application can depend on one crate.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `esp-sim` | simulated time, resource timelines, RNG, stats |
+//! | [`nand`] | `esp-nand` | NAND device model, ESP semantics, retention model |
+//! | [`ssd`] | `esp-ssd` | 8-channel × 4-way timed SSD |
+//! | [`ftl`] | `esp-core` | subFTL + cgmFTL/fgmFTL + trace replay |
+//! | [`workload`] | `esp-workload` | traces, generators, benchmark profiles |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use esp_storage::ftl::{run_trace, Ftl, FtlConfig, SubFtl};
+//! use esp_storage::workload::{generate, SyntheticConfig};
+//!
+//! // A subFTL over the paper-shaped device (scaled for a quick doc test).
+//! let mut ftl = SubFtl::new(&FtlConfig::tiny());
+//!
+//! // A synchronous-small-write workload — the case the paper targets.
+//! let trace = generate(&SyntheticConfig {
+//!     footprint_sectors: ftl.logical_sectors() / 2,
+//!     requests: 300,
+//!     r_small: 1.0,
+//!     r_synch: 1.0,
+//!     ..SyntheticConfig::default()
+//! });
+//!
+//! let report = run_trace(&mut ftl, &trace);
+//! assert!(report.programs.1 > 0, "small writes used erase-free subpage programs");
+//! assert_eq!(report.stats.read_faults, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Simulation substrate: time, resources, deterministic RNG, statistics.
+pub mod sim {
+    pub use esp_sim::*;
+}
+
+/// NAND device model with erase-free subpage programming.
+pub mod nand {
+    pub use esp_nand::*;
+}
+
+/// Timed multi-channel SSD.
+pub mod ssd {
+    pub use esp_ssd::*;
+}
+
+/// The FTLs (subFTL and baselines) and the trace-replay engine.
+pub mod ftl {
+    pub use esp_core::*;
+}
+
+/// Traces, synthetic workloads and the paper's benchmark profiles.
+pub mod workload {
+    pub use esp_workload::*;
+}

@@ -1,0 +1,127 @@
+//! End-to-end tests of the `espsim` command-line interface: real process
+//! invocations of the built binary.
+
+use std::process::Command;
+
+fn espsim(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_espsim"))
+        .args(args)
+        .output()
+        .expect("espsim runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = espsim(&["help"]);
+    assert!(ok);
+    for word in ["run", "compare", "gen", "replay", "stats", "--geometry"] {
+        assert!(stdout.contains(word), "help missing `{word}`");
+    }
+}
+
+#[test]
+fn run_reports_metrics() {
+    let (ok, stdout, stderr) = espsim(&[
+        "run",
+        "--ftl",
+        "sub",
+        "--rsmall",
+        "1.0",
+        "--requests",
+        "500",
+        "--geometry",
+        "2x2x16x16",
+        "--op",
+        "0.4",
+        "--fill",
+        "0.3",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    for field in ["IOPS", "request WAF", "read faults", "subFTL"] {
+        assert!(stdout.contains(field), "missing `{field}` in:\n{stdout}");
+    }
+    assert!(stdout.contains("read faults     0"));
+}
+
+#[test]
+fn compare_covers_all_four_ftls() {
+    let (ok, stdout, stderr) = espsim(&[
+        "compare",
+        "--requests",
+        "400",
+        "--geometry",
+        "2x2x16x16",
+        "--op",
+        "0.4",
+        "--fill",
+        "0.3",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    for name in ["cgmFTL", "fgmFTL", "sectorLogFTL", "subFTL"] {
+        assert!(stdout.contains(name), "missing `{name}`");
+    }
+}
+
+#[test]
+fn gen_stats_replay_round_trip() {
+    let dir = std::env::temp_dir().join("espsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.trace");
+    let path_s = path.to_str().unwrap();
+
+    let (ok, stdout, stderr) = espsim(&[
+        "gen", "--out", path_s, "--requests", "300", "--rsmall", "0.8",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("wrote 300 requests"));
+
+    let (ok, stdout, _) = espsim(&["stats", "--trace", path_s]);
+    assert!(ok);
+    assert!(stdout.contains("requests            300"));
+    assert!(stdout.contains("r_small"));
+
+    let (ok, stdout, stderr) = espsim(&["replay", "--ftl", "fgm", "--trace", path_s]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("fgmFTL"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn msr_import_works() {
+    let dir = std::env::temp_dir().join("espsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.csv");
+    std::fs::write(
+        &path,
+        "1000,h,0,Write,4096,4096,1\n1100,h,0,Read,0,16384,1\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = espsim(&["stats", "--msr", path.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("requests            2"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_inputs_fail_with_messages() {
+    let (ok, _, stderr) = espsim(&["run", "--ftl", "nvme"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --ftl"));
+
+    let (ok, _, stderr) = espsim(&["run", "--geometry", "banana"]);
+    assert!(!ok);
+    assert!(stderr.contains("geometry"));
+
+    let (ok, _, stderr) = espsim(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, stderr) = espsim(&["replay", "--ftl", "sub"]);
+    assert!(!ok);
+    assert!(stderr.contains("--trace"));
+}
