@@ -1,9 +1,10 @@
-//! End-to-end FTL replay throughput: one Criterion group per paper
-//! benchmark profile, one function per FTL. This measures *simulator*
-//! throughput (wall-clock speed of replaying a trace), complementing the
-//! experiment binaries that report *simulated* IOPS.
+//! End-to-end FTL replay throughput: one group per paper benchmark
+//! profile, one row per FTL. This measures *simulator* throughput
+//! (wall-clock speed of replaying a trace), complementing the experiment
+//! binaries that report *simulated* IOPS. Uses the in-repo `micro`
+//! harness (`cargo bench -p esp-bench --bench ftl_throughput`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use esp_bench::micro::bench_batched;
 use esp_core::{precondition, run_trace_qd, FtlConfig};
 use esp_nand::Geometry;
 use esp_workload::{generate, Benchmark};
@@ -23,29 +24,22 @@ fn bench_config() -> FtlConfig {
     }
 }
 
-fn ftl_throughput(c: &mut Criterion) {
+fn main() {
     let cfg = bench_config();
     let footprint = (cfg.logical_sectors() as f64 * 0.625) as u64;
     for bench in [Benchmark::Sysbench, Benchmark::Ycsb] {
         let trace = generate(&bench.config(footprint, 4_000, 7));
-        let mut group = c.benchmark_group(format!("replay/{}", bench.name()));
-        group.sample_size(10);
         for kind in esp_bench::FtlKind::ALL {
-            group.bench_function(kind.name(), |b| {
-                b.iter_batched(
-                    || {
-                        let mut ftl = kind.build(&cfg);
-                        precondition(ftl.as_mut(), 0.625);
-                        ftl
-                    },
-                    |mut ftl| run_trace_qd(ftl.as_mut(), &trace, 8),
-                    BatchSize::LargeInput,
-                )
-            });
+            bench_batched(
+                &format!("replay/{}/{}", bench.name(), kind.name()),
+                10,
+                || {
+                    let mut ftl = kind.build(&cfg);
+                    precondition(ftl.as_mut(), 0.625);
+                    ftl
+                },
+                |mut ftl| run_trace_qd(ftl.as_mut(), &trace, 8),
+            );
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, ftl_throughput);
-criterion_main!(benches);

@@ -1,8 +1,9 @@
 //! Microbenchmarks of the hot FTL paths: single-sector writes per FTL
 //! (mapping update + allocator + device program bookkeeping) and the
-//! subpage-region allocator's lap machinery under churn.
+//! subpage-region allocator's lap machinery under churn. Uses the in-repo
+//! `micro` harness (`cargo bench -p esp-bench --bench mapping_ops`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use esp_bench::micro::bench_batched;
 use esp_core::{Ftl, FtlConfig, SubFtl};
 use esp_nand::Geometry;
 use esp_sim::SimTime;
@@ -22,44 +23,32 @@ fn cfg() -> FtlConfig {
     }
 }
 
-fn write_path(c: &mut Criterion) {
+fn main() {
     let cfg = cfg();
-    let mut group = c.benchmark_group("write_path/sync_4k");
-    group.sample_size(20);
     for kind in esp_bench::FtlKind::ALL {
-        group.bench_function(kind.name(), |b| {
-            b.iter_batched(
-                || (kind.build(&cfg), 0u64, SimTime::ZERO),
-                |(mut ftl, mut lsn, mut clock)| {
-                    for _ in 0..256 {
-                        clock = ftl.write(lsn % 1024, 1, true, clock);
-                        lsn = lsn.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    }
-                    ftl
-                },
-                BatchSize::LargeInput,
-            )
-        });
-    }
-    group.finish();
-}
-
-fn sub_region_churn(c: &mut Criterion) {
-    let cfg = cfg();
-    c.bench_function("sub_region/lap_churn_1k_writes", |b| {
-        b.iter_batched(
-            || SubFtl::new(&cfg),
-            |mut ftl| {
-                let mut clock = SimTime::ZERO;
-                for i in 0..1024u64 {
-                    clock = ftl.write(i % 97, 1, true, clock);
+        bench_batched(
+            &format!("write_path/sync_4k/{}", kind.name()),
+            20,
+            || (kind.build(&cfg), 0u64, SimTime::ZERO),
+            |(mut ftl, mut lsn, mut clock)| {
+                for _ in 0..256 {
+                    clock = ftl.write(lsn % 1024, 1, true, clock);
+                    lsn = lsn.wrapping_mul(6364136223846793005).wrapping_add(1);
                 }
                 ftl
             },
-            BatchSize::LargeInput,
-        )
-    });
+        );
+    }
+    bench_batched(
+        "sub_region/lap_churn_1k_writes",
+        20,
+        || SubFtl::new(&cfg),
+        |mut ftl| {
+            let mut clock = SimTime::ZERO;
+            for i in 0..1024u64 {
+                clock = ftl.write(i % 97, 1, true, clock);
+            }
+            ftl
+        },
+    );
 }
-
-criterion_group!(benches, write_path, sub_region_churn);
-criterion_main!(benches);

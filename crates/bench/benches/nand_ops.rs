@@ -1,12 +1,13 @@
 //! Microbenchmarks of the device substrate: raw NAND command dispatch and
-//! retention-model evaluation (both sit on every simulated I/O).
+//! retention-model evaluation (both sit on every simulated I/O). Uses the
+//! in-repo `micro` harness (`cargo bench -p esp-bench --bench nand_ops`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use esp_bench::micro::{bench, bench_batched};
 use esp_nand::{Geometry, NandDevice, Oob, RetentionModel};
 use esp_sim::{SimDuration, SimTime};
 use esp_ssd::Ssd;
 
-fn nand_program_erase(c: &mut Criterion) {
+fn main() {
     let g = Geometry {
         channels: 2,
         chips_per_channel: 2,
@@ -15,64 +16,58 @@ fn nand_program_erase(c: &mut Criterion) {
         subpages_per_page: 4,
         subpage_bytes: 4096,
     };
-    c.bench_function("nand/subpage_program_cycle", |b| {
-        b.iter_batched(
-            || NandDevice::new(g.clone()),
-            |mut dev| {
-                let blk = dev.geometry().block_addr(0);
-                for round in 0..4u64 {
-                    for page in 0..32 {
-                        for slot in 0..4u8 {
-                            dev.program_subpage(
-                                blk.page(page).subpage(slot),
-                                Oob { lsn: round, seq: round },
-                                SimTime::ZERO,
-                            )
-                            .expect("program");
-                        }
-                    }
-                    dev.erase(blk, SimTime::ZERO).expect("erase");
-                }
-                dev
-            },
-            BatchSize::LargeInput,
-        )
-    });
-
-    c.bench_function("ssd/timed_program_full", |b| {
-        b.iter_batched(
-            || Ssd::new(g.clone()),
-            |mut ssd| {
-                for blk in 0..8u32 {
-                    let addr = ssd.geometry().block_addr(blk);
-                    for page in 0..32 {
-                        ssd.program_full(addr.page(page), &[None; 4], SimTime::ZERO)
-                            .expect("program");
+    bench_batched(
+        "nand/subpage_program_cycle",
+        30,
+        || NandDevice::new(g.clone()),
+        |mut dev| {
+            let blk = dev.geometry().block_addr(0);
+            for round in 0..4u64 {
+                for page in 0..32 {
+                    for slot in 0..4u8 {
+                        dev.program_subpage(
+                            blk.page(page).subpage(slot),
+                            Oob {
+                                lsn: round,
+                                seq: round,
+                            },
+                            SimTime::ZERO,
+                        )
+                        .expect("program");
                     }
                 }
-                ssd
-            },
-            BatchSize::LargeInput,
-        )
-    });
-}
+                dev.erase(blk, SimTime::ZERO).expect("erase");
+            }
+            dev
+        },
+    );
 
-fn retention_eval(c: &mut Criterion) {
-    let model = RetentionModel::paper_default();
-    c.bench_function("retention/normalized_ber_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for pe in (0..3000u32).step_by(100) {
-                for npp in 0..4 {
-                    for days in (0..60u64).step_by(5) {
-                        acc += model.normalized_ber(pe, npp, SimDuration::from_days(days));
-                    }
+    bench_batched(
+        "ssd/timed_program_full",
+        30,
+        || Ssd::new(g.clone()),
+        |mut ssd| {
+            for blk in 0..8u32 {
+                let addr = ssd.geometry().block_addr(blk);
+                for page in 0..32 {
+                    ssd.program_full(addr.page(page), &[None; 4], SimTime::ZERO)
+                        .expect("program");
                 }
             }
-            acc
-        })
+            ssd
+        },
+    );
+
+    let model = RetentionModel::paper_default();
+    bench("retention/normalized_ber_sweep", 30, || {
+        let mut acc = 0.0;
+        for pe in (0..3000u32).step_by(100) {
+            for npp in 0..4 {
+                for days in (0..60u64).step_by(5) {
+                    acc += model.normalized_ber(pe, npp, SimDuration::from_days(days));
+                }
+            }
+        }
+        acc
     });
 }
-
-criterion_group!(benches, nand_program_erase, retention_eval);
-criterion_main!(benches);

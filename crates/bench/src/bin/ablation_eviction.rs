@@ -10,9 +10,7 @@
 //! * `evict-all` — no hot/cold separation, everything valid is evicted;
 //! * `keep-all` — nothing is evicted (only the retention scrubber demotes).
 
-use esp_bench::{
-    big_flag, experiment_config, footprint_sectors, TextTable, FILL_FRACTION,
-};
+use esp_bench::{big_flag, experiment_config, footprint_sectors, TextTable, FILL_FRACTION};
 use esp_core::{precondition, run_trace_qd, EvictionPolicy, FtlConfig, SubFtl};
 use esp_workload::{generate, SyntheticConfig};
 

@@ -21,7 +21,13 @@ fn main() {
         "subFTL IOPS",
         "sub/fgm",
     ]);
-    for (channels, ways, bpc) in [(1u32, 1u32, 512u32), (2, 2, 128), (4, 4, 32), (8, 4, 16), (16, 4, 8)] {
+    for (channels, ways, bpc) in [
+        (1u32, 1u32, 512u32),
+        (2, 2, 128),
+        (4, 4, 32),
+        (8, 4, 16),
+        (16, 4, 8),
+    ] {
         let cfg = FtlConfig {
             geometry: Geometry {
                 channels,

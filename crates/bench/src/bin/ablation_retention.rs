@@ -42,9 +42,7 @@ fn main() {
         .as_secs_f64()
         / 86_400.0;
 
-    println!(
-        "Ablation A2: retention-scrub threshold ({requests} requests over 40 simulated days)"
-    );
+    println!("Ablation A2: retention-scrub threshold ({requests} requests over 40 simulated days)");
     println!(
         "(worst-case subpage retention capability: {worst_days:.1} days; paper threshold: 15)"
     );

@@ -41,9 +41,7 @@ fn main() {
         ..SyntheticConfig::default()
     });
 
-    println!(
-        "Ablation A6: cross-region wear leveling ({requests} small sync writes)"
-    );
+    println!("Ablation A6: cross-region wear leveling ({requests} small sync writes)");
     println!();
     let mut t = TextTable::new([
         "swap threshold",

@@ -18,7 +18,10 @@ fn main() {
 
     println!("Ablation A4: write-buffer size ({requests} small-write requests)");
     println!();
-    for (label, r_synch) in [("sync-heavy (r_synch = 0.95)", 0.95), ("async (r_synch = 0.05)", 0.05)] {
+    for (label, r_synch) in [
+        ("sync-heavy (r_synch = 0.95)", 0.95),
+        ("async (r_synch = 0.05)", 0.05),
+    ] {
         let trace = generate(&SyntheticConfig {
             footprint_sectors: footprint,
             requests,

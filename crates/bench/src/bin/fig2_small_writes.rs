@@ -85,11 +85,11 @@ fn main() {
 
     println!("(a) Normalized throughput (1.0 = FGM at r_small = r_synch = 0)");
     let mut t = TextTable::new(
-        ["r_small".to_string()]
-            .into_iter()
-            .chain(r_synchs.iter().flat_map(|r| {
-                [format!("FGM rsynch({r})"), format!("CGM rsynch({r})")]
-            })),
+        ["r_small".to_string()].into_iter().chain(
+            r_synchs
+                .iter()
+                .flat_map(|r| [format!("FGM rsynch({r})"), format!("CGM rsynch({r})")]),
+        ),
     );
     for (i, &r_small) in r_smalls.iter().enumerate() {
         let mut cells = vec![format!("{r_small:.1}")];

@@ -19,7 +19,10 @@ fn main() {
     let pe = model.reference_pe_cycles();
 
     println!("Fig 5: normalized retention BER vs Npp type (device pre-cycled to {pe} P/E)");
-    println!("ECC correction limit: {:.2} (normalized)", model.ecc_limit());
+    println!(
+        "ECC correction limit: {:.2} (normalized)",
+        model.ecc_limit()
+    );
     println!();
 
     let mut t = TextTable::new([
@@ -96,13 +99,23 @@ fn main() {
                     for prior in 0..npp {
                         dev.program_subpage(
                             page.subpage(prior),
-                            Oob { lsn: u64::from(b), seq: 0 },
+                            Oob {
+                                lsn: u64::from(b),
+                                seq: 0,
+                            },
                             SimTime::ZERO,
                         )
                         .expect("prior program");
                     }
-                    dev.program_subpage(addr, Oob { lsn: u64::from(b), seq: 1 }, SimTime::ZERO)
-                        .expect("characterization program");
+                    dev.program_subpage(
+                        addr,
+                        Oob {
+                            lsn: u64::from(b),
+                            seq: 1,
+                        },
+                        SimTime::ZERO,
+                    )
+                    .expect("characterization program");
                 }
                 let now = SimTime::ZERO + SimDuration::from_months(months);
                 if dev.read_subpage(addr, now).is_ok() {

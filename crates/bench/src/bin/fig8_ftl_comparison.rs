@@ -47,7 +47,8 @@ fn main() {
             precondition(ftl.as_mut(), FILL_FRACTION);
             let report = run_trace_qd(ftl.as_mut(), &trace, QUEUE_DEPTH);
             assert_eq!(
-                report.stats.read_faults, 0,
+                report.stats.read_faults,
+                0,
                 "{} surfaced read faults on {bench}",
                 kind.name()
             );
@@ -55,7 +56,11 @@ fn main() {
             gc[k] = report.stats.gc_invocations;
             erases[k] = report.erases;
             if kind == FtlKind::Sub {
-                waf_rows.push((bench, report.stats.small_write_fraction(), report.stats.small_request_waf()));
+                waf_rows.push((
+                    bench,
+                    report.stats.small_write_fraction(),
+                    report.stats.small_request_waf(),
+                ));
             }
         }
         iops_tbl.row([

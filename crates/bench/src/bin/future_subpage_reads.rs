@@ -34,24 +34,15 @@ fn main() {
         ..SyntheticConfig::default()
     });
 
-    println!(
-        "§7 future work: fast subpage reads ({requests} requests, 60% reads, QD 1)"
-    );
+    println!("§7 future work: fast subpage reads ({requests} requests, 60% reads, QD 1)");
     println!();
-    let mut t = TextTable::new([
-        "configuration",
-        "IOPS",
-        "mean latency (us)",
-        "p99 latency",
-    ]);
+    let mut t = TextTable::new(["configuration", "IOPS", "mean latency (us)", "p99 latency"]);
     for (label, fast, kind) in [
         ("fgmFTL (full-page sense)", false, FtlKind::Fgm),
         ("subFTL (full-page sense)", false, FtlKind::Sub),
         ("subFTL + fast subpage read", true, FtlKind::Sub),
     ] {
-        let mut cfg = FtlConfig {
-            ..base.clone()
-        };
+        let mut cfg = FtlConfig { ..base.clone() };
         if fast {
             cfg.timing = cfg.timing.with_fast_subpage_read();
         }

@@ -47,8 +47,7 @@ fn main() {
             let mut ftl = kind.build(&cfg);
             precondition(ftl.as_mut(), FILL_FRACTION);
             let r = run_trace_qd(ftl.as_mut(), &trace, 8);
-            let host_gb =
-                (r.stats.host_write_sectors * SECTOR_BYTES) as f64 / 1e9;
+            let host_gb = (r.stats.host_write_sectors * SECTOR_BYTES) as f64 / 1e9;
             let per_erase = host_gb / r.erases.max(1) as f64;
             let tbw = per_erase * budget_erases as f64 / 1e3;
             if kind == FtlKind::Fgm {

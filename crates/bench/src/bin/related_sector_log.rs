@@ -6,9 +6,7 @@
 //! synchronous small writes occur fairly frequently". With both FTLs
 //! implemented over the same device, that claim becomes measurable.
 
-use esp_bench::{
-    big_flag, experiment_config, footprint_sectors, TextTable, FILL_FRACTION,
-};
+use esp_bench::{big_flag, experiment_config, footprint_sectors, TextTable, FILL_FRACTION};
 use esp_core::{precondition, run_trace_qd, FtlConfig, SectorLogFtl, SubFtl};
 use esp_workload::{generate, Benchmark};
 
@@ -18,7 +16,9 @@ fn main() {
     let requests = if big_flag() { 400_000 } else { 50_000 };
 
     println!("§6 related work: sector log (Jin et al.) vs subFTL ({requests} requests, QD 16)");
-    println!("(both hybrids reserve the same 20% region; only subFTL programs erase-free subpages)");
+    println!(
+        "(both hybrids reserve the same 20% region; only subFTL programs erase-free subpages)"
+    );
     println!();
     let mut t = TextTable::new([
         "benchmark",

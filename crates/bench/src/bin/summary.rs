@@ -20,7 +20,10 @@ fn main() {
     let pe = m.reference_pe_cycles();
     let uplift =
         m.normalized_ber(pe, 3, SimDuration::ZERO) / m.normalized_ber(pe, 0, SimDuration::ZERO);
-    println!("Retention model: Npp^3 uplift {:.0}% (paper: 41%)", (uplift - 1.0) * 100.0);
+    println!(
+        "Retention model: Npp^3 uplift {:.0}% (paper: 41%)",
+        (uplift - 1.0) * 100.0
+    );
     println!(
         "  Npp^3 one-month ok: {}   two-month ok: {} (paper: ok / uncorrectable)",
         m.is_readable(pe, 3, SimDuration::from_months(1)),

@@ -213,7 +213,7 @@ mod tests {
         let mut b = WriteBuffer::new(100);
         b.insert(8, 2, true); // 8,9
         b.insert(12, 2, true); // 12,13
-        // Taking [9, 13) touches both runs; each comes out whole.
+                               // Taking [9, 13) touches both runs; each comes out whole.
         let chunks = b.take_overlapping(9, 4);
         assert_eq!(chunks.len(), 2);
         assert_eq!((chunks[0].start_lsn, chunks[0].sectors()), (8, 2));

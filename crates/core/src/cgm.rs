@@ -65,22 +65,33 @@ impl CgmFtl {
     /// Builds the FTL structures over an existing (possibly non-empty)
     /// device; mapping state starts empty — see [`CgmFtl::recover`] for
     /// rebuilding it from flash contents.
-    pub(crate) fn with_ssd(config: &FtlConfig, ssd: Ssd) -> Self {
+    pub(crate) fn with_ssd(config: &FtlConfig, mut ssd: Ssd) -> Self {
+        if let Some(f) = &config.fault {
+            ssd.device_mut().set_faults(f.clone());
+        }
         let logical_sectors = config.logical_sectors();
         let lpn_count = logical_sectors / u64::from(SECTORS_PER_PAGE);
         let all_blocks: Vec<u32> = (0..config.geometry.block_count()).collect();
-        let engine = FullRegionEngine::new(
+        let mut engine = FullRegionEngine::new(
             all_blocks,
             config.geometry.pages_per_block,
             config.geometry.blocks_per_chip,
             lpn_count,
             config.gc_free_watermark,
         );
+        let mut stats = FtlStats::new();
+        // Exclude factory-marked and previously grown bad blocks from the
+        // pool (local index == gbi here, so retirement is in place).
+        for gbi in ssd.device().bad_block_indices() {
+            if engine.retire_gbi(gbi) {
+                stats.blocks_retired += 1;
+            }
+        }
         CgmFtl {
             ssd,
             engine,
             buffer: WriteBuffer::new(config.write_buffer_sectors),
-            stats: FtlStats::new(),
+            stats,
             seq: 0,
             logical_sectors,
         }
@@ -182,9 +193,9 @@ impl CgmFtl {
                         seq: self.next_seq(),
                     });
                 }
-                let pd =
-                    self.engine
-                        .program_page(lpn, &oobs, &mut self.ssd, &mut self.stats, t);
+                let pd = self
+                    .engine
+                    .program_page(lpn, &oobs, &mut self.ssd, &mut self.stats, t);
                 done = done.max(pd);
 
                 // Request-WAF attribution: the whole 16 KB page consumption is
@@ -260,11 +271,12 @@ impl Ftl for CgmFtl {
         }
         let page = u64::from(SECTORS_PER_PAGE);
         let ptr = self.engine.lookup(lsn / page)?;
-        let addr = self.engine.page_addr(ptr, &self.ssd).subpage((lsn % page) as u8);
+        let addr = self
+            .engine
+            .page_addr(ptr, &self.ssd)
+            .subpage((lsn % page) as u8);
         match self.ssd.device().subpage_state(addr) {
-            esp_nand::SubpageState::Written(w) => {
-                w.oob.filter(|o| o.lsn == lsn).map(|o| o.seq)
-            }
+            esp_nand::SubpageState::Written(w) => w.oob.filter(|o| o.lsn == lsn).map(|o| o.seq),
             _ => None,
         }
     }
@@ -391,6 +403,79 @@ mod tests {
         assert!(report.stats.gc_invocations > 0, "GC exercised");
         assert_eq!(report.stats.read_faults, 0);
         assert!(report.iops > 0.0);
+    }
+
+    #[test]
+    fn survives_faults_and_factory_bad_blocks() {
+        let mut config = FtlConfig::tiny();
+        config.fault = Some(esp_nand::FaultConfig {
+            seed: 9,
+            program_fail_prob: 0.02,
+            erase_fail_prob: 0.01,
+            factory_bad_blocks: 2,
+            ..esp_nand::FaultConfig::default()
+        });
+        let mut ftl = CgmFtl::new(&config);
+        assert_eq!(
+            ftl.stats().blocks_retired,
+            2,
+            "factory bad blocks retired at mount"
+        );
+        let logical = ftl.logical_sectors();
+        let cfg = SyntheticConfig {
+            footprint_sectors: logical / 2,
+            requests: 2_000,
+            r_small: 0.5,
+            r_synch: 1.0,
+            zipf_theta: 0.5,
+            ..SyntheticConfig::default()
+        };
+        let report = run_trace(&mut ftl, &generate(&cfg));
+        assert_eq!(
+            report.stats.read_faults, 0,
+            "faults must never corrupt reads"
+        );
+        assert!(report.stats.write_retries > 0, "p=0.02 must force retries");
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        let mut config = FtlConfig::tiny();
+        config.fault = Some(esp_nand::FaultConfig {
+            seed: 13,
+            program_fail_prob: 0.02,
+            erase_fail_prob: 0.01,
+            ..esp_nand::FaultConfig::default()
+        });
+        let cfg = SyntheticConfig {
+            footprint_sectors: CgmFtl::new(&config).logical_sectors() / 2,
+            requests: 1_000,
+            r_small: 0.5,
+            r_synch: 1.0,
+            ..SyntheticConfig::default()
+        };
+        let trace = generate(&cfg);
+        let run = |c: &FtlConfig| {
+            let mut ftl = CgmFtl::new(c);
+            run_trace(&mut ftl, &trace)
+        };
+        let a = run(&config);
+        let b = run(&config);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.stats.write_retries, b.stats.write_retries);
+        assert_eq!(a.stats.blocks_retired, b.stats.blocks_retired);
+        assert_eq!(a.erases, b.erases);
+        let mut other = config.clone();
+        other.fault = Some(esp_nand::FaultConfig {
+            seed: 14,
+            ..config.fault.clone().unwrap()
+        });
+        let c = run(&other);
+        assert_ne!(
+            (a.stats.write_retries, a.stats.erase_failures),
+            (c.stats.write_retries, c.stats.erase_failures),
+            "different fault seed, different fault history"
+        );
     }
 
     #[test]

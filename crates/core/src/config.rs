@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use esp_nand::{Geometry, NandTiming, RetentionModel};
+use esp_nand::{FaultConfig, Geometry, NandTiming, RetentionModel};
 use esp_sim::SimDuration;
 use esp_workload::SECTORS_PER_PAGE;
 
@@ -104,6 +104,11 @@ pub struct FtlConfig {
     /// one chip overlap; blocks alternate planes). 1 matches the paper's
     /// timing assumptions; 2 models typical multi-plane TLC dies.
     pub planes_per_chip: u32,
+    /// Program/erase fault injection (factory + grown bad blocks, write
+    /// retries). `None` — the default — disables the fault model entirely:
+    /// the device draws no randomness and every baseline result is
+    /// bit-identical to a fault-free build.
+    pub fault: Option<FaultConfig>,
 }
 
 impl FtlConfig {
@@ -125,6 +130,7 @@ impl FtlConfig {
             eviction_policy: EvictionPolicy::SecondChance,
             background_gc: false,
             planes_per_chip: 1,
+            fault: None,
         }
     }
 
@@ -174,7 +180,10 @@ impl FtlConfig {
             ));
         }
         if !(0.0..1.0).contains(&self.overprovision) {
-            return Err(format!("overprovision must be in [0,1), got {}", self.overprovision));
+            return Err(format!(
+                "overprovision must be in [0,1), got {}",
+                self.overprovision
+            ));
         }
         if !(0.0..1.0).contains(&self.subpage_region_fraction) {
             return Err(format!(
@@ -207,6 +216,20 @@ impl FtlConfig {
         }
         if self.retention_threshold >= SimDuration::from_months(1) {
             return Err("retention_threshold must be below the 1-month device bound".into());
+        }
+        if let Some(fault) = &self.fault {
+            fault.validate()?;
+            // The FTLs must survive losing every factory bad block from
+            // whichever region it lands in; 12.5 % of the device is a
+            // generous ceiling (real parts specify ~2 %).
+            let cap = (self.geometry.block_count() / 8).max(1);
+            if fault.factory_bad_blocks > cap {
+                return Err(format!(
+                    "factory_bad_blocks ({}) exceeds what the block budget \
+                     tolerates ({cap})",
+                    fault.factory_bad_blocks
+                ));
+            }
         }
         Ok(())
     }
@@ -265,6 +288,37 @@ mod tests {
         let mut cfg = FtlConfig::paper_default();
         cfg.geometry.subpage_bytes = 2048;
         assert!(cfg.validate().unwrap_err().contains("B subpages"));
+    }
+
+    #[test]
+    fn validate_checks_fault_config() {
+        let cfg = FtlConfig {
+            fault: Some(FaultConfig {
+                program_fail_prob: 2.0,
+                ..FaultConfig::default()
+            }),
+            ..FtlConfig::paper_default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("program_fail_prob"));
+        let cfg = FtlConfig {
+            fault: Some(FaultConfig {
+                factory_bad_blocks: 100_000,
+                ..FaultConfig::default()
+            }),
+            ..FtlConfig::paper_default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("factory_bad_blocks"));
+        let cfg = FtlConfig {
+            fault: Some(FaultConfig {
+                seed: 1,
+                program_fail_prob: 1e-4,
+                erase_fail_prob: 1e-5,
+                factory_bad_blocks: 2,
+                ..FaultConfig::default()
+            }),
+            ..FtlConfig::tiny()
+        };
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! (one data subpage plus three padding subpages — *internal fragmentation*)
 //! and garbage collection degrades toward the CGM level as `r_synch` grows.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use esp_nand::Oob;
 use esp_sim::SimTime;
@@ -29,6 +29,8 @@ struct FgmBlock {
     valid: Vec<bool>,
     valid_count: u32,
     programmed_pages: u32,
+    /// Bad block (factory-marked or grown): never allocated again.
+    retired: bool,
 }
 
 impl FgmBlock {
@@ -38,6 +40,7 @@ impl FgmBlock {
             valid: vec![false; (pages * nsub) as usize],
             valid_count: 0,
             programmed_pages: 0,
+            retired: false,
         }
     }
 }
@@ -99,7 +102,10 @@ impl FgmFtl {
     /// Builds the FTL structures over an existing (possibly non-empty)
     /// device; mapping state starts empty — see [`FgmFtl::recover`] for
     /// rebuilding it from flash contents.
-    pub(crate) fn with_ssd(config: &FtlConfig, ssd: Ssd) -> Self {
+    pub(crate) fn with_ssd(config: &FtlConfig, mut ssd: Ssd) -> Self {
+        if let Some(f) = &config.fault {
+            ssd.device_mut().set_faults(f.clone());
+        }
         let g = &config.geometry;
         let blocks: Vec<FgmBlock> = (0..g.block_count())
             .map(|gbi| FgmBlock::new(gbi, g.pages_per_block, g.subpages_per_page))
@@ -107,7 +113,7 @@ impl FgmFtl {
         let free = (0..blocks.len() as u32).collect();
         let logical_sectors = config.logical_sectors();
         let chips = g.chip_count() as usize;
-        FgmFtl {
+        let mut ftl = FgmFtl {
             ssd,
             blocks,
             free,
@@ -122,6 +128,26 @@ impl FgmFtl {
             nsub: g.subpages_per_page,
             watermark: config.gc_free_watermark,
             background_gc: config.background_gc,
+        };
+        // Exclude factory-marked and previously grown bad blocks (local
+        // block index == gbi here).
+        for gbi in ftl.ssd.device().bad_block_indices() {
+            ftl.retire_block(gbi);
+            ftl.stats.blocks_retired += 1;
+        }
+        ftl
+    }
+
+    /// Takes a block out of service: never allocated, never a GC victim.
+    fn retire_block(&mut self, local: u32) {
+        self.blocks[local as usize].retired = true;
+        if let Some(pos) = self.free.iter().position(|&f| f == local) {
+            self.free.swap_remove(pos);
+        }
+        for a in &mut self.actives {
+            if *a == Some(local) {
+                *a = None;
+            }
         }
     }
 
@@ -148,8 +174,7 @@ impl FgmFtl {
         let scans = crate::recovery::scan_device(&mut ssd);
         let mut ftl = Self::with_ssd(config, ssd);
         // lsn -> (seq, block, page, slot).
-        let mut best: Vec<Option<(u64, u32, u32, u32)>> =
-            vec![None; ftl.logical_sectors as usize];
+        let mut best: Vec<Option<(u64, u32, u32, u32)>> = vec![None; ftl.logical_sectors as usize];
         let mut max_seq = 0u64;
         for (b, scan) in scans.iter().enumerate() {
             ftl.blocks[b].programmed_pages = scan.programmed_pages();
@@ -163,14 +188,15 @@ impl FgmFtl {
                         continue;
                     }
                     if best[lsn].is_none_or(|(seq, ..)| slot.seq > seq) {
-                        best[lsn] =
-                            Some((slot.seq, b as u32, p as u32, u32::from(slot.slot)));
+                        best[lsn] = Some((slot.seq, b as u32, p as u32, u32::from(slot.slot)));
                     }
                 }
             }
         }
         for (lsn, entry) in best.iter().enumerate() {
-            let Some((_, b, p, slot)) = *entry else { continue };
+            let Some((_, b, p, slot)) = *entry else {
+                continue;
+            };
             ftl.l2p[lsn] = ftl.pack(b, p, slot);
             let blk = &mut ftl.blocks[b as usize];
             blk.valid[(p * ftl.nsub + slot) as usize] = true;
@@ -180,7 +206,7 @@ impl FgmFtl {
             .blocks
             .iter()
             .enumerate()
-            .filter(|(_, b)| b.programmed_pages == 0)
+            .filter(|(_, b)| !b.retired && b.programmed_pages == 0)
             .map(|(i, _)| i as u32)
             .collect();
         // Resume one partially programmed block per chip as the active
@@ -190,7 +216,7 @@ impl FgmFtl {
         }
         for i in 0..ftl.blocks.len() {
             let b = &ftl.blocks[i];
-            if b.programmed_pages == 0 || b.programmed_pages >= ftl.pages_per_block {
+            if b.retired || b.programmed_pages == 0 || b.programmed_pages >= ftl.pages_per_block {
                 continue;
             }
             let chip = ftl.chip_of(i as u32);
@@ -219,11 +245,7 @@ impl FgmFtl {
 
     fn unpack(&self, packed: u32) -> (u32, u32, u32) {
         let spb = self.subpages_per_block();
-        (
-            packed / spb,
-            (packed % spb) / self.nsub,
-            packed % self.nsub,
-        )
+        (packed / spb, (packed % spb) / self.nsub, packed % self.nsub)
     }
 
     fn map_sector(&mut self, lsn: u64, block: u32, page: u32, slot: u32) {
@@ -286,24 +308,35 @@ impl FgmFtl {
     }
 
     /// Programs up to `N_sub` sectors into one physical page, mapping each.
-    /// Returns the completion time.
+    /// Returns the completion time. A program that reports status fail is
+    /// retried on the next allocated page; the failed page holds no valid
+    /// data, so GC reclaims it with its block.
     fn program_group(&mut self, group: &[(u64, u64)], issue: SimTime) -> SimTime {
         debug_assert!(!group.is_empty() && group.len() <= self.nsub as usize);
-        let (block, page) = self.alloc_page();
-        let gbi = self.blocks[block as usize].gbi;
-        let addr = self.ssd.geometry().block_addr(gbi).page(page);
         let mut oobs: Vec<Option<Oob>> = vec![None; self.nsub as usize];
         for (slot, &(lsn, seq)) in group.iter().enumerate() {
             oobs[slot] = Some(Oob { lsn, seq });
         }
-        let done = self
-            .ssd
-            .program_full(addr, &oobs, issue)
-            .expect("fgm allocated a clean page");
-        for (slot, &(lsn, _)) in group.iter().enumerate() {
-            self.map_sector(lsn, block, page, slot as u32);
+        let mut now = issue;
+        loop {
+            let (block, page) = self.alloc_page();
+            let gbi = self.blocks[block as usize].gbi;
+            let addr = self.ssd.geometry().block_addr(gbi).page(page);
+            match self.ssd.program_full(addr, &oobs, now) {
+                Ok(done) => {
+                    for (slot, &(lsn, _)) in group.iter().enumerate() {
+                        self.map_sector(lsn, block, page, slot as u32);
+                    }
+                    return done;
+                }
+                Err(f) if f.error == esp_nand::NandError::ProgramFailed => {
+                    self.stats.program_failures += 1;
+                    self.stats.write_retries += 1;
+                    now = f.at;
+                }
+                Err(f) => panic!("fgm allocated a clean page: {f}"),
+            }
         }
-        done
     }
 
     /// Greedy GC: collect min-valid blocks until the free pool recovers.
@@ -321,7 +354,8 @@ impl FgmFtl {
             .iter()
             .enumerate()
             .filter(|(i, b)| {
-                !self.actives.contains(&Some(*i as u32))
+                !b.retired
+                    && !self.actives.contains(&Some(*i as u32))
                     && b.programmed_pages >= self.pages_per_block
             })
             .min_by_key(|(_, b)| b.valid_count)
@@ -337,9 +371,8 @@ impl FgmFtl {
         // Collect surviving sectors, then repack them 4-to-a-page.
         let mut survivors: Vec<(u64, u64)> = Vec::new();
         for page in 0..self.pages_per_block {
-            let any_valid = (0..self.nsub).any(|s| {
-                self.blocks[victim as usize].valid[(page * self.nsub + s) as usize]
-            });
+            let any_valid = (0..self.nsub)
+                .any(|s| self.blocks[victim as usize].valid[(page * self.nsub + s) as usize]);
             if !any_valid {
                 continue;
             }
@@ -364,12 +397,29 @@ impl FgmFtl {
             self.stats.gc_flash_sectors += u64::from(SECTORS_PER_PAGE);
         }
         let blk_addr = self.ssd.geometry().block_addr(gbi);
-        now = self.ssd.erase(blk_addr, now).expect("erase managed block");
-        let b = &mut self.blocks[victim as usize];
-        b.valid.fill(false);
-        b.valid_count = 0;
-        b.programmed_pages = 0;
-        self.free.push(victim);
+        match self.ssd.erase(blk_addr, now) {
+            Ok(done) => {
+                now = done;
+                let b = &mut self.blocks[victim as usize];
+                b.valid.fill(false);
+                b.valid_count = 0;
+                b.programmed_pages = 0;
+                self.free.push(victim);
+            }
+            Err(f) if f.error == esp_nand::NandError::EraseFailed => {
+                // Grown bad block: retire it; survivors were copied out
+                // above, so nothing is lost and GC just picks another
+                // victim.
+                now = f.at;
+                let b = &mut self.blocks[victim as usize];
+                b.valid.fill(false);
+                b.valid_count = 0;
+                self.retire_block(victim);
+                self.stats.erase_failures += 1;
+                self.stats.blocks_retired += 1;
+            }
+            Err(f) => panic!("erase managed block: {f}"),
+        }
         now
     }
 
@@ -449,7 +499,9 @@ impl Ftl for FgmFtl {
         self.stats.host_read_requests += 1;
         self.stats.host_read_sectors += u64::from(sectors);
         // Group flash-resident sectors by physical page to batch reads.
-        let mut by_page: HashMap<(u32, u32), Vec<(u64, u32)>> = HashMap::new();
+        // BTreeMap, not HashMap: iteration order decides the order reads
+        // hit the channel timelines, and runs must be deterministic.
+        let mut by_page: BTreeMap<(u32, u32), Vec<(u64, u32)>> = BTreeMap::new();
         for s in lsn..lsn + u64::from(sectors) {
             if self.buffer.contains(s) {
                 continue;
@@ -501,7 +553,8 @@ impl Ftl for FgmFtl {
                 .iter()
                 .enumerate()
                 .filter(|(i, b)| {
-                    !self.actives.contains(&Some(*i as u32))
+                    !b.retired
+                        && !self.actives.contains(&Some(*i as u32))
                         && b.programmed_pages >= self.pages_per_block
                         && b.valid_count < self.subpages_per_block()
                 })
@@ -526,11 +579,14 @@ impl Ftl for FgmFtl {
         }
         let (b, p, slot) = self.unpack(packed);
         let gbi = self.blocks[b as usize].gbi;
-        let addr = self.ssd.geometry().block_addr(gbi).page(p).subpage(slot as u8);
+        let addr = self
+            .ssd
+            .geometry()
+            .block_addr(gbi)
+            .page(p)
+            .subpage(slot as u8);
         match self.ssd.device().subpage_state(addr) {
-            esp_nand::SubpageState::Written(w) => {
-                w.oob.filter(|o| o.lsn == lsn).map(|o| o.seq)
-            }
+            esp_nand::SubpageState::Written(w) => w.oob.filter(|o| o.lsn == lsn).map(|o| o.seq),
             _ => None,
         }
     }
@@ -666,6 +722,37 @@ mod tests {
         ftl.write(3, 1, true, SimTime::ZERO);
         assert_eq!(ftl.ssd().device().stats().full_programs, 1);
         assert!((ftl.stats().small_request_waf() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survives_faults_and_factory_bad_blocks() {
+        let mut config = FtlConfig::tiny();
+        // Erase faults retire blocks permanently, and fgm's fragmented sync
+        // small writes erase often — keep the grown-bad rate low enough
+        // that the 16-block tiny device survives the whole run.
+        config.fault = Some(esp_nand::FaultConfig {
+            seed: 17,
+            program_fail_prob: 0.02,
+            erase_fail_prob: 0.001,
+            factory_bad_blocks: 2,
+            ..esp_nand::FaultConfig::default()
+        });
+        let mut ftl = FgmFtl::new(&config);
+        assert_eq!(ftl.stats().blocks_retired, 2);
+        let cfg = SyntheticConfig {
+            footprint_sectors: ftl.logical_sectors() / 2,
+            requests: 2_000,
+            r_small: 0.5,
+            r_synch: 1.0,
+            zipf_theta: 0.5,
+            ..SyntheticConfig::default()
+        };
+        let report = run_trace(&mut ftl, &generate(&cfg));
+        assert_eq!(
+            report.stats.read_faults, 0,
+            "faults must never corrupt reads"
+        );
+        assert!(report.stats.write_retries > 0, "p=0.02 must force retries");
     }
 
     #[test]

@@ -210,33 +210,48 @@ impl FullRegionEngine {
             }
         }
         let ready = self.ensure_space(ssd, stats, issue);
-        let done = self.program_internal(lpn, oobs, ssd, ready);
+        let done = self.program_internal(lpn, oobs, ssd, stats, ready);
         stats.flash_sectors_consumed += u64::from(SECTORS_PER_PAGE);
         done
     }
 
     /// Allocates the next page of the active block (popping a new free
     /// block if needed) and programs it, updating the map and validity.
+    ///
+    /// A program that reports status fail is retried on the next allocated
+    /// page (write retry): the failed page stays accounted as programmed
+    /// with no valid data, so GC reclaims it with the rest of its block.
     fn program_internal(
         &mut self,
         lpn: u64,
         oobs: &[Option<Oob>],
         ssd: &mut Ssd,
+        stats: &mut FtlStats,
         issue: SimTime,
     ) -> SimTime {
-        let (block, page) = self.alloc_page(ssd);
-        let gbi = self.blocks[block as usize].gbi;
-        let addr = ssd.geometry().block_addr(gbi).page(page);
-        let done = ssd
-            .program_full(addr, oobs, issue)
-            .expect("engine allocated a clean page");
-        // Invalidate the old copy, map the new one.
-        self.unmap(lpn);
-        self.l2p[lpn as usize] = block * self.pages_per_block + page;
-        let blk = &mut self.blocks[block as usize];
-        blk.valid[page as usize] = true;
-        blk.valid_count += 1;
-        done
+        let mut now = issue;
+        loop {
+            let (block, page) = self.alloc_page(ssd);
+            let gbi = self.blocks[block as usize].gbi;
+            let addr = ssd.geometry().block_addr(gbi).page(page);
+            match ssd.program_full(addr, oobs, now) {
+                Ok(done) => {
+                    // Invalidate the old copy, map the new one.
+                    self.unmap(lpn);
+                    self.l2p[lpn as usize] = block * self.pages_per_block + page;
+                    let blk = &mut self.blocks[block as usize];
+                    blk.valid[page as usize] = true;
+                    blk.valid_count += 1;
+                    return done;
+                }
+                Err(f) if f.error == esp_nand::NandError::ProgramFailed => {
+                    stats.program_failures += 1;
+                    stats.write_retries += 1;
+                    now = f.at;
+                }
+                Err(f) => panic!("engine allocated a clean page: {f}"),
+            }
+        }
     }
 
     /// Next write position: round-robins over per-chip active blocks so
@@ -322,12 +337,7 @@ impl FullRegionEngine {
     ///
     /// Panics if no victim can reclaim space (logical data exceeds the
     /// pool — a configuration error caught by `FtlConfig::validate`).
-    pub fn ensure_space(
-        &mut self,
-        ssd: &mut Ssd,
-        stats: &mut FtlStats,
-        issue: SimTime,
-    ) -> SimTime {
+    pub fn ensure_space(&mut self, ssd: &mut Ssd, stats: &mut FtlStats, issue: SimTime) -> SimTime {
         let mut now = issue;
         while (self.free.len() as u32) < self.watermark {
             now = self.collect_victim(ssd, stats, now);
@@ -381,18 +391,65 @@ impl FullRegionEngine {
             );
             let oobs: Vec<Option<Oob>> = slots.iter().map(|r| r.as_ref().ok().copied()).collect();
             let data_sectors = oobs.iter().flatten().count() as u64;
-            now = self.program_internal(lpn, &oobs, ssd, read_done);
+            now = self.program_internal(lpn, &oobs, ssd, stats, read_done);
             stats.gc_copied_sectors += data_sectors;
             stats.gc_flash_sectors += u64::from(SECTORS_PER_PAGE);
         }
         let blk_addr = ssd.geometry().block_addr(gbi);
-        now = ssd.erase(blk_addr, now).expect("erase of managed block");
-        let blk = &mut self.blocks[victim as usize];
-        blk.programmed = 0;
-        blk.valid.fill(false);
-        blk.valid_count = 0;
-        self.free.push(victim);
+        match ssd.erase(blk_addr, now) {
+            Ok(done) => {
+                now = done;
+                let blk = &mut self.blocks[victim as usize];
+                blk.programmed = 0;
+                blk.valid.fill(false);
+                blk.valid_count = 0;
+                self.free.push(victim);
+            }
+            Err(f) if f.error == esp_nand::NandError::EraseFailed => {
+                // The block grew bad: retire it instead of freeing it. All
+                // valid data was already copied out above, so nothing is
+                // lost; the caller's loop simply picks the next victim.
+                now = f.at;
+                let blk = &mut self.blocks[victim as usize];
+                blk.retired = true;
+                blk.valid.fill(false);
+                blk.valid_count = 0;
+                stats.erase_failures += 1;
+                stats.blocks_retired += 1;
+            }
+            Err(f) => panic!("erase of managed block: {f}"),
+        }
         now
+    }
+
+    /// Retires the block with device-global index `gbi` in place (bad-block
+    /// exclusion at mount or after a grown-bad discovery). The block keeps
+    /// its engine-local slot — callers such as `CgmFtl::recover` rely on
+    /// local index == gbi alignment — but leaves the free list and any
+    /// active-block slot. Returns `false` if `gbi` is not under management
+    /// or already retired.
+    pub fn retire_gbi(&mut self, gbi: u32) -> bool {
+        let Some(local) = self.blocks.iter().position(|b| b.gbi == gbi) else {
+            return false;
+        };
+        if self.blocks[local].retired {
+            return false;
+        }
+        assert_eq!(
+            self.blocks[local].valid_count, 0,
+            "cannot retire a block that still holds valid data"
+        );
+        self.blocks[local].retired = true;
+        let local = local as u32;
+        if let Some(pos) = self.free.iter().position(|&f| f == local) {
+            self.free.swap_remove(pos);
+        }
+        for a in &mut self.actives {
+            if *a == Some(local) {
+                *a = None;
+            }
+        }
+        true
     }
 
     /// Removes one erased block from the pool for cross-region wear
@@ -540,7 +597,13 @@ mod tests {
         let g = Geometry::tiny(); // 16 blocks of 4 pages
         let ssd = Ssd::new(g.clone());
         // Use all 16 blocks, logical space of 32 lpns (half of physical).
-        let engine = FullRegionEngine::new((0..16).collect(), g.pages_per_block, g.blocks_per_chip, 32, 2);
+        let engine = FullRegionEngine::new(
+            (0..16).collect(),
+            g.pages_per_block,
+            g.blocks_per_chip,
+            32,
+            2,
+        );
         (ssd, engine, FtlStats::new())
     }
 
@@ -605,12 +668,19 @@ mod tests {
         // Pages with only one data slot (RMW style) survive GC intact.
         let oobs = |lpn: u64| {
             let mut v: Vec<Option<Oob>> = vec![None; 4];
-            v[1] = Some(Oob { lsn: lpn * 4 + 1, seq: 9 });
+            v[1] = Some(Oob {
+                lsn: lpn * 4 + 1,
+                seq: 9,
+            });
             v
         };
         for round in 0..8 {
             for lpn in 0..32 {
-                let o = if round == 7 { oobs(lpn) } else { full_oobs(lpn) };
+                let o = if round == 7 {
+                    oobs(lpn)
+                } else {
+                    full_oobs(lpn)
+                };
                 eng.program_page(lpn, &o, &mut ssd, &mut stats, SimTime::ZERO);
             }
         }
@@ -657,7 +727,8 @@ mod tests {
     fn donation_refuses_below_watermark() {
         let g = Geometry::tiny();
         let ssd = Ssd::new(g.clone());
-        let mut eng = FullRegionEngine::new(vec![0, 1, 2], g.pages_per_block, g.blocks_per_chip, 4, 2);
+        let mut eng =
+            FullRegionEngine::new(vec![0, 1, 2], g.pages_per_block, g.blocks_per_chip, 4, 2);
         // 3 free blocks, watermark 2: can donate exactly one.
         assert!(eng.donate_free_block(&ssd).is_some());
         assert!(eng.donate_free_block(&ssd).is_none());
@@ -690,7 +761,12 @@ mod tests {
         let programmed: Vec<u32> = (0..16)
             .map(|b| {
                 (0..4)
-                    .filter(|&p| !ssd.device().block(ssd.geometry().block_addr(b)).page(p).is_erased())
+                    .filter(|&p| {
+                        !ssd.device()
+                            .block(ssd.geometry().block_addr(b))
+                            .page(p)
+                            .is_erased()
+                    })
                     .count() as u32
             })
             .collect();
@@ -700,7 +776,8 @@ mod tests {
                 (lpn, ptr.block, ptr.page)
             })
             .collect();
-        let mut restored = FullRegionEngine::new((0..16).collect(), 4, ssd.geometry().blocks_per_chip, 32, 2);
+        let mut restored =
+            FullRegionEngine::new((0..16).collect(), 4, ssd.geometry().blocks_per_chip, 32, 2);
         restored.restore_state(&programmed, &mappings);
         assert_eq!(restored.valid_pages(), 8);
         for lpn in 0..8 {
@@ -750,10 +827,118 @@ mod tests {
         for _ in 0..5 {
             ssd.erase(g.block_addr(0), SimTime::ZERO).unwrap();
         }
-        let mut eng = FullRegionEngine::new(vec![0, 1, 2, 3], g.pages_per_block, g.blocks_per_chip, 4, 2);
+        let mut eng =
+            FullRegionEngine::new(vec![0, 1, 2, 3], g.pages_per_block, g.blocks_per_chip, 4, 2);
         let donated = eng.donate_coldest_free_block(&ssd).unwrap();
         assert_ne!(donated, 0, "coldest donation must avoid the worn block");
         assert_eq!(eng.coldest_free_pe(&ssd), Some(0));
+    }
+
+    #[test]
+    fn program_failures_are_retried_elsewhere() {
+        let g = Geometry::tiny();
+        let mut ssd = Ssd::new(g.clone());
+        ssd.device_mut().set_faults(esp_nand::FaultConfig {
+            seed: 21,
+            program_fail_prob: 0.2,
+            ..esp_nand::FaultConfig::default()
+        });
+        // Failed attempts burn pages, so keep utilization low enough that
+        // GC always nets space even when copies retry.
+        let mut eng = FullRegionEngine::new(
+            (0..16).collect(),
+            g.pages_per_block,
+            g.blocks_per_chip,
+            16,
+            2,
+        );
+        let mut stats = FtlStats::new();
+        let mut now = SimTime::ZERO;
+        for round in 0..8 {
+            for lpn in 0..16 {
+                now = eng.program_page(lpn, &full_oobs(lpn), &mut ssd, &mut stats, now);
+                let _ = round;
+            }
+        }
+        assert!(stats.write_retries > 0, "p=0.2 must force retries");
+        assert_eq!(stats.program_failures, stats.write_retries);
+        assert_eq!(eng.valid_pages(), 16);
+        // Every lpn readable with correct content despite the failures.
+        for lpn in 0..16 {
+            let ptr = eng.lookup(lpn).unwrap();
+            let addr = eng.page_addr(ptr, &ssd);
+            let (slots, _) = ssd.read_full(addr, SimTime::ZERO);
+            assert_eq!(slots[0].as_ref().unwrap().lsn, lpn * 4);
+        }
+    }
+
+    #[test]
+    fn erase_failures_retire_the_victim() {
+        let g = Geometry::tiny();
+        let mut ssd = Ssd::new(g.clone());
+        ssd.device_mut().set_faults(esp_nand::FaultConfig {
+            seed: 5,
+            erase_fail_prob: 0.3,
+            ..esp_nand::FaultConfig::default()
+        });
+        // Small logical space (4 blocks of data over 16 physical) so GC can
+        // afford to lose several blocks to grown-bad retirement.
+        let mut eng = FullRegionEngine::new(
+            (0..16).collect(),
+            g.pages_per_block,
+            g.blocks_per_chip,
+            16,
+            2,
+        );
+        let mut stats = FtlStats::new();
+        let mut now = SimTime::ZERO;
+        for round in 0..6 {
+            for lpn in 0..16 {
+                now = eng.program_page(lpn, &full_oobs(lpn), &mut ssd, &mut stats, now);
+                let _ = round;
+            }
+        }
+        assert!(stats.erase_failures > 0, "p=0.3 must force erase failures");
+        assert_eq!(stats.blocks_retired, stats.erase_failures);
+        assert_eq!(eng.block_count(), 16 - stats.blocks_retired as u32);
+        assert_eq!(
+            ssd.device().bad_block_indices().len() as u64,
+            stats.blocks_retired,
+            "every retirement corresponds to a grown bad block"
+        );
+        assert_eq!(eng.valid_pages(), 16);
+        for lpn in 0..16 {
+            let ptr = eng.lookup(lpn).unwrap();
+            let addr = eng.page_addr(ptr, &ssd);
+            let (slots, _) = ssd.read_full(addr, SimTime::ZERO);
+            assert_eq!(slots[0].as_ref().unwrap().lsn, lpn * 4);
+        }
+    }
+
+    #[test]
+    fn retire_gbi_excludes_the_block_in_place() {
+        let (mut ssd, mut eng, mut stats) = setup();
+        let before_free = eng.free_blocks();
+        let before_total = eng.block_count();
+        assert!(eng.retire_gbi(7));
+        assert_eq!(eng.free_blocks(), before_free - 1);
+        assert_eq!(eng.block_count(), before_total - 1);
+        // Idempotent / unknown gbis refused.
+        assert!(!eng.retire_gbi(7));
+        assert!(!eng.retire_gbi(999));
+        // Local slot preserved: block 8 still maps to gbi 8.
+        eng.program_page(0, &full_oobs(0), &mut ssd, &mut stats, SimTime::ZERO);
+        let ptr = eng.lookup(0).unwrap();
+        assert_eq!(eng.blocks[ptr.block as usize].gbi, ptr.block);
+        // The engine never writes into the retired block.
+        for lpn in 0..32 {
+            eng.program_page(lpn, &full_oobs(lpn), &mut ssd, &mut stats, SimTime::ZERO);
+        }
+        assert!(ssd
+            .device()
+            .block(ssd.geometry().block_addr(7))
+            .page(0)
+            .is_erased());
     }
 
     #[test]

@@ -98,6 +98,22 @@ pub(crate) fn scan_device(ssd: &mut Ssd) -> Vec<BlockScan> {
     let mut out = Vec::with_capacity(g.block_count() as usize);
     for gbi in 0..g.block_count() {
         let baddr = g.block_addr(gbi);
+        if ssd.device().is_bad(baddr) {
+            // Factory-marked or grown bad block: never read, holds no
+            // recoverable data. Reported as erased; the callers' own
+            // bad-block pass keeps it out of every region.
+            let pages = (0..g.pages_per_block)
+                .map(|_| PageScan {
+                    programs: 0,
+                    live: Vec::new(),
+                })
+                .collect();
+            out.push(BlockScan {
+                kind: ScannedKind::Erased,
+                pages,
+            });
+            continue;
+        }
         let mut pages = Vec::with_capacity(g.pages_per_block as usize);
         let mut saw_esp = false;
         let mut saw_full = false;
@@ -163,8 +179,12 @@ mod tests {
         let g = ssd.geometry().clone();
         // Block 0: full-page program (with padding — still full-kind).
         let p0 = g.block_addr(0).page(0);
-        ssd.program_full(p0, &[Some(oob(0, 1)), Some(oob(1, 2)), None, None], SimTime::ZERO)
-            .unwrap();
+        ssd.program_full(
+            p0,
+            &[Some(oob(0, 1)), Some(oob(1, 2)), None, None],
+            SimTime::ZERO,
+        )
+        .unwrap();
         // Block 1: one subpage program.
         ssd.program_subpage(g.block_addr(1).page(0).subpage(0), oob(9, 3), SimTime::ZERO)
             .unwrap();
@@ -183,8 +203,10 @@ mod tests {
     fn destroyed_slots_are_not_live() {
         let mut ssd = Ssd::new(Geometry::tiny());
         let page = ssd.geometry().block_addr(0).page(0);
-        ssd.program_subpage(page.subpage(0), oob(1, 1), SimTime::ZERO).unwrap();
-        ssd.program_subpage(page.subpage(1), oob(2, 2), SimTime::ZERO).unwrap();
+        ssd.program_subpage(page.subpage(0), oob(1, 1), SimTime::ZERO)
+            .unwrap();
+        ssd.program_subpage(page.subpage(1), oob(2, 2), SimTime::ZERO)
+            .unwrap();
         let scans = scan_device(&mut ssd);
         let live = &scans[0].pages[0].live;
         assert_eq!(live.len(), 1);
@@ -203,8 +225,12 @@ mod tests {
                 .unwrap();
         }
         for p in 0..2 {
-            ssd.program_subpage(b.page(p).subpage(1), oob(u64::from(10 + p), 2), SimTime::ZERO)
-                .unwrap();
+            ssd.program_subpage(
+                b.page(p).subpage(1),
+                oob(u64::from(10 + p), 2),
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         let scans = scan_device(&mut ssd);
         let (level, cursor) = scans[0].lap_state(4);
@@ -215,7 +241,8 @@ mod tests {
     fn scan_charges_mount_time() {
         let mut ssd = Ssd::new(Geometry::tiny());
         let page = ssd.geometry().block_addr(0).page(0);
-        ssd.program_subpage(page.subpage(0), oob(1, 1), SimTime::ZERO).unwrap();
+        ssd.program_subpage(page.subpage(0), oob(1, 1), SimTime::ZERO)
+            .unwrap();
         let before = ssd.makespan();
         scan_device(&mut ssd);
         assert!(ssd.makespan() > before, "mount scan must cost time");

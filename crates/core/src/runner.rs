@@ -89,28 +89,59 @@ impl FtlStats {
     /// Field-wise difference `self - earlier`; used to report per-run
     /// deltas when the same FTL instance replays several traces
     /// (preconditioning, then measurement).
+    ///
+    /// Counter fields subtract saturating at zero, so a snapshot taken out
+    /// of order (or a counter reset between runs) degrades to a zero delta
+    /// instead of a u64 underflow panic/wraparound.
     #[must_use]
     pub fn minus(&self, earlier: &FtlStats) -> FtlStats {
         FtlStats {
-            host_write_requests: self.host_write_requests - earlier.host_write_requests,
-            host_write_sectors: self.host_write_sectors - earlier.host_write_sectors,
-            host_read_requests: self.host_read_requests - earlier.host_read_requests,
-            host_read_sectors: self.host_read_sectors - earlier.host_read_sectors,
-            small_write_requests: self.small_write_requests - earlier.small_write_requests,
-            flash_sectors_consumed: self.flash_sectors_consumed - earlier.flash_sectors_consumed,
-            gc_flash_sectors: self.gc_flash_sectors - earlier.gc_flash_sectors,
-            gc_invocations: self.gc_invocations - earlier.gc_invocations,
-            gc_subpage_region: self.gc_subpage_region - earlier.gc_subpage_region,
-            gc_copied_sectors: self.gc_copied_sectors - earlier.gc_copied_sectors,
-            rmw_operations: self.rmw_operations - earlier.rmw_operations,
-            lap_migrations: self.lap_migrations - earlier.lap_migrations,
-            cold_evictions: self.cold_evictions - earlier.cold_evictions,
-            retention_evictions: self.retention_evictions - earlier.retention_evictions,
-            wear_swaps: self.wear_swaps - earlier.wear_swaps,
-            read_faults: self.read_faults - earlier.read_faults,
-            small_waf_flash_sectors: self.small_waf_flash_sectors
-                - earlier.small_waf_flash_sectors,
-            small_waf_host_sectors: self.small_waf_host_sectors - earlier.small_waf_host_sectors,
+            host_write_requests: self
+                .host_write_requests
+                .saturating_sub(earlier.host_write_requests),
+            host_write_sectors: self
+                .host_write_sectors
+                .saturating_sub(earlier.host_write_sectors),
+            host_read_requests: self
+                .host_read_requests
+                .saturating_sub(earlier.host_read_requests),
+            host_read_sectors: self
+                .host_read_sectors
+                .saturating_sub(earlier.host_read_sectors),
+            small_write_requests: self
+                .small_write_requests
+                .saturating_sub(earlier.small_write_requests),
+            flash_sectors_consumed: self
+                .flash_sectors_consumed
+                .saturating_sub(earlier.flash_sectors_consumed),
+            gc_flash_sectors: self
+                .gc_flash_sectors
+                .saturating_sub(earlier.gc_flash_sectors),
+            gc_invocations: self.gc_invocations.saturating_sub(earlier.gc_invocations),
+            gc_subpage_region: self
+                .gc_subpage_region
+                .saturating_sub(earlier.gc_subpage_region),
+            gc_copied_sectors: self
+                .gc_copied_sectors
+                .saturating_sub(earlier.gc_copied_sectors),
+            rmw_operations: self.rmw_operations.saturating_sub(earlier.rmw_operations),
+            lap_migrations: self.lap_migrations.saturating_sub(earlier.lap_migrations),
+            cold_evictions: self.cold_evictions.saturating_sub(earlier.cold_evictions),
+            retention_evictions: self
+                .retention_evictions
+                .saturating_sub(earlier.retention_evictions),
+            wear_swaps: self.wear_swaps.saturating_sub(earlier.wear_swaps),
+            read_faults: self.read_faults.saturating_sub(earlier.read_faults),
+            program_failures: self
+                .program_failures
+                .saturating_sub(earlier.program_failures),
+            erase_failures: self.erase_failures.saturating_sub(earlier.erase_failures),
+            blocks_retired: self.blocks_retired.saturating_sub(earlier.blocks_retired),
+            write_retries: self.write_retries.saturating_sub(earlier.write_retries),
+            small_waf_flash_sectors: self.small_waf_flash_sectors - earlier.small_waf_flash_sectors,
+            small_waf_host_sectors: self
+                .small_waf_host_sectors
+                .saturating_sub(earlier.small_waf_host_sectors),
         }
     }
 }
@@ -203,10 +234,10 @@ pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: us
         makespan,
         iops,
         stats: ftl.stats().minus(&stats0),
-        erases: dev.erases - dev0.erases,
+        erases: dev.erases.saturating_sub(dev0.erases),
         programs: (
-            dev.full_programs - dev0.full_programs,
-            dev.subpage_programs - dev0.subpage_programs,
+            dev.full_programs.saturating_sub(dev0.full_programs),
+            dev.subpage_programs.saturating_sub(dev0.subpage_programs),
         ),
         latency,
     }
@@ -300,15 +331,141 @@ mod tests {
     fn stats_minus_is_fieldwise() {
         let mut a = FtlStats::new();
         a.gc_invocations = 10;
+        a.write_retries = 5;
+        a.blocks_retired = 2;
         a.small_waf_flash_sectors = 8.0;
         a.small_waf_host_sectors = 4;
         let mut b = FtlStats::new();
         b.gc_invocations = 3;
+        b.write_retries = 1;
         b.small_waf_flash_sectors = 2.0;
         b.small_waf_host_sectors = 1;
         let d = a.minus(&b);
         assert_eq!(d.gc_invocations, 7);
+        assert_eq!(d.write_retries, 4);
+        assert_eq!(d.blocks_retired, 2);
         assert_eq!(d.small_waf_host_sectors, 3);
         assert!((d.small_waf_flash_sectors - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_minus_saturates_instead_of_underflowing() {
+        // An out-of-order snapshot (earlier > later) must degrade to zero
+        // deltas, not wrap around or panic in release/debug builds.
+        let mut earlier = FtlStats::new();
+        earlier.gc_invocations = 10;
+        earlier.read_faults = 3;
+        earlier.program_failures = 2;
+        let later = FtlStats::new();
+        let d = later.minus(&earlier);
+        assert_eq!(d.gc_invocations, 0);
+        assert_eq!(d.read_faults, 0);
+        assert_eq!(d.program_failures, 0);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_report() {
+        let mut ftl = SubFtl::new(&FtlConfig::tiny());
+        let r = run_trace_qd(&mut ftl, &Trace::new(64), 4);
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.iops, 0.0);
+        assert_eq!(r.makespan, SimTime::ZERO);
+        assert_eq!(r.latency.count(), 0);
+        assert_eq!(r.erases, 0);
+        // An empty run after real work must also report zero deltas.
+        let mut t = Trace::new(64);
+        t.push(IoRequest::write(SimTime::ZERO, 0, 1, true));
+        run_trace(&mut ftl, &t);
+        let r = run_trace(&mut ftl, &Trace::new(64));
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.stats.host_write_sectors, 0);
+    }
+
+    /// Records every idle window the runner grants, to pin down the
+    /// idle-detection bookkeeping.
+    struct Probe {
+        ssd: Ssd,
+        stats: FtlStats,
+        busy: SimDuration,
+        idle_windows: Vec<(SimTime, SimTime)>,
+    }
+
+    impl Probe {
+        fn new(busy: SimDuration) -> Self {
+            Probe {
+                ssd: Ssd::new(esp_nand::Geometry::tiny()),
+                stats: FtlStats::new(),
+                busy,
+                idle_windows: Vec::new(),
+            }
+        }
+    }
+
+    impl Ftl for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn logical_sectors(&self) -> u64 {
+            1 << 20
+        }
+        fn write(&mut self, _lsn: u64, _sectors: u32, sync: bool, issue: SimTime) -> SimTime {
+            if sync {
+                issue + self.busy
+            } else {
+                issue
+            }
+        }
+        fn read(&mut self, _lsn: u64, _sectors: u32, issue: SimTime) -> SimTime {
+            issue + self.busy
+        }
+        fn flush(&mut self, issue: SimTime) -> SimTime {
+            issue
+        }
+        fn idle(&mut self, from: SimTime, until: SimTime) {
+            self.idle_windows.push((from, until));
+        }
+        fn stored_seq(&self, _lsn: u64) -> Option<u64> {
+            None
+        }
+        fn trim(&mut self, _lsn: u64, _sectors: u32) {}
+        fn mapping_memory_bytes(&self) -> u64 {
+            0
+        }
+        fn stats(&self) -> &FtlStats {
+            &self.stats
+        }
+        fn ssd(&self) -> &Ssd {
+            &self.ssd
+        }
+    }
+
+    #[test]
+    fn idle_window_requires_all_threads_quiet() {
+        // Thread 0 is busy 0..10s. A request arriving at 5s finds thread 1
+        // free (its t_free = 0 < arrival) but thread 0 still busy: that gap
+        // is NOT an idle window. A request at 20s — past every thread's
+        // completion — is.
+        let mut p = Probe::new(SimDuration::from_secs(10));
+        let mut t = Trace::new(1 << 20);
+        t.push(IoRequest::write(SimTime::ZERO, 0, 1, true)); // 0..10s on thread 0
+        t.push(IoRequest::write(SimTime::from_secs(5), 1, 1, true)); // 5..15s on thread 1
+        t.push(IoRequest::write(SimTime::from_secs(20), 2, 1, true));
+        run_trace_qd(&mut p, &t, 2);
+        assert_eq!(
+            p.idle_windows,
+            vec![(SimTime::from_secs(15), SimTime::from_secs(20))],
+            "exactly one idle window, from last completion to next arrival"
+        );
+    }
+
+    #[test]
+    fn no_idle_window_when_requests_are_back_to_back() {
+        let mut p = Probe::new(SimDuration::from_secs(1));
+        let mut t = Trace::new(1 << 20);
+        for i in 0..4u64 {
+            t.push(IoRequest::write(SimTime::ZERO, i, 1, true));
+        }
+        run_trace(&mut p, &t);
+        assert!(p.idle_windows.is_empty(), "got {:?}", p.idle_windows);
     }
 }

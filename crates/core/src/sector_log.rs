@@ -36,6 +36,8 @@ struct LogBlock {
     valid: Vec<bool>,
     valid_count: u32,
     programmed_pages: u32,
+    /// Bad block (factory-marked or grown): never appended to again.
+    retired: bool,
 }
 
 impl LogBlock {
@@ -46,6 +48,7 @@ impl LogBlock {
             valid: vec![false; (pages * nsub) as usize],
             valid_count: 0,
             programmed_pages: 0,
+            retired: false,
         }
     }
 }
@@ -96,16 +99,19 @@ impl SectorLogFtl {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid FTL config: {e}"));
-        let ssd = Ssd::with_planes(
+        let mut ssd = Ssd::with_planes(
             config.geometry.clone(),
             config.timing.clone(),
             config.retention.clone(),
             config.planes_per_chip,
         );
+        if let Some(f) = &config.fault {
+            ssd.device_mut().set_faults(f.clone());
+        }
         let g = &config.geometry;
         let bpc = g.blocks_per_chip;
-        let log_per_chip = ((f64::from(bpc) * config.subpage_region_fraction).round() as u32)
-            .clamp(2, bpc - 1);
+        let log_per_chip =
+            ((f64::from(bpc) * config.subpage_region_fraction).round() as u32).clamp(2, bpc - 1);
         let mut log_gbis = Vec::new();
         let mut data_gbis = Vec::new();
         for chip in 0..g.chip_count() {
@@ -133,9 +139,8 @@ impl SectorLogFtl {
             .collect();
         let log_free = (0..log_blocks.len() as u32).collect();
         let chips = g.chip_count() as usize;
-        let map_capacity =
-            log_blocks.len() * (g.pages_per_block * g.subpages_per_page) as usize;
-        SectorLogFtl {
+        let map_capacity = log_blocks.len() * (g.pages_per_block * g.subpages_per_page) as usize;
+        let mut ftl = SectorLogFtl {
             ssd,
             data,
             log_blocks,
@@ -150,6 +155,33 @@ impl SectorLogFtl {
             pages_per_block: g.pages_per_block,
             nsub: g.subpages_per_page,
             watermark: config.gc_free_watermark,
+        };
+        // Exclude factory-marked bad blocks from whichever region owns them.
+        for gbi in ftl.ssd.device().bad_block_indices() {
+            if ftl.data.retire_gbi(gbi) {
+                ftl.stats.blocks_retired += 1;
+            } else if let Some(local) = ftl
+                .log_blocks
+                .iter()
+                .position(|b| b.gbi == gbi && !b.retired)
+            {
+                ftl.retire_log_block(local as u32);
+                ftl.stats.blocks_retired += 1;
+            }
+        }
+        ftl
+    }
+
+    /// Takes a log block out of service: never allocated, never a victim.
+    fn retire_log_block(&mut self, local: u32) {
+        self.log_blocks[local as usize].retired = true;
+        if let Some(pos) = self.log_free.iter().position(|&f| f == local) {
+            self.log_free.swap_remove(pos);
+        }
+        for a in &mut self.log_actives {
+            if *a == Some(local) {
+                *a = None;
+            }
         }
     }
 
@@ -196,24 +228,30 @@ impl SectorLogFtl {
         panic!("sector log: no free log block on any chip");
     }
 
-    /// Appends up to `N_sub` sectors of one chunk into one log page.
+    /// Appends up to `N_sub` sectors of one chunk into one log page. A
+    /// program that reports status fail is retried on the next log page.
     fn log_append(&mut self, group: &[(u64, bool)], issue: SimTime) -> SimTime {
         debug_assert!(!group.is_empty() && group.len() <= self.nsub as usize);
-        let now = self.ensure_log_space(issue);
-        let (block, page) = self.alloc_log_page();
-        let gbi = self.log_blocks[block as usize].gbi;
-        let addr = self.ssd.geometry().block_addr(gbi).page(page);
+        let mut now = self.ensure_log_space(issue);
         let mut oobs: Vec<Option<Oob>> = vec![None; self.nsub as usize];
-        let mut seqs = Vec::with_capacity(group.len());
         for (slot, &(lsn, _)) in group.iter().enumerate() {
             let seq = self.next_seq();
-            seqs.push(seq);
             oobs[slot] = Some(Oob { lsn, seq });
         }
-        let done = self
-            .ssd
-            .program_full(addr, &oobs, now)
-            .expect("log page is clean");
+        let (block, page, done) = loop {
+            let (block, page) = self.alloc_log_page();
+            let gbi = self.log_blocks[block as usize].gbi;
+            let addr = self.ssd.geometry().block_addr(gbi).page(page);
+            match self.ssd.program_full(addr, &oobs, now) {
+                Ok(done) => break (block, page, done),
+                Err(f) if f.error == esp_nand::NandError::ProgramFailed => {
+                    self.stats.program_failures += 1;
+                    self.stats.write_retries += 1;
+                    now = f.at;
+                }
+                Err(f) => panic!("log page is clean: {f}"),
+            }
+        };
         for (slot, &(lsn, _)) in group.iter().enumerate() {
             self.unmap_log(lsn);
             self.log_map.insert(
@@ -243,9 +281,23 @@ impl SectorLogFtl {
     fn ensure_log_space(&mut self, issue: SimTime) -> SimTime {
         let mut now = issue;
         while (self.log_free.len() as u32) < self.watermark {
+            // A shrunken log region (retired bad blocks) may dip below the
+            // watermark before any block has filled; merge what exists and
+            // let the allocator keep appending to the open blocks.
+            if !self.has_log_victim() {
+                break;
+            }
             now = self.merge_victim(now);
         }
         now
+    }
+
+    fn has_log_victim(&self) -> bool {
+        self.log_blocks.iter().enumerate().any(|(i, b)| {
+            !b.retired
+                && !self.log_actives.contains(&Some(i as u32))
+                && b.programmed_pages >= self.pages_per_block
+        })
     }
 
     /// Log GC: full merge — every live sector of the victim (and every
@@ -257,7 +309,8 @@ impl SectorLogFtl {
             .iter()
             .enumerate()
             .filter(|(i, b)| {
-                !self.log_actives.contains(&Some(*i as u32))
+                !b.retired
+                    && !self.log_actives.contains(&Some(*i as u32))
                     && b.programmed_pages >= self.pages_per_block
             })
             .min_by_key(|(_, b)| b.valid_count)
@@ -291,11 +344,26 @@ impl SectorLogFtl {
         }
         debug_assert_eq!(self.log_blocks[victim as usize].valid_count, 0);
         let blk_addr = self.ssd.geometry().block_addr(gbi);
-        now = self.ssd.erase(blk_addr, now).expect("erase log block");
-        let b = &mut self.log_blocks[victim as usize];
-        b.valid.fill(false);
-        b.programmed_pages = 0;
-        self.log_free.push(victim);
+        match self.ssd.erase(blk_addr, now) {
+            Ok(done) => {
+                now = done;
+                let b = &mut self.log_blocks[victim as usize];
+                b.valid.fill(false);
+                b.programmed_pages = 0;
+                self.log_free.push(victim);
+            }
+            Err(f) if f.error == esp_nand::NandError::EraseFailed => {
+                // Grown bad log block: all live sectors were merged into
+                // the data region above, so retiring it loses nothing.
+                now = f.at;
+                let b = &mut self.log_blocks[victim as usize];
+                b.valid.fill(false);
+                self.retire_log_block(victim);
+                self.stats.erase_failures += 1;
+                self.stats.blocks_retired += 1;
+            }
+            Err(f) => panic!("erase log block: {f}"),
+        }
         now
     }
 
@@ -373,9 +441,9 @@ impl SectorLogFtl {
                             seq: self.next_seq(),
                         });
                     }
-                    let t = self
-                        .data
-                        .program_page(lpn, &oobs, &mut self.ssd, &mut self.stats, issue);
+                    let t =
+                        self.data
+                            .program_page(lpn, &oobs, &mut self.ssd, &mut self.stats, issue);
                     done = done.max(t);
                     for slot in 0..page_sz {
                         let lsn = lpn * page_sz + slot;
@@ -476,7 +544,9 @@ impl Ftl for SectorLogFtl {
                 done = done.max(t);
             } else {
                 let s = from_data[0];
-                let (r, t) = self.ssd.read_subpage(addr.subpage((s % page_sz) as u8), issue);
+                let (r, t) = self
+                    .ssd
+                    .read_subpage(addr.subpage((s % page_sz) as u8), issue);
                 note_read_result(&r, s, &mut self.stats);
                 done = done.max(t);
             }
@@ -620,6 +690,34 @@ mod tests {
         let report = run_trace(&mut ftl, &generate(&cfg));
         assert_eq!(report.stats.read_faults, 0);
         assert!(report.iops > 0.0);
+    }
+
+    #[test]
+    fn survives_faults_and_factory_bad_blocks() {
+        let mut config = FtlConfig::tiny();
+        config.fault = Some(esp_nand::FaultConfig {
+            seed: 23,
+            program_fail_prob: 0.02,
+            erase_fail_prob: 0.001,
+            factory_bad_blocks: 1,
+            ..esp_nand::FaultConfig::default()
+        });
+        let mut ftl = SectorLogFtl::new(&config);
+        assert_eq!(ftl.stats().blocks_retired, 1);
+        let cfg = SyntheticConfig {
+            footprint_sectors: ftl.logical_sectors() / 2,
+            requests: 2_000,
+            r_small: 0.5,
+            r_synch: 1.0,
+            zipf_theta: 0.5,
+            ..SyntheticConfig::default()
+        };
+        let report = run_trace(&mut ftl, &generate(&cfg));
+        assert_eq!(
+            report.stats.read_faults, 0,
+            "faults must never corrupt reads"
+        );
+        assert!(report.stats.write_retries > 0, "p=0.02 must force retries");
     }
 
     #[test]

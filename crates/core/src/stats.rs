@@ -56,6 +56,16 @@ pub struct FtlStats {
     /// faults; must stay zero when the FTL is correct).
     pub read_faults: u64,
 
+    /// Program operations that reported status fail and were retried.
+    pub program_failures: u64,
+    /// Erase operations that reported status fail (each grows a bad block).
+    pub erase_failures: u64,
+    /// Blocks retired from service (factory-marked bad at mount plus blocks
+    /// grown bad by erase failures).
+    pub blocks_retired: u64,
+    /// Programs re-issued to a different location after a program failure.
+    pub write_retries: u64,
+
     /// Accumulated small-write request-WAF numerator (flash sectors
     /// attributed to small writes, including later migrations/evictions).
     pub small_waf_flash_sectors: f64,

@@ -139,11 +139,14 @@ impl SubFtl {
     /// Builds the FTL structures over an existing (possibly non-empty)
     /// device with the default region layout; mapping state starts empty —
     /// see [`SubFtl::recover`] for rebuilding it from flash contents.
-    pub(crate) fn with_ssd(config: &FtlConfig, ssd: Ssd) -> Self {
+    pub(crate) fn with_ssd(config: &FtlConfig, mut ssd: Ssd) -> Self {
+        if let Some(f) = &config.fault {
+            ssd.device_mut().set_faults(f.clone());
+        }
         let g = &config.geometry;
         let bpc = g.blocks_per_chip;
-        let sub_per_chip = ((f64::from(bpc) * config.subpage_region_fraction).round() as u32)
-            .clamp(2, bpc - 1);
+        let sub_per_chip =
+            ((f64::from(bpc) * config.subpage_region_fraction).round() as u32).clamp(2, bpc - 1);
         let mut sub_gbis = Vec::new();
         let mut full_gbis = Vec::new();
         for chip in 0..g.chip_count() {
@@ -170,16 +173,14 @@ impl SubFtl {
             .map(|&gbi| SubBlock::new(gbi, gbi / bpc, g.pages_per_block))
             .collect();
         let chips = g.chip_count() as usize;
-        SubFtl {
+        let mut ftl = SubFtl {
             ssd,
             full,
             blocks,
             actives: vec![None; chips],
             rr: 0,
             reserve: 0,
-            hash: SubpageMap::with_capacity(
-                sub_gbis.len() * g.pages_per_block as usize,
-            ),
+            hash: SubpageMap::with_capacity(sub_gbis.len() * g.pages_per_block as usize),
             buffer: WriteBuffer::new(config.write_buffer_sectors),
             stats: FtlStats::new(),
             seq: 0,
@@ -193,7 +194,25 @@ impl SubFtl {
             gc_batch: config.subpage_gc_batch,
             eviction: config.eviction_policy,
             background_gc: config.background_gc,
+        };
+        // Exclude factory-marked and previously grown bad blocks from
+        // whichever region owns them; the reserve must stay usable.
+        for gbi in ftl.ssd.device().bad_block_indices() {
+            if ftl.full.retire_gbi(gbi) {
+                ftl.stats.blocks_retired += 1;
+            } else if let Some(local) = ftl.blocks.iter().position(|b| b.gbi == gbi && !b.retired) {
+                ftl.blocks[local].retired = true;
+                ftl.stats.blocks_retired += 1;
+            }
         }
+        if ftl.blocks[ftl.reserve as usize].retired {
+            ftl.reserve =
+                ftl.blocks
+                    .iter()
+                    .position(|b| !b.retired && b.is_erased())
+                    .expect("subpage region has no usable reserve block") as u32;
+        }
+        ftl
     }
 
     /// Rebuilds a subFTL from the contents of a previously written device
@@ -226,15 +245,20 @@ impl SubFtl {
             config.geometry,
             "recovery config geometry mismatch"
         );
+        if let Some(f) = &config.fault {
+            ssd.device_mut().set_faults(f.clone());
+        }
         use crate::recovery::{scan_device, ScannedKind};
         let scans = scan_device(&mut ssd);
         let g = &config.geometry;
         let bpc = g.blocks_per_chip;
-        let sub_target = ((f64::from(bpc) * config.subpage_region_fraction).round() as u32)
-            .clamp(2, bpc - 1);
+        let sub_target =
+            ((f64::from(bpc) * config.subpage_region_fraction).round() as u32).clamp(2, bpc - 1);
 
         // Deal blocks to regions chip by chip: scanned roles are fixed;
         // erased blocks fill the subpage region up to its share first.
+        // Bad blocks (factory-marked or grown) join neither region.
+        let mut retired = 0u64;
         let mut sub_gbis: Vec<u32> = Vec::new();
         let mut full_gbis: Vec<u32> = Vec::new();
         for chip in 0..g.chip_count() {
@@ -242,6 +266,10 @@ impl SubFtl {
             let mut erased_here: Vec<u32> = Vec::new();
             for b in 0..bpc {
                 let gbi = chip * bpc + b;
+                if ssd.device().is_bad(g.block_addr(gbi)) {
+                    retired += 1;
+                    continue;
+                }
                 match scans[gbi as usize].kind {
                     ScannedKind::Subpage => {
                         sub_gbis.push(gbi);
@@ -295,8 +323,10 @@ impl SubFtl {
             slot: u8,
             written_at: SimTime,
         }
-        let mut sub_best: std::collections::HashMap<u64, SubCand> =
-            std::collections::HashMap::new();
+        // BTreeMap, not HashMap: these are iterated below, and the order
+        // feeds mapping-table construction — recovery must be deterministic.
+        let mut sub_best: std::collections::BTreeMap<u64, SubCand> =
+            std::collections::BTreeMap::new();
         let mut max_seq = 0u64;
         for (local, &gbi) in sub_gbis.iter().enumerate() {
             for (p, page) in scans[gbi as usize].pages.iter().enumerate() {
@@ -341,8 +371,8 @@ impl SubFtl {
             v
         }
         type FullCand = ([u64; 4], u32, u32, [Option<u64>; 4]);
-        let mut full_best: std::collections::HashMap<u64, FullCand> =
-            std::collections::HashMap::new();
+        let mut full_best: std::collections::BTreeMap<u64, FullCand> =
+            std::collections::BTreeMap::new();
         let mut full_programmed = vec![0u32; full_gbis.len()];
         for (local, &gbi) in full_gbis.iter().enumerate() {
             full_programmed[local] = scans[gbi as usize].programmed_pages();
@@ -376,9 +406,8 @@ impl SubFtl {
 
         // Hash entries: subpage copies strictly newer than the full copy of
         // the same sector (ties go to the full-page region).
-        let mut hash = SubpageMap::with_capacity(
-            (sub_gbis.len() * g.pages_per_block as usize).max(1),
-        );
+        let mut hash =
+            SubpageMap::with_capacity((sub_gbis.len() * g.pages_per_block as usize).max(1));
         for (&lsn, cand) in &sub_best {
             let full_seq = full_best
                 .get(&(lsn / page_sz))
@@ -415,6 +444,8 @@ impl SubFtl {
         };
 
         let chips = g.chip_count() as usize;
+        let mut stats = FtlStats::new();
+        stats.blocks_retired = retired;
         SubFtl {
             ssd,
             full,
@@ -424,7 +455,7 @@ impl SubFtl {
             reserve,
             hash,
             buffer: WriteBuffer::new(config.write_buffer_sectors),
-            stats: FtlStats::new(),
+            stats,
             seq: max_seq,
             logical_sectors,
             pages_per_block: g.pages_per_block,
@@ -507,9 +538,10 @@ impl SubFtl {
 
     /// True if any chip still has a writable (non-exhausted) block.
     fn any_writable(&self) -> bool {
-        self.blocks.iter().enumerate().any(|(i, b)| {
-            !b.retired && i as u32 != self.reserve && u32::from(b.level) < self.nsub
-        })
+        self.blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| !b.retired && i as u32 != self.reserve && u32::from(b.level) < self.nsub)
     }
 
     /// Returns a block with a writable slot, preferring a different chip
@@ -615,24 +647,38 @@ impl SubFtl {
                     // slot before the program would destroy it (Fig 7(c)).
                     let entry = self.hash.get(old_lsn).expect("page_valid implies mapping");
                     debug_assert!(entry.block == b && entry.page == page);
-                    let (r, rt) = self.ssd.read_subpage(self.sub_addr(b, page, entry.slot), now);
+                    let (r, rt) = self
+                        .ssd
+                        .read_subpage(self.sub_addr(b, page, entry.slot), now);
                     now = rt;
                     match r {
-                        Ok(oob) => {
-                            now = self
-                                .ssd
-                                .program_subpage(addr, oob, now)
-                                .expect("lap slot is programmable");
-                            let updated_ok = self.hash.update(old_lsn, |e| {
-                                e.slot = slot;
-                                e.written_at = now;
-                            });
-                            debug_assert!(updated_ok, "checked above");
-                            self.stats.lap_migrations += 1;
-                            self.stats.gc_flash_sectors += 1;
-                            self.stats.small_waf_flash_sectors += 1.0;
-                            self.advance_cursor(b);
-                        }
+                        Ok(oob) => match self.ssd.program_subpage(addr, oob, now) {
+                            Ok(done) => {
+                                now = done;
+                                let updated_ok = self.hash.update(old_lsn, |e| {
+                                    e.slot = slot;
+                                    e.written_at = now;
+                                });
+                                debug_assert!(updated_ok, "checked above");
+                                self.stats.lap_migrations += 1;
+                                self.stats.gc_flash_sectors += 1;
+                                self.stats.small_waf_flash_sectors += 1.0;
+                                self.advance_cursor(b);
+                            }
+                            Err(f) if f.error == esp_nand::NandError::ProgramFailed => {
+                                // The failed attempt still destroyed the old
+                                // copy (it shares the page, so SBPI wiped it):
+                                // salvage the data we hold in `oob` by moving
+                                // it to the full-page region, and skip past
+                                // the burned slot.
+                                self.stats.program_failures += 1;
+                                self.stats.write_retries += 1;
+                                now = f.at;
+                                self.advance_cursor(b);
+                                now = self.evict_to_full(&[(old_lsn, oob)], now);
+                            }
+                            Err(f) => panic!("lap slot is programmable: {f}"),
+                        },
                         Err(_) => {
                             // Unreadable (must not happen when scrubbing is
                             // on schedule): drop the data, reuse the slot.
@@ -644,33 +690,43 @@ impl SubFtl {
                 }
                 None => {
                     let seq = self.next_seq();
-                    now = self
-                        .ssd
-                        .program_subpage(addr, Oob { lsn, seq }, now)
-                        .expect("allocated slot is programmable");
-                    let updated = self.hash.contains(lsn);
-                    if updated {
-                        self.invalidate_sub(lsn);
+                    match self.ssd.program_subpage(addr, Oob { lsn, seq }, now) {
+                        Ok(done) => {
+                            now = done;
+                            let updated = self.hash.contains(lsn);
+                            if updated {
+                                self.invalidate_sub(lsn);
+                            }
+                            self.hash.insert(
+                                lsn,
+                                SubEntry {
+                                    block: b,
+                                    page,
+                                    slot,
+                                    updated,
+                                    written_at: now,
+                                },
+                            );
+                            let blk = &mut self.blocks[b as usize];
+                            blk.page_valid[page as usize] = Some(lsn);
+                            blk.valid_count += 1;
+                            self.advance_cursor(b);
+                            self.stats.flash_sectors_consumed += 1;
+                            if small_origin {
+                                self.stats.small_waf_flash_sectors += 1.0;
+                            }
+                            return now;
+                        }
+                        Err(f) if f.error == esp_nand::NandError::ProgramFailed => {
+                            // Nothing was lost (the slot held no valid data):
+                            // skip the burned slot and retry on the next one.
+                            self.stats.program_failures += 1;
+                            self.stats.write_retries += 1;
+                            now = f.at;
+                            self.advance_cursor(b);
+                        }
+                        Err(f) => panic!("allocated slot is programmable: {f}"),
                     }
-                    self.hash.insert(
-                        lsn,
-                        SubEntry {
-                            block: b,
-                            page,
-                            slot,
-                            updated,
-                            written_at: now,
-                        },
-                    );
-                    let blk = &mut self.blocks[b as usize];
-                    blk.page_valid[page as usize] = Some(lsn);
-                    blk.valid_count += 1;
-                    self.advance_cursor(b);
-                    self.stats.flash_sectors_consumed += 1;
-                    if small_origin {
-                        self.stats.small_waf_flash_sectors += 1.0;
-                    }
-                    return now;
                 }
             }
         }
@@ -738,47 +794,71 @@ impl SubFtl {
                 }
             };
             let keep = match self.eviction {
-                EvictionPolicy::SecondChance | EvictionPolicy::KeepUpdatedForever => {
-                    entry.updated
-                }
+                EvictionPolicy::SecondChance | EvictionPolicy::KeepUpdatedForever => entry.updated,
                 EvictionPolicy::EvictAll => false,
                 EvictionPolicy::KeepAll => true,
             };
             if keep {
-                // Hot: keep in the subpage region.
+                // Hot: keep in the subpage region. If burned program
+                // attempts exhausted the reserve's level-0 slots, fall back
+                // to a full-page eviction rather than wrapping the lap.
+                if self.blocks[reserve as usize].level != 0 {
+                    now = self.evict_to_full(&[(lsn, oob)], now);
+                    self.stats.cold_evictions += 1;
+                    continue;
+                }
                 let rp = self.blocks[reserve as usize].cursor;
                 debug_assert!(rp < self.pages_per_block);
                 let raddr = self.sub_addr(reserve, rp, 0);
-                now = self
-                    .ssd
-                    .program_subpage(raddr, oob, now)
-                    .expect("reserve slot is erased");
-                self.invalidate_sub(lsn);
-                let updated = match self.eviction {
-                    EvictionPolicy::SecondChance | EvictionPolicy::EvictAll => false,
-                    EvictionPolicy::KeepUpdatedForever | EvictionPolicy::KeepAll => entry.updated,
-                };
-                self.hash.insert(
-                    lsn,
-                    SubEntry {
-                        block: reserve,
-                        page: rp,
-                        slot: 0,
-                        updated,
-                        written_at: now,
-                    },
-                );
-                let rblk = &mut self.blocks[reserve as usize];
-                rblk.page_valid[rp as usize] = Some(lsn);
-                rblk.valid_count += 1;
-                rblk.cursor += 1;
-                if rblk.cursor == self.pages_per_block {
-                    rblk.level = 1;
-                    rblk.cursor = 0;
+                match self.ssd.program_subpage(raddr, oob, now) {
+                    Ok(done) => {
+                        now = done;
+                        self.invalidate_sub(lsn);
+                        let updated = match self.eviction {
+                            EvictionPolicy::SecondChance | EvictionPolicy::EvictAll => false,
+                            EvictionPolicy::KeepUpdatedForever | EvictionPolicy::KeepAll => {
+                                entry.updated
+                            }
+                        };
+                        self.hash.insert(
+                            lsn,
+                            SubEntry {
+                                block: reserve,
+                                page: rp,
+                                slot: 0,
+                                updated,
+                                written_at: now,
+                            },
+                        );
+                        let rblk = &mut self.blocks[reserve as usize];
+                        rblk.page_valid[rp as usize] = Some(lsn);
+                        rblk.valid_count += 1;
+                        rblk.cursor += 1;
+                        if rblk.cursor == self.pages_per_block {
+                            rblk.level = 1;
+                            rblk.cursor = 0;
+                        }
+                        self.stats.gc_copied_sectors += 1;
+                        self.stats.gc_flash_sectors += 1;
+                        self.stats.small_waf_flash_sectors += 1.0;
+                    }
+                    Err(f) if f.error == esp_nand::NandError::ProgramFailed => {
+                        // Burn the reserve slot and route this sector to the
+                        // full-page region instead (the copy in `oob` is the
+                        // only remaining one).
+                        self.stats.program_failures += 1;
+                        self.stats.write_retries += 1;
+                        now = f.at;
+                        let rblk = &mut self.blocks[reserve as usize];
+                        rblk.cursor += 1;
+                        if rblk.cursor == self.pages_per_block {
+                            rblk.level = 1;
+                            rblk.cursor = 0;
+                        }
+                        now = self.evict_to_full(&[(lsn, oob)], now);
+                    }
+                    Err(f) => panic!("reserve slot is erased: {f}"),
                 }
-                self.stats.gc_copied_sectors += 1;
-                self.stats.gc_flash_sectors += 1;
-                self.stats.small_waf_flash_sectors += 1.0;
             } else {
                 // Cold: evict to the full-page region.
                 now = self.evict_to_full(&[(lsn, oob)], now);
@@ -787,17 +867,56 @@ impl SubFtl {
         }
         debug_assert_eq!(self.blocks[victim as usize].valid_count, 0);
         let gbi = self.blocks[victim as usize].gbi;
-        now = self
-            .ssd
-            .erase(self.ssd.geometry().block_addr(gbi), now)
-            .expect("erase managed block");
-        let vblk = &mut self.blocks[victim as usize];
-        vblk.level = 0;
-        vblk.cursor = 0;
-        vblk.page_valid.fill(None);
-        self.reserve = victim;
+        match self.ssd.erase(self.ssd.geometry().block_addr(gbi), now) {
+            Ok(done) => {
+                now = done;
+                let vblk = &mut self.blocks[victim as usize];
+                vblk.level = 0;
+                vblk.cursor = 0;
+                vblk.page_valid.fill(None);
+                self.reserve = victim;
+            }
+            Err(f) if f.error == esp_nand::NandError::EraseFailed => {
+                // The victim is a grown bad block: retire it and find a
+                // replacement reserve (live data was already moved out).
+                now = f.at;
+                let vblk = &mut self.blocks[victim as usize];
+                vblk.retired = true;
+                vblk.page_valid.fill(None);
+                self.stats.erase_failures += 1;
+                self.stats.blocks_retired += 1;
+                self.replace_reserve();
+            }
+            Err(f) => panic!("erase managed block: {f}"),
+        }
         self.maybe_wear_swap();
         now
+    }
+
+    /// Repoints `self.reserve` at an erased, usable block after the intended
+    /// replacement was lost to an erase failure: keep the current reserve if
+    /// it is still untouched, else adopt any erased managed block, else pull
+    /// a fresh block from the full-page region.
+    fn replace_reserve(&mut self) {
+        let cur = &self.blocks[self.reserve as usize];
+        if !cur.retired && cur.is_erased() {
+            return;
+        }
+        let erased = self.blocks.iter().enumerate().position(|(i, b)| {
+            !b.retired && b.is_erased() && !self.actives.contains(&Some(i as u32))
+        });
+        if let Some(i) = erased {
+            self.reserve = i as u32;
+            return;
+        }
+        let gbi = self
+            .full
+            .donate_coldest_free_block(&self.ssd)
+            .expect("no erased block available for the GC reserve");
+        let chip = gbi / self.ssd.geometry().blocks_per_chip;
+        self.blocks
+            .push(SubBlock::new(gbi, chip, self.pages_per_block));
+        self.reserve = (self.blocks.len() - 1) as u32;
     }
 
     /// Writes the freshest copies of the given subpage-region sectors (all
@@ -862,10 +981,11 @@ impl SubFtl {
             })
             .map(|(i, _)| i as u32);
         let Some(idx) = candidate else { return };
-        let sub_pe = self
-            .ssd
-            .device()
-            .pe_cycles(self.ssd.geometry().block_addr(self.blocks[idx as usize].gbi));
+        let sub_pe = self.ssd.device().pe_cycles(
+            self.ssd
+                .geometry()
+                .block_addr(self.blocks[idx as usize].gbi),
+        );
         if sub_pe <= full_pe + self.wear_delta {
             return;
         }
@@ -891,8 +1011,7 @@ impl SubFtl {
             let (lo, hi) = (chunk.start_lsn, chunk.end_lsn());
             let aligned_lo = lo.div_ceil(page) * page;
             let aligned_hi = (hi / page) * page;
-            let origin =
-                |lsn: u64| -> bool { chunk.origins[(lsn - chunk.start_lsn) as usize] };
+            let origin = |lsn: u64| -> bool { chunk.origins[(lsn - chunk.start_lsn) as usize] };
             if aligned_lo + page <= aligned_hi {
                 for lsn in lo..aligned_lo {
                     done = done.max(self.write_sector_to_sub(lsn, origin(lsn), issue));
@@ -905,9 +1024,9 @@ impl SubFtl {
                             seq: self.next_seq(),
                         });
                     }
-                    let t = self
-                        .full
-                        .program_page(lpn, &oobs, &mut self.ssd, &mut self.stats, issue);
+                    let t =
+                        self.full
+                            .program_page(lpn, &oobs, &mut self.ssd, &mut self.stats, issue);
                     done = done.max(t);
                     for slot in 0..page {
                         let lsn = lpn * page + slot;
@@ -961,9 +1080,9 @@ impl SubFtl {
                 let Some(entry) = self.hash.get(lsn) else {
                     continue;
                 };
-                let (r, rt) =
-                    self.ssd
-                        .read_subpage(self.sub_addr(entry.block, entry.page, entry.slot), t);
+                let (r, rt) = self
+                    .ssd
+                    .read_subpage(self.sub_addr(entry.block, entry.page, entry.slot), t);
                 t = rt;
                 match r {
                     Ok(oob) => items.push((lsn, oob)),
@@ -1110,7 +1229,9 @@ impl Ftl for SubFtl {
             return;
         }
         // Keep the full-page region comfortably above its GC trigger.
-        let SubFtl { full, ssd, stats, .. } = self;
+        let SubFtl {
+            full, ssd, stats, ..
+        } = self;
         let mut now = full.background_collect(ssd, stats, from, until, 4);
         // Pre-erase exhausted subpage-region blocks so foreground writes do
         // not stall on a GC episode mid-burst — but only victims that fit
@@ -1145,13 +1266,14 @@ impl Ftl for SubFtl {
         } else {
             let page = u64::from(SECTORS_PER_PAGE);
             let ptr = self.full.lookup(lsn / page)?;
-            let addr = self.full.page_addr(ptr, &self.ssd).subpage((lsn % page) as u8);
+            let addr = self
+                .full
+                .page_addr(ptr, &self.ssd)
+                .subpage((lsn % page) as u8);
             self.ssd.device().subpage_state(addr)
         };
         match state {
-            esp_nand::SubpageState::Written(w) => {
-                w.oob.filter(|o| o.lsn == lsn).map(|o| o.seq)
-            }
+            esp_nand::SubpageState::Written(w) => w.oob.filter(|o| o.lsn == lsn).map(|o| o.seq),
             _ => None,
         }
     }
@@ -1240,7 +1362,7 @@ mod tests {
         assert_eq!(ftl.ssd().device().stats().subpage_programs, 8);
         assert_eq!(ftl.stats().lap_migrations, 0);
         assert_eq!(ftl.hash.len(), 5); // live: 0,1,2,3,7
-        // Hash entries for the re-written sectors point at the new copies.
+                                       // Hash entries for the re-written sectors point at the new copies.
         assert!(ftl.hash.peek(1).expect("sector 1 mapped").updated);
         assert!(!ftl.hash.peek(0).expect("sector 0 mapped").updated);
     }
@@ -1523,5 +1645,41 @@ mod tests {
         assert_eq!(report.stats.host_write_requests, 2);
         assert_eq!(report.stats.small_write_requests, 1);
         assert_eq!(report.stats.host_read_requests, 1);
+    }
+
+    #[test]
+    fn survives_faults_and_factory_bad_blocks() {
+        // erase_fail_prob must stay low on the 16-block tiny device: every
+        // grown bad block permanently shrinks a pool that has no slack.
+        let mut config = FtlConfig::tiny();
+        config.fault = Some(esp_nand::FaultConfig {
+            seed: 31,
+            program_fail_prob: 0.02,
+            erase_fail_prob: 0.001,
+            factory_bad_blocks: 1,
+            ..esp_nand::FaultConfig::default()
+        });
+        let mut ftl = SubFtl::new(&config);
+        assert_eq!(
+            ftl.stats().blocks_retired,
+            1,
+            "factory bad block retired at mount"
+        );
+        let logical = ftl.logical_sectors();
+        let cfg = SyntheticConfig {
+            footprint_sectors: logical / 2,
+            requests: 2_000,
+            r_small: 0.7,
+            r_synch: 1.0,
+            zipf_theta: 0.5,
+            ..SyntheticConfig::default()
+        };
+        let report = run_trace(&mut ftl, &generate(&cfg));
+        assert_eq!(
+            report.stats.read_faults, 0,
+            "faults must never corrupt reads"
+        );
+        assert!(report.stats.write_retries > 0, "p=0.02 must force retries");
+        ftl.check_invariants();
     }
 }

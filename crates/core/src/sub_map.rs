@@ -58,9 +58,7 @@ impl Packed {
         debug_assert!(e.slot < 32, "slot exceeds packing");
         Packed {
             block: e.block,
-            page_meta: e.page
-                | (u32::from(e.slot) << 24)
-                | (u32::from(e.updated) << 30),
+            page_meta: e.page | (u32::from(e.slot) << 24) | (u32::from(e.updated) << 30),
             written_secs: (e.written_at.as_nanos() / 1_000_000_000) as u32,
         }
     }

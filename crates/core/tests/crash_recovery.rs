@@ -3,13 +3,15 @@
 //! mapping that agrees with the pre-crash FTL on every durable sector —
 //! and the recovered FTL must keep working.
 //!
+//! Randomized cases are driven by the deterministic `esp_sim::Rng`
+//! (reproducible from the printed seed).
+//!
 //! Trim is advisory, so a recovered FTL may legitimately resurrect trimmed
 //! (but still physically readable) data; the oracle therefore only checks
 //! sectors the pre-crash FTL still maps.
 
 use esp_core::{CgmFtl, FgmFtl, Ftl, FtlConfig, SubFtl};
-use esp_sim::SimTime;
-use proptest::prelude::*;
+use esp_sim::{Rng, SimTime};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -18,14 +20,26 @@ enum Op {
     Flush,
 }
 
-fn op_strategy(logical: u64) -> impl Strategy<Value = Op> {
+/// Weighted 5:1:1 write/trim/flush, matching the original distribution.
+fn random_op(rng: &mut Rng, logical: u64) -> Op {
     let max_start = logical - 4;
-    prop_oneof![
-        5 => (0..max_start, 1u32..=4, any::<bool>())
-            .prop_map(|(lsn, sectors, sync)| Op::Write { lsn, sectors, sync }),
-        1 => (0..max_start, 1u32..=4).prop_map(|(lsn, sectors)| Op::Trim { lsn, sectors }),
-        1 => Just(Op::Flush),
-    ]
+    match rng.next_below(7) {
+        0..=4 => Op::Write {
+            lsn: rng.next_below(max_start),
+            sectors: rng.next_in(1, 4) as u32,
+            sync: rng.chance(0.5),
+        },
+        5 => Op::Trim {
+            lsn: rng.next_below(max_start),
+            sectors: rng.next_in(1, 4) as u32,
+        },
+        _ => Op::Flush,
+    }
+}
+
+fn random_ops(rng: &mut Rng, logical: u64, max_len: u64) -> Vec<Op> {
+    let n = rng.next_in(1, max_len) as usize;
+    (0..n).map(|_| random_op(rng, logical)).collect()
 }
 
 /// Applies the ops; returns the set of sectors that were ever trimmed
@@ -61,28 +75,25 @@ fn check_recovery<F: Ftl, G: Ftl>(
     recovered: &G,
     logical: u64,
     trimmed: &std::collections::HashSet<u64>,
-) -> Result<(), TestCaseError> {
+    seed: u64,
+) {
     for lsn in 0..logical {
         if trimmed.contains(&lsn) {
             continue;
         }
         if let Some(seq) = original.stored_seq(lsn) {
             let got = recovered.stored_seq(lsn);
-            prop_assert_eq!(
+            assert_eq!(
                 got,
                 Some(seq),
-                "{}: sector {} had seq {} before the crash, {:?} after recovery",
+                "{} seed {seed}: sector {lsn} had seq {seq} before the crash, {got:?} after recovery",
                 recovered.name(),
-                lsn,
-                seq,
-                got
             );
         }
     }
-    Ok(())
 }
 
-fn post_recovery_smoke<F: Ftl>(ftl: &mut F, logical: u64) -> Result<(), TestCaseError> {
+fn post_recovery_smoke<F: Ftl>(ftl: &mut F, logical: u64, seed: u64) {
     // The recovered FTL continues to serve writes and reads faultlessly.
     let mut clock = ftl.ssd().makespan();
     for i in 0..48 {
@@ -92,69 +103,88 @@ fn post_recovery_smoke<F: Ftl>(ftl: &mut F, logical: u64) -> Result<(), TestCase
     for i in 0..48 {
         clock = ftl.read(i % (logical - 1), 1, clock);
     }
-    prop_assert_eq!(
+    assert_eq!(
         ftl.stats().read_faults,
         0,
-        "{} faulted after recovery",
+        "{} seed {seed}: faulted after recovery",
         ftl.name()
     );
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn cgm_recovers_exactly(ops in prop::collection::vec(op_strategy(128), 1..100)) {
+#[test]
+fn cgm_recovers_exactly() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0xC6EC ^ seed);
+        let ops = random_ops(&mut rng, 128, 99);
         let cfg = FtlConfig::tiny();
         let mut ftl = CgmFtl::new(&cfg);
         let trimmed = apply(&mut ftl, &ops);
         let mut recovered = CgmFtl::recover(ftl.ssd().clone(), &cfg);
-        check_recovery(&ftl, &recovered, 128, &trimmed)?;
-        post_recovery_smoke(&mut recovered, 128)?;
+        check_recovery(&ftl, &recovered, 128, &trimmed, seed);
+        post_recovery_smoke(&mut recovered, 128, seed);
     }
+}
 
-    #[test]
-    fn fgm_recovers_exactly(ops in prop::collection::vec(op_strategy(128), 1..100)) {
+#[test]
+fn fgm_recovers_exactly() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0xF6EC ^ seed);
+        let ops = random_ops(&mut rng, 128, 99);
         let cfg = FtlConfig::tiny();
         let mut ftl = FgmFtl::new(&cfg);
         let trimmed = apply(&mut ftl, &ops);
         let mut recovered = FgmFtl::recover(ftl.ssd().clone(), &cfg);
-        check_recovery(&ftl, &recovered, 128, &trimmed)?;
-        post_recovery_smoke(&mut recovered, 128)?;
+        check_recovery(&ftl, &recovered, 128, &trimmed, seed);
+        post_recovery_smoke(&mut recovered, 128, seed);
     }
+}
 
-    #[test]
-    fn sub_recovers_exactly(ops in prop::collection::vec(op_strategy(128), 1..100)) {
+#[test]
+fn sub_recovers_exactly() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0x5BEC ^ seed);
+        let ops = random_ops(&mut rng, 128, 99);
         let cfg = FtlConfig::tiny();
         let mut ftl = SubFtl::new(&cfg);
         let trimmed = apply(&mut ftl, &ops);
         let mut recovered = SubFtl::recover(ftl.ssd().clone(), &cfg);
         recovered.check_invariants();
-        check_recovery(&ftl, &recovered, 128, &trimmed)?;
-        post_recovery_smoke(&mut recovered, 128)?;
+        check_recovery(&ftl, &recovered, 128, &trimmed, seed);
+        post_recovery_smoke(&mut recovered, 128, seed);
         recovered.check_invariants();
     }
+}
 
-    /// Recovery after region churn: enough sync small writes to force
-    /// subpage-region GC and laps, so the scan sees mid-lap blocks,
-    /// GC-moved data and evictions.
-    #[test]
-    fn sub_recovers_after_gc_churn(seed in 0u64..500) {
+/// Recovery after region churn: enough sync small writes to force
+/// subpage-region GC and laps, so the scan sees mid-lap blocks,
+/// GC-moved data and evictions.
+#[test]
+fn sub_recovers_after_gc_churn() {
+    for seed in (0..500u64).step_by(16) {
         let cfg = FtlConfig::tiny();
         let mut ftl = SubFtl::new(&cfg);
         let mut clock = SimTime::ZERO;
         let mut x = seed;
         for _ in 0..400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lsn = (x >> 33) % 48;
             clock = ftl.write(lsn, 1, true, clock);
         }
         ftl.flush(clock);
         let mut recovered = SubFtl::recover(ftl.ssd().clone(), &cfg);
         recovered.check_invariants();
-        check_recovery(&ftl, &recovered, 128, &std::collections::HashSet::new())?;
-        post_recovery_smoke(&mut recovered, 128)?;
+        check_recovery(
+            &ftl,
+            &recovered,
+            128,
+            &std::collections::HashSet::new(),
+            seed,
+        );
+        post_recovery_smoke(&mut recovered, 128, seed);
     }
 }
 
@@ -185,13 +215,55 @@ fn async_data_lost_in_crash_is_reported_lost() {
     let t = ftl.write(7, 1, true, SimTime::ZERO); // durable v1
     let v1 = ftl.stored_seq(7).expect("durable");
     ftl.write(7, 1, false, t); // buffered v2, never flushed
-    assert_eq!(ftl.stored_seq(7), None, "buffered: newest copy not on flash");
+    assert_eq!(
+        ftl.stored_seq(7),
+        None,
+        "buffered: newest copy not on flash"
+    );
     let recovered = SubFtl::recover(ftl.ssd().clone(), &cfg);
     assert_eq!(
         recovered.stored_seq(7),
         Some(v1),
         "recovery must surface the last durable version"
     );
+}
+
+/// Recovery on a device carrying factory-marked and grown bad blocks: the
+/// mount scan must skip them, no region may adopt them, and every durable
+/// sector still comes back.
+#[test]
+fn recovery_excludes_bad_blocks() {
+    let mut cfg = FtlConfig::tiny();
+    cfg.fault = Some(esp_nand::FaultConfig {
+        seed: 41,
+        program_fail_prob: 0.02,
+        erase_fail_prob: 0.001,
+        factory_bad_blocks: 1,
+        ..esp_nand::FaultConfig::default()
+    });
+    let mut ftl = SubFtl::new(&cfg);
+    let mut clock = SimTime::ZERO;
+    let mut x = 7u64;
+    for _ in 0..400 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let lsn = (x >> 33) % 48;
+        clock = ftl.write(lsn, 1, true, clock);
+    }
+    ftl.flush(clock);
+    let bad = ftl.ssd().device().bad_block_indices();
+    assert!(!bad.is_empty(), "the factory bad block must be visible");
+    let mut recovered = SubFtl::recover(ftl.ssd().clone(), &cfg);
+    recovered.check_invariants();
+    assert_eq!(
+        recovered.stats().blocks_retired,
+        bad.len() as u64,
+        "every bad block must be retired at mount"
+    );
+    check_recovery(&ftl, &recovered, 128, &std::collections::HashSet::new(), 41);
+    post_recovery_smoke(&mut recovered, 128, 41);
+    recovered.check_invariants();
 }
 
 #[test]

@@ -1,4 +1,5 @@
-//! Property-based tests shared by all three FTLs.
+//! Randomized property tests shared by all three FTLs, driven by the
+//! deterministic `esp_sim::Rng` (every case reproducible from its seed).
 //!
 //! The central invariant: **whatever sequence of writes, syncs, reads and
 //! flushes arrives, the FTL never loses and never resurrects data.** The
@@ -8,8 +9,7 @@
 //! observation points (a decrease would mean a stale copy became visible).
 
 use esp_core::{CgmFtl, FgmFtl, Ftl, FtlConfig, SubFtl};
-use esp_sim::SimTime;
-use proptest::prelude::*;
+use esp_sim::{Rng, SimTime};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -20,35 +20,51 @@ enum Op {
     Flush,
 }
 
-fn op_strategy(logical: u64) -> impl Strategy<Value = Op> {
+/// Weighted 4:2:1:1 write/read/trim/flush, matching the original
+/// proptest distribution.
+fn random_op(rng: &mut Rng, logical: u64) -> Op {
     let max_start = logical - 4;
-    prop_oneof![
-        4 => (0..max_start, 1u32..=4, any::<bool>())
-            .prop_map(|(lsn, sectors, sync)| Op::Write { lsn, sectors, sync }),
-        2 => (0..max_start, 1u32..=4).prop_map(|(lsn, sectors)| Op::Read { lsn, sectors }),
-        1 => (0..max_start, 1u32..=4).prop_map(|(lsn, sectors)| Op::Trim { lsn, sectors }),
-        1 => Just(Op::Flush),
-    ]
+    match rng.next_below(8) {
+        0..=3 => Op::Write {
+            lsn: rng.next_below(max_start),
+            sectors: rng.next_in(1, 4) as u32,
+            sync: rng.chance(0.5),
+        },
+        4 | 5 => Op::Read {
+            lsn: rng.next_below(max_start),
+            sectors: rng.next_in(1, 4) as u32,
+        },
+        6 => Op::Trim {
+            lsn: rng.next_below(max_start),
+            sectors: rng.next_in(1, 4) as u32,
+        },
+        _ => Op::Flush,
+    }
+}
+
+fn random_ops(rng: &mut Rng, logical: u64, max_len: u64) -> Vec<Op> {
+    let n = rng.next_in(1, max_len) as usize;
+    (0..n).map(|_| random_op(rng, logical)).collect()
 }
 
 /// Drives an FTL through `ops`, checking the no-loss / no-staleness oracle
 /// at every flush point.
-fn check_ftl<F: Ftl>(mut ftl: F, ops: &[Op]) -> Result<(), TestCaseError> {
+fn check_ftl<F: Ftl>(mut ftl: F, ops: &[Op], seed: u64) {
     let mut written: HashMap<u64, u64> = HashMap::new(); // lsn -> last seen stored seq
     let mut clock = SimTime::ZERO;
-    let step = |ftl: &mut F, written: &mut HashMap<u64, u64>, op: &Op, clock: &mut SimTime| {
+    for op in ops {
         match op {
             Op::Write { lsn, sectors, sync } => {
-                let done = ftl.write(*lsn, *sectors, *sync, *clock);
+                let done = ftl.write(*lsn, *sectors, *sync, clock);
                 if *sync {
-                    *clock = done;
+                    clock = done;
                 }
                 for s in *lsn..lsn + u64::from(*sectors) {
                     written.entry(s).or_insert(0);
                 }
             }
             Op::Read { lsn, sectors } => {
-                *clock = ftl.read(*lsn, *sectors, *clock);
+                clock = ftl.read(*lsn, *sectors, clock);
             }
             Op::Trim { lsn, sectors } => {
                 ftl.trim(*lsn, *sectors);
@@ -57,26 +73,23 @@ fn check_ftl<F: Ftl>(mut ftl: F, ops: &[Op]) -> Result<(), TestCaseError> {
                 }
             }
             Op::Flush => {
-                *clock = ftl.flush(*clock);
+                clock = ftl.flush(clock);
             }
         }
-    };
-    for op in ops {
-        step(&mut ftl, &mut written, op, &mut clock);
     }
     clock = ftl.flush(clock);
     // Oracle: every written sector is durable with a non-decreasing seq.
     for (&lsn, last_seen) in &mut written {
         let seq = ftl.stored_seq(lsn);
-        prop_assert!(
+        assert!(
             seq.is_some(),
-            "{}: sector {lsn} was written but is not durable",
+            "{} seed {seed}: sector {lsn} was written but is not durable",
             ftl.name()
         );
         let seq = seq.expect("just checked");
-        prop_assert!(
+        assert!(
             seq >= *last_seen,
-            "{}: sector {lsn} regressed from seq {last_seen} to {seq}",
+            "{} seed {seed}: sector {lsn} regressed from seq {last_seen} to {seq}",
             ftl.name()
         );
         *last_seen = seq;
@@ -85,39 +98,56 @@ fn check_ftl<F: Ftl>(mut ftl: F, ops: &[Op]) -> Result<(), TestCaseError> {
     for &lsn in written.keys() {
         clock = ftl.read(lsn, 1, clock);
     }
-    prop_assert_eq!(ftl.stats().read_faults, 0, "{} surfaced read faults", ftl.name());
-    Ok(())
+    assert_eq!(
+        ftl.stats().read_faults,
+        0,
+        "{} seed {seed}: surfaced read faults",
+        ftl.name()
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// cgmFTL never loses or regresses data.
-    #[test]
-    fn cgm_no_loss(ops in prop::collection::vec(op_strategy(128), 1..120)) {
-        check_ftl(CgmFtl::new(&FtlConfig::tiny()), &ops)?;
+/// cgmFTL never loses or regresses data.
+#[test]
+fn cgm_no_loss() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0xC641 ^ seed);
+        let ops = random_ops(&mut rng, 128, 119);
+        check_ftl(CgmFtl::new(&FtlConfig::tiny()), &ops, seed);
     }
+}
 
-    /// fgmFTL never loses or regresses data.
-    #[test]
-    fn fgm_no_loss(ops in prop::collection::vec(op_strategy(128), 1..120)) {
-        check_ftl(FgmFtl::new(&FtlConfig::tiny()), &ops)?;
+/// fgmFTL never loses or regresses data.
+#[test]
+fn fgm_no_loss() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0xF641 ^ seed);
+        let ops = random_ops(&mut rng, 128, 119);
+        check_ftl(FgmFtl::new(&FtlConfig::tiny()), &ops, seed);
     }
+}
 
-    /// subFTL never loses or regresses data, and its subpage-region
-    /// structural invariants hold after every op sequence.
-    #[test]
-    fn sub_no_loss(ops in prop::collection::vec(op_strategy(128), 1..120)) {
-        check_ftl(SubFtl::new(&FtlConfig::tiny()), &ops)?;
+/// subFTL never loses or regresses data, and its subpage-region
+/// structural invariants hold after every op sequence.
+#[test]
+fn sub_no_loss() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0x5B41 ^ seed);
+        let ops = random_ops(&mut rng, 128, 119);
+        check_ftl(SubFtl::new(&FtlConfig::tiny()), &ops, seed);
     }
+}
 
-    /// subFTL invariants under heavy hammering of a narrow hot set (this is
-    /// the regime that exercises lap migrations and region GC hardest).
-    #[test]
-    fn sub_invariants_under_churn(
-        lsns in prop::collection::vec(0u64..24, 50..400),
-        sync_every in 1usize..4,
-    ) {
+/// subFTL invariants under heavy hammering of a narrow hot set (this is
+/// the regime that exercises lap migrations and region GC hardest).
+#[test]
+fn sub_invariants_under_churn() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0x5B07 ^ seed);
+        let n = rng.next_in(50, 399) as usize;
+        let lsns: Vec<u64> = (0..n).map(|_| rng.next_below(24)).collect();
+        let sync_every = rng.next_in(1, 3) as usize;
         let mut ftl = SubFtl::new(&FtlConfig::tiny());
         let mut clock = SimTime::ZERO;
         for (i, &lsn) in lsns.iter().enumerate() {
@@ -132,14 +162,18 @@ proptest! {
         }
         ftl.flush(clock);
         ftl.check_invariants();
-        prop_assert_eq!(ftl.stats().read_faults, 0);
+        assert_eq!(ftl.stats().read_faults, 0, "seed {seed}");
     }
+}
 
-    /// All three FTLs agree on what data exists (cross-implementation
-    /// differential test): after the same op sequence, the set of durable
-    /// sectors is identical.
-    #[test]
-    fn ftls_agree_on_durable_set(ops in prop::collection::vec(op_strategy(96), 1..80)) {
+/// All three FTLs agree on what data exists (cross-implementation
+/// differential test): after the same op sequence, the set of durable
+/// sectors is identical.
+#[test]
+fn ftls_agree_on_durable_set() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0xA63E ^ seed);
+        let ops = random_ops(&mut rng, 96, 79);
         let mut cgm = CgmFtl::new(&FtlConfig::tiny());
         let mut fgm = FgmFtl::new(&FtlConfig::tiny());
         let mut sub = SubFtl::new(&FtlConfig::tiny());
@@ -150,11 +184,17 @@ proptest! {
             match op {
                 Op::Write { lsn, sectors, sync } => {
                     let d = cgm.write(*lsn, *sectors, *sync, clock_c);
-                    if *sync { clock_c = d; }
+                    if *sync {
+                        clock_c = d;
+                    }
                     let d = fgm.write(*lsn, *sectors, *sync, clock_f);
-                    if *sync { clock_f = d; }
+                    if *sync {
+                        clock_f = d;
+                    }
                     let d = sub.write(*lsn, *sectors, *sync, clock_s);
-                    if *sync { clock_s = d; }
+                    if *sync {
+                        clock_s = d;
+                    }
                 }
                 Op::Read { lsn, sectors } => {
                     clock_c = cgm.read(*lsn, *sectors, clock_c);
@@ -183,17 +223,14 @@ proptest! {
         // store must be explained by a partial trim, which the `ops` replay
         // makes hard to recompute — so we assert the strong direction only.
         for lsn in 0..96 {
-            let f = fgm.stored_seq(lsn).is_some();
-            if f {
-                prop_assert!(
+            if fgm.stored_seq(lsn).is_some() {
+                assert!(
                     cgm.stored_seq(lsn).is_some(),
-                    "cgm lost sector {} that fgm kept",
-                    lsn
+                    "seed {seed}: cgm lost sector {lsn} that fgm kept"
                 );
-                prop_assert!(
+                assert!(
                     sub.stored_seq(lsn).is_some(),
-                    "sub lost sector {} that fgm kept",
-                    lsn
+                    "seed {seed}: sub lost sector {lsn} that fgm kept"
                 );
             }
         }

@@ -11,6 +11,7 @@ use std::collections::HashSet;
 use esp_sim::{SimDuration, SimTime};
 
 use crate::error::{NandError, ReadFault};
+use crate::fault::{FaultConfig, FaultModel};
 use crate::geometry::{BlockAddr, Geometry, PageAddr, SubpageAddr};
 use crate::page::{Oob, Page, SubpageState, WrittenSubpage};
 use crate::reliability::RetentionModel;
@@ -21,6 +22,7 @@ use crate::timing::NandTiming;
 pub struct Block {
     pages: Vec<Page>,
     pe_cycles: u32,
+    bad: bool,
 }
 
 impl Block {
@@ -30,6 +32,7 @@ impl Block {
                 .map(|_| Page::new(geometry.subpages_per_page))
                 .collect(),
             pe_cycles: 0,
+            bad: false,
         }
     }
 
@@ -37,6 +40,12 @@ impl Block {
     #[must_use]
     pub fn pe_cycles(&self) -> u32 {
         self.pe_cycles
+    }
+
+    /// True if the block is marked bad (factory-marked or grown).
+    #[must_use]
+    pub fn is_bad(&self) -> bool {
+        self.bad
     }
 
     /// The page at `page` index.
@@ -101,6 +110,11 @@ pub struct DeviceStats {
     pub subpages_destroyed: u64,
     /// Reads that failed because retention exceeded the ECC limit.
     pub retention_failures: u64,
+    /// Program operations that reported status fail (injected faults).
+    pub program_failures: u64,
+    /// Erase operations that reported status fail; each one grows a bad
+    /// block.
+    pub erase_failures: u64,
 }
 
 impl DeviceStats {
@@ -138,6 +152,7 @@ pub struct NandDevice {
     blocks: Vec<Block>,
     stats: DeviceStats,
     forced_faults: HashSet<SubpageAddr>,
+    faults: Option<FaultModel>,
 }
 
 impl NandDevice {
@@ -148,7 +163,11 @@ impl NandDevice {
     /// Panics if the geometry fails [`Geometry::validate`].
     #[must_use]
     pub fn new(geometry: Geometry) -> Self {
-        Self::with_models(geometry, NandTiming::paper_default(), RetentionModel::paper_default())
+        Self::with_models(
+            geometry,
+            NandTiming::paper_default(),
+            RetentionModel::paper_default(),
+        )
     }
 
     /// Creates a device with explicit timing and retention models.
@@ -157,11 +176,7 @@ impl NandDevice {
     ///
     /// Panics if the geometry fails [`Geometry::validate`].
     #[must_use]
-    pub fn with_models(
-        geometry: Geometry,
-        timing: NandTiming,
-        retention: RetentionModel,
-    ) -> Self {
+    pub fn with_models(geometry: Geometry, timing: NandTiming, retention: RetentionModel) -> Self {
         geometry.validate().expect("invalid NAND geometry");
         let blocks = (0..geometry.block_count())
             .map(|_| Block::new(&geometry))
@@ -173,7 +188,62 @@ impl NandDevice {
             blocks,
             stats: DeviceStats::default(),
             forced_faults: HashSet::new(),
+            faults: None,
         }
+    }
+
+    /// Installs a program/erase fault model (factory bad blocks are marked
+    /// immediately; subsequent programs/erases consult the fault stream).
+    ///
+    /// Without this call the device draws no random numbers and never
+    /// injects a fault, so baseline runs are bit-for-bit reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`FaultConfig::validate`].
+    pub fn set_faults(&mut self, config: FaultConfig) {
+        let model = FaultModel::new(config);
+        for gbi in model.factory_bad_blocks(self.geometry.block_count()) {
+            self.blocks[gbi as usize].bad = true;
+        }
+        self.faults = Some(model);
+    }
+
+    /// The installed fault configuration, if any.
+    #[must_use]
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref().map(FaultModel::config)
+    }
+
+    /// True if the block at `addr` is marked bad (factory or grown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the geometry.
+    #[must_use]
+    pub fn is_bad(&self, addr: BlockAddr) -> bool {
+        self.block(addr).bad
+    }
+
+    /// Device-global indices of every bad block, in ascending order.
+    #[must_use]
+    pub fn bad_block_indices(&self) -> Vec<u32> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.bad)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Marks a block bad directly (manufacturing defect / test hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the geometry.
+    pub fn mark_bad(&mut self, addr: BlockAddr) {
+        let idx = self.geometry.block_index(addr) as usize;
+        self.blocks[idx].bad = true;
     }
 
     /// Device geometry.
@@ -261,7 +331,12 @@ impl NandDevice {
     ///
     /// # Errors
     ///
-    /// See [`Page::program_full`]; also rejects out-of-geometry addresses.
+    /// See [`Page::program_full`]; also rejects out-of-geometry addresses
+    /// ([`NandError::AddressOutOfRange`]) and bad blocks
+    /// ([`NandError::BadBlock`]). With a fault model installed the operation
+    /// may report [`NandError::ProgramFailed`]: the pulse ran (the page
+    /// counts a program and holds garbage) but no data was stored, and the
+    /// caller must re-program elsewhere.
     pub fn program_full(
         &mut self,
         page: PageAddr,
@@ -269,6 +344,9 @@ impl NandDevice {
         now: SimTime,
     ) -> Result<(), NandError> {
         let block = self.block_mut(page.block)?;
+        if block.bad {
+            return Err(NandError::BadBlock);
+        }
         if page.page >= block.pages.len() as u32 {
             return Err(NandError::AddressOutOfRange);
         }
@@ -280,6 +358,17 @@ impl NandDevice {
         let pe = block.pe_cycles;
         block.pages[page.page as usize].program_full(oobs, now, pe)?;
         self.stats.full_programs += 1;
+        // The fault stream is consulted only after the command proved legal,
+        // so illegal commands never advance (or even require) the RNG.
+        if self.draw_program_fault(pe) {
+            let n_sub = self.geometry.subpages_per_page;
+            let failed = &mut self.blocks[self.geometry.block_index(page.block) as usize];
+            for slot in 0..n_sub {
+                failed.pages[page.page as usize].destroy_subpage(slot as u8);
+            }
+            self.stats.program_failures += 1;
+            return Err(NandError::ProgramFailed);
+        }
         Ok(())
     }
 
@@ -290,7 +379,11 @@ impl NandDevice {
     ///
     /// # Errors
     ///
-    /// See [`Page::program_subpage`]; also rejects out-of-geometry addresses.
+    /// See [`Page::program_subpage`]; also rejects out-of-geometry addresses
+    /// ([`NandError::AddressOutOfRange`]) and bad blocks
+    /// ([`NandError::BadBlock`]). With a fault model installed the operation
+    /// may report [`NandError::ProgramFailed`]: the pulse ran (SBPI side
+    /// effects included) but the target slot holds garbage.
     pub fn program_subpage(
         &mut self,
         addr: SubpageAddr,
@@ -301,11 +394,21 @@ impl NandDevice {
             return Err(NandError::AddressOutOfRange);
         }
         let block = self.block_mut(addr.page.block)?;
+        if block.bad {
+            return Err(NandError::BadBlock);
+        }
         let pe = block.pe_cycles;
         let destroyed =
             block.pages[addr.page.page as usize].program_subpage(addr.slot, oob, now, pe)?;
         self.stats.subpage_programs += 1;
         self.stats.subpages_destroyed += destroyed.len() as u64;
+        // Consulted only after the command proved legal (see program_full).
+        if self.draw_program_fault(pe) {
+            let idx = self.geometry.block_index(addr.page.block) as usize;
+            self.blocks[idx].pages[addr.page.page as usize].destroy_subpage(addr.slot);
+            self.stats.program_failures += 1;
+            return Err(NandError::ProgramFailed);
+        }
         Ok(())
     }
 
@@ -360,16 +463,48 @@ impl NandDevice {
     ///
     /// # Errors
     ///
-    /// Returns [`NandError::AddressOutOfRange`] for addresses outside the
-    /// geometry.
+    /// * [`NandError::AddressOutOfRange`] for addresses outside the
+    ///   geometry.
+    /// * [`NandError::BadBlock`] if the block is already marked bad.
+    /// * [`NandError::EraseFailed`] if the installed fault model injects an
+    ///   erase failure: the block's contents are gone, wear still accrues,
+    ///   and the block becomes a *grown bad block* that rejects all further
+    ///   program/erase commands.
     pub fn erase(&mut self, addr: BlockAddr, _now: SimTime) -> Result<(), NandError> {
         let block = self.block_mut(addr)?;
+        if block.bad {
+            return Err(NandError::BadBlock);
+        }
+        let pe = block.pe_cycles;
+        // Consulted only after the command proved legal (see program_full).
+        let failed = self.draw_erase_fault(pe);
+        let block = self.block_mut(addr).expect("address already validated");
         for page in &mut block.pages {
             page.erase();
         }
         block.pe_cycles += 1;
         self.stats.erases += 1;
+        if failed {
+            let block = self.block_mut(addr).expect("address already validated");
+            block.bad = true;
+            self.stats.erase_failures += 1;
+            return Err(NandError::EraseFailed);
+        }
         Ok(())
+    }
+
+    fn draw_program_fault(&mut self, pe_cycles: u32) -> bool {
+        match &mut self.faults {
+            Some(f) => f.program_fails(pe_cycles, &self.retention),
+            None => false,
+        }
+    }
+
+    fn draw_erase_fault(&mut self, pe_cycles: u32) -> bool {
+        match &mut self.faults {
+            Some(f) => f.erase_fails(pe_cycles, &self.retention),
+            None => false,
+        }
     }
 
     /// Pre-ages every block to `pe_cycles` without touching page contents.
@@ -412,8 +547,10 @@ mod tests {
         let mut d = dev();
         let blk = d.geometry().block_addr(3);
         // Pages program in word-line order; fill pages 0-1 to reach page 2.
-        d.program_full(blk.page(0), &[None; 4], SimTime::ZERO).unwrap();
-        d.program_full(blk.page(1), &[None; 4], SimTime::ZERO).unwrap();
+        d.program_full(blk.page(0), &[None; 4], SimTime::ZERO)
+            .unwrap();
+        d.program_full(blk.page(1), &[None; 4], SimTime::ZERO)
+            .unwrap();
         let page = blk.page(2);
         let oobs: Vec<_> = (0..4).map(|i| Some(oob(100 + i))).collect();
         d.program_full(page, &oobs, SimTime::ZERO).unwrap();
@@ -430,7 +567,8 @@ mod tests {
         let mut d = dev();
         let blk = d.geometry().block_addr(0);
         let page = blk.page(0);
-        d.program_subpage(page.subpage(0), oob(1), SimTime::ZERO).unwrap();
+        d.program_subpage(page.subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
         d.erase(blk, SimTime::ZERO).unwrap();
         assert_eq!(d.pe_cycles(blk), 1);
         assert_eq!(
@@ -450,7 +588,8 @@ mod tests {
             d.program_subpage(page.subpage(slot), oob(u64::from(slot)), SimTime::ZERO)
                 .unwrap();
         }
-        d.program_subpage(page.subpage(3), oob(99), SimTime::ZERO).unwrap();
+        d.program_subpage(page.subpage(3), oob(99), SimTime::ZERO)
+            .unwrap();
         // Readable at 1 month...
         let one_month = SimTime::ZERO + SimDuration::from_months(1);
         assert_eq!(d.read_subpage(page.subpage(3), one_month).unwrap().lsn, 99);
@@ -468,7 +607,8 @@ mod tests {
         let mut d = dev();
         d.precycle(1000);
         let page = d.geometry().block_addr(0).page(0);
-        d.program_subpage(page.subpage(0), oob(1), SimTime::ZERO).unwrap();
+        d.program_subpage(page.subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
         let year = SimTime::ZERO + SimDuration::from_months(12);
         assert!(d.read_subpage(page.subpage(0), year).is_ok());
     }
@@ -489,8 +629,10 @@ mod tests {
     fn destroyed_counter_tracks_esp_side_effects() {
         let mut d = dev();
         let page = d.geometry().block_addr(0).page(0);
-        d.program_subpage(page.subpage(0), oob(1), SimTime::ZERO).unwrap();
-        d.program_subpage(page.subpage(1), oob(2), SimTime::ZERO).unwrap();
+        d.program_subpage(page.subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        d.program_subpage(page.subpage(1), oob(2), SimTime::ZERO)
+            .unwrap();
         assert_eq!(d.stats().subpages_destroyed, 1);
         assert_eq!(d.stats().subpage_programs, 2);
     }
@@ -523,8 +665,10 @@ mod tests {
             Err(NandError::NonSequentialProgram { page: 1 })
         );
         // In order: fine.
-        d.program_full(blk.page(0), &[None; 4], SimTime::ZERO).unwrap();
-        d.program_full(blk.page(1), &[None; 4], SimTime::ZERO).unwrap();
+        d.program_full(blk.page(0), &[None; 4], SimTime::ZERO)
+            .unwrap();
+        d.program_full(blk.page(1), &[None; 4], SimTime::ZERO)
+            .unwrap();
         // ESP subpage programs are exempt (lap discipline revisits pages).
         let other = d.geometry().block_addr(1);
         d.program_subpage(other.page(3).subpage(0), oob(1), SimTime::ZERO)
@@ -542,6 +686,144 @@ mod tests {
         assert_eq!(d.read_subpage(sp, SimTime::ZERO), Err(ReadFault::Injected));
         d.clear_fault(sp);
         assert_eq!(d.read_subpage(sp, SimTime::ZERO).unwrap().lsn, 5);
+    }
+
+    #[test]
+    fn bad_blocks_reject_program_and_erase() {
+        let mut d = dev();
+        let blk = d.geometry().block_addr(2);
+        d.mark_bad(blk);
+        assert!(d.is_bad(blk));
+        assert_eq!(
+            d.program_full(blk.page(0), &[None; 4], SimTime::ZERO),
+            Err(NandError::BadBlock)
+        );
+        assert_eq!(
+            d.program_subpage(blk.page(0).subpage(0), oob(1), SimTime::ZERO),
+            Err(NandError::BadBlock)
+        );
+        assert_eq!(d.erase(blk, SimTime::ZERO), Err(NandError::BadBlock));
+        assert_eq!(d.bad_block_indices(), vec![2]);
+        // No operation was actually performed.
+        assert_eq!(d.stats().full_programs, 0);
+        assert_eq!(d.stats().erases, 0);
+    }
+
+    #[test]
+    fn factory_bad_blocks_marked_at_install() {
+        let mut d = dev();
+        d.set_faults(crate::FaultConfig {
+            seed: 9,
+            factory_bad_blocks: 3,
+            ..crate::FaultConfig::default()
+        });
+        let bad = d.bad_block_indices();
+        assert_eq!(bad.len(), 3);
+        for gbi in bad {
+            assert!(d.is_bad(d.geometry().block_addr(gbi)));
+        }
+    }
+
+    #[test]
+    fn injected_program_failure_leaves_garbage_and_counts() {
+        // program_fail_prob ~ 1 makes the very first program fail.
+        let mut d = dev();
+        d.set_faults(crate::FaultConfig {
+            seed: 1,
+            program_fail_prob: 0.999_999,
+            ..crate::FaultConfig::default()
+        });
+        let page = d.geometry().block_addr(0).page(0);
+        assert_eq!(
+            d.program_subpage(page.subpage(0), oob(7), SimTime::ZERO),
+            Err(NandError::ProgramFailed)
+        );
+        // The pulse ran: the page counts a program, the slot holds garbage.
+        assert_eq!(d.block(page.block).page(0).program_count(), 1);
+        assert_eq!(
+            d.read_subpage(page.subpage(0), SimTime::ZERO),
+            Err(ReadFault::DestroyedByProgram)
+        );
+        assert_eq!(d.stats().program_failures, 1);
+        assert_eq!(d.stats().subpage_programs, 1);
+
+        // Full-page variant: all slots garbage, WL order still satisfied.
+        let blk = d.geometry().block_addr(1);
+        assert_eq!(
+            d.program_full(blk.page(0), &[Some(oob(1)); 4], SimTime::ZERO),
+            Err(NandError::ProgramFailed)
+        );
+        for slot in 0..4u8 {
+            assert_eq!(
+                d.read_subpage(blk.page(0).subpage(slot), SimTime::ZERO),
+                Err(ReadFault::DestroyedByProgram)
+            );
+        }
+        assert_eq!(d.stats().program_failures, 2);
+    }
+
+    #[test]
+    fn injected_erase_failure_grows_a_bad_block() {
+        let mut d = dev();
+        d.set_faults(crate::FaultConfig {
+            seed: 1,
+            erase_fail_prob: 0.999_999,
+            ..crate::FaultConfig::default()
+        });
+        let blk = d.geometry().block_addr(0);
+        d.program_subpage(blk.page(0).subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(d.erase(blk, SimTime::ZERO), Err(NandError::EraseFailed));
+        // Contents gone, wear accrued, block now bad.
+        assert!(d.is_bad(blk));
+        assert_eq!(d.pe_cycles(blk), 1);
+        assert_eq!(
+            d.read_subpage(blk.page(0).subpage(0), SimTime::ZERO),
+            Err(ReadFault::NotWritten)
+        );
+        assert_eq!(d.erase(blk, SimTime::ZERO), Err(NandError::BadBlock));
+        assert_eq!(d.stats().erase_failures, 1);
+        assert_eq!(d.stats().erases, 1);
+    }
+
+    #[test]
+    fn illegal_commands_do_not_advance_the_fault_stream() {
+        // Two devices with the same seeded fault model; one also issues a
+        // stream of illegal commands. The fault outcomes must match.
+        let faults = crate::FaultConfig {
+            seed: 5,
+            program_fail_prob: 0.3,
+            ..crate::FaultConfig::default()
+        };
+        let run = |with_illegal: bool| -> Vec<bool> {
+            let mut d = dev();
+            d.set_faults(faults.clone());
+            let blk = d.geometry().block_addr(0);
+            let mut outcomes = Vec::new();
+            for i in 0..32u8 {
+                if with_illegal {
+                    // Out-of-range and WL-order violations: rejected before
+                    // the fault model is consulted.
+                    let _ = d.program_full(blk.page(99), &[None; 4], SimTime::ZERO);
+                    let _ = d.program_full(
+                        d.geometry().block_addr(1).page(5),
+                        &[None; 4],
+                        SimTime::ZERO,
+                    );
+                }
+                let r = d.program_subpage(
+                    blk.page(u32::from(i % 4)).subpage(i % 4),
+                    oob(u64::from(i)),
+                    SimTime::ZERO,
+                );
+                outcomes.push(r == Err(NandError::ProgramFailed));
+                if i % 4 == 3 {
+                    let _ = d.erase(blk, SimTime::ZERO);
+                }
+            }
+            outcomes
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

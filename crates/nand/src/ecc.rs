@@ -115,8 +115,7 @@ mod tests {
         .retention_model();
         for npp in 0..4 {
             assert!(
-                strong.retention_capability(1000, npp)
-                    > weak.retention_capability(1000, npp),
+                strong.retention_capability(1000, npp) > weak.retention_capability(1000, npp),
                 "Npp^{npp}"
             );
         }

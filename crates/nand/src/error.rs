@@ -36,6 +36,17 @@ pub enum NandError {
         /// Targeted page.
         page: u32,
     },
+    /// The program operation ran but the status register reported failure
+    /// (injected by the fault model). The page's contents are undefined;
+    /// the FTL must re-program the data elsewhere.
+    ProgramFailed,
+    /// The erase operation ran but the status register reported failure
+    /// (injected by the fault model). The block is now a grown bad block
+    /// and must be retired.
+    EraseFailed,
+    /// The target block is marked bad (factory-marked or grown); commands
+    /// to it are rejected.
+    BadBlock,
 }
 
 impl fmt::Display for NandError {
@@ -51,12 +62,18 @@ impl fmt::Display for NandError {
                 write!(f, "subpage slot {slot} out of range (N_sub = {n_sub})")
             }
             NandError::SlotCountMismatch { expected, got } => {
-                write!(f, "full-page program supplied {got} spare entries, expected {expected}")
+                write!(
+                    f,
+                    "full-page program supplied {got} spare entries, expected {expected}"
+                )
             }
             NandError::AddressOutOfRange => write!(f, "address outside device geometry"),
             NandError::NonSequentialProgram { page } => {
                 write!(f, "full-page program to page {page} before its predecessor")
             }
+            NandError::ProgramFailed => write!(f, "program operation reported status fail"),
+            NandError::EraseFailed => write!(f, "erase operation reported status fail"),
+            NandError::BadBlock => write!(f, "block is marked bad"),
         }
     }
 }
@@ -109,6 +126,9 @@ mod tests {
             NandError::ProgramLimitExceeded.to_string(),
             NandError::SlotOutOfRange { slot: 9, n_sub: 4 }.to_string(),
             NandError::AddressOutOfRange.to_string(),
+            NandError::ProgramFailed.to_string(),
+            NandError::EraseFailed.to_string(),
+            NandError::BadBlock.to_string(),
             ReadFault::NotWritten.to_string(),
             ReadFault::RetentionExceeded.to_string(),
         ];

@@ -18,6 +18,9 @@
 //!   but not 2 at 1K P/E cycles.
 //! * [`NandTiming`] — operation latencies (full-page program 1600 µs,
 //!   subpage program 1300 µs, per the paper's measurements).
+//! * [`FaultConfig`] / [`FaultModel`] — opt-in deterministic program/erase
+//!   fault injection with factory-marked and grown bad blocks; a device
+//!   without an installed model draws no randomness and never faults.
 //!
 //! The timing *simulation* (channel/chip contention) lives in `esp-ssd`; the
 //! FTLs that exploit ESP live in `esp-core`.
@@ -51,6 +54,7 @@
 mod device;
 mod ecc;
 mod error;
+mod fault;
 mod geometry;
 mod page;
 mod reliability;
@@ -59,6 +63,7 @@ mod timing;
 pub use device::{Block, DeviceStats, NandDevice, OpCost, OpKind};
 pub use ecc::EccConfig;
 pub use error::{NandError, ReadFault};
+pub use fault::{FaultConfig, FaultModel};
 pub use geometry::{BlockAddr, ChipAddr, Geometry, PageAddr, SubpageAddr};
 pub use page::{Oob, Page, SubpageState, WrittenSubpage};
 pub use reliability::RetentionModel;

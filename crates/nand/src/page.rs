@@ -119,10 +119,7 @@ impl Page {
 
     /// Iterates over `(slot, state)` pairs.
     pub fn subpages(&self) -> impl Iterator<Item = (u8, &SubpageState)> {
-        self.subpages
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as u8, s))
+        self.subpages.iter().enumerate().map(|(i, s)| (i as u8, s))
     }
 
     /// Programs the whole page in one operation (the conventional path).
@@ -200,8 +197,7 @@ impl Page {
         }
         let npp = self.programs;
         let mut destroyed = Vec::new();
-        let target_was_programmed =
-            !matches!(self.subpages[slot as usize], SubpageState::Erased);
+        let target_was_programmed = !matches!(self.subpages[slot as usize], SubpageState::Erased);
         for (i, state) in self.subpages.iter_mut().enumerate() {
             if i != usize::from(slot) {
                 if let SubpageState::Written(_) = state {
@@ -246,6 +242,17 @@ impl Page {
                 }
             }
         }
+    }
+
+    /// Marks the subpage at `slot` as destroyed (used by the device when a
+    /// program operation reports status fail: the pulse ran, so the target
+    /// holds garbage rather than data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub(crate) fn destroy_subpage(&mut self, slot: u8) {
+        self.subpages[usize::from(slot)] = SubpageState::Destroyed;
     }
 
     /// Resets the page to the erased state.

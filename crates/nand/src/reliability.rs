@@ -114,7 +114,10 @@ impl RetentionModel {
     /// Panics if `spread` is not within `[0, 0.5]`.
     #[must_use]
     pub fn with_variation(mut self, spread: f64) -> Self {
-        assert!((0.0..=0.5).contains(&spread), "variation must be in [0, 0.5]");
+        assert!(
+            (0.0..=0.5).contains(&spread),
+            "variation must be in [0, 0.5]"
+        );
         self.variation = spread;
         self
     }
@@ -301,7 +304,10 @@ mod tests {
             m.normalized_ber(1000, 2, SimDuration::from_months(2))
                 > m.normalized_ber(1000, 2, SimDuration::from_months(1))
         );
-        assert!(m.normalized_ber(2000, 0, SimDuration::ZERO) > m.normalized_ber(1000, 0, SimDuration::ZERO));
+        assert!(
+            m.normalized_ber(2000, 0, SimDuration::ZERO)
+                > m.normalized_ber(1000, 0, SimDuration::ZERO)
+        );
         assert!(m.normalized_ber(500, 0, SimDuration::ZERO) < 1.0);
     }
 

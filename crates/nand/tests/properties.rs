@@ -1,8 +1,8 @@
-//! Property-based tests for ESP device invariants.
+//! Randomized property tests for ESP device invariants, driven by the
+//! deterministic `esp_sim::Rng` (every case reproducible from its seed).
 
 use esp_nand::{Geometry, NandDevice, NandError, Oob, ReadFault, RetentionModel, SubpageState};
-use esp_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
+use esp_sim::{Rng, SimDuration, SimTime};
 
 fn oob(lsn: u64) -> Oob {
     Oob { lsn, seq: lsn }
@@ -16,22 +16,31 @@ enum Action {
     Erase,
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0u8..4, 0u64..1000).prop_map(|(slot, lsn)| Action::ProgramSub { slot, lsn }),
-        prop::collection::vec(0u64..1000, 4).prop_map(|lsns| Action::ProgramFull { lsns }),
-        Just(Action::Erase),
-    ]
+fn random_action(rng: &mut Rng) -> Action {
+    match rng.next_below(3) {
+        0 => Action::ProgramSub {
+            slot: rng.next_below(4) as u8,
+            lsn: rng.next_below(1000),
+        },
+        1 => Action::ProgramFull {
+            lsns: (0..4).map(|_| rng.next_below(1000)).collect(),
+        },
+        _ => Action::Erase,
+    }
 }
 
-proptest! {
-    /// Under arbitrary op sequences on a single page:
-    /// * the page never accepts more than N_sub programs between erases,
-    /// * at most one subpage ever holds live data after any subpage program,
-    /// * the live subpage (if any) is always the most recently programmed
-    ///   never-before-programmed slot.
-    #[test]
-    fn page_program_invariants(actions in prop::collection::vec(action_strategy(), 1..60)) {
+/// Under arbitrary op sequences on a single page:
+/// * the page never accepts more than N_sub programs between erases,
+/// * at most one subpage ever holds live data after any subpage program,
+/// * the live subpage (if any) is always the most recently programmed
+///   never-before-programmed slot.
+#[test]
+fn page_program_invariants() {
+    for seed in 0..96u64 {
+        let mut rng = Rng::seed_from(0xE5B ^ seed);
+        let n = rng.next_in(1, 59) as usize;
+        let actions: Vec<Action> = (0..n).map(|_| random_action(&mut rng)).collect();
+
         let mut dev = NandDevice::new(Geometry::tiny());
         let page = dev.geometry().block_addr(0).page(0);
         let blk = page.block;
@@ -46,9 +55,9 @@ proptest! {
                 Action::ProgramSub { slot, lsn } => {
                     let r = dev.program_subpage(page.subpage(slot), oob(lsn), SimTime::ZERO);
                     if programs_since_erase >= 4 {
-                        prop_assert_eq!(r, Err(NandError::ProgramLimitExceeded));
+                        assert_eq!(r, Err(NandError::ProgramLimitExceeded), "seed {seed}");
                     } else {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok(), "seed {seed}: {r:?}");
                         // A program on an already-programmed slot leaves
                         // garbage; on a fresh slot it becomes the only live
                         // subpage. Either way all other data died.
@@ -66,9 +75,9 @@ proptest! {
                     let oobs: Vec<_> = lsns.iter().map(|&l| Some(oob(l))).collect();
                     let r = dev.program_full(page, &oobs, SimTime::ZERO);
                     if programs_since_erase > 0 {
-                        prop_assert_eq!(r, Err(NandError::ProgramOnDirtyPage));
+                        assert_eq!(r, Err(NandError::ProgramOnDirtyPage), "seed {seed}");
                     } else {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok(), "seed {seed}: {r:?}");
                         full_written = Some(lsns);
                         expected_live = None;
                         slot_programmed = [true; 4];
@@ -88,7 +97,7 @@ proptest! {
             if let Some(lsns) = &full_written {
                 for (slot, &lsn) in lsns.iter().enumerate() {
                     let got = dev.read_subpage(page.subpage(slot as u8), SimTime::ZERO);
-                    prop_assert_eq!(got.map(|o| o.lsn), Ok(lsn));
+                    assert_eq!(got.map(|o| o.lsn), Ok(lsn), "seed {seed}");
                 }
             } else {
                 let mut live = 0;
@@ -96,77 +105,115 @@ proptest! {
                     if dev.read_subpage(page.subpage(slot), SimTime::ZERO).is_ok() {
                         live += 1;
                         if let Some((ls, ll)) = expected_live {
-                            prop_assert_eq!(slot, ls);
+                            assert_eq!(slot, ls, "seed {seed}");
                             let got = dev.read_subpage(page.subpage(slot), SimTime::ZERO).unwrap();
-                            prop_assert_eq!(got.lsn, ll);
+                            assert_eq!(got.lsn, ll, "seed {seed}");
                         }
                     }
                 }
-                prop_assert!(live <= 1, "subpage programs left {live} live subpages");
+                assert!(live <= 1, "seed {seed}: {live} live subpages");
             }
         }
     }
+}
 
-    /// Npp of a written subpage always equals the number of programs the
-    /// page saw before it, and retention capability is monotone in Npp.
-    #[test]
-    fn npp_matches_program_order(order in Just([0u8,1,2,3]).prop_shuffle()) {
+/// Npp of a written subpage always equals the number of programs the
+/// page saw before it, and retention capability is monotone in Npp.
+#[test]
+fn npp_matches_program_order() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from(0x4EA ^ seed);
+        // A random permutation of the four slots.
+        let mut order = [0u8, 1, 2, 3];
+        for i in (1..4usize).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
         let mut dev = NandDevice::new(Geometry::tiny());
         dev.precycle(1000);
         let page = dev.geometry().block_addr(1).page(1);
         for (k, &slot) in order.iter().enumerate() {
-            dev.program_subpage(page.subpage(slot), oob(k as u64), SimTime::ZERO).unwrap();
+            dev.program_subpage(page.subpage(slot), oob(k as u64), SimTime::ZERO)
+                .unwrap();
             match dev.subpage_state(page.subpage(slot)) {
-                SubpageState::Written(w) => prop_assert_eq!(w.npp, k as u8),
-                other => prop_assert!(false, "unexpected state {:?}", other),
+                SubpageState::Written(w) => assert_eq!(w.npp, k as u8, "seed {seed}"),
+                other => panic!("seed {seed}: unexpected state {other:?}"),
             }
         }
     }
+}
 
-    /// The retention model is monotone: more wear, more prior programs, or
-    /// more elapsed time never decreases BER.
-    #[test]
-    fn retention_ber_monotone(
-        pe in 0u32..3000,
-        npp in 0u32..3,
-        days in 0u64..120,
-    ) {
-        let m = RetentionModel::paper_default();
+/// The retention model is monotone: more wear, more prior programs, or
+/// more elapsed time never decreases BER.
+#[test]
+fn retention_ber_monotone() {
+    let m = RetentionModel::paper_default();
+    for seed in 0..128u64 {
+        let mut rng = Rng::seed_from(0xBE12 ^ seed);
+        let pe = rng.next_below(3000) as u32;
+        let npp = rng.next_below(3) as u32;
+        let days = rng.next_below(120);
         let t = SimDuration::from_days(days);
         let t2 = SimDuration::from_days(days + 1);
-        prop_assert!(m.normalized_ber(pe, npp, t) <= m.normalized_ber(pe + 100, npp, t));
-        prop_assert!(m.normalized_ber(pe, npp, t) <= m.normalized_ber(pe, npp + 1, t));
-        prop_assert!(m.normalized_ber(pe, npp, t) <= m.normalized_ber(pe, npp, t2));
+        assert!(
+            m.normalized_ber(pe, npp, t) <= m.normalized_ber(pe + 100, npp, t),
+            "seed {seed}"
+        );
+        assert!(
+            m.normalized_ber(pe, npp, t) <= m.normalized_ber(pe, npp + 1, t),
+            "seed {seed}"
+        );
+        assert!(
+            m.normalized_ber(pe, npp, t) <= m.normalized_ber(pe, npp, t2),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Reads inside the reported retention capability always succeed; reads
-    /// past it always fail.
-    #[test]
-    fn capability_is_exact_boundary(npp_programs in 0u8..4, frac in 0.05f64..0.95) {
+/// Reads inside the reported retention capability always succeed; reads
+/// past it always fail.
+#[test]
+fn capability_is_exact_boundary() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::seed_from(0xCAB ^ seed);
+        let npp_programs = rng.next_below(4) as u8;
+        let frac = 0.05 + rng.next_f64() * 0.90;
         let mut dev = NandDevice::new(Geometry::tiny());
         dev.precycle(1000);
         let page = dev.geometry().block_addr(2).page(0);
         // Burn npp_programs programs on other slots first.
         for k in 0..npp_programs {
-            dev.program_subpage(page.subpage(k), oob(u64::from(k)), SimTime::ZERO).unwrap();
+            dev.program_subpage(page.subpage(k), oob(u64::from(k)), SimTime::ZERO)
+                .unwrap();
         }
         let target = npp_programs; // next free slot
-        dev.program_subpage(page.subpage(target), oob(77), SimTime::ZERO).unwrap();
+        dev.program_subpage(page.subpage(target), oob(77), SimTime::ZERO)
+            .unwrap();
         let cap = dev
             .retention_model()
             .retention_capability(1000, u32::from(npp_programs));
         let inside = SimTime::ZERO + SimDuration::from_nanos((cap.as_nanos() as f64 * frac) as u64);
-        prop_assert!(dev.read_subpage(page.subpage(target), inside).is_ok());
-        let outside = SimTime::ZERO + SimDuration::from_nanos((cap.as_nanos() as f64 * (1.0 + frac)) as u64 + 1);
-        prop_assert_eq!(
+        assert!(
+            dev.read_subpage(page.subpage(target), inside).is_ok(),
+            "seed {seed}"
+        );
+        let outside = SimTime::ZERO
+            + SimDuration::from_nanos((cap.as_nanos() as f64 * (1.0 + frac)) as u64 + 1);
+        assert_eq!(
             dev.read_subpage(page.subpage(target), outside),
-            Err(ReadFault::RetentionExceeded)
+            Err(ReadFault::RetentionExceeded),
+            "seed {seed}"
         );
     }
+}
 
-    /// Erase always restores full programmability regardless of history.
-    #[test]
-    fn erase_restores_page(slots in prop::collection::vec(0u8..4, 0..4)) {
+/// Erase always restores full programmability regardless of history.
+#[test]
+fn erase_restores_page() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::seed_from(0xE2A ^ seed);
+        let n = rng.next_below(4) as usize;
+        let slots: Vec<u8> = (0..n).map(|_| rng.next_below(4) as u8).collect();
         let mut dev = NandDevice::new(Geometry::tiny());
         let blk = dev.geometry().block_addr(0);
         let page = blk.page(3);
@@ -175,12 +222,14 @@ proptest! {
         }
         let pe_before = dev.pe_cycles(blk);
         dev.erase(blk, SimTime::ZERO).unwrap();
-        prop_assert_eq!(dev.pe_cycles(blk), pe_before + 1);
+        assert_eq!(dev.pe_cycles(blk), pe_before + 1, "seed {seed}");
         // Full programs resume in word-line order from page 0.
         let oobs: Vec<_> = (0..4).map(|i| Some(oob(i))).collect();
         for p in 0..=3 {
-            prop_assert!(dev.program_full(blk.page(p), &oobs, SimTime::ZERO).is_ok());
+            assert!(
+                dev.program_full(blk.page(p), &oobs, SimTime::ZERO).is_ok(),
+                "seed {seed} page {p}"
+            );
         }
-        let _ = page;
     }
 }

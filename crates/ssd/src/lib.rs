@@ -37,11 +37,47 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
+
 use esp_nand::{
     BlockAddr, Geometry, NandDevice, NandError, NandTiming, Oob, OpKind, PageAddr, ReadFault,
     RetentionModel, SubpageAddr,
 };
 use esp_sim::{Log2Histogram, Resource, SimTime};
+
+/// A failed flash command: the underlying [`NandError`] plus the simulated
+/// time at which the failure was reported to the controller.
+///
+/// Two failure classes, with different timing:
+///
+/// * **Illegal commands** (bad addresses, ESP-discipline violations,
+///   commands to bad blocks) are rejected before touching the array:
+///   `at` equals the issue time and no simulated time is consumed.
+/// * **Status failures** ([`NandError::ProgramFailed`] /
+///   [`NandError::EraseFailed`], injected by the fault model) ran on the
+///   array: they occupy the channel and chip exactly like a successful
+///   attempt, and `at` is the completion time of the wasted attempt — so
+///   an FTL retry pays full price for the failure it recovers from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpFailure {
+    /// The device error behind the failure.
+    pub error: NandError,
+    /// When the failure was reported (issue time for illegal commands,
+    /// completion time of the failed attempt for status failures).
+    pub at: SimTime,
+}
+
+impl fmt::Display for OpFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flash command failed: {}", self.error)
+    }
+}
+
+impl std::error::Error for OpFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// Aggregate timing statistics for the SSD.
 #[derive(Debug, Clone, Default)]
@@ -238,32 +274,44 @@ impl Ssd {
     ///
     /// # Errors
     ///
-    /// Propagates [`NandError`] from the device; failed commands consume no
-    /// simulated time.
+    /// Returns [`OpFailure`]: illegal commands consume no simulated time;
+    /// injected status failures cost as much as a successful program.
     pub fn program_full(
         &mut self,
         page: PageAddr,
         oobs: &[Option<Oob>],
         issue: SimTime,
-    ) -> Result<SimTime, NandError> {
-        self.device.program_full(page, oobs, issue)?;
-        Ok(self.schedule_write(page.block, OpKind::ProgramFull, issue))
+    ) -> Result<SimTime, OpFailure> {
+        match self.device.program_full(page, oobs, issue) {
+            Ok(()) => Ok(self.schedule_write(page.block, OpKind::ProgramFull, issue)),
+            Err(error @ NandError::ProgramFailed) => {
+                let at = self.schedule_write(page.block, OpKind::ProgramFull, issue);
+                Err(OpFailure { error, at })
+            }
+            Err(error) => Err(OpFailure { error, at: issue }),
+        }
     }
 
     /// Programs a single subpage (ESP), returning the completion time.
     ///
     /// # Errors
     ///
-    /// Propagates [`NandError`] from the device; failed commands consume no
-    /// simulated time.
+    /// Returns [`OpFailure`]: illegal commands consume no simulated time;
+    /// injected status failures cost as much as a successful program.
     pub fn program_subpage(
         &mut self,
         addr: SubpageAddr,
         oob: Oob,
         issue: SimTime,
-    ) -> Result<SimTime, NandError> {
-        self.device.program_subpage(addr, oob, issue)?;
-        Ok(self.schedule_write(addr.page.block, OpKind::ProgramSubpage, issue))
+    ) -> Result<SimTime, OpFailure> {
+        match self.device.program_subpage(addr, oob, issue) {
+            Ok(()) => Ok(self.schedule_write(addr.page.block, OpKind::ProgramSubpage, issue)),
+            Err(error @ NandError::ProgramFailed) => {
+                let at = self.schedule_write(addr.page.block, OpKind::ProgramSubpage, issue);
+                Err(OpFailure { error, at })
+            }
+            Err(error) => Err(OpFailure { error, at: issue }),
+        }
     }
 
     /// Reads one subpage. The returned completion time is charged whether or
@@ -296,17 +344,31 @@ impl Ssd {
         (results, done)
     }
 
+    /// Schedules an erase: cell time only, no channel transfer.
+    fn schedule_erase(&mut self, block: BlockAddr, issue: SimTime) -> SimTime {
+        let cost = self.device.op_cost(OpKind::Erase);
+        let (_, plane) = self.indices(block);
+        let done = self.planes[plane].occupy(issue, cost.cell);
+        self.finish(issue, done)
+    }
+
     /// Erases a block, returning the completion time.
     ///
     /// # Errors
     ///
-    /// Propagates [`NandError`] from the device.
-    pub fn erase(&mut self, block: BlockAddr, issue: SimTime) -> Result<SimTime, NandError> {
-        self.device.erase(block, issue)?;
-        let cost = self.device.op_cost(OpKind::Erase);
-        let (_, plane) = self.indices(block);
-        let done = self.planes[plane].occupy(issue, cost.cell);
-        Ok(self.finish(issue, done))
+    /// Returns [`OpFailure`]: illegal commands (including erases of bad
+    /// blocks) consume no simulated time; an injected
+    /// [`NandError::EraseFailed`] costs a full erase and leaves the block
+    /// marked bad.
+    pub fn erase(&mut self, block: BlockAddr, issue: SimTime) -> Result<SimTime, OpFailure> {
+        match self.device.erase(block, issue) {
+            Ok(()) => Ok(self.schedule_erase(block, issue)),
+            Err(error @ NandError::EraseFailed) => {
+                let at = self.schedule_erase(block, issue);
+                Err(OpFailure { error, at })
+            }
+            Err(error) => Err(OpFailure { error, at: issue }),
+        }
     }
 }
 
@@ -355,8 +417,12 @@ mod tests {
         let b0 = g.block_addr(0);
         let b1 = g.block_addr(g.blocks_per_chip); // second chip, other channel
         assert_ne!(b0.chip.channel, b1.chip.channel);
-        let d0 = s.program_full(b0.page(0), &[None; 4], SimTime::ZERO).unwrap();
-        let d1 = s.program_full(b1.page(0), &[None; 4], SimTime::ZERO).unwrap();
+        let d0 = s
+            .program_full(b0.page(0), &[None; 4], SimTime::ZERO)
+            .unwrap();
+        let d1 = s
+            .program_full(b1.page(0), &[None; 4], SimTime::ZERO)
+            .unwrap();
         // Fully parallel: identical completion times.
         assert_eq!(d0, d1);
     }
@@ -373,8 +439,12 @@ mod tests {
         let b1 = g.block_addr(g.blocks_per_chip);
         assert_eq!(b0.chip.channel, b1.chip.channel);
         assert_ne!(b0.chip, b1.chip);
-        let d0 = s.program_full(b0.page(0), &[None; 4], SimTime::ZERO).unwrap();
-        let d1 = s.program_full(b1.page(0), &[None; 4], SimTime::ZERO).unwrap();
+        let d0 = s
+            .program_full(b0.page(0), &[None; 4], SimTime::ZERO)
+            .unwrap();
+        let d1 = s
+            .program_full(b1.page(0), &[None; 4], SimTime::ZERO)
+            .unwrap();
         let bus = s.device().op_cost(OpKind::ProgramFull).bus;
         assert_eq!(d1.saturating_since(d0), bus);
     }
@@ -383,7 +453,8 @@ mod tests {
     fn read_is_sense_then_transfer() {
         let mut s = ssd();
         let page = s.geometry().block_addr(0).page(0);
-        s.program_subpage(page.subpage(0), oob(9), SimTime::ZERO).unwrap();
+        s.program_subpage(page.subpage(0), oob(9), SimTime::ZERO)
+            .unwrap();
         let issue = SimTime::from_secs(1);
         let (data, done) = s.read_subpage(page.subpage(0), issue);
         assert_eq!(data.unwrap().lsn, 9);
@@ -424,16 +495,78 @@ mod tests {
         s.program_full(page, &[None; 4], SimTime::ZERO).unwrap();
         let before = s.makespan();
         // Second full program on the same page is illegal.
-        assert!(s.program_full(page, &[None; 4], SimTime::ZERO).is_err());
+        let err = s.program_full(page, &[None; 4], SimTime::ZERO).unwrap_err();
+        assert_eq!(err.error, NandError::ProgramOnDirtyPage);
+        assert_eq!(err.at, SimTime::ZERO, "illegal commands fail at issue");
         assert_eq!(s.makespan(), before);
+    }
+
+    #[test]
+    fn injected_program_failure_costs_full_attempt() {
+        let mut s = ssd();
+        s.device_mut().set_faults(esp_nand::FaultConfig {
+            seed: 1,
+            program_fail_prob: 0.999_999,
+            ..esp_nand::FaultConfig::default()
+        });
+        let page = s.geometry().block_addr(0).page(0);
+        let err = s
+            .program_subpage(page.subpage(0), oob(1), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err.error, NandError::ProgramFailed);
+        let cost = s.device().op_cost(OpKind::ProgramSubpage);
+        assert_eq!(
+            err.at.saturating_since(SimTime::ZERO),
+            cost.total(),
+            "a status-failed program occupies bus and cell like a real one"
+        );
+        assert_eq!(s.makespan(), err.at);
+        assert_eq!(s.stats().op_latency.count(), 1);
+    }
+
+    #[test]
+    fn injected_erase_failure_costs_full_erase_and_grows_bad_block() {
+        let mut s = ssd();
+        s.device_mut().set_faults(esp_nand::FaultConfig {
+            seed: 1,
+            erase_fail_prob: 0.999_999,
+            ..esp_nand::FaultConfig::default()
+        });
+        let blk = s.geometry().block_addr(0);
+        let err = s.erase(blk, SimTime::ZERO).unwrap_err();
+        assert_eq!(err.error, NandError::EraseFailed);
+        assert_eq!(
+            err.at.saturating_since(SimTime::ZERO),
+            s.device().op_cost(OpKind::Erase).cell
+        );
+        assert!(s.device().is_bad(blk));
+        // Further commands to the grown bad block are free rejections.
+        let before = s.makespan();
+        let err = s.erase(blk, SimTime::ZERO).unwrap_err();
+        assert_eq!(err.error, NandError::BadBlock);
+        assert_eq!(s.makespan(), before);
+    }
+
+    #[test]
+    fn op_failure_display_names_the_cause() {
+        let f = OpFailure {
+            error: NandError::ProgramFailed,
+            at: SimTime::ZERO,
+        };
+        let msg = f.to_string();
+        assert!(msg.contains("status fail"), "got {msg}");
+        let src = std::error::Error::source(&f).expect("has a source");
+        assert_eq!(src.to_string(), NandError::ProgramFailed.to_string());
     }
 
     #[test]
     fn makespan_and_histogram_track_ops() {
         let mut s = ssd();
         let page = s.geometry().block_addr(0).page(0);
-        s.program_subpage(page.subpage(0), oob(1), SimTime::ZERO).unwrap();
-        s.program_subpage(page.subpage(1), oob(2), SimTime::ZERO).unwrap();
+        s.program_subpage(page.subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        s.program_subpage(page.subpage(1), oob(2), SimTime::ZERO)
+            .unwrap();
         assert_eq!(s.stats().op_latency.count(), 2);
         assert!(s.makespan() > SimTime::from_micros(2600));
     }

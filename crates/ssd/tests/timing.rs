@@ -1,9 +1,9 @@
-//! Property-based tests for the SSD timing model.
+//! Randomized tests of the SSD timing model, driven by the deterministic
+//! `esp_sim::Rng` (every case reproducible from its seed).
 
 use esp_nand::{Geometry, Oob, OpKind};
-use esp_sim::{SimDuration, SimTime};
+use esp_sim::{Rng, SimDuration, SimTime};
 use esp_ssd::Ssd;
-use proptest::prelude::*;
 
 fn oob(lsn: u64) -> Oob {
     Oob { lsn, seq: lsn }
@@ -16,31 +16,39 @@ enum TimedOp {
     Erase { block: u32 },
 }
 
-fn op_strategy(blocks: u32, pages: u32) -> impl Strategy<Value = TimedOp> {
-    prop_oneof![
-        3 => (0..blocks, 0..pages, 0u8..4).prop_map(|(block, page, slot)| TimedOp::ProgramSub {
-            block,
-            page,
-            slot
-        }),
-        2 => (0..blocks, 0..pages, 0u8..4)
-            .prop_map(|(block, page, slot)| TimedOp::Read { block, page, slot }),
-        1 => (0..blocks).prop_map(|block| TimedOp::Erase { block }),
-    ]
+fn random_op(rng: &mut Rng, blocks: u32, pages: u32) -> TimedOp {
+    // Weighted 3:2:1 program/read/erase, like the original distribution.
+    match rng.next_below(6) {
+        0..=2 => TimedOp::ProgramSub {
+            block: rng.next_below(u64::from(blocks)) as u32,
+            page: rng.next_below(u64::from(pages)) as u32,
+            slot: rng.next_below(4) as u8,
+        },
+        3 | 4 => TimedOp::Read {
+            block: rng.next_below(u64::from(blocks)) as u32,
+            page: rng.next_below(u64::from(pages)) as u32,
+            slot: rng.next_below(4) as u8,
+        },
+        _ => TimedOp::Erase {
+            block: rng.next_below(u64::from(blocks)) as u32,
+        },
+    }
 }
 
-proptest! {
-    /// Makespan is monotone, bounded below by the busiest chip and bounded
-    /// above by fully serial execution.
-    #[test]
-    fn makespan_bounds(ops in prop::collection::vec(op_strategy(16, 4), 1..80)) {
+/// Makespan is monotone, bounded below by the busiest chip and bounded
+/// above by fully serial execution.
+#[test]
+fn makespan_bounds() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from(0x55D ^ seed);
+        let n = rng.next_in(1, 79) as usize;
         let g = Geometry::tiny();
         let mut ssd = Ssd::new(g.clone());
         let mut serial = SimDuration::ZERO;
         let mut prev_makespan = SimTime::ZERO;
         let mut lsn = 0u64;
-        for op in ops {
-            match op {
+        for _ in 0..n {
+            match random_op(&mut rng, 16, 4) {
                 TimedOp::ProgramSub { block, page, slot } => {
                     let addr = g.block_addr(block).page(page).subpage(slot);
                     lsn += 1;
@@ -59,46 +67,49 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(ssd.makespan() >= prev_makespan, "makespan regressed");
+            assert!(
+                ssd.makespan() >= prev_makespan,
+                "seed {seed}: makespan regressed"
+            );
             prev_makespan = ssd.makespan();
         }
         // Upper bound: fully serial execution.
-        prop_assert!(ssd.makespan() - SimTime::ZERO <= serial);
-        // Lower bound: the busiest chip's occupancy.
-        let horizon = ssd.makespan();
+        assert!(ssd.makespan() - SimTime::ZERO <= serial, "seed {seed}");
+        // Chips are never over 100% utilized.
         for (i, u) in ssd.chip_utilization().iter().enumerate() {
-            prop_assert!(*u <= 1.0 + 1e-9, "chip {i} over 100% utilized");
+            assert!(*u <= 1.0 + 1e-9, "seed {seed}: chip {i} over 100% utilized");
         }
-        let _ = horizon;
     }
+}
 
-    /// Operations on distinct chips at the same issue time complete in
-    /// parallel: the makespan equals the slowest single op, not the sum.
-    #[test]
-    fn distinct_chips_run_parallel(n in 1usize..2) {
-        let g = Geometry {
-            channels: 4,
-            chips_per_channel: 1,
-            blocks_per_chip: 2,
-            pages_per_block: 4,
-            subpages_per_page: 4,
-            subpage_bytes: 4096,
-        };
-        let mut ssd = Ssd::new(g.clone());
-        let _ = n;
-        for chip in 0..4u32 {
-            let gbi = chip * g.blocks_per_chip;
-            let addr = g.block_addr(gbi).page(0).subpage(0);
-            ssd.program_subpage(addr, oob(u64::from(chip)), SimTime::ZERO).unwrap();
-        }
-        let single = ssd.device().op_cost(OpKind::ProgramSubpage).total();
-        prop_assert_eq!(ssd.makespan() - SimTime::ZERO, single);
+/// Operations on distinct chips at the same issue time complete in
+/// parallel: the makespan equals the slowest single op, not the sum.
+#[test]
+fn distinct_chips_run_parallel() {
+    let g = Geometry {
+        channels: 4,
+        chips_per_channel: 1,
+        blocks_per_chip: 2,
+        pages_per_block: 4,
+        subpages_per_page: 4,
+        subpage_bytes: 4096,
+    };
+    let mut ssd = Ssd::new(g.clone());
+    for chip in 0..4u32 {
+        let gbi = chip * g.blocks_per_chip;
+        let addr = g.block_addr(gbi).page(0).subpage(0);
+        ssd.program_subpage(addr, oob(u64::from(chip)), SimTime::ZERO)
+            .unwrap();
     }
+    let single = ssd.device().op_cost(OpKind::ProgramSubpage).total();
+    assert_eq!(ssd.makespan() - SimTime::ZERO, single);
+}
 
-    /// The op-latency histogram records exactly one entry per successful
-    /// operation.
-    #[test]
-    fn histogram_counts_ops(programs in 1u32..10) {
+/// The op-latency histogram records exactly one entry per successful
+/// operation.
+#[test]
+fn histogram_counts_ops() {
+    for programs in 1u32..10 {
         let g = Geometry::tiny();
         let mut ssd = Ssd::new(g.clone());
         for i in 0..programs {
@@ -106,8 +117,8 @@ proptest! {
             let _ = ssd.program_subpage(addr, oob(u64::from(i)), SimTime::ZERO);
         }
         // Every attempt either succeeded (counted) or failed without time.
-        prop_assert!(ssd.stats().op_latency.count() <= u64::from(programs));
-        prop_assert!(ssd.stats().op_latency.count() >= 1);
+        assert!(ssd.stats().op_latency.count() <= u64::from(programs));
+        assert!(ssd.stats().op_latency.count() >= 1);
     }
 }
 

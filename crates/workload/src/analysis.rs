@@ -222,7 +222,10 @@ mod tests {
         });
         let a = analyze(&t);
         if let Some(d) = a.median_rewrite_distance {
-            assert!(d >= 32, "median rewrite distance {d} violates the constraint");
+            assert!(
+                d >= 32,
+                "median rewrite distance {d} violates the constraint"
+            );
         }
     }
 }

@@ -166,7 +166,11 @@ Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
         assert_eq!(t.len(), 4);
         let r = &t.requests[0];
         assert_eq!((r.op, r.lsn, r.sectors), (IoOp::Write, 2, 1));
-        assert_eq!(r.arrival, SimTime::ZERO, "timestamps rebase to the first record");
+        assert_eq!(
+            r.arrival,
+            SimTime::ZERO,
+            "timestamps rebase to the first record"
+        );
         let r = &t.requests[1];
         assert_eq!((r.op, r.lsn, r.sectors), (IoOp::Read, 0, 4));
         assert_eq!(r.arrival, SimTime::from_nanos(10_000), "100 ticks = 10 us");

@@ -228,7 +228,9 @@ mod tests {
     #[test]
     fn configs_validate() {
         for b in Benchmark::ALL {
-            b.config(64 * 1024, 100, 0).validate().expect("valid profile");
+            b.config(64 * 1024, 100, 0)
+                .validate()
+                .expect("valid profile");
         }
     }
 }

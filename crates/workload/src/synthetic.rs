@@ -136,7 +136,10 @@ impl SyntheticConfig {
             }
         }
         if !(0.0..1.0).contains(&self.zipf_theta) {
-            return Err(format!("zipf_theta must be in [0, 1), got {}", self.zipf_theta));
+            return Err(format!(
+                "zipf_theta must be in [0, 1), got {}",
+                self.zipf_theta
+            ));
         }
         if self.footprint_sectors < 64 {
             return Err("footprint_sectors must be at least 64".into());
@@ -206,11 +209,17 @@ pub fn generate(config: &SyntheticConfig) -> Trace {
         .unwrap_or_else(|e| panic!("invalid synthetic config: {e}"));
     let mut rng = Rng::seed_from(config.seed);
     let zipf = Zipf::new(config.footprint_sectors, config.zipf_theta);
-    let small_zone = config.small_zone_sectors.unwrap_or(config.footprint_sectors);
+    let small_zone = config
+        .small_zone_sectors
+        .unwrap_or(config.footprint_sectors);
     let small_zipf = Zipf::new(small_zone, config.zipf_theta);
     let page = u64::from(SECTORS_PER_PAGE);
     let mut trace = Trace::new(config.footprint_sectors);
-    let mut seq_cursor: u64 = rank_to_sector(rng.next_below(config.footprint_sectors), config.footprint_sectors) / page * page;
+    let mut seq_cursor: u64 = rank_to_sector(
+        rng.next_below(config.footprint_sectors),
+        config.footprint_sectors,
+    ) / page
+        * page;
     let mut clock = SimTime::ZERO;
     let mut recent: std::collections::HashSet<u64> = std::collections::HashSet::new();
     let mut recent_queue: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
@@ -226,18 +235,15 @@ pub fn generate(config: &SyntheticConfig) -> Trace {
             // Read a (likely hot) location.
             let sectors = weighted_pick(&mut rng, &[4, 2, 1], &[1, 4, 8]);
             let max_start = config.footprint_sectors - u64::from(sectors);
-            let lsn = rank_to_sector(zipf.sample(&mut rng), config.footprint_sectors).min(max_start);
+            let lsn =
+                rank_to_sector(zipf.sample(&mut rng), config.footprint_sectors).min(max_start);
             trace.push(IoRequest::read(arrival, lsn, sectors));
             continue;
         }
 
         if rng.chance(config.r_small) {
             // Small write: 1..=3 sectors at a hot location.
-            let sectors = weighted_pick(
-                &mut rng,
-                &config.small_sector_weights,
-                &[1, 2, 3],
-            );
+            let sectors = weighted_pick(&mut rng, &config.small_sector_weights, &[1, 2, 3]);
             let max_start = config.footprint_sectors - u64::from(sectors);
             let mut lsn = rank_to_sector(small_zipf.sample(&mut rng), small_zone).min(max_start);
             if config.rewrite_distance > 0 {
@@ -261,11 +267,7 @@ pub fn generate(config: &SyntheticConfig) -> Trace {
             trace.push(IoRequest::write(arrival, lsn, sectors, sync));
         } else {
             // Large write: one or more full pages.
-            let sectors = weighted_pick(
-                &mut rng,
-                &config.large_sector_weights,
-                &[4, 8, 16],
-            );
+            let sectors = weighted_pick(&mut rng, &config.large_sector_weights, &[4, 8, 16]);
             let lsn = if config.sequential_large {
                 let l = seq_cursor;
                 seq_cursor += u64::from(sectors);
@@ -274,9 +276,8 @@ pub fn generate(config: &SyntheticConfig) -> Trace {
                 }
                 l
             } else {
-                let aligned = rank_to_sector(zipf.sample(&mut rng), config.footprint_sectors)
-                    / page
-                    * page;
+                let aligned =
+                    rank_to_sector(zipf.sample(&mut rng), config.footprint_sectors) / page * page;
                 if rng.chance(config.misaligned_large_fraction) {
                     aligned + rng.next_in(1, page - 1)
                 } else {
@@ -284,7 +285,12 @@ pub fn generate(config: &SyntheticConfig) -> Trace {
                 }
             };
             let max_start = config.footprint_sectors - u64::from(sectors);
-            trace.push(IoRequest::write(arrival, lsn.min(max_start), sectors, false));
+            trace.push(IoRequest::write(
+                arrival,
+                lsn.min(max_start),
+                sectors,
+                false,
+            ));
         }
     }
     trace
@@ -333,8 +339,16 @@ mod tests {
             ..SyntheticConfig::default()
         };
         let stats = generate(&cfg).stats();
-        assert!((stats.r_small() - 0.6).abs() < 0.02, "r_small {}", stats.r_small());
-        assert!((stats.r_synch() - 0.3).abs() < 0.03, "r_synch {}", stats.r_synch());
+        assert!(
+            (stats.r_small() - 0.6).abs() < 0.02,
+            "r_small {}",
+            stats.r_small()
+        );
+        assert!(
+            (stats.r_synch() - 0.3).abs() < 0.03,
+            "r_synch {}",
+            stats.r_synch()
+        );
         let reads = stats.reads as f64 / stats.requests as f64;
         assert!((reads - 0.1).abs() < 0.02, "reads {reads}");
     }
@@ -417,7 +431,10 @@ mod tests {
                 assert_eq!(w[1].lsn, w[0].end_lsn());
             }
         }
-        assert!(wraps <= 1, "sequential stream wrapped {wraps} times in 100 reqs");
+        assert!(
+            wraps <= 1,
+            "sequential stream wrapped {wraps} times in 100 reqs"
+        );
     }
 
     #[test]
@@ -429,7 +446,10 @@ mod tests {
         };
         let t = generate(&cfg);
         for (i, r) in t.iter().enumerate() {
-            assert_eq!(r.arrival, SimTime::ZERO + SimDuration::from_millis(i as u64));
+            assert_eq!(
+                r.arrival,
+                SimTime::ZERO + SimDuration::from_millis(i as u64)
+            );
         }
     }
 
@@ -444,8 +464,14 @@ mod tests {
         let t = generate(&cfg);
         // Requests 0..3 at t=0, then a 5 ms gap, etc.
         assert_eq!(t.requests[3].arrival, SimTime::ZERO);
-        assert_eq!(t.requests[4].arrival, SimTime::ZERO + SimDuration::from_millis(5));
-        assert_eq!(t.requests[8].arrival, SimTime::ZERO + SimDuration::from_millis(10));
+        assert_eq!(
+            t.requests[4].arrival,
+            SimTime::ZERO + SimDuration::from_millis(5)
+        );
+        assert_eq!(
+            t.requests[8].arrival,
+            SimTime::ZERO + SimDuration::from_millis(10)
+        );
     }
 
     #[test]

@@ -112,12 +112,13 @@ pub fn load_trace<R: Read>(r: R) -> Result<Trace, ParseTraceError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("footprint ") {
-            let fp = rest.trim().parse::<u64>().map_err(|e| {
-                ParseTraceError::Malformed {
+            let fp = rest
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| ParseTraceError::Malformed {
                     line: line_no,
                     reason: format!("bad footprint: {e}"),
-                }
-            })?;
+                })?;
             footprint = Some(fp);
             trace = Some(Trace::new(fp));
             continue;
@@ -154,9 +155,7 @@ pub fn load_trace<R: Read>(r: R) -> Result<Trace, ParseTraceError> {
             ("R", _) => IoRequest::read(arrival, lsn, sectors),
             ("W", "S") => IoRequest::write(arrival, lsn, sectors, true),
             ("W", "-") => IoRequest::write(arrival, lsn, sectors, false),
-            (op, sync) => {
-                return Err(malformed(format!("bad op/sync markers `{op}`/`{sync}`")))
-            }
+            (op, sync) => return Err(malformed(format!("bad op/sync markers `{op}`/`{sync}`"))),
         };
         trace_ref.push(req);
     }

@@ -78,7 +78,10 @@ impl Ftl for AppendFtl {
             let s_hi = (lsn + u64::from(sectors)).min((lpn + 1) * page);
             for s in s_lo..s_hi {
                 self.seq += 1;
-                oobs[(s % page) as usize] = Some(Oob { lsn: s, seq: self.seq });
+                oobs[(s % page) as usize] = Some(Oob {
+                    lsn: s,
+                    seq: self.seq,
+                });
             }
             done = done.max(self.engine.program_page(
                 lpn,

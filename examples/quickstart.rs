@@ -28,7 +28,10 @@ fn main() {
     });
 
     println!("device: {}", config.geometry);
-    println!("workload: {} requests, all 4 KB-class synchronous writes\n", trace.len());
+    println!(
+        "workload: {} requests, all 4 KB-class synchronous writes\n",
+        trace.len()
+    );
     println!(
         "{:>8}  {:>9}  {:>7}  {:>7}  {:>12}  {:>8}",
         "FTL", "IOPS", "erases", "GCs", "request WAF", "RMW ops"

@@ -33,8 +33,15 @@ fn device_level() {
     // Build an Npp^3 subpage and watch it age out.
     let page = dev.geometry().block_addr(0).page(0);
     for slot in 0..4u8 {
-        dev.program_subpage(page.subpage(slot), Oob { lsn: u64::from(slot), seq: 1 }, SimTime::ZERO)
-            .expect("program");
+        dev.program_subpage(
+            page.subpage(slot),
+            Oob {
+                lsn: u64::from(slot),
+                seq: 1,
+            },
+            SimTime::ZERO,
+        )
+        .expect("program");
     }
     for days in [0u64, 20, 40, 60] {
         let now = SimTime::ZERO + SimDuration::from_days(days);

@@ -18,10 +18,9 @@ use std::process::ExitCode;
 use esp_storage::ftl::{
     precondition, run_trace_qd, CgmFtl, FgmFtl, Ftl, FtlConfig, RunReport, SectorLogFtl, SubFtl,
 };
-use esp_storage::nand::Geometry;
+use esp_storage::nand::{FaultConfig, Geometry};
 use esp_storage::workload::{
-    generate, load_msr_trace, load_trace, save_trace, Benchmark, MsrOptions, SyntheticConfig,
-    Trace,
+    generate, load_msr_trace, load_trace, save_trace, Benchmark, MsrOptions, SyntheticConfig, Trace,
 };
 
 const HELP: &str = "\
@@ -60,6 +59,13 @@ DEVICE / FTL FLAGS:
     --op <0..1>          over-provisioning (hidden capacity) [default 0.25]
     --planes <n>         planes per chip               [default 1]
     --out <file>         (gen) output path
+
+FAULT-INJECTION FLAGS (run / compare / replay):
+    --pfail <0..1>       per-program failure probability     [default 0]
+    --efail <0..1>       per-erase failure probability (the block is then
+                         retired as a grown bad block)       [default 0]
+    --bad-blocks <n>     factory-marked bad blocks           [default 0]
+    --fault-seed <n>     fault RNG seed                      [default 1]
 ";
 
 fn main() -> ExitCode {
@@ -140,7 +146,7 @@ fn config_from(flags: &Flags) -> Result<FtlConfig, Box<dyn Error>> {
     let [channels, ways, bpc, ppb] = parts.as_slice() else {
         return Err(format!("--geometry wants CxWxBxP, got `{geo}`").into());
     };
-    let cfg = FtlConfig {
+    let mut cfg = FtlConfig {
         geometry: Geometry {
             channels: *channels,
             chips_per_channel: *ways,
@@ -153,6 +159,20 @@ fn config_from(flags: &Flags) -> Result<FtlConfig, Box<dyn Error>> {
         planes_per_chip: flags.parse_or("planes", 1)?,
         ..FtlConfig::paper_default()
     };
+    let pfail: f64 = flags.parse_or("pfail", 0.0)?;
+    let efail: f64 = flags.parse_or("efail", 0.0)?;
+    let bad_blocks: u32 = flags.parse_or("bad-blocks", 0)?;
+    // `!= 0.0`, not `> 0.0`: a negative probability must reach the
+    // FaultConfig validator and be rejected, not be silently ignored.
+    if pfail != 0.0 || efail != 0.0 || bad_blocks > 0 || flags.get("fault-seed").is_some() {
+        cfg.fault = Some(FaultConfig {
+            seed: flags.parse_or("fault-seed", 1)?,
+            program_fail_prob: pfail,
+            erase_fail_prob: efail,
+            factory_bad_blocks: bad_blocks,
+            ..FaultConfig::default()
+        });
+    }
     cfg.validate().map_err(|e| format!("invalid config: {e}"))?;
     Ok(cfg)
 }
@@ -229,21 +249,41 @@ fn trace_from(flags: &Flags, cfg: &FtlConfig, force_file: bool) -> Result<Trace,
     }))
 }
 
-fn print_report(r: &RunReport) {
+fn print_report(r: &RunReport, lifetime: &esp_storage::ftl::FtlStats) {
     println!("=== {} ===", r.ftl);
     println!("  requests        {}", r.requests);
     println!("  simulated time  {}", r.makespan);
     println!("  IOPS            {:.0}", r.iops);
     println!("  write bandwidth {:.1} MB/s", r.write_bandwidth_mbps());
-    println!("  latency p50/p99 {} / {}", r.latency_p50(), r.latency_p99());
+    println!(
+        "  latency p50/p99 {} / {}",
+        r.latency_p50(),
+        r.latency_p99()
+    );
     println!("  erases          {}", r.erases);
     println!("  GC invocations  {}", r.stats.gc_invocations);
     println!("  RMW operations  {}", r.stats.rmw_operations);
-    println!("  programs        {} full / {} subpage", r.programs.0, r.programs.1);
-    println!("  small writes    {:.1}%", r.stats.small_write_fraction() * 100.0);
+    println!(
+        "  programs        {} full / {} subpage",
+        r.programs.0, r.programs.1
+    );
+    println!(
+        "  small writes    {:.1}%",
+        r.stats.small_write_fraction() * 100.0
+    );
     println!("  request WAF     {:.3}", r.stats.small_request_waf());
     println!("  total WAF       {:.3}", r.stats.total_waf());
     println!("  read faults     {}", r.stats.read_faults);
+    // Fault-handling counters are lifetime totals: mount-time bad-block
+    // retirement and preconditioning retries happen before the timed run.
+    if lifetime.program_failures + lifetime.erase_failures + lifetime.blocks_retired > 0 {
+        println!("  write retries   {}", lifetime.write_retries);
+        println!(
+            "  flash failures  {} program / {} erase",
+            lifetime.program_failures, lifetime.erase_failures
+        );
+        println!("  blocks retired  {}", lifetime.blocks_retired);
+    }
 }
 
 fn check_capacity(trace: &Trace, cfg: &FtlConfig) -> Result<(), Box<dyn Error>> {
@@ -268,7 +308,7 @@ fn cmd_run(flags: &Flags, force_file: bool) -> Result<(), Box<dyn Error>> {
     println!("device: {}", cfg.geometry);
     precondition(ftl.as_mut(), fill);
     let report = run_trace_qd(ftl.as_mut(), &trace, qd);
-    print_report(&report);
+    print_report(&report, ftl.stats());
     Ok(())
 }
 
@@ -312,12 +352,24 @@ fn cmd_stats(flags: &Flags) -> Result<(), Box<dyn Error>> {
         trace.footprint_sectors * 4096 / (1024 * 1024)
     );
     println!("writes / reads      {} / {}", s.writes, s.reads);
-    println!("write volume        {} MiB", s.write_sectors * 4096 / (1024 * 1024));
+    println!(
+        "write volume        {} MiB",
+        s.write_sectors * 4096 / (1024 * 1024)
+    );
     println!("r_small             {:.3}", s.r_small());
     println!("r_synch             {:.3}", s.r_synch());
-    println!("unique sectors      {} written, {} by small writes", a.unique_write_sectors, a.unique_small_write_sectors);
-    println!("sequential writes   {:.1}%", a.sequential_write_fraction * 100.0);
-    println!("top-10% write share {:.1}%", a.top_decile_write_share * 100.0);
+    println!(
+        "unique sectors      {} written, {} by small writes",
+        a.unique_write_sectors, a.unique_small_write_sectors
+    );
+    println!(
+        "sequential writes   {:.1}%",
+        a.sequential_write_fraction * 100.0
+    );
+    println!(
+        "top-10% write share {:.1}%",
+        a.top_decile_write_share * 100.0
+    );
     println!("writes per sector   {:.2} (mean)", a.mean_writes_per_sector);
     match a.median_rewrite_distance {
         Some(d) => println!("rewrite distance    {d} requests (median)"),

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ecc-20812372bf353538.d: crates/bench/src/bin/ablation_ecc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ecc-20812372bf353538.rmeta: crates/bench/src/bin/ablation_ecc.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ecc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ecc-bf42659791f13d50.d: crates/bench/src/bin/ablation_ecc.rs
+
+/root/repo/target/debug/deps/ablation_ecc-bf42659791f13d50: crates/bench/src/bin/ablation_ecc.rs
+
+crates/bench/src/bin/ablation_ecc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_eviction-625fad284fcc3ae9.d: crates/bench/src/bin/ablation_eviction.rs
+
+/root/repo/target/debug/deps/ablation_eviction-625fad284fcc3ae9: crates/bench/src/bin/ablation_eviction.rs
+
+crates/bench/src/bin/ablation_eviction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_eviction-dca412b00cd80232.d: crates/bench/src/bin/ablation_eviction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_eviction-dca412b00cd80232.rmeta: crates/bench/src/bin/ablation_eviction.rs Cargo.toml
+
+crates/bench/src/bin/ablation_eviction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_latency-e483916411287af3.d: crates/bench/src/bin/ablation_latency.rs
+
+/root/repo/target/debug/deps/ablation_latency-e483916411287af3: crates/bench/src/bin/ablation_latency.rs
+
+crates/bench/src/bin/ablation_latency.rs:

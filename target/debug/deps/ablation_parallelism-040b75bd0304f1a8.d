@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_parallelism-040b75bd0304f1a8.d: crates/bench/src/bin/ablation_parallelism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_parallelism-040b75bd0304f1a8.rmeta: crates/bench/src/bin/ablation_parallelism.rs Cargo.toml
+
+crates/bench/src/bin/ablation_parallelism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

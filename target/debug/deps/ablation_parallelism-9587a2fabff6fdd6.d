@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_parallelism-9587a2fabff6fdd6.d: crates/bench/src/bin/ablation_parallelism.rs
+
+/root/repo/target/debug/deps/ablation_parallelism-9587a2fabff6fdd6: crates/bench/src/bin/ablation_parallelism.rs
+
+crates/bench/src/bin/ablation_parallelism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_parallelism-d17288c52379234e.d: crates/bench/src/bin/ablation_parallelism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_parallelism-d17288c52379234e.rmeta: crates/bench/src/bin/ablation_parallelism.rs Cargo.toml
+
+crates/bench/src/bin/ablation_parallelism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

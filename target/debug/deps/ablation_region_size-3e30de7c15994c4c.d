@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_region_size-3e30de7c15994c4c.d: crates/bench/src/bin/ablation_region_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_region_size-3e30de7c15994c4c.rmeta: crates/bench/src/bin/ablation_region_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_region_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_region_size-b403b05c281e3e24.d: crates/bench/src/bin/ablation_region_size.rs
+
+/root/repo/target/debug/deps/ablation_region_size-b403b05c281e3e24: crates/bench/src/bin/ablation_region_size.rs
+
+crates/bench/src/bin/ablation_region_size.rs:

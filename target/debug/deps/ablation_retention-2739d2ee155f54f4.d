@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_retention-2739d2ee155f54f4.d: crates/bench/src/bin/ablation_retention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_retention-2739d2ee155f54f4.rmeta: crates/bench/src/bin/ablation_retention.rs Cargo.toml
+
+crates/bench/src/bin/ablation_retention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_retention-56a9d8de9911e2fc.d: crates/bench/src/bin/ablation_retention.rs
+
+/root/repo/target/debug/deps/ablation_retention-56a9d8de9911e2fc: crates/bench/src/bin/ablation_retention.rs
+
+crates/bench/src/bin/ablation_retention.rs:

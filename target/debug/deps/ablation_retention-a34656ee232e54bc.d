@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_retention-a34656ee232e54bc.d: crates/bench/src/bin/ablation_retention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_retention-a34656ee232e54bc.rmeta: crates/bench/src/bin/ablation_retention.rs Cargo.toml
+
+crates/bench/src/bin/ablation_retention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_wear-41abf97029a4796c.d: crates/bench/src/bin/ablation_wear.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_wear-41abf97029a4796c.rmeta: crates/bench/src/bin/ablation_wear.rs Cargo.toml
+
+crates/bench/src/bin/ablation_wear.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

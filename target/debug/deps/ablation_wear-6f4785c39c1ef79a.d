@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_wear-6f4785c39c1ef79a.d: crates/bench/src/bin/ablation_wear.rs
+
+/root/repo/target/debug/deps/ablation_wear-6f4785c39c1ef79a: crates/bench/src/bin/ablation_wear.rs
+
+crates/bench/src/bin/ablation_wear.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_write_buffer-07c7bfb2040a6e35.d: crates/bench/src/bin/ablation_write_buffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_write_buffer-07c7bfb2040a6e35.rmeta: crates/bench/src/bin/ablation_write_buffer.rs Cargo.toml
+
+crates/bench/src/bin/ablation_write_buffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

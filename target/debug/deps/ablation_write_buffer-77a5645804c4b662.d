@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_write_buffer-77a5645804c4b662.d: crates/bench/src/bin/ablation_write_buffer.rs
+
+/root/repo/target/debug/deps/ablation_write_buffer-77a5645804c4b662: crates/bench/src/bin/ablation_write_buffer.rs
+
+crates/bench/src/bin/ablation_write_buffer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-2be70699c49e79e2.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-2be70699c49e79e2: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_espsim=/root/repo/target/debug/espsim

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-a49768933c5da5c8.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-a49768933c5da5c8.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_espsim=placeholder:espsim
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

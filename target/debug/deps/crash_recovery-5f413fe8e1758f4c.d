@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-5f413fe8e1758f4c.d: crates/core/tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-5f413fe8e1758f4c: crates/core/tests/crash_recovery.rs
+
+crates/core/tests/crash_recovery.rs:

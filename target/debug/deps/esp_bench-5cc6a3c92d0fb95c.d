@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/esp_bench-5cc6a3c92d0fb95c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/esp_bench-5cc6a3c92d0fb95c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

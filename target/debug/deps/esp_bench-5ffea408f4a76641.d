@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/esp_bench-5ffea408f4a76641.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libesp_bench-5ffea408f4a76641.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/esp_bench-d3bd89af63c253fa.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libesp_bench-d3bd89af63c253fa.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libesp_bench-d3bd89af63c253fa.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

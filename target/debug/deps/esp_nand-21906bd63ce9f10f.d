@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/esp_nand-21906bd63ce9f10f.d: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs
+
+/root/repo/target/debug/deps/libesp_nand-21906bd63ce9f10f.rlib: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs
+
+/root/repo/target/debug/deps/libesp_nand-21906bd63ce9f10f.rmeta: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs
+
+crates/nand/src/lib.rs:
+crates/nand/src/device.rs:
+crates/nand/src/ecc.rs:
+crates/nand/src/error.rs:
+crates/nand/src/fault.rs:
+crates/nand/src/geometry.rs:
+crates/nand/src/page.rs:
+crates/nand/src/reliability.rs:
+crates/nand/src/timing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/esp_nand-a6cd9894b94bce06.d: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs
+
+/root/repo/target/debug/deps/esp_nand-a6cd9894b94bce06: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs
+
+crates/nand/src/lib.rs:
+crates/nand/src/device.rs:
+crates/nand/src/ecc.rs:
+crates/nand/src/error.rs:
+crates/nand/src/fault.rs:
+crates/nand/src/geometry.rs:
+crates/nand/src/page.rs:
+crates/nand/src/reliability.rs:
+crates/nand/src/timing.rs:

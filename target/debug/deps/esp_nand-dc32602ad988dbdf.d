@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/esp_nand-dc32602ad988dbdf.d: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libesp_nand-dc32602ad988dbdf.rmeta: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs Cargo.toml
+
+crates/nand/src/lib.rs:
+crates/nand/src/device.rs:
+crates/nand/src/ecc.rs:
+crates/nand/src/error.rs:
+crates/nand/src/fault.rs:
+crates/nand/src/geometry.rs:
+crates/nand/src/page.rs:
+crates/nand/src/reliability.rs:
+crates/nand/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/esp_sim-ba45d1d690c2e15f.d: crates/sim/src/lib.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/esp_sim-ba45d1d690c2e15f: crates/sim/src/lib.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

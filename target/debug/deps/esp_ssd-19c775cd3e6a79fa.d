@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/esp_ssd-19c775cd3e6a79fa.d: crates/ssd/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libesp_ssd-19c775cd3e6a79fa.rmeta: crates/ssd/src/lib.rs Cargo.toml
+
+crates/ssd/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

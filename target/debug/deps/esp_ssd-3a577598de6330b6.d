@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/esp_ssd-3a577598de6330b6.d: crates/ssd/src/lib.rs
+
+/root/repo/target/debug/deps/libesp_ssd-3a577598de6330b6.rlib: crates/ssd/src/lib.rs
+
+/root/repo/target/debug/deps/libesp_ssd-3a577598de6330b6.rmeta: crates/ssd/src/lib.rs
+
+crates/ssd/src/lib.rs:

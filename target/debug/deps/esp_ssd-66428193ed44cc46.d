@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/esp_ssd-66428193ed44cc46.d: crates/ssd/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libesp_ssd-66428193ed44cc46.rmeta: crates/ssd/src/lib.rs Cargo.toml
+
+crates/ssd/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

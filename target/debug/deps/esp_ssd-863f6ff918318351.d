@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/esp_ssd-863f6ff918318351.d: crates/ssd/src/lib.rs
+
+/root/repo/target/debug/deps/esp_ssd-863f6ff918318351: crates/ssd/src/lib.rs
+
+crates/ssd/src/lib.rs:

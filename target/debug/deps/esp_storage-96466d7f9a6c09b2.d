@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/esp_storage-96466d7f9a6c09b2.d: src/lib.rs
+
+/root/repo/target/debug/deps/esp_storage-96466d7f9a6c09b2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/esp_storage-9a205b85e8ff5271.d: src/lib.rs
+
+/root/repo/target/debug/deps/libesp_storage-9a205b85e8ff5271.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libesp_storage-9a205b85e8ff5271.rmeta: src/lib.rs
+
+src/lib.rs:

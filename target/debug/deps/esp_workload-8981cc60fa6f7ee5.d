@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/esp_workload-8981cc60fa6f7ee5.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/msr.rs crates/workload/src/profiles.rs crates/workload/src/request.rs crates/workload/src/synthetic.rs crates/workload/src/trace_io.rs
+
+/root/repo/target/debug/deps/libesp_workload-8981cc60fa6f7ee5.rlib: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/msr.rs crates/workload/src/profiles.rs crates/workload/src/request.rs crates/workload/src/synthetic.rs crates/workload/src/trace_io.rs
+
+/root/repo/target/debug/deps/libesp_workload-8981cc60fa6f7ee5.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/msr.rs crates/workload/src/profiles.rs crates/workload/src/request.rs crates/workload/src/synthetic.rs crates/workload/src/trace_io.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/msr.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/request.rs:
+crates/workload/src/synthetic.rs:
+crates/workload/src/trace_io.rs:

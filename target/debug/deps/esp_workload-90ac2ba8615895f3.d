@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/esp_workload-90ac2ba8615895f3.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/msr.rs crates/workload/src/profiles.rs crates/workload/src/request.rs crates/workload/src/synthetic.rs crates/workload/src/trace_io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libesp_workload-90ac2ba8615895f3.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/msr.rs crates/workload/src/profiles.rs crates/workload/src/request.rs crates/workload/src/synthetic.rs crates/workload/src/trace_io.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/msr.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/request.rs:
+crates/workload/src/synthetic.rs:
+crates/workload/src/trace_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/espsim-39f384482e5d1286.d: src/bin/espsim.rs
+
+/root/repo/target/debug/deps/espsim-39f384482e5d1286: src/bin/espsim.rs
+
+src/bin/espsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/espsim-554d82da1c1dc69a.d: src/bin/espsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libespsim-554d82da1c1dc69a.rmeta: src/bin/espsim.rs Cargo.toml
+
+src/bin/espsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

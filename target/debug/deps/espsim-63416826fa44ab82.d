@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/espsim-63416826fa44ab82.d: src/bin/espsim.rs
+
+/root/repo/target/debug/deps/espsim-63416826fa44ab82: src/bin/espsim.rs
+
+src/bin/espsim.rs:

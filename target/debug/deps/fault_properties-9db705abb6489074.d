@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_properties-9db705abb6489074.d: crates/core/tests/fault_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_properties-9db705abb6489074.rmeta: crates/core/tests/fault_properties.rs Cargo.toml
+
+crates/core/tests/fault_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

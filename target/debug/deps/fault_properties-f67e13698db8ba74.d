@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_properties-f67e13698db8ba74.d: crates/core/tests/fault_properties.rs
+
+/root/repo/target/debug/deps/fault_properties-f67e13698db8ba74: crates/core/tests/fault_properties.rs
+
+crates/core/tests/fault_properties.rs:

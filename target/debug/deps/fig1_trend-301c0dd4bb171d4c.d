@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_trend-301c0dd4bb171d4c.d: crates/bench/src/bin/fig1_trend.rs
+
+/root/repo/target/debug/deps/fig1_trend-301c0dd4bb171d4c: crates/bench/src/bin/fig1_trend.rs
+
+crates/bench/src/bin/fig1_trend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_trend-e6dbcd0ebee0113d.d: crates/bench/src/bin/fig1_trend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_trend-e6dbcd0ebee0113d.rmeta: crates/bench/src/bin/fig1_trend.rs Cargo.toml
+
+crates/bench/src/bin/fig1_trend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

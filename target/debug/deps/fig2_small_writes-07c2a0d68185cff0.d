@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_small_writes-07c2a0d68185cff0.d: crates/bench/src/bin/fig2_small_writes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_small_writes-07c2a0d68185cff0.rmeta: crates/bench/src/bin/fig2_small_writes.rs Cargo.toml
+
+crates/bench/src/bin/fig2_small_writes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_small_writes-9ff7eeec829bf477.d: crates/bench/src/bin/fig2_small_writes.rs
+
+/root/repo/target/debug/deps/fig2_small_writes-9ff7eeec829bf477: crates/bench/src/bin/fig2_small_writes.rs
+
+crates/bench/src/bin/fig2_small_writes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_esp_effect-57f2d9d9e87ce73a.d: crates/bench/src/bin/fig4_esp_effect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_esp_effect-57f2d9d9e87ce73a.rmeta: crates/bench/src/bin/fig4_esp_effect.rs Cargo.toml
+
+crates/bench/src/bin/fig4_esp_effect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

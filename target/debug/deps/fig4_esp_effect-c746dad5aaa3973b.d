@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_esp_effect-c746dad5aaa3973b.d: crates/bench/src/bin/fig4_esp_effect.rs
+
+/root/repo/target/debug/deps/fig4_esp_effect-c746dad5aaa3973b: crates/bench/src/bin/fig4_esp_effect.rs
+
+crates/bench/src/bin/fig4_esp_effect.rs:

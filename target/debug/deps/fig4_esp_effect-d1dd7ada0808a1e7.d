@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_esp_effect-d1dd7ada0808a1e7.d: crates/bench/src/bin/fig4_esp_effect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_esp_effect-d1dd7ada0808a1e7.rmeta: crates/bench/src/bin/fig4_esp_effect.rs Cargo.toml
+
+crates/bench/src/bin/fig4_esp_effect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_retention_model-23ae4514d5714f9e.d: crates/bench/src/bin/fig5_retention_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_retention_model-23ae4514d5714f9e.rmeta: crates/bench/src/bin/fig5_retention_model.rs Cargo.toml
+
+crates/bench/src/bin/fig5_retention_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

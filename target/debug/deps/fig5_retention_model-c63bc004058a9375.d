@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_retention_model-c63bc004058a9375.d: crates/bench/src/bin/fig5_retention_model.rs
+
+/root/repo/target/debug/deps/fig5_retention_model-c63bc004058a9375: crates/bench/src/bin/fig5_retention_model.rs
+
+crates/bench/src/bin/fig5_retention_model.rs:

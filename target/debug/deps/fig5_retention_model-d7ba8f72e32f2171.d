@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_retention_model-d7ba8f72e32f2171.d: crates/bench/src/bin/fig5_retention_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_retention_model-d7ba8f72e32f2171.rmeta: crates/bench/src/bin/fig5_retention_model.rs Cargo.toml
+
+crates/bench/src/bin/fig5_retention_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_write_policy-0eaaf676c805ac76.d: crates/bench/src/bin/fig7_write_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_write_policy-0eaaf676c805ac76.rmeta: crates/bench/src/bin/fig7_write_policy.rs Cargo.toml
+
+crates/bench/src/bin/fig7_write_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

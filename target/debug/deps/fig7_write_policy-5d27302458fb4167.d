@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_write_policy-5d27302458fb4167.d: crates/bench/src/bin/fig7_write_policy.rs
+
+/root/repo/target/debug/deps/fig7_write_policy-5d27302458fb4167: crates/bench/src/bin/fig7_write_policy.rs
+
+crates/bench/src/bin/fig7_write_policy.rs:

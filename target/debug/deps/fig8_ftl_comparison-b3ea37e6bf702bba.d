@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_ftl_comparison-b3ea37e6bf702bba.d: crates/bench/src/bin/fig8_ftl_comparison.rs
+
+/root/repo/target/debug/deps/fig8_ftl_comparison-b3ea37e6bf702bba: crates/bench/src/bin/fig8_ftl_comparison.rs
+
+crates/bench/src/bin/fig8_ftl_comparison.rs:

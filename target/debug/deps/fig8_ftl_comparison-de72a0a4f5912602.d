@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_ftl_comparison-de72a0a4f5912602.d: crates/bench/src/bin/fig8_ftl_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_ftl_comparison-de72a0a4f5912602.rmeta: crates/bench/src/bin/fig8_ftl_comparison.rs Cargo.toml
+
+crates/bench/src/bin/fig8_ftl_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

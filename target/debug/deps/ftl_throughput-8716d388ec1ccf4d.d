@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftl_throughput-8716d388ec1ccf4d.d: crates/bench/benches/ftl_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftl_throughput-8716d388ec1ccf4d.rmeta: crates/bench/benches/ftl_throughput.rs Cargo.toml
+
+crates/bench/benches/ftl_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_background_gc-b5e6896a95a69fc6.d: crates/bench/src/bin/future_background_gc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_background_gc-b5e6896a95a69fc6.rmeta: crates/bench/src/bin/future_background_gc.rs Cargo.toml
+
+crates/bench/src/bin/future_background_gc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_background_gc-ba1b0537eaf9060b.d: crates/bench/src/bin/future_background_gc.rs
+
+/root/repo/target/debug/deps/future_background_gc-ba1b0537eaf9060b: crates/bench/src/bin/future_background_gc.rs
+
+crates/bench/src/bin/future_background_gc.rs:

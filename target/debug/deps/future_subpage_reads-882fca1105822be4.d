@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/future_subpage_reads-882fca1105822be4.d: crates/bench/src/bin/future_subpage_reads.rs
+
+/root/repo/target/debug/deps/future_subpage_reads-882fca1105822be4: crates/bench/src/bin/future_subpage_reads.rs
+
+crates/bench/src/bin/future_subpage_reads.rs:

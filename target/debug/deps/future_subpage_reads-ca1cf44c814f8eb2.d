@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_subpage_reads-ca1cf44c814f8eb2.d: crates/bench/src/bin/future_subpage_reads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_subpage_reads-ca1cf44c814f8eb2.rmeta: crates/bench/src/bin/future_subpage_reads.rs Cargo.toml
+
+crates/bench/src/bin/future_subpage_reads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/future_subpage_reads-e319a5054a0c595a.d: crates/bench/src/bin/future_subpage_reads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuture_subpage_reads-e319a5054a0c595a.rmeta: crates/bench/src/bin/future_subpage_reads.rs Cargo.toml
+
+crates/bench/src/bin/future_subpage_reads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-4f9c83c278bb0c3f.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-4f9c83c278bb0c3f: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency_profile-4ce2b49b953e01fe.d: crates/bench/src/bin/latency_profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency_profile-4ce2b49b953e01fe.rmeta: crates/bench/src/bin/latency_profile.rs Cargo.toml
+
+crates/bench/src/bin/latency_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

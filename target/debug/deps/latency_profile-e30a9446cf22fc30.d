@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency_profile-e30a9446cf22fc30.d: crates/bench/src/bin/latency_profile.rs
+
+/root/repo/target/debug/deps/latency_profile-e30a9446cf22fc30: crates/bench/src/bin/latency_profile.rs
+
+crates/bench/src/bin/latency_profile.rs:

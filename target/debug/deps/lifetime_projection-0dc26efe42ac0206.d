@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lifetime_projection-0dc26efe42ac0206.d: crates/bench/src/bin/lifetime_projection.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblifetime_projection-0dc26efe42ac0206.rmeta: crates/bench/src/bin/lifetime_projection.rs Cargo.toml
+
+crates/bench/src/bin/lifetime_projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lifetime_projection-e520a7dc07afd923.d: crates/bench/src/bin/lifetime_projection.rs
+
+/root/repo/target/debug/deps/lifetime_projection-e520a7dc07afd923: crates/bench/src/bin/lifetime_projection.rs
+
+crates/bench/src/bin/lifetime_projection.rs:

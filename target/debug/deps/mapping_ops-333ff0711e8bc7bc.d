@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapping_ops-333ff0711e8bc7bc.d: crates/bench/benches/mapping_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapping_ops-333ff0711e8bc7bc.rmeta: crates/bench/benches/mapping_ops.rs Cargo.toml
+
+crates/bench/benches/mapping_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

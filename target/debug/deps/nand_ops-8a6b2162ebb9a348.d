@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nand_ops-8a6b2162ebb9a348.d: crates/bench/benches/nand_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnand_ops-8a6b2162ebb9a348.rmeta: crates/bench/benches/nand_ops.rs Cargo.toml
+
+crates/bench/benches/nand_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

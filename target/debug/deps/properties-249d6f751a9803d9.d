@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-249d6f751a9803d9.d: crates/nand/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-249d6f751a9803d9: crates/nand/tests/properties.rs
+
+crates/nand/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-88d7ece7ed8ce963.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-88d7ece7ed8ce963: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bd1846bc3c3a9c9f.d: crates/sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bd1846bc3c3a9c9f.rmeta: crates/sim/tests/properties.rs Cargo.toml
+
+crates/sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-cb81382bdd8ca6dd.d: crates/nand/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-cb81382bdd8ca6dd.rmeta: crates/nand/tests/properties.rs Cargo.toml
+
+crates/nand/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

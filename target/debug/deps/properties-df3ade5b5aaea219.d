@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-df3ade5b5aaea219.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-df3ade5b5aaea219: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

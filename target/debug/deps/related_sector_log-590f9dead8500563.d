@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_sector_log-590f9dead8500563.d: crates/bench/src/bin/related_sector_log.rs
+
+/root/repo/target/debug/deps/related_sector_log-590f9dead8500563: crates/bench/src/bin/related_sector_log.rs
+
+crates/bench/src/bin/related_sector_log.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/related_sector_log-89ffa35ea4ef2148.d: crates/bench/src/bin/related_sector_log.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelated_sector_log-89ffa35ea4ef2148.rmeta: crates/bench/src/bin/related_sector_log.rs Cargo.toml
+
+crates/bench/src/bin/related_sector_log.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

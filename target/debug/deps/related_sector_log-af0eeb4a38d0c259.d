@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/related_sector_log-af0eeb4a38d0c259.d: crates/bench/src/bin/related_sector_log.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelated_sector_log-af0eeb4a38d0c259.rmeta: crates/bench/src/bin/related_sector_log.rs Cargo.toml
+
+crates/bench/src/bin/related_sector_log.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-ae8b1098f5293aa4.d: crates/core/tests/soak.rs
+
+/root/repo/target/debug/deps/soak-ae8b1098f5293aa4: crates/core/tests/soak.rs
+
+crates/core/tests/soak.rs:

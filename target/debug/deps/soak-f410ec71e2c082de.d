@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soak-f410ec71e2c082de.d: crates/core/tests/soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoak-f410ec71e2c082de.rmeta: crates/core/tests/soak.rs Cargo.toml
+
+crates/core/tests/soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-b35e364f0b2ca831.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-b35e364f0b2ca831: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

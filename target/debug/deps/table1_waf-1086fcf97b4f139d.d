@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_waf-1086fcf97b4f139d.d: crates/bench/src/bin/table1_waf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_waf-1086fcf97b4f139d.rmeta: crates/bench/src/bin/table1_waf.rs Cargo.toml
+
+crates/bench/src/bin/table1_waf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_waf-ea247cf95cabde32.d: crates/bench/src/bin/table1_waf.rs
+
+/root/repo/target/debug/deps/table1_waf-ea247cf95cabde32: crates/bench/src/bin/table1_waf.rs
+
+crates/bench/src/bin/table1_waf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_mapping_memory-09a52e0d00681aa3.d: crates/bench/src/bin/table_mapping_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_mapping_memory-09a52e0d00681aa3.rmeta: crates/bench/src/bin/table_mapping_memory.rs Cargo.toml
+
+crates/bench/src/bin/table_mapping_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_mapping_memory-872d1c31e26120de.d: crates/bench/src/bin/table_mapping_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_mapping_memory-872d1c31e26120de.rmeta: crates/bench/src/bin/table_mapping_memory.rs Cargo.toml
+
+crates/bench/src/bin/table_mapping_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

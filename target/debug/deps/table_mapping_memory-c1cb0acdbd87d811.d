@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_mapping_memory-c1cb0acdbd87d811.d: crates/bench/src/bin/table_mapping_memory.rs
+
+/root/repo/target/debug/deps/table_mapping_memory-c1cb0acdbd87d811: crates/bench/src/bin/table_mapping_memory.rs
+
+crates/bench/src/bin/table_mapping_memory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing-423b8ac409f92875.d: crates/ssd/tests/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming-423b8ac409f92875.rmeta: crates/ssd/tests/timing.rs Cargo.toml
+
+crates/ssd/tests/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-6855f6e0449dd236.d: crates/ssd/tests/timing.rs
+
+/root/repo/target/debug/deps/timing-6855f6e0449dd236: crates/ssd/tests/timing.rs
+
+crates/ssd/tests/timing.rs:

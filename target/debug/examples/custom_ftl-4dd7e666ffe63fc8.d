@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_ftl-4dd7e666ffe63fc8.d: examples/custom_ftl.rs
+
+/root/repo/target/debug/examples/custom_ftl-4dd7e666ffe63fc8: examples/custom_ftl.rs
+
+examples/custom_ftl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_ftl-936f8ec21356ddec.d: examples/custom_ftl.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_ftl-936f8ec21356ddec.rmeta: examples/custom_ftl.rs Cargo.toml
+
+examples/custom_ftl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

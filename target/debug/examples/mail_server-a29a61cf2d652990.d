@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mail_server-a29a61cf2d652990.d: examples/mail_server.rs
+
+/root/repo/target/debug/examples/mail_server-a29a61cf2d652990: examples/mail_server.rs
+
+examples/mail_server.rs:

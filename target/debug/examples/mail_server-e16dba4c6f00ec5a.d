@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mail_server-e16dba4c6f00ec5a.d: examples/mail_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmail_server-e16dba4c6f00ec5a.rmeta: examples/mail_server.rs Cargo.toml
+
+examples/mail_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_loss-2dbff08ac8e0cadb.d: examples/power_loss.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_loss-2dbff08ac8e0cadb.rmeta: examples/power_loss.rs Cargo.toml
+
+examples/power_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_loss-c740ddc59cac6bfb.d: examples/power_loss.rs
+
+/root/repo/target/debug/examples/power_loss-c740ddc59cac6bfb: examples/power_loss.rs
+
+examples/power_loss.rs:

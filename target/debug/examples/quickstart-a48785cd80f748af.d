@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a48785cd80f748af.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a48785cd80f748af: examples/quickstart.rs
+
+examples/quickstart.rs:

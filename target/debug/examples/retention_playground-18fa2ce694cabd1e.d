@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/retention_playground-18fa2ce694cabd1e.d: examples/retention_playground.rs Cargo.toml
+
+/root/repo/target/debug/examples/libretention_playground-18fa2ce694cabd1e.rmeta: examples/retention_playground.rs Cargo.toml
+
+examples/retention_playground.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

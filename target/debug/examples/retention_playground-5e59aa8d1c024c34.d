@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/retention_playground-5e59aa8d1c024c34.d: examples/retention_playground.rs
+
+/root/repo/target/debug/examples/retention_playground-5e59aa8d1c024c34: examples/retention_playground.rs
+
+examples/retention_playground.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_tools-61df68e64f703c1a.d: examples/trace_tools.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_tools-61df68e64f703c1a.rmeta: examples/trace_tools.rs Cargo.toml
+
+examples/trace_tools.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_tools-da52ac87c4ca050d.d: examples/trace_tools.rs
+
+/root/repo/target/debug/examples/trace_tools-da52ac87c4ca050d: examples/trace_tools.rs
+
+examples/trace_tools.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ecc-e0997a594358b81a.d: crates/bench/src/bin/ablation_ecc.rs
+
+/root/repo/target/release/deps/ablation_ecc-e0997a594358b81a: crates/bench/src/bin/ablation_ecc.rs
+
+crates/bench/src/bin/ablation_ecc.rs:

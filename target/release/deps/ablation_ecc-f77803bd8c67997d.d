@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ecc-f77803bd8c67997d.d: crates/bench/src/bin/ablation_ecc.rs
+
+/root/repo/target/release/deps/ablation_ecc-f77803bd8c67997d: crates/bench/src/bin/ablation_ecc.rs
+
+crates/bench/src/bin/ablation_ecc.rs:

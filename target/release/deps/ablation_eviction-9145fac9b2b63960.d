@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_eviction-9145fac9b2b63960.d: crates/bench/src/bin/ablation_eviction.rs
+
+/root/repo/target/release/deps/ablation_eviction-9145fac9b2b63960: crates/bench/src/bin/ablation_eviction.rs
+
+crates/bench/src/bin/ablation_eviction.rs:

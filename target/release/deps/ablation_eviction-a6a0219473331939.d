@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_eviction-a6a0219473331939.d: crates/bench/src/bin/ablation_eviction.rs
+
+/root/repo/target/release/deps/ablation_eviction-a6a0219473331939: crates/bench/src/bin/ablation_eviction.rs
+
+crates/bench/src/bin/ablation_eviction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_latency-9858d25b85edd883.d: crates/bench/src/bin/ablation_latency.rs
+
+/root/repo/target/release/deps/ablation_latency-9858d25b85edd883: crates/bench/src/bin/ablation_latency.rs
+
+crates/bench/src/bin/ablation_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_latency-e366aaeab96ab0fc.d: crates/bench/src/bin/ablation_latency.rs
+
+/root/repo/target/release/deps/ablation_latency-e366aaeab96ab0fc: crates/bench/src/bin/ablation_latency.rs
+
+crates/bench/src/bin/ablation_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_parallelism-8d749f656992ae71.d: crates/bench/src/bin/ablation_parallelism.rs
+
+/root/repo/target/release/deps/ablation_parallelism-8d749f656992ae71: crates/bench/src/bin/ablation_parallelism.rs
+
+crates/bench/src/bin/ablation_parallelism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_parallelism-909fb0395b0cf349.d: crates/bench/src/bin/ablation_parallelism.rs
+
+/root/repo/target/release/deps/ablation_parallelism-909fb0395b0cf349: crates/bench/src/bin/ablation_parallelism.rs
+
+crates/bench/src/bin/ablation_parallelism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_region_size-2f6467f147b75717.d: crates/bench/src/bin/ablation_region_size.rs
+
+/root/repo/target/release/deps/ablation_region_size-2f6467f147b75717: crates/bench/src/bin/ablation_region_size.rs
+
+crates/bench/src/bin/ablation_region_size.rs:

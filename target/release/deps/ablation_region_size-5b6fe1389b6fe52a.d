@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_region_size-5b6fe1389b6fe52a.d: crates/bench/src/bin/ablation_region_size.rs
+
+/root/repo/target/release/deps/ablation_region_size-5b6fe1389b6fe52a: crates/bench/src/bin/ablation_region_size.rs
+
+crates/bench/src/bin/ablation_region_size.rs:

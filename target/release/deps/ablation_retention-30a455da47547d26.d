@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_retention-30a455da47547d26.d: crates/bench/src/bin/ablation_retention.rs
+
+/root/repo/target/release/deps/ablation_retention-30a455da47547d26: crates/bench/src/bin/ablation_retention.rs
+
+crates/bench/src/bin/ablation_retention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_retention-af1234eb974c93c6.d: crates/bench/src/bin/ablation_retention.rs
+
+/root/repo/target/release/deps/ablation_retention-af1234eb974c93c6: crates/bench/src/bin/ablation_retention.rs
+
+crates/bench/src/bin/ablation_retention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_wear-34d6a05f52e007e7.d: crates/bench/src/bin/ablation_wear.rs
+
+/root/repo/target/release/deps/ablation_wear-34d6a05f52e007e7: crates/bench/src/bin/ablation_wear.rs
+
+crates/bench/src/bin/ablation_wear.rs:

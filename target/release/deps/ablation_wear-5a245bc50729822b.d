@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_wear-5a245bc50729822b.d: crates/bench/src/bin/ablation_wear.rs
+
+/root/repo/target/release/deps/ablation_wear-5a245bc50729822b: crates/bench/src/bin/ablation_wear.rs
+
+crates/bench/src/bin/ablation_wear.rs:

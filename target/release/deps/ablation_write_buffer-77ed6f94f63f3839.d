@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_write_buffer-77ed6f94f63f3839.d: crates/bench/src/bin/ablation_write_buffer.rs
+
+/root/repo/target/release/deps/ablation_write_buffer-77ed6f94f63f3839: crates/bench/src/bin/ablation_write_buffer.rs
+
+crates/bench/src/bin/ablation_write_buffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_write_buffer-d73d65510658add4.d: crates/bench/src/bin/ablation_write_buffer.rs
+
+/root/repo/target/release/deps/ablation_write_buffer-d73d65510658add4: crates/bench/src/bin/ablation_write_buffer.rs
+
+crates/bench/src/bin/ablation_write_buffer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/esp_bench-42b104748e0f8d07.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libesp_bench-42b104748e0f8d07.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libesp_bench-42b104748e0f8d07.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/esp_bench-bf7117e38117ce5b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/esp_bench-bf7117e38117ce5b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/esp_nand-04c3edb688c057b3.d: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs
+
+/root/repo/target/release/deps/esp_nand-04c3edb688c057b3: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs
+
+crates/nand/src/lib.rs:
+crates/nand/src/device.rs:
+crates/nand/src/ecc.rs:
+crates/nand/src/error.rs:
+crates/nand/src/geometry.rs:
+crates/nand/src/page.rs:
+crates/nand/src/reliability.rs:
+crates/nand/src/timing.rs:

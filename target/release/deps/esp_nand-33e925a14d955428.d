@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/esp_nand-33e925a14d955428.d: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs
+
+/root/repo/target/release/deps/libesp_nand-33e925a14d955428.rlib: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs
+
+/root/repo/target/release/deps/libesp_nand-33e925a14d955428.rmeta: crates/nand/src/lib.rs crates/nand/src/device.rs crates/nand/src/ecc.rs crates/nand/src/error.rs crates/nand/src/fault.rs crates/nand/src/geometry.rs crates/nand/src/page.rs crates/nand/src/reliability.rs crates/nand/src/timing.rs
+
+crates/nand/src/lib.rs:
+crates/nand/src/device.rs:
+crates/nand/src/ecc.rs:
+crates/nand/src/error.rs:
+crates/nand/src/fault.rs:
+crates/nand/src/geometry.rs:
+crates/nand/src/page.rs:
+crates/nand/src/reliability.rs:
+crates/nand/src/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/esp_sim-1bf61a41b8087b49.d: crates/sim/src/lib.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/esp_sim-1bf61a41b8087b49: crates/sim/src/lib.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/esp_sim-58c171d905a8cbfe.d: crates/sim/src/lib.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libesp_sim-58c171d905a8cbfe.rlib: crates/sim/src/lib.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libesp_sim-58c171d905a8cbfe.rmeta: crates/sim/src/lib.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/esp_ssd-731d67965e7554f9.d: crates/ssd/src/lib.rs
+
+/root/repo/target/release/deps/esp_ssd-731d67965e7554f9: crates/ssd/src/lib.rs
+
+crates/ssd/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/esp_ssd-bb0d6dfead50cbcf.d: crates/ssd/src/lib.rs
+
+/root/repo/target/release/deps/libesp_ssd-bb0d6dfead50cbcf.rlib: crates/ssd/src/lib.rs
+
+/root/repo/target/release/deps/libesp_ssd-bb0d6dfead50cbcf.rmeta: crates/ssd/src/lib.rs
+
+crates/ssd/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/esp_storage-968d156bbef69415.d: src/lib.rs
+
+/root/repo/target/release/deps/esp_storage-968d156bbef69415: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/esp_storage-cb93783cc44d3374.d: src/lib.rs
+
+/root/repo/target/release/deps/libesp_storage-cb93783cc44d3374.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libesp_storage-cb93783cc44d3374.rmeta: src/lib.rs
+
+src/lib.rs:

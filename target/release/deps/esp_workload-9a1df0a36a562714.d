@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/esp_workload-9a1df0a36a562714.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/msr.rs crates/workload/src/profiles.rs crates/workload/src/request.rs crates/workload/src/synthetic.rs crates/workload/src/trace_io.rs
+
+/root/repo/target/release/deps/esp_workload-9a1df0a36a562714: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/msr.rs crates/workload/src/profiles.rs crates/workload/src/request.rs crates/workload/src/synthetic.rs crates/workload/src/trace_io.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/msr.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/request.rs:
+crates/workload/src/synthetic.rs:
+crates/workload/src/trace_io.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/esp_workload-de662625946faaf8.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/msr.rs crates/workload/src/profiles.rs crates/workload/src/request.rs crates/workload/src/synthetic.rs crates/workload/src/trace_io.rs
+
+/root/repo/target/release/deps/libesp_workload-de662625946faaf8.rlib: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/msr.rs crates/workload/src/profiles.rs crates/workload/src/request.rs crates/workload/src/synthetic.rs crates/workload/src/trace_io.rs
+
+/root/repo/target/release/deps/libesp_workload-de662625946faaf8.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/msr.rs crates/workload/src/profiles.rs crates/workload/src/request.rs crates/workload/src/synthetic.rs crates/workload/src/trace_io.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/msr.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/request.rs:
+crates/workload/src/synthetic.rs:
+crates/workload/src/trace_io.rs:

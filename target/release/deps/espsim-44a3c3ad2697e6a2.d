@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/espsim-44a3c3ad2697e6a2.d: src/bin/espsim.rs
+
+/root/repo/target/release/deps/espsim-44a3c3ad2697e6a2: src/bin/espsim.rs
+
+src/bin/espsim.rs:

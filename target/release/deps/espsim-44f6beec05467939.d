@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/espsim-44f6beec05467939.d: src/bin/espsim.rs
+
+/root/repo/target/release/deps/espsim-44f6beec05467939: src/bin/espsim.rs
+
+src/bin/espsim.rs:

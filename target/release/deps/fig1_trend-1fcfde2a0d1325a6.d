@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_trend-1fcfde2a0d1325a6.d: crates/bench/src/bin/fig1_trend.rs
+
+/root/repo/target/release/deps/fig1_trend-1fcfde2a0d1325a6: crates/bench/src/bin/fig1_trend.rs
+
+crates/bench/src/bin/fig1_trend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_trend-fd96b8669f3a2c77.d: crates/bench/src/bin/fig1_trend.rs
+
+/root/repo/target/release/deps/fig1_trend-fd96b8669f3a2c77: crates/bench/src/bin/fig1_trend.rs
+
+crates/bench/src/bin/fig1_trend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_small_writes-183e1aefa88b07a3.d: crates/bench/src/bin/fig2_small_writes.rs
+
+/root/repo/target/release/deps/fig2_small_writes-183e1aefa88b07a3: crates/bench/src/bin/fig2_small_writes.rs
+
+crates/bench/src/bin/fig2_small_writes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_small_writes-5dc8d3e02ed91b64.d: crates/bench/src/bin/fig2_small_writes.rs
+
+/root/repo/target/release/deps/fig2_small_writes-5dc8d3e02ed91b64: crates/bench/src/bin/fig2_small_writes.rs
+
+crates/bench/src/bin/fig2_small_writes.rs:

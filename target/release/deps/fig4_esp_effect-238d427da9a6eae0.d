@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_esp_effect-238d427da9a6eae0.d: crates/bench/src/bin/fig4_esp_effect.rs
+
+/root/repo/target/release/deps/fig4_esp_effect-238d427da9a6eae0: crates/bench/src/bin/fig4_esp_effect.rs
+
+crates/bench/src/bin/fig4_esp_effect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_esp_effect-ca6ff52c7781c1f6.d: crates/bench/src/bin/fig4_esp_effect.rs
+
+/root/repo/target/release/deps/fig4_esp_effect-ca6ff52c7781c1f6: crates/bench/src/bin/fig4_esp_effect.rs
+
+crates/bench/src/bin/fig4_esp_effect.rs:

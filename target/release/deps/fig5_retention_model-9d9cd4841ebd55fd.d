@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_retention_model-9d9cd4841ebd55fd.d: crates/bench/src/bin/fig5_retention_model.rs
+
+/root/repo/target/release/deps/fig5_retention_model-9d9cd4841ebd55fd: crates/bench/src/bin/fig5_retention_model.rs
+
+crates/bench/src/bin/fig5_retention_model.rs:

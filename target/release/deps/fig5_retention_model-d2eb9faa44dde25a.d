@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_retention_model-d2eb9faa44dde25a.d: crates/bench/src/bin/fig5_retention_model.rs
+
+/root/repo/target/release/deps/fig5_retention_model-d2eb9faa44dde25a: crates/bench/src/bin/fig5_retention_model.rs
+
+crates/bench/src/bin/fig5_retention_model.rs:

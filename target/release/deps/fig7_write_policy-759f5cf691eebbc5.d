@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_write_policy-759f5cf691eebbc5.d: crates/bench/src/bin/fig7_write_policy.rs
+
+/root/repo/target/release/deps/fig7_write_policy-759f5cf691eebbc5: crates/bench/src/bin/fig7_write_policy.rs
+
+crates/bench/src/bin/fig7_write_policy.rs:

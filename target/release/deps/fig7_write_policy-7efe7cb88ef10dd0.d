@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_write_policy-7efe7cb88ef10dd0.d: crates/bench/src/bin/fig7_write_policy.rs
+
+/root/repo/target/release/deps/fig7_write_policy-7efe7cb88ef10dd0: crates/bench/src/bin/fig7_write_policy.rs
+
+crates/bench/src/bin/fig7_write_policy.rs:

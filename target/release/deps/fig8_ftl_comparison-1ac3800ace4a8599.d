@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_ftl_comparison-1ac3800ace4a8599.d: crates/bench/src/bin/fig8_ftl_comparison.rs
+
+/root/repo/target/release/deps/fig8_ftl_comparison-1ac3800ace4a8599: crates/bench/src/bin/fig8_ftl_comparison.rs
+
+crates/bench/src/bin/fig8_ftl_comparison.rs:

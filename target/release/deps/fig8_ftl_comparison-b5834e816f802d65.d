@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_ftl_comparison-b5834e816f802d65.d: crates/bench/src/bin/fig8_ftl_comparison.rs
+
+/root/repo/target/release/deps/fig8_ftl_comparison-b5834e816f802d65: crates/bench/src/bin/fig8_ftl_comparison.rs
+
+crates/bench/src/bin/fig8_ftl_comparison.rs:

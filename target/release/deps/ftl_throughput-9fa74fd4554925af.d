@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ftl_throughput-9fa74fd4554925af.d: crates/bench/benches/ftl_throughput.rs
+
+/root/repo/target/release/deps/ftl_throughput-9fa74fd4554925af: crates/bench/benches/ftl_throughput.rs
+
+crates/bench/benches/ftl_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_background_gc-0062d4ce9013e980.d: crates/bench/src/bin/future_background_gc.rs
+
+/root/repo/target/release/deps/future_background_gc-0062d4ce9013e980: crates/bench/src/bin/future_background_gc.rs
+
+crates/bench/src/bin/future_background_gc.rs:

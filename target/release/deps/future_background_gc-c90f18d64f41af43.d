@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_background_gc-c90f18d64f41af43.d: crates/bench/src/bin/future_background_gc.rs
+
+/root/repo/target/release/deps/future_background_gc-c90f18d64f41af43: crates/bench/src/bin/future_background_gc.rs
+
+crates/bench/src/bin/future_background_gc.rs:

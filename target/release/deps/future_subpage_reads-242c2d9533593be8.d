@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_subpage_reads-242c2d9533593be8.d: crates/bench/src/bin/future_subpage_reads.rs
+
+/root/repo/target/release/deps/future_subpage_reads-242c2d9533593be8: crates/bench/src/bin/future_subpage_reads.rs
+
+crates/bench/src/bin/future_subpage_reads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/future_subpage_reads-5d574e7e674fdd1b.d: crates/bench/src/bin/future_subpage_reads.rs
+
+/root/repo/target/release/deps/future_subpage_reads-5d574e7e674fdd1b: crates/bench/src/bin/future_subpage_reads.rs
+
+crates/bench/src/bin/future_subpage_reads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/latency_profile-4d9d39d62cb0cab0.d: crates/bench/src/bin/latency_profile.rs
+
+/root/repo/target/release/deps/latency_profile-4d9d39d62cb0cab0: crates/bench/src/bin/latency_profile.rs
+
+crates/bench/src/bin/latency_profile.rs:

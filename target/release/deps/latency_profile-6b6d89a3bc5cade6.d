@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/latency_profile-6b6d89a3bc5cade6.d: crates/bench/src/bin/latency_profile.rs
+
+/root/repo/target/release/deps/latency_profile-6b6d89a3bc5cade6: crates/bench/src/bin/latency_profile.rs
+
+crates/bench/src/bin/latency_profile.rs:

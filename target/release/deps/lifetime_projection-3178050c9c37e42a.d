@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lifetime_projection-3178050c9c37e42a.d: crates/bench/src/bin/lifetime_projection.rs
+
+/root/repo/target/release/deps/lifetime_projection-3178050c9c37e42a: crates/bench/src/bin/lifetime_projection.rs
+
+crates/bench/src/bin/lifetime_projection.rs:

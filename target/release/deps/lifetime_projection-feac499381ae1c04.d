@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lifetime_projection-feac499381ae1c04.d: crates/bench/src/bin/lifetime_projection.rs
+
+/root/repo/target/release/deps/lifetime_projection-feac499381ae1c04: crates/bench/src/bin/lifetime_projection.rs
+
+crates/bench/src/bin/lifetime_projection.rs:

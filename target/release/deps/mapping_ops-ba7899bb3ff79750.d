@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mapping_ops-ba7899bb3ff79750.d: crates/bench/benches/mapping_ops.rs
+
+/root/repo/target/release/deps/mapping_ops-ba7899bb3ff79750: crates/bench/benches/mapping_ops.rs
+
+crates/bench/benches/mapping_ops.rs:

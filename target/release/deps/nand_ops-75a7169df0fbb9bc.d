@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nand_ops-75a7169df0fbb9bc.d: crates/bench/benches/nand_ops.rs
+
+/root/repo/target/release/deps/nand_ops-75a7169df0fbb9bc: crates/bench/benches/nand_ops.rs
+
+crates/bench/benches/nand_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/related_sector_log-4dfb8ac09a397b9b.d: crates/bench/src/bin/related_sector_log.rs
+
+/root/repo/target/release/deps/related_sector_log-4dfb8ac09a397b9b: crates/bench/src/bin/related_sector_log.rs
+
+crates/bench/src/bin/related_sector_log.rs:

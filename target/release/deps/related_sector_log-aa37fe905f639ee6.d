@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/related_sector_log-aa37fe905f639ee6.d: crates/bench/src/bin/related_sector_log.rs
+
+/root/repo/target/release/deps/related_sector_log-aa37fe905f639ee6: crates/bench/src/bin/related_sector_log.rs
+
+crates/bench/src/bin/related_sector_log.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-887fef96758974e7.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-887fef96758974e7: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

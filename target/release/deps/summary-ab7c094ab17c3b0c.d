@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-ab7c094ab17c3b0c.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-ab7c094ab17c3b0c: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_waf-68a7b95094d772f9.d: crates/bench/src/bin/table1_waf.rs
+
+/root/repo/target/release/deps/table1_waf-68a7b95094d772f9: crates/bench/src/bin/table1_waf.rs
+
+crates/bench/src/bin/table1_waf.rs:

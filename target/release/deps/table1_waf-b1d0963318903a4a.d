@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_waf-b1d0963318903a4a.d: crates/bench/src/bin/table1_waf.rs
+
+/root/repo/target/release/deps/table1_waf-b1d0963318903a4a: crates/bench/src/bin/table1_waf.rs
+
+crates/bench/src/bin/table1_waf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_mapping_memory-725dd7adfd9d909d.d: crates/bench/src/bin/table_mapping_memory.rs
+
+/root/repo/target/release/deps/table_mapping_memory-725dd7adfd9d909d: crates/bench/src/bin/table_mapping_memory.rs
+
+crates/bench/src/bin/table_mapping_memory.rs:

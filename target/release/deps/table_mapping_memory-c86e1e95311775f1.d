@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_mapping_memory-c86e1e95311775f1.d: crates/bench/src/bin/table_mapping_memory.rs
+
+/root/repo/target/release/deps/table_mapping_memory-c86e1e95311775f1: crates/bench/src/bin/table_mapping_memory.rs
+
+crates/bench/src/bin/table_mapping_memory.rs:

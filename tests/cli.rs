@@ -49,6 +49,55 @@ fn run_reports_metrics() {
 }
 
 #[test]
+fn run_with_fault_injection_reports_fault_counters() {
+    let (ok, stdout, stderr) = espsim(&[
+        "run",
+        "--ftl",
+        "sub",
+        "--rsmall",
+        "1.0",
+        "--requests",
+        "1500",
+        "--geometry",
+        "2x2x16x16",
+        "--op",
+        "0.4",
+        "--fill",
+        "0.3",
+        "--pfail",
+        "0.005",
+        "--bad-blocks",
+        "2",
+        "--fault-seed",
+        "7",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("read faults     0"), "in:\n{stdout}");
+    assert!(stdout.contains("write retries"), "in:\n{stdout}");
+    assert!(stdout.contains("blocks retired  2"), "in:\n{stdout}");
+}
+
+#[test]
+fn fault_free_run_prints_no_fault_counters() {
+    let (ok, stdout, stderr) = espsim(&[
+        "run",
+        "--rsmall",
+        "1.0",
+        "--requests",
+        "300",
+        "--geometry",
+        "2x2x16x16",
+        "--op",
+        "0.4",
+        "--fill",
+        "0.3",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(!stdout.contains("write retries"), "in:\n{stdout}");
+    assert!(!stdout.contains("blocks retired"), "in:\n{stdout}");
+}
+
+#[test]
 fn compare_covers_all_four_ftls() {
     let (ok, stdout, stderr) = espsim(&[
         "compare",
@@ -75,7 +124,13 @@ fn gen_stats_replay_round_trip() {
     let path_s = path.to_str().unwrap();
 
     let (ok, stdout, stderr) = espsim(&[
-        "gen", "--out", path_s, "--requests", "300", "--rsmall", "0.8",
+        "gen",
+        "--out",
+        path_s,
+        "--requests",
+        "300",
+        "--rsmall",
+        "0.8",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("wrote 300 requests"));

@@ -98,15 +98,87 @@ fn all_benchmark_profiles_run_clean_on_all_ftls() {
             let mut ftl = build(&cfg);
             precondition(ftl.as_mut(), 0.625);
             let r = run_trace(ftl.as_mut(), &trace);
-            assert_eq!(
-                r.stats.read_faults, 0,
-                "{} on {bench}: read faults",
-                r.ftl
-            );
+            assert_eq!(r.stats.read_faults, 0, "{} on {bench}: read faults", r.ftl);
             assert_eq!(r.requests, 4_000);
             assert!(r.iops > 0.0);
         }
     }
+}
+
+/// The test device with realistic fault rates dialled in: roughly one
+/// program failure per few thousand pages, rare erase failures, and a few
+/// factory-marked bad blocks.
+fn faulty_test_config() -> FtlConfig {
+    let mut cfg = test_config();
+    cfg.fault = Some(esp_storage::nand::FaultConfig {
+        seed: 1201,
+        program_fail_prob: 2e-4,
+        erase_fail_prob: 1e-5,
+        factory_bad_blocks: 3,
+        ..esp_storage::nand::FaultConfig::default()
+    });
+    cfg
+}
+
+#[test]
+fn all_benchmarks_survive_realistic_fault_rates() {
+    let cfg = faulty_test_config();
+    let footprint = (cfg.logical_sectors() as f64 * 0.625) as u64;
+    let mut total_retries = 0u64;
+    for bench in Benchmark::ALL {
+        let trace = generate(&bench.config(footprint, 4_000, 9));
+        for build in [
+            |c: &FtlConfig| Box::new(CgmFtl::new(c)) as Box<dyn Ftl>,
+            |c: &FtlConfig| Box::new(FgmFtl::new(c)) as Box<dyn Ftl>,
+            |c: &FtlConfig| Box::new(SubFtl::new(c)) as Box<dyn Ftl>,
+            |c: &FtlConfig| Box::new(SectorLogFtl::new(c)) as Box<dyn Ftl>,
+        ] {
+            let mut ftl = build(&cfg);
+            assert_eq!(
+                ftl.stats().blocks_retired,
+                3,
+                "{} on {bench}: factory bad blocks must be retired at mount",
+                ftl.name()
+            );
+            precondition(ftl.as_mut(), 0.625);
+            let r = run_trace(ftl.as_mut(), &trace);
+            assert_eq!(
+                r.stats.read_faults, 0,
+                "{} on {bench}: fault handling lost data",
+                r.ftl
+            );
+            assert_eq!(r.requests, 4_000);
+            total_retries += ftl.stats().write_retries;
+        }
+    }
+    assert!(
+        total_retries > 0,
+        "realistic fault rates must trigger at least one write retry \
+         somewhere across 20 benchmark runs"
+    );
+}
+
+#[test]
+fn fault_injected_runs_are_deterministic_per_seed() {
+    let cfg = faulty_test_config();
+    let trace = sync_small_trace(cfg.logical_sectors(), 3_000, 7);
+    let run = || {
+        let mut ftl = SubFtl::new(&cfg);
+        let r = run_trace(&mut ftl, &trace);
+        (
+            r.makespan,
+            r.erases,
+            ftl.stats().write_retries,
+            ftl.stats().program_failures,
+            ftl.stats().erase_failures,
+            ftl.stats().blocks_retired,
+        )
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "fault-injected runs must be bit-for-bit deterministic per seed"
+    );
 }
 
 #[test]
@@ -216,8 +288,8 @@ fn msr_trace_import_replays_end_to_end() {
         r_synch: 1.0,
         ..esp_storage::workload::MsrOptions::default()
     };
-    let trace = esp_storage::workload::load_msr_trace(csv.as_bytes(), &opts)
-        .expect("valid MSR sample");
+    let trace =
+        esp_storage::workload::load_msr_trace(csv.as_bytes(), &opts).expect("valid MSR sample");
     let cfg = test_config();
     assert!(trace.footprint_sectors <= cfg.logical_sectors());
     let mut ftl = SubFtl::new(&cfg);
