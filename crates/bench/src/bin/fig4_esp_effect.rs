@@ -16,6 +16,7 @@ fn state_name(s: &SubpageState) -> String {
     match s {
         SubpageState::Erased => "erased".into(),
         SubpageState::Destroyed => "DESTROYED (uncorrectable)".into(),
+        SubpageState::Torn => "TORN (power cut mid-program)".into(),
         SubpageState::Written(w) => format!("written (Npp^{})", w.npp),
     }
 }

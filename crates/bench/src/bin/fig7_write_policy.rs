@@ -30,6 +30,7 @@ fn dump_region(ftl: &SubFtl, label: &str) {
                 let c = match ssd.device().subpage_state(addr) {
                     SubpageState::Erased => ".".to_string(),
                     SubpageState::Destroyed => "x".to_string(),
+                    SubpageState::Torn => "t".to_string(),
                     SubpageState::Written(w) => match w.oob {
                         Some(o) => o.lsn.to_string(),
                         None => "p".to_string(),

@@ -117,8 +117,10 @@ impl CgmFtl {
             config.geometry,
             "recovery config geometry mismatch"
         );
-        let scans = crate::recovery::scan_device(&mut ssd);
+        let scan = crate::recovery::scan_device(&mut ssd);
+        let scans = scan.blocks;
         let mut ftl = Self::with_ssd(config, ssd);
+        ftl.stats.torn_pages_quarantined = scan.torn_pages;
         let page_sz = u64::from(SECTORS_PER_PAGE);
         let lpn_count = (ftl.logical_sectors / page_sz) as usize;
         // lpn -> (seq, local block, page); engine-local index == gbi here.
@@ -149,6 +151,16 @@ impl CgmFtl {
         ftl.engine.restore_state(&programmed, &mappings);
         ftl.seq = max_seq;
         ftl
+    }
+
+    pub(crate) fn ssd_mut(&mut self) -> &mut Ssd {
+        &mut self.ssd
+    }
+
+    /// Allocation-state digest for the crash harness's idempotence check
+    /// (see [`FullRegionEngine::pool_fingerprint`]).
+    pub(crate) fn pool_fingerprint(&self) -> Vec<u64> {
+        self.engine.pool_fingerprint()
     }
 
     fn next_seq(&mut self) -> u64 {

@@ -109,6 +109,27 @@ pub struct FtlConfig {
     /// the device draws no randomness and every baseline result is
     /// bit-identical to a fault-free build.
     pub fault: Option<FaultConfig>,
+    /// subFTL: durability-first variants of the internal operations that
+    /// otherwise leave mid-operation power-loss windows (found by the
+    /// crash harness; see `crash_harness` module docs):
+    ///
+    /// * **Lap migration / same-sector overwrite.** The paper's in-place
+    ///   migration re-programs a valid subpage *on its own page* — if
+    ///   power dies mid-pulse the only durable copy is destroyed
+    ///   (Fig 4(b)); overwriting a sector whose previous version occupies
+    ///   the target page has the same window. With this flag the occupant
+    ///   is instead evicted to the full-page region (the old copy stays
+    ///   intact until the relocation completes).
+    /// * **Buffer-shadowed GC/scrub drops.** Fast mode treats a flash copy
+    ///   as garbage once a newer version sits in the DRAM write buffer;
+    ///   erasing it before the buffer flushes loses the sector's only
+    ///   durable version if power dies. With this flag shadowed copies are
+    ///   relocated like any other live data.
+    ///
+    /// Both trade extra eviction traffic for crash safety. Off by default:
+    /// the fast paths match the paper and stay bit-identical to
+    /// pre-crash-model builds.
+    pub crash_safe_mode: bool,
 }
 
 impl FtlConfig {
@@ -131,6 +152,7 @@ impl FtlConfig {
             background_gc: false,
             planes_per_chip: 1,
             fault: None,
+            crash_safe_mode: false,
         }
     }
 

@@ -1,0 +1,573 @@
+//! Systematic crash-consistency checking.
+//!
+//! The storage stack can now be cut mid-operation ([`esp_ssd::CrashPoint`]
+//! tears the nth NAND command, leaving torn pages/blocks behind), and every
+//! FTL can remount from the flash image. This module turns those two
+//! mechanisms into a *harness* that proves the durability contract holds at
+//! **every** possible crash point of a workload:
+//!
+//! 1. **Reference run.** The workload replays once to completion on a fresh
+//!    FTL, instrumented per host operation: after each synchronous write
+//!    (and each explicit flush) the harness records the on-flash sequence
+//!    number of every sector just made durable, keyed by the NAND command
+//!    count at that moment. This is the **sync-durability oracle**: a
+//!    piecewise floor `commands → {lsn → seq}` of what must survive any
+//!    later power cut.
+//! 2. **Crash runs.** For each crash point `n`, the same workload replays
+//!    on a fresh FTL with the crash armed. Simulation is deterministic, so
+//!    the crashed run is prefix-identical to the reference run: commands
+//!    `1..n` complete, command `n` is torn, and the oracle's floor at `n`
+//!    is exact. The harness then power-cycles (clears the crash, keeps the
+//!    flash image), remounts via the FTL's `recover` constructor, and
+//!    checks:
+//!    * **remount succeeds** — recovery classifies and quarantines torn
+//!      state instead of panicking;
+//!    * **synced data survives** — every oracle floor entry reads back with
+//!      at least its recorded sequence number (a newer version is fine: the
+//!      crash may have cut a later overwrite after its program landed);
+//!    * **recovery is idempotent** — remounting the recovered image again,
+//!      with no intervening writes, yields the identical mapping table and
+//!      identical free/bad pools;
+//!    * **nothing corrupt surfaces** — reading back every sector the
+//!      workload ever touched produces zero read faults (unsynced data may
+//!      be *lost*, never *garbled*).
+//!
+//! Crash points are swept exhaustively over the first commands and
+//! seeded-randomly over the rest ([`CrashHarness::sweep`]); the `espsim
+//! crash-sweep` command drives the same harness from the CLI.
+//!
+//! subFTL note: its fast paths trade crash-consistency windows for
+//! performance — in-place lap migration (Fig. 4(b) sibling destruction)
+//! and GC/scrub dropping flash copies shadowed by the volatile write
+//! buffer; sweeps run it with [`FtlConfig::crash_safe_mode`] enabled,
+//! which closes both windows (see the flag's documentation).
+
+use std::collections::BTreeMap;
+
+use esp_sim::{Rng, SimTime};
+use esp_ssd::{CrashPoint, Ssd};
+
+use crate::cgm::CgmFtl;
+use crate::config::FtlConfig;
+use crate::fgm::FgmFtl;
+use crate::runner::Ftl;
+use crate::sector_log::SectorLogFtl;
+use crate::sub::SubFtl;
+
+/// One host-level operation of a crash-harness workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashOp {
+    /// Host write; `sync` means the data must be durable at completion.
+    Write {
+        /// First logical sector.
+        lsn: u64,
+        /// Number of sectors.
+        sectors: u32,
+        /// Synchronous (O_SYNC / fsync-per-write) semantics.
+        sync: bool,
+    },
+    /// Host read.
+    Read {
+        /// First logical sector.
+        lsn: u64,
+        /// Number of sectors.
+        sectors: u32,
+    },
+    /// Host trim/discard: the range's durability obligation is dropped.
+    Trim {
+        /// First logical sector.
+        lsn: u64,
+        /// Number of sectors.
+        sectors: u32,
+    },
+    /// Drain the write buffer (fsync of everything outstanding).
+    Flush,
+}
+
+impl CrashOp {
+    /// The logical sectors this op touches (empty for flush).
+    fn range(&self) -> std::ops::Range<u64> {
+        match *self {
+            CrashOp::Write { lsn, sectors, .. }
+            | CrashOp::Read { lsn, sectors }
+            | CrashOp::Trim { lsn, sectors } => lsn..lsn + u64::from(sectors),
+            CrashOp::Flush => 0..0,
+        }
+    }
+}
+
+/// Generates a reproducible mixed workload for crash sweeps: weighted
+/// toward small synchronous writes (the paper's motivating pattern, and
+/// the one that exercises ESP laps, migration and eviction), with async
+/// writes, reads, trims and flushes mixed in. Always ends with a flush so
+/// the reference run leaves no buffered data unaccounted.
+#[must_use]
+pub fn random_workload(rng: &mut Rng, logical_sectors: u64, ops: usize) -> Vec<CrashOp> {
+    assert!(logical_sectors > 4, "workload needs some logical space");
+    let max_start = logical_sectors - 4;
+    let mut out = Vec::with_capacity(ops + 1);
+    for _ in 0..ops {
+        out.push(match rng.next_below(10) {
+            0..=5 => CrashOp::Write {
+                lsn: rng.next_below(max_start),
+                sectors: rng.next_in(1, 4) as u32,
+                sync: rng.chance(0.7),
+            },
+            6 | 7 => CrashOp::Read {
+                lsn: rng.next_below(max_start),
+                sectors: rng.next_in(1, 4) as u32,
+            },
+            8 => CrashOp::Trim {
+                lsn: rng.next_below(max_start),
+                sectors: rng.next_in(1, 4) as u32,
+            },
+            _ => CrashOp::Flush,
+        });
+    }
+    out.push(CrashOp::Flush);
+    out
+}
+
+/// An FTL the crash harness can drive: buildable from a config,
+/// recoverable from a flash image, and able to digest its allocation
+/// pools for the idempotence check. Implemented by all four FTLs.
+pub trait CrashTarget: Ftl + Sized {
+    /// Builds a fresh instance over an empty device.
+    fn build(config: &FtlConfig) -> Self;
+    /// Remounts from a flash image (power-loss recovery).
+    fn recover_from(ssd: Ssd, config: &FtlConfig) -> Self;
+    /// Mutable access to the underlying SSD, for arming crash points.
+    fn ssd_mut(&mut self) -> &mut Ssd;
+    /// Clock-independent digest of the free/bad/active block pools; two
+    /// mounts of the same flash image must produce equal digests.
+    fn pool_fingerprint(&self) -> Vec<u64>;
+}
+
+macro_rules! impl_crash_target {
+    ($ty:ty) => {
+        impl CrashTarget for $ty {
+            fn build(config: &FtlConfig) -> Self {
+                Self::new(config)
+            }
+            fn recover_from(ssd: Ssd, config: &FtlConfig) -> Self {
+                Self::recover(ssd, config)
+            }
+            fn ssd_mut(&mut self) -> &mut Ssd {
+                self.ssd_mut()
+            }
+            fn pool_fingerprint(&self) -> Vec<u64> {
+                self.pool_fingerprint()
+            }
+        }
+    };
+}
+
+impl_crash_target!(CgmFtl);
+impl_crash_target!(FgmFtl);
+impl_crash_target!(SubFtl);
+impl_crash_target!(SectorLogFtl);
+
+/// Applies one workload op with the harness's host semantics (queue depth
+/// 1, maintenance before each request, clock advancing on synchronous
+/// completions — mirroring [`crate::run_trace`]). Returns the new clock.
+fn apply_op<F: Ftl>(ftl: &mut F, op: &CrashOp, clock: SimTime) -> SimTime {
+    ftl.maintain(clock);
+    match *op {
+        CrashOp::Write { lsn, sectors, sync } => {
+            let done = ftl.write(lsn, sectors, sync, clock);
+            if sync {
+                done
+            } else {
+                clock
+            }
+        }
+        CrashOp::Read { lsn, sectors } => ftl.read(lsn, sectors, clock),
+        CrashOp::Trim { lsn, sectors } => {
+            ftl.trim(lsn, sectors);
+            clock
+        }
+        CrashOp::Flush => ftl.flush(clock),
+    }
+}
+
+/// Oracle delta recorded after one reference-run op.
+#[derive(Debug, Clone)]
+enum OracleEvent {
+    /// `lsn` became durable on flash with sequence number `seq`.
+    Floor { lsn: u64, seq: u64 },
+    /// `lsn` was trimmed: its durability obligation is dropped.
+    Clear { lsn: u64 },
+}
+
+/// One reference-run op's oracle contribution, keyed by the NAND command
+/// count after the op completed.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    commands_after: u64,
+    events: Vec<OracleEvent>,
+}
+
+/// Outcome of one crash-point check that passed.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashCase {
+    /// Whether the crash actually fired (a point beyond the workload's
+    /// command count degenerates to a crash-free run).
+    pub crashed: bool,
+    /// Torn pages the remount scan quarantined.
+    pub torn_pages: u64,
+}
+
+/// Aggregate result of [`CrashHarness::sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// FTL display name.
+    pub ftl: &'static str,
+    /// NAND commands the full (crash-free) workload issues.
+    pub total_commands: u64,
+    /// Crash points checked.
+    pub cases: u64,
+    /// Cases where the crash actually fired mid-workload.
+    pub crashed_cases: u64,
+    /// Torn pages quarantined across all remounts.
+    pub torn_pages: u64,
+    /// Violations: (crash command, description). Empty means the sweep
+    /// passed.
+    pub failures: Vec<(u64, String)>,
+}
+
+impl SweepReport {
+    /// True when every checked crash point upheld the durability contract.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The crash-consistency harness for one (FTL type, config, workload)
+/// triple. Construction performs the instrumented reference run; each
+/// [`CrashHarness::check_crash_at`] call replays with a crash armed and
+/// verifies the contract (see the module docs).
+#[derive(Debug)]
+pub struct CrashHarness<F: CrashTarget> {
+    config: FtlConfig,
+    ops: Vec<CrashOp>,
+    name: &'static str,
+    timeline: Vec<Checkpoint>,
+    total_commands: u64,
+    reference_stats: crate::stats::FtlStats,
+    /// Sorted, deduplicated sectors the workload touches (bounds the
+    /// read-back pass: everything else is never written, in any run).
+    touched: Vec<u64>,
+    _ftl: std::marker::PhantomData<F>,
+}
+
+impl<F: CrashTarget> CrashHarness<F> {
+    /// Runs the workload to completion on a fresh FTL and builds the
+    /// sync-durability oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (propagated from the FTL
+    /// constructor).
+    #[must_use]
+    pub fn new(config: &FtlConfig, ops: &[CrashOp]) -> Self {
+        let mut ftl = F::build(config);
+        let mut clock = SimTime::ZERO;
+        let mut buffered: Vec<u64> = Vec::new();
+        let mut timeline = Vec::with_capacity(ops.len());
+        for op in ops {
+            clock = apply_op(&mut ftl, op, clock);
+            let mut events = Vec::new();
+            match *op {
+                CrashOp::Write { sync: true, .. } => {
+                    for lsn in op.range() {
+                        buffered.retain(|&b| b != lsn);
+                        // `stored_seq` is None only if a newer copy still
+                        // sits in DRAM; a sync write just flushed its own
+                        // sectors, so this claims a floor for each.
+                        if let Some(seq) = ftl.stored_seq(lsn) {
+                            events.push(OracleEvent::Floor { lsn, seq });
+                        }
+                    }
+                }
+                CrashOp::Write { sync: false, .. } => {
+                    for lsn in op.range() {
+                        if !buffered.contains(&lsn) {
+                            buffered.push(lsn);
+                        }
+                    }
+                }
+                CrashOp::Read { .. } => {}
+                CrashOp::Trim { .. } => {
+                    for lsn in op.range() {
+                        buffered.retain(|&b| b != lsn);
+                        events.push(OracleEvent::Clear { lsn });
+                    }
+                }
+                CrashOp::Flush => {
+                    // Everything buffered is durable once the flush
+                    // completes.
+                    for lsn in buffered.drain(..) {
+                        if let Some(seq) = ftl.stored_seq(lsn) {
+                            events.push(OracleEvent::Floor { lsn, seq });
+                        }
+                    }
+                }
+            }
+            timeline.push(Checkpoint {
+                commands_after: ftl.ssd().commands_issued(),
+                events,
+            });
+        }
+        let mut touched: Vec<u64> = ops.iter().flat_map(CrashOp::range).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        CrashHarness {
+            config: config.clone(),
+            ops: ops.to_vec(),
+            name: ftl.name(),
+            timeline,
+            total_commands: ftl.ssd().commands_issued(),
+            reference_stats: ftl.stats().clone(),
+            touched,
+            _ftl: std::marker::PhantomData,
+        }
+    }
+
+    /// NAND commands the crash-free workload issues; crash points beyond
+    /// this never fire.
+    #[must_use]
+    pub fn total_commands(&self) -> u64 {
+        self.total_commands
+    }
+
+    /// Display name of the FTL under test.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// FTL counters from the instrumented reference run, for asserting the
+    /// workload exercised the machinery of interest (GC, retries,
+    /// migrations) before trusting a sweep over it.
+    #[must_use]
+    pub fn reference_stats(&self) -> &crate::stats::FtlStats {
+        &self.reference_stats
+    }
+
+    /// The durability floor in force when command `n` is torn: the oracle
+    /// state after the last host op that fully completed before it.
+    fn floors_at(&self, n: u64) -> BTreeMap<u64, u64> {
+        let mut floors = BTreeMap::new();
+        for cp in &self.timeline {
+            // Commands 1..n complete before the cut, so an op (and any
+            // trim riding program order behind it) counts iff it finished
+            // within them.
+            if cp.commands_after >= n {
+                break;
+            }
+            for ev in &cp.events {
+                match *ev {
+                    OracleEvent::Floor { lsn, seq } => {
+                        floors.insert(lsn, seq);
+                    }
+                    OracleEvent::Clear { lsn } => {
+                        floors.remove(&lsn);
+                    }
+                }
+            }
+        }
+        floors
+    }
+
+    /// Replays the workload with a power cut at NAND command `n`,
+    /// power-cycles, remounts, and verifies the durability contract.
+    /// Returns a violation description on failure (a panic anywhere in the
+    /// crashed run or remount is also reported as a violation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first contract violation found at this crash point.
+    pub fn check_crash_at(&self, n: u64) -> Result<CrashCase, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.check_inner(n)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(format!("crash at command {n}: panicked: {msg}"))
+            })
+    }
+
+    fn check_inner(&self, n: u64) -> Result<CrashCase, String> {
+        let mut ftl = F::build(&self.config);
+        ftl.ssd_mut().set_crash_point(CrashPoint::Command(n));
+        let mut clock = SimTime::ZERO;
+        for op in &self.ops {
+            clock = apply_op(&mut ftl, op, clock);
+        }
+        let crashed = ftl.ssd().crashed();
+        // Power-cycle: keep the flash image, restore power, remount.
+        let mut image = ftl.ssd().clone();
+        image.clear_crash();
+        let mut recovered = F::recover_from(image, &self.config);
+
+        // Synced data survives: every floor entry reads back with at least
+        // its recorded version.
+        for (lsn, floor) in self.floors_at(n) {
+            match recovered.stored_seq(lsn) {
+                Some(seq) if seq >= floor => {}
+                got => {
+                    return Err(format!(
+                        "crash at command {n}: sector {lsn} was durable with seq {floor}, \
+                         recovered as {got:?}"
+                    ));
+                }
+            }
+        }
+
+        // Recovery is idempotent: remounting the recovered image with no
+        // intervening writes reproduces the mapping table and pools.
+        let again = F::recover_from(recovered.ssd().clone(), &self.config);
+        for &lsn in &self.touched {
+            let (a, b) = (recovered.stored_seq(lsn), again.stored_seq(lsn));
+            if a != b {
+                return Err(format!(
+                    "crash at command {n}: second remount changed sector {lsn}: {a:?} -> {b:?}"
+                ));
+            }
+        }
+        if recovered.pool_fingerprint() != again.pool_fingerprint() {
+            return Err(format!(
+                "crash at command {n}: second remount changed the free/bad pools"
+            ));
+        }
+
+        // Nothing corrupt surfaces: reading back every touched sector must
+        // produce zero read faults (lost-and-unmapped is fine; garbled is
+        // not).
+        let faults_before = recovered.stats().read_faults;
+        let mut clock = recovered.ssd().makespan();
+        for &lsn in &self.touched {
+            clock = recovered.read(lsn, 1, clock);
+        }
+        let faults = recovered.stats().read_faults - faults_before;
+        if faults > 0 {
+            return Err(format!(
+                "crash at command {n}: {faults} corrupt sector(s) surfaced after remount"
+            ));
+        }
+        Ok(CrashCase {
+            crashed,
+            torn_pages: recovered.stats().torn_pages_quarantined,
+        })
+    }
+
+    /// Sweeps crash points: exhaustively over commands `1..=exhaustive`
+    /// and `random` further seeded-random points in the remaining command
+    /// range. Checks every point even after a failure, so the report shows
+    /// the full extent of a violation.
+    #[must_use]
+    pub fn sweep(&self, exhaustive: u64, random: u64, seed: u64) -> SweepReport {
+        let dense = exhaustive.min(self.total_commands);
+        let mut points: Vec<u64> = (1..=dense).collect();
+        if self.total_commands > dense && random > 0 {
+            let span = self.total_commands - dense;
+            let mut rng = Rng::seed_from(seed);
+            for _ in 0..random {
+                points.push(dense + 1 + rng.next_below(span));
+            }
+        }
+        let mut report = SweepReport {
+            ftl: self.name,
+            total_commands: self.total_commands,
+            cases: points.len() as u64,
+            crashed_cases: 0,
+            torn_pages: 0,
+            failures: Vec::new(),
+        };
+        for n in points {
+            match self.check_crash_at(n) {
+                Ok(case) => {
+                    report.crashed_cases += u64::from(case.crashed);
+                    report.torn_pages += case.torn_pages;
+                }
+                Err(e) => report.failures.push((n, e)),
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The harness config: tiny geometry, with subFTL's crash-safe lap
+    /// migration enabled (see module docs).
+    fn cfg() -> FtlConfig {
+        let mut c = FtlConfig::tiny();
+        c.crash_safe_mode = true;
+        c
+    }
+
+    #[test]
+    fn oracle_floors_accumulate_and_trim_clears() {
+        let ops = vec![
+            CrashOp::Write {
+                lsn: 0,
+                sectors: 2,
+                sync: true,
+            },
+            CrashOp::Trim { lsn: 1, sectors: 1 },
+            CrashOp::Write {
+                lsn: 8,
+                sectors: 1,
+                sync: true,
+            },
+            CrashOp::Flush,
+        ];
+        let h = CrashHarness::<SubFtl>::new(&cfg(), &ops);
+        let end = h.total_commands();
+        assert!(end >= 2, "two sync writes must issue commands");
+        let floors = h.floors_at(end + 1);
+        assert!(floors.contains_key(&0));
+        assert!(!floors.contains_key(&1), "trimmed sector owes nothing");
+        assert!(floors.contains_key(&8));
+        // Before anything completed, nothing is owed.
+        assert!(h.floors_at(1).is_empty());
+    }
+
+    #[test]
+    fn unfired_crash_point_passes_trivially() {
+        let ops = vec![
+            CrashOp::Write {
+                lsn: 3,
+                sectors: 1,
+                sync: true,
+            },
+            CrashOp::Flush,
+        ];
+        let h = CrashHarness::<CgmFtl>::new(&cfg(), &ops);
+        let case = h
+            .check_crash_at(h.total_commands() + 50)
+            .expect("crash-free run upholds the contract");
+        assert!(!case.crashed);
+        assert_eq!(case.torn_pages, 0);
+    }
+
+    #[test]
+    fn every_command_of_a_small_workload_is_crash_safe() {
+        let mut rng = Rng::seed_from(0xC4A5);
+        let ops = random_workload(&mut rng, 128, 40);
+        let h = CrashHarness::<SubFtl>::new(&cfg(), &ops);
+        let report = h.sweep(u64::MAX, 0, 0);
+        assert!(report.crashed_cases > 0, "sweep must fire real crashes");
+        assert!(
+            report.passed(),
+            "violations: {:?}",
+            &report.failures[..report.failures.len().min(3)]
+        );
+    }
+}

@@ -171,8 +171,10 @@ impl FgmFtl {
             config.geometry,
             "recovery config geometry mismatch"
         );
-        let scans = crate::recovery::scan_device(&mut ssd);
+        let scan = crate::recovery::scan_device(&mut ssd);
+        let scans = scan.blocks;
         let mut ftl = Self::with_ssd(config, ssd);
+        ftl.stats.torn_pages_quarantined = scan.torn_pages;
         // lsn -> (seq, block, page, slot).
         let mut best: Vec<Option<(u64, u32, u32, u32)>> = vec![None; ftl.logical_sectors as usize];
         let mut max_seq = 0u64;
@@ -228,6 +230,49 @@ impl FgmFtl {
         }
         ftl.seq = max_seq;
         ftl
+    }
+
+    pub(crate) fn ssd_mut(&mut self) -> &mut Ssd {
+        &mut self.ssd
+    }
+
+    /// Allocation-state digest (free pool, retired pool, open blocks,
+    /// per-block fill) for the crash harness's idempotence check.
+    /// Simulated times are excluded: two mounts of the same flash image
+    /// happen at different clocks but must land in the same state.
+    pub(crate) fn pool_fingerprint(&self) -> Vec<u64> {
+        // Keyed by device-global block index: local positions are a mount
+        // artifact, and retired blocks drop out of a remount entirely.
+        let mut out = Vec::new();
+        let mut free: Vec<u64> = self
+            .free
+            .iter()
+            .map(|&b| u64::from(self.blocks[b as usize].gbi))
+            .collect();
+        free.sort_unstable();
+        out.extend(free);
+        out.push(u64::MAX);
+        for a in &self.actives {
+            out.push(a.map_or(u64::MAX - 1, |b| u64::from(self.blocks[b as usize].gbi)));
+        }
+        out.push(u64::MAX);
+        let mut live: Vec<[u64; 3]> = self
+            .blocks
+            .iter()
+            .filter(|b| !b.retired)
+            .map(|b| {
+                [
+                    u64::from(b.gbi),
+                    u64::from(b.programmed_pages),
+                    u64::from(b.valid_count),
+                ]
+            })
+            .collect();
+        live.sort_unstable();
+        for b in live {
+            out.extend(b);
+        }
+        out
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -319,6 +364,11 @@ impl FgmFtl {
         }
         let mut now = issue;
         loop {
+            if self.ssd.crashed() {
+                // Power is off: with GC fenced the pool may legitimately be
+                // empty, so bail out before alloc_page can panic over it.
+                return now;
+            }
             let (block, page) = self.alloc_page();
             let gbi = self.blocks[block as usize].gbi;
             let addr = self.ssd.geometry().block_addr(gbi).page(page);
@@ -342,7 +392,7 @@ impl FgmFtl {
     /// Greedy GC: collect min-valid blocks until the free pool recovers.
     fn ensure_space(&mut self, issue: SimTime) -> SimTime {
         let mut now = issue;
-        while (self.free.len() as u32) < self.watermark {
+        while !self.ssd.crashed() && (self.free.len() as u32) < self.watermark {
             now = self.collect_victim(now);
         }
         now
@@ -379,6 +429,11 @@ impl FgmFtl {
             let addr = self.ssd.geometry().block_addr(gbi).page(page);
             let (slots, t) = self.ssd.read_full(addr, now);
             now = t;
+            if self.ssd.crashed() {
+                // Power died mid-GC: the victim's remaining valid sectors
+                // stay on flash; this half-done collection dies with DRAM.
+                return now;
+            }
             for (slot, r) in slots.into_iter().enumerate() {
                 if self.blocks[victim as usize].valid[(page * self.nsub) as usize + slot] {
                     let oob = r.expect("valid subpage must be readable");

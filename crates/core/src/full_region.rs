@@ -145,6 +145,48 @@ impl FullRegionEngine {
         self.blocks.iter().filter(|b| !b.retired).count() as u32
     }
 
+    /// Order-independent digest of the engine's allocation state (free
+    /// pool, retired pool, open blocks), used by the crash harness to
+    /// prove recovery is idempotent. Simulated times are excluded on
+    /// purpose: two mounts of the same flash image happen at different
+    /// clocks but must land in the same state.
+    pub(crate) fn pool_fingerprint(&self) -> Vec<u64> {
+        // Keyed by device-global block index, not local position: two
+        // mounts of the same image may deal the regions in a different
+        // order, and retired blocks (grown bad, or donated to the subpage
+        // region) drop out of the engine entirely on a remount.
+        let mut out = Vec::new();
+        let mut free: Vec<u64> = self
+            .free
+            .iter()
+            .map(|&b| u64::from(self.blocks[b as usize].gbi))
+            .collect();
+        free.sort_unstable();
+        out.extend(free);
+        out.push(u64::MAX);
+        for a in &self.actives {
+            out.push(a.map_or(u64::MAX - 1, |b| u64::from(self.blocks[b as usize].gbi)));
+        }
+        out.push(u64::MAX);
+        let mut live: Vec<[u64; 3]> = self
+            .blocks
+            .iter()
+            .filter(|b| !b.retired)
+            .map(|b| {
+                [
+                    u64::from(b.gbi),
+                    u64::from(b.programmed),
+                    u64::from(b.valid_count),
+                ]
+            })
+            .collect();
+        live.sort_unstable();
+        for b in live {
+            out.extend(b);
+        }
+        out
+    }
+
     /// The physical page currently mapped for `lpn`, if any.
     #[must_use]
     pub fn lookup(&self, lpn: u64) -> Option<PagePtr> {
@@ -231,6 +273,12 @@ impl FullRegionEngine {
     ) -> SimTime {
         let mut now = issue;
         loop {
+            if ssd.crashed() {
+                // Power is off: nothing will reach the array, and with GC
+                // disabled the pool may legitimately be empty — bail out
+                // before alloc_page can panic over it.
+                return now;
+            }
             let (block, page) = self.alloc_page(ssd);
             let gbi = self.blocks[block as usize].gbi;
             let addr = ssd.geometry().block_addr(gbi).page(page);
@@ -313,7 +361,7 @@ impl FullRegionEngine {
             + ssd.device().op_cost(OpKind::ProgramFull).total();
         let erase = ssd.device().op_cost(OpKind::Erase).total();
         let mut now = issue;
-        while (self.free.len() as u32) < target {
+        while !ssd.crashed() && (self.free.len() as u32) < target {
             let Some(v) = self.pick_victim() else { break };
             let valid = self.blocks[v as usize].valid_count;
             if valid >= self.pages_per_block {
@@ -339,7 +387,7 @@ impl FullRegionEngine {
     /// pool — a configuration error caught by `FtlConfig::validate`).
     pub fn ensure_space(&mut self, ssd: &mut Ssd, stats: &mut FtlStats, issue: SimTime) -> SimTime {
         let mut now = issue;
-        while (self.free.len() as u32) < self.watermark {
+        while !ssd.crashed() && (self.free.len() as u32) < self.watermark {
             now = self.collect_victim(ssd, stats, now);
         }
         now
@@ -376,6 +424,12 @@ impl FullRegionEngine {
             }
             let addr = ssd.geometry().block_addr(gbi).page(page);
             let (slots, read_done) = ssd.read_full(addr, now);
+            if ssd.crashed() {
+                // Power died before the relocation finished: the victim's
+                // remaining valid pages stay where they are on flash, and
+                // the in-DRAM state of this half-done GC dies with power.
+                return now;
+            }
             // Recover the LPN from the spare area of any data slot.
             let lpn = slots
                 .iter()

@@ -52,6 +52,7 @@
 mod buffer;
 mod cgm;
 mod config;
+mod crash_harness;
 mod fgm;
 mod full_region;
 mod read_path;
@@ -65,6 +66,9 @@ mod sub_map;
 pub use buffer::{FlushChunk, WriteBuffer};
 pub use cgm::CgmFtl;
 pub use config::{EvictionPolicy, FtlConfig};
+pub use crash_harness::{
+    random_workload, CrashCase, CrashHarness, CrashOp, CrashTarget, SweepReport,
+};
 pub use fgm::FgmFtl;
 pub use full_region::{FullRegionEngine, PagePtr};
 pub use runner::{precondition, run_trace, run_trace_qd, Ftl};

@@ -27,6 +27,9 @@ pub(crate) fn note_read_result(
             debug_assert_eq!(oob.lsn, expect_lsn, "mapping returned wrong sector");
         }
         Err(ReadFault::NotWritten) | Err(ReadFault::Padding) => {}
+        // Power is off: the read never ran, and a remount will re-serve it
+        // from durable state. Not a data fault of the FTL.
+        Err(ReadFault::PowerLoss) => {}
         Err(_) => stats.read_faults += 1,
     }
 }
@@ -88,6 +91,7 @@ mod tests {
         let mut stats = FtlStats::new();
         note_read_result(&Err(ReadFault::NotWritten), 0, &mut stats);
         note_read_result(&Err(ReadFault::Padding), 0, &mut stats);
+        note_read_result(&Err(ReadFault::PowerLoss), 0, &mut stats);
         assert_eq!(stats.read_faults, 0);
     }
 
@@ -97,7 +101,8 @@ mod tests {
         note_read_result(&Err(ReadFault::DestroyedByProgram), 0, &mut stats);
         note_read_result(&Err(ReadFault::RetentionExceeded), 0, &mut stats);
         note_read_result(&Err(ReadFault::Injected), 0, &mut stats);
-        assert_eq!(stats.read_faults, 3);
+        note_read_result(&Err(ReadFault::Torn), 0, &mut stats);
+        assert_eq!(stats.read_faults, 4);
     }
 
     #[test]

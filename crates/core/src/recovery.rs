@@ -89,31 +89,54 @@ impl BlockScan {
     }
 }
 
+/// Full result of the mount-time scan: per-block classification plus the
+/// torn-state accounting the crash model introduces.
+#[derive(Debug, Clone)]
+pub(crate) struct DeviceScan {
+    /// Per-block scan results (indexed by device-global block order).
+    pub blocks: Vec<BlockScan>,
+    /// Pages found holding at least one torn (power-cut) slot. They were
+    /// still read — an uncorrectable page costs the same sense + transfer
+    /// as a good one — then quarantined: excluded from the live set, left
+    /// for GC (torn program) or re-erased on the spot (torn erase).
+    pub torn_pages: u64,
+}
+
+fn blank_pages(g: &esp_nand::Geometry) -> Vec<PageScan> {
+    (0..g.pages_per_block)
+        .map(|_| PageScan {
+            programs: 0,
+            live: Vec::new(),
+        })
+        .collect()
+}
+
 /// Reads every programmed page of the device once (mount-time scan; the
 /// reads occupy channels and chips like any other I/O) and returns the
 /// per-block classification and contents.
-pub(crate) fn scan_device(ssd: &mut Ssd) -> Vec<BlockScan> {
+///
+/// Torn state is quarantined rather than resurrected: a torn slot never
+/// reads back data, a block whose erase was cut is re-erased here (the
+/// scan's one repair action — the block is unusable until then), and both
+/// are tallied in [`DeviceScan::torn_pages`].
+pub(crate) fn scan_device(ssd: &mut Ssd) -> DeviceScan {
     let g = ssd.geometry().clone();
     let issue = ssd.makespan();
     let mut out = Vec::with_capacity(g.block_count() as usize);
+    let mut torn_pages = 0u64;
     for gbi in 0..g.block_count() {
         let baddr = g.block_addr(gbi);
         if ssd.device().is_bad(baddr) {
             // Factory-marked or grown bad block: never read, holds no
             // recoverable data. Reported as erased; the callers' own
             // bad-block pass keeps it out of every region.
-            let pages = (0..g.pages_per_block)
-                .map(|_| PageScan {
-                    programs: 0,
-                    live: Vec::new(),
-                })
-                .collect();
             out.push(BlockScan {
                 kind: ScannedKind::Erased,
-                pages,
+                pages: blank_pages(&g),
             });
             continue;
         }
+        let block_torn = ssd.device().is_torn(baddr);
         let mut pages = Vec::with_capacity(g.pages_per_block as usize);
         let mut saw_esp = false;
         let mut saw_full = false;
@@ -123,13 +146,19 @@ pub(crate) fn scan_device(ssd: &mut Ssd) -> Vec<BlockScan> {
             let mut live = Vec::new();
             if programs > 0 {
                 // One page read recovers all slots' data + spare areas.
+                // Charged even when every slot comes back uncorrectable:
+                // the scan cannot know a page is torn without sensing it.
                 let (results, _) = ssd.read_full(paddr, issue);
                 let mut non_erased = 0u32;
+                let mut has_torn = false;
                 for (slot, r) in results.iter().enumerate() {
                     let addr = paddr.subpage(slot as u8);
                     let state = *ssd.device().subpage_state(addr);
                     if !matches!(state, SubpageState::Erased) {
                         non_erased += 1;
+                    }
+                    if matches!(state, SubpageState::Torn) {
+                        has_torn = true;
                     }
                     if let Ok(oob) = r {
                         let written_at = match state {
@@ -144,6 +173,9 @@ pub(crate) fn scan_device(ssd: &mut Ssd) -> Vec<BlockScan> {
                         });
                     }
                 }
+                if has_torn {
+                    torn_pages += 1;
+                }
                 if programs >= 2 || non_erased < g.subpages_per_page {
                     saw_esp = true;
                 } else {
@@ -151,6 +183,21 @@ pub(crate) fn scan_device(ssd: &mut Ssd) -> Vec<BlockScan> {
                 }
             }
             pages.push(PageScan { programs, live });
+        }
+        if block_torn {
+            // The block's erase was cut mid-pulse: every page is
+            // uncorrectable garbage and programs are rejected until a
+            // completed re-erase. Finish the interrupted erase now; if it
+            // status-fails the block becomes a grown bad block, and either
+            // way the callers see a clean (empty) block.
+            if let Err(f) = ssd.erase(baddr, issue) {
+                debug_assert_eq!(f.error, esp_nand::NandError::EraseFailed);
+            }
+            out.push(BlockScan {
+                kind: ScannedKind::Erased,
+                pages: blank_pages(&g),
+            });
+            continue;
         }
         let kind = if saw_esp {
             ScannedKind::Subpage
@@ -161,7 +208,10 @@ pub(crate) fn scan_device(ssd: &mut Ssd) -> Vec<BlockScan> {
         };
         out.push(BlockScan { kind, pages });
     }
-    out
+    DeviceScan {
+        blocks: out,
+        torn_pages,
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +238,7 @@ mod tests {
         // Block 1: one subpage program.
         ssd.program_subpage(g.block_addr(1).page(0).subpage(0), oob(9, 3), SimTime::ZERO)
             .unwrap();
-        let scans = scan_device(&mut ssd);
+        let scans = scan_device(&mut ssd).blocks;
         assert_eq!(scans[0].kind, ScannedKind::FullPage);
         assert_eq!(scans[1].kind, ScannedKind::Subpage);
         assert_eq!(scans[2].kind, ScannedKind::Erased);
@@ -207,7 +257,7 @@ mod tests {
             .unwrap();
         ssd.program_subpage(page.subpage(1), oob(2, 2), SimTime::ZERO)
             .unwrap();
-        let scans = scan_device(&mut ssd);
+        let scans = scan_device(&mut ssd).blocks;
         let live = &scans[0].pages[0].live;
         assert_eq!(live.len(), 1);
         assert_eq!(live[0].lsn, 2);
@@ -232,9 +282,56 @@ mod tests {
             )
             .unwrap();
         }
-        let scans = scan_device(&mut ssd);
+        let scans = scan_device(&mut ssd).blocks;
         let (level, cursor) = scans[0].lap_state(4);
         assert_eq!((level, cursor), (1, 2));
+    }
+
+    #[test]
+    fn torn_pages_are_quarantined_counted_and_charged() {
+        let mut ssd = Ssd::new(Geometry::tiny());
+        let page = ssd.geometry().block_addr(0).page(0);
+        ssd.program_subpage(page.subpage(0), oob(1, 1), SimTime::ZERO)
+            .unwrap();
+        // Tear the next lap: slot 1 torn, slot 0 destroyed.
+        ssd.device_mut()
+            .tear_program_subpage(page.subpage(1))
+            .unwrap();
+        let before = ssd.makespan();
+        let scan = scan_device(&mut ssd);
+        assert_eq!(scan.torn_pages, 1);
+        assert!(
+            scan.blocks[0].pages[0].live.is_empty(),
+            "nothing resurrected"
+        );
+        assert_eq!(scan.blocks[0].kind, ScannedKind::Subpage);
+        assert!(
+            ssd.makespan() > before,
+            "uncorrectable page still costs a read"
+        );
+    }
+
+    #[test]
+    fn torn_erase_block_is_reerased_and_reported_clean() {
+        let mut ssd = Ssd::new(Geometry::tiny());
+        let g = ssd.geometry().clone();
+        let blk = g.block_addr(0);
+        ssd.program_subpage(blk.page(0).subpage(0), oob(1, 1), SimTime::ZERO)
+            .unwrap();
+        ssd.device_mut().tear_erase(blk).unwrap();
+        let pe_before = ssd.device().pe_cycles(blk);
+        let scan = scan_device(&mut ssd);
+        // Every page of the block was torn garbage; the scan finishes the
+        // interrupted erase and reports the block clean.
+        assert_eq!(scan.torn_pages, u64::from(g.pages_per_block));
+        assert_eq!(scan.blocks[0].kind, ScannedKind::Erased);
+        assert_eq!(scan.blocks[0].programmed_pages(), 0);
+        assert!(!ssd.device().is_torn(blk));
+        assert_eq!(ssd.device().pe_cycles(blk), pe_before + 1);
+        // Idempotent: a second scan sees an ordinary erased block.
+        let again = scan_device(&mut ssd);
+        assert_eq!(again.torn_pages, 0);
+        assert_eq!(again.blocks[0].kind, ScannedKind::Erased);
     }
 
     #[test]

@@ -138,6 +138,9 @@ impl FtlStats {
             erase_failures: self.erase_failures.saturating_sub(earlier.erase_failures),
             blocks_retired: self.blocks_retired.saturating_sub(earlier.blocks_retired),
             write_retries: self.write_retries.saturating_sub(earlier.write_retries),
+            torn_pages_quarantined: self
+                .torn_pages_quarantined
+                .saturating_sub(earlier.torn_pages_quarantined),
             small_waf_flash_sectors: self.small_waf_flash_sectors - earlier.small_waf_flash_sectors,
             small_waf_host_sectors: self
                 .small_waf_host_sectors

@@ -99,12 +99,19 @@ impl SectorLogFtl {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid FTL config: {e}"));
-        let mut ssd = Ssd::with_planes(
+        let ssd = Ssd::with_planes(
             config.geometry.clone(),
             config.timing.clone(),
             config.retention.clone(),
             config.planes_per_chip,
         );
+        Self::with_ssd(config, ssd)
+    }
+
+    /// Builds the FTL structures over an existing (possibly non-empty)
+    /// device with the default region layout; mapping state starts empty —
+    /// see [`SectorLogFtl::recover`] for rebuilding it from flash contents.
+    pub(crate) fn with_ssd(config: &FtlConfig, mut ssd: Ssd) -> Self {
         if let Some(f) = &config.fault {
             ssd.device_mut().set_faults(f.clone());
         }
@@ -170,6 +177,228 @@ impl SectorLogFtl {
             }
         }
         ftl
+    }
+
+    /// Rebuilds a sector-log FTL from the contents of a previously written
+    /// device (power-loss recovery). The region split is structural (the
+    /// same per-chip shares `with_ssd` uses), so each scanned block's
+    /// contents are re-attributed to its region: the data region maps each
+    /// logical page to its newest readable copy, and a log entry survives
+    /// only while it is strictly newer than the data-region copy of the
+    /// same sector (merges copy log data into the data region preserving
+    /// sequence numbers, so on a tie the full-page copy wins). Torn pages
+    /// found by the scan are quarantined and counted. DRAM-buffered data
+    /// that was never flushed is gone, as on real hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or does not match the
+    /// device's geometry.
+    #[must_use]
+    pub fn recover(mut ssd: Ssd, config: &FtlConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid FTL config: {e}"));
+        assert_eq!(
+            *ssd.geometry(),
+            config.geometry,
+            "recovery config geometry mismatch"
+        );
+        if let Some(f) = &config.fault {
+            ssd.device_mut().set_faults(f.clone());
+        }
+        let scan = crate::recovery::scan_device(&mut ssd);
+        let scans = scan.blocks;
+        let g = config.geometry.clone();
+        let bpc = g.blocks_per_chip;
+        let log_per_chip =
+            ((f64::from(bpc) * config.subpage_region_fraction).round() as u32).clamp(2, bpc - 1);
+        let data_per_chip = bpc - log_per_chip;
+        let mut ftl = Self::with_ssd(config, ssd);
+        ftl.stats.torn_pages_quarantined = scan.torn_pages;
+        let page_sz = u64::from(SECTORS_PER_PAGE);
+        let lpn_count = (ftl.logical_sectors / page_sz) as usize;
+
+        // Split the scan back into the structural regions.
+        // lpn -> (seq, data-local block, page) of the newest data copy.
+        let mut best_data: Vec<Option<(u64, u32, u32)>> = vec![None; lpn_count];
+        // Newest log copy per lsn.
+        #[derive(Clone, Copy)]
+        struct LogCand {
+            seq: u64,
+            block: u32,
+            page: u32,
+            slot: u8,
+            written_at: SimTime,
+        }
+        let mut best_log: Vec<Option<LogCand>> = vec![None; ftl.logical_sectors as usize];
+        let mut data_programmed = vec![0u32; (g.chip_count() * data_per_chip) as usize];
+        let mut max_seq = 0u64;
+        for (gbi, scan) in scans.iter().enumerate() {
+            let gbi = gbi as u32;
+            let (chip, b) = (gbi / bpc, gbi % bpc);
+            let log_local = if b < log_per_chip {
+                let local = chip * log_per_chip + b;
+                ftl.log_blocks[local as usize].programmed_pages = scan.programmed_pages();
+                Some(local)
+            } else {
+                let data_local = chip * data_per_chip + (b - log_per_chip);
+                data_programmed[data_local as usize] = scan.programmed_pages();
+                None
+            };
+            for (p, page) in scan.pages.iter().enumerate() {
+                for slot in &page.live {
+                    max_seq = max_seq.max(slot.seq);
+                }
+                match log_local {
+                    Some(local) => {
+                        for slot in &page.live {
+                            if slot.lsn >= ftl.logical_sectors {
+                                continue;
+                            }
+                            let e = &mut best_log[slot.lsn as usize];
+                            if e.is_none_or(|c| slot.seq > c.seq) {
+                                *e = Some(LogCand {
+                                    seq: slot.seq,
+                                    block: local,
+                                    page: p as u32,
+                                    slot: slot.slot,
+                                    written_at: slot.written_at,
+                                });
+                            }
+                        }
+                    }
+                    None => {
+                        let Some(newest) = page.live.iter().max_by_key(|s| s.seq) else {
+                            continue;
+                        };
+                        let lpn = (newest.lsn / page_sz) as usize;
+                        if lpn >= lpn_count {
+                            continue;
+                        }
+                        let data_local = chip * data_per_chip + (b - log_per_chip);
+                        if best_data[lpn].is_none_or(|(seq, _, _)| newest.seq > seq) {
+                            best_data[lpn] = Some((newest.seq, data_local, p as u32));
+                        }
+                    }
+                }
+            }
+        }
+        let mappings: Vec<(u64, u32, u32)> = best_data
+            .iter()
+            .enumerate()
+            .filter_map(|(lpn, e)| e.map(|(_, b, p)| (lpn as u64, b, p)))
+            .collect();
+        ftl.data.restore_state(&data_programmed, &mappings);
+
+        // Per-sector sequence number of the chosen data-region copy, used
+        // to drop log entries the merges already superseded.
+        let mut data_seq = vec![0u64; ftl.logical_sectors as usize];
+        for entry in &best_data {
+            let Some((_, data_local, p)) = *entry else {
+                continue;
+            };
+            let chip = data_local / data_per_chip;
+            let gbi = chip * bpc + log_per_chip + (data_local % data_per_chip);
+            for slot in &scans[gbi as usize].pages[p as usize].live {
+                if slot.lsn < ftl.logical_sectors {
+                    data_seq[slot.lsn as usize] = data_seq[slot.lsn as usize].max(slot.seq);
+                }
+            }
+        }
+        for (lsn, entry) in best_log.iter().enumerate() {
+            let Some(c) = *entry else {
+                continue;
+            };
+            if c.seq <= data_seq[lsn] {
+                continue; // merged into the data region already
+            }
+            ftl.log_map.insert(
+                lsn as u64,
+                SubEntry {
+                    block: c.block,
+                    page: c.page,
+                    slot: c.slot,
+                    updated: false,
+                    written_at: c.written_at,
+                },
+            );
+            let blk = &mut ftl.log_blocks[c.block as usize];
+            blk.valid[(c.page * ftl.nsub + u32::from(c.slot)) as usize] = true;
+            blk.valid_count += 1;
+        }
+        ftl.log_free = ftl
+            .log_blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.retired && b.programmed_pages == 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        // Resume one partially programmed log block per chip as the active
+        // append point; close any extras so GC can eventually merge them.
+        for a in &mut ftl.log_actives {
+            *a = None;
+        }
+        for i in 0..ftl.log_blocks.len() {
+            let b = &ftl.log_blocks[i];
+            if b.retired || b.programmed_pages == 0 || b.programmed_pages >= ftl.pages_per_block {
+                continue;
+            }
+            let chip = b.chip as usize;
+            if ftl.log_actives[chip].is_none() {
+                ftl.log_actives[chip] = Some(i as u32);
+            } else {
+                ftl.log_blocks[i].programmed_pages = ftl.pages_per_block;
+            }
+        }
+        ftl.seq = max_seq;
+        ftl
+    }
+
+    pub(crate) fn ssd_mut(&mut self) -> &mut Ssd {
+        &mut self.ssd
+    }
+
+    /// Allocation-state digest for the crash harness's idempotence check:
+    /// log-region free/retired/active blocks and fill, plus the data
+    /// region's own fingerprint. Simulated times are excluded: two mounts
+    /// of the same flash image happen at different clocks but must land in
+    /// the same state.
+    pub(crate) fn pool_fingerprint(&self) -> Vec<u64> {
+        // Keyed by device-global block index: local positions are a mount
+        // artifact, and retired blocks drop out of a remount entirely.
+        let mut out = Vec::new();
+        let mut free: Vec<u64> = self
+            .log_free
+            .iter()
+            .map(|&b| u64::from(self.log_blocks[b as usize].gbi))
+            .collect();
+        free.sort_unstable();
+        out.extend(free);
+        out.push(u64::MAX);
+        for a in &self.log_actives {
+            out.push(a.map_or(u64::MAX - 1, |b| u64::from(self.log_blocks[b as usize].gbi)));
+        }
+        out.push(u64::MAX);
+        let mut live: Vec<[u64; 3]> = self
+            .log_blocks
+            .iter()
+            .filter(|b| !b.retired)
+            .map(|b| {
+                [
+                    u64::from(b.gbi),
+                    u64::from(b.programmed_pages),
+                    u64::from(b.valid_count),
+                ]
+            })
+            .collect();
+        live.sort_unstable();
+        for b in live {
+            out.extend(b);
+        }
+        out.push(u64::MAX);
+        out.extend(self.data.pool_fingerprint());
+        out
     }
 
     /// Takes a log block out of service: never allocated, never a victim.
@@ -239,6 +468,11 @@ impl SectorLogFtl {
             oobs[slot] = Some(Oob { lsn, seq });
         }
         let (block, page, done) = loop {
+            if self.ssd.crashed() {
+                // Power is off: with log GC fenced the free pool may be
+                // empty, so bail out before alloc_log_page can panic.
+                return now;
+            }
             let (block, page) = self.alloc_log_page();
             let gbi = self.log_blocks[block as usize].gbi;
             let addr = self.ssd.geometry().block_addr(gbi).page(page);
@@ -280,7 +514,7 @@ impl SectorLogFtl {
 
     fn ensure_log_space(&mut self, issue: SimTime) -> SimTime {
         let mut now = issue;
-        while (self.log_free.len() as u32) < self.watermark {
+        while !self.ssd.crashed() && (self.log_free.len() as u32) < self.watermark {
             // A shrunken log region (retired bad blocks) may dip below the
             // watermark before any block has filled; merge what exists and
             // let the allocator keep appending to the open blocks.
@@ -330,6 +564,11 @@ impl SectorLogFtl {
             let addr = self.ssd.geometry().block_addr(gbi).page(page);
             let (slots, t) = self.ssd.read_full(addr, now);
             now = t;
+            if self.ssd.crashed() {
+                // Power died mid-merge: surviving log copies stay where
+                // they are on flash; this half-done merge dies with DRAM.
+                return now;
+            }
             for (slot, r) in slots.into_iter().enumerate() {
                 if self.log_blocks[victim as usize].valid[(page * self.nsub) as usize + slot] {
                     let oob = r.expect("valid log sector must be readable");

@@ -65,6 +65,9 @@ pub struct FtlStats {
     pub blocks_retired: u64,
     /// Programs re-issued to a different location after a program failure.
     pub write_retries: u64,
+    /// Pages found torn (cut by power loss) by the mount-time scan and
+    /// quarantined: read, counted, excluded from the live set.
+    pub torn_pages_quarantined: u64,
 
     /// Accumulated small-write request-WAF numerator (flash sectors
     /// attributed to small writes, including later migrations/evictions).

@@ -111,6 +111,10 @@ pub struct SubFtl {
     gc_batch: u32,
     eviction: EvictionPolicy,
     background_gc: bool,
+    /// Durability-first variants of lap migration, same-sector overwrite,
+    /// and GC/scrub handling of buffer-shadowed copies (see
+    /// [`FtlConfig::crash_safe_mode`]).
+    crash_safe_mode: bool,
 }
 
 impl SubFtl {
@@ -194,6 +198,7 @@ impl SubFtl {
             gc_batch: config.subpage_gc_batch,
             eviction: config.eviction_policy,
             background_gc: config.background_gc,
+            crash_safe_mode: config.crash_safe_mode,
         };
         // Exclude factory-marked and previously grown bad blocks from
         // whichever region owns them; the reserve must stay usable.
@@ -249,7 +254,9 @@ impl SubFtl {
             ssd.device_mut().set_faults(f.clone());
         }
         use crate::recovery::{scan_device, ScannedKind};
-        let scans = scan_device(&mut ssd);
+        let scan = scan_device(&mut ssd);
+        let torn_pages = scan.torn_pages;
+        let scans = scan.blocks;
         let g = &config.geometry;
         let bpc = g.blocks_per_chip;
         let sub_target =
@@ -431,22 +438,36 @@ impl SubFtl {
         }
 
         // A GC reserve must exist: prefer an erased subpage-region block,
-        // else pull a fresh block from the full region's free pool.
+        // else pull a fresh block from the full region's free pool. A crash
+        // that cut GC mid-copy can leave neither (the reserve is partially
+        // programmed and the victim not yet erased): in that case adopt the
+        // least-valid subpage block and evacuate it after construction.
+        let mut evacuate = false;
         let reserve = match blocks.iter().position(|b| b.is_erased()) {
             Some(i) => i as u32,
-            None => {
-                let gbi = full
-                    .donate_free_block(&ssd)
-                    .expect("recovery found no erased block for the GC reserve");
-                blocks.push(SubBlock::new(gbi, gbi / bpc, g.pages_per_block));
-                (blocks.len() - 1) as u32
-            }
+            None => match full.donate_free_block(&ssd) {
+                Some(gbi) => {
+                    blocks.push(SubBlock::new(gbi, gbi / bpc, g.pages_per_block));
+                    (blocks.len() - 1) as u32
+                }
+                None => {
+                    evacuate = true;
+                    blocks
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, b)| !b.retired)
+                        .min_by_key(|(_, b)| b.valid_count)
+                        .map(|(i, _)| i)
+                        .expect("recovery found no usable subpage block") as u32
+                }
+            },
         };
 
         let chips = g.chip_count() as usize;
         let mut stats = FtlStats::new();
         stats.blocks_retired = retired;
-        SubFtl {
+        stats.torn_pages_quarantined = torn_pages;
+        let mut ftl = SubFtl {
             ssd,
             full,
             blocks,
@@ -467,6 +488,70 @@ impl SubFtl {
             gc_batch: config.subpage_gc_batch,
             eviction: config.eviction_policy,
             background_gc: config.background_gc,
+            crash_safe_mode: config.crash_safe_mode,
+        };
+        if evacuate {
+            ftl.evacuate_reserve();
+        }
+        ftl
+    }
+
+    /// Finishes an interrupted GC at mount time: the adopted reserve block
+    /// still holds live subpages (no erased block survived the crash), so
+    /// every one of them is evicted to the full-page region and the block
+    /// is erased. Charged to the simulated clock as part of the mount.
+    fn evacuate_reserve(&mut self) {
+        let victim = self.reserve;
+        let mut now = self.ssd.makespan();
+        let mut items: Vec<(u64, Oob)> = Vec::new();
+        for page in 0..self.pages_per_block {
+            let Some(lsn) = self.blocks[victim as usize].page_valid[page as usize] else {
+                continue;
+            };
+            let entry = self.hash.get(lsn).expect("page_valid implies mapping");
+            let (r, rt) = self
+                .ssd
+                .read_subpage(self.sub_addr(victim, page, entry.slot), now);
+            now = rt;
+            match r {
+                Ok(oob) => items.push((lsn, oob)),
+                Err(_) => {
+                    self.stats.read_faults += 1;
+                    self.invalidate_sub(lsn);
+                }
+            }
+        }
+        // evict_to_full wants one logical page per batch.
+        items.sort_unstable_by_key(|&(lsn, _)| lsn);
+        let page_sz = u64::from(SECTORS_PER_PAGE);
+        let mut i = 0;
+        while i < items.len() {
+            let lpn = items[i].0 / page_sz;
+            let j = items[i..]
+                .iter()
+                .position(|(l, _)| l / page_sz != lpn)
+                .map_or(items.len(), |k| i + k);
+            now = self.evict_to_full(&items[i..j], now);
+            i = j;
+        }
+        debug_assert_eq!(self.blocks[victim as usize].valid_count, 0);
+        let gbi = self.blocks[victim as usize].gbi;
+        match self.ssd.erase(self.ssd.geometry().block_addr(gbi), now) {
+            Ok(_) => {
+                let vblk = &mut self.blocks[victim as usize];
+                vblk.level = 0;
+                vblk.cursor = 0;
+                vblk.page_valid.fill(None);
+            }
+            Err(f) if f.error == esp_nand::NandError::EraseFailed => {
+                let vblk = &mut self.blocks[victim as usize];
+                vblk.retired = true;
+                vblk.page_valid.fill(None);
+                self.stats.erase_failures += 1;
+                self.stats.blocks_retired += 1;
+                self.replace_reserve();
+            }
+            Err(f) => panic!("erase managed block: {f}"),
         }
     }
 
@@ -491,6 +576,48 @@ impl SubFtl {
     #[must_use]
     pub fn subpage_map_probes(&self) -> crate::sub_map::ProbeStats {
         self.hash.probe_stats()
+    }
+
+    pub(crate) fn ssd_mut(&mut self) -> &mut Ssd {
+        &mut self.ssd
+    }
+
+    /// Allocation-state digest for the crash harness's idempotence check:
+    /// subpage-region lap state (level/cursor/occupancy/retirement per
+    /// block), reserve and active blocks, plus the full region's own
+    /// fingerprint. Simulated times are excluded: two mounts of the same
+    /// flash image happen at different clocks but must land in the same
+    /// state.
+    pub(crate) fn pool_fingerprint(&self) -> Vec<u64> {
+        // Keyed by device-global block index (see
+        // `FullRegionEngine::pool_fingerprint`): local positions are a
+        // mount artifact, and retired blocks drop out on a remount.
+        let mut out = Vec::new();
+        out.push(u64::from(self.blocks[self.reserve as usize].gbi));
+        for a in &self.actives {
+            out.push(a.map_or(u64::MAX - 1, |b| u64::from(self.blocks[b as usize].gbi)));
+        }
+        out.push(u64::MAX);
+        let mut live: Vec<[u64; 4]> = self
+            .blocks
+            .iter()
+            .filter(|b| !b.retired)
+            .map(|b| {
+                [
+                    u64::from(b.gbi),
+                    u64::from(b.level),
+                    u64::from(b.cursor),
+                    u64::from(b.valid_count),
+                ]
+            })
+            .collect();
+        live.sort_unstable();
+        for b in live {
+            out.extend(b);
+        }
+        out.push(u64::MAX);
+        out.extend(self.full.pool_fingerprint());
+        out
     }
 
     /// Drops the subpage-region mapping for `lsn`, freeing its slot.
@@ -635,10 +762,13 @@ impl SubFtl {
             let addr = self.sub_addr(b, page, slot);
             let occupant = self.blocks[b as usize].page_valid[page as usize];
             match occupant {
-                Some(old_lsn) if old_lsn == lsn => {
+                Some(old_lsn) if old_lsn == lsn && !self.crash_safe_mode => {
                     // The page's valid subpage is an older version of the very
                     // sector being written: it is dead on arrival, no
-                    // migration needed.
+                    // migration needed. (In crash-safe mode the generic arm
+                    // below evicts it instead — reprogramming its own page
+                    // would destroy the only durable copy if power dies
+                    // before the new data lands.)
                     self.invalidate_sub(lsn);
                     continue;
                 }
@@ -652,6 +782,18 @@ impl SubFtl {
                         .read_subpage(self.sub_addr(b, page, entry.slot), now);
                     now = rt;
                     match r {
+                        Ok(oob) if self.crash_safe_mode => {
+                            // Crash-safe mode: the in-place migration below
+                            // would re-program the occupant's own page — if
+                            // power dies mid-pulse, the only durable copy is
+                            // destroyed (Fig 4(b)). Relocate it to the
+                            // full-page region instead: the old subpage stays
+                            // intact until the full-page copy completes, and
+                            // the freed slot takes the new data on the next
+                            // iteration. The cursor is *not* advanced.
+                            self.stats.lap_migrations += 1;
+                            now = self.evict_to_full(&[(old_lsn, oob)], now);
+                        }
                         Ok(oob) => match self.ssd.program_subpage(addr, oob, now) {
                             Ok(done) => {
                                 now = done;
@@ -774,9 +916,11 @@ impl SubFtl {
             let Some(lsn) = self.blocks[victim as usize].page_valid[page as usize] else {
                 continue;
             };
-            if self.buffer.contains(lsn) {
+            if self.buffer.contains(lsn) && !self.crash_safe_mode {
                 // A newer version is waiting in DRAM; the flash copy is
-                // already garbage.
+                // already garbage. (Crash-safe mode relocates it anyway: the
+                // DRAM copy is volatile, so until the buffer flushes this
+                // flash copy is the sector's only durable version.)
                 self.invalidate_sub(lsn);
                 continue;
             }
@@ -1072,7 +1216,9 @@ impl SubFtl {
             while i < expired.len() && expired[i] / page == lpn {
                 let lsn = expired[i];
                 i += 1;
-                if self.buffer.contains(lsn) {
+                if self.buffer.contains(lsn) && !self.crash_safe_mode {
+                    // Same shadowed-copy rule as GC: in crash-safe mode the
+                    // flash copy is still the only durable version.
                     self.invalidate_sub(lsn);
                     continue;
                 }

@@ -10,7 +10,7 @@
 //! (but still physically readable) data; the oracle therefore only checks
 //! sectors the pre-crash FTL still maps.
 
-use esp_core::{CgmFtl, FgmFtl, Ftl, FtlConfig, SubFtl};
+use esp_core::{CgmFtl, FgmFtl, Ftl, FtlConfig, SectorLogFtl, SubFtl};
 use esp_sim::{Rng, SimTime};
 
 #[derive(Debug, Clone)]
@@ -154,6 +154,50 @@ fn sub_recovers_exactly() {
         check_recovery(&ftl, &recovered, 128, &trimmed, seed);
         post_recovery_smoke(&mut recovered, 128, seed);
         recovered.check_invariants();
+    }
+}
+
+#[test]
+fn sector_log_recovers_exactly() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0x51EC ^ seed);
+        let ops = random_ops(&mut rng, 128, 99);
+        let cfg = FtlConfig::tiny();
+        let mut ftl = SectorLogFtl::new(&cfg);
+        let trimmed = apply(&mut ftl, &ops);
+        let mut recovered = SectorLogFtl::recover(ftl.ssd().clone(), &cfg);
+        check_recovery(&ftl, &recovered, 128, &trimmed, seed);
+        post_recovery_smoke(&mut recovered, 128, seed);
+    }
+}
+
+/// Recovery after log churn: enough sync small writes to force log-region
+/// GC (full merges), so the scan sees merged data pages, partly valid log
+/// blocks and an active append point.
+#[test]
+fn sector_log_recovers_after_merge_churn() {
+    for seed in (0..500u64).step_by(16) {
+        let cfg = FtlConfig::tiny();
+        let mut ftl = SectorLogFtl::new(&cfg);
+        let mut clock = SimTime::ZERO;
+        let mut x = seed;
+        for _ in 0..400 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let lsn = (x >> 33) % 48;
+            clock = ftl.write(lsn, 1, true, clock);
+        }
+        ftl.flush(clock);
+        let mut recovered = SectorLogFtl::recover(ftl.ssd().clone(), &cfg);
+        check_recovery(
+            &ftl,
+            &recovered,
+            128,
+            &std::collections::HashSet::new(),
+            seed,
+        );
+        post_recovery_smoke(&mut recovered, 128, seed);
     }
 }
 

@@ -23,6 +23,9 @@ pub struct Block {
     pages: Vec<Page>,
     pe_cycles: u32,
     bad: bool,
+    /// The last erase was interrupted by power loss: contents are
+    /// indeterminate and programs are rejected until a completed re-erase.
+    torn: bool,
 }
 
 impl Block {
@@ -33,6 +36,7 @@ impl Block {
                 .collect(),
             pe_cycles: 0,
             bad: false,
+            torn: false,
         }
     }
 
@@ -46,6 +50,13 @@ impl Block {
     #[must_use]
     pub fn is_bad(&self) -> bool {
         self.bad
+    }
+
+    /// True if the block's last erase was cut mid-operation (power loss):
+    /// it must be re-erased before any program is accepted.
+    #[must_use]
+    pub fn is_torn(&self) -> bool {
+        self.torn
     }
 
     /// The page at `page` index.
@@ -115,6 +126,10 @@ pub struct DeviceStats {
     /// Erase operations that reported status fail; each one grows a bad
     /// block.
     pub erase_failures: u64,
+    /// Program operations cut mid-pulse by an injected power loss.
+    pub torn_programs: u64,
+    /// Erase operations cut mid-operation by an injected power loss.
+    pub torn_erases: u64,
 }
 
 impl DeviceStats {
@@ -347,6 +362,9 @@ impl NandDevice {
         if block.bad {
             return Err(NandError::BadBlock);
         }
+        if block.torn {
+            return Err(NandError::TornBlock);
+        }
         if page.page >= block.pages.len() as u32 {
             return Err(NandError::AddressOutOfRange);
         }
@@ -396,6 +414,9 @@ impl NandDevice {
         let block = self.block_mut(addr.page.block)?;
         if block.bad {
             return Err(NandError::BadBlock);
+        }
+        if block.torn {
+            return Err(NandError::TornBlock);
         }
         let pe = block.pe_cycles;
         let destroyed =
@@ -483,6 +504,8 @@ impl NandDevice {
             page.erase();
         }
         block.pe_cycles += 1;
+        // A completed erase recovers a torn block.
+        block.torn = false;
         self.stats.erases += 1;
         if failed {
             let block = self.block_mut(addr).expect("address already validated");
@@ -490,6 +513,91 @@ impl NandDevice {
             self.stats.erase_failures += 1;
             return Err(NandError::EraseFailed);
         }
+        Ok(())
+    }
+
+    /// True if the block's last erase was interrupted (see [`Block::is_torn`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the geometry.
+    #[must_use]
+    pub fn is_torn(&self, addr: BlockAddr) -> bool {
+        self.block(addr).torn
+    }
+
+    /// A full-page program interrupted by power loss: legality is checked
+    /// exactly as for [`NandDevice::program_full`] (the command was
+    /// accepted before the cut), but the fault stream is *not* consulted —
+    /// power died before any status register could report. Every subpage
+    /// of the target page ends up [`SubpageState::Torn`].
+    ///
+    /// # Errors
+    ///
+    /// Same legality errors as [`NandDevice::program_full`].
+    pub fn tear_program_full(&mut self, page: PageAddr) -> Result<(), NandError> {
+        let block = self.block_mut(page.block)?;
+        if block.bad {
+            return Err(NandError::BadBlock);
+        }
+        if block.torn {
+            return Err(NandError::TornBlock);
+        }
+        if page.page >= block.pages.len() as u32 {
+            return Err(NandError::AddressOutOfRange);
+        }
+        if page.page > 0 && block.pages[(page.page - 1) as usize].is_erased() {
+            return Err(NandError::NonSequentialProgram { page: page.page });
+        }
+        block.pages[page.page as usize].tear_program_full()?;
+        self.stats.torn_programs += 1;
+        Ok(())
+    }
+
+    /// A subpage program interrupted by power loss: the target slot is
+    /// torn and previously-programmed siblings are destroyed (the Fig 4(b)
+    /// disturbance precedes the cut). No fault-stream draw — see
+    /// [`NandDevice::tear_program_full`].
+    ///
+    /// # Errors
+    ///
+    /// Same legality errors as [`NandDevice::program_subpage`].
+    pub fn tear_program_subpage(&mut self, addr: SubpageAddr) -> Result<(), NandError> {
+        if !self.geometry.contains(addr) {
+            return Err(NandError::AddressOutOfRange);
+        }
+        let block = self.block_mut(addr.page.block)?;
+        if block.bad {
+            return Err(NandError::BadBlock);
+        }
+        if block.torn {
+            return Err(NandError::TornBlock);
+        }
+        let destroyed = block.pages[addr.page.page as usize].tear_program_subpage(addr.slot)?;
+        self.stats.subpages_destroyed += destroyed.len() as u64;
+        self.stats.torn_programs += 1;
+        Ok(())
+    }
+
+    /// An erase interrupted by power loss: every page of the block becomes
+    /// unreadable, wear accrues (the erase pulse ran), and the block
+    /// rejects programs ([`NandError::TornBlock`]) until a completed
+    /// re-erase recovers it. No fault-stream draw.
+    ///
+    /// # Errors
+    ///
+    /// Same legality errors as [`NandDevice::erase`].
+    pub fn tear_erase(&mut self, addr: BlockAddr) -> Result<(), NandError> {
+        let block = self.block_mut(addr)?;
+        if block.bad {
+            return Err(NandError::BadBlock);
+        }
+        for page in &mut block.pages {
+            page.tear_all();
+        }
+        block.pe_cycles += 1;
+        block.torn = true;
+        self.stats.torn_erases += 1;
         Ok(())
     }
 
@@ -819,6 +927,126 @@ mod tests {
                 outcomes.push(r == Err(NandError::ProgramFailed));
                 if i % 4 == 3 {
                     let _ = d.erase(blk, SimTime::ZERO);
+                }
+            }
+            outcomes
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn torn_subpage_program_destroys_sibling_and_reads_torn() {
+        let mut d = dev();
+        let page = d.geometry().block_addr(0).page(0);
+        d.program_subpage(page.subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        d.tear_program_subpage(page.subpage(1)).unwrap();
+        assert_eq!(
+            d.read_subpage(page.subpage(0), SimTime::ZERO),
+            Err(ReadFault::DestroyedByProgram)
+        );
+        assert_eq!(
+            d.read_subpage(page.subpage(1), SimTime::ZERO),
+            Err(ReadFault::Torn)
+        );
+        assert_eq!(d.stats().torn_programs, 1);
+        assert_eq!(d.stats().subpages_destroyed, 1);
+        // Further laps on the page remain legal; the block is not torn.
+        assert!(!d.is_torn(page.block));
+        d.program_subpage(page.subpage(2), oob(2), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            d.read_subpage(page.subpage(2), SimTime::ZERO).unwrap().lsn,
+            2
+        );
+    }
+
+    #[test]
+    fn torn_full_program_respects_legality_and_wl_order() {
+        let mut d = dev();
+        let blk = d.geometry().block_addr(0);
+        assert_eq!(
+            d.tear_program_full(blk.page(1)),
+            Err(NandError::NonSequentialProgram { page: 1 })
+        );
+        d.tear_program_full(blk.page(0)).unwrap();
+        for slot in 0..4u8 {
+            assert_eq!(
+                d.read_subpage(blk.page(0).subpage(slot), SimTime::ZERO),
+                Err(ReadFault::Torn)
+            );
+        }
+        assert_eq!(d.stats().torn_programs, 1);
+    }
+
+    #[test]
+    fn torn_erase_blocks_programs_until_reerased() {
+        let mut d = dev();
+        let blk = d.geometry().block_addr(0);
+        d.program_subpage(blk.page(0).subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        d.tear_erase(blk).unwrap();
+        assert!(d.is_torn(blk));
+        assert_eq!(d.pe_cycles(blk), 1);
+        assert_eq!(d.stats().torn_erases, 1);
+        // Contents unreadable, programs rejected.
+        assert_eq!(
+            d.read_subpage(blk.page(0).subpage(0), SimTime::ZERO),
+            Err(ReadFault::Torn)
+        );
+        assert_eq!(
+            d.program_subpage(blk.page(0).subpage(0), oob(2), SimTime::ZERO),
+            Err(NandError::TornBlock)
+        );
+        assert_eq!(
+            d.program_full(blk.page(0), &[None; 4], SimTime::ZERO),
+            Err(NandError::TornBlock)
+        );
+        // A completed erase recovers the block.
+        d.erase(blk, SimTime::ZERO).unwrap();
+        assert!(!d.is_torn(blk));
+        assert_eq!(d.pe_cycles(blk), 2);
+        d.program_subpage(blk.page(0).subpage(0), oob(3), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            d.read_subpage(blk.page(0).subpage(0), SimTime::ZERO)
+                .unwrap()
+                .lsn,
+            3
+        );
+    }
+
+    #[test]
+    fn tear_operations_do_not_advance_the_fault_stream() {
+        // Mirror of illegal_commands_do_not_advance_the_fault_stream: a
+        // power cut never consults the status register, so tear operations
+        // must leave the seeded fault stream untouched.
+        let faults = crate::FaultConfig {
+            seed: 5,
+            program_fail_prob: 0.3,
+            ..crate::FaultConfig::default()
+        };
+        let run = |with_tears: bool| -> Vec<bool> {
+            let mut d = dev();
+            d.set_faults(faults.clone());
+            let blk = d.geometry().block_addr(0);
+            let spare = d.geometry().block_addr(1);
+            let mut outcomes = Vec::new();
+            for i in 0..16u8 {
+                if with_tears {
+                    let _ = d.tear_program_subpage(spare.page(u32::from(i % 4)).subpage(i % 4));
+                }
+                let r = d.program_subpage(
+                    blk.page(u32::from(i % 4)).subpage(i % 4),
+                    oob(u64::from(i)),
+                    SimTime::ZERO,
+                );
+                outcomes.push(r == Err(NandError::ProgramFailed));
+                if i % 4 == 3 {
+                    let _ = d.erase(blk, SimTime::ZERO);
+                    if with_tears {
+                        let _ = d.tear_erase(spare);
+                    }
                 }
             }
             outcomes

@@ -47,6 +47,9 @@ pub enum NandError {
     /// The target block is marked bad (factory-marked or grown); commands
     /// to it are rejected.
     BadBlock,
+    /// The block's last erase was interrupted by power loss; programs are
+    /// rejected until the block is successfully re-erased.
+    TornBlock,
 }
 
 impl fmt::Display for NandError {
@@ -74,6 +77,12 @@ impl fmt::Display for NandError {
             NandError::ProgramFailed => write!(f, "program operation reported status fail"),
             NandError::EraseFailed => write!(f, "erase operation reported status fail"),
             NandError::BadBlock => write!(f, "block is marked bad"),
+            NandError::TornBlock => {
+                write!(
+                    f,
+                    "block erase was interrupted; re-erase before programming"
+                )
+            }
         }
     }
 }
@@ -95,6 +104,12 @@ pub enum ReadFault {
     RetentionExceeded,
     /// A fault-injection hook forced this read to fail.
     Injected,
+    /// The subpage's program (or its block's erase) was cut mid-operation
+    /// by power loss: the partial charge pattern is ECC-uncorrectable.
+    Torn,
+    /// Power is off: the command was issued at or after the injected crash
+    /// point and never reached the device.
+    PowerLoss,
 }
 
 impl fmt::Display for ReadFault {
@@ -109,6 +124,10 @@ impl fmt::Display for ReadFault {
                 write!(f, "retention BER exceeded the ECC limit")
             }
             ReadFault::Injected => write!(f, "injected read fault"),
+            ReadFault::Torn => {
+                write!(f, "program or erase cut mid-operation; data uncorrectable")
+            }
+            ReadFault::PowerLoss => write!(f, "power is off at the injected crash point"),
         }
     }
 }
@@ -129,8 +148,11 @@ mod tests {
             NandError::ProgramFailed.to_string(),
             NandError::EraseFailed.to_string(),
             NandError::BadBlock.to_string(),
+            NandError::TornBlock.to_string(),
             ReadFault::NotWritten.to_string(),
             ReadFault::RetentionExceeded.to_string(),
+            ReadFault::Torn.to_string(),
+            ReadFault::PowerLoss.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -48,6 +48,10 @@ pub enum SubpageState {
     /// Was programmed, then corrupted past the ECC limit by a later program
     /// operation on the same page (Fig 4(b), "uncorrectable failure").
     Destroyed,
+    /// A program or erase operation was interrupted mid-pulse (power loss):
+    /// the cells hold a partial charge pattern that reads back
+    /// ECC-uncorrectable (Cai et al.'s interrupted-programming states).
+    Torn,
 }
 
 /// The payload of a programmed subpage.
@@ -230,10 +234,12 @@ impl Page {
     /// * [`ReadFault::Padding`] if the slot was programmed as padding.
     /// * [`ReadFault::DestroyedByProgram`] if a later program on the page
     ///   corrupted it.
+    /// * [`ReadFault::Torn`] if a program or erase was cut mid-operation.
     pub fn read_subpage(&self, slot: u8) -> Result<&WrittenSubpage, ReadFault> {
         match &self.subpages[usize::from(slot)] {
             SubpageState::Erased => Err(ReadFault::NotWritten),
             SubpageState::Destroyed => Err(ReadFault::DestroyedByProgram),
+            SubpageState::Torn => Err(ReadFault::Torn),
             SubpageState::Written(w) => {
                 if w.oob.is_none() {
                     Err(ReadFault::Padding)
@@ -253,6 +259,72 @@ impl Page {
     /// Panics if `slot` is out of range.
     pub(crate) fn destroy_subpage(&mut self, slot: u8) {
         self.subpages[usize::from(slot)] = SubpageState::Destroyed;
+    }
+
+    /// A full-page program cut by power loss mid-pulse: every subpage holds
+    /// a partial charge pattern and reads back uncorrectable. Legality
+    /// mirrors [`Page::program_full`] (the command was accepted; only its
+    /// completion was interrupted).
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::ProgramOnDirtyPage`] if the page is not erased.
+    pub fn tear_program_full(&mut self) -> Result<(), NandError> {
+        if !self.is_erased() {
+            return Err(NandError::ProgramOnDirtyPage);
+        }
+        for s in &mut self.subpages {
+            *s = SubpageState::Torn;
+        }
+        self.programs = 1;
+        Ok(())
+    }
+
+    /// A subpage program cut by power loss mid-pulse. The target slot is
+    /// torn, and — exactly as for a completed program — every other subpage
+    /// of the page that held data is destroyed (the Fig 4(b) disturbance
+    /// comes from the program pulses, which did run before the cut).
+    /// Legality mirrors [`Page::program_subpage`].
+    ///
+    /// Returns the slots whose data was destroyed as a side effect.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::ProgramLimitExceeded`] if the page is exhausted.
+    /// * [`NandError::SlotOutOfRange`] if `slot >= N_sub`.
+    pub fn tear_program_subpage(&mut self, slot: u8) -> Result<Vec<u8>, NandError> {
+        if usize::from(slot) >= self.subpages.len() {
+            return Err(NandError::SlotOutOfRange {
+                slot,
+                n_sub: self.subpages.len() as u32,
+            });
+        }
+        if self.is_exhausted() {
+            return Err(NandError::ProgramLimitExceeded);
+        }
+        let mut destroyed = Vec::new();
+        for (i, state) in self.subpages.iter_mut().enumerate() {
+            if i != usize::from(slot) {
+                if let SubpageState::Written(_) = state {
+                    *state = SubpageState::Destroyed;
+                    destroyed.push(i as u8);
+                }
+            }
+        }
+        self.subpages[slot as usize] = SubpageState::Torn;
+        self.programs += 1;
+        Ok(destroyed)
+    }
+
+    /// An erase cut by power loss mid-operation: the partial erase leaves
+    /// every subpage in an indeterminate, uncorrectable state. The page is
+    /// marked exhausted so no program can target it until a completed erase
+    /// resets it.
+    pub(crate) fn tear_all(&mut self) {
+        for s in &mut self.subpages {
+            *s = SubpageState::Torn;
+        }
+        self.programs = self.subpages.len() as u8;
     }
 
     /// Resets the page to the erased state.
@@ -387,6 +459,57 @@ mod tests {
         // A fresh subpage program is possible again, at Npp^0.
         p.program_subpage(2, oob(3), SimTime::ZERO, 0).unwrap();
         assert_eq!(p.read_subpage(2).unwrap().npp, 0);
+    }
+
+    #[test]
+    fn torn_subpage_program_tears_target_and_destroys_siblings() {
+        // Power loss during the migration program of Fig 7(c): the target
+        // slot is unreadable AND the previously-programmed sibling is
+        // destroyed — the data exists nowhere on the page afterwards.
+        let mut p = Page::new(4);
+        p.program_subpage(0, oob(7), SimTime::ZERO, 0).unwrap();
+        let destroyed = p.tear_program_subpage(1).unwrap();
+        assert_eq!(destroyed, vec![0]);
+        assert_eq!(p.read_subpage(0), Err(ReadFault::DestroyedByProgram));
+        assert_eq!(p.read_subpage(1), Err(ReadFault::Torn));
+        assert_eq!(p.program_count(), 2);
+    }
+
+    #[test]
+    fn torn_subpage_program_respects_legality() {
+        let mut p = Page::new(2);
+        assert_eq!(
+            p.tear_program_subpage(2),
+            Err(NandError::SlotOutOfRange { slot: 2, n_sub: 2 })
+        );
+        p.program_subpage(0, oob(1), SimTime::ZERO, 0).unwrap();
+        p.program_subpage(1, oob(2), SimTime::ZERO, 0).unwrap();
+        assert_eq!(
+            p.tear_program_subpage(0),
+            Err(NandError::ProgramLimitExceeded)
+        );
+    }
+
+    #[test]
+    fn torn_full_program_tears_every_slot() {
+        let mut p = Page::new(4);
+        p.tear_program_full().unwrap();
+        for slot in 0..4 {
+            assert_eq!(p.read_subpage(slot), Err(ReadFault::Torn));
+        }
+        assert_eq!(p.program_count(), 1);
+        assert_eq!(p.tear_program_full(), Err(NandError::ProgramOnDirtyPage));
+    }
+
+    #[test]
+    fn erase_recovers_a_torn_page() {
+        let mut p = Page::new(4);
+        p.program_subpage(0, oob(1), SimTime::ZERO, 0).unwrap();
+        p.tear_program_subpage(1).unwrap();
+        p.erase();
+        assert!(p.is_erased());
+        p.program_subpage(0, oob(2), SimTime::ZERO, 0).unwrap();
+        assert_eq!(p.read_subpage(0).unwrap().oob.unwrap().lsn, 2);
     }
 
     #[test]

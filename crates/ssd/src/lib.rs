@@ -88,6 +88,28 @@ pub struct SsdStats {
     pub op_latency: Log2Histogram,
 }
 
+/// Where to cut power during a run.
+///
+/// A crash point makes exactly one NAND command the *torn* command: a
+/// program or erase cut mid-pulse leaves [`esp_nand::ReadFault::Torn`]
+/// state behind (and, for ESP subpage programs, destroys the
+/// previously-programmed siblings — Fig 4(b) is worst exactly when power
+/// dies mid-lap). Every command after the torn one sees a powered-off
+/// device: programs and erases are silently dropped, reads return
+/// [`ReadFault::PowerLoss`]. Illegal commands never reach the array and so
+/// never count toward [`CrashPoint::Command`] numbering — the counter
+/// tracks *executed* commands, mirroring the fault-stream invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Cut power during the nth executed NAND command (1-based): commands
+    /// `1..n` complete normally, command `n` is torn.
+    Command(u64),
+    /// Cut power at a simulated instant: the first command issued at or
+    /// after this time is torn (legal or not — a command issued into a
+    /// dead device is simply lost).
+    Time(SimTime),
+}
+
 /// A timing-aware SSD: an [`NandDevice`] plus per-channel and per-chip
 /// occupancy timelines.
 #[derive(Debug, Clone)]
@@ -99,6 +121,9 @@ pub struct Ssd {
     planes: Vec<Resource>,
     planes_per_chip: u32,
     stats: SsdStats,
+    crash_point: Option<CrashPoint>,
+    crashed: bool,
+    commands_issued: u64,
 }
 
 impl Ssd {
@@ -151,6 +176,9 @@ impl Ssd {
             planes,
             planes_per_chip,
             stats: SsdStats::default(),
+            crash_point: None,
+            crashed: false,
+            commands_issued: 0,
         }
     }
 
@@ -234,6 +262,57 @@ impl Ssd {
         self.planes_per_chip
     }
 
+    /// Arms a crash point: the run will lose power at the given command or
+    /// instant (see [`CrashPoint`]).
+    pub fn set_crash_point(&mut self, point: CrashPoint) {
+        self.crash_point = Some(point);
+    }
+
+    /// The armed crash point, if any.
+    #[must_use]
+    pub fn crash_point(&self) -> Option<CrashPoint> {
+        self.crash_point
+    }
+
+    /// Restores power: disarms the crash point and lets commands reach the
+    /// array again. Call before remounting a crashed device — the torn
+    /// state the crash left behind is of course still there.
+    pub fn clear_crash(&mut self) {
+        self.crash_point = None;
+        self.crashed = false;
+    }
+
+    /// Whether the armed crash point has fired (power is off).
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Number of NAND commands executed so far. Counts every command that
+    /// reached the array — including status-failed programs and erases —
+    /// but not illegal commands (rejected before execution), not the torn
+    /// command itself, and nothing after a crash.
+    #[must_use]
+    pub fn commands_issued(&self) -> u64 {
+        self.commands_issued
+    }
+
+    /// Whether the next executed command would trip the armed crash point.
+    fn crash_due(&self, issue: SimTime) -> bool {
+        match self.crash_point {
+            Some(CrashPoint::Command(n)) => self.commands_issued + 1 >= n,
+            Some(CrashPoint::Time(t)) => issue >= t,
+            None => false,
+        }
+    }
+
+    /// Whether a time-based crash point fires even on an illegal command:
+    /// power dies at an instant regardless of what the controller was
+    /// sending, so the command is lost rather than rejected.
+    fn time_crash(&self) -> bool {
+        matches!(self.crash_point, Some(CrashPoint::Time(_)))
+    }
+
     fn indices(&self, block: BlockAddr) -> (usize, usize) {
         let g = self.device.geometry();
         let chip = g.chip_index(block.chip);
@@ -282,9 +361,34 @@ impl Ssd {
         oobs: &[Option<Oob>],
         issue: SimTime,
     ) -> Result<SimTime, OpFailure> {
+        if self.crashed {
+            return Ok(issue);
+        }
+        if self.crash_due(issue) {
+            match self.device.tear_program_full(page) {
+                Ok(()) => {
+                    self.crashed = true;
+                    return Ok(issue);
+                }
+                // An illegal command never reached the array: a time crash
+                // swallows it (power is gone either way); a command-count
+                // crash stays armed for the next *executed* command.
+                Err(error) => {
+                    if self.time_crash() {
+                        self.crashed = true;
+                        return Ok(issue);
+                    }
+                    return Err(OpFailure { error, at: issue });
+                }
+            }
+        }
         match self.device.program_full(page, oobs, issue) {
-            Ok(()) => Ok(self.schedule_write(page.block, OpKind::ProgramFull, issue)),
+            Ok(()) => {
+                self.commands_issued += 1;
+                Ok(self.schedule_write(page.block, OpKind::ProgramFull, issue))
+            }
             Err(error @ NandError::ProgramFailed) => {
+                self.commands_issued += 1;
                 let at = self.schedule_write(page.block, OpKind::ProgramFull, issue);
                 Err(OpFailure { error, at })
             }
@@ -304,9 +408,31 @@ impl Ssd {
         oob: Oob,
         issue: SimTime,
     ) -> Result<SimTime, OpFailure> {
+        if self.crashed {
+            return Ok(issue);
+        }
+        if self.crash_due(issue) {
+            match self.device.tear_program_subpage(addr) {
+                Ok(()) => {
+                    self.crashed = true;
+                    return Ok(issue);
+                }
+                Err(error) => {
+                    if self.time_crash() {
+                        self.crashed = true;
+                        return Ok(issue);
+                    }
+                    return Err(OpFailure { error, at: issue });
+                }
+            }
+        }
         match self.device.program_subpage(addr, oob, issue) {
-            Ok(()) => Ok(self.schedule_write(addr.page.block, OpKind::ProgramSubpage, issue)),
+            Ok(()) => {
+                self.commands_issued += 1;
+                Ok(self.schedule_write(addr.page.block, OpKind::ProgramSubpage, issue))
+            }
             Err(error @ NandError::ProgramFailed) => {
+                self.commands_issued += 1;
                 let at = self.schedule_write(addr.page.block, OpKind::ProgramSubpage, issue);
                 Err(OpFailure { error, at })
             }
@@ -322,6 +448,14 @@ impl Ssd {
         addr: SubpageAddr,
         issue: SimTime,
     ) -> (Result<Oob, ReadFault>, SimTime) {
+        if self.crashed || self.crash_due(issue) {
+            // A read cut by power loss returns nothing and corrupts
+            // nothing: the sense never completed and the cells are
+            // untouched.
+            self.crashed |= self.crash_point.is_some();
+            return (Err(ReadFault::PowerLoss), issue);
+        }
+        self.commands_issued += 1;
         let data = self.device.read_subpage(addr, issue);
         let done = self.schedule_read(addr.page.block, OpKind::ReadSubpage, issue);
         (data, done)
@@ -337,6 +471,11 @@ impl Ssd {
         issue: SimTime,
     ) -> (Vec<Result<Oob, ReadFault>>, SimTime) {
         let n = self.geometry().subpages_per_page;
+        if self.crashed || self.crash_due(issue) {
+            self.crashed |= self.crash_point.is_some();
+            return (vec![Err(ReadFault::PowerLoss); n as usize], issue);
+        }
+        self.commands_issued += 1;
         let results: Vec<_> = (0..n)
             .map(|slot| self.device.read_subpage(page.subpage(slot as u8), issue))
             .collect();
@@ -361,9 +500,31 @@ impl Ssd {
     /// [`NandError::EraseFailed`] costs a full erase and leaves the block
     /// marked bad.
     pub fn erase(&mut self, block: BlockAddr, issue: SimTime) -> Result<SimTime, OpFailure> {
+        if self.crashed {
+            return Ok(issue);
+        }
+        if self.crash_due(issue) {
+            match self.device.tear_erase(block) {
+                Ok(()) => {
+                    self.crashed = true;
+                    return Ok(issue);
+                }
+                Err(error) => {
+                    if self.time_crash() {
+                        self.crashed = true;
+                        return Ok(issue);
+                    }
+                    return Err(OpFailure { error, at: issue });
+                }
+            }
+        }
         match self.device.erase(block, issue) {
-            Ok(()) => Ok(self.schedule_erase(block, issue)),
+            Ok(()) => {
+                self.commands_issued += 1;
+                Ok(self.schedule_erase(block, issue))
+            }
             Err(error @ NandError::EraseFailed) => {
+                self.commands_issued += 1;
                 let at = self.schedule_erase(block, issue);
                 Err(OpFailure { error, at })
             }
@@ -618,6 +779,105 @@ mod tests {
             .unwrap();
         let cell = s.device().op_cost(OpKind::ProgramFull).cell;
         assert_eq!(d2.saturating_since(d0), cell);
+    }
+
+    #[test]
+    fn crash_at_nth_command_tears_it_and_freezes_the_device() {
+        let mut s = ssd();
+        let page = s.geometry().block_addr(0).page(0);
+        s.set_crash_point(CrashPoint::Command(2));
+        s.program_subpage(page.subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(s.commands_issued(), 1);
+        assert!(!s.crashed());
+        let before = s.makespan();
+        // Command 2 is torn: reported Ok, costs nothing, tears the slot and
+        // destroys the sibling programmed by command 1.
+        let done = s
+            .program_subpage(page.subpage(1), oob(2), SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(done, SimTime::from_secs(1));
+        assert!(s.crashed());
+        assert_eq!(s.commands_issued(), 1, "the torn command does not count");
+        assert_eq!(s.makespan(), before);
+        // Power is off: programs are dropped, reads fail with PowerLoss.
+        s.program_subpage(page.subpage(2), oob(3), SimTime::from_secs(2))
+            .unwrap();
+        let (r, at) = s.read_subpage(page.subpage(0), SimTime::from_secs(3));
+        assert_eq!(r, Err(ReadFault::PowerLoss));
+        assert_eq!(at, SimTime::from_secs(3));
+        let (rs, _) = s.read_full(page, SimTime::from_secs(3));
+        assert!(rs.iter().all(|r| *r == Err(ReadFault::PowerLoss)));
+        // Power restored: the torn state is visible on the array.
+        s.clear_crash();
+        let (r0, _) = s.read_subpage(page.subpage(0), SimTime::from_secs(4));
+        assert_eq!(r0, Err(ReadFault::DestroyedByProgram));
+        let (r1, _) = s.read_subpage(page.subpage(1), SimTime::from_secs(4));
+        assert_eq!(r1, Err(ReadFault::Torn));
+        let (r2, _) = s.read_subpage(page.subpage(2), SimTime::from_secs(4));
+        assert_eq!(r2, Err(ReadFault::NotWritten), "dropped program never ran");
+    }
+
+    #[test]
+    fn crash_by_time_fires_on_first_command_at_or_after_the_instant() {
+        let mut s = ssd();
+        let blk = s.geometry().block_addr(0);
+        s.set_crash_point(CrashPoint::Time(SimTime::from_micros(50)));
+        s.program_subpage(blk.page(0).subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        assert!(!s.crashed());
+        // First command issued past the instant: the erase is torn.
+        s.erase(blk, SimTime::from_micros(60)).unwrap();
+        assert!(s.crashed());
+        s.clear_crash();
+        assert!(s.device().is_torn(blk));
+        assert_eq!(s.device().stats().torn_erases, 1);
+        // The torn block rejects programs until a completed re-erase.
+        let err = s
+            .program_subpage(blk.page(0).subpage(0), oob(2), SimTime::from_secs(1))
+            .unwrap_err();
+        assert_eq!(err.error, NandError::TornBlock);
+        s.erase(blk, SimTime::from_secs(1)).unwrap();
+        assert!(!s.device().is_torn(blk));
+    }
+
+    #[test]
+    fn command_crash_skips_illegal_commands() {
+        let mut s = ssd();
+        let g = s.geometry().clone();
+        let page = g.block_addr(0).page(0);
+        s.program_full(page, &[None; 4], SimTime::ZERO).unwrap();
+        s.set_crash_point(CrashPoint::Command(2));
+        // Illegal command (dirty-page full program): rejected as usual, the
+        // crash stays armed because nothing executed.
+        let err = s
+            .program_full(page, &[None; 4], SimTime::from_secs(1))
+            .unwrap_err();
+        assert_eq!(err.error, NandError::ProgramOnDirtyPage);
+        assert!(!s.crashed());
+        // The next *executed* command is the one that tears.
+        s.erase(page.block, SimTime::from_secs(2)).unwrap();
+        assert!(s.crashed());
+        assert!(s.device().is_torn(page.block));
+    }
+
+    #[test]
+    fn crashed_read_never_reaches_the_array() {
+        let mut s = ssd();
+        let page = s.geometry().block_addr(0).page(0);
+        s.program_subpage(page.subpage(0), oob(7), SimTime::ZERO)
+            .unwrap();
+        s.set_crash_point(CrashPoint::Command(2));
+        let before = s.makespan();
+        let (r, at) = s.read_subpage(page.subpage(0), SimTime::from_secs(1));
+        assert_eq!(r, Err(ReadFault::PowerLoss));
+        assert_eq!(at, SimTime::from_secs(1));
+        assert!(s.crashed());
+        assert_eq!(s.makespan(), before, "a cut read charges no time");
+        // After power-on the data is intact: reads do not corrupt.
+        s.clear_crash();
+        let (r, _) = s.read_subpage(page.subpage(0), SimTime::from_secs(2));
+        assert_eq!(r.unwrap().lsn, 7);
     }
 
     #[test]

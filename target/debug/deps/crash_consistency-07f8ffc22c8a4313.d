@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_consistency-07f8ffc22c8a4313.d: crates/core/tests/crash_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_consistency-07f8ffc22c8a4313.rmeta: crates/core/tests/crash_consistency.rs Cargo.toml
+
+crates/core/tests/crash_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_consistency-687299038a5ffbc1.d: crates/core/tests/crash_consistency.rs
+
+/root/repo/target/debug/deps/crash_consistency-687299038a5ffbc1: crates/core/tests/crash_consistency.rs
+
+crates/core/tests/crash_consistency.rs:

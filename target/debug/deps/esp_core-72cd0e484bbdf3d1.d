@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/esp_core-72cd0e484bbdf3d1.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
+/root/repo/target/debug/deps/esp_core-72cd0e484bbdf3d1.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/crash_harness.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
 
-/root/repo/target/debug/deps/libesp_core-72cd0e484bbdf3d1.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
+/root/repo/target/debug/deps/libesp_core-72cd0e484bbdf3d1.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/crash_harness.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
 
-/root/repo/target/debug/deps/libesp_core-72cd0e484bbdf3d1.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
+/root/repo/target/debug/deps/libesp_core-72cd0e484bbdf3d1.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/crash_harness.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
 
 crates/core/src/lib.rs:
 crates/core/src/buffer.rs:
 crates/core/src/cgm.rs:
 crates/core/src/config.rs:
+crates/core/src/crash_harness.rs:
 crates/core/src/fgm.rs:
 crates/core/src/full_region.rs:
 crates/core/src/read_path.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/esp_core-ed200ae0438a5313.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs Cargo.toml
+/root/repo/target/debug/deps/esp_core-ed200ae0438a5313.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/crash_harness.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs Cargo.toml
 
-/root/repo/target/debug/deps/libesp_core-ed200ae0438a5313.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs Cargo.toml
+/root/repo/target/debug/deps/libesp_core-ed200ae0438a5313.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/crash_harness.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/buffer.rs:
 crates/core/src/cgm.rs:
 crates/core/src/config.rs:
+crates/core/src/crash_harness.rs:
 crates/core/src/fgm.rs:
 crates/core/src/full_region.rs:
 crates/core/src/read_path.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/esp_core-c0402f513ebc52fd.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
+/root/repo/target/release/deps/esp_core-c0402f513ebc52fd.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/crash_harness.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
 
-/root/repo/target/release/deps/libesp_core-c0402f513ebc52fd.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
+/root/repo/target/release/deps/libesp_core-c0402f513ebc52fd.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/crash_harness.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
 
-/root/repo/target/release/deps/libesp_core-c0402f513ebc52fd.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
+/root/repo/target/release/deps/libesp_core-c0402f513ebc52fd.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/cgm.rs crates/core/src/config.rs crates/core/src/crash_harness.rs crates/core/src/fgm.rs crates/core/src/full_region.rs crates/core/src/read_path.rs crates/core/src/recovery.rs crates/core/src/runner.rs crates/core/src/sector_log.rs crates/core/src/stats.rs crates/core/src/sub.rs crates/core/src/sub_map.rs
 
 crates/core/src/lib.rs:
 crates/core/src/buffer.rs:
 crates/core/src/cgm.rs:
 crates/core/src/config.rs:
+crates/core/src/crash_harness.rs:
 crates/core/src/fgm.rs:
 crates/core/src/full_region.rs:
 crates/core/src/read_path.rs:
