@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crash_consistency-8b09c48b5a19d9cb.d: crates/core/tests/crash_consistency.rs
+
+/root/repo/target/release/deps/crash_consistency-8b09c48b5a19d9cb: crates/core/tests/crash_consistency.rs
+
+crates/core/tests/crash_consistency.rs:
