@@ -14,7 +14,7 @@ use esp_workload::SECTORS_PER_PAGE;
 use crate::buffer::{FlushChunk, WriteBuffer};
 use crate::config::FtlConfig;
 use crate::full_region::FullRegionEngine;
-use crate::read_path::read_sectors_coarse;
+use crate::read_path::{read_sectors_coarse, ReadReliability};
 use crate::runner::Ftl;
 use crate::stats::FtlStats;
 
@@ -40,6 +40,7 @@ pub struct CgmFtl {
     stats: FtlStats,
     seq: u64,
     logical_sectors: u64,
+    reliability: ReadReliability,
 }
 
 impl CgmFtl {
@@ -69,6 +70,8 @@ impl CgmFtl {
         if let Some(f) = &config.fault {
             ssd.device_mut().set_faults(f.clone());
         }
+        ssd.device_mut()
+            .set_retry_ladder(config.retry_ladder.clone());
         let logical_sectors = config.logical_sectors();
         let lpn_count = logical_sectors / u64::from(SECTORS_PER_PAGE);
         let all_blocks: Vec<u32> = (0..config.geometry.block_count()).collect();
@@ -94,6 +97,7 @@ impl CgmFtl {
             stats,
             seq: 0,
             logical_sectors,
+            reliability: ReadReliability::new(config),
         }
     }
 
@@ -239,6 +243,9 @@ impl Ftl for CgmFtl {
             lsn + u64::from(sectors) <= self.logical_sectors,
             "write beyond logical capacity"
         );
+        if self.reliability.refuse_write(&mut self.stats) {
+            return issue;
+        }
         self.stats.host_write_requests += 1;
         self.stats.host_write_sectors += u64::from(sectors);
         let small = sectors < SECTORS_PER_PAGE;
@@ -262,14 +269,44 @@ impl Ftl for CgmFtl {
     fn read(&mut self, lsn: u64, sectors: u32, issue: SimTime) -> SimTime {
         self.stats.host_read_requests += 1;
         self.stats.host_read_sectors += u64::from(sectors);
+        let mut reclaim = Vec::new();
         let CgmFtl {
             ssd,
             engine,
             buffer,
             stats,
+            reliability,
             ..
         } = self;
-        read_sectors_coarse(lsn, sectors, issue, ssd, engine, buffer, stats)
+        let (mut done, faulted) = read_sectors_coarse(
+            lsn,
+            sectors,
+            issue,
+            ssd,
+            engine,
+            buffer,
+            stats,
+            reliability,
+            &mut reclaim,
+        );
+        self.reliability.note_host_read(faulted, &mut self.stats);
+        for lpn in reclaim {
+            done = done.max(
+                self.engine
+                    .reclaim_page(lpn, &mut self.ssd, &mut self.stats, done),
+            );
+        }
+        done
+    }
+
+    fn maintain(&mut self, now: SimTime) {
+        let reads = self.ssd.device().stats().reads;
+        if self.reliability.patrol_due(reads) {
+            if let Some(limit) = self.reliability.scrub_limit() {
+                self.engine
+                    .scrub_disturbed(&mut self.ssd, &mut self.stats, limit, now);
+            }
+        }
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
@@ -496,6 +533,69 @@ mod tests {
         let issue = SimTime::from_secs(1);
         assert_eq!(ftl.read(100, 2, issue), issue);
         assert_eq!(ftl.stats().read_faults, 0);
+    }
+
+    #[test]
+    fn hot_reads_stay_correctable_with_ladder_and_reclaim() {
+        use esp_nand::{RetentionModel, RetryLadder};
+        let mut config = FtlConfig::tiny();
+        config.retention = RetentionModel::paper_default().with_read_disturb(2e-2);
+        config.retry_ladder = Some(RetryLadder::paper_default());
+        config.reclaim_threshold = Some(2);
+        let mut ftl = CgmFtl::new(&config);
+        ftl.write(0, 4, true, SimTime::ZERO);
+        // Hammer one page far past the bare-ECC disturb budget (~108
+        // senses at 2e-2 per read over a fresh block).
+        let mut now = SimTime::from_secs(1);
+        for _ in 0..600 {
+            ftl.maintain(now);
+            now = ftl.read(0, 4, now);
+        }
+        assert_eq!(ftl.stats().read_faults, 0, "pipeline must keep data alive");
+        assert!(
+            ftl.stats().read_reclaims > 0 || ftl.stats().disturb_scrubs > 0,
+            "mitigation must actually have run"
+        );
+        assert!(
+            ftl.ssd().device().stats().recovered_reads > 0,
+            "the ladder carried reads past the base limit"
+        );
+    }
+
+    #[test]
+    fn hot_reads_without_mitigation_lose_data_and_can_latch_read_only() {
+        use esp_nand::RetentionModel;
+        let mut config = FtlConfig::tiny();
+        config.retention = RetentionModel::paper_default().with_read_disturb(2e-2);
+        config.read_only_on_loss = true;
+        let mut ftl = CgmFtl::new(&config);
+        ftl.write(0, 4, true, SimTime::ZERO);
+        let mut now = SimTime::from_secs(1);
+        for _ in 0..300 {
+            now = ftl.read(0, 4, now);
+        }
+        assert!(
+            ftl.stats().read_faults > 0,
+            "no ladder, no reclaim: disturb must eventually win"
+        );
+        assert_eq!(
+            ftl.stats().read_faults_retention,
+            ftl.stats().read_faults,
+            "every fault here is a BER (retention-class) fault"
+        );
+        assert_eq!(ftl.stats().read_only_trips, 1);
+        let before = ftl.ssd().device().stats().full_programs;
+        ftl.write(8, 4, true, now);
+        assert_eq!(
+            ftl.stats().writes_dropped_read_only,
+            1,
+            "latched FTL refuses writes"
+        );
+        assert_eq!(
+            ftl.ssd().device().stats().full_programs,
+            before,
+            "refused write must not touch flash"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use esp_nand::{FaultConfig, Geometry, NandTiming, RetentionModel};
+use esp_nand::{FaultConfig, Geometry, NandTiming, RetentionModel, RetryLadder};
 use esp_sim::SimDuration;
 use esp_workload::SECTORS_PER_PAGE;
 
@@ -130,6 +130,24 @@ pub struct FtlConfig {
     /// the fast paths match the paper and stay bit-identical to
     /// pre-crash-model builds.
     pub crash_safe_mode: bool,
+    /// Tiered read-retry ladder installed on the device: reads whose BER
+    /// lands above the base ECC limit are re-sensed at shifted reference
+    /// voltages (each step charging extra cell time) and finally soft
+    /// decoded, instead of failing outright. `None` — the default — keeps
+    /// the single-sense behaviour and every baseline result bit-identical.
+    pub retry_ladder: Option<RetryLadder>,
+    /// Read-reclaim: a read that needed at least this many hard ladder
+    /// rungs (or the soft-decode pass) has its data relocated to a fresh
+    /// location, resetting its retention age and escaping its disturbed
+    /// block. Also enables the background read-disturb patrol when the
+    /// retention model charges a per-read disturb term. Requires
+    /// `retry_ladder`; `None` disables reclaim and the patrol.
+    pub reclaim_threshold: Option<u32>,
+    /// Graceful degradation: after the first uncorrectable host read the
+    /// FTL latches read-only (subsequent writes are refused and counted in
+    /// `writes_dropped_read_only`), preserving remaining data for salvage
+    /// instead of continuing to mutate a failing device. Off by default.
+    pub read_only_on_loss: bool,
 }
 
 impl FtlConfig {
@@ -153,6 +171,9 @@ impl FtlConfig {
             planes_per_chip: 1,
             fault: None,
             crash_safe_mode: false,
+            retry_ladder: None,
+            reclaim_threshold: None,
+            read_only_on_loss: false,
         }
     }
 
@@ -238,6 +259,24 @@ impl FtlConfig {
         }
         if self.retention_threshold >= SimDuration::from_months(1) {
             return Err("retention_threshold must be below the 1-month device bound".into());
+        }
+        if let Some(ladder) = &self.retry_ladder {
+            ladder.validate()?;
+        }
+        if let Some(threshold) = self.reclaim_threshold {
+            let Some(ladder) = &self.retry_ladder else {
+                return Err("reclaim_threshold requires a retry_ladder".into());
+            };
+            if threshold == 0 {
+                return Err("reclaim_threshold must be at least 1 rung".into());
+            }
+            if threshold > ladder.hard_steps {
+                return Err(format!(
+                    "reclaim_threshold ({threshold}) exceeds the ladder's \
+                     {} hard steps; no hard-step read could ever trigger it",
+                    ladder.hard_steps
+                ));
+            }
         }
         if let Some(fault) = &self.fault {
             fault.validate()?;
@@ -339,6 +378,47 @@ mod tests {
                 ..FaultConfig::default()
             }),
             ..FtlConfig::tiny()
+        };
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_checks_read_reliability_knobs() {
+        // Reclaim without a ladder is rejected.
+        let cfg = FtlConfig {
+            reclaim_threshold: Some(2),
+            ..FtlConfig::paper_default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("retry_ladder"));
+        // Zero rungs rejected; beyond the ladder rejected.
+        let cfg = FtlConfig {
+            retry_ladder: Some(RetryLadder::paper_default()),
+            reclaim_threshold: Some(0),
+            ..FtlConfig::paper_default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = FtlConfig {
+            retry_ladder: Some(RetryLadder::paper_default()),
+            reclaim_threshold: Some(9),
+            ..FtlConfig::paper_default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("hard steps"));
+        // A degenerate ladder is caught by its own validation.
+        let cfg = FtlConfig {
+            retry_ladder: Some(RetryLadder {
+                hard_steps: 0,
+                step_uplift: 0.0,
+                soft_uplift: 0.0,
+            }),
+            ..FtlConfig::paper_default()
+        };
+        assert!(cfg.validate().is_err());
+        // The full stack validates.
+        let cfg = FtlConfig {
+            retry_ladder: Some(RetryLadder::paper_default()),
+            reclaim_threshold: Some(2),
+            read_only_on_loss: true,
+            ..FtlConfig::paper_default()
         };
         cfg.validate().unwrap();
     }

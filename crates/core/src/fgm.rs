@@ -16,7 +16,7 @@ use esp_workload::SECTORS_PER_PAGE;
 
 use crate::buffer::{FlushChunk, WriteBuffer};
 use crate::config::FtlConfig;
-use crate::read_path::note_read_result;
+use crate::read_path::{note_read_result, ReadReliability};
 use crate::runner::Ftl;
 use crate::stats::FtlStats;
 
@@ -77,6 +77,7 @@ pub struct FgmFtl {
     nsub: u32,
     watermark: u32,
     background_gc: bool,
+    reliability: ReadReliability,
 }
 
 impl FgmFtl {
@@ -106,6 +107,8 @@ impl FgmFtl {
         if let Some(f) = &config.fault {
             ssd.device_mut().set_faults(f.clone());
         }
+        ssd.device_mut()
+            .set_retry_ladder(config.retry_ladder.clone());
         let g = &config.geometry;
         let blocks: Vec<FgmBlock> = (0..g.block_count())
             .map(|gbi| FgmBlock::new(gbi, g.pages_per_block, g.subpages_per_page))
@@ -128,6 +131,7 @@ impl FgmFtl {
             nsub: g.subpages_per_page,
             watermark: config.gc_free_watermark,
             background_gc: config.background_gc,
+            reliability: ReadReliability::new(config),
         };
         // Exclude factory-marked and previously grown bad blocks (local
         // block index == gbi here).
@@ -416,6 +420,13 @@ impl FgmFtl {
             "fgm region overcommitted: victim fully valid"
         );
         self.stats.gc_invocations += 1;
+        self.collect_block(victim, issue)
+    }
+
+    /// Relocates every valid sector of `victim` (repacked `N_sub` to a
+    /// page) and erases it. Shared by GC victim collection and the
+    /// read-disturb patrol, which may collect fully-valid blocks.
+    fn collect_block(&mut self, victim: u32, issue: SimTime) -> SimTime {
         let gbi = self.blocks[victim as usize].gbi;
         let mut now = issue;
         // Collect surviving sectors, then repack them 4-to-a-page.
@@ -478,6 +489,62 @@ impl FgmFtl {
         now
     }
 
+    /// Read-disturb patrol: relocates and erases every block whose sense
+    /// count since its last erase reached `limit`. Open blocks are closed
+    /// first so they stop absorbing senses.
+    fn scrub_disturbed(&mut self, limit: u64, issue: SimTime) -> SimTime {
+        let mut now = issue;
+        while !self.ssd.crashed() {
+            let victim = (0..self.blocks.len() as u32).find(|&b| {
+                let blk = &self.blocks[b as usize];
+                !blk.retired
+                    && blk.programmed_pages > 0
+                    && self
+                        .ssd
+                        .device()
+                        .reads_since_erase(self.ssd.geometry().block_addr(blk.gbi))
+                        >= limit
+            });
+            let Some(victim) = victim else { break };
+            for a in &mut self.actives {
+                if *a == Some(victim) {
+                    *a = None;
+                }
+            }
+            self.blocks[victim as usize].programmed_pages = self.pages_per_block;
+            // Copy-out needs allocatable space; GC here may collect (and
+            // thereby scrub) the victim itself, so re-check before taking
+            // it — a completed erase already reset its sense count.
+            now = self.ensure_space(now);
+            let addr = self
+                .ssd
+                .geometry()
+                .block_addr(self.blocks[victim as usize].gbi);
+            if self.ssd.device().reads_since_erase(addr) >= limit && !self.ssd.crashed() {
+                now = self.collect_block(victim, now);
+                self.stats.disturb_scrubs += 1;
+            }
+        }
+        now
+    }
+
+    /// Read-reclaim: rewrites the given `(lsn, seq)` survivors of a
+    /// charged read to fresh pages, escaping their disturbed/aged blocks.
+    fn reclaim_sectors(&mut self, sectors: &[(u64, u64)], issue: SimTime) -> SimTime {
+        let mut now = issue;
+        for group in sectors.chunks(self.nsub as usize) {
+            now = self.ensure_space(now);
+            if self.ssd.crashed() {
+                return now;
+            }
+            now = self.program_group(group, now);
+            self.stats.read_reclaims += group.len() as u64;
+            self.stats.gc_copied_sectors += group.len() as u64;
+            self.stats.gc_flash_sectors += u64::from(SECTORS_PER_PAGE);
+        }
+        now
+    }
+
     /// Writes flush chunks out. Following the paper's FGM definition, the
     /// write buffer merges "small writes with **consecutive logical block
     /// addresses** into one sequential write" (§4.1): each contiguous chunk
@@ -530,6 +597,9 @@ impl Ftl for FgmFtl {
             lsn + u64::from(sectors) <= self.logical_sectors,
             "write beyond logical capacity"
         );
+        if self.reliability.refuse_write(&mut self.stats) {
+            return issue;
+        }
         self.stats.host_write_requests += 1;
         self.stats.host_write_sectors += u64::from(sectors);
         let small = sectors < SECTORS_PER_PAGE;
@@ -569,23 +639,50 @@ impl Ftl for FgmFtl {
             by_page.entry((b, p)).or_default().push((s, slot));
         }
         let mut done = issue;
+        let mut faulted = false;
+        let mut reclaim: Vec<(u64, u64)> = Vec::new();
         for ((block, page), sectors) in by_page {
             let gbi = self.blocks[block as usize].gbi;
             let addr = self.ssd.geometry().block_addr(gbi).page(page);
             if sectors.len() >= 2 {
-                let (slots, t) = self.ssd.read_full(addr, issue);
+                let (slots, effort, t) = self.ssd.read_full_graded(addr, issue);
                 for (s, slot) in sectors {
-                    note_read_result(&slots[slot as usize], s, &mut self.stats);
+                    faulted |= note_read_result(&slots[slot as usize], s, &mut self.stats);
+                    if self.reliability.wants_reclaim(effort) {
+                        if let Ok(oob) = &slots[slot as usize] {
+                            reclaim.push((oob.lsn, oob.seq));
+                        }
+                    }
                 }
                 done = done.max(t);
             } else {
                 let (s, slot) = sectors[0];
-                let (r, t) = self.ssd.read_subpage(addr.subpage(slot as u8), issue);
-                note_read_result(&r, s, &mut self.stats);
+                let (r, effort, t) = self
+                    .ssd
+                    .read_subpage_graded(addr.subpage(slot as u8), issue);
+                faulted |= note_read_result(&r, s, &mut self.stats);
+                if self.reliability.wants_reclaim(effort) {
+                    if let Ok(oob) = &r {
+                        reclaim.push((oob.lsn, oob.seq));
+                    }
+                }
                 done = done.max(t);
             }
         }
+        self.reliability.note_host_read(faulted, &mut self.stats);
+        if !reclaim.is_empty() {
+            done = done.max(self.reclaim_sectors(&reclaim, done));
+        }
         done
+    }
+
+    fn maintain(&mut self, now: SimTime) {
+        let reads = self.ssd.device().stats().reads;
+        if self.reliability.patrol_due(reads) {
+            if let Some(limit) = self.reliability.scrub_limit() {
+                self.scrub_disturbed(limit, now);
+            }
+        }
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
@@ -808,6 +905,31 @@ mod tests {
             "faults must never corrupt reads"
         );
         assert!(report.stats.write_retries > 0, "p=0.02 must force retries");
+    }
+
+    #[test]
+    fn hot_reads_stay_correctable_with_ladder_and_reclaim() {
+        use esp_nand::{RetentionModel, RetryLadder};
+        let mut config = FtlConfig::tiny();
+        config.retention = RetentionModel::paper_default().with_read_disturb(2e-2);
+        config.retry_ladder = Some(RetryLadder::paper_default());
+        config.reclaim_threshold = Some(2);
+        let mut ftl = FgmFtl::new(&config);
+        // One fragmented sync sector: lives alone on a page, then gets
+        // hammered far past the bare-ECC disturb budget.
+        ftl.write(5, 1, true, SimTime::ZERO);
+        let mut now = SimTime::from_secs(1);
+        for _ in 0..600 {
+            ftl.maintain(now);
+            now = ftl.read(5, 1, now);
+        }
+        assert_eq!(ftl.stats().read_faults, 0, "pipeline must keep data alive");
+        assert!(
+            ftl.stats().read_reclaims > 0 || ftl.stats().disturb_scrubs > 0,
+            "mitigation must actually have run"
+        );
+        // The sector is still the newest durable version.
+        assert!(ftl.stored_seq(5).is_some());
     }
 
     #[test]

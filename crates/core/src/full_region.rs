@@ -393,6 +393,81 @@ impl FullRegionEngine {
         now
     }
 
+    /// Read-reclaim: rewrites the current copy of `lpn` to a fresh page,
+    /// resetting its retention age and escaping its (disturbed) block.
+    /// Slots that are already uncorrectable are dropped — relocation
+    /// preserves whatever the ladder can still recover. No-op if `lpn` is
+    /// unmapped or nothing on the page is recoverable.
+    pub fn reclaim_page(
+        &mut self,
+        lpn: u64,
+        ssd: &mut Ssd,
+        stats: &mut FtlStats,
+        issue: SimTime,
+    ) -> SimTime {
+        let Some(ptr) = self.lookup(lpn) else {
+            return issue;
+        };
+        let addr = self.page_addr(ptr, ssd);
+        let (slots, read_done) = ssd.read_full(addr, issue);
+        if ssd.crashed() {
+            return issue;
+        }
+        let oobs: Vec<Option<Oob>> = slots.iter().map(|r| r.as_ref().ok().copied()).collect();
+        let data_sectors = oobs.iter().flatten().count() as u64;
+        if data_sectors == 0 {
+            return read_done;
+        }
+        let ready = self.ensure_space(ssd, stats, read_done);
+        let done = self.program_internal(lpn, &oobs, ssd, stats, ready);
+        stats.read_reclaims += 1;
+        stats.gc_copied_sectors += data_sectors;
+        stats.gc_flash_sectors += u64::from(SECTORS_PER_PAGE);
+        done
+    }
+
+    /// Read-disturb patrol: relocates and erases every block whose sense
+    /// count since its last erase reached `limit` (the erase discharges the
+    /// accumulated disturb). Open blocks are closed first so they stop
+    /// absorbing senses. Returns when the last scrub completes.
+    pub fn scrub_disturbed(
+        &mut self,
+        ssd: &mut Ssd,
+        stats: &mut FtlStats,
+        limit: u64,
+        issue: SimTime,
+    ) -> SimTime {
+        let mut now = issue;
+        while !ssd.crashed() {
+            let victim = (0..self.blocks.len() as u32).find(|&b| {
+                let blk = &self.blocks[b as usize];
+                !blk.retired
+                    && blk.programmed > 0
+                    && ssd
+                        .device()
+                        .reads_since_erase(ssd.geometry().block_addr(blk.gbi))
+                        >= limit
+            });
+            let Some(victim) = victim else { break };
+            for a in &mut self.actives {
+                if *a == Some(victim) {
+                    *a = None;
+                }
+            }
+            self.blocks[victim as usize].programmed = self.pages_per_block;
+            // Copy-out needs allocatable space; GC here may collect (and
+            // thereby scrub) the victim itself, so re-check before taking
+            // it — a completed erase already reset its sense count.
+            now = self.ensure_space(ssd, stats, now);
+            let addr = ssd.geometry().block_addr(self.blocks[victim as usize].gbi);
+            if ssd.device().reads_since_erase(addr) >= limit && !ssd.crashed() {
+                now = self.collect_block(victim, ssd, stats, now);
+                stats.disturb_scrubs += 1;
+            }
+        }
+        now
+    }
+
     fn pick_victim(&self) -> Option<u32> {
         self.blocks
             .iter()
@@ -416,6 +491,19 @@ impl FullRegionEngine {
             "full region overcommitted: best victim has no invalid pages"
         );
         stats.gc_invocations += 1;
+        self.collect_block(victim, ssd, stats, issue)
+    }
+
+    /// Relocates every valid page of `victim` and erases it (shared by GC
+    /// victim collection and the read-disturb patrol, which may collect
+    /// fully-valid blocks).
+    fn collect_block(
+        &mut self,
+        victim: u32,
+        ssd: &mut Ssd,
+        stats: &mut FtlStats,
+        issue: SimTime,
+    ) -> SimTime {
         let mut now = issue;
         let gbi = self.blocks[victim as usize].gbi;
         for page in 0..self.pages_per_block {
@@ -993,6 +1081,52 @@ mod tests {
             .block(ssd.geometry().block_addr(7))
             .page(0)
             .is_erased());
+    }
+
+    #[test]
+    fn reclaim_page_moves_data_to_a_fresh_location() {
+        let (mut ssd, mut eng, mut stats) = setup();
+        eng.program_page(3, &full_oobs(3), &mut ssd, &mut stats, SimTime::ZERO);
+        let before = eng.lookup(3).unwrap();
+        let done = eng.reclaim_page(3, &mut ssd, &mut stats, SimTime::ZERO);
+        let after = eng.lookup(3).unwrap();
+        assert_ne!(before, after, "reclaim must relocate the page");
+        assert!(done > SimTime::ZERO, "reclaim charges read + program time");
+        assert_eq!(stats.read_reclaims, 1);
+        assert_eq!(eng.valid_pages(), 1, "old copy invalidated");
+        let (slots, _) = ssd.read_full(eng.page_addr(after, &ssd), done);
+        assert_eq!(slots[0].as_ref().unwrap().lsn, 12);
+        // Unmapped lpns are a no-op.
+        let t = eng.reclaim_page(30, &mut ssd, &mut stats, done);
+        assert_eq!(t, done);
+        assert_eq!(stats.read_reclaims, 1);
+    }
+
+    #[test]
+    fn scrub_relocates_disturbed_blocks_and_discharges_them() {
+        let (mut ssd, mut eng, mut stats) = setup();
+        eng.program_page(7, &full_oobs(7), &mut ssd, &mut stats, SimTime::ZERO);
+        let ptr = eng.lookup(7).unwrap();
+        let old_gbi = eng.blocks[ptr.block as usize].gbi;
+        let addr = eng.page_addr(ptr, &ssd);
+        // Hammer the page until the block accumulates 50 senses.
+        for _ in 0..50 {
+            let _ = ssd.read_full(addr, SimTime::ZERO);
+        }
+        let old_block = ssd.geometry().block_addr(old_gbi);
+        assert_eq!(ssd.device().reads_since_erase(old_block), 50);
+        eng.scrub_disturbed(&mut ssd, &mut stats, 50, SimTime::ZERO);
+        assert_eq!(stats.disturb_scrubs, 1);
+        // The block was erased (sense counter discharged) and the data
+        // lives elsewhere, still readable.
+        assert_eq!(ssd.device().reads_since_erase(old_block), 0);
+        let after = eng.lookup(7).unwrap();
+        assert_ne!(eng.blocks[after.block as usize].gbi, old_gbi);
+        let (slots, _) = ssd.read_full(eng.page_addr(after, &ssd), SimTime::ZERO);
+        assert_eq!(slots[0].as_ref().unwrap().lsn, 28);
+        // A second sweep finds nothing above the limit.
+        eng.scrub_disturbed(&mut ssd, &mut stats, 50, SimTime::ZERO);
+        assert_eq!(stats.disturb_scrubs, 1);
     }
 
     #[test]

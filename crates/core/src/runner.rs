@@ -132,6 +132,24 @@ impl FtlStats {
                 .saturating_sub(earlier.retention_evictions),
             wear_swaps: self.wear_swaps.saturating_sub(earlier.wear_swaps),
             read_faults: self.read_faults.saturating_sub(earlier.read_faults),
+            read_faults_destroyed: self
+                .read_faults_destroyed
+                .saturating_sub(earlier.read_faults_destroyed),
+            read_faults_retention: self
+                .read_faults_retention
+                .saturating_sub(earlier.read_faults_retention),
+            read_faults_torn: self
+                .read_faults_torn
+                .saturating_sub(earlier.read_faults_torn),
+            read_faults_injected: self
+                .read_faults_injected
+                .saturating_sub(earlier.read_faults_injected),
+            read_reclaims: self.read_reclaims.saturating_sub(earlier.read_reclaims),
+            disturb_scrubs: self.disturb_scrubs.saturating_sub(earlier.disturb_scrubs),
+            read_only_trips: self.read_only_trips.saturating_sub(earlier.read_only_trips),
+            writes_dropped_read_only: self
+                .writes_dropped_read_only
+                .saturating_sub(earlier.writes_dropped_read_only),
             program_failures: self
                 .program_failures
                 .saturating_sub(earlier.program_failures),
@@ -242,6 +260,9 @@ pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: us
             dev.full_programs.saturating_sub(dev0.full_programs),
             dev.subpage_programs.saturating_sub(dev0.subpage_programs),
         ),
+        recovered_reads: dev.recovered_reads.saturating_sub(dev0.recovered_reads),
+        retry_steps: dev.retry_steps.saturating_sub(dev0.retry_steps),
+        soft_decodes: dev.soft_decodes.saturating_sub(dev0.soft_decodes),
         latency,
     }
 }

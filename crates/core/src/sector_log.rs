@@ -23,7 +23,7 @@ use esp_workload::SECTORS_PER_PAGE;
 use crate::buffer::{FlushChunk, WriteBuffer};
 use crate::config::FtlConfig;
 use crate::full_region::FullRegionEngine;
-use crate::read_path::note_read_result;
+use crate::read_path::{note_read_result, ReadReliability};
 use crate::runner::Ftl;
 use crate::stats::FtlStats;
 use crate::sub_map::{SubEntry, SubpageMap};
@@ -84,6 +84,7 @@ pub struct SectorLogFtl {
     pages_per_block: u32,
     nsub: u32,
     watermark: u32,
+    reliability: ReadReliability,
 }
 
 impl SectorLogFtl {
@@ -115,6 +116,8 @@ impl SectorLogFtl {
         if let Some(f) = &config.fault {
             ssd.device_mut().set_faults(f.clone());
         }
+        ssd.device_mut()
+            .set_retry_ladder(config.retry_ladder.clone());
         let g = &config.geometry;
         let bpc = g.blocks_per_chip;
         let log_per_chip =
@@ -162,6 +165,7 @@ impl SectorLogFtl {
             pages_per_block: g.pages_per_block,
             nsub: g.subpages_per_page,
             watermark: config.gc_free_watermark,
+            reliability: ReadReliability::new(config),
         };
         // Exclude factory-marked bad blocks from whichever region owns them.
         for gbi in ftl.ssd.device().bad_block_indices() {
@@ -626,12 +630,10 @@ impl SectorLogFtl {
                     .subpage(e.slot);
                 let (r, t) = self.ssd.read_subpage(addr, now);
                 now = t;
-                match r {
-                    Ok(oob) => {
-                        oobs[slot as usize] = Some(oob);
-                        from_log += 1;
-                    }
-                    Err(_) => self.stats.read_faults += 1,
+                note_read_result(&r, lsn, &mut self.stats);
+                if let Ok(oob) = r {
+                    oobs[slot as usize] = Some(oob);
+                    from_log += 1;
                 }
             }
         }
@@ -719,6 +721,9 @@ impl Ftl for SectorLogFtl {
             lsn + u64::from(sectors) <= self.logical_sectors,
             "write beyond logical capacity"
         );
+        if self.reliability.refuse_write(&mut self.stats) {
+            return issue;
+        }
         self.stats.host_write_requests += 1;
         self.stats.host_write_sectors += u64::from(sectors);
         let small = sectors < SECTORS_PER_PAGE;
@@ -745,6 +750,10 @@ impl Ftl for SectorLogFtl {
         let page_sz = u64::from(SECTORS_PER_PAGE);
         let (lo, hi) = (lsn, lsn + u64::from(sectors));
         let mut done = issue;
+        let mut faulted = false;
+        // Logical pages whose read climbed past the reclaim threshold, and
+        // whether the costly copy lives in the log (second element true).
+        let mut reclaim: Vec<(u64, bool)> = Vec::new();
         for lpn in lo / page_sz..=(hi - 1) / page_sz {
             let s_lo = lo.max(lpn * page_sz);
             let s_hi = hi.min((lpn + 1) * page_sz);
@@ -761,8 +770,11 @@ impl Ftl for SectorLogFtl {
                         .block_addr(gbi)
                         .page(e.page)
                         .subpage(e.slot);
-                    let (r, t) = self.ssd.read_subpage(addr, issue);
-                    note_read_result(&r, s, &mut self.stats);
+                    let (r, effort, t) = self.ssd.read_subpage_graded(addr, issue);
+                    faulted |= note_read_result(&r, s, &mut self.stats);
+                    if self.reliability.wants_reclaim(effort) {
+                        reclaim.push((lpn, true));
+                    }
                     done = done.max(t);
                 } else {
                     from_data.push(s);
@@ -775,22 +787,54 @@ impl Ftl for SectorLogFtl {
                 continue;
             };
             let addr = self.data.page_addr(ptr, &self.ssd);
-            if from_data.len() >= 2 {
-                let (slots, t) = self.ssd.read_full(addr, issue);
+            let effort = if from_data.len() >= 2 {
+                let (slots, effort, t) = self.ssd.read_full_graded(addr, issue);
                 for s in from_data {
-                    note_read_result(&slots[(s % page_sz) as usize], s, &mut self.stats);
+                    faulted |= note_read_result(&slots[(s % page_sz) as usize], s, &mut self.stats);
                 }
                 done = done.max(t);
+                effort
             } else {
                 let s = from_data[0];
-                let (r, t) = self
+                let (r, effort, t) = self
                     .ssd
-                    .read_subpage(addr.subpage((s % page_sz) as u8), issue);
-                note_read_result(&r, s, &mut self.stats);
+                    .read_subpage_graded(addr.subpage((s % page_sz) as u8), issue);
+                faulted |= note_read_result(&r, s, &mut self.stats);
                 done = done.max(t);
+                effort
+            };
+            if self.reliability.wants_reclaim(effort) {
+                reclaim.push((lpn, false));
             }
         }
+        self.reliability.note_host_read(faulted, &mut self.stats);
+        // One relocation per logical page; if any costly copy was a log
+        // entry, a full merge handles both regions at once.
+        reclaim.sort_unstable_by_key(|&(lpn, via_log)| (lpn, !via_log));
+        reclaim.dedup_by_key(|e| e.0);
+        for (lpn, via_log) in reclaim {
+            done = if via_log {
+                let t = self.merge_lpn(lpn, done);
+                self.stats.read_reclaims += 1;
+                t
+            } else {
+                self.data
+                    .reclaim_page(lpn, &mut self.ssd, &mut self.stats, done)
+            };
+        }
         done
+    }
+
+    fn maintain(&mut self, now: SimTime) {
+        // The patrol covers the data region; disturbed log entries are
+        // relocated through full merges when their reads climb the ladder.
+        let reads = self.ssd.device().stats().reads;
+        if self.reliability.patrol_due(reads) {
+            if let Some(limit) = self.reliability.scrub_limit() {
+                self.data
+                    .scrub_disturbed(&mut self.ssd, &mut self.stats, limit, now);
+            }
+        }
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
@@ -985,5 +1029,32 @@ mod tests {
         // because only its log share is fine-grained.
         assert_eq!(fgm_big, fgm_small * 4);
         assert!(sl_big < sl_small * 4, "hybrid map must grow sublinearly");
+    }
+
+    #[test]
+    fn hot_reads_stay_correctable_with_ladder_and_reclaim() {
+        use esp_nand::{RetentionModel, RetryLadder};
+        let mut config = FtlConfig::tiny();
+        config.retention = RetentionModel::paper_default().with_read_disturb(2e-2);
+        config.retry_ladder = Some(RetryLadder::paper_default());
+        config.reclaim_threshold = Some(2);
+        let mut ftl = SectorLogFtl::new(&config);
+        // One sector in the log, one aligned page in the data region: the
+        // hot-read loop disturbs both the log block and the data block.
+        let t = ftl.write(0, 1, true, SimTime::ZERO);
+        ftl.write(4, 4, true, t);
+        let mut now = SimTime::from_secs(1);
+        for _ in 0..600 {
+            ftl.maintain(now);
+            now = ftl.read(0, 1, now);
+            now = ftl.read(4, 4, now);
+        }
+        assert_eq!(ftl.stats().read_faults, 0, "pipeline must keep data alive");
+        assert!(
+            ftl.stats().read_reclaims > 0 || ftl.stats().disturb_scrubs > 0,
+            "mitigation must actually have run"
+        );
+        assert!(ftl.stored_seq(0).is_some(), "hot sector stays mapped");
+        assert!(ftl.stored_seq(5).is_some(), "hot page stays mapped");
     }
 }

@@ -55,6 +55,30 @@ pub struct FtlStats {
     /// Host reads that could not be served (uncorrectable or unmapped data
     /// faults; must stay zero when the FTL is correct).
     pub read_faults: u64,
+    /// Read faults whose cause was destruction by a later subpage program
+    /// (SBPI corruption reaching the host; subset of `read_faults`).
+    pub read_faults_destroyed: u64,
+    /// Read faults whose cause was retention/read-disturb BER beyond every
+    /// correction rung (subset of `read_faults`).
+    pub read_faults_retention: u64,
+    /// Read faults whose cause was a torn (power-cut) page that escaped the
+    /// mount-time quarantine (subset of `read_faults`).
+    pub read_faults_torn: u64,
+    /// Read faults forced by the fault-injection hook (subset of
+    /// `read_faults`).
+    pub read_faults_injected: u64,
+    /// Pages or subpages relocated by read-reclaim: a read needed at least
+    /// `reclaim_threshold` retry rungs, so the data was rewritten to a fresh
+    /// location before it could age past the ladder.
+    pub read_reclaims: u64,
+    /// Blocks relocated and erased by the read-disturb patrol because their
+    /// accumulated sense count approached the ladder's last rung.
+    pub disturb_scrubs: u64,
+    /// Times the FTL latched into read-only fallback after an uncorrectable
+    /// host read (at most once per mount; requires `read_only_on_loss`).
+    pub read_only_trips: u64,
+    /// Host write requests refused while latched read-only.
+    pub writes_dropped_read_only: u64,
 
     /// Program operations that reported status fail and were retried.
     pub program_failures: u64,
@@ -134,6 +158,13 @@ pub struct RunReport {
     pub erases: u64,
     /// Device program counts (full, subpage).
     pub programs: (u64, u64),
+    /// Device reads recovered by the retry ladder (would have been
+    /// uncorrectable on the first sense; includes FTL-internal reads).
+    pub recovered_reads: u64,
+    /// Hard retry-ladder steps the device performed.
+    pub retry_steps: u64,
+    /// Soft-decode passes the device performed.
+    pub soft_decodes: u64,
     /// Host-observed request latencies in nanoseconds (synchronous writes
     /// and reads; asynchronous writes complete in DRAM and are excluded).
     pub latency: Log2Histogram,
@@ -213,6 +244,9 @@ mod tests {
             },
             erases: 0,
             programs: (0, 0),
+            recovered_reads: 0,
+            retry_steps: 0,
+            soft_decodes: 0,
             latency: Log2Histogram::new(),
         };
         let mbps = r.write_bandwidth_mbps();

@@ -29,7 +29,7 @@ use esp_workload::SECTORS_PER_PAGE;
 use crate::buffer::{FlushChunk, WriteBuffer};
 use crate::config::{EvictionPolicy, FtlConfig};
 use crate::full_region::FullRegionEngine;
-use crate::read_path::note_read_result;
+use crate::read_path::{note_read_result, ReadReliability};
 use crate::runner::Ftl;
 use crate::stats::FtlStats;
 use crate::sub_map::{SubEntry, SubpageMap};
@@ -115,6 +115,7 @@ pub struct SubFtl {
     /// and GC/scrub handling of buffer-shadowed copies (see
     /// [`FtlConfig::crash_safe_mode`]).
     crash_safe_mode: bool,
+    reliability: ReadReliability,
 }
 
 impl SubFtl {
@@ -147,6 +148,8 @@ impl SubFtl {
         if let Some(f) = &config.fault {
             ssd.device_mut().set_faults(f.clone());
         }
+        ssd.device_mut()
+            .set_retry_ladder(config.retry_ladder.clone());
         let g = &config.geometry;
         let bpc = g.blocks_per_chip;
         let sub_per_chip =
@@ -199,6 +202,7 @@ impl SubFtl {
             eviction: config.eviction_policy,
             background_gc: config.background_gc,
             crash_safe_mode: config.crash_safe_mode,
+            reliability: ReadReliability::new(config),
         };
         // Exclude factory-marked and previously grown bad blocks from
         // whichever region owns them; the reserve must stay usable.
@@ -253,6 +257,8 @@ impl SubFtl {
         if let Some(f) = &config.fault {
             ssd.device_mut().set_faults(f.clone());
         }
+        ssd.device_mut()
+            .set_retry_ladder(config.retry_ladder.clone());
         use crate::recovery::{scan_device, ScannedKind};
         let scan = scan_device(&mut ssd);
         let torn_pages = scan.torn_pages;
@@ -489,6 +495,7 @@ impl SubFtl {
             eviction: config.eviction_policy,
             background_gc: config.background_gc,
             crash_safe_mode: config.crash_safe_mode,
+            reliability: ReadReliability::new(config),
         };
         if evacuate {
             ftl.evacuate_reserve();
@@ -513,12 +520,10 @@ impl SubFtl {
                 .ssd
                 .read_subpage(self.sub_addr(victim, page, entry.slot), now);
             now = rt;
+            note_read_result(&r, lsn, &mut self.stats);
             match r {
                 Ok(oob) => items.push((lsn, oob)),
-                Err(_) => {
-                    self.stats.read_faults += 1;
-                    self.invalidate_sub(lsn);
-                }
+                Err(_) => self.invalidate_sub(lsn),
             }
         }
         // evict_to_full wants one logical page per batch.
@@ -821,10 +826,10 @@ impl SubFtl {
                             }
                             Err(f) => panic!("lap slot is programmable: {f}"),
                         },
-                        Err(_) => {
+                        Err(f) => {
                             // Unreadable (must not happen when scrubbing is
                             // on schedule): drop the data, reuse the slot.
-                            self.stats.read_faults += 1;
+                            note_read_result(&Err(f), old_lsn, &mut self.stats);
                             self.invalidate_sub(old_lsn);
                         }
                     }
@@ -929,10 +934,10 @@ impl SubFtl {
                 .ssd
                 .read_subpage(self.sub_addr(victim, page, entry.slot), now);
             now = rt;
+            note_read_result(&r, lsn, &mut self.stats);
             let oob = match r {
                 Ok(oob) => oob,
                 Err(_) => {
-                    self.stats.read_faults += 1;
                     self.invalidate_sub(lsn);
                     continue;
                 }
@@ -1230,17 +1235,114 @@ impl SubFtl {
                     .ssd
                     .read_subpage(self.sub_addr(entry.block, entry.page, entry.slot), t);
                 t = rt;
+                note_read_result(&r, lsn, &mut self.stats);
                 match r {
                     Ok(oob) => items.push((lsn, oob)),
-                    Err(_) => {
-                        self.stats.read_faults += 1;
-                        self.invalidate_sub(lsn);
-                    }
+                    Err(_) => self.invalidate_sub(lsn),
                 }
             }
             if !items.is_empty() {
                 self.stats.retention_evictions += items.len() as u64;
                 t = self.evict_to_full(&items, t);
+            }
+        }
+    }
+
+    /// Read-disturb patrol over the subpage region: any managed block whose
+    /// sense count since erase crossed `limit` has its valid subpages
+    /// evicted to the full-page region, then is erased (discharging the
+    /// accumulated disturb). The full-page region patrols itself via
+    /// [`FullRegionEngine::scrub_disturbed`].
+    fn scrub_disturbed_sub(&mut self, limit: u64, issue: SimTime) {
+        let mut now = issue;
+        loop {
+            if self.ssd.crashed() {
+                return;
+            }
+            let Some(victim) = self.blocks.iter().position(|b| {
+                !b.retired
+                    && (b.valid_count > 0 || b.level > 0 || b.cursor > 0)
+                    && self
+                        .ssd
+                        .device()
+                        .reads_since_erase(self.ssd.geometry().block_addr(b.gbi))
+                        >= limit
+            }) else {
+                return;
+            };
+            let victim = victim as u32;
+            // Evacuate live subpages, batched per logical page like
+            // `evacuate_reserve`.
+            let mut items: Vec<(u64, Oob)> = Vec::new();
+            for page in 0..self.pages_per_block {
+                let Some(lsn) = self.blocks[victim as usize].page_valid[page as usize] else {
+                    continue;
+                };
+                if self.buffer.contains(lsn) && !self.crash_safe_mode {
+                    // Same shadowed-copy rule as GC (see `sub_gc`).
+                    self.invalidate_sub(lsn);
+                    continue;
+                }
+                let entry = self.hash.get(lsn).expect("page_valid implies mapping");
+                let (r, rt) = self
+                    .ssd
+                    .read_subpage(self.sub_addr(victim, page, entry.slot), now);
+                now = rt;
+                if self.ssd.crashed() {
+                    return;
+                }
+                match r {
+                    Ok(oob) => items.push((lsn, oob)),
+                    Err(_) => {
+                        note_read_result(&r, lsn, &mut self.stats);
+                        self.invalidate_sub(lsn);
+                    }
+                }
+            }
+            items.sort_unstable_by_key(|&(lsn, _)| lsn);
+            let page_sz = u64::from(SECTORS_PER_PAGE);
+            let mut i = 0;
+            while i < items.len() {
+                let lpn = items[i].0 / page_sz;
+                let j = items[i..]
+                    .iter()
+                    .position(|(l, _)| l / page_sz != lpn)
+                    .map_or(items.len(), |k| i + k);
+                now = self.evict_to_full(&items[i..j], now);
+                i = j;
+            }
+            if self.ssd.crashed() {
+                return;
+            }
+            debug_assert_eq!(self.blocks[victim as usize].valid_count, 0);
+            let gbi = self.blocks[victim as usize].gbi;
+            match self.ssd.erase(self.ssd.geometry().block_addr(gbi), now) {
+                Ok(done) => {
+                    now = done;
+                    let vblk = &mut self.blocks[victim as usize];
+                    vblk.level = 0;
+                    vblk.cursor = 0;
+                    vblk.page_valid.fill(None);
+                    self.stats.disturb_scrubs += 1;
+                }
+                Err(f) if f.error == esp_nand::NandError::EraseFailed => {
+                    now = f.at;
+                    let vblk = &mut self.blocks[victim as usize];
+                    vblk.retired = true;
+                    vblk.page_valid.fill(None);
+                    self.stats.erase_failures += 1;
+                    self.stats.blocks_retired += 1;
+                    for a in &mut self.actives {
+                        if *a == Some(victim) {
+                            *a = None;
+                        }
+                    }
+                    if self.reserve == victim {
+                        self.replace_reserve();
+                    }
+                    self.stats.disturb_scrubs += 1;
+                }
+                Err(f) => panic!("erase managed block: {f}"),
             }
         }
     }
@@ -1290,6 +1392,9 @@ impl Ftl for SubFtl {
             lsn + u64::from(sectors) <= self.logical_sectors,
             "write beyond logical capacity"
         );
+        if self.reliability.refuse_write(&mut self.stats) {
+            return issue;
+        }
         self.stats.host_write_requests += 1;
         self.stats.host_write_sectors += u64::from(sectors);
         let small = sectors < SECTORS_PER_PAGE;
@@ -1315,6 +1420,11 @@ impl Ftl for SubFtl {
         self.stats.host_read_sectors += u64::from(sectors);
         let page = u64::from(SECTORS_PER_PAGE);
         let mut done = issue;
+        let mut faulted = false;
+        // Relocation work queued by reclaim-worthy ladder efforts: subpage
+        // copies are evicted to the full-page region, full pages rewritten.
+        let mut sub_reclaim: Vec<(u64, Oob)> = Vec::new();
+        let mut full_reclaim: Vec<u64> = Vec::new();
         let (lo, hi) = (lsn, lsn + u64::from(sectors));
         for lpn in lo / page..=(hi - 1) / page {
             let s_lo = lo.max(lpn * page);
@@ -1325,10 +1435,14 @@ impl Ftl for SubFtl {
                     continue;
                 }
                 if let Some(e) = self.hash.get(s) {
-                    let (r, t) = self
-                        .ssd
-                        .read_subpage(self.sub_addr(e.block, e.page, e.slot), issue);
-                    note_read_result(&r, s, &mut self.stats);
+                    let addr = self.sub_addr(e.block, e.page, e.slot);
+                    let (r, effort, t) = self.ssd.read_subpage_graded(addr, issue);
+                    faulted |= note_read_result(&r, s, &mut self.stats);
+                    if self.reliability.wants_reclaim(effort) {
+                        if let Ok(oob) = r {
+                            sub_reclaim.push((s, oob));
+                        }
+                    }
                     done = done.max(t);
                 } else {
                     from_full.push(s);
@@ -1341,18 +1455,45 @@ impl Ftl for SubFtl {
                 continue;
             };
             let addr = self.full.page_addr(ptr, &self.ssd);
-            if from_full.len() >= 2 {
-                let (slots, t) = self.ssd.read_full(addr, issue);
+            let effort = if from_full.len() >= 2 {
+                let (slots, effort, t) = self.ssd.read_full_graded(addr, issue);
                 for s in from_full {
-                    note_read_result(&slots[(s % page) as usize], s, &mut self.stats);
+                    faulted |= note_read_result(&slots[(s % page) as usize], s, &mut self.stats);
                 }
                 done = done.max(t);
+                effort
             } else {
                 let s = from_full[0];
-                let (r, t) = self.ssd.read_subpage(addr.subpage((s % page) as u8), issue);
-                note_read_result(&r, s, &mut self.stats);
+                let (r, effort, t) = self
+                    .ssd
+                    .read_subpage_graded(addr.subpage((s % page) as u8), issue);
+                faulted |= note_read_result(&r, s, &mut self.stats);
                 done = done.max(t);
+                effort
+            };
+            if self.reliability.wants_reclaim(effort) {
+                full_reclaim.push(lpn);
             }
+        }
+        self.reliability.note_host_read(faulted, &mut self.stats);
+        // evict_to_full wants one logical page per batch.
+        sub_reclaim.sort_unstable_by_key(|&(s, _)| s);
+        let mut i = 0;
+        while i < sub_reclaim.len() {
+            let lpn = sub_reclaim[i].0 / page;
+            let j = sub_reclaim[i..]
+                .iter()
+                .position(|(s, _)| s / page != lpn)
+                .map_or(sub_reclaim.len(), |k| i + k);
+            self.stats.read_reclaims += (j - i) as u64;
+            done = self.evict_to_full(&sub_reclaim[i..j], done);
+            i = j;
+        }
+        for lpn in full_reclaim {
+            done = done.max(
+                self.full
+                    .reclaim_page(lpn, &mut self.ssd, &mut self.stats, done),
+            );
         }
         done
     }
@@ -1363,6 +1504,14 @@ impl Ftl for SubFtl {
     }
 
     fn maintain(&mut self, now: SimTime) {
+        let reads = self.ssd.device().stats().reads;
+        if self.reliability.patrol_due(reads) {
+            if let Some(limit) = self.reliability.scrub_limit() {
+                self.full
+                    .scrub_disturbed(&mut self.ssd, &mut self.stats, limit, now);
+                self.scrub_disturbed_sub(limit, now);
+            }
+        }
         if now.saturating_since(self.last_scan) < self.scan_interval {
             return;
         }
@@ -1461,6 +1610,34 @@ mod tests {
 
     fn tiny_ftl() -> SubFtl {
         SubFtl::new(&FtlConfig::tiny())
+    }
+
+    #[test]
+    fn hot_reads_stay_correctable_with_ladder_and_reclaim() {
+        use esp_nand::{RetentionModel, RetryLadder};
+        let mut config = FtlConfig::tiny();
+        config.retention = RetentionModel::paper_default().with_read_disturb(2e-2);
+        config.retry_ladder = Some(RetryLadder::paper_default());
+        config.reclaim_threshold = Some(2);
+        let mut ftl = SubFtl::new(&config);
+        // One sector in the subpage region, one aligned page in the full
+        // region: the hot-read loop disturbs blocks in both regions.
+        let t = ftl.write(0, 1, true, SimTime::ZERO);
+        ftl.write(4, 4, true, t);
+        let mut now = SimTime::from_secs(1);
+        for _ in 0..600 {
+            ftl.maintain(now);
+            now = ftl.read(0, 1, now);
+            now = ftl.read(4, 4, now);
+        }
+        assert_eq!(ftl.stats().read_faults, 0, "pipeline must keep data alive");
+        assert!(
+            ftl.stats().read_reclaims > 0 || ftl.stats().disturb_scrubs > 0,
+            "mitigation must actually have run"
+        );
+        assert!(ftl.stored_seq(0).is_some(), "hot sector stays mapped");
+        assert!(ftl.stored_seq(5).is_some(), "hot page stays mapped");
+        ftl.check_invariants();
     }
 
     #[test]

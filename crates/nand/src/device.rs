@@ -14,7 +14,7 @@ use crate::error::{NandError, ReadFault};
 use crate::fault::{FaultConfig, FaultModel};
 use crate::geometry::{BlockAddr, Geometry, PageAddr, SubpageAddr};
 use crate::page::{Oob, Page, SubpageState, WrittenSubpage};
-use crate::reliability::RetentionModel;
+use crate::reliability::{ReadEffort, RetentionModel, RetryLadder};
 use crate::timing::NandTiming;
 
 /// One erase block: pages plus wear state.
@@ -26,6 +26,9 @@ pub struct Block {
     /// The last erase was interrupted by power loss: contents are
     /// indeterminate and programs are rejected until a completed re-erase.
     torn: bool,
+    /// Cell senses since the last erase: the read-disturb accumulator
+    /// (see [`RetentionModel::disturb_term`]). An erase resets it.
+    reads_since_erase: u64,
 }
 
 impl Block {
@@ -37,6 +40,7 @@ impl Block {
             pe_cycles: 0,
             bad: false,
             torn: false,
+            reads_since_erase: 0,
         }
     }
 
@@ -57,6 +61,13 @@ impl Block {
     #[must_use]
     pub fn is_torn(&self) -> bool {
         self.torn
+    }
+
+    /// Cell senses this block has absorbed since its last erase (the
+    /// read-disturb accumulator).
+    #[must_use]
+    pub fn reads_since_erase(&self) -> u64 {
+        self.reads_since_erase
     }
 
     /// The page at `page` index.
@@ -130,6 +141,12 @@ pub struct DeviceStats {
     pub torn_programs: u64,
     /// Erase operations cut mid-operation by an injected power loss.
     pub torn_erases: u64,
+    /// Hard read-retry steps performed by the retry ladder.
+    pub retry_steps: u64,
+    /// Soft-decode passes performed by the retry ladder.
+    pub soft_decodes: u64,
+    /// Reads that were over the base ECC limit but recovered by the ladder.
+    pub recovered_reads: u64,
 }
 
 impl DeviceStats {
@@ -168,6 +185,7 @@ pub struct NandDevice {
     stats: DeviceStats,
     forced_faults: HashSet<SubpageAddr>,
     faults: Option<FaultModel>,
+    retry_ladder: Option<RetryLadder>,
 }
 
 impl NandDevice {
@@ -204,7 +222,28 @@ impl NandDevice {
             stats: DeviceStats::default(),
             forced_faults: HashSet::new(),
             faults: None,
+            retry_ladder: None,
         }
+    }
+
+    /// Installs (or removes) a tiered read-retry ladder. Without one —
+    /// the default — an over-limit read fails immediately, as in the seed
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder fails [`RetryLadder::validate`].
+    pub fn set_retry_ladder(&mut self, ladder: Option<RetryLadder>) {
+        if let Some(l) = &ladder {
+            l.validate().expect("invalid retry ladder");
+        }
+        self.retry_ladder = ladder;
+    }
+
+    /// The installed retry ladder, if any.
+    #[must_use]
+    pub fn retry_ladder(&self) -> Option<&RetryLadder> {
+        self.retry_ladder.as_ref()
     }
 
     /// Installs a program/erase fault model (factory bad blocks are marked
@@ -342,6 +381,13 @@ impl NandDevice {
         self.block(addr).pe_cycles()
     }
 
+    /// Cell senses absorbed by the block at `addr` since its last erase
+    /// (the read-disturb accumulator scrubbers patrol).
+    #[must_use]
+    pub fn reads_since_erase(&self, addr: BlockAddr) -> u64 {
+        self.block(addr).reads_since_erase()
+    }
+
     /// Programs a whole physical page (conventional CGM/FGM write path).
     ///
     /// # Errors
@@ -439,15 +485,74 @@ impl NandDevice {
     ///
     /// * [`ReadFault::NotWritten`] / [`ReadFault::Padding`] /
     ///   [`ReadFault::DestroyedByProgram`] — see [`Page::read_subpage`].
-    /// * [`ReadFault::RetentionExceeded`] if the data has aged past its
-    ///   `Npp`-dependent retention capability.
+    /// * [`ReadFault::RetentionExceeded`] if the data has aged (or been
+    ///   read-disturbed) past what the ECC — and the retry ladder, if one
+    ///   is installed — can correct.
     /// * [`ReadFault::Injected`] if a fault was injected at this address.
     pub fn read_subpage(&mut self, addr: SubpageAddr, now: SimTime) -> Result<Oob, ReadFault> {
+        self.read_subpage_with_effort(addr, now).0
+    }
+
+    /// Reads the subpage at `addr`, also reporting how much retry-ladder
+    /// work the read needed (always [`ReadEffort::NONE`] without a ladder).
+    /// The block's read-disturb accumulator is charged one sense plus one
+    /// per hard retry step.
+    pub fn read_subpage_with_effort(
+        &mut self,
+        addr: SubpageAddr,
+        now: SimTime,
+    ) -> (Result<Oob, ReadFault>, ReadEffort) {
         self.stats.reads += 1;
-        if self.forced_faults.contains(&addr) {
-            return Err(ReadFault::Injected);
+        let (result, effort) = self.judge_read(addr, now);
+        self.account_slot(&result, effort);
+        self.stats.retry_steps += u64::from(effort.retry_steps);
+        if effort.soft_decode {
+            self.stats.soft_decodes += 1;
         }
-        let w = self.written_subpage(addr)?;
+        let idx = self.geometry.block_index(addr.page.block) as usize;
+        self.blocks[idx].reads_since_erase += 1 + u64::from(effort.retry_steps);
+        (result, effort)
+    }
+
+    /// Reads every subpage of `page` in one cell sense (the full-page read
+    /// path), reporting per-slot results plus the page's effort — the
+    /// componentwise maximum over its slots, since retry steps re-sense the
+    /// whole page. The disturb accumulator is charged once, not per slot.
+    pub fn read_full_with_effort(
+        &mut self,
+        page: PageAddr,
+        now: SimTime,
+    ) -> (Vec<Result<Oob, ReadFault>>, ReadEffort) {
+        let n_sub = self.geometry.subpages_per_page;
+        let mut results = Vec::with_capacity(n_sub as usize);
+        let mut effort = ReadEffort::NONE;
+        for slot in 0..n_sub {
+            self.stats.reads += 1;
+            let (r, e) = self.judge_read(page.subpage(slot as u8), now);
+            self.account_slot(&r, e);
+            effort = effort.max(e);
+            results.push(r);
+        }
+        self.stats.retry_steps += u64::from(effort.retry_steps);
+        if effort.soft_decode {
+            self.stats.soft_decodes += 1;
+        }
+        let idx = self.geometry.block_index(page.block) as usize;
+        self.blocks[idx].reads_since_erase += 1 + u64::from(effort.retry_steps);
+        (results, effort)
+    }
+
+    /// Judges one subpage read without mutating any state: retention BER
+    /// plus the block's accumulated read-disturb term, run through the
+    /// retry ladder if one is installed.
+    fn judge_read(&self, addr: SubpageAddr, now: SimTime) -> (Result<Oob, ReadFault>, ReadEffort) {
+        if self.forced_faults.contains(&addr) {
+            return (Err(ReadFault::Injected), ReadEffort::NONE);
+        }
+        let w = match self.written_subpage(addr) {
+            Ok(w) => w,
+            Err(e) => return (Err(e), ReadEffort::NONE),
+        };
         let elapsed = now.saturating_since(w.programmed_at);
         let block_index = u64::from(self.geometry.block_index(addr.page.block));
         let ber = self.retention.normalized_ber_on_block(
@@ -455,12 +560,28 @@ impl NandDevice {
             w.pe_at_program,
             u32::from(w.npp),
             elapsed,
-        );
-        if ber > self.retention.ecc_limit() {
-            self.stats.retention_failures += 1;
-            return Err(ReadFault::RetentionExceeded);
+        ) + self
+            .retention
+            .disturb_term(self.blocks[block_index as usize].reads_since_erase);
+        let limit = self.retention.ecc_limit();
+        let oob = w.oob.expect("written_subpage filters padding");
+        match &self.retry_ladder {
+            Some(ladder) => match ladder.effort_for(ber, limit) {
+                Some(effort) => (Ok(oob), effort),
+                None => (Err(ReadFault::RetentionExceeded), ladder.exhausted()),
+            },
+            None if ber <= limit => (Ok(oob), ReadEffort::NONE),
+            None => (Err(ReadFault::RetentionExceeded), ReadEffort::NONE),
         }
-        Ok(w.oob.expect("written_subpage filters padding"))
+    }
+
+    /// Per-slot statistics for a judged read.
+    fn account_slot(&mut self, result: &Result<Oob, ReadFault>, effort: ReadEffort) {
+        match result {
+            Ok(_) if !effort.is_free() => self.stats.recovered_reads += 1,
+            Err(ReadFault::RetentionExceeded) => self.stats.retention_failures += 1,
+            _ => {}
+        }
     }
 
     fn written_subpage(&self, addr: SubpageAddr) -> Result<WrittenSubpage, ReadFault> {
@@ -504,8 +625,10 @@ impl NandDevice {
             page.erase();
         }
         block.pe_cycles += 1;
-        // A completed erase recovers a torn block.
+        // A completed erase recovers a torn block and discharges the
+        // accumulated read disturb.
         block.torn = false;
+        block.reads_since_erase = 0;
         self.stats.erases += 1;
         if failed {
             let block = self.block_mut(addr).expect("address already validated");
@@ -597,6 +720,9 @@ impl NandDevice {
         }
         block.pe_cycles += 1;
         block.torn = true;
+        // The erase pulse ran: the old charge pattern (and its disturb) is
+        // gone even though the block is unusable until re-erased.
+        block.reads_since_erase = 0;
         self.stats.torn_erases += 1;
         Ok(())
     }
@@ -708,6 +834,109 @@ mod tests {
             Err(ReadFault::RetentionExceeded)
         );
         assert_eq!(d.stats().retention_failures, 1);
+    }
+
+    #[test]
+    fn retry_ladder_recovers_aged_data_and_charges_effort() {
+        // The retention_failure_after_aging scenario, with a ladder: the
+        // 2-month Npp^3 read is over the base limit but within the rungs.
+        let mut d = dev();
+        d.set_retry_ladder(Some(RetryLadder::paper_default()));
+        d.precycle(1000);
+        let page = d.geometry().block_addr(0).page(0);
+        for slot in 0..3u8 {
+            d.program_subpage(page.subpage(slot), oob(u64::from(slot)), SimTime::ZERO)
+                .unwrap();
+        }
+        d.program_subpage(page.subpage(3), oob(99), SimTime::ZERO)
+            .unwrap();
+        let two_months = SimTime::ZERO + SimDuration::from_months(2);
+        let (r, effort) = d.read_subpage_with_effort(page.subpage(3), two_months);
+        assert_eq!(r.unwrap().lsn, 99, "ladder must recover the read");
+        assert!(effort.retry_steps > 0);
+        assert_eq!(d.stats().recovered_reads, 1);
+        assert_eq!(d.stats().retention_failures, 0);
+        assert!(d.stats().retry_steps >= u64::from(effort.retry_steps));
+        // Truly over-limit data still dies: far past the soft rung.
+        let years = SimTime::ZERO + SimDuration::from_months(36);
+        let (r, effort) = d.read_subpage_with_effort(page.subpage(3), years);
+        assert_eq!(r, Err(ReadFault::RetentionExceeded));
+        assert_eq!(effort, RetryLadder::paper_default().exhausted());
+        assert_eq!(d.stats().retention_failures, 1);
+    }
+
+    #[test]
+    fn read_disturb_accumulates_and_erase_resets() {
+        let mut d = NandDevice::with_models(
+            Geometry::tiny(),
+            NandTiming::paper_default(),
+            RetentionModel::paper_default().with_read_disturb(0.05),
+        );
+        let blk = d.geometry().block_addr(0);
+        let sp = blk.page(0).subpage(0);
+        d.program_subpage(sp, oob(1), SimTime::ZERO).unwrap();
+        // Fresh block at 0 P/E: base BER = fresh_factor (0.25). The limit
+        // (2.4) leaves headroom for 43 disturb increments of 0.05.
+        let mut failures = 0;
+        for _ in 0..60 {
+            if d.read_subpage(sp, SimTime::ZERO).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "hot reads must eventually exceed the limit");
+        assert_eq!(d.stats().retention_failures, failures);
+        assert!(d.reads_since_erase(blk) >= 60);
+        // Erase discharges the disturb.
+        d.erase(blk, SimTime::ZERO).unwrap();
+        assert_eq!(d.reads_since_erase(blk), 0);
+        d.program_subpage(sp, oob(2), SimTime::ZERO).unwrap();
+        assert_eq!(d.read_subpage(sp, SimTime::ZERO).unwrap().lsn, 2);
+    }
+
+    #[test]
+    fn full_page_read_charges_one_sense_not_four() {
+        let mut d = dev();
+        let blk = d.geometry().block_addr(0);
+        let page = blk.page(0);
+        d.program_full(page, &[Some(oob(1)); 4], SimTime::ZERO)
+            .unwrap();
+        let (results, effort) = d.read_full_with_effort(page, SimTime::ZERO);
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(Result::is_ok));
+        assert!(effort.is_free());
+        assert_eq!(d.reads_since_erase(blk), 1, "one sense for the page");
+        assert_eq!(d.stats().reads, 4, "per-slot counter is unchanged");
+    }
+
+    #[test]
+    fn ladder_does_not_advance_the_fault_stream() {
+        // The ladder is deterministic: enabling it must not change seeded
+        // program-fault outcomes.
+        let faults = crate::FaultConfig {
+            seed: 5,
+            program_fail_prob: 0.3,
+            ..crate::FaultConfig::default()
+        };
+        let run = |with_ladder: bool| -> Vec<bool> {
+            let mut d = dev();
+            d.set_faults(faults.clone());
+            if with_ladder {
+                d.set_retry_ladder(Some(RetryLadder::paper_default()));
+            }
+            let blk = d.geometry().block_addr(0);
+            let mut outcomes = Vec::new();
+            for i in 0..32u8 {
+                let sp = blk.page(u32::from(i % 4)).subpage(i % 4);
+                let r = d.program_subpage(sp, oob(u64::from(i)), SimTime::ZERO);
+                outcomes.push(r == Err(NandError::ProgramFailed));
+                let _ = d.read_subpage(sp, SimTime::ZERO);
+                if i % 4 == 3 {
+                    let _ = d.erase(blk, SimTime::ZERO);
+                }
+            }
+            outcomes
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct RetentionModel {
     /// so the closed-form model is exact; the Fig 5 characterization
     /// harness enables it.
     variation: f64,
+    /// Additive normalized-BER contribution of each cell sense on a block
+    /// since its last erase (read disturb; Cai et al.). Zero by default so
+    /// baseline runs are unaffected; an erase resets the accumulation.
+    read_disturb_per_read: f64,
 }
 
 impl RetentionModel {
@@ -89,6 +93,7 @@ impl RetentionModel {
             time_exp: 0.9,
             npp_anchor: 3,
             variation: 0.0,
+            read_disturb_per_read: 0.0,
         }
     }
 
@@ -120,6 +125,39 @@ impl RetentionModel {
         );
         self.variation = spread;
         self
+    }
+
+    /// Enables read-disturb modeling: every cell sense of a block adds
+    /// `per_read` to the normalized BER of all data stored in that block
+    /// until its next erase. Reads weakly program unselected word lines
+    /// (Cai et al.); the device model accumulates a per-block sense counter
+    /// and charges this term on top of the retention BER.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_read` is negative or not finite.
+    #[must_use]
+    pub fn with_read_disturb(mut self, per_read: f64) -> Self {
+        assert!(
+            per_read >= 0.0 && per_read.is_finite(),
+            "read-disturb rate must be finite and non-negative"
+        );
+        self.read_disturb_per_read = per_read;
+        self
+    }
+
+    /// Normalized-BER increment charged per cell sense (0 when read-disturb
+    /// modeling is disabled).
+    #[must_use]
+    pub fn read_disturb_per_read(&self) -> f64 {
+        self.read_disturb_per_read
+    }
+
+    /// Additive normalized-BER term accumulated by `reads_since_erase`
+    /// senses of a block since its last erase.
+    #[must_use]
+    pub fn disturb_term(&self, reads_since_erase: u64) -> f64 {
+        self.read_disturb_per_read * reads_since_erase as f64
     }
 
     /// The deterministic per-block BER scale factor in
@@ -232,6 +270,148 @@ impl RetentionModel {
 impl Default for RetentionModel {
     fn default() -> Self {
         Self::paper_default()
+    }
+}
+
+/// A tiered read-retry ladder (Cai et al., *Data Retention in MLC NAND
+/// Flash Memory: Characterization, Optimization, and Recovery*).
+///
+/// When the initial sense of a subpage lands above the ECC limit, the
+/// controller re-reads at shifted reference voltages: hard step `i`
+/// tolerates a normalized BER up to `ecc_limit · (1 + step_uplift · i)`. If
+/// every hard step fails, a final soft-decode pass (soft-decision sensing
+/// plus LDPC soft decoding) tolerates `ecc_limit · (1 + soft_uplift)`. Each
+/// step costs extra cell time (see [`crate::NandTiming`]); only data above
+/// the soft-decode rung is truly uncorrectable.
+///
+/// # Examples
+///
+/// ```
+/// use esp_nand::RetryLadder;
+///
+/// let l = RetryLadder::paper_default();
+/// // Just above the base limit: one hard step recovers it.
+/// let e = l.effort_for(2.5, 2.4).unwrap();
+/// assert_eq!((e.retry_steps, e.soft_decode), (1, false));
+/// // Beyond every rung: uncorrectable.
+/// assert!(l.effort_for(5.0, 2.4).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryLadder {
+    /// Number of stepped hard re-reads tried after the initial sense.
+    pub hard_steps: u32,
+    /// Fractional ECC-limit uplift each hard step adds: step `i` corrects
+    /// up to `ecc_limit · (1 + step_uplift · i)`.
+    pub step_uplift: f64,
+    /// Fractional uplift of the final soft-decode pass relative to the base
+    /// limit (reached only after all hard steps fail).
+    pub soft_uplift: f64,
+}
+
+impl RetryLadder {
+    /// The default ladder used throughout the reproduction: four hard steps
+    /// of +15 % each, then a soft-decode pass that doubles the correctable
+    /// BER — in line with the retry behaviour Cai et al. report.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        RetryLadder {
+            hard_steps: 4,
+            step_uplift: 0.15,
+            soft_uplift: 1.0,
+        }
+    }
+
+    /// Checks the ladder parameters are usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated rule.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.step_uplift.is_finite() && self.step_uplift >= 0.0) {
+            return Err("retry ladder step uplift must be finite and non-negative".into());
+        }
+        if !(self.soft_uplift.is_finite() && self.soft_uplift >= 0.0) {
+            return Err("retry ladder soft uplift must be finite and non-negative".into());
+        }
+        if self.hard_steps == 0 && self.soft_uplift == 0.0 {
+            return Err("retry ladder must have at least one rung".into());
+        }
+        Ok(())
+    }
+
+    /// The highest normalized BER any rung of the ladder can correct.
+    #[must_use]
+    pub fn max_correctable(&self, ecc_limit: f64) -> f64 {
+        let hard = self.step_uplift * f64::from(self.hard_steps);
+        ecc_limit * (1.0 + self.soft_uplift.max(hard))
+    }
+
+    /// The cheapest effort that corrects a read at `ber`, or `None` if even
+    /// the soft-decode rung cannot.
+    #[must_use]
+    pub fn effort_for(&self, ber: f64, ecc_limit: f64) -> Option<ReadEffort> {
+        if ber <= ecc_limit {
+            return Some(ReadEffort::NONE);
+        }
+        for step in 1..=self.hard_steps {
+            if ber <= ecc_limit * (1.0 + self.step_uplift * f64::from(step)) {
+                return Some(ReadEffort {
+                    retry_steps: step,
+                    soft_decode: false,
+                });
+            }
+        }
+        if ber <= ecc_limit * (1.0 + self.soft_uplift) {
+            return Some(ReadEffort {
+                retry_steps: self.hard_steps,
+                soft_decode: true,
+            });
+        }
+        None
+    }
+
+    /// The effort charged when the whole ladder runs and still fails: every
+    /// hard step plus the soft-decode pass (uncorrectable reads are the
+    /// slowest reads a device serves).
+    #[must_use]
+    pub fn exhausted(&self) -> ReadEffort {
+        ReadEffort {
+            retry_steps: self.hard_steps,
+            soft_decode: true,
+        }
+    }
+}
+
+/// How much retry-ladder work a read needed beyond the initial sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReadEffort {
+    /// Hard re-read steps performed (each one a full extra cell sense).
+    pub retry_steps: u32,
+    /// True if the final soft-decode pass ran.
+    pub soft_decode: bool,
+}
+
+impl ReadEffort {
+    /// A clean first-sense read: no retries, no soft decode.
+    pub const NONE: ReadEffort = ReadEffort {
+        retry_steps: 0,
+        soft_decode: false,
+    };
+
+    /// True if the read succeeded on the initial sense.
+    #[must_use]
+    pub fn is_free(self) -> bool {
+        self == Self::NONE
+    }
+
+    /// Componentwise maximum: the effort of a full-page read is the effort
+    /// of its hardest subpage (the page is sensed as a unit).
+    #[must_use]
+    pub fn max(self, other: ReadEffort) -> ReadEffort {
+        ReadEffort {
+            retry_steps: self.retry_steps.max(other.retry_steps),
+            soft_decode: self.soft_decode || other.soft_decode,
+        }
     }
 }
 
@@ -348,6 +528,75 @@ mod tests {
             let outside = SimDuration::from_nanos(cap.as_nanos() * 101 / 100);
             assert!(!m.is_readable(1000, npp, outside), "Npp^{npp} outside cap");
         }
+    }
+
+    #[test]
+    fn disturb_term_accumulates_and_defaults_off() {
+        let base = m();
+        assert_eq!(base.read_disturb_per_read(), 0.0);
+        assert_eq!(base.disturb_term(1_000_000), 0.0);
+        let d = RetentionModel::paper_default().with_read_disturb(1e-3);
+        assert!((d.disturb_term(500) - 0.5).abs() < 1e-12);
+        assert_eq!(d.disturb_term(0), 0.0);
+    }
+
+    #[test]
+    fn ladder_rungs_are_monotone() {
+        let l = RetryLadder::paper_default();
+        let limit = 2.4;
+        // Base-limit reads are free.
+        assert_eq!(l.effort_for(2.4, limit), Some(ReadEffort::NONE));
+        // Each rung corrects strictly more; efforts are non-decreasing.
+        let mut prev_steps = 0;
+        for ber in [2.5, 2.9, 3.2, 3.8, 4.7] {
+            let e = l.effort_for(ber, limit).unwrap();
+            assert!(e.retry_steps >= prev_steps, "ber {ber}");
+            prev_steps = e.retry_steps;
+        }
+        // The soft rung is the last resort and the hardest charge.
+        let soft = l.effort_for(4.7, limit).unwrap();
+        assert!(soft.soft_decode);
+        assert_eq!(soft, l.exhausted());
+        // Past the soft rung: uncorrectable.
+        assert!(l.effort_for(limit * 2.0 + 0.01, limit).is_none());
+        assert!((l.max_correctable(limit) - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_validate_rejects_degenerate_parameters() {
+        assert!(RetryLadder::paper_default().validate().is_ok());
+        let no_rungs = RetryLadder {
+            hard_steps: 0,
+            step_uplift: 0.15,
+            soft_uplift: 0.0,
+        };
+        assert!(no_rungs.validate().is_err());
+        let negative = RetryLadder {
+            step_uplift: -0.1,
+            ..RetryLadder::paper_default()
+        };
+        assert!(negative.validate().is_err());
+    }
+
+    #[test]
+    fn effort_max_takes_the_hardest_component() {
+        let a = ReadEffort {
+            retry_steps: 2,
+            soft_decode: false,
+        };
+        let b = ReadEffort {
+            retry_steps: 1,
+            soft_decode: true,
+        };
+        assert_eq!(
+            a.max(b),
+            ReadEffort {
+                retry_steps: 2,
+                soft_decode: true
+            }
+        );
+        assert!(ReadEffort::NONE.is_free());
+        assert!(!a.is_free());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use esp_sim::SimDuration;
 
+use crate::reliability::ReadEffort;
+
 /// Latency parameters for one NAND chip and its channel.
 ///
 /// # Examples
@@ -39,6 +41,13 @@ pub struct NandTiming {
     pub erase: SimDuration,
     /// Channel (bus) bandwidth in bytes per microsecond; 400 B/µs = 400 MB/s.
     pub bus_bytes_per_us: u64,
+    /// Extra cell time of each hard read-retry step: a full re-sense at a
+    /// shifted reference voltage (slightly above tR — the voltage shift must
+    /// settle first).
+    pub read_retry_step: SimDuration,
+    /// Extra cell time of the final soft-decode pass: multiple soft-decision
+    /// senses plus LDPC soft decoding.
+    pub soft_decode: SimDuration,
 }
 
 impl NandTiming {
@@ -53,6 +62,8 @@ impl NandTiming {
             program_subpage: SimDuration::from_micros(1300),
             erase: SimDuration::from_millis(5),
             bus_bytes_per_us: 400,
+            read_retry_step: SimDuration::from_micros(100),
+            soft_decode: SimDuration::from_millis(1),
         }
     }
 
@@ -64,6 +75,18 @@ impl NandTiming {
         let ns = self.read_full.as_nanos() * 13 / 16;
         self.read_subpage = SimDuration::from_nanos(ns);
         self
+    }
+
+    /// Extra cell occupancy of a read that needed `effort` from the retry
+    /// ladder: one `read_retry_step` per hard step plus one `soft_decode`
+    /// pass if the ladder fell through to soft decoding.
+    #[must_use]
+    pub fn retry_penalty(&self, effort: ReadEffort) -> SimDuration {
+        let mut ns = self.read_retry_step.as_nanos() * u64::from(effort.retry_steps);
+        if effort.soft_decode {
+            ns += self.soft_decode.as_nanos();
+        }
+        SimDuration::from_nanos(ns)
     }
 
     /// Time to move `bytes` across the channel.
@@ -109,6 +132,22 @@ mod tests {
         assert_eq!(full, SimDuration::from_nanos(40_960));
         let sub = t.transfer(4 * 1024);
         assert_eq!(sub, SimDuration::from_nanos(10_240));
+    }
+
+    #[test]
+    fn retry_penalty_charges_steps_and_soft_decode() {
+        let t = NandTiming::paper_default();
+        assert_eq!(t.retry_penalty(ReadEffort::NONE), SimDuration::ZERO);
+        let hard = ReadEffort {
+            retry_steps: 3,
+            soft_decode: false,
+        };
+        assert_eq!(t.retry_penalty(hard), SimDuration::from_micros(300));
+        let soft = ReadEffort {
+            retry_steps: 4,
+            soft_decode: true,
+        };
+        assert_eq!(t.retry_penalty(soft), SimDuration::from_micros(1400));
     }
 
     #[test]

@@ -40,10 +40,10 @@
 use std::fmt;
 
 use esp_nand::{
-    BlockAddr, Geometry, NandDevice, NandError, NandTiming, Oob, OpKind, PageAddr, ReadFault,
-    RetentionModel, SubpageAddr,
+    BlockAddr, Geometry, NandDevice, NandError, NandTiming, Oob, OpKind, PageAddr, ReadEffort,
+    ReadFault, RetentionModel, SubpageAddr,
 };
-use esp_sim::{Log2Histogram, Resource, SimTime};
+use esp_sim::{Log2Histogram, Resource, SimDuration, SimTime};
 
 /// A failed flash command: the underlying [`NandError`] plus the simulated
 /// time at which the failure was reported to the controller.
@@ -333,10 +333,18 @@ impl Ssd {
     }
 
     /// Schedules a read-like op: cell time first, then channel transfer.
-    fn schedule_read(&mut self, block: BlockAddr, kind: OpKind, issue: SimTime) -> SimTime {
+    /// `penalty` is extra cell occupancy charged by the retry ladder (each
+    /// hard step re-senses on the plane; the bus transfer happens once).
+    fn schedule_read(
+        &mut self,
+        block: BlockAddr,
+        kind: OpKind,
+        penalty: SimDuration,
+        issue: SimTime,
+    ) -> SimTime {
         let cost = self.device.op_cost(kind);
         let (ch, plane) = self.indices(block);
-        let sensed = self.planes[plane].occupy(issue, cost.cell);
+        let sensed = self.planes[plane].occupy(issue, cost.cell + penalty);
         let done = self.channels[ch].occupy(sensed, cost.bus);
         self.finish(issue, done)
     }
@@ -448,17 +456,32 @@ impl Ssd {
         addr: SubpageAddr,
         issue: SimTime,
     ) -> (Result<Oob, ReadFault>, SimTime) {
+        let (data, _, done) = self.read_subpage_graded(addr, issue);
+        (data, done)
+    }
+
+    /// Like [`Ssd::read_subpage`] but also reports the retry-ladder effort
+    /// the read needed, so FTLs can trigger read-reclaim on high-effort
+    /// reads. Each hard retry step extends the plane (cell) occupancy by
+    /// [`NandTiming::read_retry_step`]; a soft-decode pass adds
+    /// [`NandTiming::soft_decode`].
+    pub fn read_subpage_graded(
+        &mut self,
+        addr: SubpageAddr,
+        issue: SimTime,
+    ) -> (Result<Oob, ReadFault>, ReadEffort, SimTime) {
         if self.crashed || self.crash_due(issue) {
             // A read cut by power loss returns nothing and corrupts
             // nothing: the sense never completed and the cells are
             // untouched.
             self.crashed |= self.crash_point.is_some();
-            return (Err(ReadFault::PowerLoss), issue);
+            return (Err(ReadFault::PowerLoss), ReadEffort::NONE, issue);
         }
         self.commands_issued += 1;
-        let data = self.device.read_subpage(addr, issue);
-        let done = self.schedule_read(addr.page.block, OpKind::ReadSubpage, issue);
-        (data, done)
+        let (data, effort) = self.device.read_subpage_with_effort(addr, issue);
+        let penalty = self.device.timing().retry_penalty(effort);
+        let done = self.schedule_read(addr.page.block, OpKind::ReadSubpage, penalty, issue);
+        (data, effort, done)
     }
 
     /// Reads every data-bearing subpage of a full page in one page read
@@ -470,17 +493,32 @@ impl Ssd {
         page: PageAddr,
         issue: SimTime,
     ) -> (Vec<Result<Oob, ReadFault>>, SimTime) {
+        let (results, _, done) = self.read_full_graded(page, issue);
+        (results, done)
+    }
+
+    /// Like [`Ssd::read_full`] but also reports the page's retry-ladder
+    /// effort — the effort of its hardest subpage, since retry steps
+    /// re-sense the page as a unit.
+    pub fn read_full_graded(
+        &mut self,
+        page: PageAddr,
+        issue: SimTime,
+    ) -> (Vec<Result<Oob, ReadFault>>, ReadEffort, SimTime) {
         let n = self.geometry().subpages_per_page;
         if self.crashed || self.crash_due(issue) {
             self.crashed |= self.crash_point.is_some();
-            return (vec![Err(ReadFault::PowerLoss); n as usize], issue);
+            return (
+                vec![Err(ReadFault::PowerLoss); n as usize],
+                ReadEffort::NONE,
+                issue,
+            );
         }
         self.commands_issued += 1;
-        let results: Vec<_> = (0..n)
-            .map(|slot| self.device.read_subpage(page.subpage(slot as u8), issue))
-            .collect();
-        let done = self.schedule_read(page.block, OpKind::ReadFull, issue);
-        (results, done)
+        let (results, effort) = self.device.read_full_with_effort(page, issue);
+        let penalty = self.device.timing().retry_penalty(effort);
+        let done = self.schedule_read(page.block, OpKind::ReadFull, penalty, issue);
+        (results, effort, done)
     }
 
     /// Schedules an erase: cell time only, no channel transfer.
@@ -621,6 +659,31 @@ mod tests {
         assert_eq!(data.unwrap().lsn, 9);
         let cost = s.device().op_cost(OpKind::ReadSubpage);
         assert_eq!(done.saturating_since(issue), cost.total());
+    }
+
+    #[test]
+    fn retried_read_charges_ladder_latency() {
+        use esp_nand::RetryLadder;
+        use esp_sim::SimDuration;
+
+        let mut s = ssd();
+        s.device_mut()
+            .set_retry_ladder(Some(RetryLadder::paper_default()));
+        s.device_mut().precycle(1000);
+        let page = s.geometry().block_addr(0).page(0);
+        // An Npp^3 subpage read at 2 months: over the base limit, recovered
+        // by hard retry steps that extend the plane occupancy.
+        for slot in 0..4u8 {
+            s.program_subpage(page.subpage(slot), oob(u64::from(slot)), SimTime::ZERO)
+                .unwrap();
+        }
+        let issue = SimTime::ZERO + SimDuration::from_months(2);
+        let (r, effort, done) = s.read_subpage_graded(page.subpage(3), issue);
+        assert_eq!(r.unwrap().lsn, 3);
+        assert!(effort.retry_steps > 0 && !effort.soft_decode);
+        let base = s.device().op_cost(OpKind::ReadSubpage).total();
+        let penalty = s.device().timing().retry_penalty(effort);
+        assert_eq!(done.saturating_since(issue), base + penalty);
     }
 
     #[test]

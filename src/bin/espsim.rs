@@ -19,7 +19,7 @@ use esp_storage::ftl::{
     precondition, random_workload, run_trace_qd, CgmFtl, CrashHarness, CrashOp, CrashTarget,
     FgmFtl, Ftl, FtlConfig, RunReport, SectorLogFtl, SubFtl,
 };
-use esp_storage::nand::{FaultConfig, Geometry};
+use esp_storage::nand::{FaultConfig, Geometry, RetryLadder};
 use esp_storage::sim::Rng;
 use esp_storage::workload::{
     generate, load_msr_trace, load_trace, save_trace, Benchmark, MsrOptions, SyntheticConfig, Trace,
@@ -45,6 +45,7 @@ WORKLOAD FLAGS (run / compare / gen):
     --benchmark <name>   sysbench | varmail | postmark | ycsb | tpcc
     --rsmall <0..1>      custom mix instead of a benchmark profile
     --rsynch <0..1>        (with --rsmall; defaults 1.0 / 1.0)
+    --read-fraction <0..1>  reads in the custom mix       [default 0]
     --requests <n>       request count           [default 20000]
     --seed <n>           RNG seed                [default 42]
     --trace <file>       replay this esp-trace file instead of generating
@@ -63,6 +64,18 @@ DEVICE / FTL FLAGS:
     --op <0..1>          over-provisioning (hidden capacity) [default 0.25]
     --planes <n>         planes per chip               [default 1]
     --out <file>         (gen) output path
+
+READ-RELIABILITY FLAGS (run / compare / replay):
+    --read-disturb <f>   per-read disturb added to each block's normalized
+                         BER, reset by erase (try 1e-3)      [default 0]
+    --retry-ladder <v>   read-retry ladder: `on` for the paper default
+                         (4 hard steps, +0.15 uplift each, soft decode at
+                         2x), or `S:U:V` = steps:uplift:soft-uplift
+    --reclaim-threshold <n>  relocate data whose read needed >= n ladder
+                         steps, and patrol-scrub disturbed blocks
+                         (requires --retry-ladder)
+    --read-only-on-loss <bool>  latch the FTL read-only after the first
+                         uncorrectable host read           [default false]
 
 FAULT-INJECTION FLAGS (run / compare / replay / crash-sweep):
     --pfail <0..1>       per-program failure probability     [default 0]
@@ -196,8 +209,45 @@ fn config_from(flags: &Flags) -> Result<FtlConfig, Box<dyn Error>> {
             ..FaultConfig::default()
         });
     }
+    let read_disturb: f64 = flags.parse_or("read-disturb", 0.0)?;
+    if read_disturb != 0.0 {
+        cfg.retention = cfg.retention.clone().with_read_disturb(read_disturb);
+    }
+    if let Some(v) = flags.get("retry-ladder") {
+        cfg.retry_ladder = Some(ladder_from(v)?);
+    }
+    if let Some(v) = flags.get("reclaim-threshold") {
+        let t: u32 = v
+            .parse()
+            .map_err(|e| format!("bad --reclaim-threshold: {e}"))?;
+        cfg.reclaim_threshold = Some(t);
+    }
+    cfg.read_only_on_loss = flags.parse_or("read-only-on-loss", false)?;
     cfg.validate().map_err(|e| format!("invalid config: {e}"))?;
     Ok(cfg)
+}
+
+/// Parses `--retry-ladder`: `on`/`default` for the paper ladder, or a
+/// `steps:uplift:soft-uplift` triple (e.g. `4:0.15:1.0`).
+fn ladder_from(v: &str) -> Result<RetryLadder, Box<dyn Error>> {
+    if matches!(v, "on" | "default" | "paper") {
+        return Ok(RetryLadder::paper_default());
+    }
+    let parts: Vec<&str> = v.split(':').collect();
+    let [steps, uplift, soft] = parts.as_slice() else {
+        return Err(format!("--retry-ladder wants `on` or S:U:V, got `{v}`").into());
+    };
+    Ok(RetryLadder {
+        hard_steps: steps
+            .parse()
+            .map_err(|e| format!("bad ladder steps: {e}"))?,
+        step_uplift: uplift
+            .parse()
+            .map_err(|e| format!("bad ladder uplift: {e}"))?,
+        soft_uplift: soft
+            .parse()
+            .map_err(|e| format!("bad ladder soft uplift: {e}"))?,
+    })
 }
 
 fn build_ftl(name: &str, cfg: &FtlConfig) -> Result<Box<dyn Ftl>, Box<dyn Error>> {
@@ -259,11 +309,13 @@ fn trace_from(flags: &Flags, cfg: &FtlConfig, force_file: bool) -> Result<Trace,
     }
     let r_small: f64 = flags.parse_or("rsmall", 1.0)?;
     let r_synch: f64 = flags.parse_or("rsynch", 1.0)?;
+    let read_fraction: f64 = flags.parse_or("read-fraction", 0.0)?;
     postprocess(generate(&SyntheticConfig {
         footprint_sectors: footprint,
         requests,
         r_small,
         r_synch,
+        read_fraction,
         zipf_theta: 0.9,
         small_zone_sectors: Some((footprint / 64).max(64)),
         rewrite_distance: 512,
@@ -297,6 +349,33 @@ fn print_report(r: &RunReport, lifetime: &esp_storage::ftl::FtlStats) {
     println!("  request WAF     {:.3}", r.stats.small_request_waf());
     println!("  total WAF       {:.3}", r.stats.total_waf());
     println!("  read faults     {}", r.stats.read_faults);
+    if r.stats.read_faults > 0 {
+        println!(
+            "    by cause      {} retention / {} torn / {} destroyed / {} injected",
+            r.stats.read_faults_retention,
+            r.stats.read_faults_torn,
+            r.stats.read_faults_destroyed,
+            r.stats.read_faults_injected
+        );
+    }
+    if r.recovered_reads > 0 || r.retry_steps > 0 || r.soft_decodes > 0 {
+        println!(
+            "  retry ladder    {} recovered reads ({} hard steps, {} soft decodes)",
+            r.recovered_reads, r.retry_steps, r.soft_decodes
+        );
+    }
+    if r.stats.read_reclaims > 0 || r.stats.disturb_scrubs > 0 {
+        println!(
+            "  read reclaim    {} page reclaims, {} blocks scrubbed",
+            r.stats.read_reclaims, r.stats.disturb_scrubs
+        );
+    }
+    if lifetime.read_only_trips > 0 {
+        println!(
+            "  read-only latch tripped ({} writes dropped)",
+            lifetime.writes_dropped_read_only
+        );
+    }
     // Non-zero only for mounts of a crashed image: pages cut mid-program
     // are quarantined (and still cost scan reads) at recovery time.
     if lifetime.torn_pages_quarantined > 0 {
