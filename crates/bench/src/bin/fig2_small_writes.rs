@@ -20,9 +20,11 @@
 //! pieces (footnote 1); FGM's GC invocations rise with both ratios.
 
 use esp_bench::{
-    big_flag, experiment_config, footprint_sectors, FtlKind, TextTable, FILL_FRACTION,
+    bench_report, big_flag, experiment_config, footprint_sectors, write_bench, FtlKind, TextTable,
+    FILL_FRACTION,
 };
 use esp_core::{precondition, run_trace_qd};
+use esp_sim::Json;
 use esp_workload::{generate, SyntheticConfig};
 
 const QUEUE_DEPTH: usize = 8;
@@ -42,6 +44,9 @@ fn main() {
 
     let mut iops = vec![vec![[0.0f64; 2]; r_synchs.len()]; r_smalls.len()];
     let mut gcs = vec![vec![0u64; r_synchs.len()]; r_smalls.len()];
+    let mut bench = bench_report("fig2_small_writes", &cfg, big_flag());
+    bench.meta("volume_sectors", Json::from(volume_sectors));
+    bench.meta("qd", Json::from(QUEUE_DEPTH as u64));
 
     for (i, &r_small) in r_smalls.iter().enumerate() {
         for (j, &r_synch) in r_synchs.iter().enumerate() {
@@ -76,6 +81,10 @@ fn main() {
                 if kind == FtlKind::Fgm {
                     gcs[i][j] = report.stats.gc_invocations;
                 }
+                bench.push_run(
+                    &format!("{} rsmall={r_small} rsynch={r_synch}", kind.name()),
+                    &report,
+                );
             }
         }
     }
@@ -115,4 +124,5 @@ fn main() {
         t.row(cells);
     }
     println!("{}", t.render());
+    write_bench(&bench);
 }

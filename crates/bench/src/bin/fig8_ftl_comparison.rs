@@ -14,9 +14,11 @@
 //! "+177 %").
 
 use esp_bench::{
-    big_flag, experiment_config, footprint_sectors, FtlKind, TextTable, FILL_FRACTION,
+    bench_report, big_flag, experiment_config, footprint_sectors, write_bench, FtlKind, TextTable,
+    FILL_FRACTION,
 };
 use esp_core::{precondition, run_trace_qd};
+use esp_sim::Json;
 use esp_workload::{generate, Benchmark};
 
 /// The paper's benchmarks are multithreaded; replay with 8 host threads.
@@ -36,6 +38,9 @@ fn main() {
     let mut iops_tbl = TextTable::new(["benchmark", "cgmFTL", "fgmFTL", "subFTL", "sub/fgm gain"]);
     let mut gc_tbl = TextTable::new(["benchmark", "fgmFTL GCs", "subFTL GCs", "fgm/sub ratio"]);
     let mut waf_rows = Vec::new();
+    let mut out = bench_report("fig8_ftl_comparison", &cfg, big_flag());
+    out.meta("requests", Json::from(requests));
+    out.meta("qd", Json::from(QUEUE_DEPTH as u64));
 
     for bench in Benchmark::ALL {
         let trace = generate(&bench.config(footprint, requests, 0xF180));
@@ -55,6 +60,14 @@ fn main() {
             iops[k] = report.iops;
             gc[k] = report.stats.gc_invocations;
             erases[k] = report.erases;
+            out.push_run_with(
+                &format!("{} {bench}", kind.name()),
+                &report,
+                [(
+                    "mapping_memory_bytes".to_string(),
+                    Json::from(ftl.mapping_memory_bytes()),
+                )],
+            );
             if kind == FtlKind::Sub {
                 waf_rows.push((
                     bench,
@@ -93,4 +106,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    write_bench(&out);
 }

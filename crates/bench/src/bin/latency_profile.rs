@@ -6,16 +6,19 @@
 //! path, while GC bursts shape the tail.
 
 use esp_bench::{
-    big_flag, experiment_config, footprint_sectors, FtlKind, TextTable, FILL_FRACTION,
+    bench_report, big_flag, experiment_config, footprint_sectors, write_bench, FtlKind, TextTable,
+    FILL_FRACTION,
 };
 use esp_core::{precondition, run_trace_qd};
-use esp_sim::SimDuration;
+use esp_sim::{Json, SimDuration};
 use esp_workload::{generate, Benchmark};
 
 fn main() {
     let cfg = experiment_config(big_flag());
     let footprint = footprint_sectors(&cfg);
     let requests = if big_flag() { 400_000 } else { 50_000 };
+    let mut out = bench_report("latency_profile", &cfg, big_flag());
+    out.meta("requests", Json::from(requests));
 
     for (bench, qd) in [(Benchmark::Varmail, 1usize), (Benchmark::Varmail, 8)] {
         let trace = generate(&bench.config(footprint, requests, 0x1A7));
@@ -25,6 +28,7 @@ fn main() {
             let mut ftl = kind.build(&cfg);
             precondition(ftl.as_mut(), FILL_FRACTION);
             let r = run_trace_qd(ftl.as_mut(), &trace, qd);
+            out.push_run(&format!("{} {bench} qd={qd}", kind.name()), &r);
             let pct = |q: f64| SimDuration::from_nanos(r.latency.percentile(q)).to_string();
             t.row([
                 kind.name().to_string(),
@@ -42,4 +46,5 @@ fn main() {
          (lower median), and its rarer GC keeps the p99/p99.9 tail flatter\n\
          than fgmFTL's. (Percentiles are power-of-two bucket lower bounds.)"
     );
+    write_bench(&out);
 }

@@ -10,9 +10,11 @@
 //! region.
 
 use esp_bench::{
-    big_flag, experiment_config, footprint_sectors, FtlKind, TextTable, FILL_FRACTION,
+    bench_report, big_flag, experiment_config, footprint_sectors, write_bench, FtlKind, TextTable,
+    FILL_FRACTION,
 };
 use esp_core::{precondition, run_trace_qd};
+use esp_sim::Json;
 use esp_workload::{generate, Benchmark};
 
 fn main() {
@@ -32,12 +34,15 @@ fn main() {
         "evictions",
     ]);
     let paper_waf = [1.005, 1.007, 1.003, 1.005, 1.008];
+    let mut out = bench_report("table1_waf", &cfg, big_flag());
+    out.meta("requests", Json::from(requests));
     for (bench, &pw) in Benchmark::ALL.iter().zip(&paper_waf) {
         let trace = generate(&bench.config(footprint, requests, 0x7AB1E));
         let mut ftl = FtlKind::Sub.build(&cfg);
         precondition(ftl.as_mut(), FILL_FRACTION);
         let report = run_trace_qd(ftl.as_mut(), &trace, 8);
         assert_eq!(report.stats.read_faults, 0);
+        out.push_run(&format!("subFTL {bench}"), &report);
         t.row([
             bench.name().to_string(),
             format!("{:.1}%", bench.paper_small_write_fraction() * 100.0),
@@ -55,4 +60,5 @@ fn main() {
          1.0 can occur when the write buffer absorbs re-writes before they\n\
          reach flash."
     );
+    write_bench(&out);
 }

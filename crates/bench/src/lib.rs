@@ -17,7 +17,10 @@
 
 use esp_core::{CgmFtl, FgmFtl, Ftl, FtlConfig, RunReport, SubFtl};
 use esp_nand::Geometry;
+use esp_sim::Json;
 use esp_workload::Trace;
+
+pub use esp_core::BenchReport;
 
 /// The reduced-capacity experiment device (512 MiB, paper shape).
 #[must_use]
@@ -100,6 +103,28 @@ impl FtlKind {
             FtlKind::Fgm => Box::new(FgmFtl::new(config)),
             FtlKind::Sub => Box::new(SubFtl::new(config)),
         }
+    }
+}
+
+/// Starts a BENCH report for an experiment binary, stamped with the
+/// device shape so `benchcmp` refuses nothing silently: reports produced
+/// at different scales still compare, but the geometry is on record.
+#[must_use]
+pub fn bench_report(name: &str, cfg: &FtlConfig, big: bool) -> BenchReport {
+    let mut b = BenchReport::new(name);
+    b.meta("geometry", Json::from(format!("{}", cfg.geometry)));
+    b.meta("big", Json::from(big));
+    b
+}
+
+/// Writes `BENCH_<name>.json` into `$BENCH_OUT_DIR` (or the working
+/// directory) and prints the path. An I/O failure is reported on stderr
+/// but does not abort the experiment — the human-readable tables above
+/// are the primary output.
+pub fn write_bench(b: &BenchReport) {
+    match b.write_default() {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write BENCH report: {e}"),
     }
 }
 

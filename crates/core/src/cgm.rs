@@ -7,7 +7,7 @@
 //! ("89.3 % of the total writes in Varmail were serviced using RMW").
 
 use esp_nand::Oob;
-use esp_sim::SimTime;
+use esp_sim::{merge_events, SimTime, TraceEvent};
 use esp_ssd::Ssd;
 use esp_workload::SECTORS_PER_PAGE;
 
@@ -236,6 +236,19 @@ impl Ftl for CgmFtl {
 
     fn logical_sectors(&self) -> u64 {
         self.logical_sectors
+    }
+
+    fn enable_tracing(&mut self, capacity: usize) {
+        self.engine.enable_tracing(capacity);
+        self.ssd.enable_tracing(capacity);
+    }
+
+    fn events(&self) -> Vec<TraceEvent> {
+        merge_events(&[self.engine.trace(), self.ssd.trace()])
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.engine.trace().dropped() + self.ssd.trace().dropped()
     }
 
     fn write(&mut self, lsn: u64, sectors: u32, sync: bool, issue: SimTime) -> SimTime {

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use esp_nand::Oob;
-use esp_sim::SimTime;
+use esp_sim::{merge_events, EventBuffer, EventSink, SimTime, TraceEvent};
 use esp_ssd::Ssd;
 use esp_workload::SECTORS_PER_PAGE;
 
@@ -78,6 +78,8 @@ pub struct FgmFtl {
     watermark: u32,
     background_gc: bool,
     reliability: ReadReliability,
+    /// GC/scrub/reclaim event recorder; disabled (free) by default.
+    trace: EventBuffer,
 }
 
 impl FgmFtl {
@@ -132,6 +134,7 @@ impl FgmFtl {
             watermark: config.gc_free_watermark,
             background_gc: config.background_gc,
             reliability: ReadReliability::new(config),
+            trace: EventBuffer::disabled(),
         };
         // Exclude factory-marked and previously grown bad blocks (local
         // block index == gbi here).
@@ -397,12 +400,12 @@ impl FgmFtl {
     fn ensure_space(&mut self, issue: SimTime) -> SimTime {
         let mut now = issue;
         while !self.ssd.crashed() && (self.free.len() as u32) < self.watermark {
-            now = self.collect_victim(now);
+            now = self.collect_victim(now, "watermark");
         }
         now
     }
 
-    fn collect_victim(&mut self, issue: SimTime) -> SimTime {
+    fn collect_victim(&mut self, issue: SimTime, cause: &'static str) -> SimTime {
         let victim = self
             .blocks
             .iter()
@@ -420,6 +423,13 @@ impl FgmFtl {
             "fgm region overcommitted: victim fully valid"
         );
         self.stats.gc_invocations += 1;
+        let valid = self.blocks[victim as usize].valid_count;
+        self.trace.emit(|| {
+            TraceEvent::new(issue.as_nanos(), "gc.collect")
+                .tag(cause)
+                .field("block", u64::from(victim))
+                .field("valid_sectors", u64::from(valid))
+        });
         self.collect_block(victim, issue)
     }
 
@@ -521,6 +531,12 @@ impl FgmFtl {
                 .geometry()
                 .block_addr(self.blocks[victim as usize].gbi);
             if self.ssd.device().reads_since_erase(addr) >= limit && !self.ssd.crashed() {
+                let at = now.as_nanos();
+                self.trace.emit(|| {
+                    TraceEvent::new(at, "gc.scrub")
+                        .tag("disturb")
+                        .field("block", u64::from(victim))
+                });
                 now = self.collect_block(victim, now);
                 self.stats.disturb_scrubs += 1;
             }
@@ -537,7 +553,14 @@ impl FgmFtl {
             if self.ssd.crashed() {
                 return now;
             }
+            let at = now.as_nanos();
+            let sectors = group.len() as u64;
             now = self.program_group(group, now);
+            self.trace.emit(|| {
+                TraceEvent::new(at, "gc.reclaim")
+                    .tag("read_reclaim")
+                    .field("sectors", sectors)
+            });
             self.stats.read_reclaims += group.len() as u64;
             self.stats.gc_copied_sectors += group.len() as u64;
             self.stats.gc_flash_sectors += u64::from(SECTORS_PER_PAGE);
@@ -590,6 +613,19 @@ impl Ftl for FgmFtl {
 
     fn logical_sectors(&self) -> u64 {
         self.logical_sectors
+    }
+
+    fn enable_tracing(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+        self.ssd.enable_tracing(capacity);
+    }
+
+    fn events(&self) -> Vec<TraceEvent> {
+        merge_events(&[&self.trace, self.ssd.trace()])
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.trace.dropped() + self.ssd.trace().dropped()
     }
 
     fn write(&mut self, lsn: u64, sectors: u32, sync: bool, issue: SimTime) -> SimTime {
@@ -717,7 +753,7 @@ impl Ftl for FgmFtl {
             if now + estimate > until {
                 break;
             }
-            now = self.collect_victim(now);
+            now = self.collect_victim(now, "background");
         }
     }
 

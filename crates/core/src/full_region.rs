@@ -19,7 +19,7 @@
 //! stays in the owning FTL.
 
 use esp_nand::{Oob, PageAddr};
-use esp_sim::SimTime;
+use esp_sim::{EventBuffer, EventSink, SimTime, TraceEvent};
 use esp_ssd::Ssd;
 use esp_workload::SECTORS_PER_PAGE;
 
@@ -82,6 +82,8 @@ pub struct FullRegionEngine {
     /// L2P: logical page number → packed pointer (`NO_PTR` = unmapped).
     l2p: Vec<u32>,
     watermark: u32,
+    /// GC/scrub/reclaim event recorder; disabled (free) by default.
+    trace: EventBuffer,
 }
 
 impl FullRegionEngine {
@@ -126,7 +128,21 @@ impl FullRegionEngine {
             rr: 0,
             l2p: vec![NO_PTR; lpn_count as usize],
             watermark,
+            trace: EventBuffer::disabled(),
         }
+    }
+
+    /// Arms event tracing for the engine's GC/scrub/reclaim decisions,
+    /// keeping at most `capacity` events (keep-newest). Off by default.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+    }
+
+    /// The engine's trace recorder (empty unless
+    /// [`FullRegionEngine::enable_tracing`] was called).
+    #[must_use]
+    pub fn trace(&self) -> &EventBuffer {
+        &self.trace
     }
 
     fn chip_of(&self, local: u32) -> usize {
@@ -373,7 +389,7 @@ impl FullRegionEngine {
             if now + estimate > until {
                 break;
             }
-            now = self.collect_victim(ssd, stats, now);
+            now = self.collect_victim(ssd, stats, now, "background");
         }
         now
     }
@@ -388,7 +404,7 @@ impl FullRegionEngine {
     pub fn ensure_space(&mut self, ssd: &mut Ssd, stats: &mut FtlStats, issue: SimTime) -> SimTime {
         let mut now = issue;
         while !ssd.crashed() && (self.free.len() as u32) < self.watermark {
-            now = self.collect_victim(ssd, stats, now);
+            now = self.collect_victim(ssd, stats, now, "watermark");
         }
         now
     }
@@ -423,6 +439,12 @@ impl FullRegionEngine {
         stats.read_reclaims += 1;
         stats.gc_copied_sectors += data_sectors;
         stats.gc_flash_sectors += u64::from(SECTORS_PER_PAGE);
+        self.trace.emit(|| {
+            TraceEvent::new(issue.as_nanos(), "gc.reclaim")
+                .tag("read_reclaim")
+                .field("lpn", lpn)
+                .field("sectors", data_sectors)
+        });
         done
     }
 
@@ -461,6 +483,13 @@ impl FullRegionEngine {
             now = self.ensure_space(ssd, stats, now);
             let addr = ssd.geometry().block_addr(self.blocks[victim as usize].gbi);
             if ssd.device().reads_since_erase(addr) >= limit && !ssd.crashed() {
+                let gbi = self.blocks[victim as usize].gbi;
+                let at = now.as_nanos();
+                self.trace.emit(|| {
+                    TraceEvent::new(at, "gc.scrub")
+                        .tag("disturb")
+                        .field("block", u64::from(gbi))
+                });
                 now = self.collect_block(victim, ssd, stats, now);
                 stats.disturb_scrubs += 1;
             }
@@ -482,7 +511,15 @@ impl FullRegionEngine {
     }
 
     /// Collects one victim block: copy valid pages out, erase, free.
-    fn collect_victim(&mut self, ssd: &mut Ssd, stats: &mut FtlStats, issue: SimTime) -> SimTime {
+    /// `cause` tags the trace event ("watermark" for foreground pressure,
+    /// "background" for idle-window collection).
+    fn collect_victim(
+        &mut self,
+        ssd: &mut Ssd,
+        stats: &mut FtlStats,
+        issue: SimTime,
+        cause: &'static str,
+    ) -> SimTime {
         let victim = self
             .pick_victim()
             .expect("full region GC found no victim: pool too small");
@@ -491,6 +528,16 @@ impl FullRegionEngine {
             "full region overcommitted: best victim has no invalid pages"
         );
         stats.gc_invocations += 1;
+        let (gbi, valid) = (
+            self.blocks[victim as usize].gbi,
+            self.blocks[victim as usize].valid_count,
+        );
+        self.trace.emit(|| {
+            TraceEvent::new(issue.as_nanos(), "gc.collect")
+                .tag(cause)
+                .field("block", u64::from(gbi))
+                .field("valid_pages", u64::from(valid))
+        });
         self.collect_block(victim, ssd, stats, issue)
     }
 

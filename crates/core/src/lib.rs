@@ -57,6 +57,7 @@ mod fgm;
 mod full_region;
 mod read_path;
 mod recovery;
+mod report;
 mod runner;
 mod sector_log;
 mod stats;
@@ -71,6 +72,10 @@ pub use crash_harness::{
 };
 pub use fgm::FgmFtl;
 pub use full_region::{FullRegionEngine, PagePtr};
+pub use report::{
+    latency_json, run_json, validate_bench, BenchReport, BENCH_SCHEMA_NAME, BENCH_SCHEMA_VERSION,
+    REQUIRED_RUN_FIELDS,
+};
 pub use runner::{precondition, run_trace, run_trace_qd, Ftl};
 pub use sector_log::SectorLogFtl;
 pub use stats::{FtlStats, RunReport};

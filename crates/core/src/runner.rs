@@ -83,6 +83,24 @@ pub trait Ftl {
 
     /// The underlying timed SSD.
     fn ssd(&self) -> &Ssd;
+
+    /// Arms per-operation event tracing, retaining at most `capacity`
+    /// events in a keep-newest ring. Tracing is off by default and costs
+    /// one branch per potential event while off; FTLs without a recorder
+    /// may ignore the request (the default does).
+    fn enable_tracing(&mut self, _capacity: usize) {}
+
+    /// The retained trace events, oldest first (empty when tracing was
+    /// never enabled). Includes both FTL-level events (`host.*`, `gc.*`,
+    /// …) and NAND-level events (`nand.*`), merged by simulated time.
+    fn events(&self) -> Vec<esp_sim::TraceEvent> {
+        Vec::new()
+    }
+
+    /// Events evicted by the trace ring bound (0 when tracing is off).
+    fn events_dropped(&self) -> u64 {
+        0
+    }
 }
 
 impl FtlStats {
@@ -200,6 +218,8 @@ pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: us
     let mut threads = vec![base; queue_depth];
     let mut clock = base;
     let mut latency = esp_sim::Log2Histogram::new();
+    let mut read_latency = esp_sim::HdrHistogram::new();
+    let mut write_latency = esp_sim::HdrHistogram::new();
     for r in trace {
         let arrival = base + SimDuration::from_nanos(r.arrival.as_nanos());
         // The earliest-free thread picks the request up.
@@ -221,7 +241,9 @@ pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: us
             IoOp::Write => {
                 let done = ftl.write(r.lsn, r.sectors, r.sync, issue);
                 if r.sync {
-                    latency.record(done.saturating_since(issue).as_nanos());
+                    let ns = done.saturating_since(issue).as_nanos();
+                    latency.record(ns);
+                    write_latency.record(ns);
                     done
                 } else {
                     issue
@@ -229,7 +251,9 @@ pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: us
             }
             IoOp::Read => {
                 let done = ftl.read(r.lsn, r.sectors, issue);
-                latency.record(done.saturating_since(issue).as_nanos());
+                let ns = done.saturating_since(issue).as_nanos();
+                latency.record(ns);
+                read_latency.record(ns);
                 done
             }
         };
@@ -264,6 +288,8 @@ pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: us
         retry_steps: dev.retry_steps.saturating_sub(dev0.retry_steps),
         soft_decodes: dev.soft_decodes.saturating_sub(dev0.soft_decodes),
         latency,
+        read_latency,
+        write_latency,
     }
 }
 

@@ -16,7 +16,7 @@
 //! becomes a measurable experiment (`related_sector_log`).
 
 use esp_nand::Oob;
-use esp_sim::SimTime;
+use esp_sim::{merge_events, EventBuffer, EventSink, SimTime, TraceEvent};
 use esp_ssd::Ssd;
 use esp_workload::SECTORS_PER_PAGE;
 
@@ -85,6 +85,8 @@ pub struct SectorLogFtl {
     nsub: u32,
     watermark: u32,
     reliability: ReadReliability,
+    /// Log-merge/reclaim event recorder; disabled (free) by default.
+    trace: EventBuffer,
 }
 
 impl SectorLogFtl {
@@ -166,6 +168,7 @@ impl SectorLogFtl {
             nsub: g.subpages_per_page,
             watermark: config.gc_free_watermark,
             reliability: ReadReliability::new(config),
+            trace: EventBuffer::disabled(),
         };
         // Exclude factory-marked bad blocks from whichever region owns them.
         for gbi in ftl.ssd.device().bad_block_indices() {
@@ -555,6 +558,13 @@ impl SectorLogFtl {
             .map(|(i, _)| i as u32)
             .expect("sector log GC: no victim");
         self.stats.gc_invocations += 1;
+        let valid = self.log_blocks[victim as usize].valid_count;
+        self.trace.emit(|| {
+            TraceEvent::new(issue.as_nanos(), "gc.collect")
+                .tag("log_merge")
+                .field("block", u64::from(victim))
+                .field("valid_sectors", u64::from(valid))
+        });
         let mut now = issue;
         // Collect the victim's live sectors.
         let gbi = self.log_blocks[victim as usize].gbi;
@@ -716,6 +726,20 @@ impl Ftl for SectorLogFtl {
         self.logical_sectors
     }
 
+    fn enable_tracing(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+        self.data.enable_tracing(capacity);
+        self.ssd.enable_tracing(capacity);
+    }
+
+    fn events(&self) -> Vec<TraceEvent> {
+        merge_events(&[&self.trace, self.data.trace(), self.ssd.trace()])
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.trace.dropped() + self.data.trace().dropped() + self.ssd.trace().dropped()
+    }
+
     fn write(&mut self, lsn: u64, sectors: u32, sync: bool, issue: SimTime) -> SimTime {
         assert!(
             lsn + u64::from(sectors) <= self.logical_sectors,
@@ -814,7 +838,13 @@ impl Ftl for SectorLogFtl {
         reclaim.dedup_by_key(|e| e.0);
         for (lpn, via_log) in reclaim {
             done = if via_log {
+                let at = done.as_nanos();
                 let t = self.merge_lpn(lpn, done);
+                self.trace.emit(|| {
+                    TraceEvent::new(at, "gc.reclaim")
+                        .tag("read_reclaim")
+                        .field("lpn", lpn)
+                });
                 self.stats.read_reclaims += 1;
                 t
             } else {

@@ -1,6 +1,6 @@
 //! FTL-level statistics: the quantities the paper's evaluation reports.
 
-use esp_sim::{Log2Histogram, SimDuration, SimTime};
+use esp_sim::{HdrHistogram, LatencySummary, Log2Histogram, SimDuration, SimTime};
 use esp_workload::SECTOR_BYTES;
 
 /// Counters maintained by every FTL.
@@ -168,6 +168,12 @@ pub struct RunReport {
     /// Host-observed request latencies in nanoseconds (synchronous writes
     /// and reads; asynchronous writes complete in DRAM and are excluded).
     pub latency: Log2Histogram,
+    /// Host-observed **read** latencies in nanoseconds, at HDR (≤1/16
+    /// relative error) resolution for p50/p95/p99/p999 reporting.
+    pub read_latency: HdrHistogram,
+    /// Host-observed **synchronous write** latencies in nanoseconds, at HDR
+    /// resolution. Asynchronous writes complete in DRAM and are excluded.
+    pub write_latency: HdrHistogram,
 }
 
 impl RunReport {
@@ -181,6 +187,20 @@ impl RunReport {
     #[must_use]
     pub fn latency_p99(&self) -> SimDuration {
         SimDuration::from_nanos(self.latency.percentile(0.99))
+    }
+
+    /// Percentile summary (count/mean/min/max/p50/p95/p99/p999) of
+    /// host-observed read latencies, in nanoseconds.
+    #[must_use]
+    pub fn read_latency_summary(&self) -> LatencySummary {
+        self.read_latency.summary()
+    }
+
+    /// Percentile summary of host-observed synchronous write latencies, in
+    /// nanoseconds.
+    #[must_use]
+    pub fn write_latency_summary(&self) -> LatencySummary {
+        self.write_latency.summary()
     }
 
     /// Host write bandwidth over the makespan, in MB/s.
@@ -248,6 +268,8 @@ mod tests {
             retry_steps: 0,
             soft_decodes: 0,
             latency: Log2Histogram::new(),
+            read_latency: HdrHistogram::new(),
+            write_latency: HdrHistogram::new(),
         };
         let mbps = r.write_bandwidth_mbps();
         assert!((mbps - 1000.0 * 4096.0 / 1e6 / 2.0).abs() < 1e-9);

@@ -22,7 +22,7 @@
 //! `Npp` type.
 
 use esp_nand::{Oob, SubpageAddr};
-use esp_sim::{SimDuration, SimTime};
+use esp_sim::{merge_events, EventBuffer, EventSink, SimDuration, SimTime, TraceEvent};
 use esp_ssd::Ssd;
 use esp_workload::SECTORS_PER_PAGE;
 
@@ -116,6 +116,9 @@ pub struct SubFtl {
     /// [`FtlConfig::crash_safe_mode`]).
     crash_safe_mode: bool,
     reliability: ReadReliability,
+    /// FTL-level event recorder (host ops, subpage-region GC, lap
+    /// migrations); disabled (free) by default.
+    trace: EventBuffer,
 }
 
 impl SubFtl {
@@ -203,6 +206,7 @@ impl SubFtl {
             background_gc: config.background_gc,
             crash_safe_mode: config.crash_safe_mode,
             reliability: ReadReliability::new(config),
+            trace: EventBuffer::disabled(),
         };
         // Exclude factory-marked and previously grown bad blocks from
         // whichever region owns them; the reserve must stay usable.
@@ -496,6 +500,7 @@ impl SubFtl {
             background_gc: config.background_gc,
             crash_safe_mode: config.crash_safe_mode,
             reliability: ReadReliability::new(config),
+            trace: EventBuffer::disabled(),
         };
         if evacuate {
             ftl.evacuate_reserve();
@@ -797,6 +802,13 @@ impl SubFtl {
                             // the freed slot takes the new data on the next
                             // iteration. The cursor is *not* advanced.
                             self.stats.lap_migrations += 1;
+                            let at = now.as_nanos();
+                            self.trace.emit(|| {
+                                TraceEvent::new(at, "sub.lap_migration")
+                                    .tag("to_full")
+                                    .field("lsn", old_lsn)
+                                    .field("block", u64::from(b))
+                            });
                             now = self.evict_to_full(&[(old_lsn, oob)], now);
                         }
                         Ok(oob) => match self.ssd.program_subpage(addr, oob, now) {
@@ -808,6 +820,13 @@ impl SubFtl {
                                 });
                                 debug_assert!(updated_ok, "checked above");
                                 self.stats.lap_migrations += 1;
+                                let at = now.as_nanos();
+                                self.trace.emit(|| {
+                                    TraceEvent::new(at, "sub.lap_migration")
+                                        .tag("in_place")
+                                        .field("lsn", old_lsn)
+                                        .field("block", u64::from(b))
+                                });
                                 self.stats.gc_flash_sectors += 1;
                                 self.stats.small_waf_flash_sectors += 1.0;
                                 self.advance_cursor(b);
@@ -914,6 +933,13 @@ impl SubFtl {
                     .map(|(i, _)| i as u32)
                     .expect("subpage region has no GC victim")
             });
+        let valid = self.blocks[victim as usize].valid_count;
+        self.trace.emit(|| {
+            TraceEvent::new(issue.as_nanos(), "gc.collect")
+                .tag("sub")
+                .field("block", u64::from(victim))
+                .field("valid_subpages", u64::from(valid))
+        });
         let mut now = issue;
         let reserve = self.reserve;
         debug_assert!(self.blocks[reserve as usize].is_erased());
@@ -1243,6 +1269,13 @@ impl SubFtl {
             }
             if !items.is_empty() {
                 self.stats.retention_evictions += items.len() as u64;
+                let at = t.as_nanos();
+                let count = items.len() as u64;
+                self.trace.emit(|| {
+                    TraceEvent::new(at, "gc.scrub")
+                        .tag("retention")
+                        .field("subpages", count)
+                });
                 t = self.evict_to_full(&items, t);
             }
         }
@@ -1271,6 +1304,12 @@ impl SubFtl {
                 return;
             };
             let victim = victim as u32;
+            let at = now.as_nanos();
+            self.trace.emit(|| {
+                TraceEvent::new(at, "gc.scrub")
+                    .tag("disturb")
+                    .field("block", u64::from(victim))
+            });
             // Evacuate live subpages, batched per logical page like
             // `evacuate_reserve`.
             let mut items: Vec<(u64, Oob)> = Vec::new();
@@ -1387,6 +1426,20 @@ impl Ftl for SubFtl {
         self.logical_sectors
     }
 
+    fn enable_tracing(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+        self.full.enable_tracing(capacity);
+        self.ssd.enable_tracing(capacity);
+    }
+
+    fn events(&self) -> Vec<TraceEvent> {
+        merge_events(&[&self.trace, self.full.trace(), self.ssd.trace()])
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.trace.dropped() + self.full.trace().dropped() + self.ssd.trace().dropped()
+    }
+
     fn write(&mut self, lsn: u64, sectors: u32, sync: bool, issue: SimTime) -> SimTime {
         assert!(
             lsn + u64::from(sectors) <= self.logical_sectors,
@@ -1486,6 +1539,14 @@ impl Ftl for SubFtl {
                 .position(|(s, _)| s / page != lpn)
                 .map_or(sub_reclaim.len(), |k| i + k);
             self.stats.read_reclaims += (j - i) as u64;
+            let at = done.as_nanos();
+            let sectors = (j - i) as u64;
+            self.trace.emit(|| {
+                TraceEvent::new(at, "gc.reclaim")
+                    .tag("read_reclaim")
+                    .field("lpn", lpn)
+                    .field("sectors", sectors)
+            });
             done = self.evict_to_full(&sub_reclaim[i..j], done);
             i = j;
         }

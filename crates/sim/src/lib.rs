@@ -10,6 +10,13 @@
 //! * [`Rng`] / [`Zipf`] — self-contained deterministic random number
 //!   generation and skewed (hot/cold) sampling for workload synthesis.
 //! * [`RunningStats`] / [`Log2Histogram`] — metric accumulators.
+//! * [`HdrHistogram`] / [`MetricsRegistry`] — HDR-style log-bucketed
+//!   latency percentiles (p50/p95/p99/p999) and a counter/gauge registry
+//!   for machine-readable reports.
+//! * [`TraceEvent`] / [`EventSink`] / [`EventBuffer`] — zero-cost-when-
+//!   disabled per-operation structured event tracing.
+//! * [`Json`] — dependency-free JSON emit/parse for `BENCH_*.json`
+//!   artifacts.
 //!
 //! Everything here is deterministic and single-threaded by design: a seed
 //! plus a configuration fully determines every simulation result, which is
@@ -31,12 +38,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod json;
+mod metrics;
 mod resource;
 mod rng;
 mod stats;
 mod time;
+mod trace;
 
+pub use json::Json;
+pub use metrics::{HdrHistogram, LatencySummary, MetricsRegistry};
 pub use resource::Resource;
 pub use rng::{Rng, Zipf};
 pub use stats::{Log2Histogram, RunningStats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{merge_events, EventBuffer, EventLog, EventSink, NullSink, TraceEvent};

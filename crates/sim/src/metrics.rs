@@ -1,0 +1,496 @@
+//! HDR-style latency histograms and a name/value metrics registry.
+//!
+//! [`HdrHistogram`] is the streaming percentile accumulator behind every
+//! `BENCH_*.json` latency block: log2 major buckets refined by 16 linear
+//! sub-buckets, giving percentile estimates with at most ~6.25 % relative
+//! error at fixed memory (no sample retention). [`MetricsRegistry`] is a
+//! lightweight counter/gauge/histogram registry used when assembling
+//! machine-readable reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Linear sub-buckets per power-of-two major bucket (2^4).
+const SUB_BUCKETS: u64 = 16;
+const SUB_BITS: u32 = 4;
+/// Index space: values 0..16 exact, then 16 sub-buckets for each of the
+/// 60 possible major buckets (msb 4..=63).
+const BUCKET_COUNT: usize = (SUB_BUCKETS + 60 * SUB_BUCKETS) as usize;
+
+/// A log-bucketed (HDR-style) histogram for latency-like `u64` values.
+///
+/// Values below 16 are counted exactly; larger values land in one of 16
+/// linear sub-buckets of their power-of-two range, so any percentile
+/// estimate is within one sub-bucket (≤ 1/16 relative error) of the exact
+/// sample percentile. Memory is fixed (~7.6 KiB) regardless of sample
+/// count.
+///
+/// # Examples
+///
+/// ```
+/// use esp_sim::HdrHistogram;
+///
+/// let mut h = HdrHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.percentile(0.50);
+/// // Within one sub-bucket of the exact median (500).
+/// assert!((469..=531).contains(&p50), "p50 = {p50}");
+/// ```
+#[derive(Clone)]
+pub struct HdrHistogram {
+    buckets: Box<[u64; BUCKET_COUNT]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HdrHistogram {
+    fn default() -> Self {
+        HdrHistogram {
+            buckets: Box::new([0; BUCKET_COUNT]),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl fmt::Debug for HdrHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HdrHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.percentile(0.50))
+            .field("p99", &self.percentile(0.99))
+            .finish()
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = (v >> shift) - SUB_BUCKETS; // top 4 bits after the leading 1
+        (u64::from(msb - SUB_BITS) * SUB_BUCKETS + SUB_BUCKETS + sub) as usize
+    }
+}
+
+/// Smallest value mapping to bucket `idx`.
+fn bucket_floor(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        idx
+    } else {
+        let major = (idx - SUB_BUCKETS) / SUB_BUCKETS;
+        let sub = (idx - SUB_BUCKETS) % SUB_BUCKETS;
+        (SUB_BUCKETS + sub) << major
+    }
+}
+
+impl HdrHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values, or 0.0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value, or 0 if empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded value, or 0 if empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), reported as the lower bound of
+    /// the sub-bucket containing the rank-`⌈qN⌉` sample — i.e. within one
+    /// sub-bucket of the exact sample percentile. Clamped to the recorded
+    /// min/max so estimates never fall outside the observed range.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_floor(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &HdrHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The standard percentile summary reported in `BENCH_*.json`.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min,
+            max: self.max,
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+        }
+    }
+
+    /// Non-empty buckets as `(floor_value, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_floor(i), c))
+    }
+}
+
+impl fmt::Display for HdrHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p95={} p99={} p999={}",
+            self.count,
+            self.mean(),
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+            self.percentile(0.999),
+        )
+    }
+}
+
+/// A percentile snapshot of an [`HdrHistogram`] (the latency block of a
+/// `BENCH_*.json` run entry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+/// A name-keyed registry of counters, gauges and histograms.
+///
+/// The simulator's primary statistics live in typed structs
+/// (`FtlStats`, `DeviceStats`); the registry is the *flattened* view used
+/// when assembling machine-readable reports, and the natural sink for
+/// ad-hoc instrumentation that does not warrant a struct field. Keys are
+/// ordered (BTreeMap) so iteration — and therefore every emitted report —
+/// is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use esp_sim::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.inc("gc.invocations", 3);
+/// m.set_gauge("waf.total", 1.18);
+/// m.observe("latency.read_ns", 90_000);
+/// assert_eq!(m.counter("gc.invocations"), 3);
+/// assert_eq!(m.histogram("latency.read_ns").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HdrHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter (created at zero on first use).
+    pub fn inc(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records a sample into the named histogram (created on first use).
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Current value of a counter (zero if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any sample was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HdrHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, ordered by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, ordered by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, ordered by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HdrHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one (counters add, gauges take the
+    /// other's value, histograms merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = HdrHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for q in [0.1f64, 0.5, 0.9] {
+            let exact = ((16.0 * q).ceil() as u64).max(1) - 1;
+            assert_eq!(h.percentile(q), exact);
+        }
+    }
+
+    #[test]
+    fn bucket_roundtrip() {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1023,
+            1024,
+            1 << 40,
+            u64::MAX,
+        ] {
+            let idx = bucket_of(v);
+            let floor = bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} > v {v}");
+            // The bucket above starts past v.
+            if idx + 1 < BUCKET_COUNT {
+                assert!(bucket_floor(idx + 1) > v, "v {v} spills into next bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = HdrHistogram::new();
+        let mut vals: Vec<u64> = (0..5000u64).map(|i| (i * 7919) % 1_000_000 + 1).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            let rank = ((vals.len() as f64 * q).ceil() as usize).max(1) - 1;
+            let exact = vals[rank];
+            let est = h.percentile(q);
+            assert!(est <= exact);
+            let err = (exact - est) as f64 / exact as f64;
+            assert!(
+                err <= 1.0 / 16.0 + 1e-9,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_clamped_to_observed_range() {
+        let mut h = HdrHistogram::new();
+        h.record(100);
+        assert_eq!(h.percentile(0.0), 100);
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(h.min(), 100);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut whole = HdrHistogram::new();
+        let mut a = HdrHistogram::new();
+        let mut b = HdrHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * 13 % 777 + 1;
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(a.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let mut h = HdrHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.p999);
+        assert!(s.min <= s.p50 && s.p999 <= s.max);
+        assert!((s.mean - 50_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = HdrHistogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.summary().p999, 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_basics() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a", 1);
+        m.inc("a", 2);
+        m.set_gauge("g", 0.5);
+        m.observe("h", 10);
+        m.observe("h", 20);
+        assert_eq!(m.counter("a"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("g"), Some(0.5));
+        assert_eq!(m.histogram("h").unwrap().count(), 2);
+        assert_eq!(m.counters().count(), 1);
+    }
+
+    #[test]
+    fn registry_merge() {
+        let mut a = MetricsRegistry::new();
+        a.inc("c", 1);
+        a.observe("h", 5);
+        let mut b = MetricsRegistry::new();
+        b.inc("c", 2);
+        b.set_gauge("g", 1.0);
+        b.observe("h", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(1.0));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+}

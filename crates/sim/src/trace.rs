@@ -1,0 +1,365 @@
+//! Per-operation structured event tracing.
+//!
+//! Components (the SSD timing layer, every FTL) embed an [`EventBuffer`]
+//! and report what they do as [`TraceEvent`]s: op kind, sim-time
+//! timestamp, a small set of named integer fields (LSN, sector count,
+//! retry rungs climbed, latency) and an optional static tag (GC cause,
+//! region). Recording is **zero-cost when disabled**: the buffer starts
+//! disabled, `emit` takes a closure so the event is never even
+//! constructed unless a sink is armed, and the disabled check is a single
+//! predictable branch on an `Option` discriminant.
+//!
+//! The [`EventSink`] trait is the extension point — [`EventLog`] (a
+//! bounded keep-newest ring) is the stock implementation behind
+//! [`EventBuffer`], and tests can plug their own sink to assert on the
+//! exact stream a scenario produces.
+//!
+//! # Examples
+//!
+//! ```
+//! use esp_sim::{EventBuffer, EventSink, TraceEvent};
+//!
+//! let mut trace = EventBuffer::disabled();
+//! trace.emit(|| unreachable!("never constructed while disabled"));
+//!
+//! trace.enable(1024);
+//! trace.emit(|| TraceEvent::new(150_000, "host.write")
+//!     .field("lsn", 42)
+//!     .field("sectors", 1)
+//!     .tag("sync"));
+//! assert_eq!(trace.events().len(), 1);
+//! assert_eq!(trace.events()[0].get("lsn"), Some(42));
+//! ```
+
+use crate::Json;
+
+/// One structured trace event: what happened, when (simulated time), and
+/// the operation's key numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated timestamp (nanoseconds since simulation start).
+    pub at_ns: u64,
+    /// Event kind, dot-namespaced by layer: `host.write`, `host.read`,
+    /// `gc.collect`, `sub.lap_migration`, `nand.program_subpage`, ….
+    pub kind: &'static str,
+    /// Optional static qualifier: the GC cause (`"watermark"`,
+    /// `"background"`, `"disturb"`), the region (`"sub"`, `"full"`), or a
+    /// similar enum-like label.
+    pub tag: Option<&'static str>,
+    /// Named integer fields (`lsn`, `sectors`, `lat_ns`, `rungs`, …), in
+    /// emission order.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// Starts an event of `kind` at simulated time `at_ns`.
+    #[must_use]
+    pub fn new(at_ns: u64, kind: &'static str) -> Self {
+        TraceEvent {
+            at_ns,
+            kind,
+            tag: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a named field (builder style).
+    #[must_use]
+    pub fn field(mut self, name: &'static str, value: u64) -> Self {
+        self.fields.push((name, value));
+        self
+    }
+
+    /// Sets the qualifier tag (builder style).
+    #[must_use]
+    pub fn tag(mut self, tag: &'static str) -> Self {
+        self.tag = Some(tag);
+        self
+    }
+
+    /// Value of the named field, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.fields
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The event as a JSON object (`{"at_ns": …, "kind": …, ["tag": …,]
+    /// <fields>…}`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = Vec::with_capacity(self.fields.len() + 3);
+        members.push(("at_ns".into(), Json::from(self.at_ns)));
+        members.push(("kind".into(), Json::from(self.kind)));
+        if let Some(tag) = self.tag {
+            members.push(("tag".into(), Json::from(tag)));
+        }
+        for (name, value) in &self.fields {
+            members.push(((*name).into(), Json::from(*value)));
+        }
+        Json::Obj(members)
+    }
+}
+
+/// A destination for trace events.
+///
+/// `emit` defers event construction behind the `enabled` check, so a
+/// disabled sink costs one branch per call site and zero allocations.
+pub trait EventSink {
+    /// Whether events should be constructed at all.
+    fn enabled(&self) -> bool;
+
+    /// Accepts one event (only called when [`EventSink::enabled`]).
+    fn record(&mut self, event: TraceEvent);
+
+    /// Records the event produced by `f`, if and only if the sink is
+    /// enabled.
+    #[inline]
+    fn emit(&mut self, f: impl FnOnce() -> TraceEvent)
+    where
+        Self: Sized,
+    {
+        if self.enabled() {
+            self.record(f());
+        }
+    }
+}
+
+/// The always-off sink: every `emit` is a no-op the optimizer removes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+    #[inline]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// A bounded keep-newest event ring: once `capacity` events are held, each
+/// new event evicts the oldest (the tail of a run is where latency spikes
+/// and GC storms live). Evictions are counted so reports can state how
+/// much history was dropped.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log bounded to `capacity` events (at least 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            events: std::collections::VecDeque::with_capacity(capacity.clamp(1, 1 << 16)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// How many events were evicted to respect the bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl EventSink for EventLog {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// The recorder a component embeds: a possibly-absent [`EventLog`].
+///
+/// Disabled (the default) it is a single `None` — `emit` is one branch,
+/// no allocation, no event construction. [`EventBuffer::enable`] arms a
+/// bounded log at runtime.
+#[derive(Debug, Clone, Default)]
+pub struct EventBuffer {
+    log: Option<EventLog>,
+}
+
+impl EventBuffer {
+    /// The default, disabled recorder.
+    #[must_use]
+    pub fn disabled() -> Self {
+        EventBuffer { log: None }
+    }
+
+    /// A recorder armed with a log bounded to `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventBuffer {
+            log: Some(EventLog::with_capacity(capacity)),
+        }
+    }
+
+    /// Arms recording (replacing any previous log) with the given bound.
+    pub fn enable(&mut self, capacity: usize) {
+        self.log = Some(EventLog::with_capacity(capacity));
+    }
+
+    /// Whether events are being retained.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// The retained events, oldest first (empty when disabled).
+    #[must_use]
+    pub fn events(&self) -> Vec<&TraceEvent> {
+        match &self.log {
+            Some(log) => log.events().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events evicted by the ring bound (0 when disabled).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.log.as_ref().map_or(0, EventLog::dropped)
+    }
+
+    /// Retained event count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.log.as_ref().map_or(0, EventLog::len)
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for EventBuffer {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.log.is_some()
+    }
+
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        if let Some(log) = &mut self.log {
+            log.record(event);
+        }
+    }
+}
+
+/// Merges several event streams into one list ordered by timestamp
+/// (stable: ties keep stream order, then intra-stream order). Used when a
+/// report combines FTL-level and NAND-level events.
+#[must_use]
+pub fn merge_events(streams: &[&EventBuffer]) -> Vec<TraceEvent> {
+    let mut all: Vec<TraceEvent> = streams
+        .iter()
+        .flat_map(|b| b.events().into_iter().cloned())
+        .collect();
+    all.sort_by_key(|e| e.at_ns);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_never_constructs_events() {
+        let mut b = EventBuffer::disabled();
+        b.emit(|| panic!("constructed while disabled"));
+        assert!(!b.is_enabled());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn enabled_buffer_records_in_order() {
+        let mut b = EventBuffer::with_capacity(8);
+        for i in 0..3u64 {
+            b.emit(|| TraceEvent::new(i * 10, "host.write").field("lsn", i));
+        }
+        let events = b.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].get("lsn"), Some(2));
+        assert_eq!(events[0].at_ns, 0);
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut b = EventBuffer::with_capacity(2);
+        for i in 0..5u64 {
+            b.emit(|| TraceEvent::new(i, "x"));
+        }
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 3);
+        assert_eq!(b.events()[0].at_ns, 3);
+        assert_eq!(b.events()[1].at_ns, 4);
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let e = TraceEvent::new(5, "gc.collect")
+            .tag("watermark")
+            .field("victim_pe", 7)
+            .field("copied", 12);
+        let j = e.to_json();
+        assert_eq!(j.get("at_ns").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("gc.collect"));
+        assert_eq!(j.get("tag").and_then(Json::as_str), Some("watermark"));
+        assert_eq!(j.get("copied").and_then(Json::as_u64), Some(12));
+        // Untagged events omit the member entirely.
+        let j = TraceEvent::new(0, "x").to_json();
+        assert!(j.get("tag").is_none());
+    }
+
+    #[test]
+    fn merge_orders_by_timestamp() {
+        let mut a = EventBuffer::with_capacity(8);
+        let mut b = EventBuffer::with_capacity(8);
+        a.emit(|| TraceEvent::new(10, "a"));
+        a.emit(|| TraceEvent::new(30, "a"));
+        b.emit(|| TraceEvent::new(20, "b"));
+        let merged = merge_events(&[&a, &b]);
+        let kinds: Vec<&str> = merged.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["a", "b", "a"]);
+    }
+
+    #[test]
+    fn null_sink_is_silent() {
+        let mut s = NullSink;
+        s.emit(|| panic!("constructed"));
+        assert!(!s.enabled());
+    }
+}

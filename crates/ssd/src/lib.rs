@@ -43,7 +43,7 @@ use esp_nand::{
     BlockAddr, Geometry, NandDevice, NandError, NandTiming, Oob, OpKind, PageAddr, ReadEffort,
     ReadFault, RetentionModel, SubpageAddr,
 };
-use esp_sim::{Log2Histogram, Resource, SimDuration, SimTime};
+use esp_sim::{EventBuffer, EventSink, Log2Histogram, Resource, SimDuration, SimTime, TraceEvent};
 
 /// A failed flash command: the underlying [`NandError`] plus the simulated
 /// time at which the failure was reported to the controller.
@@ -124,6 +124,20 @@ pub struct Ssd {
     crash_point: Option<CrashPoint>,
     crashed: bool,
     commands_issued: u64,
+    /// Per-command event recorder (disabled by default; see
+    /// [`Ssd::enable_tracing`]).
+    trace: EventBuffer,
+}
+
+/// Event-kind string for a NAND command.
+fn op_kind_name(kind: OpKind) -> &'static str {
+    match kind {
+        OpKind::ProgramFull => "nand.program_full",
+        OpKind::ProgramSubpage => "nand.program_subpage",
+        OpKind::ReadFull => "nand.read_full",
+        OpKind::ReadSubpage => "nand.read_subpage",
+        OpKind::Erase => "nand.erase",
+    }
 }
 
 impl Ssd {
@@ -179,6 +193,7 @@ impl Ssd {
             crash_point: None,
             crashed: false,
             commands_issued: 0,
+            trace: EventBuffer::disabled(),
         }
     }
 
@@ -323,12 +338,33 @@ impl Ssd {
         )
     }
 
+    /// Arms per-command event tracing, retaining the newest `capacity`
+    /// events: every executed NAND command records its kind, channel,
+    /// chip and end-to-end latency (see [`esp_sim::TraceEvent`]).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+    }
+
+    /// The per-command event recorder (empty unless
+    /// [`Ssd::enable_tracing`] was called).
+    #[must_use]
+    pub fn trace(&self) -> &EventBuffer {
+        &self.trace
+    }
+
     /// Schedules a program-like op: channel transfer first, then cell time.
     fn schedule_write(&mut self, block: BlockAddr, kind: OpKind, issue: SimTime) -> SimTime {
         let cost = self.device.op_cost(kind);
         let (ch, plane) = self.indices(block);
         let xfer_done = self.channels[ch].occupy(issue, cost.bus);
         let done = self.planes[plane].occupy(xfer_done, cost.cell);
+        self.trace.emit(|| {
+            TraceEvent::new(issue.as_nanos(), op_kind_name(kind))
+                .field("channel", u64::from(block.chip.channel))
+                .field("chip", u64::from(block.chip.way))
+                .field("block", u64::from(block.block))
+                .field("lat_ns", done.saturating_since(issue).as_nanos())
+        });
         self.finish(issue, done)
     }
 
@@ -346,6 +382,14 @@ impl Ssd {
         let (ch, plane) = self.indices(block);
         let sensed = self.planes[plane].occupy(issue, cost.cell + penalty);
         let done = self.channels[ch].occupy(sensed, cost.bus);
+        self.trace.emit(|| {
+            TraceEvent::new(issue.as_nanos(), op_kind_name(kind))
+                .field("channel", u64::from(block.chip.channel))
+                .field("chip", u64::from(block.chip.way))
+                .field("block", u64::from(block.block))
+                .field("retry_ns", penalty.as_nanos())
+                .field("lat_ns", done.saturating_since(issue).as_nanos())
+        });
         self.finish(issue, done)
     }
 
@@ -526,6 +570,13 @@ impl Ssd {
         let cost = self.device.op_cost(OpKind::Erase);
         let (_, plane) = self.indices(block);
         let done = self.planes[plane].occupy(issue, cost.cell);
+        self.trace.emit(|| {
+            TraceEvent::new(issue.as_nanos(), op_kind_name(OpKind::Erase))
+                .field("channel", u64::from(block.chip.channel))
+                .field("chip", u64::from(block.chip.way))
+                .field("block", u64::from(block.block))
+                .field("lat_ns", done.saturating_since(issue).as_nanos())
+        });
         self.finish(issue, done)
     }
 
@@ -941,6 +992,38 @@ mod tests {
         s.clear_crash();
         let (r, _) = s.read_subpage(page.subpage(0), SimTime::from_secs(2));
         assert_eq!(r.unwrap().lsn, 7);
+    }
+
+    #[test]
+    fn tracing_records_each_executed_command() {
+        let mut s = ssd();
+        let blk = s.geometry().block_addr(0);
+        let page = blk.page(0);
+        // Disabled by default: no events, no cost.
+        s.program_subpage(page.subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        assert!(s.trace().is_empty());
+        s.enable_tracing(64);
+        s.program_subpage(page.subpage(1), oob(2), SimTime::ZERO)
+            .unwrap();
+        let (_, _) = s.read_subpage(page.subpage(1), SimTime::from_secs(1));
+        // An illegal command (full program on a dirty page) never reaches
+        // the array and is not traced.
+        let _ = s
+            .program_full(page, &[None; 4], SimTime::from_secs(2))
+            .unwrap_err();
+        s.erase(blk, SimTime::from_secs(3)).unwrap();
+        let events = s.trace().events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            ["nand.program_subpage", "nand.read_subpage", "nand.erase"]
+        );
+        // Each event carries its latency and placement.
+        for e in &events {
+            assert!(e.get("lat_ns").unwrap() > 0);
+            assert!(e.get("channel").is_some() && e.get("block").is_some());
+        }
     }
 
     #[test]

@@ -16,11 +16,11 @@ use std::fs::File;
 use std::process::ExitCode;
 
 use esp_storage::ftl::{
-    precondition, random_workload, run_trace_qd, CgmFtl, CrashHarness, CrashOp, CrashTarget,
-    FgmFtl, Ftl, FtlConfig, RunReport, SectorLogFtl, SubFtl,
+    precondition, random_workload, run_trace_qd, BenchReport, CgmFtl, CrashHarness, CrashOp,
+    CrashTarget, FgmFtl, Ftl, FtlConfig, RunReport, SectorLogFtl, SubFtl,
 };
 use esp_storage::nand::{FaultConfig, Geometry, RetryLadder};
-use esp_storage::sim::Rng;
+use esp_storage::sim::{Json, Rng};
 use esp_storage::workload::{
     generate, load_msr_trace, load_trace, save_trace, Benchmark, MsrOptions, SyntheticConfig, Trace,
 };
@@ -64,6 +64,13 @@ DEVICE / FTL FLAGS:
     --op <0..1>          over-provisioning (hidden capacity) [default 0.25]
     --planes <n>         planes per chip               [default 1]
     --out <file>         (gen) output path
+
+OBSERVABILITY FLAGS (run / compare / replay):
+    --json <file>        also write a machine-readable BENCH report
+                         (schema `esp-bench`, see DESIGN.md §8)
+    --events <n>         (run / replay) record per-op trace events in a
+                         ring of capacity n and embed the newest ones in
+                         the --json report
 
 READ-RELIABILITY FLAGS (run / compare / replay):
     --read-disturb <f>   per-read disturb added to each block's normalized
@@ -405,18 +412,66 @@ fn check_capacity(trace: &Trace, cfg: &FtlConfig) -> Result<(), Box<dyn Error>> 
     Ok(())
 }
 
+/// Starts a BENCH report carrying the run's provenance (geometry, queue
+/// depth, fill, workload flags) so a later `benchcmp` knows what it is
+/// comparing.
+fn bench_report(name: &str, flags: &Flags, cfg: &FtlConfig, trace: &Trace) -> BenchReport {
+    let mut b = BenchReport::new(name);
+    b.meta("geometry", Json::from(format!("{}", cfg.geometry)));
+    b.meta("qd", Json::from(flags.get("qd").unwrap_or("8")));
+    b.meta("fill", Json::from(flags.get("fill").unwrap_or("0.625")));
+    b.meta("seed", Json::from(flags.get("seed").unwrap_or("42")));
+    if let Some(bench) = flags.get("benchmark") {
+        b.meta("benchmark", Json::from(bench));
+    }
+    b.meta("requests", Json::from(trace.len() as u64));
+    b
+}
+
+/// Writes the report where `--json` points, plus the newest `--events n`
+/// trace events when tracing was armed.
+fn emit_json(
+    flags: &Flags,
+    mut bench: BenchReport,
+    traced: Option<&dyn Ftl>,
+) -> Result<(), Box<dyn Error>> {
+    let Some(path) = flags.get("json") else {
+        return Ok(());
+    };
+    if let Some(ftl) = traced {
+        let events = ftl.events();
+        bench.attach_events(&events, ftl.events_dropped());
+    }
+    bench.write_to(std::path::Path::new(path))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
 fn cmd_run(flags: &Flags, force_file: bool) -> Result<(), Box<dyn Error>> {
     let cfg = config_from(flags)?;
     let trace = trace_from(flags, &cfg, force_file)?;
     check_capacity(&trace, &cfg)?;
     let qd: usize = flags.parse_or("qd", 8)?;
     let fill: f64 = flags.parse_or("fill", 0.625)?;
+    let events: usize = flags.parse_or("events", 0)?;
     let mut ftl = build_ftl(flags.get("ftl").unwrap_or("sub"), &cfg)?;
     println!("device: {}", cfg.geometry);
     precondition(ftl.as_mut(), fill);
+    if events > 0 {
+        ftl.enable_tracing(events);
+    }
     let report = run_trace_qd(ftl.as_mut(), &trace, qd);
     print_report(&report, ftl.stats());
-    Ok(())
+    let mut bench = bench_report("espsim_run", flags, &cfg, &trace);
+    bench.push_run_with(
+        report.ftl,
+        &report,
+        [(
+            "mapping_memory_bytes".to_string(),
+            Json::from(ftl.mapping_memory_bytes()),
+        )],
+    );
+    emit_json(flags, bench, (events > 0).then_some(ftl.as_ref()))
 }
 
 fn cmd_compare(flags: &Flags) -> Result<(), Box<dyn Error>> {
@@ -430,6 +485,7 @@ fn cmd_compare(flags: &Flags) -> Result<(), Box<dyn Error>> {
         "{:>14} {:>9} {:>8} {:>8} {:>12} {:>10}",
         "FTL", "IOPS", "erases", "GCs", "request WAF", "map bytes"
     );
+    let mut bench = bench_report("espsim_compare", flags, &cfg, &trace);
     for name in ["cgm", "fgm", "sectorlog", "sub"] {
         let mut ftl = build_ftl(name, &cfg)?;
         precondition(ftl.as_mut(), fill);
@@ -443,8 +499,16 @@ fn cmd_compare(flags: &Flags) -> Result<(), Box<dyn Error>> {
             r.stats.small_request_waf(),
             ftl.mapping_memory_bytes(),
         );
+        bench.push_run_with(
+            r.ftl,
+            &r,
+            [(
+                "mapping_memory_bytes".to_string(),
+                Json::from(ftl.mapping_memory_bytes()),
+            )],
+        );
     }
-    Ok(())
+    emit_json(flags, bench, None)
 }
 
 fn cmd_stats(flags: &Flags) -> Result<(), Box<dyn Error>> {

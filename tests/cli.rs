@@ -180,3 +180,100 @@ fn bad_inputs_fail_with_messages() {
     assert!(!ok);
     assert!(stderr.contains("--trace"));
 }
+
+#[test]
+fn run_json_emits_valid_bench_report_with_events() {
+    use esp_storage::ftl::validate_bench;
+    use esp_storage::sim::Json;
+
+    let dir = std::env::temp_dir().join("espsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.json");
+    let path_s = path.to_str().unwrap();
+
+    let (ok, stdout, stderr) = espsim(&[
+        "run",
+        "--ftl",
+        "sub",
+        "--rsmall",
+        "1.0",
+        "--requests",
+        "800",
+        "--geometry",
+        "2x2x16x16",
+        "--op",
+        "0.4",
+        "--fill",
+        "0.3",
+        "--json",
+        path_s,
+        "--events",
+        "512",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains(&format!("wrote {path_s}")));
+
+    let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).expect("valid JSON");
+    validate_bench(&doc).expect("schema-valid BENCH report");
+    let Some(Json::Arr(runs)) = doc.get("runs") else {
+        panic!("runs must be an array");
+    };
+    let run = &runs[0];
+    assert_eq!(run.path("label").and_then(Json::as_str), Some("subFTL"));
+    assert!(
+        run.path("latency.write.p99_ns")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert!(
+        run.path("mapping_memory_bytes")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    let Some(Json::Arr(events)) = run.get("events") else {
+        panic!("--events must embed trace events");
+    };
+    assert!(!events.is_empty());
+    assert!(events
+        .iter()
+        .any(|e| e.get("kind").and_then(Json::as_str) == Some("nand.program_subpage")));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compare_json_has_one_run_per_ftl() {
+    use esp_storage::ftl::validate_bench;
+    use esp_storage::sim::Json;
+
+    let dir = std::env::temp_dir().join("espsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("compare.json");
+
+    let (ok, _, stderr) = espsim(&[
+        "compare",
+        "--requests",
+        "600",
+        "--geometry",
+        "2x2x16x16",
+        "--op",
+        "0.4",
+        "--fill",
+        "0.3",
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    validate_bench(&doc).expect("schema-valid BENCH report");
+    let Some(Json::Arr(runs)) = doc.get("runs") else {
+        panic!("runs must be an array");
+    };
+    let labels: Vec<_> = runs
+        .iter()
+        .map(|r| r.get("label").and_then(Json::as_str).unwrap().to_string())
+        .collect();
+    assert_eq!(labels, ["cgmFTL", "fgmFTL", "sectorLogFTL", "subFTL"]);
+    std::fs::remove_file(&path).ok();
+}
