@@ -34,7 +34,11 @@
 //!
 //! Crash points are swept exhaustively over the first commands and
 //! seeded-randomly over the rest ([`CrashHarness::sweep`]); the `espsim
-//! crash-sweep` command drives the same harness from the CLI.
+//! crash-sweep` command drives the same harness from the CLI. Each crash
+//! point builds its own fresh FTL from the shared immutable oracle, so
+//! the sweep fans points out one-per-core with [`esp_sim::par_map`] —
+//! the report is merged in point order and is byte-identical no matter
+//! how many cores ran it.
 //!
 //! subFTL note: its fast paths trade crash-consistency windows for
 //! performance — in-place lap migration (Fig. 4(b) sibling destruction)
@@ -218,7 +222,7 @@ pub struct CrashCase {
 }
 
 /// Aggregate result of [`CrashHarness::sweep`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepReport {
     /// FTL display name.
     pub ftl: &'static str,
@@ -258,7 +262,10 @@ pub struct CrashHarness<F: CrashTarget> {
     /// Sorted, deduplicated sectors the workload touches (bounds the
     /// read-back pass: everything else is never written, in any run).
     touched: Vec<u64>,
-    _ftl: std::marker::PhantomData<F>,
+    /// `fn() -> F` rather than `F`: the harness never stores an FTL, so
+    /// it stays `Send + Sync` (and sweeps can fan out across cores) even
+    /// though the FTLs themselves are single-threaded state machines.
+    _ftl: std::marker::PhantomData<fn() -> F>,
 }
 
 impl<F: CrashTarget> CrashHarness<F> {
@@ -468,6 +475,10 @@ impl<F: CrashTarget> CrashHarness<F> {
     /// and `random` further seeded-random points in the remaining command
     /// range. Checks every point even after a failure, so the report shows
     /// the full extent of a violation.
+    ///
+    /// Crash points are independent replays, so they run one per core
+    /// ([`esp_sim::par_map`]); results are merged in point order, making
+    /// the report identical to a serial sweep's.
     #[must_use]
     pub fn sweep(&self, exhaustive: u64, random: u64, seed: u64) -> SweepReport {
         let dense = exhaustive.min(self.total_commands);
@@ -487,8 +498,9 @@ impl<F: CrashTarget> CrashHarness<F> {
             torn_pages: 0,
             failures: Vec::new(),
         };
-        for n in points {
-            match self.check_crash_at(n) {
+        let results = esp_sim::par_map(&points, |_, &n| self.check_crash_at(n));
+        for (&n, result) in points.iter().zip(results) {
+            match result {
                 Ok(case) => {
                     report.crashed_cases += u64::from(case.crashed);
                     report.torn_pages += case.torn_pages;
@@ -555,6 +567,19 @@ mod tests {
             .expect("crash-free run upholds the contract");
         assert!(!case.crashed);
         assert_eq!(case.torn_pages, 0);
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        // The sweep fans crash points out across worker threads; the
+        // merged report must not depend on scheduling.
+        let mut rng = Rng::seed_from(0xDE7E);
+        let ops = random_workload(&mut rng, 128, 25);
+        let h = CrashHarness::<CgmFtl>::new(&cfg(), &ops);
+        let a = h.sweep(30, 20, 9);
+        let b = h.sweep(30, 20, 9);
+        assert_eq!(a, b);
+        assert!(a.cases > 0 && a.crashed_cases > 0);
     }
 
     #[test]

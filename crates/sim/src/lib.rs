@@ -17,10 +17,16 @@
 //!   disabled per-operation structured event tracing.
 //! * [`Json`] — dependency-free JSON emit/parse for `BENCH_*.json`
 //!   artifacts.
+//! * [`par_map`] — a `std::thread`-only multi-core sweep driver for
+//!   running many independent simulations (crash points, seeds, queue
+//!   depths) one per core with order-independent result merging.
 //!
-//! Everything here is deterministic and single-threaded by design: a seed
-//! plus a configuration fully determines every simulation result, which is
-//! what makes the paper's experiments reproducible run-to-run.
+//! Every *simulation* here is deterministic and single-threaded by design:
+//! a seed plus a configuration fully determines every simulation result,
+//! which is what makes the paper's experiments reproducible run-to-run.
+//! [`par_map`] parallelizes only across whole simulations, so sweeps keep
+//! that guarantee while the simulator — not just the simulated device —
+//! uses all available cores.
 //!
 //! # Examples
 //!
@@ -40,6 +46,7 @@
 
 mod json;
 mod metrics;
+mod parallel;
 mod resource;
 mod rng;
 mod stats;
@@ -48,6 +55,7 @@ mod trace;
 
 pub use json::Json;
 pub use metrics::{HdrHistogram, LatencySummary, MetricsRegistry};
+pub use parallel::{par_map, par_map_with_threads};
 pub use resource::Resource;
 pub use rng::{Rng, Zipf};
 pub use stats::{Log2Histogram, RunningStats};

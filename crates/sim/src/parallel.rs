@@ -1,0 +1,127 @@
+//! Dependency-free multi-core sweep driver.
+//!
+//! Simulations in this workspace are deterministic and single-threaded,
+//! but sweeps over them — crash points, seeds, queue depths, FTL kinds —
+//! are embarrassingly parallel: every item builds its own fresh simulator
+//! state, so items share nothing and can run one per core. [`par_map`]
+//! provides exactly that with `std::thread::scope` and an atomic work
+//! counter: no thread pool, no external crates, and **order-independent
+//! results** — the output vector is indexed like the input slice, so the
+//! report a sweep produces is byte-identical no matter how many workers
+//! ran or how the OS scheduled them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item of `items` using up to
+/// [`std::thread::available_parallelism`] worker threads and returns the
+/// results in input order.
+///
+/// `f` receives `(index, &item)` so stages can label or seed work by
+/// position. It must be a pure function of its arguments for the
+/// determinism guarantee to hold (every closure used by the sweeps here
+/// builds a fresh FTL/SSD per call, so it is).
+///
+/// Worker threads claim items from a shared atomic counter, which
+/// balances uneven item costs (crash points late in a workload replay
+/// more commands than early ones). A panic inside `f` propagates to the
+/// caller once all workers have stopped.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism().map_or(1, usize::from);
+    par_map_with_threads(items, workers, f)
+}
+
+/// [`par_map`] with an explicit worker count (`0` is treated as `1`).
+/// Exposed so tests can pin the thread count and prove results do not
+/// depend on it.
+pub fn par_map_with_threads<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(items.len());
+        for h in handles {
+            // Re-raise worker panics on the caller's thread.
+            match h.join() {
+                Ok(part) => all.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let items: Vec<u64> = (0..100).collect();
+        let expensive = |_: usize, &x: &u64| -> u64 {
+            // Uneven per-item cost to force interleaved claiming.
+            (0..(x % 7) * 1000).fold(x, |a, b| a.wrapping_add(b))
+        };
+        let serial = par_map_with_threads(&items, 1, expensive);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(par_map_with_threads(&items, workers, expensive), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = par_map_with_threads(&items, 4, |_, &x| {
+            if x == 9 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -277,6 +277,58 @@ impl Ssd {
         self.planes_per_chip
     }
 
+    /// Earliest time channel `channel` can start another transfer (its
+    /// FCFS timeline's next-free instant). Host-level schedulers use the
+    /// per-resource next-free times to steer independent requests toward
+    /// idle parts of the array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    #[must_use]
+    pub fn channel_next_free(&self, channel: u32) -> SimTime {
+        self.channels[channel as usize].next_free()
+    }
+
+    /// Earliest time plane `plane` of chip `chip` can start another cell
+    /// operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` or `plane` is out of range.
+    #[must_use]
+    pub fn plane_next_free(&self, chip: u32, plane: u32) -> SimTime {
+        assert!(plane < self.planes_per_chip, "plane out of range");
+        self.planes[(chip * self.planes_per_chip + plane) as usize].next_free()
+    }
+
+    /// Earliest time chip `chip` can start another cell operation on *any*
+    /// of its planes (the minimum across its plane timelines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is out of range.
+    #[must_use]
+    pub fn chip_next_free(&self, chip: u32) -> SimTime {
+        let ppc = self.planes_per_chip as usize;
+        let start = chip as usize * ppc;
+        self.planes[start..start + ppc]
+            .iter()
+            .map(Resource::next_free)
+            .min()
+            .expect("chips have at least one plane")
+    }
+
+    /// The chip that frees up soonest, with its next-free time. Ties
+    /// resolve to the lowest chip index, so the answer is deterministic.
+    #[must_use]
+    pub fn earliest_free_chip(&self) -> (u32, SimTime) {
+        (0..self.geometry().chip_count())
+            .map(|c| (c, self.chip_next_free(c)))
+            .min_by_key(|&(c, t)| (t, c))
+            .expect("device has at least one chip")
+    }
+
     /// Arms a crash point: the run will lose power at the given command or
     /// instant (see [`CrashPoint`]).
     pub fn set_crash_point(&mut self, point: CrashPoint) {
@@ -632,6 +684,36 @@ mod tests {
 
     fn ssd() -> Ssd {
         Ssd::new(Geometry::tiny())
+    }
+
+    #[test]
+    fn next_free_accessors_track_per_resource_occupancy() {
+        let mut s = ssd();
+        // Untouched device: everything is free at time zero.
+        assert_eq!(s.channel_next_free(0), SimTime::ZERO);
+        assert_eq!(s.chip_next_free(1), SimTime::ZERO);
+        assert_eq!(s.earliest_free_chip(), (0, SimTime::ZERO));
+        // A program on chip 0 occupies channel 0 for the transfer, then
+        // chip 0's plane for the cell operation.
+        let page = s.geometry().block_addr(0).page(0);
+        let done = s
+            .program_subpage(page.subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(s.chip_next_free(0), done);
+        assert_eq!(s.plane_next_free(0, 0), done);
+        let bus_free = s.channel_next_free(0);
+        assert!(bus_free > SimTime::ZERO);
+        assert!(bus_free < done, "the bus frees before the cell op ends");
+        // Chip 1 (on channel 1) is untouched and now the earliest free.
+        assert_eq!(s.channel_next_free(1), SimTime::ZERO);
+        assert_eq!(s.chip_next_free(1), SimTime::ZERO);
+        assert_eq!(s.earliest_free_chip(), (1, SimTime::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "plane out of range")]
+    fn plane_next_free_rejects_bad_plane() {
+        let _ = ssd().plane_next_free(0, 1);
     }
 
     #[test]

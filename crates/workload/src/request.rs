@@ -5,7 +5,7 @@
 //! the 16 KB physical page (`S_full`), i.e. fewer than
 //! [`SECTORS_PER_PAGE`] sectors (paper §2).
 
-use esp_sim::SimTime;
+use esp_sim::{Rng, SimDuration, SimTime};
 
 /// Bytes per logical sector (the paper's `S_sub` = 4 KB).
 pub const SECTOR_BYTES: u64 = 4096;
@@ -257,6 +257,41 @@ impl Trace {
         }
     }
 
+    /// Restamps all arrivals with a **Poisson open-arrival process** at
+    /// `rate_per_sec` requests per second: inter-arrival gaps are drawn
+    /// i.i.d. from an exponential distribution with mean `1/rate`, so the
+    /// host offers load independently of completions (an *open* model)
+    /// instead of the closed replay-as-fast-as-possible default.
+    /// Deterministic for a given `seed`; request order, addresses and
+    /// sizes are untouched.
+    ///
+    /// With [`crate::Trace`] replayed through a queue-depth scheduler,
+    /// this is the standard way to measure latency at a fixed offered
+    /// throughput rather than throughput at saturation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not positive and finite.
+    #[must_use]
+    pub fn with_poisson_arrivals(&self, rate_per_sec: f64, seed: u64) -> Trace {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive"
+        );
+        let mean_ns = 1e9 / rate_per_sec;
+        let mut rng = Rng::seed_from(seed);
+        let mut clock = SimTime::ZERO;
+        let mut out = self.clone();
+        for r in &mut out.requests {
+            r.arrival = clock;
+            // Inverse-CDF exponential draw; `next_f64` is in [0, 1), so
+            // `1 - u` is in (0, 1] and the log is finite.
+            let gap_ns = mean_ns * -(1.0 - rng.next_f64()).ln();
+            clock += SimDuration::from_nanos(gap_ns as u64);
+        }
+        out
+    }
+
     /// Compresses (`factor > 1`) or stretches (`factor < 1`) all arrival
     /// times by `factor` — e.g. replay a day-long trace in a minute of
     /// simulated time while preserving relative burst structure.
@@ -378,6 +413,43 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn scale_time_rejects_zero() {
         let _ = Trace::new(100).scale_time(0.0);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_open_ordered_and_seeded() {
+        let mut t = Trace::new(100);
+        for i in 0..5_000u64 {
+            t.push(IoRequest::write(SimTime::ZERO, i % 100, 1, false));
+        }
+        // 10k req/s -> mean gap 100 us.
+        let a = t.with_poisson_arrivals(10_000.0, 7);
+        // Same seed reproduces; different seed differs.
+        assert_eq!(a, t.with_poisson_arrivals(10_000.0, 7));
+        assert_ne!(a, t.with_poisson_arrivals(10_000.0, 8));
+        // Arrivals are nondecreasing and only the arrivals changed.
+        assert_eq!(a.requests[0].arrival, SimTime::ZERO);
+        for (orig, new) in t.iter().zip(a.iter()) {
+            assert_eq!(
+                (orig.lsn, orig.sectors, orig.op),
+                (new.lsn, new.sectors, new.op)
+            );
+        }
+        for w in a.requests.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+        // The empirical mean gap is within 5% of 100 us.
+        let span_ns = a.requests.last().unwrap().arrival.as_nanos() as f64;
+        let mean = span_ns / (a.len() - 1) as f64;
+        assert!(
+            (mean - 100_000.0).abs() < 5_000.0,
+            "mean inter-arrival {mean} ns, wanted ~100000"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn poisson_rejects_nonpositive_rate() {
+        let _ = Trace::new(100).with_poisson_arrivals(0.0, 1);
     }
 
     #[test]

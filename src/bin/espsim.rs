@@ -54,6 +54,10 @@ WORKLOAD FLAGS (run / compare / gen):
     --msr-disk <n>       import only this disk number
     --take <n>           keep only the first n requests of the workload
     --time-scale <f>     compress (>1) / stretch (<1) arrival times
+    --arrival-rate <r>   restamp arrivals as a Poisson open-arrival
+                         process at r requests/second (an *open* host:
+                         load is offered independently of completions;
+                         default keeps the workload's own timestamps)
 
 DEVICE / FTL FLAGS:
     --ftl <name>         sub | cgm | fgm | sectorlog   [default sub]
@@ -288,6 +292,16 @@ fn trace_from(flags: &Flags, cfg: &FtlConfig, force_file: bool) -> Result<Trace,
             let f: f64 = f.parse().map_err(|e| format!("bad --time-scale: {e}"))?;
             t = t.scale_time(f);
         }
+        if let Some(r) = flags.get("arrival-rate") {
+            let rate: f64 = r.parse().map_err(|e| format!("bad --arrival-rate: {e}"))?;
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err("--arrival-rate must be positive".into());
+            }
+            // Seed forked off --seed so the arrival process is independent
+            // of the address/size streams but still reproducible.
+            let seed: u64 = flags.parse_or("seed", 42)?;
+            t = t.with_poisson_arrivals(rate, seed ^ 0xA221_7A1E);
+        }
         Ok(t)
     };
     if let Some(path) = flags.get("msr") {
@@ -421,6 +435,9 @@ fn bench_report(name: &str, flags: &Flags, cfg: &FtlConfig, trace: &Trace) -> Be
     b.meta("qd", Json::from(flags.get("qd").unwrap_or("8")));
     b.meta("fill", Json::from(flags.get("fill").unwrap_or("0.625")));
     b.meta("seed", Json::from(flags.get("seed").unwrap_or("42")));
+    if let Some(rate) = flags.get("arrival-rate") {
+        b.meta("arrival_rate", Json::from(rate));
+    }
     if let Some(bench) = flags.get("benchmark") {
         b.meta("benchmark", Json::from(bench));
     }
