@@ -5,8 +5,10 @@
 //! scheduler is allowed to keep more requests in flight. Random 4 KB reads
 //! spread across the 8 × 4 chip array, so deeper queues overlap cell reads
 //! on independent chips and IOPS rises steeply until the channel buses
-//! saturate; p99 read latency rises with depth (queueing delay) — the
-//! classic throughput/latency trade.
+//! saturate; p99 read *service time* (issue → done — host queueing delay
+//! before issue is excluded, see the `esp_core` runner docs) rises with
+//! depth as channel/chip contention grows — the classic
+//! throughput/latency trade.
 //!
 //! Expected shape: IOPS at QD=32 is at least 3× IOPS at QD=1 for every FTL
 //! (asserted below — this is the PR's acceptance bar), and QD=1 numbers are

@@ -38,6 +38,20 @@
 //! dependencies can never exceed the single slot's completion time, so
 //! QD=1 replays are bit-for-bit identical to a strictly serial host (the
 //! `qd1_matches_serial_reference` test locks this).
+//!
+//! # What the latency histograms measure
+//!
+//! Histograms record **device service time** — issue to completion,
+//! where issue already includes the slot grant and dependency waits —
+//! **not** open-arrival response time (arrival to completion). Host
+//! queueing delay is therefore *excluded*: under Poisson load with deep
+//! queues, tail response time can be much larger than the recorded tail
+//! service time. This is deliberate: closed-loop traces stamp every
+//! arrival at zero, so arrival-to-done there would measure cumulative
+//! makespan, not per-request latency. Use the histograms to compare
+//! device-side behaviour (GC stalls, RMW, retry ladders) across FTLs and
+//! queue depths; use makespan/IOPS for end-to-end throughput under an
+//! offered load.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -243,6 +257,12 @@ pub fn run_trace<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace) -> RunReport {
 /// when a request arrives after *every* in-flight request has completed —
 /// the device is genuinely quiet.
 ///
+/// The report's latency histograms record device **service time**
+/// (issue → done, queueing delay excluded), not arrival-to-done response
+/// time — see "What the latency histograms measure" in
+/// `crates/core/src/runner.rs` for why, and for what to use instead when
+/// characterizing open-arrival response time.
+///
 /// # Panics
 ///
 /// Panics if `queue_depth` is zero.
@@ -293,6 +313,8 @@ pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: us
             ftl.idle(clock, arrival);
         }
         ftl.maintain(issue);
+        // Histograms record issue → done: device service time, not
+        // arrival → done response time (see the module docs).
         let done = match r.op {
             IoOp::Write => {
                 let done = ftl.write(r.lsn, r.sectors, r.sync, issue);

@@ -266,8 +266,12 @@ impl Trace {
     /// sizes are untouched.
     ///
     /// With [`crate::Trace`] replayed through a queue-depth scheduler,
-    /// this is the standard way to measure latency at a fixed offered
-    /// throughput rather than throughput at saturation.
+    /// this measures the device at a fixed offered throughput rather
+    /// than at saturation. Note that the replay engine's latency
+    /// histograms record device *service time* (issue → done), not
+    /// arrival-to-done *response time* — host queueing delay under the
+    /// offered load shows up in makespan and IOPS, not in the
+    /// percentiles (see `esp_core::run_trace_qd`).
     ///
     /// # Panics
     ///
