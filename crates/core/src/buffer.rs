@@ -8,16 +8,16 @@
 //! contiguous run with them) out immediately — this is exactly why
 //! synchronous small writes "miss an opportunity to be merged" (§1) and the
 //! crux of the FGM scheme's fragility that subFTL fixes.
-
-use std::collections::BTreeMap;
-
-/// One buffered sector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct BufEntry {
-    /// Did this sector arrive as part of a *small* host write? Used to
-    /// attribute flash consumption to small-write request WAF.
-    small_origin: bool,
-}
+//!
+//! # Representation
+//!
+//! The buffer stores **maximal contiguous runs** in a sorted `Vec` — the
+//! exact [`FlushChunk`]s it will eventually emit — instead of one map node
+//! per dirty sector. A multi-sector write is one binary search plus a run
+//! merge rather than per-sector tree inserts, `drain_all` is `mem::take`,
+//! and the flush path allocates nothing per sector. The run list is kept
+//! sorted, disjoint, and maximal (no two runs touch), so every operation
+//! can binary-search by start/end.
 
 /// A contiguous run of dirty sectors leaving the buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,7 +25,9 @@ pub struct FlushChunk {
     /// First logical sector of the run.
     pub start_lsn: u64,
     /// Per-sector small-write-origin flags; the run length is
-    /// `origins.len()`.
+    /// `origins.len()`. (Did each sector arrive as part of a *small* host
+    /// write? Used to attribute flash consumption to small-write request
+    /// WAF.)
     pub origins: Vec<bool>,
 }
 
@@ -62,8 +64,20 @@ impl FlushChunk {
 #[derive(Debug, Clone, Default)]
 pub struct WriteBuffer {
     capacity: usize,
-    entries: BTreeMap<u64, BufEntry>,
+    /// Total dirty sectors across all runs.
+    len: usize,
+    /// Maximal contiguous runs, sorted by `start_lsn`, pairwise disjoint
+    /// and non-adjacent (touching runs are merged on insert).
+    runs: Vec<FlushChunk>,
+    /// Recycled `origins` allocations: spent chunks come back through
+    /// [`WriteBuffer::recycle`] and [`WriteBuffer::insert`] reuses their
+    /// storage, so the steady-state flush cycle allocates nothing.
+    spare: Vec<Vec<bool>>,
 }
+
+/// Bound on the recycled-allocation pool; beyond this, returned chunks are
+/// simply dropped (a buffer rarely fragments into more runs than this).
+const SPARE_LIMIT: usize = 64;
 
 impl WriteBuffer {
     /// Creates a buffer holding up to `capacity_sectors` dirty sectors.
@@ -71,103 +85,217 @@ impl WriteBuffer {
     pub fn new(capacity_sectors: usize) -> Self {
         WriteBuffer {
             capacity: capacity_sectors,
-            entries: BTreeMap::new(),
+            len: 0,
+            runs: Vec::new(),
+            spare: Vec::new(),
         }
+    }
+
+    /// Returns a spent chunk's storage to the internal pool so the next
+    /// [`WriteBuffer::insert`] can reuse it instead of allocating.
+    pub fn recycle(&mut self, chunk: FlushChunk) {
+        if self.spare.len() < SPARE_LIMIT {
+            let mut origins = chunk.origins;
+            origins.clear();
+            self.spare.push(origins);
+        }
+    }
+
+    /// An empty `origins` vector, reusing pooled storage when available.
+    fn fresh_origins(&mut self) -> Vec<bool> {
+        self.spare.pop().unwrap_or_default()
     }
 
     /// Number of dirty sectors currently buffered.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True if no sectors are buffered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// True once the buffer is at or beyond capacity (time to flush).
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.capacity
     }
 
     /// True if the sector is buffered (reads hit DRAM).
     #[must_use]
     pub fn contains(&self, lsn: u64) -> bool {
-        self.entries.contains_key(&lsn)
+        // The last run starting at or before `lsn`, if any, is the only
+        // candidate (runs are sorted and disjoint).
+        let i = self.runs.partition_point(|r| r.start_lsn <= lsn);
+        i > 0 && self.runs[i - 1].end_lsn() > lsn
     }
 
     /// Buffers `sectors` sectors starting at `lsn`; overwrites of already
-    /// buffered sectors are absorbed in place.
+    /// buffered sectors are absorbed in place (taking this write's
+    /// origin flag).
     pub fn insert(&mut self, lsn: u64, sectors: u32, small_origin: bool) {
-        for s in lsn..lsn + u64::from(sectors) {
-            self.entries.insert(s, BufEntry { small_origin });
+        if sectors == 0 {
+            return;
         }
+        let end = lsn + u64::from(sectors);
+        // Runs that overlap *or touch* the written range merge with it:
+        // `[i, j)` spans those with `end_lsn >= lsn` and `start_lsn <= end`.
+        let i = self.runs.partition_point(|r| r.end_lsn() < lsn);
+        let j = self.runs.partition_point(|r| r.start_lsn <= end);
+        if i == j {
+            // No neighbors: a fresh run.
+            let mut origins = self.fresh_origins();
+            origins.resize(sectors as usize, small_origin);
+            self.runs.insert(
+                i,
+                FlushChunk {
+                    start_lsn: lsn,
+                    origins,
+                },
+            );
+            self.len += sectors as usize;
+            return;
+        }
+        // Merge runs[i..j] with the write. Sectors inside [lsn, end) take
+        // this write's origin (absorbed overwrites); the prefix of
+        // runs[i] below `lsn` and the suffix of runs[j-1] above `end`
+        // keep theirs. Interior gaps are inside [lsn, end) by
+        // construction, so the merged run is dense.
+        let new_start = self.runs[i].start_lsn.min(lsn);
+        let new_end = self.runs[j - 1].end_lsn().max(end);
+        let mut origins = self.fresh_origins();
+        origins.reserve((new_end - new_start) as usize);
+        if self.runs[i].start_lsn < lsn {
+            origins.extend_from_slice(
+                &self.runs[i].origins[..(lsn - self.runs[i].start_lsn) as usize],
+            );
+        }
+        origins.resize(origins.len() + sectors as usize, small_origin);
+        let last = &self.runs[j - 1];
+        if last.end_lsn() > end {
+            origins.extend_from_slice(&last.origins[(end - last.start_lsn) as usize..]);
+        }
+        let removed: usize = self.runs[i..j].iter().map(|r| r.origins.len()).sum();
+        self.len += origins.len() - removed;
+        let old = std::mem::replace(
+            &mut self.runs[i],
+            FlushChunk {
+                start_lsn: new_start,
+                origins,
+            },
+        );
+        self.recycle(old);
+        for k in i + 1..j {
+            let spent = std::mem::take(&mut self.runs[k].origins);
+            self.recycle(FlushChunk {
+                start_lsn: 0,
+                origins: spent,
+            });
+        }
+        self.runs.drain(i + 1..j);
     }
 
     /// Removes and returns every buffered sector as maximal contiguous
     /// chunks, in ascending LSN order.
     pub fn drain_all(&mut self) -> Vec<FlushChunk> {
-        let entries = std::mem::take(&mut self.entries);
-        Self::runs(entries.into_iter())
+        let mut out = Vec::new();
+        self.drain_all_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`WriteBuffer::drain_all`]: appends the drained
+    /// chunks to `out` (which the caller reuses across flushes).
+    pub fn drain_all_into(&mut self, out: &mut Vec<FlushChunk>) {
+        self.len = 0;
+        out.append(&mut self.runs);
     }
 
     /// Discards any buffered sectors in `[lsn, lsn + sectors)` (host trim:
     /// the data will never be needed again). Returns how many sectors were
     /// dropped.
     pub fn discard(&mut self, lsn: u64, sectors: u32) -> u32 {
-        let mut dropped = 0;
-        for s in lsn..lsn + u64::from(sectors) {
-            if self.entries.remove(&s).is_some() {
-                dropped += 1;
+        if sectors == 0 {
+            return 0;
+        }
+        let end = lsn + u64::from(sectors);
+        // Strictly overlapping runs only (adjacency doesn't discard).
+        let i = self.runs.partition_point(|r| r.end_lsn() <= lsn);
+        let j = self.runs.partition_point(|r| r.start_lsn < end);
+        if i == j {
+            return 0;
+        }
+        let mut dropped = 0u32;
+        let mut keep: Vec<FlushChunk> = Vec::with_capacity(2);
+        for r in &self.runs[i..j] {
+            let cut_lo = lsn.max(r.start_lsn);
+            let cut_hi = end.min(r.end_lsn());
+            dropped += (cut_hi - cut_lo) as u32;
+            if r.start_lsn < cut_lo {
+                keep.push(FlushChunk {
+                    start_lsn: r.start_lsn,
+                    origins: r.origins[..(cut_lo - r.start_lsn) as usize].to_vec(),
+                });
+            }
+            if cut_hi < r.end_lsn() {
+                keep.push(FlushChunk {
+                    start_lsn: cut_hi,
+                    origins: r.origins[(cut_hi - r.start_lsn) as usize..].to_vec(),
+                });
             }
         }
+        self.runs.splice(i..j, keep);
+        self.len -= dropped as usize;
         dropped
     }
 
-    /// Removes and returns the contiguous runs that overlap
+    /// Removes and returns the contiguous runs that overlap *or touch*
     /// `[lsn, lsn + sectors)` — the sectors a synchronous write must force
-    /// out, together with their merge partners.
+    /// out, together with their merge partners. Each run comes out whole,
+    /// as its own chunk.
     pub fn take_overlapping(&mut self, lsn: u64, sectors: u32) -> Vec<FlushChunk> {
-        let end = lsn + u64::from(sectors);
-        // Grow the window to cover full contiguous runs touching the range.
-        let mut lo = lsn;
-        while lo > 0 && self.entries.contains_key(&(lo - 1)) {
-            lo -= 1;
-        }
-        let mut hi = end;
-        while self.entries.contains_key(&hi) {
-            hi += 1;
-        }
-        let taken: Vec<(u64, BufEntry)> = {
-            let keys: Vec<u64> = self.entries.range(lo..hi).map(|(k, _)| *k).collect();
-            keys.into_iter()
-                .map(|k| (k, self.entries.remove(&k).expect("key just observed")))
-                .collect()
-        };
-        Self::runs(taken.into_iter())
+        let mut out = Vec::new();
+        self.take_overlapping_into(lsn, sectors, &mut out);
+        out
     }
 
-    fn runs(iter: impl Iterator<Item = (u64, BufEntry)>) -> Vec<FlushChunk> {
-        let mut chunks: Vec<FlushChunk> = Vec::new();
-        for (lsn, e) in iter {
-            match chunks.last_mut() {
-                Some(c) if c.end_lsn() == lsn => c.origins.push(e.small_origin),
-                _ => chunks.push(FlushChunk {
-                    start_lsn: lsn,
-                    origins: vec![e.small_origin],
-                }),
-            }
+    /// Allocation-free [`WriteBuffer::take_overlapping`]: appends the taken
+    /// runs to `out` (which the caller reuses across flushes).
+    pub fn take_overlapping_into(&mut self, lsn: u64, sectors: u32, out: &mut Vec<FlushChunk>) {
+        let end = lsn + u64::from(sectors);
+        let i = self.runs.partition_point(|r| r.end_lsn() < lsn);
+        let j = self.runs.partition_point(|r| r.start_lsn <= end);
+        if i == j {
+            return;
         }
-        chunks
+        let taken: u32 = self.runs[i..j].iter().map(FlushChunk::sectors).sum();
+        self.len -= taken as usize;
+        out.extend(self.runs.drain(i..j));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The representation invariant: sorted, disjoint, maximal, and the
+    /// sector counter matches.
+    fn check(b: &WriteBuffer) {
+        let mut total = 0;
+        for w in b.runs.windows(2) {
+            assert!(
+                w[0].end_lsn() < w[1].start_lsn,
+                "runs must be disjoint and non-adjacent: {w:?}"
+            );
+        }
+        for r in &b.runs {
+            assert!(!r.origins.is_empty(), "empty run");
+            total += r.origins.len();
+        }
+        assert_eq!(total, b.len, "sector counter out of sync");
+    }
 
     #[test]
     fn insert_and_absorb() {
@@ -177,6 +305,7 @@ mod tests {
         // Overwrite absorbs (no growth) and updates origin.
         b.insert(6, 1, false);
         assert_eq!(b.len(), 3);
+        check(&b);
         let chunks = b.drain_all();
         assert_eq!(chunks[0].origins, vec![true, false, true]);
         assert!(b.is_empty());
@@ -188,10 +317,26 @@ mod tests {
         b.insert(0, 2, true);
         b.insert(10, 1, false);
         b.insert(2, 1, true); // extends the first run
+        check(&b);
         let chunks = b.drain_all();
         assert_eq!(chunks.len(), 2);
         assert_eq!((chunks[0].start_lsn, chunks[0].sectors()), (0, 3));
         assert_eq!((chunks[1].start_lsn, chunks[1].sectors()), (10, 1));
+    }
+
+    #[test]
+    fn insert_bridges_runs_and_keeps_outside_origins() {
+        let mut b = WriteBuffer::new(100);
+        b.insert(0, 2, true); // 0,1 small
+        b.insert(4, 2, false); // 4,5 large
+                               // Bridge 1..5: overwritten interior takes the new origin, the
+                               // untouched prefix (0) and suffix (5) keep theirs.
+        b.insert(1, 4, true);
+        check(&b);
+        let chunks = b.drain_all();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].start_lsn, 0);
+        assert_eq!(chunks[0].origins, vec![true, true, true, true, true, false]);
     }
 
     #[test]
@@ -206,6 +351,7 @@ mod tests {
         assert_eq!((chunks[0].start_lsn, chunks[0].sectors()), (4, 4));
         assert_eq!(b.len(), 1);
         assert!(b.contains(20));
+        check(&b);
     }
 
     #[test]
@@ -218,6 +364,21 @@ mod tests {
         assert_eq!(chunks.len(), 2);
         assert_eq!((chunks[0].start_lsn, chunks[0].sectors()), (8, 2));
         assert_eq!((chunks[1].start_lsn, chunks[1].sectors()), (12, 2));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn take_overlapping_grabs_adjacent_runs() {
+        // A run ending exactly at the sync write's start (or starting at
+        // its end) is a merge partner and comes out too — even when the
+        // written sectors themselves are not buffered.
+        let mut b = WriteBuffer::new(100);
+        b.insert(2, 2, true); // 2,3
+        b.insert(6, 2, false); // 6,7
+        let chunks = b.take_overlapping(4, 2); // [4, 6): touches both
+        assert_eq!(chunks.len(), 2);
+        assert_eq!((chunks[0].start_lsn, chunks[0].sectors()), (2, 2));
+        assert_eq!((chunks[1].start_lsn, chunks[1].sectors()), (6, 2));
         assert!(b.is_empty());
     }
 
@@ -237,6 +398,20 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert!(b.contains(0) && b.contains(3));
         assert_eq!(b.discard(10, 5), 0);
+        check(&b);
+    }
+
+    #[test]
+    fn discard_splits_across_runs() {
+        let mut b = WriteBuffer::new(100);
+        b.insert(0, 3, true); // 0..3
+        b.insert(5, 3, false); // 5..8
+                               // Cut [2, 6): tail of the first run, head of the second.
+        assert_eq!(b.discard(2, 4), 2);
+        assert_eq!(b.len(), 4);
+        assert!(b.contains(0) && b.contains(1) && b.contains(6) && b.contains(7));
+        assert!(!b.contains(2) && !b.contains(5));
+        check(&b);
     }
 
     #[test]
@@ -255,5 +430,103 @@ mod tests {
         };
         assert_eq!(c.sectors(), 2);
         assert_eq!(c.end_lsn(), 9);
+    }
+
+    #[test]
+    fn randomized_against_btreemap_reference() {
+        // Differential test: the run-based buffer must agree with the
+        // original per-sector BTreeMap implementation on every operation
+        // of a random interleaving.
+        use std::collections::BTreeMap;
+        struct Reference {
+            entries: BTreeMap<u64, bool>,
+        }
+        impl Reference {
+            fn insert(&mut self, lsn: u64, sectors: u32, small: bool) {
+                for s in lsn..lsn + u64::from(sectors) {
+                    self.entries.insert(s, small);
+                }
+            }
+            fn discard(&mut self, lsn: u64, sectors: u32) -> u32 {
+                let mut n = 0;
+                for s in lsn..lsn + u64::from(sectors) {
+                    if self.entries.remove(&s).is_some() {
+                        n += 1;
+                    }
+                }
+                n
+            }
+            fn take_overlapping(&mut self, lsn: u64, sectors: u32) -> Vec<FlushChunk> {
+                let end = lsn + u64::from(sectors);
+                let mut lo = lsn;
+                while lo > 0 && self.entries.contains_key(&(lo - 1)) {
+                    lo -= 1;
+                }
+                let mut hi = end;
+                while self.entries.contains_key(&hi) {
+                    hi += 1;
+                }
+                let keys: Vec<u64> = self.entries.range(lo..hi).map(|(k, _)| *k).collect();
+                let taken: Vec<(u64, bool)> = keys
+                    .into_iter()
+                    .map(|k| (k, self.entries.remove(&k).unwrap()))
+                    .collect();
+                Self::runs(taken)
+            }
+            fn drain_all(&mut self) -> Vec<FlushChunk> {
+                let e = std::mem::take(&mut self.entries);
+                Self::runs(e.into_iter().collect())
+            }
+            fn runs(entries: Vec<(u64, bool)>) -> Vec<FlushChunk> {
+                let mut chunks: Vec<FlushChunk> = Vec::new();
+                for (lsn, small) in entries {
+                    match chunks.last_mut() {
+                        Some(c) if c.end_lsn() == lsn => c.origins.push(small),
+                        _ => chunks.push(FlushChunk {
+                            start_lsn: lsn,
+                            origins: vec![small],
+                        }),
+                    }
+                }
+                chunks
+            }
+        }
+
+        let mut rng = esp_sim::Rng::seed_from(0xB0FF);
+        for _ in 0..200 {
+            let mut buf = WriteBuffer::new(64);
+            let mut reference = Reference {
+                entries: BTreeMap::new(),
+            };
+            for _ in 0..120 {
+                let lsn = rng.next_u64() % 48;
+                let sectors = (rng.next_u64() % 6 + 1) as u32;
+                let small = rng.next_u64().is_multiple_of(2);
+                match rng.next_u64() % 8 {
+                    0 => {
+                        assert_eq!(
+                            buf.take_overlapping(lsn, sectors),
+                            reference.take_overlapping(lsn, sectors)
+                        );
+                    }
+                    1 => {
+                        assert_eq!(buf.drain_all(), reference.drain_all());
+                    }
+                    2 => {
+                        assert_eq!(buf.discard(lsn, sectors), reference.discard(lsn, sectors));
+                    }
+                    _ => {
+                        buf.insert(lsn, sectors, small);
+                        reference.insert(lsn, sectors, small);
+                    }
+                }
+                check(&buf);
+                assert_eq!(buf.len(), reference.entries.len());
+                for s in 0..56 {
+                    assert_eq!(buf.contains(s), reference.entries.contains_key(&s));
+                }
+            }
+            assert_eq!(buf.drain_all(), reference.drain_all());
+        }
     }
 }

@@ -41,6 +41,12 @@ pub struct CgmFtl {
     seq: u64,
     logical_sectors: u64,
     reliability: ReadReliability,
+    /// Reused RMW read buffer and OOB staging for
+    /// [`CgmFtl::flush_chunks`], so the steady-state write path allocates
+    /// nothing per page.
+    slots_scratch: Vec<Result<Oob, esp_nand::ReadFault>>,
+    oobs_scratch: Vec<Option<Oob>>,
+    chunks_scratch: Vec<FlushChunk>,
 }
 
 impl CgmFtl {
@@ -98,6 +104,9 @@ impl CgmFtl {
             seq: 0,
             logical_sectors,
             reliability: ReadReliability::new(config),
+            slots_scratch: Vec::new(),
+            oobs_scratch: Vec::new(),
+            chunks_scratch: Vec::new(),
         }
     }
 
@@ -173,10 +182,10 @@ impl CgmFtl {
     }
 
     /// Writes the chunks out, page by page, RMW-merging partial pages.
-    fn flush_chunks(&mut self, chunks: Vec<FlushChunk>, issue: SimTime) -> SimTime {
+    fn flush_chunks(&mut self, chunks: &mut Vec<FlushChunk>, issue: SimTime) -> SimTime {
         let page = u64::from(SECTORS_PER_PAGE);
         let mut done = issue;
-        for chunk in chunks {
+        for chunk in chunks.drain(..) {
             let (lo, hi) = (chunk.start_lsn, chunk.end_lsn());
             let first_lpn = lo / page;
             let last_lpn = (hi - 1) / page;
@@ -186,16 +195,19 @@ impl CgmFtl {
                 let new_sectors = (s_hi - s_lo) as u32;
                 let full_cover = new_sectors == SECTORS_PER_PAGE;
 
-                let mut oobs: Vec<Option<Oob>> = vec![None; SECTORS_PER_PAGE as usize];
+                self.oobs_scratch.clear();
+                self.oobs_scratch.resize(SECTORS_PER_PAGE as usize, None);
                 let mut t = issue;
                 if !full_cover {
                     // Read-modify-write: merge with the existing page, if any.
                     if let Some(ptr) = self.engine.lookup(lpn) {
                         let addr = self.engine.page_addr(ptr, &self.ssd);
-                        let (slots, rt) = self.ssd.read_full(addr, issue);
-                        for (slot, r) in slots.into_iter().enumerate() {
+                        let rt = self
+                            .ssd
+                            .read_full_into(addr, issue, &mut self.slots_scratch);
+                        for (slot, r) in self.slots_scratch.iter().enumerate() {
                             if let Ok(oob) = r {
-                                oobs[slot] = Some(oob);
+                                self.oobs_scratch[slot] = Some(*oob);
                             }
                         }
                         t = rt;
@@ -204,14 +216,18 @@ impl CgmFtl {
                 }
                 for lsn in s_lo..s_hi {
                     let slot = (lsn - lpn * page) as usize;
-                    oobs[slot] = Some(Oob {
+                    self.oobs_scratch[slot] = Some(Oob {
                         lsn,
                         seq: self.next_seq(),
                     });
                 }
-                let pd = self
-                    .engine
-                    .program_page(lpn, &oobs, &mut self.ssd, &mut self.stats, t);
+                let pd = self.engine.program_page(
+                    lpn,
+                    &self.oobs_scratch,
+                    &mut self.ssd,
+                    &mut self.stats,
+                    t,
+                );
                 done = done.max(pd);
 
                 // Request-WAF attribution: the whole 16 KB page consumption is
@@ -224,6 +240,7 @@ impl CgmFtl {
                     }
                 }
             }
+            self.buffer.recycle(chunk);
         }
         done
     }
@@ -268,11 +285,16 @@ impl Ftl for CgmFtl {
         }
         self.buffer.insert(lsn, sectors, small);
         if sync {
-            let chunks = self.buffer.take_overlapping(lsn, sectors);
-            self.flush_chunks(chunks, issue)
+            let mut chunks = std::mem::take(&mut self.chunks_scratch);
+            self.buffer.take_overlapping_into(lsn, sectors, &mut chunks);
+            let done = self.flush_chunks(&mut chunks, issue);
+            self.chunks_scratch = chunks;
+            done
         } else if self.buffer.is_full() {
-            let chunks = self.buffer.drain_all();
-            self.flush_chunks(chunks, issue);
+            let mut chunks = std::mem::take(&mut self.chunks_scratch);
+            self.buffer.drain_all_into(&mut chunks);
+            self.flush_chunks(&mut chunks, issue);
+            self.chunks_scratch = chunks;
             issue
         } else {
             issue
@@ -289,6 +311,7 @@ impl Ftl for CgmFtl {
             buffer,
             stats,
             reliability,
+            slots_scratch,
             ..
         } = self;
         let (mut done, faulted) = read_sectors_coarse(
@@ -301,6 +324,7 @@ impl Ftl for CgmFtl {
             stats,
             reliability,
             &mut reclaim,
+            slots_scratch,
         );
         self.reliability.note_host_read(faulted, &mut self.stats);
         for lpn in reclaim {
@@ -323,8 +347,11 @@ impl Ftl for CgmFtl {
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
-        let chunks = self.buffer.drain_all();
-        self.flush_chunks(chunks, issue)
+        let mut chunks = std::mem::take(&mut self.chunks_scratch);
+        self.buffer.drain_all_into(&mut chunks);
+        let done = self.flush_chunks(&mut chunks, issue);
+        self.chunks_scratch = chunks;
+        done
     }
 
     fn stored_seq(&self, lsn: u64) -> Option<u64> {

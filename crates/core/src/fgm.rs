@@ -7,8 +7,6 @@
 //! (one data subpage plus three padding subpages — *internal fragmentation*)
 //! and garbage collection degrades toward the CGM level as `r_synch` grows.
 
-use std::collections::BTreeMap;
-
 use esp_nand::Oob;
 use esp_sim::{merge_events, EventBuffer, EventSink, SimTime, TraceEvent};
 use esp_ssd::Ssd;
@@ -25,6 +23,9 @@ const NO_PTR: u32 = u32::MAX;
 #[derive(Debug, Clone)]
 struct FgmBlock {
     gbi: u32,
+    /// Chip holding this block (`gbi / blocks_per_chip`), precomputed so
+    /// hot paths like GC victim scans avoid a division per lookup.
+    chip: u32,
     /// Validity per subpage (pages × N_sub entries).
     valid: Vec<bool>,
     valid_count: u32,
@@ -34,9 +35,10 @@ struct FgmBlock {
 }
 
 impl FgmBlock {
-    fn new(gbi: u32, pages: u32, nsub: u32) -> Self {
+    fn new(gbi: u32, blocks_per_chip: u32, pages: u32, nsub: u32) -> Self {
         FgmBlock {
             gbi,
+            chip: gbi / blocks_per_chip,
             valid: vec![false; (pages * nsub) as usize],
             valid_count: 0,
             programmed_pages: 0,
@@ -80,6 +82,17 @@ pub struct FgmFtl {
     reliability: ReadReliability,
     /// GC/scrub/reclaim event recorder; disabled (free) by default.
     trace: EventBuffer,
+    /// Reused OOB staging for [`FgmFtl::program_group`] (always `nsub`
+    /// entries), so the steady-state program path allocates nothing.
+    oob_scratch: Vec<Option<Oob>>,
+    /// Reused `(block, page, lsn, slot)` grouping scratch for
+    /// [`Ftl::read`].
+    read_groups: Vec<(u32, u32, u64, u32)>,
+    /// Reused full-page read buffer for GC collection and grouped host
+    /// reads.
+    slots_scratch: Vec<Result<Oob, esp_nand::ReadFault>>,
+    chunks_scratch: Vec<FlushChunk>,
+    group_scratch: Vec<(u64, u64)>,
 }
 
 impl FgmFtl {
@@ -113,7 +126,14 @@ impl FgmFtl {
             .set_retry_ladder(config.retry_ladder.clone());
         let g = &config.geometry;
         let blocks: Vec<FgmBlock> = (0..g.block_count())
-            .map(|gbi| FgmBlock::new(gbi, g.pages_per_block, g.subpages_per_page))
+            .map(|gbi| {
+                FgmBlock::new(
+                    gbi,
+                    g.blocks_per_chip,
+                    g.pages_per_block,
+                    g.subpages_per_page,
+                )
+            })
             .collect();
         let free = (0..blocks.len() as u32).collect();
         let logical_sectors = config.logical_sectors();
@@ -135,6 +155,11 @@ impl FgmFtl {
             background_gc: config.background_gc,
             reliability: ReadReliability::new(config),
             trace: EventBuffer::disabled(),
+            oob_scratch: vec![None; g.subpages_per_page as usize],
+            read_groups: Vec::new(),
+            slots_scratch: Vec::new(),
+            chunks_scratch: Vec::new(),
+            group_scratch: Vec::new(),
         };
         // Exclude factory-marked and previously grown bad blocks (local
         // block index == gbi here).
@@ -318,7 +343,14 @@ impl FgmFtl {
     }
 
     fn chip_of(&self, local: u32) -> usize {
-        (self.blocks[local as usize].gbi / self.ssd.geometry().blocks_per_chip) as usize
+        self.blocks[local as usize].chip as usize
+    }
+
+    /// O(1) test for "is this block an open active block". Equivalent to
+    /// `self.actives.contains(&Some(local))`: an active block only ever
+    /// occupies its own chip's slot (see [`FgmFtl::alloc_page`]).
+    fn is_active(&self, local: u32) -> bool {
+        self.actives[self.chip_of(local)] == Some(local)
     }
 
     /// Allocates the next whole physical page, round-robining across
@@ -326,6 +358,13 @@ impl FgmFtl {
     /// different chips.
     fn alloc_page(&mut self) -> (u32, u32) {
         let chips = self.actives.len();
+        // Every chip's least-worn free block, found in ONE pass over the
+        // pool, computed lazily on the first chip that needs a refill.
+        // The pool is not mutated until a pick succeeds (which returns),
+        // so the single pass sees exactly what per-chip scans would see,
+        // and keeping the first strict minimum in pool order reproduces
+        // `min_by_key`'s first-minimum tie-break per chip.
+        let mut picks: Option<Vec<Option<(u32, usize)>>> = None;
         for i in 0..chips {
             let chip = (self.rr + i) % chips;
             let usable = match self.actives[chip] {
@@ -333,20 +372,23 @@ impl FgmFtl {
                 None => false,
             };
             if !usable {
-                let pick = self
-                    .free
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &b)| self.chip_of(b) == chip)
-                    .min_by_key(|(_, &b)| {
+                let picks = picks.get_or_insert_with(|| {
+                    let mut p: Vec<Option<(u32, usize)>> = vec![None; chips];
+                    for (idx, &b) in self.free.iter().enumerate() {
+                        let c = self.chip_of(b);
                         let gbi = self.blocks[b as usize].gbi;
-                        self.ssd
+                        let pe = self
+                            .ssd
                             .device()
-                            .pe_cycles(self.ssd.geometry().block_addr(gbi))
-                    })
-                    .map(|(i, _)| i);
-                match pick {
-                    Some(p) => self.actives[chip] = Some(self.free.swap_remove(p)),
+                            .pe_cycles(self.ssd.geometry().block_addr(gbi));
+                        if p[c].is_none_or(|(best, _)| pe < best) {
+                            p[c] = Some((pe, idx));
+                        }
+                    }
+                    p
+                });
+                match picks[chip] {
+                    Some((_, p)) => self.actives[chip] = Some(self.free.swap_remove(p)),
                     None => continue,
                 }
             }
@@ -365,16 +407,18 @@ impl FgmFtl {
     /// data, so GC reclaims it with its block.
     fn program_group(&mut self, group: &[(u64, u64)], issue: SimTime) -> SimTime {
         debug_assert!(!group.is_empty() && group.len() <= self.nsub as usize);
-        let mut oobs: Vec<Option<Oob>> = vec![None; self.nsub as usize];
+        let mut oobs = std::mem::take(&mut self.oob_scratch);
+        oobs.clear();
+        oobs.resize(self.nsub as usize, None);
         for (slot, &(lsn, seq)) in group.iter().enumerate() {
             oobs[slot] = Some(Oob { lsn, seq });
         }
         let mut now = issue;
-        loop {
+        let done = loop {
             if self.ssd.crashed() {
                 // Power is off: with GC fenced the pool may legitimately be
                 // empty, so bail out before alloc_page can panic over it.
-                return now;
+                break now;
             }
             let (block, page) = self.alloc_page();
             let gbi = self.blocks[block as usize].gbi;
@@ -384,7 +428,7 @@ impl FgmFtl {
                     for (slot, &(lsn, _)) in group.iter().enumerate() {
                         self.map_sector(lsn, block, page, slot as u32);
                     }
-                    return done;
+                    break done;
                 }
                 Err(f) if f.error == esp_nand::NandError::ProgramFailed => {
                     self.stats.program_failures += 1;
@@ -393,7 +437,9 @@ impl FgmFtl {
                 }
                 Err(f) => panic!("fgm allocated a clean page: {f}"),
             }
-        }
+        };
+        self.oob_scratch = oobs;
+        done
     }
 
     /// Greedy GC: collect min-valid blocks until the free pool recovers.
@@ -411,9 +457,9 @@ impl FgmFtl {
             .iter()
             .enumerate()
             .filter(|(i, b)| {
-                !b.retired
-                    && !self.actives.contains(&Some(*i as u32))
-                    && b.programmed_pages >= self.pages_per_block
+                b.programmed_pages >= self.pages_per_block
+                    && !b.retired
+                    && !self.is_active(*i as u32)
             })
             .min_by_key(|(_, b)| b.valid_count)
             .map(|(i, _)| i as u32)
@@ -448,16 +494,15 @@ impl FgmFtl {
                 continue;
             }
             let addr = self.ssd.geometry().block_addr(gbi).page(page);
-            let (slots, t) = self.ssd.read_full(addr, now);
-            now = t;
+            now = self.ssd.read_full_into(addr, now, &mut self.slots_scratch);
             if self.ssd.crashed() {
                 // Power died mid-GC: the victim's remaining valid sectors
                 // stay on flash; this half-done collection dies with DRAM.
                 return now;
             }
-            for (slot, r) in slots.into_iter().enumerate() {
+            for (slot, r) in self.slots_scratch.iter().enumerate() {
                 if self.blocks[victim as usize].valid[(page * self.nsub) as usize + slot] {
-                    let oob = r.expect("valid subpage must be readable");
+                    let oob = r.as_ref().expect("valid subpage must be readable");
                     debug_assert_eq!(
                         self.l2p[oob.lsn as usize],
                         self.pack(victim, page, slot as u32),
@@ -576,15 +621,16 @@ impl FgmFtl {
     /// fragmentation*. Non-adjacent small writes are not combined, which is
     /// why the FGM scheme degrades as `r_small` grows even for
     /// asynchronous writes (Fig 2).
-    fn flush_chunks(&mut self, chunks: Vec<FlushChunk>, issue: SimTime) -> SimTime {
+    fn flush_chunks(&mut self, chunks: &mut Vec<FlushChunk>, issue: SimTime) -> SimTime {
         let mut done = issue;
         let nsub = self.nsub as usize;
-        for c in &chunks {
+        for c in chunks.drain(..) {
             let mut idx = 0usize;
             let total = c.origins.len();
             while idx < total {
                 let end = (idx + nsub).min(total);
-                let mut group: Vec<(u64, u64)> = Vec::with_capacity(end - idx);
+                let mut group = std::mem::take(&mut self.group_scratch);
+                group.clear();
                 for i in idx..end {
                     group.push((c.start_lsn + i as u64, self.next_seq()));
                 }
@@ -594,6 +640,7 @@ impl FgmFtl {
                 self.stats.flash_sectors_consumed += u64::from(SECTORS_PER_PAGE);
                 // Attribute the page's consumption to its new host sectors.
                 let share = f64::from(SECTORS_PER_PAGE) / group.len() as f64;
+                self.group_scratch = group;
                 for i in idx..end {
                     if c.origins[i] {
                         self.stats.small_waf_flash_sectors += share;
@@ -601,6 +648,7 @@ impl FgmFtl {
                 }
                 idx = end;
             }
+            self.buffer.recycle(c);
         }
         done
     }
@@ -645,11 +693,16 @@ impl Ftl for FgmFtl {
         }
         self.buffer.insert(lsn, sectors, small);
         if sync {
-            let chunks = self.buffer.take_overlapping(lsn, sectors);
-            self.flush_chunks(chunks, issue)
+            let mut chunks = std::mem::take(&mut self.chunks_scratch);
+            self.buffer.take_overlapping_into(lsn, sectors, &mut chunks);
+            let done = self.flush_chunks(&mut chunks, issue);
+            self.chunks_scratch = chunks;
+            done
         } else if self.buffer.is_full() {
-            let chunks = self.buffer.drain_all();
-            self.flush_chunks(chunks, issue);
+            let mut chunks = std::mem::take(&mut self.chunks_scratch);
+            self.buffer.drain_all_into(&mut chunks);
+            self.flush_chunks(&mut chunks, issue);
+            self.chunks_scratch = chunks;
             issue
         } else {
             issue
@@ -660,9 +713,13 @@ impl Ftl for FgmFtl {
         self.stats.host_read_requests += 1;
         self.stats.host_read_sectors += u64::from(sectors);
         // Group flash-resident sectors by physical page to batch reads.
-        // BTreeMap, not HashMap: iteration order decides the order reads
-        // hit the channel timelines, and runs must be deterministic.
-        let mut by_page: BTreeMap<(u32, u32), Vec<(u64, u32)>> = BTreeMap::new();
+        // The scratch is filled in ascending-lsn order and stable-sorted
+        // by (block, page): iteration order decides the order reads hit
+        // the channel timelines, and runs must be deterministic (this
+        // reproduces the grouping a `BTreeMap<(block, page), Vec<_>>`
+        // would give, without its per-request node allocations).
+        let mut groups = std::mem::take(&mut self.read_groups);
+        groups.clear();
         for s in lsn..lsn + u64::from(sectors) {
             if self.buffer.contains(s) {
                 continue;
@@ -672,27 +729,37 @@ impl Ftl for FgmFtl {
                 continue;
             }
             let (b, p, slot) = self.unpack(packed);
-            by_page.entry((b, p)).or_default().push((s, slot));
+            groups.push((b, p, s, slot));
         }
+        groups.sort_by_key(|&(b, p, _, _)| (b, p));
         let mut done = issue;
         let mut faulted = false;
         let mut reclaim: Vec<(u64, u64)> = Vec::new();
-        for ((block, page), sectors) in by_page {
+        let mut i = 0;
+        while i < groups.len() {
+            let (block, page) = (groups[i].0, groups[i].1);
+            let mut j = i + 1;
+            while j < groups.len() && (groups[j].0, groups[j].1) == (block, page) {
+                j += 1;
+            }
             let gbi = self.blocks[block as usize].gbi;
             let addr = self.ssd.geometry().block_addr(gbi).page(page);
-            if sectors.len() >= 2 {
-                let (slots, effort, t) = self.ssd.read_full_graded(addr, issue);
-                for (s, slot) in sectors {
-                    faulted |= note_read_result(&slots[slot as usize], s, &mut self.stats);
+            if j - i >= 2 {
+                let (effort, t) =
+                    self.ssd
+                        .read_full_graded_into(addr, issue, &mut self.slots_scratch);
+                for &(_, _, s, slot) in &groups[i..j] {
+                    faulted |=
+                        note_read_result(&self.slots_scratch[slot as usize], s, &mut self.stats);
                     if self.reliability.wants_reclaim(effort) {
-                        if let Ok(oob) = &slots[slot as usize] {
+                        if let Ok(oob) = &self.slots_scratch[slot as usize] {
                             reclaim.push((oob.lsn, oob.seq));
                         }
                     }
                 }
                 done = done.max(t);
             } else {
-                let (s, slot) = sectors[0];
+                let (_, _, s, slot) = groups[i];
                 let (r, effort, t) = self
                     .ssd
                     .read_subpage_graded(addr.subpage(slot as u8), issue);
@@ -704,7 +771,9 @@ impl Ftl for FgmFtl {
                 }
                 done = done.max(t);
             }
+            i = j;
         }
+        self.read_groups = groups;
         self.reliability.note_host_read(faulted, &mut self.stats);
         if !reclaim.is_empty() {
             done = done.max(self.reclaim_sectors(&reclaim, done));
@@ -722,8 +791,11 @@ impl Ftl for FgmFtl {
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
-        let chunks = self.buffer.drain_all();
-        self.flush_chunks(chunks, issue)
+        let mut chunks = std::mem::take(&mut self.chunks_scratch);
+        self.buffer.drain_all_into(&mut chunks);
+        let done = self.flush_chunks(&mut chunks, issue);
+        self.chunks_scratch = chunks;
+        done
     }
 
     fn idle(&mut self, from: SimTime, until: SimTime) {
@@ -741,10 +813,10 @@ impl Ftl for FgmFtl {
                 .iter()
                 .enumerate()
                 .filter(|(i, b)| {
-                    !b.retired
-                        && !self.actives.contains(&Some(*i as u32))
-                        && b.programmed_pages >= self.pages_per_block
+                    b.programmed_pages >= self.pages_per_block
                         && b.valid_count < self.subpages_per_block()
+                        && !b.retired
+                        && !self.is_active(*i as u32)
                 })
                 .map(|(_, b)| b.valid_count)
                 .min();

@@ -31,6 +31,9 @@ const NO_PTR: u32 = u32::MAX;
 struct FullBlock {
     /// Device-global block index.
     gbi: u32,
+    /// Chip holding this block (`gbi / blocks_per_chip`), precomputed so
+    /// hot paths like GC victim scans avoid a division per lookup.
+    chip: u32,
     /// Per-page validity (a page is valid while the L2P points at it).
     valid: Vec<bool>,
     valid_count: u32,
@@ -41,9 +44,10 @@ struct FullBlock {
 }
 
 impl FullBlock {
-    fn new(gbi: u32, pages: u32) -> Self {
+    fn new(gbi: u32, blocks_per_chip: u32, pages: u32) -> Self {
         FullBlock {
             gbi,
+            chip: gbi / blocks_per_chip,
             valid: vec![false; pages as usize],
             valid_count: 0,
             programmed: 0,
@@ -84,6 +88,10 @@ pub struct FullRegionEngine {
     watermark: u32,
     /// GC/scrub/reclaim event recorder; disabled (free) by default.
     trace: EventBuffer,
+    /// Reused full-page read buffer and OOB staging for GC relocation and
+    /// read-reclaim, so those hot paths allocate nothing per page.
+    slots_scratch: Vec<Result<Oob, esp_nand::ReadFault>>,
+    oobs_scratch: Vec<Option<Oob>>,
 }
 
 impl FullRegionEngine {
@@ -110,7 +118,7 @@ impl FullRegionEngine {
         assert!(blocks_per_chip > 0, "blocks_per_chip must be non-zero");
         let blocks: Vec<FullBlock> = gbis
             .iter()
-            .map(|&g| FullBlock::new(g, pages_per_block))
+            .map(|&g| FullBlock::new(g, blocks_per_chip, pages_per_block))
             .collect();
         let chips = gbis
             .iter()
@@ -129,6 +137,8 @@ impl FullRegionEngine {
             l2p: vec![NO_PTR; lpn_count as usize],
             watermark,
             trace: EventBuffer::disabled(),
+            slots_scratch: Vec::new(),
+            oobs_scratch: Vec::new(),
         }
     }
 
@@ -146,7 +156,15 @@ impl FullRegionEngine {
     }
 
     fn chip_of(&self, local: u32) -> usize {
-        (self.blocks[local as usize].gbi / self.blocks_per_chip) as usize
+        self.blocks[local as usize].chip as usize
+    }
+
+    /// O(1) test for "is this block an open active block". Equivalent to
+    /// `self.actives.contains(&Some(local))`: an active block only ever
+    /// occupies its own chip's slot (see
+    /// [`FullRegionEngine::alloc_page`]).
+    fn is_active(&self, local: u32) -> bool {
+        self.actives[self.chip_of(local)] == Some(local)
     }
 
     /// Number of erased blocks available.
@@ -328,6 +346,13 @@ impl FullRegionEngine {
     /// [`FullRegionEngine::ensure_space`] prevents this in normal use).
     fn alloc_page(&mut self, ssd: &Ssd) -> (u32, u32) {
         let chips = self.actives.len();
+        // Every chip's least-worn free block, found in ONE pass over the
+        // pool, computed lazily on the first chip that needs a refill.
+        // The pool is not mutated until a pick succeeds (which returns),
+        // so the single pass sees exactly what per-chip scans would see,
+        // and keeping the first strict minimum in pool order reproduces
+        // `min_by_key`'s first-minimum tie-break per chip.
+        let mut picks: Option<Vec<Option<(u32, usize)>>> = None;
         for i in 0..chips {
             let chip = (self.rr + i) % chips;
             let usable = match self.actives[chip] {
@@ -336,18 +361,20 @@ impl FullRegionEngine {
             };
             if !usable {
                 // Open the least-worn free block on this chip, if any.
-                let pick = self
-                    .free
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &b)| self.chip_of(b) == chip)
-                    .min_by_key(|(_, &b)| {
+                let picks = picks.get_or_insert_with(|| {
+                    let mut p: Vec<Option<(u32, usize)>> = vec![None; chips];
+                    for (idx, &b) in self.free.iter().enumerate() {
+                        let c = self.chip_of(b);
                         let gbi = self.blocks[b as usize].gbi;
-                        ssd.device().pe_cycles(ssd.geometry().block_addr(gbi))
-                    })
-                    .map(|(i, _)| i);
-                match pick {
-                    Some(p) => self.actives[chip] = Some(self.free.swap_remove(p)),
+                        let pe = ssd.device().pe_cycles(ssd.geometry().block_addr(gbi));
+                        if p[c].is_none_or(|(best, _)| pe < best) {
+                            p[c] = Some((pe, idx));
+                        }
+                    }
+                    p
+                });
+                match picks[chip] {
+                    Some((_, p)) => self.actives[chip] = Some(self.free.swap_remove(p)),
                     None => continue, // this chip is out of space; try next
                 }
             }
@@ -425,17 +452,21 @@ impl FullRegionEngine {
             return issue;
         };
         let addr = self.page_addr(ptr, ssd);
-        let (slots, read_done) = ssd.read_full(addr, issue);
+        let read_done = ssd.read_full_into(addr, issue, &mut self.slots_scratch);
         if ssd.crashed() {
             return issue;
         }
-        let oobs: Vec<Option<Oob>> = slots.iter().map(|r| r.as_ref().ok().copied()).collect();
+        let mut oobs = std::mem::take(&mut self.oobs_scratch);
+        oobs.clear();
+        oobs.extend(self.slots_scratch.iter().map(|r| r.as_ref().ok().copied()));
         let data_sectors = oobs.iter().flatten().count() as u64;
         if data_sectors == 0 {
+            self.oobs_scratch = oobs;
             return read_done;
         }
         let ready = self.ensure_space(ssd, stats, read_done);
         let done = self.program_internal(lpn, &oobs, ssd, stats, ready);
+        self.oobs_scratch = oobs;
         stats.read_reclaims += 1;
         stats.gc_copied_sectors += data_sectors;
         stats.gc_flash_sectors += u64::from(SECTORS_PER_PAGE);
@@ -502,9 +533,7 @@ impl FullRegionEngine {
             .iter()
             .enumerate()
             .filter(|(i, b)| {
-                !b.retired
-                    && !self.actives.contains(&Some(*i as u32))
-                    && b.is_full(self.pages_per_block)
+                b.is_full(self.pages_per_block) && !b.retired && !self.is_active(*i as u32)
             })
             .min_by_key(|(_, b)| b.valid_count)
             .map(|(i, _)| i as u32)
@@ -558,7 +587,7 @@ impl FullRegionEngine {
                 continue;
             }
             let addr = ssd.geometry().block_addr(gbi).page(page);
-            let (slots, read_done) = ssd.read_full(addr, now);
+            let read_done = ssd.read_full_into(addr, now, &mut self.slots_scratch);
             if ssd.crashed() {
                 // Power died before the relocation finished: the victim's
                 // remaining valid pages stay where they are on flash, and
@@ -566,7 +595,8 @@ impl FullRegionEngine {
                 return now;
             }
             // Recover the LPN from the spare area of any data slot.
-            let lpn = slots
+            let lpn = self
+                .slots_scratch
                 .iter()
                 .find_map(|r| r.as_ref().ok().map(|o| o.lsn / u64::from(SECTORS_PER_PAGE)))
                 .expect("valid page with no data slots");
@@ -578,9 +608,12 @@ impl FullRegionEngine {
                 }),
                 "valid bitmap and L2P out of sync"
             );
-            let oobs: Vec<Option<Oob>> = slots.iter().map(|r| r.as_ref().ok().copied()).collect();
+            let mut oobs = std::mem::take(&mut self.oobs_scratch);
+            oobs.clear();
+            oobs.extend(self.slots_scratch.iter().map(|r| r.as_ref().ok().copied()));
             let data_sectors = oobs.iter().flatten().count() as u64;
             now = self.program_internal(lpn, &oobs, ssd, stats, read_done);
+            self.oobs_scratch = oobs;
             stats.gc_copied_sectors += data_sectors;
             stats.gc_flash_sectors += u64::from(SECTORS_PER_PAGE);
         }
@@ -701,7 +734,11 @@ impl FullRegionEngine {
     /// Adds an erased block (received from another region) to the pool.
     pub fn adopt_free_block(&mut self, gbi: u32) {
         let local = self.blocks.len() as u32;
-        self.blocks.push(FullBlock::new(gbi, self.pages_per_block));
+        self.blocks.push(FullBlock::new(
+            gbi,
+            self.blocks_per_chip,
+            self.pages_per_block,
+        ));
         self.free.push(local);
     }
 

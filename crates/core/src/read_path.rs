@@ -6,7 +6,7 @@
 //! reads in. The helpers here serve reads from (in priority order) the DRAM
 //! write buffer, then the flash mapping supplied by the caller.
 
-use esp_nand::{ReadEffort, ReadFault, RetentionModel, RetryLadder};
+use esp_nand::{Oob, ReadEffort, ReadFault, RetentionModel, RetryLadder};
 use esp_sim::SimTime;
 use esp_ssd::Ssd;
 use esp_workload::SECTORS_PER_PAGE;
@@ -178,6 +178,7 @@ pub(crate) fn read_sectors_coarse(
     stats: &mut FtlStats,
     reliability: &ReadReliability,
     reclaim: &mut Vec<u64>,
+    slots_scratch: &mut Vec<Result<Oob, ReadFault>>,
 ) -> (SimTime, bool) {
     let page = u64::from(SECTORS_PER_PAGE);
     let (lo, hi) = (lsn, lsn + u64::from(sectors));
@@ -188,19 +189,28 @@ pub(crate) fn read_sectors_coarse(
     for lpn in first_lpn..=last_lpn {
         let s_lo = lo.max(lpn * page);
         let s_hi = hi.min((lpn + 1) * page);
-        let needed: Vec<u64> = (s_lo..s_hi).filter(|s| !buffer.contains(*s)).collect();
-        if needed.is_empty() {
+        // At most one page's worth of sectors: a stack buffer keeps this
+        // per-page loop allocation-free.
+        let mut needed = [0u64; SECTORS_PER_PAGE as usize];
+        let mut n = 0usize;
+        for s in s_lo..s_hi {
+            if !buffer.contains(s) {
+                needed[n] = s;
+                n += 1;
+            }
+        }
+        if n == 0 {
             continue;
         }
         let Some(ptr) = engine.lookup(lpn) else {
             continue; // never written: reads as zeros, no flash op
         };
         let addr = engine.page_addr(ptr, ssd);
-        let effort = if needed.len() >= 2 {
-            let (slots, effort, t) = ssd.read_full_graded(addr, issue);
-            for s in needed {
+        let effort = if n >= 2 {
+            let (effort, t) = ssd.read_full_graded_into(addr, issue, slots_scratch);
+            for &s in &needed[..n] {
                 let slot = (s - lpn * page) as usize;
-                faulted |= note_read_result(&slots[slot], s, stats);
+                faulted |= note_read_result(&slots_scratch[slot], s, stats);
             }
             done = done.max(t);
             effort

@@ -31,7 +31,13 @@ use crate::stats::RunReport;
 /// Policy: adding fields is backward-compatible and does **not** bump the
 /// version; removing or renaming any field listed in
 /// [`REQUIRED_RUN_FIELDS`] (or changing a unit) does.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// History:
+/// * **v2** — open-arrival replays add a `latency.response` block
+///   (arrival → done response times; omitted for closed-loop runs, so
+///   the member is optional and v1 documents still validate).
+/// * **v1** — initial schema.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// The `schema` discriminator string every report carries.
 pub const BENCH_SCHEMA_NAME: &str = "esp-bench";
@@ -90,6 +96,18 @@ pub fn run_json(label: &str, r: &RunReport) -> Json {
         h.merge(&r.write_latency);
         h.summary()
     };
+    // `response` (arrival → done, host queueing included) appears only
+    // for open-arrival replays; closed-loop runs record no response
+    // samples and omit the member (schema v2).
+    let mut latency = vec![
+        ("all", latency_json(&all)),
+        ("read", latency_json(&r.read_latency_summary())),
+        ("write", latency_json(&r.write_latency_summary())),
+    ];
+    let response = r.response_latency.summary();
+    if response.count > 0 {
+        latency.push(("response", latency_json(&response)));
+    }
     Json::obj([
         ("label", Json::from(label)),
         ("ftl", Json::from(r.ftl)),
@@ -97,14 +115,7 @@ pub fn run_json(label: &str, r: &RunReport) -> Json {
         ("makespan_ns", Json::from(r.makespan.as_nanos())),
         ("iops", Json::from(r.iops)),
         ("write_bandwidth_mbps", Json::from(r.write_bandwidth_mbps())),
-        (
-            "latency",
-            Json::obj([
-                ("all", latency_json(&all)),
-                ("read", latency_json(&r.read_latency_summary())),
-                ("write", latency_json(&r.write_latency_summary())),
-            ]),
-        ),
+        ("latency", Json::obj(latency)),
         (
             "waf",
             Json::obj([

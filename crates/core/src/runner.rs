@@ -41,26 +41,188 @@
 //!
 //! # What the latency histograms measure
 //!
-//! Histograms record **device service time** — issue to completion,
-//! where issue already includes the slot grant and dependency waits —
-//! **not** open-arrival response time (arrival to completion). Host
-//! queueing delay is therefore *excluded*: under Poisson load with deep
-//! queues, tail response time can be much larger than the recorded tail
-//! service time. This is deliberate: closed-loop traces stamp every
-//! arrival at zero, so arrival-to-done there would measure cumulative
-//! makespan, not per-request latency. Use the histograms to compare
-//! device-side behaviour (GC stalls, RMW, retry ladders) across FTLs and
-//! queue depths; use makespan/IOPS for end-to-end throughput under an
+//! The service histograms record **device service time** — issue to
+//! completion, where issue already includes the slot grant and
+//! dependency waits. Host queueing delay is *excluded* there: under
+//! Poisson load with deep queues, tail response time can be much larger
+//! than the recorded tail service time. For open-arrival traces (at
+//! least one nonzero arrival stamp — Poisson, spaced, bursty, or
+//! trace-file supplied) the runner *additionally* records an
+//! arrival-to-completion **response** histogram over the same samples,
+//! surfaced as `latency.response` in BENCH reports. Closed-loop traces
+//! stamp every arrival at zero, so the response histogram is left empty
+//! there (arrival-to-done would measure cumulative makespan, not
+//! per-request latency). Use service histograms to compare device-side
+//! behaviour (GC stalls, RMW, retry ladders) across FTLs and queue
+//! depths; use the response histogram for end-to-end latency under an
 //! offered load.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
-use esp_sim::{SimDuration, SimTime};
+use esp_sim::{CalendarQueue, SimDuration, SimTime};
 use esp_ssd::Ssd;
 use esp_workload::{IoOp, Trace};
 
 use crate::stats::{FtlStats, RunReport};
+
+/// Footprints at or below this many sectors get flat `Vec<SimTime>`
+/// hazard tables (direct indexing, zero hashing, zero steady-state
+/// allocation); larger footprints fall back to pruned hash maps. 8 Mi
+/// sectors = 32 GiB of logical space = two 64 MiB tables.
+const FLAT_HAZARD_LIMIT: u64 = 1 << 23;
+
+/// Sparse hazard maps are pruned when their combined population exceeds
+/// this; the bound keeps long traces in `O(queue depth + working set)`
+/// memory instead of retaining every sector ever touched.
+const SPARSE_PRUNE_TRIGGER: usize = 8192;
+
+/// How [`run_trace_qd`] tracks per-sector hazard completion times.
+/// Production callers always use `Auto`; tests pin the representation to
+/// prove the three are bit-identical.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HazardMode {
+    /// Flat tables when the trace footprint fits, pruned maps otherwise.
+    Auto,
+    /// Force flat `Vec<SimTime>` tables.
+    #[cfg_attr(not(test), allow(dead_code))]
+    Flat,
+    /// Force hash maps with watermark pruning.
+    #[cfg_attr(not(test), allow(dead_code))]
+    Sparse,
+    /// Force hash maps without pruning (the pre-fix behaviour: retains
+    /// every sector ever touched — test oracle only).
+    #[cfg_attr(not(test), allow(dead_code))]
+    SparseUnpruned,
+}
+
+/// Per-sector completion times of the last write and last read, for
+/// RAW / WAW / WAR serialization.
+///
+/// Entries are only written and point-queried (never iterated) in the
+/// flat representation; the sparse maps are iterated *only* during
+/// pruning, where the surviving set — not its discovery order — is all
+/// that matters, so replay stays deterministic.
+enum Hazards {
+    Flat {
+        write: Vec<SimTime>,
+        read: Vec<SimTime>,
+    },
+    Sparse {
+        write: HashMap<u64, SimTime>,
+        read: HashMap<u64, SimTime>,
+        prune: bool,
+    },
+}
+
+impl Hazards {
+    fn new(mode: HazardMode, footprint_sectors: u64) -> Self {
+        let flat = match mode {
+            HazardMode::Auto => footprint_sectors <= FLAT_HAZARD_LIMIT,
+            HazardMode::Flat => true,
+            HazardMode::Sparse | HazardMode::SparseUnpruned => false,
+        };
+        if flat {
+            let n = footprint_sectors as usize;
+            Hazards::Flat {
+                write: vec![SimTime::ZERO; n],
+                read: vec![SimTime::ZERO; n],
+            }
+        } else {
+            Hazards::Sparse {
+                write: HashMap::new(),
+                read: HashMap::new(),
+                prune: mode != HazardMode::SparseUnpruned,
+            }
+        }
+    }
+
+    /// Latest completion this request must wait for: the last write of
+    /// any of its sectors, plus — for writes — the last read
+    /// (write-after-read). Overlapping reads run concurrently.
+    fn dep(&self, lsn: u64, sectors: u32, is_write: bool) -> SimTime {
+        let range = lsn..lsn + u64::from(sectors);
+        let mut dep = SimTime::ZERO;
+        match self {
+            Hazards::Flat { write, read } => {
+                for s in range {
+                    dep = dep.max(write[s as usize]);
+                    if is_write {
+                        dep = dep.max(read[s as usize]);
+                    }
+                }
+            }
+            Hazards::Sparse { write, read, .. } => {
+                for s in range {
+                    if let Some(&t) = write.get(&s) {
+                        dep = dep.max(t);
+                    }
+                    if is_write {
+                        if let Some(&t) = read.get(&s) {
+                            dep = dep.max(t);
+                        }
+                    }
+                }
+            }
+        }
+        dep
+    }
+
+    /// Publishes a completed request's per-sector completion times. A
+    /// write overwrites (its buffered copy is the newest data); reads
+    /// accumulate the max, since concurrent reads complete in any order
+    /// and a later write must wait for the slowest.
+    fn publish(&mut self, lsn: u64, sectors: u32, is_write: bool, done: SimTime) {
+        let range = lsn..lsn + u64::from(sectors);
+        match self {
+            Hazards::Flat { write, read } => {
+                for s in range {
+                    if is_write {
+                        write[s as usize] = done;
+                    } else {
+                        let e = &mut read[s as usize];
+                        *e = (*e).max(done);
+                    }
+                }
+            }
+            Hazards::Sparse { write, read, .. } => {
+                for s in range {
+                    if is_write {
+                        write.insert(s, done);
+                    } else {
+                        let e = read.entry(s).or_insert(done);
+                        *e = (*e).max(done);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops sparse entries that can no longer affect any future issue
+    /// time. Slot grants pop in non-decreasing order (each pop removes
+    /// the minimum and pushes a completion no earlier than it), so every
+    /// future request issues at or after `watermark` — the grant just
+    /// popped. An entry with `t <= watermark` is dominated by the
+    /// `max(slot grant, ...)` term forever and pruning it is exact; the
+    /// bit-identity test `hazard_representations_are_bit_identical`
+    /// locks this.
+    fn maybe_prune(&mut self, watermark: SimTime) {
+        if let Hazards::Sparse { write, read, prune } = self {
+            if *prune && write.len() + read.len() > SPARSE_PRUNE_TRIGGER {
+                write.retain(|_, &mut t| t > watermark);
+                read.retain(|_, &mut t| t > watermark);
+            }
+        }
+    }
+
+    /// Live entry count (sparse) or table capacity (flat); test-only.
+    #[cfg(test)]
+    fn population(&self) -> usize {
+        match self {
+            Hazards::Flat { write, .. } => write.len(),
+            Hazards::Sparse { write, read, .. } => write.len() + read.len(),
+        }
+    }
+}
 
 /// A flash translation layer: the host-facing write/read/flush interface
 /// plus statistics.
@@ -267,45 +429,51 @@ pub fn run_trace<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace) -> RunReport {
 ///
 /// Panics if `queue_depth` is zero.
 pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: usize) -> RunReport {
+    run_trace_qd_mode(ftl, trace, queue_depth, HazardMode::Auto)
+}
+
+pub(crate) fn run_trace_qd_mode<F: Ftl + ?Sized>(
+    ftl: &mut F,
+    trace: &Trace,
+    queue_depth: usize,
+    mode: HazardMode,
+) -> RunReport {
     assert!(queue_depth > 0, "queue_depth must be at least 1");
     let base = ftl.ssd().makespan();
     let stats0 = ftl.stats().clone();
     let dev0 = *ftl.ssd().device().stats();
 
-    // One heap entry per queue slot, keyed by the completion time of the
-    // request occupying it (`base` = free from the start). `clock` is the
-    // max completion granted so far, i.e. the heap's maximum — kept
-    // separately because a binary min-heap can't answer max queries.
-    let mut slots: BinaryHeap<Reverse<SimTime>> =
-        std::iter::repeat_n(Reverse(base), queue_depth).collect();
+    // The event calendar: one completion event per queue slot (`base` =
+    // free from the start). Popping the earliest completion grants that
+    // slot to the next request; pushing schedules the request's own
+    // completion. `clock` is the max completion granted so far — kept
+    // separately because the calendar only answers min queries. The
+    // calendar reuses its bucket storage, so the steady-state loop
+    // allocates nothing.
+    let mut slots: CalendarQueue<()> = CalendarQueue::new();
+    for _ in 0..queue_depth {
+        slots.push(base, ());
+    }
     let mut clock = base;
-    // Per-sector completion times of the last write and last read, for
-    // RAW / WAW / WAR serialization. Only read and inserted (never
-    // iterated), so the HashMap stays deterministic.
-    let mut write_done: HashMap<u64, SimTime> = HashMap::new();
-    let mut read_done: HashMap<u64, SimTime> = HashMap::new();
+    let mut hazards = Hazards::new(mode, trace.footprint_sectors);
     let mut latency = esp_sim::Log2Histogram::new();
     let mut read_latency = esp_sim::HdrHistogram::new();
     let mut write_latency = esp_sim::HdrHistogram::new();
+    let mut response_latency = esp_sim::HdrHistogram::new();
+    // Arrival→done response times are only meaningful when the trace
+    // carries real arrival stamps (open arrivals); closed-loop traces
+    // stamp every arrival at zero, where "response time" would just
+    // accumulate the makespan.
+    let open_arrival = trace.into_iter().any(|r| r.arrival > SimTime::ZERO);
     for r in trace {
         let arrival = base + SimDuration::from_nanos(r.arrival.as_nanos());
         // Admit on the earliest in-flight completion.
-        let Reverse(slot_free) = slots.pop().expect("at least one slot");
+        let (slot_free, ()) = slots.pop().expect("at least one slot");
         // Hazards against earlier overlapping requests. At QD=1 every
         // recorded completion is <= the popped slot time, so this never
         // changes serial behaviour.
-        let sectors = r.lsn..r.lsn + u64::from(r.sectors);
-        let mut dep = SimTime::ZERO;
-        for s in sectors.clone() {
-            if let Some(&t) = write_done.get(&s) {
-                dep = dep.max(t);
-            }
-            if r.op == IoOp::Write {
-                if let Some(&t) = read_done.get(&s) {
-                    dep = dep.max(t);
-                }
-            }
-        }
+        let is_write = r.op == IoOp::Write;
+        let dep = hazards.dep(r.lsn, r.sectors, is_write);
         let issue = slot_free.max(arrival).max(dep);
         if arrival > clock {
             // Every in-flight request completed before `arrival` (clock is
@@ -313,8 +481,9 @@ pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: us
             ftl.idle(clock, arrival);
         }
         ftl.maintain(issue);
-        // Histograms record issue → done: device service time, not
-        // arrival → done response time (see the module docs).
+        // Service histograms record issue → done: device service time.
+        // Under open arrivals the response histogram additionally records
+        // arrival → done (host queueing included) for the same samples.
         let done = match r.op {
             IoOp::Write => {
                 let done = ftl.write(r.lsn, r.sectors, r.sync, issue);
@@ -322,6 +491,9 @@ pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: us
                     let ns = done.saturating_since(issue).as_nanos();
                     latency.record(ns);
                     write_latency.record(ns);
+                    if open_arrival {
+                        response_latency.record(done.saturating_since(arrival).as_nanos());
+                    }
                     done
                 } else {
                     issue
@@ -332,26 +504,18 @@ pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: us
                 let ns = done.saturating_since(issue).as_nanos();
                 latency.record(ns);
                 read_latency.record(ns);
+                if open_arrival {
+                    response_latency.record(done.saturating_since(arrival).as_nanos());
+                }
                 done
             }
         };
-        for s in sectors {
-            match r.op {
-                // An async write publishes its host-visible completion
-                // (the buffered copy is readable immediately); sync
-                // writes publish durability.
-                IoOp::Write => {
-                    write_done.insert(s, done);
-                }
-                // Concurrent reads may complete in any order; a later
-                // write must wait for the slowest of them.
-                IoOp::Read => {
-                    let e = read_done.entry(s).or_insert(done);
-                    *e = (*e).max(done);
-                }
-            }
-        }
-        slots.push(Reverse(done));
+        // An async write publishes its host-visible completion (the
+        // buffered copy is readable immediately); sync writes publish
+        // durability.
+        hazards.publish(r.lsn, r.sectors, is_write, done);
+        hazards.maybe_prune(slot_free);
+        slots.push(done, ());
         clock = clock.max(done);
     }
     let flushed = ftl.flush(clock);
@@ -384,6 +548,7 @@ pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: us
         latency,
         read_latency,
         write_latency,
+        response_latency,
     }
 }
 
@@ -639,6 +804,11 @@ mod tests {
         let mut latency = esp_sim::Log2Histogram::new();
         let mut read_latency = esp_sim::HdrHistogram::new();
         let mut write_latency = esp_sim::HdrHistogram::new();
+        // Response recording mirrors `run_trace_qd` (it post-dates the
+        // legacy scheduler and doesn't affect scheduling), so the
+        // bit-identity comparison also covers the response histogram.
+        let mut response_latency = esp_sim::HdrHistogram::new();
+        let open_arrival = trace.into_iter().any(|r| r.arrival > SimTime::ZERO);
         for r in trace {
             let arrival = base + SimDuration::from_nanos(r.arrival.as_nanos());
             let (t_idx, &t_free) = threads
@@ -661,6 +831,9 @@ mod tests {
                         let ns = done.saturating_since(issue).as_nanos();
                         latency.record(ns);
                         write_latency.record(ns);
+                        if open_arrival {
+                            response_latency.record(done.saturating_since(arrival).as_nanos());
+                        }
                         done
                     } else {
                         issue
@@ -671,6 +844,9 @@ mod tests {
                     let ns = done.saturating_since(issue).as_nanos();
                     latency.record(ns);
                     read_latency.record(ns);
+                    if open_arrival {
+                        response_latency.record(done.saturating_since(arrival).as_nanos());
+                    }
                     done
                 }
             };
@@ -706,6 +882,7 @@ mod tests {
             latency,
             read_latency,
             write_latency,
+            response_latency,
         }
     }
 
@@ -725,25 +902,137 @@ mod tests {
         })
     }
 
+    /// Factories for all four FTLs, for cross-implementation tests.
+    fn all_ftls(cfg: &FtlConfig) -> Vec<(&'static str, Box<dyn Ftl>)> {
+        vec![
+            ("cgm", Box::new(crate::CgmFtl::new(cfg)) as Box<dyn Ftl>),
+            ("fgm", Box::new(crate::FgmFtl::new(cfg))),
+            ("sub", Box::new(SubFtl::new(cfg))),
+            ("sector_log", Box::new(crate::SectorLogFtl::new(cfg))),
+        ]
+    }
+
     #[test]
     fn qd1_matches_serial_reference() {
-        // Bit-for-bit: the NCQ heap at depth 1 must reproduce the legacy
-        // serial scheduler exactly — same completion times, same latency
-        // distribution, same device state — on a workload that exercises
-        // idle windows, rewrites and reads.
+        // Bit-for-bit: the event-engine scheduler at depth 1 must
+        // reproduce the legacy serial scheduler exactly — same completion
+        // times, same latency distribution, same device state — on a
+        // workload that exercises idle windows, rewrites and reads, for
+        // every FTL in the tree.
         let cfg = FtlConfig::tiny();
-        let trace = mixed_trace(SubFtl::new(&cfg).logical_sectors() / 2);
-        let mut a = SubFtl::new(&cfg);
-        let new = run_trace_qd(&mut a, &trace, 1);
-        let mut b = SubFtl::new(&cfg);
-        let old = legacy_run_trace_qd(&mut b, &trace, 1);
-        assert_eq!(
-            crate::report::run_json("qd1", &new).to_pretty(),
-            crate::report::run_json("qd1", &old).to_pretty(),
-            "QD=1 must be bit-identical to the serial scheduler"
+        for ((name, mut a), (_, mut b)) in all_ftls(&cfg).into_iter().zip(all_ftls(&cfg)) {
+            let trace = mixed_trace(a.logical_sectors() / 2);
+            let new = run_trace_qd(a.as_mut(), &trace, 1);
+            let old = legacy_run_trace_qd(b.as_mut(), &trace, 1);
+            assert_eq!(
+                crate::report::run_json("qd1", &new).to_pretty(),
+                crate::report::run_json("qd1", &old).to_pretty(),
+                "{name}: QD=1 must be bit-identical to the serial scheduler"
+            );
+            assert_eq!(a.ssd().makespan(), b.ssd().makespan(), "{name}");
+            assert_eq!(
+                a.ssd().commands_issued(),
+                b.ssd().commands_issued(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn hazard_representations_are_bit_identical() {
+        // The flat tables, the pruned sparse maps, and the unpruned
+        // legacy maps must produce byte-identical replays at QD > 1:
+        // pruning only ever drops entries already dominated by the slot
+        // grant. Exercised across all four FTLs on a workload with
+        // rewrites, reads and idle windows.
+        let cfg = FtlConfig::tiny();
+        for mode in [
+            HazardMode::Sparse,
+            HazardMode::SparseUnpruned,
+            HazardMode::Auto,
+        ] {
+            for ((name, mut a), (_, mut b)) in all_ftls(&cfg).into_iter().zip(all_ftls(&cfg)) {
+                let trace = mixed_trace(a.logical_sectors() / 2);
+                let flat = run_trace_qd_mode(a.as_mut(), &trace, 8, HazardMode::Flat);
+                let other = run_trace_qd_mode(b.as_mut(), &trace, 8, mode);
+                assert_eq!(
+                    crate::report::run_json("qd8", &flat).to_pretty(),
+                    crate::report::run_json("qd8", &other).to_pretty(),
+                    "{name}: hazard representations must be bit-identical"
+                );
+                assert_eq!(a.ssd().makespan(), b.ssd().makespan(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_hazards_prune_to_the_working_set() {
+        // Regression for unbounded memory growth: the sparse maps used to
+        // retain one entry per sector ever touched. With pruning, a long
+        // scan over many sectors must keep the population bounded by the
+        // prune trigger plus one request's publications — not grow with
+        // the footprint.
+        let mut h = Hazards::new(HazardMode::Sparse, u64::MAX);
+        let mut t = SimTime::ZERO;
+        for i in 0..200_000u64 {
+            t += SimDuration::from_micros(10);
+            h.publish(i * 8, 8, true, t);
+            // The watermark trails the published completion, as the slot
+            // grant does in a loaded queue.
+            h.maybe_prune(t);
+        }
+        assert!(
+            h.population() <= SPARSE_PRUNE_TRIGGER + 8,
+            "population {} must stay bounded",
+            h.population()
         );
-        assert_eq!(a.ssd().makespan(), b.ssd().makespan());
-        assert_eq!(a.ssd().commands_issued(), b.ssd().commands_issued());
+        // And an unpruned map demonstrates the bug being fixed.
+        let mut h = Hazards::new(HazardMode::SparseUnpruned, u64::MAX);
+        for i in 0..20_000u64 {
+            h.publish(i * 8, 8, true, SimTime::from_micros(i));
+            h.maybe_prune(SimTime::from_micros(i));
+        }
+        assert_eq!(h.population(), 160_000, "unpruned maps retain everything");
+    }
+
+    #[test]
+    fn response_histogram_records_only_open_arrivals() {
+        // Closed loop: every arrival at zero — no response samples.
+        let mut ftl = SubFtl::new(&FtlConfig::tiny());
+        let mut t = Trace::new(64);
+        t.push(IoRequest::write(SimTime::ZERO, 0, 1, true));
+        t.push(IoRequest::read(SimTime::ZERO, 0, 1));
+        let r = run_trace(&mut ftl, &t);
+        assert_eq!(r.response_latency.summary().count, 0);
+        let j = crate::report::run_json("closed", &r);
+        assert!(j.path("latency.response.count").is_none());
+
+        // Open arrivals: response = service + queueing delay, recorded
+        // for the same samples as the service histograms.
+        let mut ftl = SubFtl::new(&FtlConfig::tiny());
+        let mut t = Trace::new(64);
+        for i in 0..8u64 {
+            // All arrive within 1 us: deep backlog at QD=1, so response
+            // must exceed service for the queued requests.
+            t.push(IoRequest::write(
+                SimTime::from_nanos(100 * i + 1),
+                i,
+                1,
+                true,
+            ));
+        }
+        let r = run_trace(&mut ftl, &t);
+        let resp = r.response_latency.summary();
+        assert_eq!(resp.count, 8, "one response sample per sync request");
+        assert!(
+            resp.max > r.write_latency_summary().max,
+            "queued tail response must exceed pure service time"
+        );
+        let j = crate::report::run_json("open", &r);
+        assert_eq!(
+            j.path("latency.response.count").and_then(|v| v.as_u64()),
+            Some(8)
+        );
     }
 
     #[test]

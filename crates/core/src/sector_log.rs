@@ -87,6 +87,11 @@ pub struct SectorLogFtl {
     reliability: ReadReliability,
     /// Log-merge/reclaim event recorder; disabled (free) by default.
     trace: EventBuffer,
+    /// Reused full-page read buffer and OOB staging for log merges and
+    /// grouped host reads, so those hot paths allocate nothing per page.
+    slots_scratch: Vec<Result<Oob, esp_nand::ReadFault>>,
+    oobs_scratch: Vec<Option<Oob>>,
+    chunks_scratch: Vec<FlushChunk>,
 }
 
 impl SectorLogFtl {
@@ -169,6 +174,9 @@ impl SectorLogFtl {
             watermark: config.gc_free_watermark,
             reliability: ReadReliability::new(config),
             trace: EventBuffer::disabled(),
+            slots_scratch: Vec::new(),
+            oobs_scratch: Vec::new(),
+            chunks_scratch: Vec::new(),
         };
         // Exclude factory-marked bad blocks from whichever region owns them.
         for gbi in ftl.ssd.device().bad_block_indices() {
@@ -576,16 +584,15 @@ impl SectorLogFtl {
                 continue;
             }
             let addr = self.ssd.geometry().block_addr(gbi).page(page);
-            let (slots, t) = self.ssd.read_full(addr, now);
-            now = t;
+            now = self.ssd.read_full_into(addr, now, &mut self.slots_scratch);
             if self.ssd.crashed() {
                 // Power died mid-merge: surviving log copies stay where
                 // they are on flash; this half-done merge dies with DRAM.
                 return now;
             }
-            for (slot, r) in slots.into_iter().enumerate() {
+            for (slot, r) in self.slots_scratch.iter().enumerate() {
                 if self.log_blocks[victim as usize].valid[(page * self.nsub) as usize + slot] {
-                    let oob = r.expect("valid log sector must be readable");
+                    let oob = r.as_ref().expect("valid log sector must be readable");
                     lpns.push(oob.lsn / u64::from(SECTORS_PER_PAGE));
                 }
             }
@@ -625,7 +632,8 @@ impl SectorLogFtl {
     /// and drop the log entries.
     fn merge_lpn(&mut self, lpn: u64, issue: SimTime) -> SimTime {
         let page_sz = u64::from(SECTORS_PER_PAGE);
-        let mut oobs: Vec<Option<Oob>> = vec![None; SECTORS_PER_PAGE as usize];
+        self.oobs_scratch.clear();
+        self.oobs_scratch.resize(SECTORS_PER_PAGE as usize, None);
         let mut now = issue;
         let mut from_log = 0u64;
         for slot in 0..u64::from(SECTORS_PER_PAGE) {
@@ -642,19 +650,18 @@ impl SectorLogFtl {
                 now = t;
                 note_read_result(&r, lsn, &mut self.stats);
                 if let Ok(oob) = r {
-                    oobs[slot as usize] = Some(oob);
+                    self.oobs_scratch[slot as usize] = Some(oob);
                     from_log += 1;
                 }
             }
         }
         if let Some(ptr) = self.data.lookup(lpn) {
             let addr = self.data.page_addr(ptr, &self.ssd);
-            let (slots, t) = self.ssd.read_full(addr, now);
-            now = t;
-            for (slot, r) in slots.into_iter().enumerate() {
-                if oobs[slot].is_none() {
+            now = self.ssd.read_full_into(addr, now, &mut self.slots_scratch);
+            for (slot, r) in self.slots_scratch.iter().enumerate() {
+                if self.oobs_scratch[slot].is_none() {
                     if let Ok(oob) = r {
-                        oobs[slot] = Some(oob);
+                        self.oobs_scratch[slot] = Some(*oob);
                     }
                 }
             }
@@ -662,7 +669,7 @@ impl SectorLogFtl {
         }
         now = self
             .data
-            .program_page(lpn, &oobs, &mut self.ssd, &mut self.stats, now);
+            .program_page(lpn, &self.oobs_scratch, &mut self.ssd, &mut self.stats, now);
         for slot in 0..page_sz {
             self.unmap_log(lpn * page_sz + slot);
         }
@@ -673,10 +680,10 @@ impl SectorLogFtl {
 
     /// Flushes chunks: aligned 16 KB units go straight to the data region,
     /// residues append to the log (per-chunk packing, like the FGM buffer).
-    fn flush_chunks(&mut self, chunks: Vec<FlushChunk>, issue: SimTime) -> SimTime {
+    fn flush_chunks(&mut self, chunks: &mut Vec<FlushChunk>, issue: SimTime) -> SimTime {
         let page_sz = u64::from(SECTORS_PER_PAGE);
         let mut done = issue;
-        for chunk in chunks {
+        for chunk in chunks.drain(..) {
             let (lo, hi) = (chunk.start_lsn, chunk.end_lsn());
             let aligned_lo = lo.div_ceil(page_sz) * page_sz;
             let aligned_hi = (hi / page_sz) * page_sz;
@@ -685,16 +692,21 @@ impl SectorLogFtl {
             if aligned_lo + page_sz <= aligned_hi {
                 residues.extend((lo..aligned_lo).map(|l| (l, origin(l))));
                 for lpn in aligned_lo / page_sz..aligned_hi / page_sz {
-                    let mut oobs: Vec<Option<Oob>> = vec![None; SECTORS_PER_PAGE as usize];
+                    self.oobs_scratch.clear();
                     for slot in 0..page_sz {
-                        oobs[slot as usize] = Some(Oob {
+                        let seq = self.next_seq();
+                        self.oobs_scratch.push(Some(Oob {
                             lsn: lpn * page_sz + slot,
-                            seq: self.next_seq(),
-                        });
+                            seq,
+                        }));
                     }
-                    let t =
-                        self.data
-                            .program_page(lpn, &oobs, &mut self.ssd, &mut self.stats, issue);
+                    let t = self.data.program_page(
+                        lpn,
+                        &self.oobs_scratch,
+                        &mut self.ssd,
+                        &mut self.stats,
+                        issue,
+                    );
                     done = done.max(t);
                     for slot in 0..page_sz {
                         let lsn = lpn * page_sz + slot;
@@ -712,6 +724,7 @@ impl SectorLogFtl {
                 let t = self.log_append(group, issue);
                 done = done.max(t);
             }
+            self.buffer.recycle(chunk);
         }
         done
     }
@@ -757,11 +770,16 @@ impl Ftl for SectorLogFtl {
         }
         self.buffer.insert(lsn, sectors, small);
         if sync {
-            let chunks = self.buffer.take_overlapping(lsn, sectors);
-            self.flush_chunks(chunks, issue)
+            let mut chunks = std::mem::take(&mut self.chunks_scratch);
+            self.buffer.take_overlapping_into(lsn, sectors, &mut chunks);
+            let done = self.flush_chunks(&mut chunks, issue);
+            self.chunks_scratch = chunks;
+            done
         } else if self.buffer.is_full() {
-            let chunks = self.buffer.drain_all();
-            self.flush_chunks(chunks, issue);
+            let mut chunks = std::mem::take(&mut self.chunks_scratch);
+            self.buffer.drain_all_into(&mut chunks);
+            self.flush_chunks(&mut chunks, issue);
+            self.chunks_scratch = chunks;
             issue
         } else {
             issue
@@ -812,9 +830,15 @@ impl Ftl for SectorLogFtl {
             };
             let addr = self.data.page_addr(ptr, &self.ssd);
             let effort = if from_data.len() >= 2 {
-                let (slots, effort, t) = self.ssd.read_full_graded(addr, issue);
+                let (effort, t) =
+                    self.ssd
+                        .read_full_graded_into(addr, issue, &mut self.slots_scratch);
                 for s in from_data {
-                    faulted |= note_read_result(&slots[(s % page_sz) as usize], s, &mut self.stats);
+                    faulted |= note_read_result(
+                        &self.slots_scratch[(s % page_sz) as usize],
+                        s,
+                        &mut self.stats,
+                    );
                 }
                 done = done.max(t);
                 effort
@@ -868,8 +892,11 @@ impl Ftl for SectorLogFtl {
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
-        let chunks = self.buffer.drain_all();
-        self.flush_chunks(chunks, issue)
+        let mut chunks = std::mem::take(&mut self.chunks_scratch);
+        self.buffer.drain_all_into(&mut chunks);
+        let done = self.flush_chunks(&mut chunks, issue);
+        self.chunks_scratch = chunks;
+        done
     }
 
     fn trim(&mut self, lsn: u64, sectors: u32) {

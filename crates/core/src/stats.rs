@@ -174,6 +174,13 @@ pub struct RunReport {
     /// Host-observed **synchronous write** latencies in nanoseconds, at HDR
     /// resolution. Asynchronous writes complete in DRAM and are excluded.
     pub write_latency: HdrHistogram,
+    /// Arrival → completion **response** times in nanoseconds (host
+    /// queueing delay included), for the same samples as the service
+    /// histograms. Recorded only for open-arrival traces (at least one
+    /// nonzero arrival stamp); empty for closed-loop replays, where
+    /// arrival-to-done would measure cumulative makespan instead of
+    /// per-request latency.
+    pub response_latency: HdrHistogram,
 }
 
 impl RunReport {
@@ -270,6 +277,7 @@ mod tests {
             latency: Log2Histogram::new(),
             read_latency: HdrHistogram::new(),
             write_latency: HdrHistogram::new(),
+            response_latency: HdrHistogram::new(),
         };
         let mbps = r.write_bandwidth_mbps();
         assert!((mbps - 1000.0 * 4096.0 / 1e6 / 2.0).abs() < 1e-9);

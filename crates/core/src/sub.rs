@@ -119,6 +119,11 @@ pub struct SubFtl {
     /// FTL-level event recorder (host ops, subpage-region GC, lap
     /// migrations); disabled (free) by default.
     trace: EventBuffer,
+    /// Reused full-page read buffer and OOB staging for eviction RMW and
+    /// grouped host reads, so those hot paths allocate nothing per page.
+    slots_scratch: Vec<Result<Oob, esp_nand::ReadFault>>,
+    oobs_scratch: Vec<Option<Oob>>,
+    chunks_scratch: Vec<FlushChunk>,
 }
 
 impl SubFtl {
@@ -207,6 +212,9 @@ impl SubFtl {
             crash_safe_mode: config.crash_safe_mode,
             reliability: ReadReliability::new(config),
             trace: EventBuffer::disabled(),
+            slots_scratch: Vec::new(),
+            oobs_scratch: Vec::new(),
+            chunks_scratch: Vec::new(),
         };
         // Exclude factory-marked and previously grown bad blocks from
         // whichever region owns them; the reserve must stay usable.
@@ -501,6 +509,9 @@ impl SubFtl {
             crash_safe_mode: config.crash_safe_mode,
             reliability: ReadReliability::new(config),
             trace: EventBuffer::disabled(),
+            slots_scratch: Vec::new(),
+            oobs_scratch: Vec::new(),
+            chunks_scratch: Vec::new(),
         };
         if evacuate {
             ftl.evacuate_reserve();
@@ -1102,20 +1113,20 @@ impl SubFtl {
         let page = u64::from(SECTORS_PER_PAGE);
         let lpn = items[0].0 / page;
         debug_assert!(items.iter().all(|(l, _)| l / page == lpn));
-        let mut oobs: Vec<Option<Oob>> = vec![None; SECTORS_PER_PAGE as usize];
+        self.oobs_scratch.clear();
+        self.oobs_scratch.resize(SECTORS_PER_PAGE as usize, None);
         for (lsn, oob) in items {
-            oobs[(lsn % page) as usize] = Some(*oob);
+            self.oobs_scratch[(lsn % page) as usize] = Some(*oob);
         }
         let mut now = issue;
         if let Some(ptr) = self.full.lookup(lpn) {
             // Merge the remaining sectors from the existing full page.
             let addr = self.full.page_addr(ptr, &self.ssd);
-            let (slots, t) = self.ssd.read_full(addr, now);
-            now = t;
-            for (slot, r) in slots.into_iter().enumerate() {
-                if oobs[slot].is_none() {
+            now = self.ssd.read_full_into(addr, now, &mut self.slots_scratch);
+            for (slot, r) in self.slots_scratch.iter().enumerate() {
+                if self.oobs_scratch[slot].is_none() {
                     if let Ok(o) = r {
-                        oobs[slot] = Some(o);
+                        self.oobs_scratch[slot] = Some(*o);
                     }
                 }
             }
@@ -1123,7 +1134,7 @@ impl SubFtl {
         }
         now = self
             .full
-            .program_page(lpn, &oobs, &mut self.ssd, &mut self.stats, now);
+            .program_page(lpn, &self.oobs_scratch, &mut self.ssd, &mut self.stats, now);
         for (lsn, _) in items {
             self.invalidate_sub(*lsn);
         }
@@ -1179,10 +1190,10 @@ impl SubFtl {
     /// ESP-aware data placement (§4.1): page-aligned 16 KB units of a flush
     /// chunk go to the full-page region; the small head/tail residue and
     /// chunks shorter than a page go to the subpage region.
-    fn flush_chunks(&mut self, chunks: Vec<FlushChunk>, issue: SimTime) -> SimTime {
+    fn flush_chunks(&mut self, chunks: &mut Vec<FlushChunk>, issue: SimTime) -> SimTime {
         let page = u64::from(SECTORS_PER_PAGE);
         let mut done = issue;
-        for chunk in chunks {
+        for chunk in chunks.drain(..) {
             let (lo, hi) = (chunk.start_lsn, chunk.end_lsn());
             let aligned_lo = lo.div_ceil(page) * page;
             let aligned_hi = (hi / page) * page;
@@ -1192,16 +1203,21 @@ impl SubFtl {
                     done = done.max(self.write_sector_to_sub(lsn, origin(lsn), issue));
                 }
                 for lpn in aligned_lo / page..aligned_hi / page {
-                    let mut oobs: Vec<Option<Oob>> = vec![None; SECTORS_PER_PAGE as usize];
+                    self.oobs_scratch.clear();
                     for slot in 0..u64::from(SECTORS_PER_PAGE) {
-                        oobs[slot as usize] = Some(Oob {
+                        let seq = self.next_seq();
+                        self.oobs_scratch.push(Some(Oob {
                             lsn: lpn * page + slot,
-                            seq: self.next_seq(),
-                        });
+                            seq,
+                        }));
                     }
-                    let t =
-                        self.full
-                            .program_page(lpn, &oobs, &mut self.ssd, &mut self.stats, issue);
+                    let t = self.full.program_page(
+                        lpn,
+                        &self.oobs_scratch,
+                        &mut self.ssd,
+                        &mut self.stats,
+                        issue,
+                    );
                     done = done.max(t);
                     for slot in 0..page {
                         let lsn = lpn * page + slot;
@@ -1220,6 +1236,7 @@ impl SubFtl {
                     done = done.max(self.write_sector_to_sub(lsn, origin(lsn), issue));
                 }
             }
+            self.buffer.recycle(chunk);
         }
         done
     }
@@ -1457,11 +1474,16 @@ impl Ftl for SubFtl {
         }
         self.buffer.insert(lsn, sectors, small);
         if sync {
-            let chunks = self.buffer.take_overlapping(lsn, sectors);
-            self.flush_chunks(chunks, issue)
+            let mut chunks = std::mem::take(&mut self.chunks_scratch);
+            self.buffer.take_overlapping_into(lsn, sectors, &mut chunks);
+            let done = self.flush_chunks(&mut chunks, issue);
+            self.chunks_scratch = chunks;
+            done
         } else if self.buffer.is_full() {
-            let chunks = self.buffer.drain_all();
-            self.flush_chunks(chunks, issue);
+            let mut chunks = std::mem::take(&mut self.chunks_scratch);
+            self.buffer.drain_all_into(&mut chunks);
+            self.flush_chunks(&mut chunks, issue);
+            self.chunks_scratch = chunks;
             issue
         } else {
             issue
@@ -1509,9 +1531,15 @@ impl Ftl for SubFtl {
             };
             let addr = self.full.page_addr(ptr, &self.ssd);
             let effort = if from_full.len() >= 2 {
-                let (slots, effort, t) = self.ssd.read_full_graded(addr, issue);
+                let (effort, t) =
+                    self.ssd
+                        .read_full_graded_into(addr, issue, &mut self.slots_scratch);
                 for s in from_full {
-                    faulted |= note_read_result(&slots[(s % page) as usize], s, &mut self.stats);
+                    faulted |= note_read_result(
+                        &self.slots_scratch[(s % page) as usize],
+                        s,
+                        &mut self.stats,
+                    );
                 }
                 done = done.max(t);
                 effort
@@ -1560,8 +1588,11 @@ impl Ftl for SubFtl {
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
-        let chunks = self.buffer.drain_all();
-        self.flush_chunks(chunks, issue)
+        let mut chunks = std::mem::take(&mut self.chunks_scratch);
+        self.buffer.drain_all_into(&mut chunks);
+        let done = self.flush_chunks(&mut chunks, issue);
+        self.chunks_scratch = chunks;
+        done
     }
 
     fn maintain(&mut self, now: SimTime) {

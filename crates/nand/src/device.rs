@@ -523,12 +523,56 @@ impl NandDevice {
         page: PageAddr,
         now: SimTime,
     ) -> (Vec<Result<Oob, ReadFault>>, ReadEffort) {
+        let mut results = Vec::new();
+        let effort = self.read_full_with_effort_into(page, now, &mut results);
+        (results, effort)
+    }
+
+    /// Allocation-free variant of [`NandDevice::read_full_with_effort`]:
+    /// clears `out` and fills it with the per-slot results, so steady-state
+    /// read loops can reuse one buffer.
+    pub fn read_full_with_effort_into(
+        &mut self,
+        page: PageAddr,
+        now: SimTime,
+        out: &mut Vec<Result<Oob, ReadFault>>,
+    ) -> ReadEffort {
         let n_sub = self.geometry.subpages_per_page;
-        let mut results = Vec::with_capacity(n_sub as usize);
+        out.clear();
+        out.reserve(n_sub as usize);
+        let results = out;
         let mut effort = ReadEffort::NONE;
+        // Slots programmed by one full-page program share
+        // `(pe_at_program, npp, programmed_at)`, and the BER verdict is a
+        // pure function of those inputs (plus per-call constants), so the
+        // common case runs the float model once per page, not once per
+        // slot. Identical inputs give bit-identical verdicts — exact.
+        type JudgeKey = (u32, u8, SimTime);
+        let mut cached: Option<(JudgeKey, Result<(), ReadFault>, ReadEffort)> = None;
+        let block_index = u64::from(self.geometry.block_index(page.block));
         for slot in 0..n_sub {
             self.stats.reads += 1;
-            let (r, e) = self.judge_read(page.subpage(slot as u8), now);
+            let addr = page.subpage(slot as u8);
+            let (r, e) = if !self.forced_faults.is_empty() && self.forced_faults.contains(&addr) {
+                (Err(ReadFault::Injected), ReadEffort::NONE)
+            } else {
+                match self.written_subpage(addr) {
+                    Err(e) => (Err(e), ReadEffort::NONE),
+                    Ok(w) => {
+                        let key = (w.pe_at_program, w.npp, w.programmed_at);
+                        let (verdict, eff) = match cached {
+                            Some((k, v, eff)) if k == key => (v, eff),
+                            _ => {
+                                let (v, eff) = self.judge_written(block_index, &w, now);
+                                cached = Some((key, v, eff));
+                                (v, eff)
+                            }
+                        };
+                        let oob = w.oob.expect("written_subpage filters padding");
+                        (verdict.map(|()| oob), eff)
+                    }
+                }
+            };
             self.account_slot(&r, e);
             effort = effort.max(e);
             results.push(r);
@@ -537,24 +581,36 @@ impl NandDevice {
         if effort.soft_decode {
             self.stats.soft_decodes += 1;
         }
-        let idx = self.geometry.block_index(page.block) as usize;
-        self.blocks[idx].reads_since_erase += 1 + u64::from(effort.retry_steps);
-        (results, effort)
+        self.blocks[block_index as usize].reads_since_erase += 1 + u64::from(effort.retry_steps);
+        effort
     }
 
     /// Judges one subpage read without mutating any state: retention BER
     /// plus the block's accumulated read-disturb term, run through the
     /// retry ladder if one is installed.
     fn judge_read(&self, addr: SubpageAddr, now: SimTime) -> (Result<Oob, ReadFault>, ReadEffort) {
-        if self.forced_faults.contains(&addr) {
+        if !self.forced_faults.is_empty() && self.forced_faults.contains(&addr) {
             return (Err(ReadFault::Injected), ReadEffort::NONE);
         }
         let w = match self.written_subpage(addr) {
             Ok(w) => w,
             Err(e) => return (Err(e), ReadEffort::NONE),
         };
-        let elapsed = now.saturating_since(w.programmed_at);
         let block_index = u64::from(self.geometry.block_index(addr.page.block));
+        let (verdict, effort) = self.judge_written(block_index, &w, now);
+        let oob = w.oob.expect("written_subpage filters padding");
+        (verdict.map(|()| oob), effort)
+    }
+
+    /// The BER verdict for a written subpage: a pure function of the
+    /// subpage's program-time parameters, the block, and `now`.
+    fn judge_written(
+        &self,
+        block_index: u64,
+        w: &WrittenSubpage,
+        now: SimTime,
+    ) -> (Result<(), ReadFault>, ReadEffort) {
+        let elapsed = now.saturating_since(w.programmed_at);
         let ber = self.retention.normalized_ber_on_block(
             block_index,
             w.pe_at_program,
@@ -564,13 +620,12 @@ impl NandDevice {
             .retention
             .disturb_term(self.blocks[block_index as usize].reads_since_erase);
         let limit = self.retention.ecc_limit();
-        let oob = w.oob.expect("written_subpage filters padding");
         match &self.retry_ladder {
             Some(ladder) => match ladder.effort_for(ber, limit) {
-                Some(effort) => (Ok(oob), effort),
+                Some(effort) => (Ok(()), effort),
                 None => (Err(ReadFault::RetentionExceeded), ladder.exhausted()),
             },
-            None if ber <= limit => (Ok(oob), ReadEffort::NONE),
+            None if ber <= limit => (Ok(()), ReadEffort::NONE),
             None => (Err(ReadFault::RetentionExceeded), ReadEffort::NONE),
         }
     }

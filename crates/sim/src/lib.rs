@@ -7,6 +7,8 @@
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time.
 //! * [`Resource`] — first-come-first-served occupancy timelines used to model
 //!   flash channels and chips.
+//! * [`CalendarQueue`] — amortized-`O(1)` discrete-event list (Brown's
+//!   calendar queue) driving the replay engine's completion scheduling.
 //! * [`Rng`] / [`Zipf`] — self-contained deterministic random number
 //!   generation and skewed (hot/cold) sampling for workload synthesis.
 //! * [`RunningStats`] / [`Log2Histogram`] — metric accumulators.
@@ -44,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod event;
 mod json;
 mod metrics;
 mod parallel;
@@ -53,6 +56,7 @@ mod stats;
 mod time;
 mod trace;
 
+pub use event::CalendarQueue;
 pub use json::Json;
 pub use metrics::{HdrHistogram, LatencySummary, MetricsRegistry};
 pub use parallel::{par_map, par_map_with_threads};

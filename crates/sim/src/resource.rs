@@ -78,13 +78,25 @@ impl Resource {
 
     /// Fraction of `[SimTime::ZERO, horizon]` the resource spent busy.
     ///
+    /// Busy time is clamped to the horizon: when the last scheduled
+    /// operation completes after `horizon` (common when the horizon is a
+    /// request-issue makespan and the tail operation is still draining),
+    /// the overrun `next_free - horizon` is subtracted before dividing,
+    /// and the result is capped at 1.0. The subtraction is exact whenever
+    /// the occupied timeline is contiguous across the horizon (always
+    /// true when the horizon is at or after the last operation's start);
+    /// with idle gaps entirely beyond the horizon it may undercount, so
+    /// the result is a lower bound — but never above 1.0.
+    ///
     /// Returns 0.0 for a zero horizon.
     #[must_use]
     pub fn utilization(&self, horizon: SimTime) -> f64 {
         if horizon == SimTime::ZERO {
             return 0.0;
         }
-        self.busy.as_secs_f64() / horizon.as_secs_f64()
+        let overrun = self.next_free.saturating_since(horizon).as_nanos();
+        let busy_in = self.busy.as_nanos().saturating_sub(overrun);
+        (busy_in as f64 / horizon.as_nanos() as f64).min(1.0)
     }
 }
 
@@ -130,5 +142,36 @@ mod tests {
         let u = r.utilization(SimTime::from_micros(100));
         assert!((u - 0.25).abs() < 1e-12);
         assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn utilization_clamps_ops_past_the_horizon() {
+        // Regression: a back-to-back pipeline whose last op completes
+        // after the horizon used to report > 1.0 (busy exceeds the
+        // horizon when the tail is still draining).
+        let mut r = Resource::new();
+        for _ in 0..10 {
+            r.occupy(SimTime::ZERO, SimDuration::from_micros(10));
+        }
+        // Ops occupy [0, 100) us; a horizon mid-pipeline at 60 us.
+        let u = r.utilization(SimTime::from_micros(60));
+        assert!((u - 1.0).abs() < 1e-12, "fully busy up to the horizon: {u}");
+        // And never above 1.0 anywhere in the pipeline.
+        for h in 1..=12u64 {
+            let u = r.utilization(SimTime::from_micros(h * 10));
+            assert!(u <= 1.0, "utilization({h}0us) = {u} > 1.0");
+        }
+        // Past the end the idle tail dilutes it again.
+        let u = r.utilization(SimTime::from_micros(200));
+        assert!((u - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_with_gap_beyond_horizon_is_a_lower_bound() {
+        // An op far beyond the horizon must not count toward the window
+        // before it (the overrun subtraction saturates to zero).
+        let mut r = Resource::new();
+        r.occupy(SimTime::from_micros(100), SimDuration::from_micros(10));
+        assert_eq!(r.utilization(SimTime::from_micros(10)), 0.0);
     }
 }

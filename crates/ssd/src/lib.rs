@@ -601,20 +601,43 @@ impl Ssd {
         page: PageAddr,
         issue: SimTime,
     ) -> (Vec<Result<Oob, ReadFault>>, ReadEffort, SimTime) {
+        let mut results = Vec::new();
+        let (effort, done) = self.read_full_graded_into(page, issue, &mut results);
+        (results, effort, done)
+    }
+
+    /// Allocation-free variant of [`Ssd::read_full_graded`]: clears `out`
+    /// and fills it with the per-slot results, so steady-state read loops
+    /// can reuse one buffer across calls.
+    pub fn read_full_graded_into(
+        &mut self,
+        page: PageAddr,
+        issue: SimTime,
+        out: &mut Vec<Result<Oob, ReadFault>>,
+    ) -> (ReadEffort, SimTime) {
         let n = self.geometry().subpages_per_page;
         if self.crashed || self.crash_due(issue) {
             self.crashed |= self.crash_point.is_some();
-            return (
-                vec![Err(ReadFault::PowerLoss); n as usize],
-                ReadEffort::NONE,
-                issue,
-            );
+            out.clear();
+            out.resize(n as usize, Err(ReadFault::PowerLoss));
+            return (ReadEffort::NONE, issue);
         }
         self.commands_issued += 1;
-        let (results, effort) = self.device.read_full_with_effort(page, issue);
+        let effort = self.device.read_full_with_effort_into(page, issue, out);
         let penalty = self.device.timing().retry_penalty(effort);
         let done = self.schedule_read(page.block, OpKind::ReadFull, penalty, issue);
-        (results, effort, done)
+        (effort, done)
+    }
+
+    /// Allocation-free variant of [`Ssd::read_full`]: clears `out` and
+    /// fills it with the per-slot results, returning the completion time.
+    pub fn read_full_into(
+        &mut self,
+        page: PageAddr,
+        issue: SimTime,
+        out: &mut Vec<Result<Oob, ReadFault>>,
+    ) -> SimTime {
+        self.read_full_graded_into(page, issue, out).1
     }
 
     /// Schedules an erase: cell time only, no channel transfer.
