@@ -7,9 +7,12 @@
 //! Runs a long small-write churn with the cross-region swap threshold at
 //! several settings and reports the per-block erase-count distribution.
 
-use esp_bench::{big_flag, experiment_config, footprint_sectors, TextTable, FILL_FRACTION};
+use esp_bench::{
+    bench_report, big_flag, experiment_config, footprint_sectors, write_bench, TextTable,
+    FILL_FRACTION,
+};
 use esp_core::{precondition, run_trace_qd, Ftl, FtlConfig, SubFtl};
-use esp_sim::RunningStats;
+use esp_sim::{Json, RunningStats};
 use esp_workload::{generate, SyntheticConfig};
 
 fn wear_distribution(ftl: &SubFtl) -> (RunningStats, u32) {
@@ -26,7 +29,8 @@ fn wear_distribution(ftl: &SubFtl) -> (RunningStats, u32) {
 }
 
 fn main() {
-    let base = experiment_config(big_flag());
+    let big = big_flag();
+    let base = experiment_config(big);
     let footprint = footprint_sectors(&base);
     let requests = if big_flag() { 4_800_000 } else { 600_000 };
     let trace = generate(&SyntheticConfig {
@@ -43,22 +47,30 @@ fn main() {
 
     println!("Ablation A6: cross-region wear leveling ({requests} small sync writes)");
     println!();
+    let mut bench = bench_report("ablation_wear", &base, big);
+    bench.meta("requests", Json::from(requests as u64));
     let mut t = TextTable::new([
         "swap threshold",
         "swaps",
+        "rotations",
         "mean P/E",
         "max P/E",
         "P/E std dev",
         "IOPS",
     ]);
-    for (label, delta) in [
-        ("off (u32::MAX)", u32::MAX),
-        ("50 cycles", 50),
-        ("20 cycles (default)", 20),
-        ("5 cycles", 5),
+    // The sweep varies the cross-region swap threshold; the final arm adds
+    // static wear leveling (cold-block rotation + wear-aware victims) at
+    // the default threshold to show the combined flattening.
+    for (label, delta, wl) in [
+        ("off (u32::MAX)", u32::MAX, false),
+        ("50 cycles", 50, false),
+        ("20 cycles (default)", 20, false),
+        ("5 cycles", 5, false),
+        ("20 cycles + static wl", 20, true),
     ] {
         let cfg = FtlConfig {
             wear_delta_threshold: delta,
+            wear_leveling: wl,
             ..base.clone()
         };
         let mut ftl = SubFtl::new(&cfg);
@@ -68,13 +80,26 @@ fn main() {
         t.row([
             label.to_string(),
             r.stats.wear_swaps.to_string(),
+            r.stats.wear_level_migrations.to_string(),
             format!("{:.2}", dist.mean()),
             max.to_string(),
             format!("{:.2}", dist.std_dev()),
             format!("{:.0}", r.iops),
         ]);
+        bench.push_run_with(
+            label,
+            &r,
+            [
+                ("swap_threshold".to_string(), Json::from(delta)),
+                ("static_wear_leveling".to_string(), Json::from(wl)),
+                ("pe_mean".to_string(), Json::from(dist.mean())),
+                ("pe_max".to_string(), Json::from(max)),
+                ("pe_std_dev".to_string(), Json::from(dist.std_dev())),
+            ],
+        );
     }
     println!("{}", t.render());
+    write_bench(&bench);
     println!(
         "Expected: with swapping off, the 20% subpage region absorbs nearly\n\
          all erases and its blocks race ahead (high max and std dev); lower\n\

@@ -1,27 +1,93 @@
 //! **Lifetime projection** — the paper's second headline ("improve the …
 //! lifetime by up to 177%") expressed in device terms.
 //!
-//! GC invocations are erases, and erases are the unit of NAND wear. With
-//! wear spread evenly (the FTLs allocate least-worn-first and subFTL swaps
-//! blocks across regions), a device with `B` blocks of endurance `E` sustains
-//! `B × E` erases; measuring host bytes written per erase under each FTL
-//! projects total-bytes-written (TBW) until wear-out.
+//! GC invocations are erases, and erases are the unit of NAND wear. Two
+//! projections are reported:
+//!
+//! * **TBW (erase)** — host bytes written per erase, scaled to the device's
+//!   erase budget (`B × E`). This assumes perfectly even wear and full-depth
+//!   erases, so it is blind to wear leveling and adaptive erase.
+//! * **TBW (wear)** — host bytes written per unit of **worst-block effective
+//!   P/E growth**, scaled to the endurance target. The device is dead when
+//!   its hottest block exhausts its cycles, so this is the projection wear
+//!   leveling (flatter growth) and AERO-style adaptive erase (fractional
+//!   stress per shallow erase) actually improve.
+//!
+//! Each FTL runs twice per workload: the paper-default baseline, and with
+//! `--wear-leveling` + `--adaptive-erase` on (`+wl+ae` rows). All runs land
+//! in a schema-versioned `BENCH_lifetime_projection.json` report.
+//!
+//! Flags: `--big` (4 GiB geometry), `--smoke` (one workload, shorter churn,
+//! for CI), `--assert-improvement` (exit nonzero unless every `+wl+ae` arm
+//! projects at least the baseline's wear-based TBW).
 
 use esp_bench::{
-    big_flag, experiment_config, footprint_sectors, FtlKind, TextTable, FILL_FRACTION,
+    bench_report, big_flag, experiment_config, footprint_sectors, write_bench, FtlKind, TextTable,
+    FILL_FRACTION,
 };
-use esp_core::{precondition, run_trace_qd};
+use esp_core::{precondition, run_trace_qd, FtlConfig, RunReport};
+use esp_sim::Json;
 use esp_workload::{generate, Benchmark, SECTOR_BYTES};
 
 /// TLC endurance assumed by the paper's evaluation (§3.3 performs 1K P/E
 /// cycles as the endurance requirement).
 const ENDURANCE_CYCLES: u64 = 1_000;
 
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// One measurement: a preconditioned FTL replaying the trace.
+struct Measured {
+    report: RunReport,
+    host_gb: f64,
+    /// Worst-block effective P/E growth during the measurement run
+    /// (end-of-run snapshot minus end-of-preconditioning snapshot).
+    max_pe_growth: u32,
+    tbw_erase: f64,
+    tbw_wear: f64,
+}
+
+fn measure(
+    kind: FtlKind,
+    cfg: &FtlConfig,
+    trace: &esp_workload::Trace,
+    budget_erases: u64,
+) -> Measured {
+    let mut ftl = kind.build(cfg);
+    let pre = precondition(ftl.as_mut(), FILL_FRACTION);
+    let report = run_trace_qd(ftl.as_mut(), trace, 8);
+    let host_gb = (report.stats.host_write_sectors * SECTOR_BYTES) as f64 / 1e9;
+    let max_pe_growth = report.wear.max_pe.saturating_sub(pre.wear.max_pe);
+    let per_erase = host_gb / report.erases.max(1) as f64;
+    let tbw_erase = per_erase * budget_erases as f64 / 1e3;
+    let tbw_wear = host_gb * ENDURANCE_CYCLES as f64 / f64::from(max_pe_growth.max(1)) / 1e3;
+    Measured {
+        report,
+        host_gb,
+        max_pe_growth,
+        tbw_erase,
+        tbw_wear,
+    }
+}
+
 fn main() {
-    let cfg = experiment_config(big_flag());
-    let footprint = footprint_sectors(&cfg);
-    let requests = if big_flag() { 480_000 } else { 60_000 };
-    let total_blocks = u64::from(cfg.geometry.block_count());
+    let big = big_flag();
+    let smoke = flag("--smoke");
+    let assert_improvement = flag("--assert-improvement");
+    let base = experiment_config(big);
+    let footprint = footprint_sectors(&base);
+    // The smoke mode runs one workload but with *more* churn than the
+    // default: worst-block P/E growth needs to clear single digits for the
+    // wear-based projection (and its improvement assertion) to resolve.
+    let requests = if big {
+        480_000
+    } else if smoke {
+        240_000
+    } else {
+        60_000
+    };
+    let total_blocks = u64::from(base.geometry.block_count());
     let budget_erases = total_blocks * ENDURANCE_CYCLES;
 
     println!(
@@ -30,40 +96,77 @@ fn main() {
     );
     println!();
 
-    for bench in [Benchmark::Sysbench, Benchmark::Varmail, Benchmark::TpcC] {
-        let trace = generate(&bench.config(footprint, requests, 0x11FE));
-        println!("{bench}:");
+    let arms: [(&str, bool); 2] = [("", false), ("+wl+ae", true)];
+    let benchmarks: &[Benchmark] = if smoke {
+        &[Benchmark::Sysbench]
+    } else {
+        &[Benchmark::Sysbench, Benchmark::Varmail, Benchmark::TpcC]
+    };
+
+    let mut bench = bench_report("lifetime_projection", &base, big);
+    bench.meta("endurance_cycles", Json::from(ENDURANCE_CYCLES));
+    bench.meta("smoke", Json::from(smoke));
+    bench.meta("requests", Json::from(requests));
+
+    // (label, baseline wear-TBW, +wl+ae wear-TBW) per benchmark × FTL, for
+    // the --assert-improvement gate.
+    let mut pairs: Vec<(String, f64, f64)> = Vec::new();
+
+    for bm in benchmarks {
+        let trace = generate(&bm.config(footprint, requests, 0x11FE));
+        println!("{bm}:");
         let mut t = TextTable::new([
             "FTL",
-            "host GB written",
+            "host GB",
             "erases",
-            "GB/erase",
-            "projected TBW",
-            "vs fgmFTL",
+            "max dPE",
+            "TBW (erase)",
+            "TBW (wear)",
+            "vs baseline",
         ]);
-        let mut fgm_tbw = 0.0f64;
-        let mut rows = Vec::new();
         for kind in FtlKind::ALL {
-            let mut ftl = kind.build(&cfg);
-            precondition(ftl.as_mut(), FILL_FRACTION);
-            let r = run_trace_qd(ftl.as_mut(), &trace, 8);
-            let host_gb = (r.stats.host_write_sectors * SECTOR_BYTES) as f64 / 1e9;
-            let per_erase = host_gb / r.erases.max(1) as f64;
-            let tbw = per_erase * budget_erases as f64 / 1e3;
-            if kind == FtlKind::Fgm {
-                fgm_tbw = tbw;
+            let mut baseline_tbw = 0.0f64;
+            for (suffix, enabled) in arms {
+                let cfg = FtlConfig {
+                    wear_leveling: enabled,
+                    adaptive_erase: enabled,
+                    ..base.clone()
+                };
+                let m = measure(kind, &cfg, &trace, budget_erases);
+                let label = format!("{bm}/{}{suffix}", kind.name());
+                if enabled {
+                    pairs.push((label.clone(), baseline_tbw, m.tbw_wear));
+                } else {
+                    baseline_tbw = m.tbw_wear;
+                }
+                t.row([
+                    format!("{}{suffix}", kind.name()),
+                    format!("{:.2}", m.host_gb),
+                    m.report.erases.to_string(),
+                    m.max_pe_growth.to_string(),
+                    format!("{:.2} TB", m.tbw_erase),
+                    format!("{:.2} TB", m.tbw_wear),
+                    if enabled {
+                        format!("{:+.1}%", (m.tbw_wear / baseline_tbw - 1.0) * 100.0)
+                    } else {
+                        "--".to_string()
+                    },
+                ]);
+                bench.push_run_with(
+                    &label,
+                    &m.report,
+                    [
+                        ("wear_leveling".to_string(), Json::from(enabled)),
+                        ("adaptive_erase".to_string(), Json::from(enabled)),
+                        ("max_pe_growth".to_string(), Json::from(m.max_pe_growth)),
+                        (
+                            "projected_tbw_erase_tb".to_string(),
+                            Json::from(m.tbw_erase),
+                        ),
+                        ("projected_tbw_wear_tb".to_string(), Json::from(m.tbw_wear)),
+                    ],
+                );
             }
-            rows.push((kind.name(), host_gb, r.erases, per_erase, tbw));
-        }
-        for (name, host_gb, erases, per_erase, tbw) in rows {
-            t.row([
-                name.to_string(),
-                format!("{host_gb:.2}"),
-                erases.to_string(),
-                format!("{per_erase:.4}"),
-                format!("{tbw:.2} TB"),
-                format!("{:+.1}%", (tbw / fgm_tbw - 1.0) * 100.0),
-            ]);
         }
         println!("{}", t.render());
     }
@@ -71,6 +174,29 @@ fn main() {
         "Expected: on sync-small-write workloads subFTL stretches device\n\
          lifetime by roughly the GC-invocation ratio of Fig 8(b) — the\n\
          paper reports up to +177% over fgmFTL — while cgm/fgm burn a block\n\
-         erase every ~16 fragmented small pages."
+         erase every ~16 fragmented small pages. The +wl+ae rows flatten\n\
+         worst-block wear and shave erase stress, so their wear-based TBW\n\
+         must not fall below the baseline's."
     );
+    write_bench(&bench);
+
+    if assert_improvement {
+        let mut failed = false;
+        for (label, baseline, improved) in &pairs {
+            if improved < baseline {
+                eprintln!(
+                    "FAIL {label}: wear-based TBW {improved:.2} TB fell below \
+                     the baseline's {baseline:.2} TB"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "assert-improvement: every +wl+ae arm projects >= its baseline ({} pairs)",
+            pairs.len()
+        );
+    }
 }

@@ -41,6 +41,12 @@ pub struct CgmFtl {
     seq: u64,
     logical_sectors: u64,
     reliability: ReadReliability,
+    /// Static wear leveling: rotate a cold block when the pool's effective
+    /// P/E spread exceeds this (`FtlConfig::wear_delta_threshold`).
+    wear_delta: u32,
+    /// Device erase count at which the next wear-spread check runs (the
+    /// spread only changes on erase, so the scan is metered by erases).
+    next_wear_check: u64,
     /// Reused RMW read buffer and OOB staging for
     /// [`CgmFtl::flush_chunks`], so the steady-state write path allocates
     /// nothing per page.
@@ -78,6 +84,7 @@ impl CgmFtl {
         }
         ssd.device_mut()
             .set_retry_ladder(config.retry_ladder.clone());
+        ssd.device_mut().set_adaptive_erase(config.adaptive_erase);
         let logical_sectors = config.logical_sectors();
         let lpn_count = logical_sectors / u64::from(SECTORS_PER_PAGE);
         let all_blocks: Vec<u32> = (0..config.geometry.block_count()).collect();
@@ -88,6 +95,7 @@ impl CgmFtl {
             lpn_count,
             config.gc_free_watermark,
         );
+        engine.set_wear_leveling(config.wear_leveling);
         let mut stats = FtlStats::new();
         // Exclude factory-marked and previously grown bad blocks from the
         // pool (local index == gbi here, so retirement is in place).
@@ -104,6 +112,8 @@ impl CgmFtl {
             seq: 0,
             logical_sectors,
             reliability: ReadReliability::new(config),
+            wear_delta: config.wear_delta_threshold,
+            next_wear_check: 0,
             slots_scratch: Vec::new(),
             oobs_scratch: Vec::new(),
             chunks_scratch: Vec::new(),
@@ -221,13 +231,23 @@ impl CgmFtl {
                         seq: self.next_seq(),
                     });
                 }
-                let pd = self.engine.program_page(
+                let pd = match self.engine.try_program_page(
                     lpn,
                     &self.oobs_scratch,
                     &mut self.ssd,
                     &mut self.stats,
                     t,
-                );
+                ) {
+                    Ok(pd) => pd,
+                    Err(_) => {
+                        // Pool exhausted mid-flush: latch end-of-life and
+                        // drop the remaining data (the old copies, if any,
+                        // stay mapped). Subsequent writes are refused at
+                        // the top of `write`.
+                        self.reliability.latch_end_of_life(&mut self.stats);
+                        t
+                    }
+                };
                 done = done.max(pd);
 
                 // Request-WAF attribution: the whole 16 KB page consumption is
@@ -344,6 +364,18 @@ impl Ftl for CgmFtl {
                     .scrub_disturbed(&mut self.ssd, &mut self.stats, limit, now);
             }
         }
+        // Static wear leveling rides the maintenance tick (cgmFTL has no
+        // idle hook): the wear spread only changes on erase, so the scan is
+        // re-armed per batch of erases and no-ops entirely with wear
+        // leveling off.
+        if self.engine.wear_leveling() {
+            let erases = self.ssd.device().stats().erases;
+            if erases >= self.next_wear_check {
+                self.next_wear_check = erases + 16;
+                self.engine
+                    .wear_rotate(&mut self.ssd, &mut self.stats, now, self.wear_delta);
+            }
+        }
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
@@ -388,6 +420,10 @@ impl Ftl for CgmFtl {
 
     fn stats(&self) -> &FtlStats {
         &self.stats
+    }
+
+    fn end_of_life(&self) -> bool {
+        self.reliability.end_of_life()
     }
 
     fn ssd(&self) -> &Ssd {

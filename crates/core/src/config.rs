@@ -148,6 +148,15 @@ pub struct FtlConfig {
     /// `writes_dropped_read_only`), preserving remaining data for salvage
     /// instead of continuing to mutate a failing device. Off by default.
     pub read_only_on_loss: bool,
+    /// Wear leveling across each FTL's block pools: wear-biased GC victim
+    /// selection (dynamic) plus cold-block rotation when the effective P/E
+    /// spread exceeds `wear_delta_threshold` (static). Off by default: with
+    /// it off every result is bit-identical to pre-wear-leveling builds.
+    pub wear_leveling: bool,
+    /// AERO-style adaptive erase (arXiv 2404.10355): lightly-worn blocks
+    /// are erased with shallower, faster pulses that charge fractional
+    /// oxide stress, extending lifetime. Off by default for bit-identity.
+    pub adaptive_erase: bool,
 }
 
 impl FtlConfig {
@@ -174,6 +183,8 @@ impl FtlConfig {
             retry_ladder: None,
             reclaim_threshold: None,
             read_only_on_loss: false,
+            wear_leveling: false,
+            adaptive_erase: false,
         }
     }
 

@@ -1,0 +1,57 @@
+//! Typed end-of-life errors for the flash-space engines.
+//!
+//! When a region's free pool runs dry, the engines degrade in a defined
+//! order instead of panicking or livelocking in GC (DESIGN.md §11):
+//!
+//! 1. **Shrink over-provisioning** — lower the GC watermark step by step
+//!    (each step counted in `FtlStats::op_shrinks`), trading reserve space
+//!    for continued write service.
+//! 2. **Refuse writes** — once the watermark sits at its floor and still no
+//!    victim can net free space, allocation fails with a [`SpaceExhausted`]
+//!    value; the owning FTL counts the dropped write and trips its
+//!    read-only latch.
+//! 3. **Read-only** — reads (and trims) keep working for as long as the
+//!    data remains correctable.
+
+use std::fmt;
+
+/// Why a flash-space engine can no longer allocate a page for a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpaceExhausted {
+    /// No GC victim can net free space for the committed logical data, but
+    /// no block has been lost to wear: the pool is simply full.
+    DeviceFull,
+    /// Grown-bad-block retirement has consumed the GC reserve: the device
+    /// has reached the end of its service life.
+    EndOfLife,
+}
+
+impl fmt::Display for SpaceExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceExhausted::DeviceFull => {
+                write!(f, "device full: no gc victim can net free space")
+            }
+            SpaceExhausted::EndOfLife => {
+                write!(f, "end of life: block retirement exhausted the gc reserve")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceExhausted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_period() {
+        for e in [SpaceExhausted::DeviceFull, SpaceExhausted::EndOfLife] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+}

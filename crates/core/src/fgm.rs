@@ -20,6 +20,14 @@ use crate::stats::FtlStats;
 
 const NO_PTR: u32 = u32::MAX;
 
+/// GC never shrinks the free watermark below this floor: one free block is
+/// the minimum needed to keep copy-out possible at all.
+const WATERMARK_FLOOR: u32 = 1;
+
+/// Wear-biased victim selection considers blocks whose valid count is
+/// within `subpages_per_block >> SHIFT` of the greedy minimum.
+const VICTIM_WEAR_SLACK_SHIFT: u32 = 3;
+
 #[derive(Debug, Clone)]
 struct FgmBlock {
     gbi: u32,
@@ -79,6 +87,17 @@ pub struct FgmFtl {
     nsub: u32,
     watermark: u32,
     background_gc: bool,
+    /// Wear-delta bias in GC victim selection plus cold-block rotation
+    /// (off by default for bit-identity with the seed).
+    wear_leveling: bool,
+    /// Max−min effective-P/E spread that triggers a cold-block rotation.
+    wear_delta: u32,
+    /// Device erase count at which the next wear-spread check runs (the
+    /// spread only changes on erases, so checks are metered by them).
+    next_wear_check: u64,
+    /// Latched when GC can no longer net free space even at the watermark
+    /// floor: the drive is at end of life and writes degrade gracefully.
+    exhausted: bool,
     reliability: ReadReliability,
     /// GC/scrub/reclaim event recorder; disabled (free) by default.
     trace: EventBuffer,
@@ -124,6 +143,7 @@ impl FgmFtl {
         }
         ssd.device_mut()
             .set_retry_ladder(config.retry_ladder.clone());
+        ssd.device_mut().set_adaptive_erase(config.adaptive_erase);
         let g = &config.geometry;
         let blocks: Vec<FgmBlock> = (0..g.block_count())
             .map(|gbi| {
@@ -153,6 +173,10 @@ impl FgmFtl {
             nsub: g.subpages_per_page,
             watermark: config.gc_free_watermark,
             background_gc: config.background_gc,
+            wear_leveling: config.wear_leveling,
+            wear_delta: config.wear_delta_threshold,
+            next_wear_check: 0,
+            exhausted: false,
             reliability: ReadReliability::new(config),
             trace: EventBuffer::disabled(),
             oob_scratch: vec![None; g.subpages_per_page as usize],
@@ -346,6 +370,29 @@ impl FgmFtl {
         self.blocks[local as usize].chip as usize
     }
 
+    /// Effective P/E of a block: oxide-stress based under adaptive erase,
+    /// identical to the raw erase count otherwise.
+    fn block_pe(&self, local: u32) -> u32 {
+        let gbi = self.blocks[local as usize].gbi;
+        self.ssd
+            .device()
+            .effective_pe(self.ssd.geometry().block_addr(gbi))
+    }
+
+    /// Whole pages still programmable without GC: room left in the open
+    /// blocks plus every block in the free pool.
+    fn allocatable_pages(&self) -> u64 {
+        let mut pages = self.free.len() as u64 * u64::from(self.pages_per_block);
+        for a in self.actives.iter().flatten() {
+            pages += u64::from(self.pages_per_block - self.blocks[*a as usize].programmed_pages);
+        }
+        pages
+    }
+
+    fn can_alloc_page(&self) -> bool {
+        self.allocatable_pages() > 0
+    }
+
     /// O(1) test for "is this block an open active block". Equivalent to
     /// `self.actives.contains(&Some(local))`: an active block only ever
     /// occupies its own chip's slot (see [`FgmFtl::alloc_page`]).
@@ -380,7 +427,7 @@ impl FgmFtl {
                         let pe = self
                             .ssd
                             .device()
-                            .pe_cycles(self.ssd.geometry().block_addr(gbi));
+                            .effective_pe(self.ssd.geometry().block_addr(gbi));
                         if p[c].is_none_or(|(best, _)| pe < best) {
                             p[c] = Some((pe, idx));
                         }
@@ -420,6 +467,12 @@ impl FgmFtl {
                 // empty, so bail out before alloc_page can panic over it.
                 break now;
             }
+            if !self.can_alloc_page() {
+                // Space exhausted (end of life): drop the program rather
+                // than panic. Any sector that was already mapped keeps its
+                // old copy, so reads stay well-formed.
+                break now;
+            }
             let (block, page) = self.alloc_page();
             let gbi = self.blocks[block as usize].gbi;
             let addr = self.ssd.geometry().block_addr(gbi).page(page);
@@ -443,16 +496,33 @@ impl FgmFtl {
     }
 
     /// Greedy GC: collect min-valid blocks until the free pool recovers.
+    /// When no victim can net free space, degrade instead of looping: the
+    /// watermark shrinks toward [`WATERMARK_FLOOR`] (giving up reserve
+    /// headroom), and once even the floor is unreachable the engine latches
+    /// `exhausted` — the drive is at end of life.
     fn ensure_space(&mut self, issue: SimTime) -> SimTime {
         let mut now = issue;
-        while !self.ssd.crashed() && (self.free.len() as u32) < self.watermark {
-            now = self.collect_victim(now, "watermark");
+        while !self.ssd.crashed() && !self.exhausted && (self.free.len() as u32) < self.watermark {
+            match self.try_collect_victim(now, "watermark") {
+                Some(done) => now = done,
+                None if self.watermark > WATERMARK_FLOOR => {
+                    self.watermark -= 1;
+                    self.stats.op_shrinks += 1;
+                }
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+            }
         }
         now
     }
 
-    fn collect_victim(&mut self, issue: SimTime, cause: &'static str) -> SimTime {
-        let victim = self
+    /// Picks a GC victim: greedy min-valid, or — with wear leveling on —
+    /// the least-worn block among those within a small valid-count slack of
+    /// the greedy choice, so GC pressure spreads across the wear range.
+    fn pick_victim(&self) -> Option<u32> {
+        let (greedy, best_valid) = self
             .blocks
             .iter()
             .enumerate()
@@ -462,21 +532,46 @@ impl FgmFtl {
                     && !self.is_active(*i as u32)
             })
             .min_by_key(|(_, b)| b.valid_count)
+            .map(|(i, b)| (i as u32, b.valid_count))?;
+        if !self.wear_leveling || best_valid >= self.subpages_per_block() {
+            return Some(greedy);
+        }
+        let slack = (self.subpages_per_block() >> VICTIM_WEAR_SLACK_SHIFT).max(1);
+        let limit = best_valid
+            .saturating_add(slack)
+            .min(self.subpages_per_block() - 1);
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                b.programmed_pages >= self.pages_per_block
+                    && !b.retired
+                    && !self.is_active(*i as u32)
+                    && b.valid_count <= limit
+            })
+            .min_by_key(|(i, b)| (self.block_pe(*i as u32), b.valid_count, *i))
             .map(|(i, _)| i as u32)
-            .expect("fgm GC: no victim");
-        assert!(
-            self.blocks[victim as usize].valid_count < self.subpages_per_block(),
-            "fgm region overcommitted: victim fully valid"
-        );
-        self.stats.gc_invocations += 1;
+    }
+
+    /// Collects one GC victim, or returns `None` when no victim exists,
+    /// none can net free space, or the copy-out would not fit in the
+    /// remaining allocatable pages (erasing then would drop sole copies).
+    fn try_collect_victim(&mut self, issue: SimTime, cause: &'static str) -> Option<SimTime> {
+        let victim = self.pick_victim()?;
         let valid = self.blocks[victim as usize].valid_count;
+        if valid >= self.subpages_per_block()
+            || u64::from(valid.div_ceil(self.nsub)) > self.allocatable_pages()
+        {
+            return None;
+        }
+        self.stats.gc_invocations += 1;
         self.trace.emit(|| {
             TraceEvent::new(issue.as_nanos(), "gc.collect")
                 .tag(cause)
                 .field("block", u64::from(victim))
                 .field("valid_sectors", u64::from(valid))
         });
-        self.collect_block(victim, issue)
+        Some(self.collect_block(victim, issue))
     }
 
     /// Relocates every valid sector of `victim` (repacked `N_sub` to a
@@ -516,6 +611,12 @@ impl FgmFtl {
             now = self.program_group(group, now);
             self.stats.gc_copied_sectors += group.len() as u64;
             self.stats.gc_flash_sectors += u64::from(SECTORS_PER_PAGE);
+        }
+        if self.blocks[victim as usize].valid_count > 0 {
+            // Copy-out could not place every survivor (space exhausted
+            // mid-GC): leave the victim intact instead of erasing sole
+            // copies.
+            return now;
         }
         let blk_addr = self.ssd.geometry().block_addr(gbi);
         match self.ssd.erase(blk_addr, now) {
@@ -584,6 +685,11 @@ impl FgmFtl {
                 });
                 now = self.collect_block(victim, now);
                 self.stats.disturb_scrubs += 1;
+                if self.blocks[victim as usize].valid_count > 0 {
+                    // Space exhausted: the block cannot be relocated, and
+                    // retrying it forever would livelock the patrol.
+                    break;
+                }
             }
         }
         now
@@ -613,6 +719,53 @@ impl FgmFtl {
         now
     }
 
+    /// Static wear leveling: when the fleet-wide effective-P/E spread
+    /// exceeds the configured delta, migrate the coldest (least-worn) full
+    /// block's data so the lightly-worn block re-enters the free pool and
+    /// absorbs hot writes. One migration per call keeps the cost bounded.
+    fn wear_rotate(&mut self, now: SimTime) -> SimTime {
+        let mut max_pe = 0u32;
+        let mut any = false;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if !b.retired {
+                max_pe = max_pe.max(self.block_pe(i as u32));
+                any = true;
+            }
+        }
+        if !any {
+            return now;
+        }
+        let Some(cold) = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                b.programmed_pages >= self.pages_per_block
+                    && !b.retired
+                    && !self.is_active(*i as u32)
+            })
+            .min_by_key(|(i, _)| (self.block_pe(*i as u32), *i))
+            .map(|(i, _)| i as u32)
+        else {
+            return now;
+        };
+        if max_pe.saturating_sub(self.block_pe(cold)) <= self.wear_delta {
+            return now;
+        }
+        let valid = self.blocks[cold as usize].valid_count;
+        if u64::from(valid.div_ceil(self.nsub)) > self.allocatable_pages() {
+            return now;
+        }
+        self.stats.wear_level_migrations += 1;
+        self.trace.emit(|| {
+            TraceEvent::new(now.as_nanos(), "gc.wear_rotate")
+                .tag("static_wl")
+                .field("block", u64::from(cold))
+                .field("valid_sectors", u64::from(valid))
+        });
+        self.collect_block(cold, now)
+    }
+
     /// Writes flush chunks out. Following the paper's FGM definition, the
     /// write buffer merges "small writes with **consecutive logical block
     /// addresses** into one sequential write" (§4.1): each contiguous chunk
@@ -635,6 +788,14 @@ impl FgmFtl {
                     group.push((c.start_lsn + i as u64, self.next_seq()));
                 }
                 let t = self.ensure_space(issue);
+                if !self.ssd.crashed() && !self.can_alloc_page() {
+                    // End of life: the flush has nowhere to land. Latch the
+                    // refusal so subsequent writes are dropped up front;
+                    // already-mapped sectors keep their old copies.
+                    self.reliability.latch_end_of_life(&mut self.stats);
+                    self.group_scratch = group;
+                    break;
+                }
                 let pd = self.program_group(&group, t.max(issue));
                 done = done.max(pd);
                 self.stats.flash_sectors_consumed += u64::from(SECTORS_PER_PAGE);
@@ -788,6 +949,13 @@ impl Ftl for FgmFtl {
                 self.scrub_disturbed(limit, now);
             }
         }
+        if self.wear_leveling && !self.exhausted {
+            let erases = self.ssd.device().stats().erases;
+            if erases >= self.next_wear_check {
+                self.next_wear_check = erases + 16;
+                self.wear_rotate(now);
+            }
+        }
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
@@ -825,7 +993,10 @@ impl Ftl for FgmFtl {
             if now + estimate > until {
                 break;
             }
-            now = self.collect_victim(now, "background");
+            match self.try_collect_victim(now, "background") {
+                Some(done) => now = done,
+                None => break,
+            }
         }
     }
 
@@ -875,6 +1046,10 @@ impl Ftl for FgmFtl {
 
     fn stats(&self) -> &FtlStats {
         &self.stats
+    }
+
+    fn end_of_life(&self) -> bool {
+        self.reliability.end_of_life()
     }
 
     fn ssd(&self) -> &Ssd {

@@ -10,7 +10,17 @@
 //!
 //! * block allocation with a least-worn-first free list (implicit wear
 //!   leveling within the pool),
-//! * greedy (min-valid-pages) garbage collection with victim copy-out,
+//! * greedy (min-valid-pages) garbage collection with victim copy-out —
+//!   optionally wear-biased ([`FullRegionEngine::set_wear_leveling`]):
+//!   among victims within a small valid-count slack of the greedy choice,
+//!   the least-worn block is collected so lightly-cycled blocks re-enter
+//!   the free pool,
+//! * static wear leveling ([`FullRegionEngine::wear_rotate`]): when the
+//!   pool's wear spread exceeds a threshold, the coldest full block (static
+//!   data pinned on a lightly-worn block) is relocated off it,
+//! * graceful end-of-life: when retirement and wear exhaust the reserve,
+//!   the engine sheds over-provisioning (watermark shrink) and then refuses
+//!   allocation with a typed [`SpaceExhausted`] instead of panicking,
 //! * the L2P page map, and
 //! * donating/adopting free blocks for cross-region wear leveling.
 //!
@@ -23,9 +33,19 @@ use esp_sim::{EventBuffer, EventSink, SimTime, TraceEvent};
 use esp_ssd::Ssd;
 use esp_workload::SECTORS_PER_PAGE;
 
+use crate::eol::SpaceExhausted;
 use crate::stats::FtlStats;
 
 const NO_PTR: u32 = u32::MAX;
+
+/// The watermark never shrinks below this floor: one erased block must stay
+/// in reserve so GC copy-out has somewhere to land.
+const WATERMARK_FLOOR: u32 = 1;
+
+/// Wear-biased victim selection tolerates this many extra valid pages (as a
+/// fraction of the block: 1/8) over the strict greedy minimum in exchange
+/// for collecting a less-worn block.
+const VICTIM_WEAR_SLACK_SHIFT: u32 = 3;
 
 #[derive(Debug, Clone)]
 struct FullBlock {
@@ -86,6 +106,15 @@ pub struct FullRegionEngine {
     /// L2P: logical page number → packed pointer (`NO_PTR` = unmapped).
     l2p: Vec<u32>,
     watermark: u32,
+    /// Wear-aware victim selection and cold-block rotation enabled.
+    wear_leveling: bool,
+    /// Allocation failed at the watermark floor: the engine is end-of-life
+    /// (or overcommitted) and refuses further space-consuming work.
+    exhausted: bool,
+    /// Blocks lost to grown-bad retirement (erase failures and
+    /// [`FullRegionEngine::retire_gbi`]); donations are not counted. Decides
+    /// whether exhaustion reports [`SpaceExhausted::EndOfLife`].
+    retired_bad: u32,
     /// GC/scrub/reclaim event recorder; disabled (free) by default.
     trace: EventBuffer,
     /// Reused full-page read buffer and OOB staging for GC relocation and
@@ -136,6 +165,9 @@ impl FullRegionEngine {
             rr: 0,
             l2p: vec![NO_PTR; lpn_count as usize],
             watermark,
+            wear_leveling: false,
+            exhausted: false,
+            retired_bad: 0,
             trace: EventBuffer::disabled(),
             slots_scratch: Vec::new(),
             oobs_scratch: Vec::new(),
@@ -177,6 +209,93 @@ impl FullRegionEngine {
     #[must_use]
     pub fn block_count(&self) -> u32 {
         self.blocks.iter().filter(|b| !b.retired).count() as u32
+    }
+
+    /// Enables (or disables) wear-aware victim selection and cold-block
+    /// rotation. Off by default; with it off the engine's decisions are
+    /// bit-identical to the pre-wear-leveling behaviour.
+    pub fn set_wear_leveling(&mut self, on: bool) {
+        self.wear_leveling = on;
+    }
+
+    /// Whether wear-aware victim selection is enabled.
+    #[must_use]
+    pub fn wear_leveling(&self) -> bool {
+        self.wear_leveling
+    }
+
+    /// Current GC watermark (free blocks kept in reserve). Shrinks toward
+    /// the floor of 1 as end-of-life degradation sheds over-provisioning.
+    #[must_use]
+    pub fn watermark(&self) -> u32 {
+        self.watermark
+    }
+
+    /// True once allocation has failed at the watermark floor: the engine
+    /// refuses space-consuming work from then on (see
+    /// [`FullRegionEngine::exhaustion`] for the typed cause).
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The typed reason allocation is (or would be) refused: end-of-life if
+    /// any block was lost to grown-bad retirement, plain device-full
+    /// otherwise.
+    #[must_use]
+    pub fn exhaustion(&self) -> SpaceExhausted {
+        if self.retired_bad > 0 {
+            SpaceExhausted::EndOfLife
+        } else {
+            SpaceExhausted::DeviceFull
+        }
+    }
+
+    /// Pages still allocatable without GC: room left in open blocks plus
+    /// the whole free pool.
+    fn allocatable_pages(&self) -> u64 {
+        let active_room: u64 = self
+            .actives
+            .iter()
+            .flatten()
+            .map(|&b| u64::from(self.pages_per_block - self.blocks[b as usize].programmed))
+            .sum();
+        active_room + self.free.len() as u64 * u64::from(self.pages_per_block)
+    }
+
+    /// Whether at least one more page can be allocated right now.
+    fn can_alloc_page(&self) -> bool {
+        !self.free.is_empty()
+            || self
+                .actives
+                .iter()
+                .flatten()
+                .any(|&b| !self.blocks[b as usize].is_full(self.pages_per_block))
+    }
+
+    /// Effective P/E cycles of engine-local block `local` (raw erase count
+    /// unless adaptive erase is charging fractional stress).
+    fn block_pe(&self, local: u32, ssd: &Ssd) -> u32 {
+        let gbi = self.blocks[local as usize].gbi;
+        ssd.device().effective_pe(ssd.geometry().block_addr(gbi))
+    }
+
+    /// Min/max effective P/E over all non-retired blocks under management,
+    /// or `None` when every block is retired.
+    #[must_use]
+    pub fn wear_spread(&self, ssd: &Ssd) -> Option<(u32, u32)> {
+        let mut bounds: Option<(u32, u32)> = None;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.retired {
+                continue;
+            }
+            let pe = self.block_pe(i as u32, ssd);
+            bounds = Some(match bounds {
+                None => (pe, pe),
+                Some((lo, hi)) => (lo.min(pe), hi.max(pe)),
+            });
+        }
+        bounds
     }
 
     /// Order-independent digest of the engine's allocation state (free
@@ -265,8 +384,9 @@ impl FullRegionEngine {
     ///
     /// # Panics
     ///
-    /// Panics if the pool is overcommitted (every victim fully valid) or an
-    /// OOB entry carries an inconsistent LSN.
+    /// Panics if the pool is exhausted (see
+    /// [`FullRegionEngine::try_program_page`] for the non-panicking form)
+    /// or an OOB entry carries an inconsistent LSN.
     pub fn program_page(
         &mut self,
         lpn: u64,
@@ -275,6 +395,32 @@ impl FullRegionEngine {
         stats: &mut FtlStats,
         issue: SimTime,
     ) -> SimTime {
+        self.try_program_page(lpn, oobs, ssd, stats, issue)
+            .unwrap_or_else(|e| panic!("full region out of space: {e}"))
+    }
+
+    /// Like [`FullRegionEngine::program_page`], but reports pool exhaustion
+    /// as a typed error instead of panicking: callers on the host write
+    /// path turn [`SpaceExhausted`] into a refused write plus the read-only
+    /// latch (end-of-life degradation, DESIGN.md §11).
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's [`FullRegionEngine::exhaustion`] cause when GC
+    /// (after shedding over-provisioning down to the watermark floor)
+    /// cannot make a page allocatable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an OOB entry carries an inconsistent LSN.
+    pub fn try_program_page(
+        &mut self,
+        lpn: u64,
+        oobs: &[Option<Oob>],
+        ssd: &mut Ssd,
+        stats: &mut FtlStats,
+        issue: SimTime,
+    ) -> Result<SimTime, SpaceExhausted> {
         for (slot, oob) in oobs.iter().enumerate() {
             if let Some(o) = oob {
                 assert_eq!(
@@ -286,9 +432,12 @@ impl FullRegionEngine {
             }
         }
         let ready = self.ensure_space(ssd, stats, issue);
+        if !ssd.crashed() && !self.can_alloc_page() {
+            return Err(self.exhaustion());
+        }
         let done = self.program_internal(lpn, oobs, ssd, stats, ready);
         stats.flash_sectors_consumed += u64::from(SECTORS_PER_PAGE);
-        done
+        Ok(done)
     }
 
     /// Allocates the next page of the active block (popping a new free
@@ -311,6 +460,13 @@ impl FullRegionEngine {
                 // Power is off: nothing will reach the array, and with GC
                 // disabled the pool may legitimately be empty — bail out
                 // before alloc_page can panic over it.
+                return now;
+            }
+            if !self.can_alloc_page() {
+                // Absolute exhaustion (program-failure retries burned the
+                // last pages of a dying pool): drop the program instead of
+                // panicking. The map is untouched, so the previous copy of
+                // `lpn` — if any — remains valid and readable.
                 return now;
             }
             let (block, page) = self.alloc_page(ssd);
@@ -365,8 +521,7 @@ impl FullRegionEngine {
                     let mut p: Vec<Option<(u32, usize)>> = vec![None; chips];
                     for (idx, &b) in self.free.iter().enumerate() {
                         let c = self.chip_of(b);
-                        let gbi = self.blocks[b as usize].gbi;
-                        let pe = ssd.device().pe_cycles(ssd.geometry().block_addr(gbi));
+                        let pe = self.block_pe(b, ssd);
                         if p[c].is_none_or(|(best, _)| pe < best) {
                             p[c] = Some((pe, idx));
                         }
@@ -405,10 +560,15 @@ impl FullRegionEngine {
         let erase = ssd.device().op_cost(OpKind::Erase).total();
         let mut now = issue;
         while !ssd.crashed() && (self.free.len() as u32) < target {
-            let Some(v) = self.pick_victim() else { break };
+            let Some(v) = self.pick_victim(ssd) else {
+                break;
+            };
             let valid = self.blocks[v as usize].valid_count;
             if valid >= self.pages_per_block {
                 break; // nothing reclaimable
+            }
+            if u64::from(valid) > self.allocatable_pages() {
+                break; // copy-out would wedge a dying pool
             }
             // Start the victim only if it fits in the remaining window (the
             // whole point is to stay off the foreground path).
@@ -416,22 +576,39 @@ impl FullRegionEngine {
             if now + estimate > until {
                 break;
             }
-            now = self.collect_victim(ssd, stats, now, "background");
+            now = self
+                .try_collect_victim(ssd, stats, now, "background")
+                .expect("victim checked profitable and feasible");
         }
         now
     }
 
-    /// Runs greedy GC until the free pool is above the watermark. Returns
-    /// when the last GC operation completes (`issue` if no GC was needed).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no victim can reclaim space (logical data exceeds the
-    /// pool — a configuration error caught by `FtlConfig::validate`).
+    /// Runs greedy GC until the free pool is above the watermark, degrading
+    /// gracefully when it cannot get there: with no profitable-and-feasible
+    /// victim left, the watermark is shed step by step (over-provisioning
+    /// shrink, counted in `op_shrinks`) down to a floor of 1; at the floor
+    /// the engine latches [`FullRegionEngine::exhausted`] and returns
+    /// instead of panicking or spinning. Returns when the last GC operation
+    /// completes (`issue` if no GC was needed).
     pub fn ensure_space(&mut self, ssd: &mut Ssd, stats: &mut FtlStats, issue: SimTime) -> SimTime {
         let mut now = issue;
         while !ssd.crashed() && (self.free.len() as u32) < self.watermark {
-            now = self.collect_victim(ssd, stats, now, "watermark");
+            match self.try_collect_victim(ssd, stats, now, "watermark") {
+                Some(done) => now = done,
+                None if self.watermark > WATERMARK_FLOOR => {
+                    // Degradation step 1: shed over-provisioning. A lower
+                    // reserve keeps writes flowing at the cost of GC
+                    // headroom.
+                    self.watermark -= 1;
+                    stats.op_shrinks += 1;
+                }
+                None => {
+                    // Degradation step 2: nothing reclaimable at the floor.
+                    // Latch exhaustion; the caller refuses the write.
+                    self.exhausted = true;
+                    break;
+                }
+            }
         }
         now
     }
@@ -465,6 +642,13 @@ impl FullRegionEngine {
             return read_done;
         }
         let ready = self.ensure_space(ssd, stats, read_done);
+        if !self.can_alloc_page() {
+            // Exhausted pool: leave the data where it is rather than risk
+            // losing the mapping; the ladder keeps serving it as long as it
+            // can.
+            self.oobs_scratch = oobs;
+            return ready;
+        }
         let done = self.program_internal(lpn, &oobs, ssd, stats, ready);
         self.oobs_scratch = oobs;
         stats.read_reclaims += 1;
@@ -528,46 +712,128 @@ impl FullRegionEngine {
         now
     }
 
-    fn pick_victim(&self) -> Option<u32> {
-        self.blocks
+    /// Greedy victim choice: the full, non-retired, non-active block with
+    /// the fewest valid pages. With wear leveling on, candidates within a
+    /// small valid-count slack (1/8 of a block, at least one page) of the
+    /// greedy minimum compete on effective wear instead — collecting the
+    /// least-worn of them cycles cold blocks back into service (dynamic
+    /// wear leveling). With it off the choice is bit-identical to the plain
+    /// greedy scan.
+    fn pick_victim(&self, ssd: &Ssd) -> Option<u32> {
+        let greedy = self
+            .blocks
             .iter()
             .enumerate()
             .filter(|(i, b)| {
                 b.is_full(self.pages_per_block) && !b.retired && !self.is_active(*i as u32)
             })
             .min_by_key(|(_, b)| b.valid_count)
+            .map(|(i, _)| i as u32)?;
+        if !self.wear_leveling {
+            return Some(greedy);
+        }
+        let best_valid = self.blocks[greedy as usize].valid_count;
+        if best_valid >= self.pages_per_block {
+            return Some(greedy); // unprofitable either way; let callers judge
+        }
+        let slack = (self.pages_per_block >> VICTIM_WEAR_SLACK_SHIFT).max(1);
+        // Never widen into fully-valid blocks: a wear-preferred victim must
+        // still reclaim at least one page.
+        let limit = best_valid
+            .saturating_add(slack)
+            .min(self.pages_per_block - 1);
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                b.is_full(self.pages_per_block)
+                    && !b.retired
+                    && !self.is_active(*i as u32)
+                    && b.valid_count <= limit
+            })
+            .min_by_key(|(i, b)| (self.block_pe(*i as u32, ssd), b.valid_count, *i))
             .map(|(i, _)| i as u32)
     }
 
-    /// Collects one victim block: copy valid pages out, erase, free.
-    /// `cause` tags the trace event ("watermark" for foreground pressure,
-    /// "background" for idle-window collection).
-    fn collect_victim(
+    /// Collects one victim block (copy valid pages out, erase, free) if one
+    /// exists that is profitable (has an invalid page) *and* feasible (its
+    /// valid pages fit in the currently allocatable space, so copy-out
+    /// cannot wedge). Returns `None` otherwise — the caller decides whether
+    /// that means degradation or just "done for now". `cause` tags the
+    /// trace event ("watermark" for foreground pressure, "background" for
+    /// idle-window collection).
+    fn try_collect_victim(
         &mut self,
         ssd: &mut Ssd,
         stats: &mut FtlStats,
         issue: SimTime,
         cause: &'static str,
-    ) -> SimTime {
-        let victim = self
-            .pick_victim()
-            .expect("full region GC found no victim: pool too small");
-        assert!(
-            self.blocks[victim as usize].valid_count < self.pages_per_block,
-            "full region overcommitted: best victim has no invalid pages"
-        );
+    ) -> Option<SimTime> {
+        let victim = self.pick_victim(ssd)?;
+        let valid = self.blocks[victim as usize].valid_count;
+        if valid >= self.pages_per_block || u64::from(valid) > self.allocatable_pages() {
+            return None;
+        }
         stats.gc_invocations += 1;
-        let (gbi, valid) = (
-            self.blocks[victim as usize].gbi,
-            self.blocks[victim as usize].valid_count,
-        );
+        let gbi = self.blocks[victim as usize].gbi;
         self.trace.emit(|| {
             TraceEvent::new(issue.as_nanos(), "gc.collect")
                 .tag(cause)
                 .field("block", u64::from(gbi))
                 .field("valid_pages", u64::from(valid))
         });
-        self.collect_block(victim, ssd, stats, issue)
+        Some(self.collect_block(victim, ssd, stats, issue))
+    }
+
+    /// Static wear leveling: when the pool's effective-wear spread exceeds
+    /// `threshold`, the coldest full block — static data pinned on a
+    /// lightly-worn block — is relocated and erased so the block rejoins
+    /// the free pool (where least-worn-first allocation puts it back to
+    /// work). At most one migration per call, so callers can meter it from
+    /// idle windows or maintenance ticks. No-op unless wear leveling is
+    /// enabled. Returns the completion time (`issue` when nothing moved).
+    pub fn wear_rotate(
+        &mut self,
+        ssd: &mut Ssd,
+        stats: &mut FtlStats,
+        issue: SimTime,
+        threshold: u32,
+    ) -> SimTime {
+        if !self.wear_leveling || self.exhausted || ssd.crashed() {
+            return issue;
+        }
+        let Some((_, max_pe)) = self.wear_spread(ssd) else {
+            return issue;
+        };
+        // The coldest candidate holding data (full, not retired, not open).
+        let cold = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                b.is_full(self.pages_per_block) && !b.retired && !self.is_active(*i as u32)
+            })
+            .min_by_key(|(i, _)| self.block_pe(*i as u32, ssd))
+            .map(|(i, _)| i as u32);
+        let Some(cold) = cold else { return issue };
+        let cold_pe = self.block_pe(cold, ssd);
+        if max_pe.saturating_sub(cold_pe) <= threshold {
+            return issue; // spread within bounds, or the cold data already cycles
+        }
+        if u64::from(self.blocks[cold as usize].valid_count) > self.allocatable_pages() {
+            return issue; // not enough room to relocate safely
+        }
+        let gbi = self.blocks[cold as usize].gbi;
+        self.trace.emit(|| {
+            TraceEvent::new(issue.as_nanos(), "gc.wear_rotate")
+                .tag("static_wl")
+                .field("block", u64::from(gbi))
+                .field("pe", u64::from(cold_pe))
+                .field("max_pe", u64::from(max_pe))
+        });
+        let done = self.collect_block(cold, ssd, stats, issue);
+        stats.wear_level_migrations += 1;
+        done
     }
 
     /// Relocates every valid page of `victim` and erases it (shared by GC
@@ -614,6 +880,17 @@ impl FullRegionEngine {
             let data_sectors = oobs.iter().flatten().count() as u64;
             now = self.program_internal(lpn, &oobs, ssd, stats, read_done);
             self.oobs_scratch = oobs;
+            if self.lookup(lpn)
+                == Some(PagePtr {
+                    block: victim,
+                    page,
+                })
+            {
+                // Relocation could not land anywhere (absolute exhaustion):
+                // abort the collection before the erase below can destroy
+                // the only valid copy. The victim stays as it is.
+                return now;
+            }
             stats.gc_copied_sectors += data_sectors;
             stats.gc_flash_sectors += u64::from(SECTORS_PER_PAGE);
         }
@@ -636,6 +913,7 @@ impl FullRegionEngine {
                 blk.retired = true;
                 blk.valid.fill(false);
                 blk.valid_count = 0;
+                self.retired_bad += 1;
                 stats.erase_failures += 1;
                 stats.blocks_retired += 1;
             }
@@ -662,6 +940,7 @@ impl FullRegionEngine {
             "cannot retire a block that still holds valid data"
         );
         self.blocks[local].retired = true;
+        self.retired_bad += 1;
         let local = local as u32;
         if let Some(pos) = self.free.iter().position(|&f| f == local) {
             self.free.swap_remove(pos);
@@ -685,10 +964,7 @@ impl FullRegionEngine {
             .free
             .iter()
             .enumerate()
-            .max_by_key(|(_, &b)| {
-                let gbi = self.blocks[b as usize].gbi;
-                ssd.device().pe_cycles(ssd.geometry().block_addr(gbi))
-            })
+            .max_by_key(|(_, &b)| self.block_pe(b, ssd))
             .map(|(i, _)| i)?;
         let local = self.free.swap_remove(pick);
         self.blocks[local as usize].retired = true;
@@ -706,29 +982,50 @@ impl FullRegionEngine {
             .free
             .iter()
             .enumerate()
-            .min_by_key(|(_, &b)| {
-                let gbi = self.blocks[b as usize].gbi;
-                ssd.device().pe_cycles(ssd.geometry().block_addr(gbi))
-            })
+            .min_by_key(|(_, &b)| self.block_pe(b, ssd))
             .map(|(i, _)| i)?;
         let local = self.free.swap_remove(pick);
         self.blocks[local as usize].retired = true;
         Some(self.blocks[local as usize].gbi)
     }
 
-    /// P/E cycles of the least-worn free block, if any can be spared.
+    /// Atomically trades an erased, over-worn block from another region for
+    /// the pool's least-worn free block: the worn block is adopted into the
+    /// pool in the same transaction, so — unlike
+    /// [`donate_coldest_free_block`](Self::donate_coldest_free_block) — the
+    /// pool never shrinks and the exchange is safe even at the GC
+    /// watermark. Returns the fresh block's device-global index, or `None`
+    /// when the pool is empty or the wear gain would be below `min_gain`
+    /// effective cycles.
+    pub fn swap_free_block(&mut self, worn_gbi: u32, min_gain: u32, ssd: &Ssd) -> Option<u32> {
+        let pick = self
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &b)| self.block_pe(b, ssd))
+            .map(|(i, _)| i)?;
+        let cold_pe = self.block_pe(self.free[pick], ssd);
+        let worn_pe = ssd
+            .device()
+            .effective_pe(ssd.geometry().block_addr(worn_gbi));
+        if worn_pe <= cold_pe.saturating_add(min_gain) {
+            return None;
+        }
+        let local = self.free.swap_remove(pick);
+        self.blocks[local as usize].retired = true;
+        let fresh = self.blocks[local as usize].gbi;
+        self.adopt_free_block(worn_gbi);
+        Some(fresh)
+    }
+
+    /// Effective P/E cycles of the least-worn free block, if any can be
+    /// spared.
     #[must_use]
     pub fn coldest_free_pe(&self, ssd: &Ssd) -> Option<u32> {
         if self.free.len() as u32 <= self.watermark {
             return None;
         }
-        self.free
-            .iter()
-            .map(|&b| {
-                let gbi = self.blocks[b as usize].gbi;
-                ssd.device().pe_cycles(ssd.geometry().block_addr(gbi))
-            })
-            .min()
+        self.free.iter().map(|&b| self.block_pe(b, ssd)).min()
     }
 
     /// Adds an erased block (received from another region) to the pool.
@@ -1211,6 +1508,182 @@ mod tests {
         // A second sweep finds nothing above the limit.
         eng.scrub_disturbed(&mut ssd, &mut stats, 50, SimTime::ZERO);
         assert_eq!(stats.disturb_scrubs, 1);
+    }
+
+    /// One-chip, 8-block pool with `mapped[b]` lpns valid in the first
+    /// pages of block `b` (0 = left free), for tests that need exact
+    /// per-block valid counts. Blocks with any valid pages are physically
+    /// programmed full (pages past the valid prefix are stale data).
+    fn staged(ssd: &mut Ssd, mapped: &[u32]) -> FullRegionEngine {
+        let g = ssd.geometry().clone();
+        let mut eng = FullRegionEngine::new(
+            (0..8).collect(),
+            g.pages_per_block,
+            g.blocks_per_chip,
+            32,
+            2,
+        );
+        let mut programmed = vec![0u32; 8];
+        let mut mappings = Vec::new();
+        for (b, &valid) in mapped.iter().enumerate() {
+            if valid == 0 {
+                continue;
+            }
+            programmed[b] = g.pages_per_block; // full block
+            for p in 0..g.pages_per_block {
+                let lpn = u64::from(b as u32) * 4 + u64::from(p);
+                ssd.program_full(
+                    g.block_addr(b as u32).page(p),
+                    &full_oobs(lpn),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+                if p < valid {
+                    mappings.push((lpn, b as u32, p));
+                }
+            }
+        }
+        eng.restore_state(&programmed, &mappings);
+        eng
+    }
+
+    fn one_chip() -> Geometry {
+        Geometry {
+            channels: 1,
+            chips_per_channel: 1,
+            blocks_per_chip: 8,
+            pages_per_block: 4,
+            subpages_per_page: 4,
+            subpage_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn wear_bias_prefers_less_worn_victims_within_slack() {
+        let mut ssd = Ssd::new(one_chip());
+        // Block 0 is the greedy choice (fewest valid pages) but heavily
+        // worn; block 1 has one more valid page (within the slack of 1) on
+        // fresh cells; block 2 is fully valid (never eligible).
+        for _ in 0..5 {
+            ssd.erase(ssd.geometry().block_addr(0), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut eng = staged(&mut ssd, &[2, 3, 4, 0, 0, 0, 0, 0]);
+        assert_eq!(eng.pick_victim(&ssd), Some(0), "greedy picks fewest valid");
+        eng.set_wear_leveling(true);
+        assert_eq!(
+            eng.pick_victim(&ssd),
+            Some(1),
+            "wear bias trades one extra copy for a colder victim"
+        );
+        // A fully-valid block never wins, however cold.
+        let mut ssd = Ssd::new(one_chip());
+        for _ in 0..5 {
+            ssd.erase(ssd.geometry().block_addr(0), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut eng = staged(&mut ssd, &[2, 4, 4, 0, 0, 0, 0, 0]);
+        eng.set_wear_leveling(true);
+        assert_eq!(eng.pick_victim(&ssd), Some(0));
+    }
+
+    #[test]
+    fn wear_rotate_migrates_cold_static_data() {
+        let mut ssd = Ssd::new(one_chip());
+        // Block 4 is far more worn than block 0, which pins static data.
+        for _ in 0..25 {
+            ssd.erase(ssd.geometry().block_addr(4), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut eng = staged(&mut ssd, &[4, 0, 0, 0, 0, 0, 0, 0]);
+        let mut stats = FtlStats::new();
+        // Off (default): never moves anything.
+        let t = eng.wear_rotate(&mut ssd, &mut stats, SimTime::ZERO, 20);
+        assert_eq!(t, SimTime::ZERO);
+        assert_eq!(stats.wear_level_migrations, 0);
+        eng.set_wear_leveling(true);
+        // Spread (25) exceeds the threshold: the cold block is relocated,
+        // erased, and freed.
+        let free_before = eng.free_blocks();
+        let done = eng.wear_rotate(&mut ssd, &mut stats, SimTime::ZERO, 20);
+        assert!(done > SimTime::ZERO);
+        assert_eq!(stats.wear_level_migrations, 1);
+        assert_eq!(ssd.device().pe_cycles(ssd.geometry().block_addr(0)), 1);
+        assert_eq!(
+            eng.free_blocks(),
+            free_before,
+            "cold block rejoined the pool"
+        );
+        for lpn in 0..4 {
+            let ptr = eng.lookup(lpn).unwrap();
+            assert_ne!(ptr.block, 0, "data moved off the cold block");
+            let (slots, _) = ssd.read_full(eng.page_addr(ptr, &ssd), done);
+            assert_eq!(slots[0].as_ref().unwrap().lsn, lpn * 4);
+        }
+        // Spread now within threshold: second call is a no-op.
+        let again = eng.wear_rotate(&mut ssd, &mut stats, done, 20);
+        assert_eq!(again, done);
+        assert_eq!(stats.wear_level_migrations, 1);
+    }
+
+    #[test]
+    fn exhaustion_refuses_writes_instead_of_panicking() {
+        // Every erase fails, so each GC victim retires and the pool wears
+        // out fast. The engine must shed over-provisioning, then return a
+        // typed end-of-life error — never panic, never livelock.
+        let g = Geometry::tiny();
+        let mut ssd = Ssd::new(g.clone());
+        ssd.device_mut().set_faults(esp_nand::FaultConfig {
+            seed: 9,
+            erase_fail_prob: 0.95,
+            ..esp_nand::FaultConfig::default()
+        });
+        let mut eng = FullRegionEngine::new(
+            (0..16).collect(),
+            g.pages_per_block,
+            g.blocks_per_chip,
+            16,
+            2,
+        );
+        let mut stats = FtlStats::new();
+        let mut now = SimTime::ZERO;
+        let mut died = None;
+        'outer: for round in 0..400 {
+            for lpn in 0..16 {
+                match eng.try_program_page(lpn, &full_oobs(lpn), &mut ssd, &mut stats, now) {
+                    Ok(t) => now = t,
+                    Err(e) => {
+                        died = Some(e);
+                        break 'outer;
+                    }
+                }
+                let _ = round;
+            }
+        }
+        assert_eq!(
+            died,
+            Some(SpaceExhausted::EndOfLife),
+            "retirement-driven exhaustion reports end of life"
+        );
+        assert!(eng.exhausted());
+        assert!(stats.op_shrinks > 0, "watermark shed before giving up");
+        assert!(stats.blocks_retired > 0);
+        // Further writes fail fast with the same typed error.
+        let err = eng
+            .try_program_page(0, &full_oobs(0), &mut ssd, &mut stats, now)
+            .unwrap_err();
+        assert_eq!(err, SpaceExhausted::EndOfLife);
+        // Every lpn that still has a mapping reads back correctly: dying
+        // never corrupted surviving data.
+        let mut readable = 0;
+        for lpn in 0..16 {
+            if let Some(ptr) = eng.lookup(lpn) {
+                let (slots, _) = ssd.read_full(eng.page_addr(ptr, &ssd), now);
+                assert_eq!(slots[0].as_ref().unwrap().lsn, lpn * 4);
+                readable += 1;
+            }
+        }
+        assert!(readable > 0, "some data survives to the read-only phase");
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod buffer;
 mod cgm;
 mod config;
 mod crash_harness;
+mod eol;
 mod fgm;
 mod full_region;
 mod read_path;
@@ -70,14 +71,15 @@ pub use config::{EvictionPolicy, FtlConfig};
 pub use crash_harness::{
     random_workload, CrashCase, CrashHarness, CrashOp, CrashTarget, SweepReport,
 };
+pub use eol::SpaceExhausted;
 pub use fgm::FgmFtl;
 pub use full_region::{FullRegionEngine, PagePtr};
 pub use report::{
     latency_json, run_json, validate_bench, BenchReport, BENCH_SCHEMA_NAME, BENCH_SCHEMA_VERSION,
     REQUIRED_RUN_FIELDS,
 };
-pub use runner::{precondition, run_trace, run_trace_qd, Ftl};
+pub use runner::{device_wear_summary, precondition, run_trace, run_trace_qd, Ftl};
 pub use sector_log::SectorLogFtl;
-pub use stats::{FtlStats, RunReport};
+pub use stats::{FtlStats, RunReport, WearSummary};
 pub use sub::SubFtl;
 pub use sub_map::{ProbeStats, SubEntry, SubpageMap};

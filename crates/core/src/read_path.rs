@@ -88,6 +88,10 @@ pub(crate) struct ReadReliability {
     read_only_on_loss: bool,
     /// Latched state.
     read_only: bool,
+    /// Terminal end-of-life latch: unlike `read_only`, it is unconditional
+    /// (no config gate) — once the flash pool is exhausted there is nowhere
+    /// left to put a write, whatever the policy.
+    end_of_life: bool,
 }
 
 impl ReadReliability {
@@ -105,6 +109,7 @@ impl ReadReliability {
             next_patrol: patrol_interval,
             read_only_on_loss: config.read_only_on_loss,
             read_only: false,
+            end_of_life: false,
         }
     }
 
@@ -149,10 +154,30 @@ impl ReadReliability {
         }
     }
 
+    /// Latches the terminal end-of-life state (once per mount): the flash
+    /// pool is exhausted, so every subsequent host write is refused with a
+    /// counted drop while reads keep being served. Unconditional — no
+    /// config gate, because there is physically nowhere to put the data.
+    pub(crate) fn latch_end_of_life(&mut self, stats: &mut FtlStats) {
+        if !self.end_of_life {
+            self.end_of_life = true;
+            stats.end_of_life_trips += 1;
+        }
+    }
+
+    /// True once the terminal end-of-life latch has tripped.
+    pub(crate) fn end_of_life(&self) -> bool {
+        self.end_of_life
+    }
+
     /// Called at the top of every host write; returns `true` (and counts
     /// the drop) when the write must be refused because the FTL is latched
-    /// read-only.
+    /// read-only or end-of-life.
     pub(crate) fn refuse_write(&mut self, stats: &mut FtlStats) -> bool {
+        if self.end_of_life {
+            stats.writes_dropped_end_of_life += 1;
+            return true;
+        }
         if self.read_only {
             stats.writes_dropped_read_only += 1;
         }
@@ -346,5 +371,21 @@ mod tests {
         assert!(!off.patrol_due(u64::MAX));
         off.note_host_read(true, &mut stats);
         assert!(!off.read_only());
+    }
+
+    #[test]
+    fn end_of_life_latch_is_unconditional_and_counts_once() {
+        // tiny() has read_only_on_loss off; end-of-life latches anyway.
+        let mut rel = ReadReliability::new(&FtlConfig::tiny());
+        let mut stats = FtlStats::new();
+        assert!(!rel.end_of_life());
+        rel.latch_end_of_life(&mut stats);
+        rel.latch_end_of_life(&mut stats);
+        assert!(rel.end_of_life());
+        assert_eq!(stats.end_of_life_trips, 1, "latch counts once per mount");
+        assert!(rel.refuse_write(&mut stats));
+        assert!(rel.refuse_write(&mut stats));
+        assert_eq!(stats.writes_dropped_end_of_life, 2);
+        assert_eq!(stats.writes_dropped_read_only, 0);
     }
 }

@@ -161,6 +161,25 @@ pub fn run_json(label: &str, r: &RunReport) -> Json {
             ]),
         ),
         (
+            "wear",
+            Json::obj([
+                ("min_pe", Json::from(r.wear.min_pe)),
+                ("max_pe", Json::from(r.wear.max_pe)),
+                ("mean_pe", Json::from(r.wear.mean_pe)),
+                ("delta_pe", Json::from(r.wear.delta_pe())),
+                ("shallow_erases", Json::from(r.wear.shallow_erases)),
+                ("level_migrations", Json::from(s.wear_level_migrations)),
+            ]),
+        ),
+        (
+            "end_of_life",
+            Json::obj([
+                ("op_shrinks", Json::from(s.op_shrinks)),
+                ("trips", Json::from(s.end_of_life_trips)),
+                ("writes_dropped", Json::from(s.writes_dropped_end_of_life)),
+            ]),
+        ),
+        (
             "read_faults",
             Json::obj([
                 ("total", Json::from(s.read_faults)),

@@ -286,6 +286,15 @@ pub trait Ftl {
     /// FTL counters.
     fn stats(&self) -> &FtlStats;
 
+    /// True once the FTL has latched its terminal end-of-life state:
+    /// wear-out and/or grown bad blocks exhausted the GC reserve, so
+    /// writes are refused (counted in
+    /// [`FtlStats::writes_dropped_end_of_life`]) while reads keep
+    /// serving. The latch is permanent for the mount.
+    fn end_of_life(&self) -> bool {
+        false
+    }
+
     /// The underlying timed SSD.
     fn ssd(&self) -> &Ssd;
 
@@ -354,6 +363,16 @@ impl FtlStats {
                 .retention_evictions
                 .saturating_sub(earlier.retention_evictions),
             wear_swaps: self.wear_swaps.saturating_sub(earlier.wear_swaps),
+            wear_level_migrations: self
+                .wear_level_migrations
+                .saturating_sub(earlier.wear_level_migrations),
+            op_shrinks: self.op_shrinks.saturating_sub(earlier.op_shrinks),
+            end_of_life_trips: self
+                .end_of_life_trips
+                .saturating_sub(earlier.end_of_life_trips),
+            writes_dropped_end_of_life: self
+                .writes_dropped_end_of_life
+                .saturating_sub(earlier.writes_dropped_end_of_life),
             read_faults: self.read_faults.saturating_sub(earlier.read_faults),
             read_faults_destroyed: self
                 .read_faults_destroyed
@@ -430,6 +449,36 @@ pub fn run_trace<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace) -> RunReport {
 /// Panics if `queue_depth` is zero.
 pub fn run_trace_qd<F: Ftl + ?Sized>(ftl: &mut F, trace: &Trace, queue_depth: usize) -> RunReport {
     run_trace_qd_mode(ftl, trace, queue_depth, HazardMode::Auto)
+}
+
+/// Snapshots the device's per-block wear distribution (effective P/E over
+/// every physical block). `shallow_erases` is the run's adaptive-erase
+/// delta, passed through verbatim.
+#[must_use]
+pub fn device_wear_summary(ssd: &Ssd, shallow_erases: u64) -> crate::stats::WearSummary {
+    let dev = ssd.device();
+    let g = ssd.geometry();
+    let n = g.block_count();
+    let (mut min_pe, mut max_pe, mut sum) = (u32::MAX, 0u32, 0u64);
+    for b in 0..n {
+        let pe = dev.effective_pe(g.block_addr(b));
+        min_pe = min_pe.min(pe);
+        max_pe = max_pe.max(pe);
+        sum += u64::from(pe);
+    }
+    if n == 0 {
+        min_pe = 0;
+    }
+    crate::stats::WearSummary {
+        min_pe,
+        max_pe,
+        mean_pe: if n == 0 {
+            0.0
+        } else {
+            sum as f64 / f64::from(n)
+        },
+        shallow_erases,
+    }
 }
 
 pub(crate) fn run_trace_qd_mode<F: Ftl + ?Sized>(
@@ -549,6 +598,10 @@ pub(crate) fn run_trace_qd_mode<F: Ftl + ?Sized>(
         read_latency,
         write_latency,
         response_latency,
+        wear: device_wear_summary(
+            ftl.ssd(),
+            dev.shallow_erases.saturating_sub(dev0.shallow_erases),
+        ),
     }
 }
 
@@ -883,6 +936,10 @@ mod tests {
             read_latency,
             write_latency,
             response_latency,
+            wear: device_wear_summary(
+                ftl.ssd(),
+                dev.shallow_erases.saturating_sub(dev0.shallow_erases),
+            ),
         }
     }
 

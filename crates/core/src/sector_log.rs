@@ -84,6 +84,13 @@ pub struct SectorLogFtl {
     pages_per_block: u32,
     nsub: u32,
     watermark: u32,
+    /// Wear-delta bias in log-merge victim selection plus wear-aware log
+    /// allocation (off by default for bit-identity with the seed).
+    wear_leveling: bool,
+    /// Max−min effective-P/E spread that triggers a data-region rotation.
+    wear_delta: u32,
+    /// Device erase count at which the next wear-spread check runs.
+    next_wear_check: u64,
     reliability: ReadReliability,
     /// Log-merge/reclaim event recorder; disabled (free) by default.
     trace: EventBuffer,
@@ -125,6 +132,7 @@ impl SectorLogFtl {
         }
         ssd.device_mut()
             .set_retry_ladder(config.retry_ladder.clone());
+        ssd.device_mut().set_adaptive_erase(config.adaptive_erase);
         let g = &config.geometry;
         let bpc = g.blocks_per_chip;
         let log_per_chip =
@@ -143,13 +151,14 @@ impl SectorLogFtl {
         }
         let logical_sectors = config.logical_sectors();
         let lpn_count = logical_sectors / u64::from(SECTORS_PER_PAGE);
-        let data = FullRegionEngine::new(
+        let mut data = FullRegionEngine::new(
             data_gbis,
             g.pages_per_block,
             bpc,
             lpn_count,
             config.gc_free_watermark,
         );
+        data.set_wear_leveling(config.wear_leveling);
         let log_blocks: Vec<LogBlock> = log_gbis
             .iter()
             .map(|&gbi| LogBlock::new(gbi, gbi / bpc, g.pages_per_block, g.subpages_per_page))
@@ -172,6 +181,9 @@ impl SectorLogFtl {
             pages_per_block: g.pages_per_block,
             nsub: g.subpages_per_page,
             watermark: config.gc_free_watermark,
+            wear_leveling: config.wear_leveling,
+            wear_delta: config.wear_delta_threshold,
+            next_wear_check: 0,
             reliability: ReadReliability::new(config),
             trace: EventBuffer::disabled(),
             slots_scratch: Vec::new(),
@@ -434,6 +446,99 @@ impl SectorLogFtl {
         self.seq
     }
 
+    /// Effective P/E of a log block: oxide-stress based under adaptive
+    /// erase, identical to the raw erase count otherwise.
+    fn log_block_pe(&self, local: u32) -> u32 {
+        let gbi = self.log_blocks[local as usize].gbi;
+        self.ssd
+            .device()
+            .effective_pe(self.ssd.geometry().block_addr(gbi))
+    }
+
+    /// With wear leveling on, trades the hottest erased log block for the
+    /// data region's coldest free block. The log pool churns orders of
+    /// magnitude faster than data blocks pinned under cold pages, so
+    /// without this cross-region exchange the handful of log blocks absorb
+    /// the device's whole erase budget on their own.
+    /// Static wear leveling for the log region: a log block packed with
+    /// valid cold sectors is never a profitable merge victim, so it can pin
+    /// a lightly-worn block forever. When the fleet-wide effective-wear
+    /// spread exceeds the threshold, the coldest such parked block is
+    /// force-merged so it rejoins the erase rotation. At most one block per
+    /// call; metered from `maintain`.
+    fn log_wear_rotate(&mut self, issue: SimTime) -> SimTime {
+        if !self.wear_leveling || self.reliability.end_of_life() || self.ssd.crashed() {
+            return issue;
+        }
+        let mut max_pe = self
+            .data
+            .wear_spread(&self.ssd)
+            .map(|(_, hi)| hi)
+            .unwrap_or(0);
+        for (i, b) in self.log_blocks.iter().enumerate() {
+            if !b.retired {
+                max_pe = max_pe.max(self.log_block_pe(i as u32));
+            }
+        }
+        let cold = self
+            .log_blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                !b.retired
+                    && !self.log_actives.contains(&Some(*i as u32))
+                    && b.programmed_pages >= self.pages_per_block
+            })
+            .min_by_key(|(i, _)| self.log_block_pe(*i as u32))
+            .map(|(i, _)| i as u32);
+        let Some(victim) = cold else { return issue };
+        if max_pe.saturating_sub(self.log_block_pe(victim)) <= self.wear_delta {
+            return issue;
+        }
+        self.stats.wear_level_migrations += 1;
+        self.merge_block(victim, issue).unwrap_or(issue)
+    }
+
+    fn maybe_log_wear_swap(&mut self) {
+        if !self.wear_leveling {
+            return;
+        }
+        let Some(pos) =
+            (0..self.log_free.len()).max_by_key(|&p| self.log_block_pe(self.log_free[p]))
+        else {
+            return;
+        };
+        let local = self.log_free[pos];
+        let worn_gbi = self.log_blocks[local as usize].gbi;
+        let Some(fresh_gbi) = self
+            .data
+            .swap_free_block(worn_gbi, self.wear_delta, &self.ssd)
+        else {
+            return;
+        };
+        self.retire_log_block(local);
+        let chip = fresh_gbi / self.ssd.geometry().blocks_per_chip;
+        self.log_blocks.push(LogBlock::new(
+            fresh_gbi,
+            chip,
+            self.pages_per_block,
+            self.nsub,
+        ));
+        self.log_free.push((self.log_blocks.len() - 1) as u32);
+        self.stats.wear_swaps += 1;
+    }
+
+    /// Whole log pages still appendable without a merge: room left in the
+    /// open log blocks plus every block in the log free pool.
+    fn allocatable_log_pages(&self) -> u64 {
+        let mut pages = self.log_free.len() as u64 * u64::from(self.pages_per_block);
+        for a in self.log_actives.iter().flatten() {
+            pages +=
+                u64::from(self.pages_per_block - self.log_blocks[*a as usize].programmed_pages);
+        }
+        pages
+    }
+
     fn unmap_log(&mut self, lsn: u64) {
         if let Some(e) = self.log_map.remove(lsn) {
             let blk = &mut self.log_blocks[e.block as usize];
@@ -454,10 +559,21 @@ impl SectorLogFtl {
                 None => false,
             };
             if !usable {
-                let pick = self
-                    .log_free
-                    .iter()
-                    .position(|&b| self.log_blocks[b as usize].chip as usize == chip);
+                // With wear leveling, refills pick the chip's least-worn
+                // free log block so erase cycles spread across the region;
+                // otherwise the first pool entry (seed behavior).
+                let pick = if self.wear_leveling {
+                    self.log_free
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &b)| self.log_blocks[b as usize].chip as usize == chip)
+                        .min_by_key(|(_, &b)| (self.log_block_pe(b), b))
+                        .map(|(p, _)| p)
+                } else {
+                    self.log_free
+                        .iter()
+                        .position(|&b| self.log_blocks[b as usize].chip as usize == chip)
+                };
                 match pick {
                     Some(p) => self.log_actives[chip] = Some(self.log_free.swap_remove(p)),
                     None => continue,
@@ -486,6 +602,13 @@ impl SectorLogFtl {
             if self.ssd.crashed() {
                 // Power is off: with log GC fenced the free pool may be
                 // empty, so bail out before alloc_log_page can panic.
+                return now;
+            }
+            if self.allocatable_log_pages() == 0 {
+                // End of life: the log region has no appendable page left.
+                // Drop the append (old copies stay mapped) and latch the
+                // refusal so subsequent writes are dropped up front.
+                self.reliability.latch_end_of_life(&mut self.stats);
                 return now;
             }
             let (block, page) = self.alloc_log_page();
@@ -536,7 +659,16 @@ impl SectorLogFtl {
             if !self.has_log_victim() {
                 break;
             }
-            now = self.merge_victim(now);
+            match self.merge_victim(now) {
+                Some(done) => now = done,
+                None => {
+                    // The data region is exhausted, so the merge could not
+                    // drain the victim: retrying would livelock. Latch end
+                    // of life and degrade to refusing writes instead.
+                    self.reliability.latch_end_of_life(&mut self.stats);
+                    break;
+                }
+            }
         }
         now
     }
@@ -549,22 +681,50 @@ impl SectorLogFtl {
         })
     }
 
-    /// Log GC: full merge — every live sector of the victim (and every
-    /// other live log copy of the same logical pages) is read-modify-
-    /// written back into the data region; the victim is erased.
-    fn merge_victim(&mut self, issue: SimTime) -> SimTime {
-        let victim = self
+    /// Picks a merge victim: greedy min-valid, or — with wear leveling on —
+    /// the least-worn log block among those within a small valid-count
+    /// slack of the greedy choice.
+    fn pick_log_victim(&self) -> Option<u32> {
+        let candidate = |i: usize, b: &LogBlock| {
+            !b.retired
+                && !self.log_actives.contains(&Some(i as u32))
+                && b.programmed_pages >= self.pages_per_block
+        };
+        let (greedy, best_valid) = self
             .log_blocks
             .iter()
             .enumerate()
-            .filter(|(i, b)| {
-                !b.retired
-                    && !self.log_actives.contains(&Some(*i as u32))
-                    && b.programmed_pages >= self.pages_per_block
-            })
+            .filter(|(i, b)| candidate(*i, b))
             .min_by_key(|(_, b)| b.valid_count)
+            .map(|(i, b)| (i as u32, b.valid_count))?;
+        let subs_per_block = self.pages_per_block * self.nsub;
+        if !self.wear_leveling || best_valid >= subs_per_block {
+            return Some(greedy);
+        }
+        let slack = (subs_per_block >> 3).max(1);
+        let limit = best_valid.saturating_add(slack).min(subs_per_block - 1);
+        self.log_blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| candidate(*i, b) && b.valid_count <= limit)
+            .min_by_key(|(i, b)| (self.log_block_pe(*i as u32), b.valid_count, *i))
             .map(|(i, _)| i as u32)
-            .expect("sector log GC: no victim");
+    }
+
+    /// Log GC: full merge — every live sector of the victim (and every
+    /// other live log copy of the same logical pages) is read-modify-
+    /// written back into the data region; the victim is erased. Returns
+    /// `None` when the data region was too exhausted to drain the victim
+    /// (the log copies stay where they are, nothing is erased).
+    fn merge_victim(&mut self, issue: SimTime) -> Option<SimTime> {
+        let victim = self.pick_log_victim().expect("sector log GC: no victim");
+        self.merge_block(victim, issue)
+    }
+
+    /// Merges one specific log block back into the data region. Shared by
+    /// normal log GC (profitable victim) and static wear leveling (coldest
+    /// parked block).
+    fn merge_block(&mut self, victim: u32, issue: SimTime) -> Option<SimTime> {
         self.stats.gc_invocations += 1;
         let valid = self.log_blocks[victim as usize].valid_count;
         self.trace.emit(|| {
@@ -588,7 +748,7 @@ impl SectorLogFtl {
             if self.ssd.crashed() {
                 // Power died mid-merge: surviving log copies stay where
                 // they are on flash; this half-done merge dies with DRAM.
-                return now;
+                return Some(now);
             }
             for (slot, r) in self.slots_scratch.iter().enumerate() {
                 if self.log_blocks[victim as usize].valid[(page * self.nsub) as usize + slot] {
@@ -602,7 +762,12 @@ impl SectorLogFtl {
         for lpn in lpns {
             now = self.merge_lpn(lpn, now);
         }
-        debug_assert_eq!(self.log_blocks[victim as usize].valid_count, 0);
+        if self.log_blocks[victim as usize].valid_count > 0 {
+            // The data region ran out of space mid-merge: the remaining
+            // log entries are sole copies, so the victim must not be
+            // erased. The caller degrades to end-of-life handling.
+            return if self.ssd.crashed() { Some(now) } else { None };
+        }
         let blk_addr = self.ssd.geometry().block_addr(gbi);
         match self.ssd.erase(blk_addr, now) {
             Ok(done) => {
@@ -611,6 +776,7 @@ impl SectorLogFtl {
                 b.valid.fill(false);
                 b.programmed_pages = 0;
                 self.log_free.push(victim);
+                self.maybe_log_wear_swap();
             }
             Err(f) if f.error == esp_nand::NandError::EraseFailed => {
                 // Grown bad log block: all live sectors were merged into
@@ -624,7 +790,7 @@ impl SectorLogFtl {
             }
             Err(f) => panic!("erase log block: {f}"),
         }
-        now
+        Some(now)
     }
 
     /// Full merge of one logical page: gather its sectors (live log copies
@@ -667,9 +833,21 @@ impl SectorLogFtl {
             }
             self.stats.rmw_operations += 1;
         }
-        now = self
-            .data
-            .program_page(lpn, &self.oobs_scratch, &mut self.ssd, &mut self.stats, now);
+        now = match self.data.try_program_page(
+            lpn,
+            &self.oobs_scratch,
+            &mut self.ssd,
+            &mut self.stats,
+            now,
+        ) {
+            Ok(t) => t,
+            Err(_) => {
+                // Data region exhausted: the log entries are sole copies,
+                // so they stay mapped; writes degrade to refusal.
+                self.reliability.latch_end_of_life(&mut self.stats);
+                return now;
+            }
+        };
         for slot in 0..page_sz {
             self.unmap_log(lpn * page_sz + slot);
         }
@@ -700,13 +878,21 @@ impl SectorLogFtl {
                             seq,
                         }));
                     }
-                    let t = self.data.program_page(
+                    let t = match self.data.try_program_page(
                         lpn,
                         &self.oobs_scratch,
                         &mut self.ssd,
                         &mut self.stats,
                         issue,
-                    );
+                    ) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            // End of life: the flush has nowhere to land;
+                            // any older copies (data or log) stay mapped.
+                            self.reliability.latch_end_of_life(&mut self.stats);
+                            continue;
+                        }
+                    };
                     done = done.max(t);
                     for slot in 0..page_sz {
                         let lsn = lpn * page_sz + slot;
@@ -889,6 +1075,15 @@ impl Ftl for SectorLogFtl {
                     .scrub_disturbed(&mut self.ssd, &mut self.stats, limit, now);
             }
         }
+        if self.data.wear_leveling() {
+            let erases = self.ssd.device().stats().erases;
+            if erases >= self.next_wear_check {
+                self.next_wear_check = erases + 16;
+                self.data
+                    .wear_rotate(&mut self.ssd, &mut self.stats, now, self.wear_delta);
+                self.log_wear_rotate(now);
+            }
+        }
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
@@ -946,6 +1141,10 @@ impl Ftl for SectorLogFtl {
 
     fn stats(&self) -> &FtlStats {
         &self.stats
+    }
+
+    fn end_of_life(&self) -> bool {
+        self.reliability.end_of_life()
     }
 
     fn ssd(&self) -> &Ssd {

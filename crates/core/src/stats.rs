@@ -51,6 +51,18 @@ pub struct FtlStats {
     pub retention_evictions: u64,
     /// Wear-leveling block swaps between regions.
     pub wear_swaps: u64,
+    /// Static wear-leveling migrations: cold (fully/mostly valid) blocks
+    /// relocated off lightly-worn blocks so they rejoin the allocation pool.
+    pub wear_level_migrations: u64,
+
+    /// Over-provisioning shrink steps: the GC watermark was lowered because
+    /// no victim could net free space (end-of-life degradation, step 1).
+    pub op_shrinks: u64,
+    /// Times the FTL latched into the terminal end-of-life state (at most
+    /// once per mount): writes are refused from then on.
+    pub end_of_life_trips: u64,
+    /// Host write requests refused after the end-of-life latch tripped.
+    pub writes_dropped_end_of_life: u64,
 
     /// Host reads that could not be served (uncorrectable or unmapped data
     /// faults; must stay zero when the FTL is correct).
@@ -141,6 +153,37 @@ impl FtlStats {
     }
 }
 
+/// End-of-run snapshot of the device's per-block wear distribution
+/// (effective P/E counts over every physical block) plus adaptive-erase
+/// activity during the run.
+///
+/// The distribution is a **snapshot**, not a delta: wear accumulated by
+/// preconditioning is part of the device state the run ends with, and the
+/// quantity wear leveling bounds — [`WearSummary::delta_pe`] — is only
+/// meaningful over absolute counts. `shallow_erases` alone is a per-run
+/// delta, like the other `RunReport` device counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WearSummary {
+    /// Minimum effective P/E count over all physical blocks.
+    pub min_pe: u32,
+    /// Maximum effective P/E count over all physical blocks.
+    pub max_pe: u32,
+    /// Mean effective P/E count over all physical blocks.
+    pub mean_pe: f64,
+    /// Shallow (reduced-depth) erases performed during the run
+    /// (adaptive erase; zero when the feature is off).
+    pub shallow_erases: u64,
+}
+
+impl WearSummary {
+    /// `max - min` effective P/E: the fleet-wide wear spread that static
+    /// wear leveling keeps bounded.
+    #[must_use]
+    pub fn delta_pe(&self) -> u32 {
+        self.max_pe - self.min_pe
+    }
+}
+
 /// The result of replaying one trace through one FTL.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -181,6 +224,8 @@ pub struct RunReport {
     /// arrival-to-done would measure cumulative makespan instead of
     /// per-request latency.
     pub response_latency: HdrHistogram,
+    /// Per-block wear distribution at the end of the run.
+    pub wear: WearSummary,
 }
 
 impl RunReport {
@@ -278,6 +323,7 @@ mod tests {
             read_latency: HdrHistogram::new(),
             write_latency: HdrHistogram::new(),
             response_latency: HdrHistogram::new(),
+            wear: WearSummary::default(),
         };
         let mbps = r.write_bandwidth_mbps();
         assert!((mbps - 1000.0 * 4096.0 / 1e6 / 2.0).abs() < 1e-9);

@@ -108,6 +108,9 @@ pub struct SubFtl {
     scan_interval: SimDuration,
     last_scan: SimTime,
     wear_delta: u32,
+    /// Device erase count at which the next full-region wear-spread check
+    /// runs (the spread only changes on erases, so checks are metered).
+    next_wear_check: u64,
     gc_batch: u32,
     eviction: EvictionPolicy,
     background_gc: bool,
@@ -158,6 +161,7 @@ impl SubFtl {
         }
         ssd.device_mut()
             .set_retry_ladder(config.retry_ladder.clone());
+        ssd.device_mut().set_adaptive_erase(config.adaptive_erase);
         let g = &config.geometry;
         let bpc = g.blocks_per_chip;
         let sub_per_chip =
@@ -176,13 +180,14 @@ impl SubFtl {
         }
         let logical_sectors = config.logical_sectors();
         let lpn_count = logical_sectors / u64::from(SECTORS_PER_PAGE);
-        let full = FullRegionEngine::new(
+        let mut full = FullRegionEngine::new(
             full_gbis,
             g.pages_per_block,
             g.blocks_per_chip,
             lpn_count,
             config.gc_free_watermark,
         );
+        full.set_wear_leveling(config.wear_leveling);
         let blocks: Vec<SubBlock> = sub_gbis
             .iter()
             .map(|&gbi| SubBlock::new(gbi, gbi / bpc, g.pages_per_block))
@@ -206,6 +211,7 @@ impl SubFtl {
             scan_interval: config.retention_scan_interval,
             last_scan: SimTime::ZERO,
             wear_delta: config.wear_delta_threshold,
+            next_wear_check: 0,
             gc_batch: config.subpage_gc_batch,
             eviction: config.eviction_policy,
             background_gc: config.background_gc,
@@ -271,6 +277,7 @@ impl SubFtl {
         }
         ssd.device_mut()
             .set_retry_ladder(config.retry_ladder.clone());
+        ssd.device_mut().set_adaptive_erase(config.adaptive_erase);
         use crate::recovery::{scan_device, ScannedKind};
         let scan = scan_device(&mut ssd);
         let torn_pages = scan.torn_pages;
@@ -324,6 +331,7 @@ impl SubFtl {
             lpn_count,
             config.gc_free_watermark,
         );
+        full.set_wear_leveling(config.wear_leveling);
 
         // Rebuild subpage-region block skeletons (lap state; validity comes
         // from the winner resolution below).
@@ -503,6 +511,7 @@ impl SubFtl {
             scan_interval: config.retention_scan_interval,
             last_scan: SimTime::ZERO,
             wear_delta: config.wear_delta_threshold,
+            next_wear_check: 0,
             gc_batch: config.subpage_gc_batch,
             eviction: config.eviction_policy,
             background_gc: config.background_gc,
@@ -555,7 +564,13 @@ impl SubFtl {
             now = self.evict_to_full(&items[i..j], now);
             i = j;
         }
-        debug_assert_eq!(self.blocks[victim as usize].valid_count, 0);
+        if self.blocks[victim as usize].valid_count > 0 {
+            // The full-page region could not absorb every eviction (the
+            // device is near death): keep the survivors where they are and
+            // find a different reserve instead of erasing sole copies.
+            self.replace_reserve();
+            return;
+        }
         let gbi = self.blocks[victim as usize].gbi;
         match self.ssd.erase(self.ssd.geometry().block_addr(gbi), now) {
             Ok(_) => {
@@ -692,15 +707,24 @@ impl SubFtl {
             .any(|(i, b)| !b.retired && i as u32 != self.reserve && u32::from(b.level) < self.nsub)
     }
 
+    /// True while the GC reserve is an erased, in-service block — the
+    /// precondition for running subpage-region GC at all.
+    fn reserve_usable(&self) -> bool {
+        let r = &self.blocks[self.reserve as usize];
+        !r.retired && r.is_erased()
+    }
+
     /// Returns a block with a writable slot, preferring a different chip
     /// than the previous write (striping) and garbage-collecting if the
-    /// region is exhausted.
+    /// region is exhausted. Returns `None` when the region can no longer
+    /// produce a slot (end of life): no writable block exists, no victim
+    /// can be collected, or the GC reserve was lost and not replaceable.
     ///
     /// GC reclaims a *batch* of blocks before writing resumes: with several
     /// blocks back in rotation, consecutive laps of any one block are
     /// separated by writes to the others, giving hot subpages time to be
     /// overwritten instead of lap-migrated.
-    fn ensure_sub_slot(&mut self, issue: SimTime) -> (u32, SimTime) {
+    fn ensure_sub_slot(&mut self, issue: SimTime) -> Option<(u32, SimTime)> {
         let mut now = issue;
         loop {
             let chips = self.actives.len();
@@ -712,8 +736,23 @@ impl SubFtl {
                 if let Some(b) = self.actives[chip] {
                     debug_assert!(u32::from(self.blocks[b as usize].level) < self.nsub);
                     self.rr = chip + 1;
-                    return (b, now);
+                    return Some((b, now));
                 }
+            }
+            if self.ssd.crashed() {
+                // Power is cut: programs and erases are no-ops from here
+                // on, so GC can never free a slot — bail out instead of
+                // re-collecting the same victims forever. The caller must
+                // treat this as a dropped in-flight request, not wear-out.
+                return None;
+            }
+            if self.reliability.end_of_life() || !self.reserve_usable() {
+                return None;
+            }
+            if !self.has_exhausted_block() {
+                // Nothing writable and nothing to collect: the region is
+                // wedged (end of life), degrade instead of panicking.
+                return None;
             }
             let batch = if self.gc_batch == 0 {
                 self.blocks.len() as u32
@@ -728,7 +767,7 @@ impl SubFtl {
             // entries go stale. At least one victim (the min-valid block)
             // is always collected so progress is guaranteed.
             let mut collected = 0u32;
-            while collected < batch && self.has_exhausted_block() {
+            while collected < batch && self.has_exhausted_block() && self.reserve_usable() {
                 let profitable = self.min_valid_exhausted() <= self.pages_per_block / 2;
                 if collected > 0 && !profitable {
                     break;
@@ -737,9 +776,13 @@ impl SubFtl {
                 collected += 1;
             }
             if !self.any_writable() {
-                // Nothing exhausted and nothing writable: the region is
-                // wedged, which the capacity invariants should prevent.
-                now = self.sub_gc(now);
+                if self.has_exhausted_block() && self.reserve_usable() {
+                    now = self.sub_gc(now);
+                } else if collected == 0 {
+                    // No progress is possible: every surviving block is
+                    // retired, reserved, or stuck with unevictable data.
+                    return None;
+                }
             }
         }
     }
@@ -774,7 +817,17 @@ impl SubFtl {
     fn write_sector_to_sub(&mut self, lsn: u64, small_origin: bool, issue: SimTime) -> SimTime {
         let mut now = issue;
         loop {
-            let (b, t) = self.ensure_sub_slot(now);
+            let Some((b, t)) = self.ensure_sub_slot(now) else {
+                // End of life: no subpage slot can be produced. Drop the
+                // write (any previously mapped copy stays valid) and latch
+                // the refusal so subsequent writes are dropped up front.
+                // A power cut mid-write is not wear-out: the request is
+                // simply lost with the rest of the in-flight state.
+                if !self.ssd.crashed() {
+                    self.reliability.latch_end_of_life(&mut self.stats);
+                }
+                return now;
+            };
             now = t;
             let (page, slot) = {
                 let blk = &self.blocks[b as usize];
@@ -821,6 +874,14 @@ impl SubFtl {
                                     .field("block", u64::from(b))
                             });
                             now = self.evict_to_full(&[(old_lsn, oob)], now);
+                            if self.reliability.end_of_life() {
+                                // The full-page region could not take the
+                                // relocation: the occupant keeps its slot,
+                                // so retrying would spin on the same page
+                                // forever. Drop the incoming write instead
+                                // (the refusal is already latched).
+                                return now;
+                            }
                         }
                         Ok(oob) => match self.ssd.program_subpage(addr, oob, now) {
                             Ok(done) => {
@@ -909,41 +970,72 @@ impl SubFtl {
         }
     }
 
+    /// Picks the subpage-region GC victim among exhausted blocks: greedy
+    /// min-valid, or — with wear leveling on — the least-worn block among
+    /// those within a small valid-count slack of the greedy choice.
+    fn pick_sub_victim(&self) -> Option<u32> {
+        let candidate = |i: usize, b: &SubBlock| {
+            !b.retired
+                && i as u32 != self.reserve
+                && !self.actives.contains(&Some(i as u32))
+                && u32::from(b.level) == self.nsub
+        };
+        let (greedy, best_valid) = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| candidate(*i, b))
+            .min_by_key(|(_, b)| b.valid_count)
+            .map(|(i, b)| (i as u32, b.valid_count))?;
+        if !self.full.wear_leveling() {
+            return Some(greedy);
+        }
+        let slack = (self.pages_per_block >> 3).max(1);
+        let limit = best_valid.saturating_add(slack);
+        let pe = |i: u32| {
+            self.ssd
+                .device()
+                .effective_pe(self.ssd.geometry().block_addr(self.blocks[i as usize].gbi))
+        };
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| candidate(*i, b) && b.valid_count <= limit)
+            .min_by_key(|(i, b)| (pe(*i as u32), b.valid_count, *i))
+            .map(|(i, _)| i as u32)
+    }
+
     /// Subpage-region garbage collection (§4.2): pick the block with the
     /// fewest valid subpages, move updated (hot) subpages into the reserved
     /// block, evict never-updated (cold) subpages to the full-page region,
     /// erase, and hand the erased block over as the new reserve.
     fn sub_gc(&mut self, issue: SimTime) -> SimTime {
+        let victim = self.pick_sub_victim().unwrap_or_else(|| {
+            // Fallback (GC forced while non-exhausted blocks remain,
+            // e.g. from tests): any non-reserve block with the fewest
+            // valid subpages.
+            self.blocks
+                .iter()
+                .enumerate()
+                .filter(|(i, b)| {
+                    !b.retired
+                        && *i as u32 != self.reserve
+                        && !self.actives.contains(&Some(*i as u32))
+                })
+                .min_by_key(|(_, b)| b.valid_count)
+                .map(|(i, _)| i as u32)
+                .expect("subpage region has no GC victim")
+        });
+        self.sub_gc_victim(victim, issue)
+    }
+
+    /// Collects one specific subpage-region block: hot subpages move to the
+    /// reserve, cold ones to the full-page region, then the victim is
+    /// erased and becomes the new reserve. Shared by normal GC (min-valid
+    /// victim) and static wear leveling (coldest parked block).
+    fn sub_gc_victim(&mut self, victim: u32, issue: SimTime) -> SimTime {
         self.stats.gc_invocations += 1;
         self.stats.gc_subpage_region += 1;
-        let victim = self
-            .blocks
-            .iter()
-            .enumerate()
-            .filter(|(i, b)| {
-                !b.retired
-                    && *i as u32 != self.reserve
-                    && !self.actives.contains(&Some(*i as u32))
-                    && u32::from(b.level) == self.nsub
-            })
-            .min_by_key(|(_, b)| b.valid_count)
-            .map(|(i, _)| i as u32)
-            .unwrap_or_else(|| {
-                // Fallback (GC forced while non-exhausted blocks remain,
-                // e.g. from tests): any non-reserve block with the fewest
-                // valid subpages.
-                self.blocks
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, b)| {
-                        !b.retired
-                            && *i as u32 != self.reserve
-                            && !self.actives.contains(&Some(*i as u32))
-                    })
-                    .min_by_key(|(_, b)| b.valid_count)
-                    .map(|(i, _)| i as u32)
-                    .expect("subpage region has no GC victim")
-            });
         let valid = self.blocks[victim as usize].valid_count;
         self.trace.emit(|| {
             TraceEvent::new(issue.as_nanos(), "gc.collect")
@@ -1051,7 +1143,12 @@ impl SubFtl {
                 self.stats.cold_evictions += 1;
             }
         }
-        debug_assert_eq!(self.blocks[victim as usize].valid_count, 0);
+        if self.blocks[victim as usize].valid_count > 0 {
+            // The full-page region ran out of space mid-eviction: the
+            // remaining subpages are sole copies, so the victim must not
+            // be erased. Callers observe the end-of-life latch and stop.
+            return now;
+        }
         let gbi = self.blocks[victim as usize].gbi;
         match self.ssd.erase(self.ssd.geometry().block_addr(gbi), now) {
             Ok(done) => {
@@ -1095,14 +1192,20 @@ impl SubFtl {
             self.reserve = i as u32;
             return;
         }
-        let gbi = self
-            .full
-            .donate_coldest_free_block(&self.ssd)
-            .expect("no erased block available for the GC reserve");
-        let chip = gbi / self.ssd.geometry().blocks_per_chip;
-        self.blocks
-            .push(SubBlock::new(gbi, chip, self.pages_per_block));
-        self.reserve = (self.blocks.len() - 1) as u32;
+        match self.full.donate_coldest_free_block(&self.ssd) {
+            Some(gbi) => {
+                let chip = gbi / self.ssd.geometry().blocks_per_chip;
+                self.blocks
+                    .push(SubBlock::new(gbi, chip, self.pages_per_block));
+                self.reserve = (self.blocks.len() - 1) as u32;
+            }
+            None => {
+                // No erased block exists anywhere: the GC reserve is gone
+                // for good and the drive is at end of life. The reserve
+                // stays unusable, and writes degrade to typed refusal.
+                self.reliability.latch_end_of_life(&mut self.stats);
+            }
+        }
     }
 
     /// Writes the freshest copies of the given subpage-region sectors (all
@@ -1132,9 +1235,21 @@ impl SubFtl {
             }
             self.stats.rmw_operations += 1;
         }
-        now = self
-            .full
-            .program_page(lpn, &self.oobs_scratch, &mut self.ssd, &mut self.stats, now);
+        now = match self.full.try_program_page(
+            lpn,
+            &self.oobs_scratch,
+            &mut self.ssd,
+            &mut self.stats,
+            now,
+        ) {
+            Ok(t) => t,
+            Err(_) => {
+                // Full-page region exhausted: the subpage copies are sole
+                // copies, so they stay mapped; writes degrade to refusal.
+                self.reliability.latch_end_of_life(&mut self.stats);
+                return now;
+            }
+        };
         for (lsn, _) in items {
             self.invalidate_sub(*lsn);
         }
@@ -1146,7 +1261,98 @@ impl SubFtl {
     /// Swaps an over-worn erased subpage-region block with a fresh block
     /// from the full-page region ("converting subpage blocks to full-page
     /// ones ... can be done by swapping", §4.2).
+    /// Static wear leveling for the subpage region: a block packed with
+    /// valid, never-updated subpages is invisible to normal sub GC
+    /// (min-valid victim picks never reach it), so cold data can pin a
+    /// lightly-worn block forever. When the fleet-wide effective-wear
+    /// spread exceeds the threshold, the coldest such parked block is
+    /// force-collected — its data moves on and the block rejoins the erase
+    /// rotation. At most one block per call; metered from `maintain`.
+    fn sub_wear_rotate(&mut self, issue: SimTime) -> SimTime {
+        if !self.full.wear_leveling()
+            || self.reliability.end_of_life()
+            || self.ssd.crashed()
+            || !self.reserve_usable()
+        {
+            return issue;
+        }
+        let pe = |gbi: u32| {
+            self.ssd
+                .device()
+                .effective_pe(self.ssd.geometry().block_addr(gbi))
+        };
+        let mut max_pe = self
+            .full
+            .wear_spread(&self.ssd)
+            .map(|(_, hi)| hi)
+            .unwrap_or(0);
+        for b in self.blocks.iter().filter(|b| !b.retired) {
+            max_pe = max_pe.max(pe(b.gbi));
+        }
+        let cold = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                !b.retired
+                    && *i as u32 != self.reserve
+                    && !self.actives.contains(&Some(*i as u32))
+                    && u32::from(b.level) == self.nsub
+            })
+            .min_by_key(|(_, b)| pe(b.gbi))
+            .map(|(i, _)| i as u32);
+        let Some(victim) = cold else { return issue };
+        if max_pe.saturating_sub(pe(self.blocks[victim as usize].gbi)) <= self.wear_delta {
+            return issue;
+        }
+        self.stats.wear_level_migrations += 1;
+        self.sub_gc_victim(victim, issue)
+    }
+
     fn maybe_wear_swap(&mut self) {
+        if self.full.wear_leveling() {
+            // The freshly-erased GC victim becomes the reserve immediately,
+            // so an idle erased block is rare; with wear leveling on, the
+            // reserve itself is a swap candidate (it is erased by
+            // definition, and the fresh block takes over reserve duty).
+            // The exchange is transactional — the worn block enters the
+            // full-region pool in the same step the fresh one leaves — so
+            // it works even with the full region sitting at its GC
+            // watermark, which is where a steady churn keeps it.
+            let candidate = self
+                .blocks
+                .iter()
+                .enumerate()
+                .filter(|(i, b)| {
+                    !b.retired && !self.actives.contains(&Some(*i as u32)) && b.is_erased()
+                })
+                .max_by_key(|(_, b)| {
+                    self.ssd
+                        .device()
+                        .effective_pe(self.ssd.geometry().block_addr(b.gbi))
+                })
+                .map(|(i, _)| i as u32);
+            let Some(idx) = candidate else { return };
+            let worn_gbi = self.blocks[idx as usize].gbi;
+            let Some(fresh_gbi) = self
+                .full
+                .swap_free_block(worn_gbi, self.wear_delta, &self.ssd)
+            else {
+                return;
+            };
+            self.blocks[idx as usize].retired = true;
+            let chip = fresh_gbi / self.ssd.geometry().blocks_per_chip;
+            self.blocks
+                .push(SubBlock::new(fresh_gbi, chip, self.pages_per_block));
+            if idx == self.reserve {
+                self.reserve = (self.blocks.len() - 1) as u32;
+            }
+            self.stats.wear_swaps += 1;
+            return;
+        }
+        // Seed behavior (wear leveling off): only a spare erased block —
+        // never the reserve — is a candidate, and the exchange defers to
+        // the full region's watermark-guarded donation.
         let Some(full_pe) = self.full.coldest_free_pe(&self.ssd) else {
             return;
         };
@@ -1163,11 +1369,11 @@ impl SubFtl {
             .max_by_key(|(_, b)| {
                 self.ssd
                     .device()
-                    .pe_cycles(self.ssd.geometry().block_addr(b.gbi))
+                    .effective_pe(self.ssd.geometry().block_addr(b.gbi))
             })
             .map(|(i, _)| i as u32);
         let Some(idx) = candidate else { return };
-        let sub_pe = self.ssd.device().pe_cycles(
+        let sub_pe = self.ssd.device().effective_pe(
             self.ssd
                 .geometry()
                 .block_addr(self.blocks[idx as usize].gbi),
@@ -1211,13 +1417,21 @@ impl SubFtl {
                             seq,
                         }));
                     }
-                    let t = self.full.program_page(
+                    let t = match self.full.try_program_page(
                         lpn,
                         &self.oobs_scratch,
                         &mut self.ssd,
                         &mut self.stats,
                         issue,
-                    );
+                    ) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            // End of life: the flush has nowhere to land;
+                            // older copies (full or subpage) stay mapped.
+                            self.reliability.latch_end_of_life(&mut self.stats);
+                            continue;
+                        }
+                    };
                     done = done.max(t);
                     for slot in 0..page {
                         let lsn = lpn * page + slot;
@@ -1370,7 +1584,12 @@ impl SubFtl {
             if self.ssd.crashed() {
                 return;
             }
-            debug_assert_eq!(self.blocks[victim as usize].valid_count, 0);
+            if self.blocks[victim as usize].valid_count > 0 {
+                // Evictions failed (full region exhausted): the survivors
+                // are sole copies, so skip the erase and stop the patrol
+                // rather than livelock on the same victim.
+                return;
+            }
             let gbi = self.blocks[victim as usize].gbi;
             match self.ssd.erase(self.ssd.geometry().block_addr(gbi), now) {
                 Ok(done) => {
@@ -1604,6 +1823,15 @@ impl Ftl for SubFtl {
                 self.scrub_disturbed_sub(limit, now);
             }
         }
+        if self.full.wear_leveling() {
+            let erases = self.ssd.device().stats().erases;
+            if erases >= self.next_wear_check {
+                self.next_wear_check = erases + 16;
+                self.full
+                    .wear_rotate(&mut self.ssd, &mut self.stats, now, self.wear_delta);
+                self.sub_wear_rotate(now);
+            }
+        }
         if now.saturating_since(self.last_scan) < self.scan_interval {
             return;
         }
@@ -1687,6 +1915,10 @@ impl Ftl for SubFtl {
 
     fn stats(&self) -> &FtlStats {
         &self.stats
+    }
+
+    fn end_of_life(&self) -> bool {
+        self.reliability.end_of_life()
     }
 
     fn ssd(&self) -> &Ssd {

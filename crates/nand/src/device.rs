@@ -14,7 +14,7 @@ use crate::error::{NandError, ReadFault};
 use crate::fault::{FaultConfig, FaultModel};
 use crate::geometry::{BlockAddr, Geometry, PageAddr, SubpageAddr};
 use crate::page::{Oob, Page, SubpageState, WrittenSubpage};
-use crate::reliability::{ReadEffort, RetentionModel, RetryLadder};
+use crate::reliability::{EraseDepth, ReadEffort, RetentionModel, RetryLadder};
 use crate::timing::NandTiming;
 
 /// One erase block: pages plus wear state.
@@ -22,6 +22,11 @@ use crate::timing::NandTiming;
 pub struct Block {
     pages: Vec<Page>,
     pe_cycles: u32,
+    /// Accumulated tunnel-oxide stress in milli-P/E. A full-depth erase
+    /// charges exactly 1000, so without adaptive erase this is always
+    /// `pe_cycles * 1000` and the effective wear equals the erase count;
+    /// AERO-style shallow erases charge less (see [`EraseDepth`]).
+    stress_milli: u64,
     bad: bool,
     /// The last erase was interrupted by power loss: contents are
     /// indeterminate and programs are rejected until a completed re-erase.
@@ -38,16 +43,35 @@ impl Block {
                 .map(|_| Page::new(geometry.subpages_per_page))
                 .collect(),
             pe_cycles: 0,
+            stress_milli: 0,
             bad: false,
             torn: false,
             reads_since_erase: 0,
         }
     }
 
-    /// Program/erase cycles this block has endured.
+    /// Program/erase cycles this block has endured (the raw erase count,
+    /// regardless of erase depth).
     #[must_use]
     pub fn pe_cycles(&self) -> u32 {
         self.pe_cycles
+    }
+
+    /// The block's *effective* wear in whole P/E cycles: accumulated
+    /// oxide stress over the stress of one full-depth erase. Equal to
+    /// [`Block::pe_cycles`] unless AERO-style shallow erases have charged
+    /// fractional stress. This is the wear that reliability judgments and
+    /// fault draws use.
+    #[must_use]
+    pub fn effective_pe(&self) -> u32 {
+        (self.stress_milli / 1000) as u32
+    }
+
+    /// Accumulated tunnel-oxide stress in milli-P/E (1000 per full-depth
+    /// erase).
+    #[must_use]
+    pub fn stress_milli_pe(&self) -> u64 {
+        self.stress_milli
     }
 
     /// True if the block is marked bad (factory-marked or grown).
@@ -147,6 +171,9 @@ pub struct DeviceStats {
     pub soft_decodes: u64,
     /// Reads that were over the base ECC limit but recovered by the ladder.
     pub recovered_reads: u64,
+    /// Erases performed at less than full depth (adaptive erase only; a
+    /// device without adaptive erase never counts one).
+    pub shallow_erases: u64,
 }
 
 impl DeviceStats {
@@ -186,6 +213,10 @@ pub struct NandDevice {
     forced_faults: HashSet<SubpageAddr>,
     faults: Option<FaultModel>,
     retry_ladder: Option<RetryLadder>,
+    /// AERO-style adaptive erase: erase depth (latency and oxide stress)
+    /// follows the block's effective wear. Off by default so seed runs are
+    /// bit-identical.
+    adaptive_erase: bool,
 }
 
 impl NandDevice {
@@ -223,7 +254,24 @@ impl NandDevice {
             forced_faults: HashSet::new(),
             faults: None,
             retry_ladder: None,
+            adaptive_erase: false,
         }
+    }
+
+    /// Enables (or disables) AERO-style adaptive erase: each erase picks a
+    /// depth from the block's effective wear (see
+    /// [`RetentionModel::erase_depth`]), charging proportionally less
+    /// latency ([`NandTiming::erase_for`]) and oxide stress. Disabled by
+    /// default; while disabled, every erase is full-depth and the device is
+    /// bit-identical to one without this feature.
+    pub fn set_adaptive_erase(&mut self, on: bool) {
+        self.adaptive_erase = on;
+    }
+
+    /// True if AERO-style adaptive erase is enabled.
+    #[must_use]
+    pub fn adaptive_erase(&self) -> bool {
+        self.adaptive_erase
     }
 
     /// Installs (or removes) a tiered read-retry ladder. Without one —
@@ -381,6 +429,38 @@ impl NandDevice {
         self.block(addr).pe_cycles()
     }
 
+    /// Effective wear of the block at `addr` (see [`Block::effective_pe`]).
+    /// Equal to [`NandDevice::pe_cycles`] unless adaptive erase has charged
+    /// fractional stress.
+    #[must_use]
+    pub fn effective_pe(&self, addr: BlockAddr) -> u32 {
+        self.block(addr).effective_pe()
+    }
+
+    /// Bus/cell occupancy of erasing the specific block at `addr`: the
+    /// full-depth cost unless adaptive erase is enabled, in which case the
+    /// cell time follows the depth the block's *current* wear selects.
+    /// Callers that charge erase time must sample this **before** calling
+    /// [`NandDevice::erase`], which mutates the wear. Out-of-range
+    /// addresses report the full-depth cost (the erase itself will be
+    /// rejected without running).
+    #[must_use]
+    pub fn erase_cost(&self, addr: BlockAddr) -> OpCost {
+        let in_range = addr.chip.channel < self.geometry.channels
+            && addr.chip.way < self.geometry.chips_per_channel
+            && addr.block < self.geometry.blocks_per_chip;
+        let cell = if self.adaptive_erase && in_range {
+            let depth = self.retention.erase_depth(self.block(addr).effective_pe());
+            self.timing.erase_for(depth)
+        } else {
+            self.timing.erase
+        };
+        OpCost {
+            bus: SimDuration::ZERO,
+            cell,
+        }
+    }
+
     /// Cell senses absorbed by the block at `addr` since its last erase
     /// (the read-disturb accumulator scrubbers patrol).
     #[must_use]
@@ -419,7 +499,9 @@ impl NandDevice {
         if page.page > 0 && block.pages[(page.page - 1) as usize].is_erased() {
             return Err(NandError::NonSequentialProgram { page: page.page });
         }
-        let pe = block.pe_cycles;
+        // Reliability follows *effective* wear (equal to the erase count
+        // unless adaptive erase charged fractional stress).
+        let pe = block.effective_pe();
         block.pages[page.page as usize].program_full(oobs, now, pe)?;
         self.stats.full_programs += 1;
         // The fault stream is consulted only after the command proved legal,
@@ -464,7 +546,7 @@ impl NandDevice {
         if block.torn {
             return Err(NandError::TornBlock);
         }
-        let pe = block.pe_cycles;
+        let pe = block.effective_pe();
         let destroyed =
             block.pages[addr.page.page as usize].program_subpage(addr.slot, oob, now, pe)?;
         self.stats.subpage_programs += 1;
@@ -672,7 +754,16 @@ impl NandDevice {
         if block.bad {
             return Err(NandError::BadBlock);
         }
-        let pe = block.pe_cycles;
+        let pe = block.effective_pe();
+        // Depth is chosen from the wear *before* this erase (matching the
+        // cost [`NandDevice::erase_cost`] reports); a full-depth erase is
+        // exactly one P/E cycle of stress, so the adaptive-off path is
+        // bit-identical to the classic accounting.
+        let depth = if self.adaptive_erase {
+            self.retention.erase_depth(pe)
+        } else {
+            EraseDepth::Deep
+        };
         // Consulted only after the command proved legal (see program_full).
         let failed = self.draw_erase_fault(pe);
         let block = self.block_mut(addr).expect("address already validated");
@@ -680,11 +771,15 @@ impl NandDevice {
             page.erase();
         }
         block.pe_cycles += 1;
+        block.stress_milli += depth.stress_milli_pe();
         // A completed erase recovers a torn block and discharges the
         // accumulated read disturb.
         block.torn = false;
         block.reads_since_erase = 0;
         self.stats.erases += 1;
+        if depth != EraseDepth::Deep {
+            self.stats.shallow_erases += 1;
+        }
         if failed {
             let block = self.block_mut(addr).expect("address already validated");
             block.bad = true;
@@ -774,6 +869,10 @@ impl NandDevice {
             page.tear_all();
         }
         block.pe_cycles += 1;
+        // An interrupted erase is charged full stress regardless of
+        // adaptive mode: no status handshake happened, so the controller
+        // must assume the deepest pulse sequence ran.
+        block.stress_milli += 1000;
         block.torn = true;
         // The erase pulse ran: the old charge pattern (and its disturb) is
         // gone even though the block is unusable until re-erased.
@@ -804,6 +903,9 @@ impl NandDevice {
     pub fn precycle(&mut self, pe_cycles: u32) {
         for b in &mut self.blocks {
             b.pe_cycles = b.pe_cycles.max(pe_cycles);
+            // Pre-aging is full-depth wear: keep the stress accumulator in
+            // lockstep so effective wear never lags the erase count.
+            b.stress_milli = b.stress_milli.max(u64::from(pe_cycles) * 1000);
         }
     }
 
@@ -1346,5 +1448,80 @@ mod tests {
         d.erase(blk, SimTime::ZERO).unwrap();
         d.precycle(1);
         assert_eq!(d.pe_cycles(blk), 2, "precycle must not lower wear");
+        assert_eq!(d.effective_pe(blk), 2, "stress must not lag either");
+    }
+
+    #[test]
+    fn without_adaptive_erase_stress_tracks_pe_exactly() {
+        let mut d = dev();
+        let blk = d.geometry().block_addr(0);
+        for _ in 0..5 {
+            d.erase(blk, SimTime::ZERO).unwrap();
+        }
+        d.tear_erase(blk).unwrap();
+        d.erase(blk, SimTime::ZERO).unwrap();
+        d.precycle(20);
+        assert_eq!(d.pe_cycles(blk), 20);
+        assert_eq!(d.effective_pe(blk), d.pe_cycles(blk));
+        assert_eq!(d.block(blk).stress_milli_pe(), 20_000);
+        assert_eq!(d.stats().shallow_erases, 0);
+        assert_eq!(d.erase_cost(blk), d.op_cost(OpKind::Erase));
+    }
+
+    #[test]
+    fn adaptive_erase_charges_fractional_stress_and_counts() {
+        let mut d = dev();
+        d.set_adaptive_erase(true);
+        let blk = d.geometry().block_addr(0);
+        // A fresh block sits deep in the shallow tier: 600 milli-P/E and
+        // 70 % of tBERS per erase.
+        assert_eq!(
+            d.erase_cost(blk).cell,
+            d.timing().erase_for(EraseDepth::Shallow)
+        );
+        for _ in 0..10 {
+            d.erase(blk, SimTime::ZERO).unwrap();
+        }
+        assert_eq!(d.pe_cycles(blk), 10);
+        assert_eq!(d.block(blk).stress_milli_pe(), 6_000);
+        assert_eq!(
+            d.effective_pe(blk),
+            6,
+            "shallow erases age the block slower"
+        );
+        assert_eq!(d.stats().shallow_erases, 10);
+        // A worn block falls back to full depth: same cost and stress as
+        // the non-adaptive path.
+        d.precycle(2000);
+        assert_eq!(d.erase_cost(blk), d.op_cost(OpKind::Erase));
+        let stress_before = d.block(blk).stress_milli_pe();
+        d.erase(blk, SimTime::ZERO).unwrap();
+        assert_eq!(d.block(blk).stress_milli_pe(), stress_before + 1000);
+        assert_eq!(d.stats().shallow_erases, 10, "deep erases are not counted");
+    }
+
+    #[test]
+    fn adaptive_erase_feeds_effective_wear_into_retention() {
+        // Two identically-programmed devices; the adaptive one performed
+        // its erases shallowly, so its effective wear — and therefore the
+        // judged BER — is lower for data of the same age.
+        let run = |adaptive: bool| -> u32 {
+            let mut d = dev();
+            d.set_adaptive_erase(adaptive);
+            let blk = d.geometry().block_addr(0);
+            for _ in 0..400 {
+                // Keep the block in the shallow tier only while adaptive:
+                // effective wear grows 0.6×.
+                d.erase(blk, SimTime::ZERO).unwrap();
+            }
+            let sp = blk.page(0).subpage(0);
+            d.program_subpage(sp, oob(1), SimTime::ZERO).unwrap();
+            match d.subpage_state(sp) {
+                SubpageState::Written(w) => w.pe_at_program,
+                other => panic!("expected written subpage, got {other:?}"),
+            }
+        };
+        assert_eq!(run(false), 400);
+        assert_eq!(run(true), 240, "0.6 stress per shallow erase");
     }
 }

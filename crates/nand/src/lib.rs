@@ -66,5 +66,5 @@ pub use error::{NandError, ReadFault};
 pub use fault::{FaultConfig, FaultModel};
 pub use geometry::{BlockAddr, ChipAddr, Geometry, PageAddr, SubpageAddr};
 pub use page::{Oob, Page, SubpageState, WrittenSubpage};
-pub use reliability::{ReadEffort, RetentionModel, RetryLadder};
+pub use reliability::{EraseDepth, ReadEffort, RetentionModel, RetryLadder};
 pub use timing::NandTiming;

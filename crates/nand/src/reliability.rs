@@ -245,6 +245,25 @@ impl RetentionModel {
         self.normalized_ber(pe_cycles, npp, elapsed) <= self.ecc_limit
     }
 
+    /// AERO-style erase-depth selection (arXiv 2404.10355): lightly-worn
+    /// blocks erase reliably with fewer, weaker pulses, so the controller
+    /// picks a depth from the block's *effective* wear. The thresholds are
+    /// conservative — a depth is only shallower than a full erase while the
+    /// block sits well below the reference endurance point, where
+    /// [`RetentionModel::pe_factor`] leaves ample margin to the ECC limit
+    /// for every `Npp` type, so retention capability is never the binding
+    /// constraint.
+    #[must_use]
+    pub fn erase_depth(&self, effective_pe: u32) -> EraseDepth {
+        if effective_pe.saturating_mul(2) < self.reference_pe {
+            EraseDepth::Shallow
+        } else if effective_pe < self.reference_pe {
+            EraseDepth::Reduced
+        } else {
+            EraseDepth::Deep
+        }
+    }
+
     /// How long an `Npp^k` subpage written on a block with `pe_cycles`
     /// cycles can retain data before crossing the ECC limit.
     ///
@@ -270,6 +289,50 @@ impl RetentionModel {
 impl Default for RetentionModel {
     fn default() -> Self {
         Self::paper_default()
+    }
+}
+
+/// How deeply a block is erased (AERO, arXiv 2404.10355).
+///
+/// A conventional erase always drives cells to the deepest erase state; AERO
+/// observes that lightly-worn blocks reach an erase-verifiable state with
+/// fewer, weaker pulses, trading unneeded reliability margin for latency and
+/// — because each pulse stresses the tunnel oxide — for lifetime. The model
+/// here charges each depth a fixed fraction of a full erase's latency and of
+/// a full erase's wear (in milli-P/E, so the bookkeeping stays integral):
+/// with adaptive erase disabled every erase is [`EraseDepth::Deep`], which
+/// costs exactly one P/E cycle and the full `tBERS` — bit-identical to the
+/// non-adaptive device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EraseDepth {
+    /// Lightly-worn block: ~60 % of the oxide stress, ~70 % of the latency.
+    Shallow,
+    /// Mid-life block: ~85 % of the stress, ~90 % of the latency.
+    Reduced,
+    /// Full-depth erase: exactly 1 P/E cycle of stress at full latency.
+    Deep,
+}
+
+impl EraseDepth {
+    /// Oxide stress charged by one erase at this depth, in milli-P/E
+    /// (a [`EraseDepth::Deep`] erase is exactly 1000, i.e. one P/E cycle).
+    #[must_use]
+    pub fn stress_milli_pe(self) -> u64 {
+        match self {
+            EraseDepth::Shallow => 600,
+            EraseDepth::Reduced => 850,
+            EraseDepth::Deep => 1000,
+        }
+    }
+
+    /// Erase latency at this depth, in percent of the full-depth `tBERS`.
+    #[must_use]
+    pub fn latency_percent(self) -> u64 {
+        match self {
+            EraseDepth::Shallow => 70,
+            EraseDepth::Reduced => 90,
+            EraseDepth::Deep => 100,
+        }
     }
 }
 
@@ -597,6 +660,29 @@ mod tests {
         );
         assert!(ReadEffort::NONE.is_free());
         assert!(!a.is_free());
+    }
+
+    #[test]
+    fn erase_depth_tiers_follow_effective_wear() {
+        let m = m();
+        assert_eq!(m.erase_depth(0), EraseDepth::Shallow);
+        assert_eq!(m.erase_depth(499), EraseDepth::Shallow);
+        assert_eq!(m.erase_depth(500), EraseDepth::Reduced);
+        assert_eq!(m.erase_depth(999), EraseDepth::Reduced);
+        assert_eq!(m.erase_depth(1000), EraseDepth::Deep);
+        assert_eq!(m.erase_depth(u32::MAX), EraseDepth::Deep);
+    }
+
+    #[test]
+    fn erase_depth_charges_are_monotone_and_deep_is_exact() {
+        // Deep must cost exactly one P/E cycle and 100 % latency so the
+        // adaptive-off path stays bit-identical to the classic device.
+        assert_eq!(EraseDepth::Deep.stress_milli_pe(), 1000);
+        assert_eq!(EraseDepth::Deep.latency_percent(), 100);
+        assert!(EraseDepth::Shallow.stress_milli_pe() < EraseDepth::Reduced.stress_milli_pe());
+        assert!(EraseDepth::Reduced.stress_milli_pe() < EraseDepth::Deep.stress_milli_pe());
+        assert!(EraseDepth::Shallow.latency_percent() < EraseDepth::Reduced.latency_percent());
+        assert!(EraseDepth::Reduced.latency_percent() < EraseDepth::Deep.latency_percent());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use esp_sim::SimDuration;
 
-use crate::reliability::ReadEffort;
+use crate::reliability::{EraseDepth, ReadEffort};
 
 /// Latency parameters for one NAND chip and its channel.
 ///
@@ -89,6 +89,15 @@ impl NandTiming {
         SimDuration::from_nanos(ns)
     }
 
+    /// Cell time of an erase at `depth` (AERO-style adaptive erase):
+    /// full `tBERS` for a [`EraseDepth::Deep`] erase, a fixed fraction of
+    /// it for shallower depths — fewer and weaker erase pulses finish
+    /// sooner.
+    #[must_use]
+    pub fn erase_for(&self, depth: EraseDepth) -> SimDuration {
+        SimDuration::from_nanos(self.erase.as_nanos() * depth.latency_percent() / 100)
+    }
+
     /// Time to move `bytes` across the channel.
     #[must_use]
     pub fn transfer(&self, bytes: u64) -> SimDuration {
@@ -148,6 +157,20 @@ mod tests {
             soft_decode: true,
         };
         assert_eq!(t.retry_penalty(soft), SimDuration::from_micros(1400));
+    }
+
+    #[test]
+    fn erase_depth_latencies_scale_tbers() {
+        let t = NandTiming::paper_default();
+        assert_eq!(t.erase_for(EraseDepth::Deep), t.erase);
+        assert_eq!(
+            t.erase_for(EraseDepth::Reduced),
+            SimDuration::from_micros(4_500)
+        );
+        assert_eq!(
+            t.erase_for(EraseDepth::Shallow),
+            SimDuration::from_micros(3_500)
+        );
     }
 
     #[test]

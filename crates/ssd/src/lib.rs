@@ -640,11 +640,12 @@ impl Ssd {
         self.read_full_graded_into(page, issue, out).1
     }
 
-    /// Schedules an erase: cell time only, no channel transfer.
-    fn schedule_erase(&mut self, block: BlockAddr, issue: SimTime) -> SimTime {
-        let cost = self.device.op_cost(OpKind::Erase);
+    /// Schedules an erase: cell time only, no channel transfer. `cell` is
+    /// the per-block erase occupancy, sampled by the caller *before* the
+    /// erase mutated the wear it depends on (adaptive erase).
+    fn schedule_erase(&mut self, block: BlockAddr, cell: SimDuration, issue: SimTime) -> SimTime {
         let (_, plane) = self.indices(block);
-        let done = self.planes[plane].occupy(issue, cost.cell);
+        let done = self.planes[plane].occupy(issue, cell);
         self.trace.emit(|| {
             TraceEvent::new(issue.as_nanos(), op_kind_name(OpKind::Erase))
                 .field("channel", u64::from(block.chip.channel))
@@ -682,14 +683,17 @@ impl Ssd {
                 }
             }
         }
+        // Sampled before the erase increments the wear the adaptive depth
+        // depends on; without adaptive erase this is the fixed tBERS.
+        let cell = self.device.erase_cost(block).cell;
         match self.device.erase(block, issue) {
             Ok(()) => {
                 self.commands_issued += 1;
-                Ok(self.schedule_erase(block, issue))
+                Ok(self.schedule_erase(block, cell, issue))
             }
             Err(error @ NandError::EraseFailed) => {
                 self.commands_issued += 1;
-                let at = self.schedule_erase(block, issue);
+                let at = self.schedule_erase(block, cell, issue);
                 Err(OpFailure { error, at })
             }
             Err(error) => Err(OpFailure { error, at: issue }),
@@ -866,6 +870,27 @@ mod tests {
         );
         // Channel untouched: a transfer on the same channel starts at 0.
         assert_eq!(s.channel_utilization()[0], 0.0);
+    }
+
+    #[test]
+    fn adaptive_erase_shortens_the_scheduled_occupancy() {
+        let mut s = ssd();
+        s.device_mut().set_adaptive_erase(true);
+        let blk = s.geometry().block_addr(0);
+        // Fresh block: shallow depth, 70 % of tBERS (5 ms -> 3.5 ms).
+        let done = s.erase(blk, SimTime::ZERO).unwrap();
+        assert_eq!(
+            done.saturating_since(SimTime::ZERO),
+            SimDuration::from_micros(3_500)
+        );
+        // Worn far past the reference point: full depth again.
+        s.device_mut().precycle(2000);
+        let issue = SimTime::from_secs(1);
+        let done = s.erase(blk, issue).unwrap();
+        assert_eq!(
+            done.saturating_since(issue),
+            s.device().op_cost(OpKind::Erase).cell
+        );
     }
 
     #[test]

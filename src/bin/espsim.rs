@@ -88,6 +88,16 @@ READ-RELIABILITY FLAGS (run / compare / replay):
     --read-only-on-loss <bool>  latch the FTL read-only after the first
                          uncorrectable host read           [default false]
 
+WEAR / LIFETIME FLAGS (run / compare / replay):
+    --wear-leveling <bool>  wear-aware GC victim selection plus static
+                         cold-block rotation               [default false]
+    --adaptive-erase <bool>  AERO-style shallow erases for lightly-worn
+                         blocks: less cell stress, faster erase, tracked
+                         as fractional P/E                 [default false]
+    --wear-delta <n>     max-min effective-P/E spread tolerated before a
+                         cold block is rotated (with --wear-leveling)
+                                                           [default 20]
+
 FAULT-INJECTION FLAGS (run / compare / replay / crash-sweep):
     --pfail <0..1>       per-program failure probability     [default 0]
     --efail <0..1>       per-erase failure probability (the block is then
@@ -234,6 +244,9 @@ fn config_from(flags: &Flags) -> Result<FtlConfig, Box<dyn Error>> {
         cfg.reclaim_threshold = Some(t);
     }
     cfg.read_only_on_loss = flags.parse_or("read-only-on-loss", false)?;
+    cfg.wear_leveling = flags.parse_or("wear-leveling", false)?;
+    cfg.adaptive_erase = flags.parse_or("adaptive-erase", false)?;
+    cfg.wear_delta_threshold = flags.parse_or("wear-delta", cfg.wear_delta_threshold)?;
     cfg.validate().map_err(|e| format!("invalid config: {e}"))?;
     Ok(cfg)
 }
@@ -397,6 +410,25 @@ fn print_report(r: &RunReport, lifetime: &esp_storage::ftl::FtlStats) {
             lifetime.writes_dropped_read_only
         );
     }
+    println!(
+        "  block wear      {}..{} P/E (mean {:.1}, delta {})",
+        r.wear.min_pe,
+        r.wear.max_pe,
+        r.wear.mean_pe,
+        r.wear.delta_pe()
+    );
+    if r.wear.shallow_erases > 0 || r.stats.wear_level_migrations > 0 {
+        println!(
+            "  wear leveling   {} shallow erases, {} cold-block rotations",
+            r.wear.shallow_erases, r.stats.wear_level_migrations
+        );
+    }
+    if lifetime.end_of_life_trips > 0 {
+        println!(
+            "  end of life     latched ({} OP shrinks, {} writes dropped)",
+            lifetime.op_shrinks, lifetime.writes_dropped_end_of_life
+        );
+    }
     // Non-zero only for mounts of a crashed image: pages cut mid-program
     // are quarantined (and still cost scan reads) at recovery time.
     if lifetime.torn_pages_quarantined > 0 {
@@ -442,6 +474,13 @@ fn bench_report(name: &str, flags: &Flags, cfg: &FtlConfig, trace: &Trace) -> Be
         b.meta("benchmark", Json::from(bench));
     }
     b.meta("requests", Json::from(trace.len() as u64));
+    if cfg.wear_leveling {
+        b.meta("wear_leveling", Json::from(true));
+        b.meta("wear_delta", Json::from(cfg.wear_delta_threshold));
+    }
+    if cfg.adaptive_erase {
+        b.meta("adaptive_erase", Json::from(true));
+    }
     b
 }
 
