@@ -187,3 +187,65 @@ fn main() -> ExitCode {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(runs: Vec<Json>) -> Json {
+        Json::obj([("name", Json::from("t")), ("runs", Json::Arr(runs))])
+    }
+
+    fn run_json(label: &str, iops: f64, p99: u64, waf: f64) -> Json {
+        Json::obj([
+            ("label", Json::from(label)),
+            ("iops", Json::from(iops)),
+            (
+                "latency",
+                Json::obj([("all", Json::obj([("p99_ns", Json::from(p99))]))]),
+            ),
+            ("waf", Json::obj([("total", Json::from(waf))])),
+        ])
+    }
+
+    /// Every regressing metric is collected — across metrics of one run
+    /// *and* across runs — before the caller exits nonzero, not just the
+    /// first one hit.
+    #[test]
+    fn all_regressions_are_reported_not_just_the_first() {
+        let base = doc(vec![
+            run_json("a", 1000.0, 100, 1.0),
+            run_json("b", 1000.0, 100, 1.0),
+        ]);
+        // Run `a` regresses on three metrics at once, run `b` on one.
+        let cand = doc(vec![
+            run_json("a", 500.0, 500, 3.0),
+            run_json("b", 1000.0, 400, 1.0),
+        ]);
+        let regs = compare(&base, &cand, 0.10);
+        let seen: Vec<(String, &str)> = regs.iter().map(|r| (r.label.clone(), r.metric)).collect();
+        assert_eq!(
+            seen,
+            vec![
+                ("a".to_string(), "iops"),
+                ("a".to_string(), "latency.all.p99_ns"),
+                ("a".to_string(), "waf.total"),
+                ("b".to_string(), "latency.all.p99_ns"),
+            ]
+        );
+    }
+
+    #[test]
+    fn improvements_and_small_drifts_compare_clean() {
+        let base = doc(vec![run_json("a", 1000.0, 100, 1.0)]);
+        let cand = doc(vec![run_json("a", 1050.0, 105, 0.9)]);
+        assert!(compare(&base, &cand, 0.10).is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_is_not_a_regression() {
+        let base = doc(vec![run_json("a", 0.0, 0, 0.0)]);
+        let cand = doc(vec![run_json("a", 10.0, 10, 1.0)]);
+        assert!(compare(&base, &cand, 0.10).is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! **Fleet degraded-mode experiment** — the headline tradeoff of the
+//! `esp-array` layer: what a device loss costs the host, and how rebuild
+//! throttling trades recovery speed against host tail latency.
+//!
+//! Four arms replay the same seeded workload over a 3-shard rotating-parity
+//! array of subFTL devices:
+//!
+//! * `healthy` — no fault: the striping/parity baseline.
+//! * `degraded` — device 1 dies a third of the way into the run, no spare:
+//!   every read landing on the dead shard is reconstructed from the
+//!   survivors (steady-state degraded operation).
+//! * `rebuild_fast` / `rebuild_slow` — same death with a hot spare
+//!   attached, background rebuild throttled at 50 µs vs 2 ms between
+//!   stripes: the rebuild-rate vs host-p99 tradeoff.
+//!
+//! The death point is *calibrated, not guessed*: the healthy arm runs
+//! first and records the victim shard's NAND-command count after
+//! preconditioning and after the replay; the faulted arms arm their death
+//! latch one third into that command window. All four arms are
+//! deterministic for a given seed.
+//!
+//! Fleet-level percentiles aggregate the per-arm read-latency histograms
+//! with [`HdrHistogram::merge`] — the same bucket-wise merge the
+//! multi-core sweep driver uses.
+//!
+//! Invariants asserted here (and locked by the committed baseline +
+//! `benchcmp` gate in CI): zero data loss on every parity arm, degraded
+//! reads appear only after the death, and the fast rebuild makes at least
+//! as much progress as the slow one.
+
+use esp_array::{shard_configs, ArrayConfig, ArrayHealth, EspArray};
+use esp_bench::{bench_report, big_flag, write_bench, FtlKind, TextTable, FILL_FRACTION};
+use esp_core::{precondition, run_trace_qd, Ftl, FtlConfig, RunReport};
+use esp_nand::Geometry;
+use esp_sim::{par_map, HdrHistogram, Json, SimDuration};
+use esp_workload::{generate, SyntheticConfig};
+
+const QUEUE_DEPTH: usize = 32;
+const SHARDS: usize = 3;
+const CHUNK_SECTORS: u64 = 4;
+const REBUILD_FAST_US: u64 = 50;
+const REBUILD_SLOW_US: u64 = 2000;
+/// Which device the fault kills (a data/parity shard, not the spare).
+const VICTIM: usize = 1;
+
+/// Per-shard device: a quarter of the experiment geometry (the fleet
+/// multiplies capacity back up by the shard count), full size with
+/// `--big`.
+fn shard_config(big: bool) -> FtlConfig {
+    let geometry = if big {
+        Geometry::paper_default()
+    } else {
+        Geometry {
+            channels: 4,
+            chips_per_channel: 2,
+            blocks_per_chip: 16,
+            pages_per_block: 64,
+            subpages_per_page: 4,
+            subpage_bytes: 4096,
+        }
+    };
+    FtlConfig {
+        geometry,
+        ..FtlConfig::paper_default()
+    }
+}
+
+struct Arm {
+    label: &'static str,
+    spare: bool,
+    /// `None` = no fault; `Some(op)` arms the victim's death latch.
+    die_at_op: Option<u64>,
+    rebuild_interval: SimDuration,
+}
+
+struct ArmResult {
+    label: &'static str,
+    report: RunReport,
+    health: ArrayHealth,
+    stats: esp_array::ArrayStats,
+}
+
+fn build_array(
+    cfg: &FtlConfig,
+    spare: bool,
+    die_at_op: Option<u64>,
+    interval: SimDuration,
+) -> EspArray {
+    let acfg = ArrayConfig {
+        shards: SHARDS,
+        parity: true,
+        spare,
+        chunk_sectors: CHUNK_SECTORS,
+        rebuild_interval: interval,
+        fail_on_eol: false,
+    };
+    let configs = shard_configs(
+        cfg,
+        acfg.devices(),
+        die_at_op.map(|op| (VICTIM, Some(op), None)),
+    );
+    let shards = configs
+        .iter()
+        .map(|c| FtlKind::Sub.build(c))
+        .collect::<Vec<_>>();
+    EspArray::new(acfg, shards)
+}
+
+fn run_arm(cfg: &FtlConfig, arm: &Arm, trace: &esp_workload::Trace) -> ArmResult {
+    let mut arr = build_array(cfg, arm.spare, arm.die_at_op, arm.rebuild_interval);
+    precondition(&mut arr, FILL_FRACTION);
+    let report = run_trace_qd(&mut arr, trace, QUEUE_DEPTH);
+    ArmResult {
+        label: arm.label,
+        report,
+        health: arr.health(),
+        stats: *arr.array_stats(),
+    }
+}
+
+fn main() {
+    let big = big_flag();
+    let cfg = shard_config(big);
+    let requests = if big { 240_000 } else { 30_000 };
+    let acfg_probe = ArrayConfig {
+        shards: SHARDS,
+        parity: true,
+        spare: false,
+        chunk_sectors: CHUNK_SECTORS,
+        rebuild_interval: SimDuration::from_micros(REBUILD_FAST_US),
+        fail_on_eol: false,
+    };
+    let host_sectors = {
+        let probe = build_array(&cfg, false, None, acfg_probe.rebuild_interval);
+        probe.logical_sectors()
+    };
+    let footprint = (host_sectors as f64 * FILL_FRACTION) as u64;
+    // Read-dominant: degraded operation hurts reads (every read landing
+    // on the dead shard fans out to all survivors), while writes *shrink*
+    // after a device loss (no data write to the dead shard, no parity
+    // update on dead-parity rows) — a write-heavy mix would mask the
+    // reconstruction overhead this figure is about.
+    let trace = generate(&SyntheticConfig {
+        footprint_sectors: footprint,
+        requests,
+        r_small: 0.5,
+        r_synch: 0.5,
+        read_fraction: 0.9,
+        zipf_theta: 0.9,
+        seed: 0xF1EE7,
+        ..SyntheticConfig::default()
+    });
+
+    println!(
+        "Fleet degraded-mode: {SHARDS}-shard rotating-parity subFTL array \
+         ({requests} requests, footprint {footprint} sectors)"
+    );
+    println!();
+
+    // Calibrate the death point from the healthy arm: the victim shard's
+    // NAND-command count after preconditioning and after the replay.
+    let (healthy, die_at_op) = {
+        let mut arr = build_array(&cfg, false, None, acfg_probe.rebuild_interval);
+        precondition(&mut arr, FILL_FRACTION);
+        let after_fill = arr.shard(VICTIM).ssd().device().ops_executed();
+        let report = run_trace_qd(&mut arr, &trace, QUEUE_DEPTH);
+        let after_run = arr.shard(VICTIM).ssd().device().ops_executed();
+        let die = after_fill + (after_run - after_fill) / 3;
+        let result = ArmResult {
+            label: "healthy",
+            report,
+            health: arr.health(),
+            stats: *arr.array_stats(),
+        };
+        (result, die)
+    };
+
+    let arms = [
+        Arm {
+            label: "degraded",
+            spare: false,
+            die_at_op: Some(die_at_op),
+            rebuild_interval: SimDuration::from_micros(REBUILD_FAST_US),
+        },
+        Arm {
+            label: "rebuild_fast",
+            spare: true,
+            die_at_op: Some(die_at_op),
+            rebuild_interval: SimDuration::from_micros(REBUILD_FAST_US),
+        },
+        Arm {
+            label: "rebuild_slow",
+            spare: true,
+            die_at_op: Some(die_at_op),
+            rebuild_interval: SimDuration::from_micros(REBUILD_SLOW_US),
+        },
+    ];
+    let mut results: Vec<ArmResult> = par_map(&arms, |_, arm| run_arm(&cfg, arm, &trace));
+    results.insert(0, healthy);
+
+    // The invariants the committed baseline locks.
+    for r in &results {
+        assert_eq!(
+            r.stats.data_loss_sectors(),
+            0,
+            "{}: parity array lost data",
+            r.label
+        );
+        if r.label == "healthy" {
+            assert_eq!(r.health, ArrayHealth::Healthy);
+            assert_eq!(r.stats.degraded_reads, 0);
+        } else {
+            assert_eq!(
+                r.stats.device_failures, 1,
+                "{}: death never tripped",
+                r.label
+            );
+            assert!(r.stats.degraded_reads > 0, "{}: no degraded reads", r.label);
+        }
+    }
+    let rows_done = |label: &str| {
+        results
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.stats.rebuild_rows_done)
+            .unwrap_or(0)
+    };
+    assert!(
+        rows_done("rebuild_fast") >= rows_done("rebuild_slow"),
+        "throttling must not speed the rebuild up"
+    );
+
+    let mut out = bench_report("fig_fleet_degraded", &cfg, big);
+    out.meta("requests", Json::from(requests));
+    out.meta("qd", Json::from(QUEUE_DEPTH as u64));
+    out.meta("shards", Json::from(SHARDS));
+    out.meta("die_at_op", Json::from(die_at_op));
+
+    let mut tbl = TextTable::new([
+        "arm",
+        "state",
+        "degraded reads",
+        "rebuild rows",
+        "read p99",
+        "IOPS",
+    ]);
+    let mut fleet = HdrHistogram::new();
+    for r in &results {
+        fleet.merge(&r.report.read_latency);
+        let s = &r.stats;
+        tbl.row([
+            r.label.to_string(),
+            r.health.to_string(),
+            s.degraded_reads.to_string(),
+            format!("{}/{}", s.rebuild_rows_done, s.rebuild_rows_total),
+            format!("{}", r.report.read_latency_summary().p99),
+            format!("{:.0}", r.report.iops),
+        ]);
+        out.push_run_with(
+            r.label,
+            &r.report,
+            [
+                ("array.state".to_string(), Json::from(r.health.to_string())),
+                (
+                    "array.degraded_reads".to_string(),
+                    Json::from(s.degraded_reads),
+                ),
+                (
+                    "array.reconstructed_sectors".to_string(),
+                    Json::from(s.reconstructed_sectors),
+                ),
+                (
+                    "array.rebuild_rows_done".to_string(),
+                    Json::from(s.rebuild_rows_done),
+                ),
+                (
+                    "array.data_loss_sectors".to_string(),
+                    Json::from(s.data_loss_sectors()),
+                ),
+            ],
+        );
+    }
+    println!("{}", tbl.render());
+    println!(
+        "fleet read latency (all arms merged): p50 {} ns, p99 {} ns over {} reads",
+        fleet.percentile(0.50),
+        fleet.percentile(0.99),
+        fleet.count()
+    );
+    write_bench(&out);
+}

@@ -293,6 +293,10 @@ impl Ftl for CgmFtl {
             lsn + u64::from(sectors) <= self.logical_sectors,
             "write beyond logical capacity"
         );
+        if self.ssd.device_failed() {
+            // A failed device executes nothing; the shard is inert.
+            return issue;
+        }
         if self.reliability.refuse_write(&mut self.stats) {
             return issue;
         }
@@ -322,6 +326,9 @@ impl Ftl for CgmFtl {
     }
 
     fn read(&mut self, lsn: u64, sectors: u32, issue: SimTime) -> SimTime {
+        if self.ssd.device_failed() {
+            return issue;
+        }
         self.stats.host_read_requests += 1;
         self.stats.host_read_sectors += u64::from(sectors);
         let mut reclaim = Vec::new();
@@ -357,6 +364,9 @@ impl Ftl for CgmFtl {
     }
 
     fn maintain(&mut self, now: SimTime) {
+        if self.ssd.device_failed() {
+            return;
+        }
         let reads = self.ssd.device().stats().reads;
         if self.reliability.patrol_due(reads) {
             if let Some(limit) = self.reliability.scrub_limit() {
@@ -379,6 +389,9 @@ impl Ftl for CgmFtl {
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
+        if self.ssd.device_failed() {
+            return issue;
+        }
         let mut chunks = std::mem::take(&mut self.chunks_scratch);
         self.buffer.drain_all_into(&mut chunks);
         let done = self.flush_chunks(&mut chunks, issue);
@@ -428,6 +441,10 @@ impl Ftl for CgmFtl {
 
     fn ssd(&self) -> &Ssd {
         &self.ssd
+    }
+
+    fn fail_device(&mut self) {
+        self.ssd.device_mut().kill();
     }
 }
 

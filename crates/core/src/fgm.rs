@@ -462,7 +462,7 @@ impl FgmFtl {
         }
         let mut now = issue;
         let done = loop {
-            if self.ssd.crashed() {
+            if self.ssd.halted() {
                 // Power is off: with GC fenced the pool may legitimately be
                 // empty, so bail out before alloc_page can panic over it.
                 break now;
@@ -502,7 +502,7 @@ impl FgmFtl {
     /// `exhausted` — the drive is at end of life.
     fn ensure_space(&mut self, issue: SimTime) -> SimTime {
         let mut now = issue;
-        while !self.ssd.crashed() && !self.exhausted && (self.free.len() as u32) < self.watermark {
+        while !self.ssd.halted() && !self.exhausted && (self.free.len() as u32) < self.watermark {
             match self.try_collect_victim(now, "watermark") {
                 Some(done) => now = done,
                 None if self.watermark > WATERMARK_FLOOR => {
@@ -590,7 +590,7 @@ impl FgmFtl {
             }
             let addr = self.ssd.geometry().block_addr(gbi).page(page);
             now = self.ssd.read_full_into(addr, now, &mut self.slots_scratch);
-            if self.ssd.crashed() {
+            if self.ssd.halted() {
                 // Power died mid-GC: the victim's remaining valid sectors
                 // stay on flash; this half-done collection dies with DRAM.
                 return now;
@@ -650,7 +650,7 @@ impl FgmFtl {
     /// first so they stop absorbing senses.
     fn scrub_disturbed(&mut self, limit: u64, issue: SimTime) -> SimTime {
         let mut now = issue;
-        while !self.ssd.crashed() {
+        while !self.ssd.halted() {
             let victim = (0..self.blocks.len() as u32).find(|&b| {
                 let blk = &self.blocks[b as usize];
                 !blk.retired
@@ -676,7 +676,7 @@ impl FgmFtl {
                 .ssd
                 .geometry()
                 .block_addr(self.blocks[victim as usize].gbi);
-            if self.ssd.device().reads_since_erase(addr) >= limit && !self.ssd.crashed() {
+            if self.ssd.device().reads_since_erase(addr) >= limit && !self.ssd.halted() {
                 let at = now.as_nanos();
                 self.trace.emit(|| {
                     TraceEvent::new(at, "gc.scrub")
@@ -701,7 +701,7 @@ impl FgmFtl {
         let mut now = issue;
         for group in sectors.chunks(self.nsub as usize) {
             now = self.ensure_space(now);
-            if self.ssd.crashed() {
+            if self.ssd.halted() {
                 return now;
             }
             let at = now.as_nanos();
@@ -788,7 +788,7 @@ impl FgmFtl {
                     group.push((c.start_lsn + i as u64, self.next_seq()));
                 }
                 let t = self.ensure_space(issue);
-                if !self.ssd.crashed() && !self.can_alloc_page() {
+                if !self.ssd.halted() && !self.can_alloc_page() {
                     // End of life: the flush has nowhere to land. Latch the
                     // refusal so subsequent writes are dropped up front;
                     // already-mapped sectors keep their old copies.
@@ -842,6 +842,10 @@ impl Ftl for FgmFtl {
             lsn + u64::from(sectors) <= self.logical_sectors,
             "write beyond logical capacity"
         );
+        if self.ssd.device_failed() {
+            // A failed device executes nothing; the shard is inert.
+            return issue;
+        }
         if self.reliability.refuse_write(&mut self.stats) {
             return issue;
         }
@@ -871,6 +875,9 @@ impl Ftl for FgmFtl {
     }
 
     fn read(&mut self, lsn: u64, sectors: u32, issue: SimTime) -> SimTime {
+        if self.ssd.device_failed() {
+            return issue;
+        }
         self.stats.host_read_requests += 1;
         self.stats.host_read_sectors += u64::from(sectors);
         // Group flash-resident sectors by physical page to batch reads.
@@ -943,6 +950,9 @@ impl Ftl for FgmFtl {
     }
 
     fn maintain(&mut self, now: SimTime) {
+        if self.ssd.device_failed() {
+            return;
+        }
         let reads = self.ssd.device().stats().reads;
         if self.reliability.patrol_due(reads) {
             if let Some(limit) = self.reliability.scrub_limit() {
@@ -959,6 +969,9 @@ impl Ftl for FgmFtl {
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
+        if self.ssd.device_failed() {
+            return issue;
+        }
         let mut chunks = std::mem::take(&mut self.chunks_scratch);
         self.buffer.drain_all_into(&mut chunks);
         let done = self.flush_chunks(&mut chunks, issue);
@@ -967,7 +980,7 @@ impl Ftl for FgmFtl {
     }
 
     fn idle(&mut self, from: SimTime, until: SimTime) {
-        if !self.background_gc {
+        if !self.background_gc || self.ssd.device_failed() {
             return;
         }
         use esp_nand::OpKind;
@@ -1054,6 +1067,10 @@ impl Ftl for FgmFtl {
 
     fn ssd(&self) -> &Ssd {
         &self.ssd
+    }
+
+    fn fail_device(&mut self) {
+        self.ssd.device_mut().kill();
     }
 }
 

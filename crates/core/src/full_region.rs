@@ -432,7 +432,7 @@ impl FullRegionEngine {
             }
         }
         let ready = self.ensure_space(ssd, stats, issue);
-        if !ssd.crashed() && !self.can_alloc_page() {
+        if !ssd.halted() && !self.can_alloc_page() {
             return Err(self.exhaustion());
         }
         let done = self.program_internal(lpn, oobs, ssd, stats, ready);
@@ -456,7 +456,7 @@ impl FullRegionEngine {
     ) -> SimTime {
         let mut now = issue;
         loop {
-            if ssd.crashed() {
+            if ssd.halted() {
                 // Power is off: nothing will reach the array, and with GC
                 // disabled the pool may legitimately be empty — bail out
                 // before alloc_page can panic over it.
@@ -559,7 +559,7 @@ impl FullRegionEngine {
             + ssd.device().op_cost(OpKind::ProgramFull).total();
         let erase = ssd.device().op_cost(OpKind::Erase).total();
         let mut now = issue;
-        while !ssd.crashed() && (self.free.len() as u32) < target {
+        while !ssd.halted() && (self.free.len() as u32) < target {
             let Some(v) = self.pick_victim(ssd) else {
                 break;
             };
@@ -592,7 +592,7 @@ impl FullRegionEngine {
     /// completes (`issue` if no GC was needed).
     pub fn ensure_space(&mut self, ssd: &mut Ssd, stats: &mut FtlStats, issue: SimTime) -> SimTime {
         let mut now = issue;
-        while !ssd.crashed() && (self.free.len() as u32) < self.watermark {
+        while !ssd.halted() && (self.free.len() as u32) < self.watermark {
             match self.try_collect_victim(ssd, stats, now, "watermark") {
                 Some(done) => now = done,
                 None if self.watermark > WATERMARK_FLOOR => {
@@ -630,7 +630,7 @@ impl FullRegionEngine {
         };
         let addr = self.page_addr(ptr, ssd);
         let read_done = ssd.read_full_into(addr, issue, &mut self.slots_scratch);
-        if ssd.crashed() {
+        if ssd.halted() {
             return issue;
         }
         let mut oobs = std::mem::take(&mut self.oobs_scratch);
@@ -675,7 +675,7 @@ impl FullRegionEngine {
         issue: SimTime,
     ) -> SimTime {
         let mut now = issue;
-        while !ssd.crashed() {
+        while !ssd.halted() {
             let victim = (0..self.blocks.len() as u32).find(|&b| {
                 let blk = &self.blocks[b as usize];
                 !blk.retired
@@ -697,7 +697,7 @@ impl FullRegionEngine {
             // it — a completed erase already reset its sense count.
             now = self.ensure_space(ssd, stats, now);
             let addr = ssd.geometry().block_addr(self.blocks[victim as usize].gbi);
-            if ssd.device().reads_since_erase(addr) >= limit && !ssd.crashed() {
+            if ssd.device().reads_since_erase(addr) >= limit && !ssd.halted() {
                 let gbi = self.blocks[victim as usize].gbi;
                 let at = now.as_nanos();
                 self.trace.emit(|| {
@@ -799,7 +799,7 @@ impl FullRegionEngine {
         issue: SimTime,
         threshold: u32,
     ) -> SimTime {
-        if !self.wear_leveling || self.exhausted || ssd.crashed() {
+        if !self.wear_leveling || self.exhausted || ssd.halted() {
             return issue;
         }
         let Some((_, max_pe)) = self.wear_spread(ssd) else {
@@ -854,7 +854,7 @@ impl FullRegionEngine {
             }
             let addr = ssd.geometry().block_addr(gbi).page(page);
             let read_done = ssd.read_full_into(addr, now, &mut self.slots_scratch);
-            if ssd.crashed() {
+            if ssd.halted() {
                 // Power died before the relocation finished: the victim's
                 // remaining valid pages stay where they are on flash, and
                 // the in-DRAM state of this half-done GC dies with power.

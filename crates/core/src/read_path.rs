@@ -34,6 +34,9 @@ pub(crate) fn note_read_result(
         // Power is off: the read never ran, and a remount will re-serve it
         // from durable state. Not a data fault of the FTL.
         Err(ReadFault::PowerLoss) => false,
+        // Whole-device failure: not a data fault of *this* FTL — the array
+        // layer above reconstructs the data from the surviving shards.
+        Err(ReadFault::DeviceDead) => false,
         Err(cause) => {
             stats.read_faults += 1;
             match cause {
@@ -41,7 +44,10 @@ pub(crate) fn note_read_result(
                 ReadFault::RetentionExceeded => stats.read_faults_retention += 1,
                 ReadFault::Torn => stats.read_faults_torn += 1,
                 ReadFault::Injected => stats.read_faults_injected += 1,
-                ReadFault::NotWritten | ReadFault::Padding | ReadFault::PowerLoss => {
+                ReadFault::NotWritten
+                | ReadFault::Padding
+                | ReadFault::PowerLoss
+                | ReadFault::DeviceDead => {
                     unreachable!("benign causes handled above")
                 }
             }
@@ -265,6 +271,7 @@ mod tests {
         note_read_result(&Err(ReadFault::NotWritten), 0, &mut stats);
         note_read_result(&Err(ReadFault::Padding), 0, &mut stats);
         note_read_result(&Err(ReadFault::PowerLoss), 0, &mut stats);
+        note_read_result(&Err(ReadFault::DeviceDead), 0, &mut stats);
         assert_eq!(stats.read_faults, 0);
     }
 

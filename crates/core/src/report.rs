@@ -359,9 +359,18 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
         .get("schema_version")
         .and_then(Json::as_u64)
         .ok_or("missing integer `schema_version`")?;
-    if version == 0 || version > BENCH_SCHEMA_VERSION {
+    if version > BENCH_SCHEMA_VERSION {
         return Err(format!(
-            "schema_version {version} unsupported (this library understands 1..={BENCH_SCHEMA_VERSION})"
+            "schema_version {version} is newer than this build supports \
+             (1..={BENCH_SCHEMA_VERSION}); the document was produced by a \
+             newer esp-storage — upgrade this tool (rebuild from the commit \
+             that wrote the document) or regenerate the document with this \
+             version"
+        ));
+    }
+    if version == 0 {
+        return Err(format!(
+            "schema_version 0 is invalid (this library understands 1..={BENCH_SCHEMA_VERSION})"
         ));
     }
     doc.get("name")
@@ -466,10 +475,26 @@ mod tests {
             m[0].1 = Json::from("not-esp-bench");
         }
         assert!(validate_bench(&j).is_err());
-        // Future schema version.
+        // Future schema version: rejected with an upgrade hint naming the
+        // offending version and the supported range.
         let mut j = sample_report().to_json();
         if let Json::Obj(m) = &mut j {
             m[1].1 = Json::from(BENCH_SCHEMA_VERSION + 1);
+        }
+        let err = validate_bench(&j).unwrap_err();
+        assert!(
+            err.contains("newer") && err.contains("upgrade"),
+            "future-version error should tell the user to upgrade: {err}"
+        );
+        assert!(
+            err.contains(&format!("schema_version {}", BENCH_SCHEMA_VERSION + 1))
+                && err.contains(&format!("1..={BENCH_SCHEMA_VERSION}")),
+            "future-version error should name versions: {err}"
+        );
+        // Version 0 is below the supported range.
+        let mut j = sample_report().to_json();
+        if let Json::Obj(m) = &mut j {
+            m[1].1 = Json::from(0u64);
         }
         assert!(validate_bench(&j).is_err());
         // A run stripped of a required field.

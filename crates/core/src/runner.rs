@@ -298,6 +298,14 @@ pub trait Ftl {
     /// The underlying timed SSD.
     fn ssd(&self) -> &Ssd;
 
+    /// Marks the underlying NAND device as failed (see
+    /// [`esp_nand::NandDevice::kill`]): every later command on it is
+    /// rejected without running. Array layers use this to retire a shard
+    /// whose FTL latched end-of-life, and tests use it to simulate a
+    /// sudden whole-device loss. The default does nothing, for FTL
+    /// implementations whose device cannot be externally killed.
+    fn fail_device(&mut self) {}
+
     /// Arms per-operation event tracing, retaining at most `capacity`
     /// events in a keep-newest ring. Tracing is off by default and costs
     /// one branch per potential event while off; FTLs without a recorder
@@ -317,7 +325,65 @@ pub trait Ftl {
     }
 }
 
+/// Applies a binary operator field-wise over two [`FtlStats`]; the struct
+/// literal keeps [`FtlStats::minus`] and [`FtlStats::plus`] exhaustive and
+/// in sync — adding a counter without extending this list fails to compile.
+macro_rules! ftl_stats_fieldwise {
+    ($a:expr, $b:expr, $u64op:expr, $f64op:expr) => {
+        FtlStats {
+            host_write_requests: $u64op($a.host_write_requests, $b.host_write_requests),
+            host_write_sectors: $u64op($a.host_write_sectors, $b.host_write_sectors),
+            host_read_requests: $u64op($a.host_read_requests, $b.host_read_requests),
+            host_read_sectors: $u64op($a.host_read_sectors, $b.host_read_sectors),
+            small_write_requests: $u64op($a.small_write_requests, $b.small_write_requests),
+            flash_sectors_consumed: $u64op($a.flash_sectors_consumed, $b.flash_sectors_consumed),
+            gc_flash_sectors: $u64op($a.gc_flash_sectors, $b.gc_flash_sectors),
+            gc_invocations: $u64op($a.gc_invocations, $b.gc_invocations),
+            gc_subpage_region: $u64op($a.gc_subpage_region, $b.gc_subpage_region),
+            gc_copied_sectors: $u64op($a.gc_copied_sectors, $b.gc_copied_sectors),
+            rmw_operations: $u64op($a.rmw_operations, $b.rmw_operations),
+            lap_migrations: $u64op($a.lap_migrations, $b.lap_migrations),
+            cold_evictions: $u64op($a.cold_evictions, $b.cold_evictions),
+            retention_evictions: $u64op($a.retention_evictions, $b.retention_evictions),
+            wear_swaps: $u64op($a.wear_swaps, $b.wear_swaps),
+            wear_level_migrations: $u64op($a.wear_level_migrations, $b.wear_level_migrations),
+            op_shrinks: $u64op($a.op_shrinks, $b.op_shrinks),
+            end_of_life_trips: $u64op($a.end_of_life_trips, $b.end_of_life_trips),
+            writes_dropped_end_of_life: $u64op(
+                $a.writes_dropped_end_of_life,
+                $b.writes_dropped_end_of_life,
+            ),
+            read_faults: $u64op($a.read_faults, $b.read_faults),
+            read_faults_destroyed: $u64op($a.read_faults_destroyed, $b.read_faults_destroyed),
+            read_faults_retention: $u64op($a.read_faults_retention, $b.read_faults_retention),
+            read_faults_torn: $u64op($a.read_faults_torn, $b.read_faults_torn),
+            read_faults_injected: $u64op($a.read_faults_injected, $b.read_faults_injected),
+            read_reclaims: $u64op($a.read_reclaims, $b.read_reclaims),
+            disturb_scrubs: $u64op($a.disturb_scrubs, $b.disturb_scrubs),
+            read_only_trips: $u64op($a.read_only_trips, $b.read_only_trips),
+            writes_dropped_read_only: $u64op(
+                $a.writes_dropped_read_only,
+                $b.writes_dropped_read_only,
+            ),
+            program_failures: $u64op($a.program_failures, $b.program_failures),
+            erase_failures: $u64op($a.erase_failures, $b.erase_failures),
+            blocks_retired: $u64op($a.blocks_retired, $b.blocks_retired),
+            write_retries: $u64op($a.write_retries, $b.write_retries),
+            torn_pages_quarantined: $u64op($a.torn_pages_quarantined, $b.torn_pages_quarantined),
+            small_waf_flash_sectors: $f64op($a.small_waf_flash_sectors, $b.small_waf_flash_sectors),
+            small_waf_host_sectors: $u64op($a.small_waf_host_sectors, $b.small_waf_host_sectors),
+        }
+    };
+}
+
 impl FtlStats {
+    /// Field-wise sum `self + other`; array layers use it to aggregate
+    /// per-shard counters into one fleet-level view.
+    #[must_use]
+    pub fn plus(&self, other: &FtlStats) -> FtlStats {
+        ftl_stats_fieldwise!(self, other, u64::wrapping_add, |x: f64, y: f64| x + y)
+    }
+
     /// Field-wise difference `self - earlier`; used to report per-run
     /// deltas when the same FTL instance replays several traces
     /// (preconditioning, then measurement).

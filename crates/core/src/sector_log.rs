@@ -467,7 +467,7 @@ impl SectorLogFtl {
     /// force-merged so it rejoins the erase rotation. At most one block per
     /// call; metered from `maintain`.
     fn log_wear_rotate(&mut self, issue: SimTime) -> SimTime {
-        if !self.wear_leveling || self.reliability.end_of_life() || self.ssd.crashed() {
+        if !self.wear_leveling || self.reliability.end_of_life() || self.ssd.halted() {
             return issue;
         }
         let mut max_pe = self
@@ -599,7 +599,7 @@ impl SectorLogFtl {
             oobs[slot] = Some(Oob { lsn, seq });
         }
         let (block, page, done) = loop {
-            if self.ssd.crashed() {
+            if self.ssd.halted() {
                 // Power is off: with log GC fenced the free pool may be
                 // empty, so bail out before alloc_log_page can panic.
                 return now;
@@ -652,7 +652,7 @@ impl SectorLogFtl {
 
     fn ensure_log_space(&mut self, issue: SimTime) -> SimTime {
         let mut now = issue;
-        while !self.ssd.crashed() && (self.log_free.len() as u32) < self.watermark {
+        while !self.ssd.halted() && (self.log_free.len() as u32) < self.watermark {
             // A shrunken log region (retired bad blocks) may dip below the
             // watermark before any block has filled; merge what exists and
             // let the allocator keep appending to the open blocks.
@@ -745,7 +745,7 @@ impl SectorLogFtl {
             }
             let addr = self.ssd.geometry().block_addr(gbi).page(page);
             now = self.ssd.read_full_into(addr, now, &mut self.slots_scratch);
-            if self.ssd.crashed() {
+            if self.ssd.halted() {
                 // Power died mid-merge: surviving log copies stay where
                 // they are on flash; this half-done merge dies with DRAM.
                 return Some(now);
@@ -766,7 +766,7 @@ impl SectorLogFtl {
             // The data region ran out of space mid-merge: the remaining
             // log entries are sole copies, so the victim must not be
             // erased. The caller degrades to end-of-life handling.
-            return if self.ssd.crashed() { Some(now) } else { None };
+            return if self.ssd.halted() { Some(now) } else { None };
         }
         let blk_addr = self.ssd.geometry().block_addr(gbi);
         match self.ssd.erase(blk_addr, now) {
@@ -944,6 +944,10 @@ impl Ftl for SectorLogFtl {
             lsn + u64::from(sectors) <= self.logical_sectors,
             "write beyond logical capacity"
         );
+        if self.ssd.device_failed() {
+            // A failed device executes nothing; the shard is inert.
+            return issue;
+        }
         if self.reliability.refuse_write(&mut self.stats) {
             return issue;
         }
@@ -973,6 +977,9 @@ impl Ftl for SectorLogFtl {
     }
 
     fn read(&mut self, lsn: u64, sectors: u32, issue: SimTime) -> SimTime {
+        if self.ssd.device_failed() {
+            return issue;
+        }
         self.stats.host_read_requests += 1;
         self.stats.host_read_sectors += u64::from(sectors);
         let page_sz = u64::from(SECTORS_PER_PAGE);
@@ -1066,6 +1073,9 @@ impl Ftl for SectorLogFtl {
     }
 
     fn maintain(&mut self, now: SimTime) {
+        if self.ssd.device_failed() {
+            return;
+        }
         // The patrol covers the data region; disturbed log entries are
         // relocated through full merges when their reads climb the ladder.
         let reads = self.ssd.device().stats().reads;
@@ -1087,6 +1097,9 @@ impl Ftl for SectorLogFtl {
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
+        if self.ssd.device_failed() {
+            return issue;
+        }
         let mut chunks = std::mem::take(&mut self.chunks_scratch);
         self.buffer.drain_all_into(&mut chunks);
         let done = self.flush_chunks(&mut chunks, issue);
@@ -1149,6 +1162,10 @@ impl Ftl for SectorLogFtl {
 
     fn ssd(&self) -> &Ssd {
         &self.ssd
+    }
+
+    fn fail_device(&mut self) {
+        self.ssd.device_mut().kill();
     }
 }
 

@@ -739,7 +739,7 @@ impl SubFtl {
                     return Some((b, now));
                 }
             }
-            if self.ssd.crashed() {
+            if self.ssd.halted() {
                 // Power is cut: programs and erases are no-ops from here
                 // on, so GC can never free a slot — bail out instead of
                 // re-collecting the same victims forever. The caller must
@@ -823,7 +823,7 @@ impl SubFtl {
                 // the refusal so subsequent writes are dropped up front.
                 // A power cut mid-write is not wear-out: the request is
                 // simply lost with the rest of the in-flight state.
-                if !self.ssd.crashed() {
+                if !self.ssd.halted() {
                     self.reliability.latch_end_of_life(&mut self.stats);
                 }
                 return now;
@@ -1271,7 +1271,7 @@ impl SubFtl {
     fn sub_wear_rotate(&mut self, issue: SimTime) -> SimTime {
         if !self.full.wear_leveling()
             || self.reliability.end_of_life()
-            || self.ssd.crashed()
+            || self.ssd.halted()
             || !self.reserve_usable()
         {
             return issue;
@@ -1520,7 +1520,7 @@ impl SubFtl {
     fn scrub_disturbed_sub(&mut self, limit: u64, issue: SimTime) {
         let mut now = issue;
         loop {
-            if self.ssd.crashed() {
+            if self.ssd.halted() {
                 return;
             }
             let Some(victim) = self.blocks.iter().position(|b| {
@@ -1558,7 +1558,7 @@ impl SubFtl {
                     .ssd
                     .read_subpage(self.sub_addr(victim, page, entry.slot), now);
                 now = rt;
-                if self.ssd.crashed() {
+                if self.ssd.halted() {
                     return;
                 }
                 match r {
@@ -1581,7 +1581,7 @@ impl SubFtl {
                 now = self.evict_to_full(&items[i..j], now);
                 i = j;
             }
-            if self.ssd.crashed() {
+            if self.ssd.halted() {
                 return;
             }
             if self.blocks[victim as usize].valid_count > 0 {
@@ -1681,6 +1681,10 @@ impl Ftl for SubFtl {
             lsn + u64::from(sectors) <= self.logical_sectors,
             "write beyond logical capacity"
         );
+        if self.ssd.device_failed() {
+            // A failed device executes nothing; the shard is inert.
+            return issue;
+        }
         if self.reliability.refuse_write(&mut self.stats) {
             return issue;
         }
@@ -1710,6 +1714,9 @@ impl Ftl for SubFtl {
     }
 
     fn read(&mut self, lsn: u64, sectors: u32, issue: SimTime) -> SimTime {
+        if self.ssd.device_failed() {
+            return issue;
+        }
         self.stats.host_read_requests += 1;
         self.stats.host_read_sectors += u64::from(sectors);
         let page = u64::from(SECTORS_PER_PAGE);
@@ -1807,6 +1814,9 @@ impl Ftl for SubFtl {
     }
 
     fn flush(&mut self, issue: SimTime) -> SimTime {
+        if self.ssd.device_failed() {
+            return issue;
+        }
         let mut chunks = std::mem::take(&mut self.chunks_scratch);
         self.buffer.drain_all_into(&mut chunks);
         let done = self.flush_chunks(&mut chunks, issue);
@@ -1815,6 +1825,9 @@ impl Ftl for SubFtl {
     }
 
     fn maintain(&mut self, now: SimTime) {
+        if self.ssd.device_failed() {
+            return;
+        }
         let reads = self.ssd.device().stats().reads;
         if self.reliability.patrol_due(reads) {
             if let Some(limit) = self.reliability.scrub_limit() {
@@ -1840,7 +1853,7 @@ impl Ftl for SubFtl {
     }
 
     fn idle(&mut self, from: SimTime, until: SimTime) {
-        if !self.background_gc {
+        if !self.background_gc || self.ssd.device_failed() {
             return;
         }
         // Keep the full-page region comfortably above its GC trigger.
@@ -1923,6 +1936,10 @@ impl Ftl for SubFtl {
 
     fn ssd(&self) -> &Ssd {
         &self.ssd
+    }
+
+    fn fail_device(&mut self) {
+        self.ssd.device_mut().kill();
     }
 }
 

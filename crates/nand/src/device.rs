@@ -217,6 +217,14 @@ pub struct NandDevice {
     /// follows the block's effective wear. Off by default so seed runs are
     /// bit-identical.
     adaptive_erase: bool,
+    /// Whole-device death latch: once set (fault-model trip or explicit
+    /// [`NandDevice::kill`]) every command fails with
+    /// [`NandError::DeviceDead`] / [`ReadFault::DeviceDead`], permanently.
+    dead: bool,
+    /// Executed NAND commands (programs, reads, erases — the commands that
+    /// actually ran, legal-and-accepted; illegal commands and power-cut
+    /// tears are excluded). Drives [`FaultConfig::die_at_op`].
+    ops_executed: u64,
 }
 
 impl NandDevice {
@@ -255,6 +263,8 @@ impl NandDevice {
             faults: None,
             retry_ladder: None,
             adaptive_erase: false,
+            dead: false,
+            ops_executed: 0,
         }
     }
 
@@ -484,6 +494,9 @@ impl NandDevice {
         oobs: &[Option<Oob>],
         now: SimTime,
     ) -> Result<(), NandError> {
+        if self.dead {
+            return Err(NandError::DeviceDead);
+        }
         let block = self.block_mut(page.block)?;
         if block.bad {
             return Err(NandError::BadBlock);
@@ -504,6 +517,7 @@ impl NandDevice {
         let pe = block.effective_pe();
         block.pages[page.page as usize].program_full(oobs, now, pe)?;
         self.stats.full_programs += 1;
+        self.note_op_executed();
         // The fault stream is consulted only after the command proved legal,
         // so illegal commands never advance (or even require) the RNG.
         if self.draw_program_fault(pe) {
@@ -536,6 +550,9 @@ impl NandDevice {
         oob: Oob,
         now: SimTime,
     ) -> Result<(), NandError> {
+        if self.dead {
+            return Err(NandError::DeviceDead);
+        }
         if !self.geometry.contains(addr) {
             return Err(NandError::AddressOutOfRange);
         }
@@ -551,6 +568,7 @@ impl NandDevice {
             block.pages[addr.page.page as usize].program_subpage(addr.slot, oob, now, pe)?;
         self.stats.subpage_programs += 1;
         self.stats.subpages_destroyed += destroyed.len() as u64;
+        self.note_op_executed();
         // Consulted only after the command proved legal (see program_full).
         if self.draw_program_fault(pe) {
             let idx = self.geometry.block_index(addr.page.block) as usize;
@@ -584,6 +602,9 @@ impl NandDevice {
         addr: SubpageAddr,
         now: SimTime,
     ) -> (Result<Oob, ReadFault>, ReadEffort) {
+        if self.dead {
+            return (Err(ReadFault::DeviceDead), ReadEffort::NONE);
+        }
         self.stats.reads += 1;
         let (result, effort) = self.judge_read(addr, now);
         self.account_slot(&result, effort);
@@ -593,6 +614,7 @@ impl NandDevice {
         }
         let idx = self.geometry.block_index(addr.page.block) as usize;
         self.blocks[idx].reads_since_erase += 1 + u64::from(effort.retry_steps);
+        self.note_op_executed();
         (result, effort)
     }
 
@@ -620,6 +642,11 @@ impl NandDevice {
         out: &mut Vec<Result<Oob, ReadFault>>,
     ) -> ReadEffort {
         let n_sub = self.geometry.subpages_per_page;
+        if self.dead {
+            out.clear();
+            out.resize(n_sub as usize, Err(ReadFault::DeviceDead));
+            return ReadEffort::NONE;
+        }
         out.clear();
         out.reserve(n_sub as usize);
         let results = out;
@@ -664,6 +691,7 @@ impl NandDevice {
             self.stats.soft_decodes += 1;
         }
         self.blocks[block_index as usize].reads_since_erase += 1 + u64::from(effort.retry_steps);
+        self.note_op_executed();
         effort
     }
 
@@ -750,6 +778,9 @@ impl NandDevice {
     ///   and the block becomes a *grown bad block* that rejects all further
     ///   program/erase commands.
     pub fn erase(&mut self, addr: BlockAddr, _now: SimTime) -> Result<(), NandError> {
+        if self.dead {
+            return Err(NandError::DeviceDead);
+        }
         let block = self.block_mut(addr)?;
         if block.bad {
             return Err(NandError::BadBlock);
@@ -780,6 +811,9 @@ impl NandDevice {
         if depth != EraseDepth::Deep {
             self.stats.shallow_erases += 1;
         }
+        self.note_op_executed();
+        let worn = self.block(addr).effective_pe();
+        self.note_wear(worn);
         if failed {
             let block = self.block_mut(addr).expect("address already validated");
             block.bad = true;
@@ -809,6 +843,9 @@ impl NandDevice {
     ///
     /// Same legality errors as [`NandDevice::program_full`].
     pub fn tear_program_full(&mut self, page: PageAddr) -> Result<(), NandError> {
+        if self.dead {
+            return Err(NandError::DeviceDead);
+        }
         let block = self.block_mut(page.block)?;
         if block.bad {
             return Err(NandError::BadBlock);
@@ -836,6 +873,9 @@ impl NandDevice {
     ///
     /// Same legality errors as [`NandDevice::program_subpage`].
     pub fn tear_program_subpage(&mut self, addr: SubpageAddr) -> Result<(), NandError> {
+        if self.dead {
+            return Err(NandError::DeviceDead);
+        }
         if !self.geometry.contains(addr) {
             return Err(NandError::AddressOutOfRange);
         }
@@ -861,6 +901,9 @@ impl NandDevice {
     ///
     /// Same legality errors as [`NandDevice::erase`].
     pub fn tear_erase(&mut self, addr: BlockAddr) -> Result<(), NandError> {
+        if self.dead {
+            return Err(NandError::DeviceDead);
+        }
         let block = self.block_mut(addr)?;
         if block.bad {
             return Err(NandError::BadBlock);
@@ -918,6 +961,51 @@ impl NandDevice {
     /// Removes an injected fault.
     pub fn clear_fault(&mut self, addr: SubpageAddr) {
         self.forced_faults.remove(&addr);
+    }
+
+    /// True once the whole device has failed (fault-model death trip or an
+    /// explicit [`NandDevice::kill`]). The latch is permanent: every
+    /// subsequent command fails without running.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Kills the device outright: every subsequent command fails with
+    /// [`NandError::DeviceDead`] / [`ReadFault::DeviceDead`]. Array layers
+    /// use this for externally-triggered failures (e.g. an FTL end-of-life
+    /// latch promoted to whole-device death).
+    pub fn kill(&mut self) {
+        self.dead = true;
+    }
+
+    /// Executed NAND commands so far (the counter
+    /// [`FaultConfig::die_at_op`] compares against).
+    #[must_use]
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
+    }
+
+    /// Counts one executed command and trips the death latch when the
+    /// configured op budget is exhausted. The command that reaches the
+    /// budget still completes — the device bricks *after* it.
+    fn note_op_executed(&mut self) {
+        self.ops_executed += 1;
+        if let Some(n) = self.faults.as_ref().and_then(|f| f.config().die_at_op) {
+            if self.ops_executed >= n {
+                self.dead = true;
+            }
+        }
+    }
+
+    /// Trips the death latch when a block's effective wear reaches the
+    /// configured P/E death threshold (controller-level wear-out trip).
+    fn note_wear(&mut self, effective_pe: u32) {
+        if let Some(t) = self.faults.as_ref().and_then(|f| f.config().die_at_pe) {
+            if effective_pe >= t {
+                self.dead = true;
+            }
+        }
     }
 }
 
@@ -1523,5 +1611,101 @@ mod tests {
         };
         assert_eq!(run(false), 400);
         assert_eq!(run(true), 240, "0.6 stress per shallow erase");
+    }
+
+    #[test]
+    fn kill_bricks_every_operation() {
+        let mut d = dev();
+        let blk = d.geometry().block_addr(0);
+        d.program_subpage(blk.page(0).subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        assert!(!d.is_dead());
+        d.kill();
+        assert!(d.is_dead());
+        assert_eq!(
+            d.program_full(blk.page(1), &[None; 4], SimTime::ZERO),
+            Err(NandError::DeviceDead)
+        );
+        assert_eq!(
+            d.program_subpage(blk.page(0).subpage(1), oob(2), SimTime::ZERO),
+            Err(NandError::DeviceDead)
+        );
+        assert_eq!(d.erase(blk, SimTime::ZERO), Err(NandError::DeviceDead));
+        // Reads of previously-written data fail too: the device is gone.
+        assert_eq!(
+            d.read_subpage(blk.page(0).subpage(0), SimTime::ZERO),
+            Err(ReadFault::DeviceDead)
+        );
+        assert_eq!(d.tear_program_full(blk.page(1)), Err(NandError::DeviceDead));
+        assert_eq!(d.tear_erase(blk), Err(NandError::DeviceDead));
+    }
+
+    #[test]
+    fn die_at_op_latches_after_exactly_n_commands() {
+        let mut d = dev();
+        d.set_faults(FaultConfig {
+            die_at_op: Some(3),
+            ..FaultConfig::default()
+        });
+        let blk = d.geometry().block_addr(0);
+        // Commands 1 and 2 execute normally.
+        d.program_subpage(blk.page(0).subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            d.read_subpage(blk.page(0).subpage(0), SimTime::ZERO)
+                .unwrap()
+                .lsn,
+            1
+        );
+        assert!(!d.is_dead());
+        // Command 3 (a read) still completes — then the latch trips.
+        assert_eq!(
+            d.read_subpage(blk.page(0).subpage(0), SimTime::ZERO)
+                .unwrap()
+                .lsn,
+            1
+        );
+        assert!(d.is_dead());
+        assert_eq!(d.ops_executed(), 3);
+        assert_eq!(
+            d.read_subpage(blk.page(0).subpage(0), SimTime::ZERO),
+            Err(ReadFault::DeviceDead)
+        );
+        // Rejected commands do not advance the executed-op counter.
+        assert_eq!(d.ops_executed(), 3);
+    }
+
+    #[test]
+    fn die_at_pe_latches_when_wear_crosses_threshold() {
+        let mut d = dev();
+        d.set_faults(FaultConfig {
+            die_at_pe: Some(3),
+            ..FaultConfig::default()
+        });
+        let blk = d.geometry().block_addr(0);
+        d.erase(blk, SimTime::ZERO).unwrap();
+        d.erase(blk, SimTime::ZERO).unwrap();
+        assert!(!d.is_dead(), "two cycles below the three-cycle trip");
+        d.erase(blk, SimTime::ZERO).unwrap();
+        assert!(d.is_dead(), "third cycle reaches the wear-out trip");
+        assert_eq!(d.erase(blk, SimTime::ZERO), Err(NandError::DeviceDead));
+    }
+
+    #[test]
+    fn death_disabled_config_never_trips() {
+        // A fault config with both death modes off behaves exactly like a
+        // fault-free device over an op-heavy sequence.
+        let mut d = dev();
+        d.set_faults(FaultConfig::default());
+        let blk = d.geometry().block_addr(0);
+        for i in 0..200u64 {
+            d.program_subpage(blk.page(0).subpage(0), oob(i), SimTime::ZERO)
+                .unwrap();
+            d.read_subpage(blk.page(0).subpage(0), SimTime::ZERO)
+                .unwrap();
+            d.erase(blk, SimTime::ZERO).unwrap();
+        }
+        assert!(!d.is_dead());
+        assert_eq!(d.ops_executed(), 600);
     }
 }

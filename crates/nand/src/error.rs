@@ -50,6 +50,10 @@ pub enum NandError {
     /// The block's last erase was interrupted by power loss; programs are
     /// rejected until the block is successfully re-erased.
     TornBlock,
+    /// The whole device has failed (fault-model death trip or an explicit
+    /// [`kill`](crate::NandDevice::kill)); no command will ever succeed
+    /// again.
+    DeviceDead,
 }
 
 impl fmt::Display for NandError {
@@ -83,6 +87,7 @@ impl fmt::Display for NandError {
                     "block erase was interrupted; re-erase before programming"
                 )
             }
+            NandError::DeviceDead => write!(f, "whole device has failed"),
         }
     }
 }
@@ -110,6 +115,9 @@ pub enum ReadFault {
     /// Power is off: the command was issued at or after the injected crash
     /// point and never reached the device.
     PowerLoss,
+    /// The whole device has failed; the read never ran. An array layer
+    /// reconstructs the data from the surviving devices.
+    DeviceDead,
 }
 
 impl fmt::Display for ReadFault {
@@ -128,6 +136,7 @@ impl fmt::Display for ReadFault {
                 write!(f, "program or erase cut mid-operation; data uncorrectable")
             }
             ReadFault::PowerLoss => write!(f, "power is off at the injected crash point"),
+            ReadFault::DeviceDead => write!(f, "whole device has failed"),
         }
     }
 }
@@ -149,10 +158,12 @@ mod tests {
             NandError::EraseFailed.to_string(),
             NandError::BadBlock.to_string(),
             NandError::TornBlock.to_string(),
+            NandError::DeviceDead.to_string(),
             ReadFault::NotWritten.to_string(),
             ReadFault::RetentionExceeded.to_string(),
             ReadFault::Torn.to_string(),
             ReadFault::PowerLoss.to_string(),
+            ReadFault::DeviceDead.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

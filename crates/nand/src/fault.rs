@@ -44,6 +44,14 @@ pub struct FaultConfig {
     /// When true, failure probabilities scale with block wear (the
     /// [`RetentionModel::pe_factor`] curve), so worn blocks fail more often.
     pub wear_coupling: bool,
+    /// Whole-device death: the device bricks itself after executing this
+    /// many NAND commands (programs, reads, erases — the same executed-op
+    /// count that advances the fault stream). `None` disables the mode.
+    pub die_at_op: Option<u64>,
+    /// Whole-device death: the device bricks itself as soon as any block's
+    /// effective P/E count reaches this threshold (a controller-level
+    /// wear-out trip). `None` disables the mode.
+    pub die_at_pe: Option<u32>,
 }
 
 impl Default for FaultConfig {
@@ -54,6 +62,8 @@ impl Default for FaultConfig {
             erase_fail_prob: 0.0,
             factory_bad_blocks: 0,
             wear_coupling: false,
+            die_at_op: None,
+            die_at_pe: None,
         }
     }
 }
@@ -73,6 +83,15 @@ impl FaultConfig {
             if !p.is_finite() || !(0.0..1.0).contains(&p) {
                 return Err(format!("{name} must be in [0, 1), got {p}"));
             }
+        }
+        if self.die_at_op == Some(0) {
+            return Err(
+                "die_at_op must be at least 1 (0 would brick the device before any command)"
+                    .to_string(),
+            );
+        }
+        if self.die_at_pe == Some(0) {
+            return Err("die_at_pe must be at least 1".to_string());
         }
         Ok(())
     }

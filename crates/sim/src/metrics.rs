@@ -443,6 +443,85 @@ mod tests {
         }
     }
 
+    /// Full-state equality: two histograms agree on every bucket and every
+    /// derived statistic, not just on a few spot-checked percentiles.
+    fn assert_same(a: &HdrHistogram, b: &HdrHistogram, what: &str) {
+        assert_eq!(a.count(), b.count(), "{what}: count");
+        assert_eq!(a.min(), b.min(), "{what}: min");
+        assert_eq!(a.max(), b.max(), "{what}: max");
+        assert_eq!(a.sum, b.sum, "{what}: sum");
+        assert_eq!(a.buckets, b.buckets, "{what}: buckets");
+    }
+
+    /// Property test for fleet-level aggregation: merging per-shard (or
+    /// per-arm, or per-core) histograms must give the same result in any
+    /// order and with any grouping, so fleet percentiles never depend on
+    /// the order devices happen to report in.
+    #[test]
+    fn merge_is_order_independent_and_associative() {
+        let mut rng = crate::Rng::seed_from(0x9136_5EED);
+        for trial in 0..32 {
+            // A fleet of 2–6 histograms with wildly different shapes,
+            // including empty ones.
+            let parts: Vec<HdrHistogram> = (0..2 + trial % 5)
+                .map(|_| {
+                    let mut h = HdrHistogram::new();
+                    for _ in 0..rng.next_below(200) {
+                        // Span many orders of magnitude so bucket edges get
+                        // exercised, not just the exact small-value range.
+                        let v = rng.next_u64() >> rng.next_below(64);
+                        h.record(v);
+                    }
+                    h
+                })
+                .collect();
+
+            // Left fold in presentation order.
+            let mut forward = HdrHistogram::new();
+            for p in &parts {
+                forward.merge(p);
+            }
+            // Same parts, reversed order.
+            let mut reverse = HdrHistogram::new();
+            for p in parts.iter().rev() {
+                reverse.merge(p);
+            }
+            assert_same(&forward, &reverse, "trial {trial}: commutativity");
+
+            // A shuffled order (deterministic Fisher–Yates).
+            let mut order: Vec<usize> = (0..parts.len()).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.next_below(i as u64 + 1) as usize);
+            }
+            let mut shuffled = HdrHistogram::new();
+            for &i in &order {
+                shuffled.merge(&parts[i]);
+            }
+            assert_same(&forward, &shuffled, "trial {trial}: order independence");
+
+            // Associativity: (a ∪ b) ∪ c == a ∪ (b ∪ c) for every split
+            // point, merging pre-combined groups instead of single parts.
+            for split in 1..parts.len() {
+                let mut left = HdrHistogram::new();
+                for p in &parts[..split] {
+                    left.merge(p);
+                }
+                let mut right = HdrHistogram::new();
+                for p in &parts[split..] {
+                    right.merge(p);
+                }
+                let mut grouped = left.clone();
+                grouped.merge(&right);
+                assert_same(&forward, &grouped, "trial {trial}: split {split}");
+                // And the mirrored grouping.
+                let mut mirrored = HdrHistogram::new();
+                mirrored.merge(&right);
+                mirrored.merge(&left);
+                assert_same(&forward, &mirrored, "trial {trial}: mirror {split}");
+            }
+        }
+    }
+
     #[test]
     fn summary_fields_are_consistent() {
         let mut h = HdrHistogram::new();

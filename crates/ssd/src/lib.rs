@@ -355,6 +355,27 @@ impl Ssd {
         self.crashed
     }
 
+    /// Whether the underlying device has failed outright (fault-model death
+    /// trip or an explicit [`NandDevice::kill`]). A failed device behaves
+    /// like a powered-off one — programs and erases are silently dropped,
+    /// reads return [`ReadFault::DeviceDead`] — except that the condition is
+    /// permanent: there is no power to restore. Array layers poll this to
+    /// drive degraded-mode reconstruction.
+    #[must_use]
+    pub fn device_failed(&self) -> bool {
+        self.device.is_dead()
+    }
+
+    /// Whether the device can no longer execute commands, for either
+    /// reason: power is cut ([`Ssd::crashed`]) or the device failed
+    /// outright ([`Ssd::device_failed`]). The FTLs' mid-operation abort
+    /// points check this — a GC or migration pass bails out of a dead
+    /// device exactly the way it bails out of a power cut.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.crashed || self.device.is_dead()
+    }
+
     /// Number of NAND commands executed so far. Counts every command that
     /// reached the array — including status-failed programs and erases —
     /// but not illegal commands (rejected before execution), not the torn
@@ -465,7 +486,7 @@ impl Ssd {
         oobs: &[Option<Oob>],
         issue: SimTime,
     ) -> Result<SimTime, OpFailure> {
-        if self.crashed {
+        if self.crashed || self.device.is_dead() {
             return Ok(issue);
         }
         if self.crash_due(issue) {
@@ -512,7 +533,7 @@ impl Ssd {
         oob: Oob,
         issue: SimTime,
     ) -> Result<SimTime, OpFailure> {
-        if self.crashed {
+        if self.crashed || self.device.is_dead() {
             return Ok(issue);
         }
         if self.crash_due(issue) {
@@ -566,6 +587,9 @@ impl Ssd {
         addr: SubpageAddr,
         issue: SimTime,
     ) -> (Result<Oob, ReadFault>, ReadEffort, SimTime) {
+        if self.device.is_dead() {
+            return (Err(ReadFault::DeviceDead), ReadEffort::NONE, issue);
+        }
         if self.crashed || self.crash_due(issue) {
             // A read cut by power loss returns nothing and corrupts
             // nothing: the sense never completed and the cells are
@@ -616,6 +640,11 @@ impl Ssd {
         out: &mut Vec<Result<Oob, ReadFault>>,
     ) -> (ReadEffort, SimTime) {
         let n = self.geometry().subpages_per_page;
+        if self.device.is_dead() {
+            out.clear();
+            out.resize(n as usize, Err(ReadFault::DeviceDead));
+            return (ReadEffort::NONE, issue);
+        }
         if self.crashed || self.crash_due(issue) {
             self.crashed |= self.crash_point.is_some();
             out.clear();
@@ -665,7 +694,7 @@ impl Ssd {
     /// [`NandError::EraseFailed`] costs a full erase and leaves the block
     /// marked bad.
     pub fn erase(&mut self, block: BlockAddr, issue: SimTime) -> Result<SimTime, OpFailure> {
-        if self.crashed {
+        if self.crashed || self.device.is_dead() {
             return Ok(issue);
         }
         if self.crash_due(issue) {
@@ -1154,6 +1183,55 @@ mod tests {
             assert!(e.get("lat_ns").unwrap() > 0);
             assert!(e.get("channel").is_some() && e.get("block").is_some());
         }
+    }
+
+    #[test]
+    fn dead_device_drops_writes_and_fails_reads_without_cost() {
+        let mut s = ssd();
+        let page = s.geometry().block_addr(0).page(0);
+        s.program_subpage(page.subpage(0), oob(7), SimTime::ZERO)
+            .unwrap();
+        assert!(!s.device_failed());
+        s.device_mut().kill();
+        assert!(s.device_failed());
+        let before = s.makespan();
+        let issued = s.commands_issued();
+        // Programs and erases are silently dropped, like a powered-off
+        // device: the FTL sees success and never livelocks on retries.
+        let done = s
+            .program_subpage(page.subpage(1), oob(8), SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(done, SimTime::from_secs(1));
+        s.erase(page.block, SimTime::from_secs(1)).unwrap();
+        // Reads fail at issue with the array-visible cause.
+        let (r, effort, at) = s.read_subpage_graded(page.subpage(0), SimTime::from_secs(2));
+        assert_eq!(r, Err(ReadFault::DeviceDead));
+        assert_eq!(effort, ReadEffort::NONE);
+        assert_eq!(at, SimTime::from_secs(2));
+        let (rs, _) = s.read_full(page, SimTime::from_secs(2));
+        assert!(rs.iter().all(|r| *r == Err(ReadFault::DeviceDead)));
+        // Nothing reached the array: no time, no command count.
+        assert_eq!(s.makespan(), before);
+        assert_eq!(s.commands_issued(), issued);
+    }
+
+    #[test]
+    fn fault_model_death_trip_surfaces_through_the_ssd() {
+        let mut s = ssd();
+        s.device_mut().set_faults(esp_nand::FaultConfig {
+            die_at_op: Some(2),
+            ..esp_nand::FaultConfig::default()
+        });
+        let page = s.geometry().block_addr(0).page(0);
+        s.program_subpage(page.subpage(0), oob(1), SimTime::ZERO)
+            .unwrap();
+        assert!(!s.device_failed());
+        // The second executed command completes, then the device bricks.
+        let (r, _) = s.read_subpage(page.subpage(0), SimTime::from_secs(1));
+        assert_eq!(r.unwrap().lsn, 1);
+        assert!(s.device_failed());
+        let (r, _) = s.read_subpage(page.subpage(0), SimTime::from_secs(2));
+        assert_eq!(r, Err(ReadFault::DeviceDead));
     }
 
     #[test]

@@ -113,8 +113,12 @@ pub fn load_msr_trace<R: Read>(r: R, options: &MsrOptions) -> Result<Trace, Pars
             continue; // zero-length records occur in the corpus; skip them
         }
         let lsn = offset / SECTOR_BYTES;
-        let end = (offset + size).div_ceil(SECTOR_BYTES);
-        let sectors = (end - lsn) as u32;
+        let end = offset
+            .checked_add(size)
+            .ok_or_else(|| malformed(format!("offset {offset} + size {size} overflows")))?
+            .div_ceil(SECTOR_BYTES);
+        let sectors = u32::try_from(end - lsn)
+            .map_err(|_| malformed(format!("size {size} spans too many sectors")))?;
         let base = *base_ts.get_or_insert(ts);
         let ticks = ts.saturating_sub(base);
         records.push((ticks, op, lsn, sectors));
@@ -242,6 +246,27 @@ Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
         }
         let unknown_type = "128,hm,0,Flush,0,4096,1\n";
         assert!(load_msr_trace(unknown_type.as_bytes(), &MsrOptions::default()).is_err());
+    }
+
+    #[test]
+    fn offset_overflow_and_giant_sizes_are_errors_not_panics() {
+        let overflow = format!("1,hm,0,Write,{},4096,1\n", u64::MAX - 100);
+        match load_msr_trace(overflow.as_bytes(), &MsrOptions::default()) {
+            Err(ParseTraceError::Malformed { line, reason }) => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("overflow"), "reason: {reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // A size spanning more sectors than u32 can count.
+        let giant = format!("1,hm,0,Write,0,{},1\n", u64::from(u32::MAX) * 8192);
+        match load_msr_trace(giant.as_bytes(), &MsrOptions::default()) {
+            Err(ParseTraceError::Malformed { line, reason }) => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("sectors"), "reason: {reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -147,7 +147,10 @@ pub fn load_trace<R: Read>(r: R) -> Result<Trace, ParseTraceError> {
         if sectors == 0 {
             return Err(malformed("zero-length request".into()));
         }
-        if lsn + u64::from(sectors) > footprint.unwrap_or(0) {
+        let end = lsn
+            .checked_add(u64::from(sectors))
+            .ok_or_else(|| malformed(format!("lsn {lsn} + length {sectors} overflows")))?;
+        if end > footprint.unwrap_or(0) {
             return Err(malformed("request exceeds footprint".into()));
         }
         let arrival = SimTime::from_nanos(arrival);
@@ -222,6 +225,18 @@ mod tests {
     fn zero_length_rejected() {
         let text = "footprint 4\n0 W 0 0 -\n";
         assert!(load_trace(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn lsn_overflow_is_an_error_not_a_panic() {
+        let text = format!("footprint 100\n0 W {} 8 -\n", u64::MAX - 2);
+        match load_trace(text.as_bytes()) {
+            Err(ParseTraceError::Malformed { line, reason }) => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("overflow"), "reason: {reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -15,11 +15,13 @@ use std::error::Error;
 use std::fs::File;
 use std::process::ExitCode;
 
+use esp_storage::array::{shard_configs, ArrayConfig, EspArray, KillSpec};
 use esp_storage::ftl::{
     precondition, random_workload, run_trace_qd, BenchReport, CgmFtl, CrashHarness, CrashOp,
     CrashTarget, FgmFtl, Ftl, FtlConfig, RunReport, SectorLogFtl, SubFtl,
 };
 use esp_storage::nand::{FaultConfig, Geometry, RetryLadder};
+use esp_storage::sim::SimDuration;
 use esp_storage::sim::{Json, Rng};
 use esp_storage::workload::{
     generate, load_msr_trace, load_trace, save_trace, Benchmark, MsrOptions, SyntheticConfig, Trace,
@@ -97,6 +99,25 @@ WEAR / LIFETIME FLAGS (run / compare / replay):
     --wear-delta <n>     max-min effective-P/E spread tolerated before a
                          cold block is rotated (with --wear-leveling)
                                                            [default 20]
+
+ARRAY FLAGS (run / replay):
+    --array <n>          stripe the host space across n simulated SSDs
+                         (each shard is a full --ftl + device stack)
+    --parity <bool>      rotating parity, RAID-5 style: survive one
+                         device loss via reconstruction   [default true]
+    --spare <bool>       keep a hot spare and rebuild onto it after a
+                         device loss                      [default true]
+    --chunk <n>          stripe chunk in 4 KB sectors     [default 4]
+    --rebuild-interval-us <n>  throttle: minimum gap between background
+                         rebuild stripes, microseconds    [default 200]
+    --fail-on-eol <bool> retire a shard whose FTL latches end of life
+                                                          [default false]
+    --kill-device <d>    arm device d's death latch (0-based; the spare,
+                         when armed, is the last device)
+    --kill-at-op <n>     the armed device fails after n NAND commands,
+                         preconditioning included  [default 1000 when
+                         --kill-device is given without --kill-at-pe]
+    --kill-at-pe <n>     ... or when any block reaches n P/E cycles
 
 FAULT-INJECTION FLAGS (run / compare / replay / crash-sweep):
     --pfail <0..1>       per-program failure probability     [default 0]
@@ -336,7 +357,11 @@ fn trace_from(flags: &Flags, cfg: &FtlConfig, force_file: bool) -> Result<Trace,
     }
     let requests: u64 = flags.parse_or("requests", 20_000)?;
     let seed: u64 = flags.parse_or("seed", 42)?;
-    let footprint = (cfg.logical_sectors() as f64 * 0.625) as u64;
+    let default_footprint = (cfg.logical_sectors() as f64 * 0.625) as u64;
+    let footprint: u64 = flags.parse_or("footprint", default_footprint)?;
+    if footprint == 0 {
+        return Err("--footprint must be nonzero".into());
+    }
     if let Some(b) = flags.get("benchmark") {
         let bench = benchmark_from(b)?;
         return postprocess(generate(&bench.config(footprint, requests, seed)));
@@ -446,16 +471,136 @@ fn print_report(r: &RunReport, lifetime: &esp_storage::ftl::FtlStats) {
     }
 }
 
-fn check_capacity(trace: &Trace, cfg: &FtlConfig) -> Result<(), Box<dyn Error>> {
-    if trace.footprint_sectors > cfg.logical_sectors() {
+fn check_capacity(trace: &Trace, logical_sectors: u64) -> Result<(), Box<dyn Error>> {
+    if trace.footprint_sectors > logical_sectors {
         return Err(format!(
-            "trace footprint ({} sectors) exceeds the device's logical              capacity ({} sectors); pick a larger --geometry",
+            "trace footprint ({} sectors) exceeds the device's logical              capacity ({logical_sectors} sectors); pick a larger --geometry",
             trace.footprint_sectors,
-            cfg.logical_sectors()
         )
         .into());
     }
     Ok(())
+}
+
+/// Parses the array flags; `None` when `--array` is absent (plain
+/// single-device run). Array-only flags without `--array` are an error.
+fn array_config_from(flags: &Flags) -> Result<Option<ArrayConfig>, Box<dyn Error>> {
+    let Some(n) = flags.get("array") else {
+        for f in [
+            "parity",
+            "spare",
+            "chunk",
+            "rebuild-interval-us",
+            "fail-on-eol",
+            "kill-device",
+            "kill-at-op",
+            "kill-at-pe",
+        ] {
+            if flags.get(f).is_some() {
+                return Err(format!("--{f} needs --array <n>").into());
+            }
+        }
+        return Ok(None);
+    };
+    let shards: usize = n.parse().map_err(|e| format!("bad --array: {e}"))?;
+    let cfg = ArrayConfig {
+        shards,
+        parity: flags.parse_or("parity", true)?,
+        spare: flags.parse_or("spare", true)?,
+        chunk_sectors: flags.parse_or("chunk", 4)?,
+        rebuild_interval: SimDuration::from_micros(flags.parse_or("rebuild-interval-us", 200)?),
+        fail_on_eol: flags.parse_or("fail-on-eol", false)?,
+    };
+    cfg.validate().map_err(|e| format!("invalid array: {e}"))?;
+    Ok(Some(cfg))
+}
+
+/// Parses `--kill-device` and its trigger flags into a death-latch arm
+/// for [`shard_configs`].
+fn kill_from(flags: &Flags, devices: usize) -> Result<Option<KillSpec>, Box<dyn Error>> {
+    let Some(d) = flags.get("kill-device") else {
+        if flags.get("kill-at-op").is_some() || flags.get("kill-at-pe").is_some() {
+            return Err("--kill-at-op / --kill-at-pe need --kill-device <d>".into());
+        }
+        return Ok(None);
+    };
+    let dev: usize = d.parse().map_err(|e| format!("bad --kill-device: {e}"))?;
+    if dev >= devices {
+        return Err(
+            format!("--kill-device {dev} out of range (array has {devices} devices)").into(),
+        );
+    }
+    let at_pe: Option<u32> = match flags.get("kill-at-pe") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --kill-at-pe: {e}"))?),
+    };
+    let at_op: Option<u64> = match flags.get("kill-at-op") {
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --kill-at-op: {e}"))?),
+        None if at_pe.is_none() => Some(1000),
+        None => None,
+    };
+    Ok(Some((dev, at_op, at_pe)))
+}
+
+fn print_array_report(arr: &EspArray) {
+    let s = arr.array_stats();
+    let cfg = arr.config();
+    println!("=== array ===");
+    println!("  state           {}", arr.health());
+    println!(
+        "  devices         {} active{}",
+        cfg.shards,
+        if cfg.spare { " + 1 spare" } else { "" }
+    );
+    println!(
+        "  parity          {}",
+        if cfg.parity {
+            "rotating (RAID-5 style)"
+        } else {
+            "none (RAID-0)"
+        }
+    );
+    println!("  device failures {}", s.device_failures);
+    println!("  degraded reads  {}", s.degraded_reads);
+    println!("  reconstructed   {} sectors", s.reconstructed_sectors);
+    if s.rebuild_rows_total > 0 {
+        println!(
+            "  rebuild         {}/{} rows",
+            s.rebuild_rows_done, s.rebuild_rows_total
+        );
+    }
+    println!("  data loss       {}", s.data_loss_sectors());
+}
+
+/// Array health and counters for the BENCH report, so `benchcmp` and the
+/// CI smoke jobs can gate on them.
+fn array_extras(arr: &EspArray) -> Vec<(String, Json)> {
+    let s = arr.array_stats();
+    vec![
+        ("array.state".into(), Json::from(arr.health().to_string())),
+        ("array.devices".into(), Json::from(arr.devices())),
+        (
+            "array.device_failures".into(),
+            Json::from(s.device_failures),
+        ),
+        ("array.degraded_reads".into(), Json::from(s.degraded_reads)),
+        (
+            "array.reconstructed_sectors".into(),
+            Json::from(s.reconstructed_sectors),
+        ),
+        (
+            "array.rebuild_rows_done".into(),
+            Json::from(s.rebuild_rows_done),
+        ),
+        (
+            "array.rebuild_rows_total".into(),
+            Json::from(s.rebuild_rows_total),
+        ),
+        (
+            "array.data_loss_sectors".into(),
+            Json::from(s.data_loss_sectors()),
+        ),
+    ]
 }
 
 /// Starts a BENCH report carrying the run's provenance (geometry, queue
@@ -506,10 +651,38 @@ fn emit_json(
 fn cmd_run(flags: &Flags, force_file: bool) -> Result<(), Box<dyn Error>> {
     let cfg = config_from(flags)?;
     let trace = trace_from(flags, &cfg, force_file)?;
-    check_capacity(&trace, &cfg)?;
     let qd: usize = flags.parse_or("qd", 8)?;
     let fill: f64 = flags.parse_or("fill", 0.625)?;
     let events: usize = flags.parse_or("events", 0)?;
+    if let Some(acfg) = array_config_from(flags)? {
+        let kill = kill_from(flags, acfg.devices())?;
+        let configs = shard_configs(&cfg, acfg.devices(), kill);
+        let kind = flags.get("ftl").unwrap_or("sub");
+        let shards = configs
+            .iter()
+            .map(|c| build_ftl(kind, c))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut arr = EspArray::new(acfg, shards);
+        check_capacity(&trace, arr.logical_sectors())?;
+        println!("device: {} x {} shards", cfg.geometry, arr.devices());
+        precondition(&mut arr, fill);
+        if events > 0 {
+            arr.enable_tracing(events);
+        }
+        let report = run_trace_qd(&mut arr, &trace, qd);
+        print_report(&report, arr.stats());
+        print_array_report(&arr);
+        let mut bench = bench_report("espsim_run", flags, &cfg, &trace);
+        bench.meta("array", Json::from(arr.devices()));
+        let mut extras = array_extras(&arr);
+        extras.push((
+            "mapping_memory_bytes".to_string(),
+            Json::from(arr.mapping_memory_bytes()),
+        ));
+        bench.push_run_with(report.ftl, &report, extras);
+        return emit_json(flags, bench, (events > 0).then_some(&arr as &dyn Ftl));
+    }
+    check_capacity(&trace, cfg.logical_sectors())?;
     let mut ftl = build_ftl(flags.get("ftl").unwrap_or("sub"), &cfg)?;
     println!("device: {}", cfg.geometry);
     precondition(ftl.as_mut(), fill);
@@ -533,7 +706,7 @@ fn cmd_run(flags: &Flags, force_file: bool) -> Result<(), Box<dyn Error>> {
 fn cmd_compare(flags: &Flags) -> Result<(), Box<dyn Error>> {
     let cfg = config_from(flags)?;
     let trace = trace_from(flags, &cfg, false)?;
-    check_capacity(&trace, &cfg)?;
+    check_capacity(&trace, cfg.logical_sectors())?;
     let qd: usize = flags.parse_or("qd", 8)?;
     let fill: f64 = flags.parse_or("fill", 0.625)?;
     println!("device: {}", cfg.geometry);

@@ -17,6 +17,7 @@
 //! | [`nand`] | `esp-nand` | NAND device model, ESP semantics, retention model |
 //! | [`ssd`] | `esp-ssd` | 8-channel × 4-way timed SSD |
 //! | [`ftl`] | `esp-core` | subFTL + cgmFTL/fgmFTL + trace replay |
+//! | [`array`](mod@array) | `esp-array` | striped/parity multi-device arrays, rebuild |
 //! | [`workload`] | `esp-workload` | traces, generators, benchmark profiles |
 //!
 //! # Quickstart
@@ -63,6 +64,12 @@ pub mod ssd {
 /// The FTLs (subFTL and baselines) and the trace-replay engine.
 pub mod ftl {
     pub use esp_core::*;
+}
+
+/// Fault-tolerant multi-device arrays: striping, rotating parity,
+/// degraded-mode reconstruction and hot-spare rebuild.
+pub mod array {
+    pub use esp_array::*;
 }
 
 /// Traces, synthetic workloads and the paper's benchmark profiles.

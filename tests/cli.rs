@@ -182,6 +182,119 @@ fn bad_inputs_fail_with_messages() {
 }
 
 #[test]
+fn malformed_trace_fails_with_line_number_not_a_panic() {
+    let dir = std::env::temp_dir().join("espsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Line 3 of the trace file is garbage: the loader must surface a typed
+    // parse error naming the line, and espsim must exit nonzero with it —
+    // not panic, not silently skip the line.
+    let path = dir.join("bad.trace");
+    std::fs::write(&path, "footprint 100\n0 W 0 1 S\nthis is not a request\n").unwrap();
+    let (ok, _, stderr) = espsim(&["replay", "--ftl", "sub", "--trace", path.to_str().unwrap()]);
+    assert!(!ok, "malformed trace must fail the process");
+    assert!(
+        stderr.contains("line 3"),
+        "error should name the offending line: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "parse failure must not be a panic: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+
+    // Same contract for the MSR CSV importer.
+    let path = dir.join("bad.csv");
+    std::fs::write(
+        &path,
+        "1000,h,0,Write,4096,4096,1\n2000,h,0,Write,junk,1,1\n",
+    )
+    .unwrap();
+    let (ok, _, stderr) = espsim(&["stats", "--msr", path.to_str().unwrap()]);
+    assert!(!ok, "malformed MSR record must fail the process");
+    assert!(
+        stderr.contains("line 2") && stderr.contains("offset"),
+        "error should name line and field: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn array_run_survives_device_loss_and_raid0_does_not() {
+    let base = [
+        "run",
+        "--ftl",
+        "sub",
+        "--array",
+        "3",
+        "--requests",
+        "6000",
+        "--read-fraction",
+        "0.4",
+        "--rsmall",
+        "0.5",
+        "--qd",
+        "4",
+        "--geometry",
+        "2x2x16x32",
+        "--op",
+        "0.4",
+        "--fill",
+        "0.3",
+        "--kill-device",
+        "1",
+    ];
+
+    // Parity + hot spare: the kill degrades the array, rebuild starts, and
+    // no host data is lost.
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--kill-at-op", "5000", "--rebuild-interval-us", "50"]);
+    let (ok, stdout, stderr) = espsim(&args);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("=== array ==="),
+        "missing array block:\n{stdout}"
+    );
+    assert!(stdout.contains("data loss       0"), "lost data:\n{stdout}");
+    assert!(
+        stdout.contains("state           Rebuilding") || stdout.contains("state           Healthy"),
+        "array should be rebuilding or recovered:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("device failures 1"),
+        "kill never tripped:\n{stdout}"
+    );
+
+    // RAID-0 (no parity, no spare): the same kill is unrecoverable.
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend([
+        "--parity",
+        "false",
+        "--spare",
+        "false",
+        "--kill-at-op",
+        "1500",
+    ]);
+    let (ok, stdout, stderr) = espsim(&args);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("state           Failed"),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("data loss       0"),
+        "RAID-0 must lose data:\n{stdout}"
+    );
+}
+
+#[test]
+fn array_flags_without_array_are_rejected() {
+    let (ok, _, stderr) = espsim(&["run", "--ftl", "sub", "--kill-device", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("--array"), "stderr: {stderr}");
+}
+
+#[test]
 fn run_json_emits_valid_bench_report_with_events() {
     use esp_storage::ftl::validate_bench;
     use esp_storage::sim::Json;
