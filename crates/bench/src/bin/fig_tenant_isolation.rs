@@ -1,0 +1,222 @@
+//! **Tenant-isolation experiment** — the headline tradeoff of the
+//! multi-tenant front end: what an unthrottled noisy neighbor costs a
+//! latency-sensitive tenant, and how much of that inflation per-tenant
+//! QoS (token-bucket admission + weighted-fair DRR dispatch) claws back.
+//!
+//! Three arms replay seeded workloads through one subFTL device:
+//!
+//! * `victim_alone` — the victim tenant only: an open-arrival mixed
+//!   read/write stream far below device saturation. Its response p99 is
+//!   the no-interference reference.
+//! * `noisy_qos_off` — the victim plus a closed-loop synchronous-write
+//!   tenant with no QoS: the neighbor saturates the device and the
+//!   victim's response tail inflates.
+//! * `noisy_qos_on` — same pair, but the neighbor is token-bucket
+//!   limited and the victim carries a higher DRR weight: admission
+//!   control restores slack and the victim's tail collapses back toward
+//!   the reference.
+//!
+//! Invariants asserted here (and locked by the committed baseline +
+//! `benchcmp` gate in CI): the unthrottled neighbor inflates the victim
+//! response p99 by at least `INTERFERENCE_MIN`×, QoS brings it down to
+//! at most `QOS_MAX_FRACTION` of the unthrottled tail, and the token
+//! bucket holds the neighbor to its configured rate.
+
+use esp_bench::{bench_report, big_flag, write_bench, TextTable, FILL_FRACTION};
+use esp_core::{
+    precondition, run_tenants_qd, tenants_json, FtlConfig, SubFtl, TenantConfig, TenantRunReport,
+    TenantSet,
+};
+use esp_sim::{Json, SimDuration};
+use esp_workload::{generate, SyntheticConfig, Trace};
+
+const QUEUE_DEPTH: usize = 8;
+/// Victim arrival spacing: 1 ms → 1000 requests/s, well under the
+/// device's measured sync-small-write saturation (~5900 IOPS at this
+/// geometry and queue depth).
+const VICTIM_INTER_ARRIVAL_US: u64 = 1000;
+const VICTIM_REQUESTS: u64 = 6_000;
+/// Enough closed-loop requests that the neighbor saturates the device
+/// for the whole victim arrival window in the unthrottled arm.
+const NOISY_REQUESTS: u64 = 40_000;
+/// The QoS arm's admission cap for the neighbor, requests/second: far
+/// below saturation, so capacity is freed for the victim.
+const NOISY_RATE: f64 = 2_000.0;
+const NOISY_BURST: u32 = 8;
+const VICTIM_WEIGHT: u32 = 4;
+/// The victim's response-time SLO in the QoS arm (also exercises the
+/// per-tenant attainment accounting end to end).
+const VICTIM_SLO_MS: u64 = 10;
+/// `noisy_qos_off` must inflate the victim p99 at least this much.
+const INTERFERENCE_MIN: f64 = 1.5;
+/// `noisy_qos_on` must hold the victim p99 to at most this fraction of
+/// the unthrottled arm's.
+const QOS_MAX_FRACTION: f64 = 0.7;
+
+fn victim_trace(cfg: &FtlConfig) -> Trace {
+    let footprint = (cfg.logical_sectors() as f64 * FILL_FRACTION / 4.0) as u64;
+    generate(&SyntheticConfig {
+        footprint_sectors: footprint,
+        requests: VICTIM_REQUESTS,
+        r_small: 1.0,
+        r_synch: 1.0,
+        read_fraction: 0.5,
+        inter_arrival: SimDuration::from_micros(VICTIM_INTER_ARRIVAL_US),
+        zipf_theta: 0.9,
+        small_zone_sectors: Some((footprint / 64).max(64)),
+        rewrite_distance: 512,
+        seed: 0x71C7,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn noisy_trace(cfg: &FtlConfig) -> Trace {
+    let footprint = (cfg.logical_sectors() as f64 * FILL_FRACTION / 2.0) as u64;
+    generate(&SyntheticConfig {
+        footprint_sectors: footprint,
+        requests: NOISY_REQUESTS,
+        r_small: 1.0,
+        r_synch: 1.0,
+        zipf_theta: 0.9,
+        small_zone_sectors: Some((footprint / 64).max(64)),
+        rewrite_distance: 512,
+        seed: 0x0157,
+        ..SyntheticConfig::default()
+    })
+}
+
+/// One arm: build the tenant set, precondition a fresh device, replay.
+fn run_arm(cfg: &FtlConfig, label: &str, noisy: bool, qos: bool) -> TenantRunReport {
+    let mut set = TenantSet::new();
+    let mut victim = TenantConfig::new("victim").slo(SimDuration::from_millis(VICTIM_SLO_MS));
+    if qos {
+        victim = victim.weight(VICTIM_WEIGHT);
+    }
+    set.add(victim, victim_trace(cfg));
+    if noisy {
+        let mut neighbor = TenantConfig::new("noisy");
+        if qos {
+            neighbor = neighbor.limit(NOISY_RATE, NOISY_BURST);
+        }
+        set.add(neighbor, noisy_trace(cfg));
+    }
+    let mut ftl = SubFtl::new(cfg);
+    precondition(&mut ftl, FILL_FRACTION);
+    let report = run_tenants_qd(&mut ftl, &set, QUEUE_DEPTH);
+    println!(
+        "  {label}: makespan {}, device {:.0} IOPS",
+        report.run.makespan, report.run.iops
+    );
+    report
+}
+
+/// Victim response p99 of one arm, nanoseconds.
+fn victim_p99(r: &TenantRunReport) -> u64 {
+    let t = &r.tenants[0];
+    assert_eq!(t.name, "victim");
+    let s = t.response.summary();
+    assert!(s.count > 0, "victim recorded no response samples");
+    s.p99
+}
+
+fn main() {
+    let big = big_flag();
+    let cfg = esp_bench::experiment_config(big);
+    println!(
+        "Tenant isolation: victim at {}/s vs closed-loop neighbor, subFTL qd {QUEUE_DEPTH}",
+        1_000_000 / VICTIM_INTER_ARRIVAL_US
+    );
+    println!();
+
+    let arms: [(&str, bool, bool); 3] = [
+        ("victim_alone", false, false),
+        ("noisy_qos_off", true, false),
+        ("noisy_qos_on", true, true),
+    ];
+    let results: Vec<(&str, TenantRunReport)> = arms
+        .iter()
+        .map(|&(label, noisy, qos)| (label, run_arm(&cfg, label, noisy, qos)))
+        .collect();
+    println!();
+
+    let p99 = |label: &str| {
+        victim_p99(
+            &results
+                .iter()
+                .find(|(l, _)| *l == label)
+                .expect("arm ran")
+                .1,
+        )
+    };
+    let alone = p99("victim_alone");
+    let qos_off = p99("noisy_qos_off");
+    let qos_on = p99("noisy_qos_on");
+
+    // The invariants the committed baseline locks.
+    assert!(
+        qos_off as f64 >= alone as f64 * INTERFERENCE_MIN,
+        "no interference to mitigate: victim p99 {qos_off} ns with the \
+         neighbor vs {alone} ns alone"
+    );
+    assert!(
+        (qos_on as f64) <= qos_off as f64 * QOS_MAX_FRACTION,
+        "QoS failed to cap the victim tail: p99 {qos_on} ns with QoS vs \
+         {qos_off} ns without"
+    );
+    for (label, r) in &results {
+        if *label != "noisy_qos_on" {
+            continue;
+        }
+        let noisy = &r.tenants[1];
+        assert!(
+            noisy.iops <= NOISY_RATE * 1.1,
+            "token bucket leaked: neighbor ran at {:.0} IOPS against a \
+             {NOISY_RATE}/s cap",
+            noisy.iops
+        );
+    }
+
+    let mut out = bench_report("fig_tenant_isolation", &cfg, big);
+    out.meta("qd", Json::from(QUEUE_DEPTH as u64));
+    out.meta("victim_requests", Json::from(VICTIM_REQUESTS));
+    out.meta("noisy_requests", Json::from(NOISY_REQUESTS));
+    out.meta("noisy_rate", Json::from(NOISY_RATE));
+    out.meta("victim_weight", Json::from(u64::from(VICTIM_WEIGHT)));
+
+    let mut tbl = TextTable::new([
+        "arm",
+        "victim p99 (us)",
+        "victim SLO",
+        "noisy IOPS",
+        "device IOPS",
+    ]);
+    for (label, r) in &results {
+        let victim = &r.tenants[0];
+        let slo = victim
+            .slo_attainment()
+            .map_or("-".to_string(), |a| format!("{a:.3}"));
+        let noisy_iops = r
+            .tenants
+            .get(1)
+            .map_or("-".to_string(), |t| format!("{:.0}", t.iops));
+        tbl.row([
+            (*label).to_string(),
+            format!("{:.0}", victim_p99(r) as f64 / 1000.0),
+            slo,
+            noisy_iops,
+            format!("{:.0}", r.run.iops),
+        ]);
+        out.push_run_with(
+            label,
+            &r.run,
+            [("tenants".to_string(), tenants_json(&r.tenants))],
+        );
+    }
+    println!("{}", tbl.render());
+    println!(
+        "interference {:.2}x, with QoS {:.2}x of the reference",
+        qos_off as f64 / alone as f64,
+        qos_on as f64 / alone as f64
+    );
+    write_bench(&out);
+}

@@ -64,6 +64,7 @@ mod sector_log;
 mod stats;
 mod sub;
 mod sub_map;
+mod tenant;
 
 pub use buffer::{FlushChunk, WriteBuffer};
 pub use cgm::CgmFtl;
@@ -75,11 +76,14 @@ pub use eol::SpaceExhausted;
 pub use fgm::FgmFtl;
 pub use full_region::{FullRegionEngine, PagePtr};
 pub use report::{
-    latency_json, run_json, validate_bench, BenchReport, BENCH_SCHEMA_NAME, BENCH_SCHEMA_VERSION,
-    REQUIRED_RUN_FIELDS,
+    latency_json, run_json, tenant_json, tenants_json, validate_bench, BenchReport,
+    BENCH_SCHEMA_NAME, BENCH_SCHEMA_VERSION, REQUIRED_RUN_FIELDS,
 };
 pub use runner::{device_wear_summary, precondition, run_trace, run_trace_qd, Ftl};
 pub use sector_log::SectorLogFtl;
 pub use stats::{FtlStats, RunReport, WearSummary};
 pub use sub::SubFtl;
 pub use sub_map::{ProbeStats, SubEntry, SubpageMap};
+pub use tenant::{
+    run_tenants_qd, TenantConfig, TenantReport, TenantRunReport, TenantSet, DRR_QUANTUM_SECTORS,
+};

@@ -25,6 +25,7 @@ use std::path::{Path, PathBuf};
 use esp_sim::{Json, LatencySummary, TraceEvent};
 
 use crate::stats::RunReport;
+use crate::tenant::{TenantReport, TenantRunReport};
 
 /// Version of the `BENCH_*.json` schema this library emits.
 ///
@@ -33,11 +34,15 @@ use crate::stats::RunReport;
 /// [`REQUIRED_RUN_FIELDS`] (or changing a unit) does.
 ///
 /// History:
+/// * **v3** — multi-tenant replays add an optional `tenants` array to a
+///   run entry (per-tenant QoS settings, throughput, response
+///   percentiles and SLO attainment; omitted for single-workload runs,
+///   so v1/v2 documents still validate).
 /// * **v2** — open-arrival replays add a `latency.response` block
 ///   (arrival → done response times; omitted for closed-loop runs, so
 ///   the member is optional and v1 documents still validate).
 /// * **v1** — initial schema.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// The `schema` discriminator string every report carries.
 pub const BENCH_SCHEMA_NAME: &str = "esp-bench";
@@ -211,6 +216,50 @@ pub fn run_json(label: &str, r: &RunReport) -> Json {
     ])
 }
 
+/// Renders one [`TenantReport`] as a row of a run entry's `tenants`
+/// array (schema v3).
+///
+/// Always-present members: `name`, `weight`, `rate`, `burst`,
+/// `requests`, `sectors`, `iops`. A `response` latency block appears
+/// when the tenant recorded response samples (open tenants only), and an
+/// `slo` object (`target_ns`/`samples`/`good`/`attainment`) appears when
+/// the tenant has an SLO configured.
+#[must_use]
+pub fn tenant_json(t: &TenantReport) -> Json {
+    let mut members = vec![
+        ("name".to_string(), Json::from(t.name.as_str())),
+        ("weight".to_string(), Json::from(u64::from(t.weight))),
+        ("rate".to_string(), Json::from(t.rate)),
+        ("burst".to_string(), Json::from(u64::from(t.burst))),
+        ("requests".to_string(), Json::from(t.requests)),
+        ("sectors".to_string(), Json::from(t.sectors)),
+        ("iops".to_string(), Json::from(t.iops)),
+    ];
+    let response = t.response.summary();
+    if response.count > 0 {
+        members.push(("response".to_string(), latency_json(&response)));
+    }
+    if let Some(target) = t.slo {
+        let mut slo = vec![
+            ("target_ns".to_string(), Json::from(target.as_nanos())),
+            ("samples".to_string(), Json::from(t.slo_samples)),
+            ("good".to_string(), Json::from(t.slo_good)),
+        ];
+        if let Some(attainment) = t.slo_attainment() {
+            slo.push(("attainment".to_string(), Json::from(attainment)));
+        }
+        members.push(("slo".to_string(), Json::Obj(slo)));
+    }
+    Json::Obj(members)
+}
+
+/// Renders a slice of [`TenantReport`]s as the `tenants` array member of
+/// a run entry.
+#[must_use]
+pub fn tenants_json(tenants: &[TenantReport]) -> Json {
+    Json::Arr(tenants.iter().map(tenant_json).collect())
+}
+
 /// Builder for a `BENCH_<name>.json` document: free-form metadata plus a
 /// list of run entries.
 ///
@@ -276,6 +325,24 @@ impl BenchReport {
             members.extend(extra);
         }
         self.runs.push(entry);
+    }
+
+    /// Appends a run entry built from a multi-tenant replay: the
+    /// standard whole-device entry plus the schema-v3 `tenants` array.
+    /// Extra members splice on exactly as in [`Self::push_run_with`].
+    pub fn push_tenant_run(
+        &mut self,
+        label: &str,
+        report: &TenantRunReport,
+        extra: impl IntoIterator<Item = (String, Json)>,
+    ) {
+        self.push_run_with(
+            label,
+            &report.run,
+            [("tenants".to_string(), tenants_json(&report.tenants))]
+                .into_iter()
+                .chain(extra),
+        );
     }
 
     /// Appends trace events to the most recent run entry (the newest
@@ -530,5 +597,70 @@ mod tests {
         assert_eq!(run.get("events_dropped").and_then(Json::as_u64), Some(7));
         let ev = &run.get("events").unwrap().as_arr().unwrap()[0];
         assert_eq!(ev.get("kind").and_then(Json::as_str), Some("host.write"));
+    }
+
+    #[test]
+    fn tenant_run_entry_validates_and_carries_qos_rows() {
+        use crate::tenant::{run_tenants_qd, TenantConfig, TenantSet};
+        use esp_sim::SimDuration;
+
+        let mut ftl = SubFtl::new(&FtlConfig::tiny());
+        let mut set = TenantSet::new();
+        // Open tenant with an SLO: gets a `response` block and an `slo`
+        // object. Closed unlimited tenant: neither.
+        set.add(
+            TenantConfig::new("open").slo(SimDuration::from_millis(50)),
+            generate(&SyntheticConfig {
+                footprint_sectors: 64,
+                requests: 60,
+                r_small: 1.0,
+                r_synch: 1.0,
+                inter_arrival: SimDuration::from_micros(200),
+                ..SyntheticConfig::default()
+            }),
+        );
+        set.add(
+            TenantConfig::new("closed").weight(2),
+            generate(&SyntheticConfig {
+                footprint_sectors: 64,
+                requests: 60,
+                r_small: 1.0,
+                r_synch: 1.0,
+                seed: 7,
+                ..SyntheticConfig::default()
+            }),
+        );
+        let report = run_tenants_qd(&mut ftl, &set, 4);
+
+        let mut b = BenchReport::new("tenant_unit");
+        b.push_tenant_run(
+            "two_tenants",
+            &report,
+            [("queue_depth".to_string(), Json::from(4u64))],
+        );
+        let j = b.to_json();
+        validate_bench(&j).unwrap();
+
+        let run = &j.get("runs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(run.get("queue_depth").and_then(Json::as_u64), Some(4));
+        let tenants = run.get("tenants").unwrap().as_arr().unwrap();
+        assert_eq!(tenants.len(), 2);
+        let open = &tenants[0];
+        assert_eq!(open.get("name").and_then(Json::as_str), Some("open"));
+        assert_eq!(open.get("requests").and_then(Json::as_u64), Some(60));
+        assert!(open.path("response.p99_ns").is_some());
+        assert_eq!(
+            open.path("slo.target_ns").and_then(Json::as_u64),
+            Some(50_000_000)
+        );
+        let samples = open.path("slo.samples").and_then(Json::as_u64).unwrap();
+        let good = open.path("slo.good").and_then(Json::as_u64).unwrap();
+        assert!(samples > 0 && good <= samples);
+        let attainment = open.path("slo.attainment").and_then(Json::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&attainment));
+        let closed = &tenants[1];
+        assert_eq!(closed.get("weight").and_then(Json::as_u64), Some(2));
+        assert!(closed.get("response").is_none(), "closed tenant: no block");
+        assert!(closed.get("slo").is_none(), "no SLO configured: no block");
     }
 }

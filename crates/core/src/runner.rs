@@ -102,7 +102,7 @@ pub(crate) enum HazardMode {
 /// flat representation; the sparse maps are iterated *only* during
 /// pruning, where the surviving set — not its discovery order — is all
 /// that matters, so replay stays deterministic.
-enum Hazards {
+pub(crate) enum Hazards {
     Flat {
         write: Vec<SimTime>,
         read: Vec<SimTime>,
@@ -115,7 +115,7 @@ enum Hazards {
 }
 
 impl Hazards {
-    fn new(mode: HazardMode, footprint_sectors: u64) -> Self {
+    pub(crate) fn new(mode: HazardMode, footprint_sectors: u64) -> Self {
         let flat = match mode {
             HazardMode::Auto => footprint_sectors <= FLAT_HAZARD_LIMIT,
             HazardMode::Flat => true,
@@ -139,7 +139,7 @@ impl Hazards {
     /// Latest completion this request must wait for: the last write of
     /// any of its sectors, plus — for writes — the last read
     /// (write-after-read). Overlapping reads run concurrently.
-    fn dep(&self, lsn: u64, sectors: u32, is_write: bool) -> SimTime {
+    pub(crate) fn dep(&self, lsn: u64, sectors: u32, is_write: bool) -> SimTime {
         let range = lsn..lsn + u64::from(sectors);
         let mut dep = SimTime::ZERO;
         match self {
@@ -171,7 +171,7 @@ impl Hazards {
     /// write overwrites (its buffered copy is the newest data); reads
     /// accumulate the max, since concurrent reads complete in any order
     /// and a later write must wait for the slowest.
-    fn publish(&mut self, lsn: u64, sectors: u32, is_write: bool, done: SimTime) {
+    pub(crate) fn publish(&mut self, lsn: u64, sectors: u32, is_write: bool, done: SimTime) {
         let range = lsn..lsn + u64::from(sectors);
         match self {
             Hazards::Flat { write, read } => {
@@ -205,7 +205,7 @@ impl Hazards {
     /// `max(slot grant, ...)` term forever and pruning it is exact; the
     /// bit-identity test `hazard_representations_are_bit_identical`
     /// locks this.
-    fn maybe_prune(&mut self, watermark: SimTime) {
+    pub(crate) fn maybe_prune(&mut self, watermark: SimTime) {
         if let Hazards::Sparse { write, read, prune } = self {
             if *prune && write.len() + read.len() > SPARSE_PRUNE_TRIGGER {
                 write.retain(|_, &mut t| t > watermark);

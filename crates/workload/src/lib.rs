@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod arrivals;
 mod msr;
 mod profiles;
 mod request;
@@ -39,7 +40,8 @@ mod synthetic;
 mod trace_io;
 
 pub use analysis::{analyze, TraceAnalysis};
-pub use msr::{load_msr_trace, MsrOptions};
+pub use arrivals::{ArrivalModel, ParseArrivalError};
+pub use msr::{load_msr_tenants, load_msr_trace, MsrOptions};
 pub use profiles::Benchmark;
 pub use request::{IoOp, IoRequest, Trace, TraceStats, SECTORS_PER_PAGE, SECTOR_BYTES};
 pub use synthetic::{generate, precondition_fill, SyntheticConfig};

@@ -152,6 +152,129 @@ pub fn load_msr_trace<R: Read>(r: R, options: &MsrOptions) -> Result<Trace, Pars
     Ok(trace)
 }
 
+/// Splits an MSR-Cambridge CSV stream into one [`Trace`] per requested
+/// disk number, for replaying several disks as concurrent tenants on one
+/// simulated device (pass `&mut reader` to keep the reader).
+///
+/// Unlike calling [`load_msr_trace`] once per disk with
+/// [`MsrOptions::disk`] set, this makes a single pass and rebases every
+/// timestamp to the **globally** first record, so the relative timing
+/// *between* disks — which is what creates interference — is preserved.
+/// Traces are returned in the order of `disks`. The sync-flag assignment
+/// of a disk is seeded from [`MsrOptions::seed`] mixed with the disk
+/// number, so a tenant's trace does not change when different neighbors
+/// are loaded alongside it. [`MsrOptions::disk`] is ignored here.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on I/O failure, malformed records, or a
+/// requested disk with no records.
+pub fn load_msr_tenants<R: Read>(
+    r: R,
+    disks: &[u32],
+    options: &MsrOptions,
+) -> Result<Vec<Trace>, ParseTraceError> {
+    let reader = BufReader::new(r);
+    let mut records: Vec<(u64, u32, IoOp, u64, u32)> = Vec::new();
+    let mut base_ts: Option<u64> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("Timestamp") {
+            continue;
+        }
+        let malformed = |reason: String| ParseTraceError::Malformed {
+            line: line_no,
+            reason,
+        };
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 6 {
+            return Err(malformed(format!(
+                "expected at least 6 comma-separated fields, got {}",
+                fields.len()
+            )));
+        }
+        let ts: u64 = fields[0]
+            .trim()
+            .parse()
+            .map_err(|e| malformed(format!("bad timestamp: {e}")))?;
+        let disk: u32 = fields[2]
+            .trim()
+            .parse()
+            .map_err(|e| malformed(format!("bad disk number: {e}")))?;
+        let op = match fields[3].trim() {
+            "Read" | "read" | "R" => IoOp::Read,
+            "Write" | "write" | "W" => IoOp::Write,
+            other => return Err(malformed(format!("bad request type `{other}`"))),
+        };
+        let offset: u64 = fields[4]
+            .trim()
+            .parse()
+            .map_err(|e| malformed(format!("bad offset: {e}")))?;
+        let size: u64 = fields[5]
+            .trim()
+            .parse()
+            .map_err(|e| malformed(format!("bad size: {e}")))?;
+        if size == 0 {
+            continue; // zero-length records occur in the corpus; skip them
+        }
+        let lsn = offset / SECTOR_BYTES;
+        let end = offset
+            .checked_add(size)
+            .ok_or_else(|| malformed(format!("offset {offset} + size {size} overflows")))?
+            .div_ceil(SECTOR_BYTES);
+        let sectors = u32::try_from(end - lsn)
+            .map_err(|_| malformed(format!("size {size} spans too many sectors")))?;
+        // Rebase to the first record of the whole stream, not the first
+        // record of any single disk.
+        let base = *base_ts.get_or_insert(ts);
+        records.push((ts.saturating_sub(base), disk, op, lsn, sectors));
+    }
+
+    let mut out = Vec::with_capacity(disks.len());
+    for &want in disks {
+        let mine: Vec<_> = records.iter().filter(|r| r.1 == want).collect();
+        if mine.is_empty() {
+            let mut present: Vec<u32> = records.iter().map(|r| r.1).collect();
+            present.sort_unstable();
+            present.dedup();
+            return Err(ParseTraceError::Malformed {
+                line: 0,
+                reason: format!("no records for disk {want} (disks present: {present:?})"),
+            });
+        }
+        let footprint = mine
+            .iter()
+            .map(|&&(_, _, _, lsn, sectors)| lsn + u64::from(sectors))
+            .max()
+            .expect("non-empty")
+            .next_multiple_of(4)
+            .max(64);
+        // Per-disk seed: neighbors must not shift this disk's sync flags.
+        let mut rng =
+            Rng::seed_from(options.seed ^ u64::from(want).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut trace = Trace::new(footprint);
+        for &&(ticks, _, op, lsn, sectors) in &mine {
+            // Windows filetime ticks are 100 ns.
+            let ns = (ticks as f64 * 100.0 / options.time_scale.max(1e-9)) as u64;
+            let arrival = SimTime::from_nanos(ns);
+            let req = match op {
+                IoOp::Read => IoRequest::read(arrival, lsn, sectors),
+                IoOp::Write => {
+                    let small = sectors < crate::request::SECTORS_PER_PAGE;
+                    let sync = small && rng.chance(options.r_synch);
+                    IoRequest::write(arrival, lsn, sectors, sync)
+                }
+            };
+            trace.push(req);
+        }
+        out.push(trace);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +396,47 @@ Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
     fn empty_input_is_an_error() {
         assert!(load_msr_trace("".as_bytes(), &MsrOptions::default()).is_err());
         assert!(load_msr_trace("# comment only\n".as_bytes(), &MsrOptions::default()).is_err());
+    }
+
+    #[test]
+    fn tenant_split_preserves_inter_disk_timing() {
+        let traces = load_msr_tenants(SAMPLE.as_bytes(), &[0, 1], &MsrOptions::default()).unwrap();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].len(), 3);
+        assert_eq!(traces[1].len(), 1);
+        // Disk 1's only record is 1100 ticks after the global first record
+        // — NOT rebased to its own first record.
+        assert_eq!(traces[1].requests[0].arrival, SimTime::from_nanos(110_000));
+        // Disk 0's first record is the global first.
+        assert_eq!(traces[0].requests[0].arrival, SimTime::ZERO);
+    }
+
+    #[test]
+    fn tenant_sync_flags_do_not_depend_on_neighbors() {
+        let opts = MsrOptions {
+            r_synch: 0.5,
+            ..MsrOptions::default()
+        };
+        let both = load_msr_tenants(SAMPLE.as_bytes(), &[0, 1], &opts).unwrap();
+        let alone = load_msr_tenants(SAMPLE.as_bytes(), &[0], &opts).unwrap();
+        assert_eq!(both[0], alone[0]);
+        let swapped = load_msr_tenants(SAMPLE.as_bytes(), &[1, 0], &opts).unwrap();
+        assert_eq!(both[0], swapped[1]);
+        assert_eq!(both[1], swapped[0]);
+    }
+
+    #[test]
+    fn missing_disk_is_a_clear_error() {
+        match load_msr_tenants(SAMPLE.as_bytes(), &[7], &MsrOptions::default()) {
+            Err(ParseTraceError::Malformed { reason, .. }) => {
+                assert!(reason.contains("disk 7"), "reason: {reason}");
+                assert!(
+                    reason.contains('0') && reason.contains('1'),
+                    "reason: {reason}"
+                );
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -17,14 +17,16 @@ use std::process::ExitCode;
 
 use esp_storage::array::{shard_configs, ArrayConfig, EspArray, KillSpec};
 use esp_storage::ftl::{
-    precondition, random_workload, run_trace_qd, BenchReport, CgmFtl, CrashHarness, CrashOp,
-    CrashTarget, FgmFtl, Ftl, FtlConfig, RunReport, SectorLogFtl, SubFtl,
+    precondition, random_workload, run_tenants_qd, run_trace_qd, BenchReport, CgmFtl, CrashHarness,
+    CrashOp, CrashTarget, FgmFtl, Ftl, FtlConfig, RunReport, SectorLogFtl, SubFtl, TenantConfig,
+    TenantReport, TenantSet,
 };
 use esp_storage::nand::{FaultConfig, Geometry, RetryLadder};
 use esp_storage::sim::SimDuration;
 use esp_storage::sim::{Json, Rng};
 use esp_storage::workload::{
-    generate, load_msr_trace, load_trace, save_trace, Benchmark, MsrOptions, SyntheticConfig, Trace,
+    generate, load_msr_tenants, load_msr_trace, load_trace, save_trace, ArrivalModel, Benchmark,
+    MsrOptions, SyntheticConfig, Trace,
 };
 
 const HELP: &str = "\
@@ -49,17 +51,43 @@ WORKLOAD FLAGS (run / compare / gen):
     --rsynch <0..1>        (with --rsmall; defaults 1.0 / 1.0)
     --read-fraction <0..1>  reads in the custom mix       [default 0]
     --requests <n>       request count           [default 20000]
+    --footprint <n>      logical sectors the generated workload touches
+                         [default: 62.5% of logical capacity; per tenant
+                         in tenant mode]
     --seed <n>           RNG seed                [default 42]
     --trace <file>       replay this esp-trace file instead of generating
     --msr <file>         import an MSR-Cambridge CSV block trace
     --msr-rsynch <0..1>  sync probability for imported small writes [0.5]
-    --msr-disk <n>       import only this disk number
+    --msr-disk <n>       import only this disk number (a comma list
+                         replays each disk as its own tenant, see below)
     --take <n>           keep only the first n requests of the workload
     --time-scale <f>     compress (>1) / stretch (<1) arrival times
     --arrival-rate <r>   restamp arrivals as a Poisson open-arrival
                          process at r requests/second (an *open* host:
                          load is offered independently of completions;
                          default keeps the workload's own timestamps)
+    --arrival-model <m>  restamp arrivals with a named process (excludes
+                         --arrival-rate): closed | poisson:<r> |
+                         onoff:<r>:<on_ms>:<off_ms> |
+                         diurnal:<trough>:<peak>:<period_s>
+
+TENANT / QOS FLAGS (run / replay; single device only — see DESIGN.md §13):
+    --tenants <n>        replay n synthetic tenants concurrently through
+                         one device with weighted-fair (DRR) scheduling
+    --msr-disk <a,b,..>  (with --msr) replay several MSR disk numbers as
+                         concurrent tenants on disjoint LBA slices
+    --tenant-weight <w,..>  DRR weights, one per tenant      [default 1]
+    --tenant-rate <r,..>    token-bucket admission rate per tenant in
+                         requests/second; 0 = unlimited      [default 0]
+    --tenant-burst <b,..>   token-bucket burst, requests    [default 16]
+    --tenant-slo <ms,..>    response-time SLO target, milliseconds;
+                         0 = no SLO tracked                  [default 0]
+    --arrival-model <m,..>  per-tenant arrival process (forms above)
+
+    Per-tenant lists are comma-separated; a single value applies to every
+    tenant. One tenant with default QoS replays bit-identically to a
+    plain `run`. Per-tenant rows (throughput, response percentiles, SLO
+    attainment) are printed and embedded in the --json report.
 
 DEVICE / FTL FLAGS:
     --ftl <name>         sub | cgm | fgm | sectorlog   [default sub]
@@ -327,6 +355,9 @@ fn trace_from(flags: &Flags, cfg: &FtlConfig, force_file: bool) -> Result<Trace,
             t = t.scale_time(f);
         }
         if let Some(r) = flags.get("arrival-rate") {
+            if flags.get("arrival-model").is_some() {
+                return Err("--arrival-rate and --arrival-model are mutually exclusive".into());
+            }
             let rate: f64 = r.parse().map_err(|e| format!("bad --arrival-rate: {e}"))?;
             if !(rate.is_finite() && rate > 0.0) {
                 return Err("--arrival-rate must be positive".into());
@@ -335,6 +366,11 @@ fn trace_from(flags: &Flags, cfg: &FtlConfig, force_file: bool) -> Result<Trace,
             // of the address/size streams but still reproducible.
             let seed: u64 = flags.parse_or("seed", 42)?;
             t = t.with_poisson_arrivals(rate, seed ^ 0xA221_7A1E);
+        }
+        if let Some(m) = flags.get("arrival-model") {
+            let model: ArrivalModel = m.parse()?;
+            let seed: u64 = flags.parse_or("seed", 42)?;
+            t = model.apply(&t, seed ^ 0xA221_7A1E);
         }
         Ok(t)
     };
@@ -482,6 +518,203 @@ fn check_capacity(trace: &Trace, logical_sectors: u64) -> Result<(), Box<dyn Err
     Ok(())
 }
 
+/// Whether the flags select the multi-tenant front end: `--tenants <n>`
+/// for synthetic tenants, or a comma list in `--msr-disk` for
+/// tenant-per-disk MSR replay.
+fn tenant_mode(flags: &Flags) -> bool {
+    flags.get("tenants").is_some() || flags.get("msr-disk").is_some_and(|v| v.contains(','))
+}
+
+/// Splits a per-tenant flag into `n` optional values: absent flag →
+/// all `None`; one value → broadcast to every tenant; otherwise the
+/// comma list must have exactly `n` entries.
+fn per_tenant(flags: &Flags, name: &str, n: usize) -> Result<Vec<Option<String>>, Box<dyn Error>> {
+    let Some(v) = flags.get(name) else {
+        return Ok(vec![None; n]);
+    };
+    let parts: Vec<&str> = v.split(',').collect();
+    if parts.len() == 1 {
+        return Ok(vec![Some(parts[0].to_string()); n]);
+    }
+    if parts.len() != n {
+        return Err(format!(
+            "--{name} lists {} values but the run has {n} tenants",
+            parts.len()
+        )
+        .into());
+    }
+    Ok(parts.into_iter().map(|p| Some(p.to_string())).collect())
+}
+
+/// Builds the [`TenantSet`] for a tenant-mode run: per-disk MSR replay
+/// when `--msr` is given, otherwise `--tenants` synthetic workloads, each
+/// postprocessed (`--take` / `--time-scale` / `--arrival-model`) and
+/// paired with its QoS settings.
+fn tenant_set_from(flags: &Flags, cfg: &FtlConfig) -> Result<TenantSet, Box<dyn Error>> {
+    if flags.get("arrival-rate").is_some() {
+        return Err(
+            "tenant mode uses --arrival-model (e.g. poisson:<r>), not --arrival-rate".into(),
+        );
+    }
+    let seed: u64 = flags.parse_or("seed", 42)?;
+    let (names, traces): (Vec<String>, Vec<Trace>) = if let Some(path) = flags.get("msr") {
+        let list = flags
+            .get("msr-disk")
+            .ok_or("tenant MSR replay needs --msr-disk <a,b,...>")?;
+        let disks: Vec<u32> = list
+            .split(',')
+            .map(|d| d.trim().parse())
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("bad --msr-disk `{list}`: {e}"))?;
+        let opts = MsrOptions {
+            r_synch: flags.parse_or("msr-rsynch", 0.5)?,
+            seed,
+            ..MsrOptions::default()
+        };
+        let traces = load_msr_tenants(File::open(path)?, &disks, &opts)?;
+        (disks.iter().map(|d| format!("disk{d}")).collect(), traces)
+    } else {
+        if flags.get("trace").is_some() {
+            return Err("--tenants replays synthetic or --msr workloads, not --trace files".into());
+        }
+        let n: usize = flags.parse_or("tenants", 1)?;
+        if n == 0 {
+            return Err("--tenants must be at least 1".into());
+        }
+        let requests: u64 = flags.parse_or("requests", 20_000)?;
+        let default_footprint = ((cfg.logical_sectors() as f64 * 0.625) as u64 / n as u64).max(64);
+        let footprint: u64 = flags.parse_or("footprint", default_footprint)?;
+        if footprint == 0 {
+            return Err("--footprint must be nonzero".into());
+        }
+        let mut names = Vec::new();
+        let mut traces = Vec::new();
+        for i in 0..n {
+            // Same golden-ratio seed mixing as the MSR tenant loader:
+            // tenant i's workload does not depend on who its neighbors
+            // are, and tenant 0 uses --seed unchanged.
+            let tseed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let trace = if let Some(b) = flags.get("benchmark") {
+                generate(&benchmark_from(b)?.config(footprint, requests, tseed))
+            } else {
+                generate(&SyntheticConfig {
+                    footprint_sectors: footprint,
+                    requests,
+                    r_small: flags.parse_or("rsmall", 1.0)?,
+                    r_synch: flags.parse_or("rsynch", 1.0)?,
+                    read_fraction: flags.parse_or("read-fraction", 0.0)?,
+                    zipf_theta: 0.9,
+                    small_zone_sectors: Some((footprint / 64).max(64)),
+                    rewrite_distance: 512,
+                    seed: tseed,
+                    ..SyntheticConfig::default()
+                })
+            };
+            names.push(format!("t{i}"));
+            traces.push(trace);
+        }
+        (names, traces)
+    };
+
+    let n = names.len();
+    let weights = per_tenant(flags, "tenant-weight", n)?;
+    let rates = per_tenant(flags, "tenant-rate", n)?;
+    let bursts = per_tenant(flags, "tenant-burst", n)?;
+    let slos = per_tenant(flags, "tenant-slo", n)?;
+    let models = per_tenant(flags, "arrival-model", n)?;
+    let take: Option<usize> = match flags.get("take") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --take: {e}"))?),
+    };
+    let time_scale: Option<f64> = match flags.get("time-scale") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --time-scale: {e}"))?),
+    };
+
+    let mut set = TenantSet::new();
+    for (i, (name, mut trace)) in names.into_iter().zip(traces).enumerate() {
+        if let Some(k) = take {
+            trace = trace.take(k);
+        }
+        if let Some(f) = time_scale {
+            trace = trace.scale_time(f);
+        }
+        if let Some(m) = &models[i] {
+            let model: ArrivalModel = m.parse()?;
+            trace = model.apply(
+                &trace,
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA221_7A1E,
+            );
+        }
+        let mut tc = TenantConfig::new(&name);
+        if let Some(w) = &weights[i] {
+            let w: u32 = w.parse().map_err(|e| format!("bad --tenant-weight: {e}"))?;
+            if w == 0 {
+                return Err("--tenant-weight values must be at least 1".into());
+            }
+            tc = tc.weight(w);
+        }
+        let rate: f64 = match &rates[i] {
+            None => 0.0,
+            Some(r) => r.parse().map_err(|e| format!("bad --tenant-rate: {e}"))?,
+        };
+        if !(rate.is_finite() && rate >= 0.0) {
+            return Err("--tenant-rate values must be finite and non-negative".into());
+        }
+        let burst: u32 = match &bursts[i] {
+            None => 16,
+            Some(b) => b.parse().map_err(|e| format!("bad --tenant-burst: {e}"))?,
+        };
+        if burst == 0 {
+            return Err("--tenant-burst values must be at least 1".into());
+        }
+        tc = tc.limit(rate, burst);
+        if let Some(s) = &slos[i] {
+            let ms: f64 = s.parse().map_err(|e| format!("bad --tenant-slo: {e}"))?;
+            if !(ms.is_finite() && ms >= 0.0) {
+                return Err("--tenant-slo values must be finite and non-negative".into());
+            }
+            if ms > 0.0 {
+                tc = tc.slo(SimDuration::from_nanos((ms * 1e6) as u64));
+            }
+        }
+        set.add(tc, trace);
+    }
+    Ok(set)
+}
+
+/// Prints the per-tenant QoS table (`=== tenants ===`): one awk-friendly
+/// row per tenant — name, weight, rate, requests, IOPS, response p99 in
+/// microseconds, SLO attainment. `-` marks "not configured / no samples".
+fn print_tenant_table(tenants: &[TenantReport]) {
+    println!("=== tenants ===");
+    println!(
+        "{:>10} {:>6} {:>9} {:>9} {:>9} {:>12} {:>8}",
+        "tenant", "weight", "rate", "requests", "IOPS", "p99_us", "SLO"
+    );
+    for t in tenants {
+        let resp = t.response.summary();
+        let p99 = if resp.count > 0 {
+            format!("{:.0}", resp.p99 as f64 / 1000.0)
+        } else {
+            "-".to_string()
+        };
+        let slo = match t.slo_attainment() {
+            Some(a) => format!("{:.3}", a),
+            None => "-".to_string(),
+        };
+        let rate = if t.rate > 0.0 {
+            format!("{:.0}", t.rate)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:>10} {:>6} {:>9} {:>9} {:>9.0} {:>12} {:>8}",
+            t.name, t.weight, rate, t.requests, t.iops, p99, slo
+        );
+    }
+}
+
 /// Parses the array flags; `None` when `--array` is absent (plain
 /// single-device run). Array-only flags without `--array` are an error.
 fn array_config_from(flags: &Flags) -> Result<Option<ArrayConfig>, Box<dyn Error>> {
@@ -606,7 +839,7 @@ fn array_extras(arr: &EspArray) -> Vec<(String, Json)> {
 /// Starts a BENCH report carrying the run's provenance (geometry, queue
 /// depth, fill, workload flags) so a later `benchcmp` knows what it is
 /// comparing.
-fn bench_report(name: &str, flags: &Flags, cfg: &FtlConfig, trace: &Trace) -> BenchReport {
+fn bench_report(name: &str, flags: &Flags, cfg: &FtlConfig, requests: u64) -> BenchReport {
     let mut b = BenchReport::new(name);
     b.meta("geometry", Json::from(format!("{}", cfg.geometry)));
     b.meta("qd", Json::from(flags.get("qd").unwrap_or("8")));
@@ -615,10 +848,13 @@ fn bench_report(name: &str, flags: &Flags, cfg: &FtlConfig, trace: &Trace) -> Be
     if let Some(rate) = flags.get("arrival-rate") {
         b.meta("arrival_rate", Json::from(rate));
     }
+    if let Some(model) = flags.get("arrival-model") {
+        b.meta("arrival_model", Json::from(model));
+    }
     if let Some(bench) = flags.get("benchmark") {
         b.meta("benchmark", Json::from(bench));
     }
-    b.meta("requests", Json::from(trace.len() as u64));
+    b.meta("requests", Json::from(requests));
     if cfg.wear_leveling {
         b.meta("wear_leveling", Json::from(true));
         b.meta("wear_delta", Json::from(cfg.wear_delta_threshold));
@@ -650,10 +886,53 @@ fn emit_json(
 
 fn cmd_run(flags: &Flags, force_file: bool) -> Result<(), Box<dyn Error>> {
     let cfg = config_from(flags)?;
-    let trace = trace_from(flags, &cfg, force_file)?;
     let qd: usize = flags.parse_or("qd", 8)?;
     let fill: f64 = flags.parse_or("fill", 0.625)?;
     let events: usize = flags.parse_or("events", 0)?;
+    if tenant_mode(flags) {
+        if flags.get("array").is_some() {
+            return Err("tenant mode runs a single device; drop --array".into());
+        }
+        if force_file && flags.get("msr").is_none() {
+            return Err("tenant replay needs --msr <file> with --msr-disk <a,b,...>".into());
+        }
+        let set = tenant_set_from(flags, &cfg)?;
+        if set.footprint_sectors() > cfg.logical_sectors() {
+            return Err(format!(
+                "combined tenant footprint ({} sectors) exceeds the device's logical \
+                 capacity ({} sectors); pick a larger --geometry or smaller --footprint",
+                set.footprint_sectors(),
+                cfg.logical_sectors()
+            )
+            .into());
+        }
+        let mut ftl = build_ftl(flags.get("ftl").unwrap_or("sub"), &cfg)?;
+        println!("device: {} ({} tenants)", cfg.geometry, set.len());
+        precondition(ftl.as_mut(), fill);
+        if events > 0 {
+            ftl.enable_tracing(events);
+        }
+        let report = run_tenants_qd(ftl.as_mut(), &set, qd);
+        print_report(&report.run, ftl.stats());
+        print_tenant_table(&report.tenants);
+        let mut bench = bench_report("espsim_run", flags, &cfg, set.total_requests());
+        bench.meta("tenants", Json::from(set.len() as u64));
+        bench.push_tenant_run(
+            report.run.ftl,
+            &report,
+            [(
+                "mapping_memory_bytes".to_string(),
+                Json::from(ftl.mapping_memory_bytes()),
+            )],
+        );
+        return emit_json(flags, bench, (events > 0).then_some(ftl.as_ref()));
+    }
+    for f in ["tenant-weight", "tenant-rate", "tenant-burst", "tenant-slo"] {
+        if flags.get(f).is_some() {
+            return Err(format!("--{f} needs --tenants <n> or a multi-disk --msr-disk").into());
+        }
+    }
+    let trace = trace_from(flags, &cfg, force_file)?;
     if let Some(acfg) = array_config_from(flags)? {
         let kill = kill_from(flags, acfg.devices())?;
         let configs = shard_configs(&cfg, acfg.devices(), kill);
@@ -672,7 +951,7 @@ fn cmd_run(flags: &Flags, force_file: bool) -> Result<(), Box<dyn Error>> {
         let report = run_trace_qd(&mut arr, &trace, qd);
         print_report(&report, arr.stats());
         print_array_report(&arr);
-        let mut bench = bench_report("espsim_run", flags, &cfg, &trace);
+        let mut bench = bench_report("espsim_run", flags, &cfg, trace.len() as u64);
         bench.meta("array", Json::from(arr.devices()));
         let mut extras = array_extras(&arr);
         extras.push((
@@ -691,7 +970,7 @@ fn cmd_run(flags: &Flags, force_file: bool) -> Result<(), Box<dyn Error>> {
     }
     let report = run_trace_qd(ftl.as_mut(), &trace, qd);
     print_report(&report, ftl.stats());
-    let mut bench = bench_report("espsim_run", flags, &cfg, &trace);
+    let mut bench = bench_report("espsim_run", flags, &cfg, trace.len() as u64);
     bench.push_run_with(
         report.ftl,
         &report,
@@ -714,7 +993,7 @@ fn cmd_compare(flags: &Flags) -> Result<(), Box<dyn Error>> {
         "{:>14} {:>9} {:>8} {:>8} {:>12} {:>10}",
         "FTL", "IOPS", "erases", "GCs", "request WAF", "map bytes"
     );
-    let mut bench = bench_report("espsim_compare", flags, &cfg, &trace);
+    let mut bench = bench_report("espsim_compare", flags, &cfg, trace.len() as u64);
     for name in ["cgm", "fgm", "sectorlog", "sub"] {
         let mut ftl = build_ftl(name, &cfg)?;
         precondition(ftl.as_mut(), fill);

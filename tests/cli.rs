@@ -390,3 +390,199 @@ fn compare_json_has_one_run_per_ftl() {
     assert_eq!(labels, ["cgmFTL", "fgmFTL", "sectorLogFTL", "subFTL"]);
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn tenant_run_prints_table_and_emits_qos_rows_in_json() {
+    use esp_storage::ftl::validate_bench;
+    use esp_storage::sim::Json;
+
+    let dir = std::env::temp_dir().join("espsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tenants.json");
+    let path_s = path.to_str().unwrap();
+
+    let (ok, stdout, stderr) = espsim(&[
+        "run",
+        "--tenants",
+        "2",
+        "--requests",
+        "400",
+        "--geometry",
+        "2x2x16x16",
+        "--op",
+        "0.4",
+        "--fill",
+        "0.3",
+        "--tenant-weight",
+        "3,1",
+        "--tenant-rate",
+        "0,2000",
+        "--tenant-slo",
+        "50,0",
+        "--arrival-model",
+        "poisson:4000,closed",
+        "--json",
+        path_s,
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("=== tenants ==="), "stdout:\n{stdout}");
+    assert!(stdout.contains("t0") && stdout.contains("t1"));
+
+    let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    validate_bench(&doc).expect("schema-valid BENCH report");
+    let run = &doc.get("runs").unwrap().as_arr().unwrap()[0];
+    let tenants = run.get("tenants").unwrap().as_arr().unwrap();
+    assert_eq!(tenants.len(), 2);
+    assert_eq!(tenants[0].get("name").and_then(Json::as_str), Some("t0"));
+    assert_eq!(tenants[0].get("weight").and_then(Json::as_u64), Some(3));
+    // t0 is the open tenant with an SLO: response percentiles and
+    // attainment must be present; closed unlimited t1 has neither.
+    assert!(tenants[0].path("response.p99_ns").is_some());
+    assert!(tenants[0].path("slo.attainment").is_some());
+    assert_eq!(tenants[1].get("rate").and_then(Json::as_f64), Some(2000.0));
+    assert!(tenants[1].get("slo").is_none());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn single_tenant_run_is_bit_identical_to_a_plain_run() {
+    use esp_storage::sim::Json;
+
+    let dir = std::env::temp_dir().join("espsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let plain = dir.join("plain.json");
+    let one = dir.join("one_tenant.json");
+    let base = [
+        "run",
+        "--requests",
+        "400",
+        "--geometry",
+        "2x2x16x16",
+        "--op",
+        "0.4",
+        "--fill",
+        "0.3",
+        "--rsmall",
+        "0.8",
+        "--read-fraction",
+        "0.3",
+    ];
+    let mut args = base.to_vec();
+    args.extend(["--json", plain.to_str().unwrap()]);
+    let (ok, _, stderr) = espsim(&args);
+    assert!(ok, "stderr: {stderr}");
+    let mut args = base.to_vec();
+    args.extend(["--tenants", "1", "--json", one.to_str().unwrap()]);
+    let (ok, _, stderr) = espsim(&args);
+    assert!(ok, "stderr: {stderr}");
+
+    let p = Json::parse(&std::fs::read_to_string(&plain).unwrap()).unwrap();
+    let t = Json::parse(&std::fs::read_to_string(&one).unwrap()).unwrap();
+    let p_run = p.get("runs").unwrap().as_arr().unwrap()[0].clone();
+    let mut t_run = t.get("runs").unwrap().as_arr().unwrap()[0].clone();
+    if let Json::Obj(members) = &mut t_run {
+        members.retain(|(k, _)| k != "tenants");
+    }
+    assert_eq!(
+        p_run, t_run,
+        "one tenant with default QoS must replay bit-identically to a plain run"
+    );
+    std::fs::remove_file(&plain).ok();
+    std::fs::remove_file(&one).ok();
+}
+
+#[test]
+fn msr_multi_disk_replay_runs_each_disk_as_a_tenant() {
+    let dir = std::env::temp_dir().join("espsim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("two_disks.csv");
+    let mut csv = String::new();
+    for i in 0..40u64 {
+        csv.push_str(&format!(
+            "{},h,0,Write,{},4096,1\n",
+            1000 + i * 500_000,
+            i * 8192
+        ));
+        csv.push_str(&format!(
+            "{},h,1,Write,{},8192,1\n",
+            1200 + i * 500_000,
+            i * 4096
+        ));
+    }
+    std::fs::write(&path, &csv).unwrap();
+
+    let (ok, stdout, stderr) = espsim(&[
+        "replay",
+        "--msr",
+        path.to_str().unwrap(),
+        "--msr-disk",
+        "0,1",
+        "--tenant-weight",
+        "2,1",
+        "--geometry",
+        "2x2x16x16",
+        "--op",
+        "0.4",
+        "--fill",
+        "0.3",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("=== tenants ==="), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("disk0") && stdout.contains("disk1"),
+        "tenant rows must be named after the MSR disks:\n{stdout}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tenant_flags_are_validated() {
+    // QoS flags without tenant mode.
+    let (ok, _, stderr) = espsim(&["run", "--tenant-weight", "3", "--requests", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("--tenants"), "stderr: {stderr}");
+
+    // Tenant mode does not stack with the array layer.
+    let (ok, _, stderr) = espsim(&["run", "--tenants", "2", "--array", "3", "--requests", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("--array"), "stderr: {stderr}");
+
+    // Per-tenant list length must match the tenant count.
+    let (ok, _, stderr) = espsim(&[
+        "run",
+        "--tenants",
+        "3",
+        "--tenant-weight",
+        "1,2",
+        "--requests",
+        "10",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("3 tenants"), "stderr: {stderr}");
+
+    // --arrival-model and --arrival-rate are mutually exclusive.
+    let (ok, _, stderr) = espsim(&[
+        "run",
+        "--arrival-model",
+        "poisson:1000",
+        "--arrival-rate",
+        "1000",
+        "--requests",
+        "10",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("mutually exclusive"), "stderr: {stderr}");
+
+    // A malformed arrival model names the accepted forms.
+    let (ok, _, stderr) = espsim(&[
+        "run",
+        "--tenants",
+        "1",
+        "--arrival-model",
+        "sawtooth:9",
+        "--requests",
+        "10",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("poisson"), "stderr: {stderr}");
+}
