@@ -14,10 +14,10 @@
 //! "+177 %").
 
 use esp_bench::{
-    bench_report, big_flag, experiment_config, footprint_sectors, write_bench, FtlKind, TextTable,
-    FILL_FRACTION,
+    bench_report, big_flag, experiment_config, footprint_sectors, gc_policy_flag, write_bench,
+    FtlKind, TextTable, FILL_FRACTION,
 };
-use esp_core::{precondition, run_trace_qd};
+use esp_core::{precondition, run_trace_qd, GcPolicyKind};
 use esp_sim::Json;
 use esp_workload::{generate, Benchmark};
 
@@ -25,13 +25,16 @@ use esp_workload::{generate, Benchmark};
 const QUEUE_DEPTH: usize = 8;
 
 fn main() {
-    let cfg = experiment_config(big_flag());
+    let mut cfg = experiment_config(big_flag());
+    cfg.gc_policy = gc_policy_flag();
     let footprint = footprint_sectors(&cfg);
     let requests = if big_flag() { 480_000 } else { 60_000 };
 
     println!(
-        "Fig 8: three-FTL comparison ({} requests/benchmark, footprint {} sectors)",
-        requests, footprint
+        "Fig 8: three-FTL comparison ({} requests/benchmark, footprint {} sectors, {} GC)",
+        requests,
+        footprint,
+        cfg.gc_policy.name()
     );
     println!();
 
@@ -41,6 +44,9 @@ fn main() {
     let mut out = bench_report("fig8_ftl_comparison", &cfg, big_flag());
     out.meta("requests", Json::from(requests));
     out.meta("qd", Json::from(QUEUE_DEPTH as u64));
+    if cfg.gc_policy != GcPolicyKind::Greedy {
+        out.meta("gc_policy", Json::from(cfg.gc_policy.name()));
+    }
 
     for bench in Benchmark::ALL {
         let trace = generate(&bench.config(footprint, requests, 0xF180));

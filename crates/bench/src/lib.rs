@@ -60,6 +60,27 @@ pub fn big_flag() -> bool {
     std::env::args().any(|a| a == "--big")
 }
 
+/// Reads an optional `--gc-policy <name>` flag from the process arguments
+/// (greedy when absent), so the CI smoke matrix can rerun a figure under
+/// every victim-selection policy without a dedicated binary per policy.
+///
+/// # Panics
+///
+/// Panics when the flag has no value or names an unknown policy.
+#[must_use]
+pub fn gc_policy_flag() -> esp_core::GcPolicyKind {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--gc-policy" {
+            let v = args.next().expect("--gc-policy needs a value");
+            return v
+                .parse()
+                .unwrap_or_else(|e| panic!("bad --gc-policy `{v}`: {e}"));
+        }
+    }
+    esp_core::GcPolicyKind::default()
+}
+
 /// The paper's preconditioning ratio: 10 GB filled on a 16 GB device.
 pub const FILL_FRACTION: f64 = 0.625;
 

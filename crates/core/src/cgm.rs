@@ -14,6 +14,7 @@ use esp_workload::SECTORS_PER_PAGE;
 use crate::buffer::{FlushChunk, WriteBuffer};
 use crate::config::FtlConfig;
 use crate::full_region::FullRegionEngine;
+use crate::map_cache::{MapCache, MapCacheStats};
 use crate::read_path::{read_sectors_coarse, ReadReliability};
 use crate::runner::Ftl;
 use crate::stats::FtlStats;
@@ -47,6 +48,13 @@ pub struct CgmFtl {
     /// Device erase count at which the next wear-spread check runs (the
     /// spread only changes on erase, so the scan is metered by erases).
     next_wear_check: u64,
+    /// Background GC into host idle windows (`FtlConfig::background_gc`).
+    background_gc: bool,
+    /// Demand-cached page map (`FtlConfig::map_cache`): translation
+    /// lookups charge CMT miss/evict traffic onto the host path. The
+    /// in-DRAM `engine` map stays authoritative; the cache only models
+    /// the latency and footprint of keeping most of it on flash.
+    map_cache: Option<MapCache>,
     /// Reused RMW read buffer and OOB staging for
     /// [`CgmFtl::flush_chunks`], so the steady-state write path allocates
     /// nothing per page.
@@ -96,6 +104,18 @@ impl CgmFtl {
             config.gc_free_watermark,
         );
         engine.set_wear_leveling(config.wear_leveling);
+        engine.set_gc_policy(config.gc_policy);
+        let map_cache = config.map_cache.as_ref().map(|mc| {
+            use esp_nand::OpKind;
+            MapCache::new(
+                mc,
+                lpn_count,
+                config.geometry.pages_per_block,
+                ssd.device().op_cost(OpKind::ReadFull).total(),
+                ssd.device().op_cost(OpKind::ProgramFull).total(),
+                ssd.device().op_cost(OpKind::Erase).total(),
+            )
+        });
         let mut stats = FtlStats::new();
         // Exclude factory-marked and previously grown bad blocks from the
         // pool (local index == gbi here, so retirement is in place).
@@ -114,6 +134,8 @@ impl CgmFtl {
             reliability: ReadReliability::new(config),
             wear_delta: config.wear_delta_threshold,
             next_wear_check: 0,
+            background_gc: config.background_gc,
+            map_cache,
             slots_scratch: Vec::new(),
             oobs_scratch: Vec::new(),
             chunks_scratch: Vec::new(),
@@ -208,13 +230,16 @@ impl CgmFtl {
                 self.oobs_scratch.clear();
                 self.oobs_scratch.resize(SECTORS_PER_PAGE as usize, None);
                 let mut t = issue;
+                // A cached map must pull (and dirty) the translation entry
+                // before the data program; misses serialize ahead of it.
+                if let Some(cache) = self.map_cache.as_mut() {
+                    t = cache.access(lpn, true, t);
+                }
                 if !full_cover {
                     // Read-modify-write: merge with the existing page, if any.
                     if let Some(ptr) = self.engine.lookup(lpn) {
                         let addr = self.engine.page_addr(ptr, &self.ssd);
-                        let rt = self
-                            .ssd
-                            .read_full_into(addr, issue, &mut self.slots_scratch);
+                        let rt = self.ssd.read_full_into(addr, t, &mut self.slots_scratch);
                         for (slot, r) in self.slots_scratch.iter().enumerate() {
                             if let Ok(oob) = r {
                                 self.oobs_scratch[slot] = Some(*oob);
@@ -331,6 +356,14 @@ impl Ftl for CgmFtl {
         }
         self.stats.host_read_requests += 1;
         self.stats.host_read_sectors += u64::from(sectors);
+        let mut issue = issue;
+        if let Some(cache) = self.map_cache.as_mut() {
+            let page = u64::from(SECTORS_PER_PAGE);
+            let last = lsn + u64::from(sectors.max(1)) - 1;
+            for lpn in lsn / page..=last / page {
+                issue = cache.access(lpn, false, issue);
+            }
+        }
         let mut reclaim = Vec::new();
         let CgmFtl {
             ssd,
@@ -374,10 +407,10 @@ impl Ftl for CgmFtl {
                     .scrub_disturbed(&mut self.ssd, &mut self.stats, limit, now);
             }
         }
-        // Static wear leveling rides the maintenance tick (cgmFTL has no
-        // idle hook): the wear spread only changes on erase, so the scan is
-        // re-armed per batch of erases and no-ops entirely with wear
-        // leveling off.
+        // Static wear leveling rides the maintenance tick (the idle hook
+        // is reserved for background GC): the wear spread only changes on
+        // erase, so the scan is re-armed per batch of erases and no-ops
+        // entirely with wear leveling off.
         if self.engine.wear_leveling() {
             let erases = self.ssd.device().stats().erases;
             if erases >= self.next_wear_check {
@@ -397,6 +430,15 @@ impl Ftl for CgmFtl {
         let done = self.flush_chunks(&mut chunks, issue);
         self.chunks_scratch = chunks;
         done
+    }
+
+    fn idle(&mut self, from: SimTime, until: SimTime) {
+        if !self.background_gc || self.ssd.device_failed() {
+            return;
+        }
+        let target = self.engine.watermark() + 2;
+        self.engine
+            .background_collect(&mut self.ssd, &mut self.stats, from, until, target);
     }
 
     fn stored_seq(&self, lsn: u64) -> Option<u64> {
@@ -428,7 +470,14 @@ impl Ftl for CgmFtl {
     }
 
     fn mapping_memory_bytes(&self) -> u64 {
-        self.engine.mapping_bytes()
+        match &self.map_cache {
+            Some(cache) => cache.resident_bytes(),
+            None => self.engine.mapping_bytes(),
+        }
+    }
+
+    fn map_cache_stats(&self) -> Option<MapCacheStats> {
+        self.map_cache.as_ref().map(MapCache::stats)
     }
 
     fn stats(&self) -> &FtlStats {

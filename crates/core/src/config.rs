@@ -6,6 +6,9 @@ use esp_nand::{FaultConfig, Geometry, NandTiming, RetentionModel, RetryLadder};
 use esp_sim::SimDuration;
 use esp_workload::SECTORS_PER_PAGE;
 
+use crate::gc_policy::GcPolicyKind;
+use crate::map_cache::MapCacheConfig;
+
 /// What subFTL's subpage-region GC does with a victim block's valid
 /// subpages (paper §4.2; the default refines the paper's rule with a
 /// second chance — see the ablation `ablation_eviction`).
@@ -157,6 +160,16 @@ pub struct FtlConfig {
     /// are erased with shallower, faster pulses that charge fractional
     /// oxide stress, extending lifetime. Off by default for bit-identity.
     pub adaptive_erase: bool,
+    /// GC victim-selection policy shared by every victim site (see
+    /// [`crate::GcPolicyKind`]). Greedy — the default — reproduces the
+    /// historical hard-coded behaviour bit-for-bit.
+    pub gc_policy: GcPolicyKind,
+    /// DFTL-style demand-cached mapping for the page-mapped FTLs
+    /// (cgmFTL, fgmFTL): a bounded CMT of cached translation pages
+    /// backed by flash-resident translation pages, with miss/evict
+    /// traffic charged to the device timeline. `None` — the default —
+    /// keeps the whole map resident and every result bit-identical.
+    pub map_cache: Option<MapCacheConfig>,
 }
 
 impl FtlConfig {
@@ -185,6 +198,8 @@ impl FtlConfig {
             read_only_on_loss: false,
             wear_leveling: false,
             adaptive_erase: false,
+            gc_policy: GcPolicyKind::Greedy,
+            map_cache: None,
         }
     }
 
@@ -286,6 +301,15 @@ impl FtlConfig {
                     "reclaim_threshold ({threshold}) exceeds the ladder's \
                      {} hard steps; no hard-step read could ever trigger it",
                     ladder.hard_steps
+                ));
+            }
+        }
+        if let Some(cache) = &self.map_cache {
+            if cache.cmt_pages < 2 {
+                return Err(format!(
+                    "map_cache.cmt_pages must be at least 2 (got {}); a \
+                     single slot thrashes on every read-modify-write",
+                    cache.cmt_pages
                 ));
             }
         }
@@ -429,6 +453,20 @@ mod tests {
             retry_ladder: Some(RetryLadder::paper_default()),
             reclaim_threshold: Some(2),
             read_only_on_loss: true,
+            ..FtlConfig::paper_default()
+        };
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_map_cache() {
+        let cfg = FtlConfig {
+            map_cache: Some(MapCacheConfig { cmt_pages: 1 }),
+            ..FtlConfig::paper_default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("cmt_pages"));
+        let cfg = FtlConfig {
+            map_cache: Some(MapCacheConfig { cmt_pages: 2 }),
             ..FtlConfig::paper_default()
         };
         cfg.validate().unwrap();

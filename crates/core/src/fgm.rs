@@ -14,6 +14,8 @@ use esp_workload::SECTORS_PER_PAGE;
 
 use crate::buffer::{FlushChunk, WriteBuffer};
 use crate::config::FtlConfig;
+use crate::gc_policy::{select_victim, GcPolicyKind, SelectOpts, VictimCandidate};
+use crate::map_cache::{MapCache, MapCacheStats};
 use crate::read_path::{note_read_result, ReadReliability};
 use crate::runner::Ftl;
 use crate::stats::FtlStats;
@@ -23,10 +25,6 @@ const NO_PTR: u32 = u32::MAX;
 /// GC never shrinks the free watermark below this floor: one free block is
 /// the minimum needed to keep copy-out possible at all.
 const WATERMARK_FLOOR: u32 = 1;
-
-/// Wear-biased victim selection considers blocks whose valid count is
-/// within `subpages_per_block >> SHIFT` of the greedy minimum.
-const VICTIM_WEAR_SLACK_SHIFT: u32 = 3;
 
 #[derive(Debug, Clone)]
 struct FgmBlock {
@@ -40,6 +38,9 @@ struct FgmBlock {
     programmed_pages: u32,
     /// Bad block (factory-marked or grown): never allocated again.
     retired: bool,
+    /// Monotone close stamp (0 = recovered/erased: maximally old to the
+    /// age-aware GC policies).
+    closed_seq: u64,
 }
 
 impl FgmBlock {
@@ -51,6 +52,7 @@ impl FgmBlock {
             valid_count: 0,
             programmed_pages: 0,
             retired: false,
+            closed_seq: 0,
         }
     }
 }
@@ -87,6 +89,13 @@ pub struct FgmFtl {
     nsub: u32,
     watermark: u32,
     background_gc: bool,
+    /// GC victim-selection policy (greedy by default).
+    gc_policy: GcPolicyKind,
+    /// Next close stamp (starts at 1; see [`FgmBlock::closed_seq`]).
+    closed_seq_counter: u64,
+    /// DFTL-style demand-cached mapping tier; `None` keeps the full map
+    /// resident (the default, bit-identical to pre-cache builds).
+    map_cache: Option<MapCache>,
     /// Wear-delta bias in GC victim selection plus cold-block rotation
     /// (off by default for bit-identity with the seed).
     wear_leveling: bool,
@@ -158,6 +167,17 @@ impl FgmFtl {
         let free = (0..blocks.len() as u32).collect();
         let logical_sectors = config.logical_sectors();
         let chips = g.chip_count() as usize;
+        let map_cache = config.map_cache.as_ref().map(|mc| {
+            use esp_nand::OpKind;
+            MapCache::new(
+                mc,
+                logical_sectors,
+                g.pages_per_block,
+                ssd.device().op_cost(OpKind::ReadFull).total(),
+                ssd.device().op_cost(OpKind::ProgramFull).total(),
+                ssd.device().op_cost(OpKind::Erase).total(),
+            )
+        });
         let mut ftl = FgmFtl {
             ssd,
             blocks,
@@ -173,6 +193,9 @@ impl FgmFtl {
             nsub: g.subpages_per_page,
             watermark: config.gc_free_watermark,
             background_gc: config.background_gc,
+            gc_policy: config.gc_policy,
+            closed_seq_counter: 1,
+            map_cache,
             wear_leveling: config.wear_leveling,
             wear_delta: config.wear_delta_threshold,
             next_wear_check: 0,
@@ -370,6 +393,16 @@ impl FgmFtl {
         self.blocks[local as usize].chip as usize
     }
 
+    /// Stamps `local` with the next close sequence if it just became fully
+    /// programmed (feeds the age term of the age-aware GC policies).
+    fn note_closed(&mut self, local: u32) {
+        let blk = &mut self.blocks[local as usize];
+        if blk.programmed_pages >= self.pages_per_block && blk.closed_seq == 0 {
+            blk.closed_seq = self.closed_seq_counter;
+            self.closed_seq_counter += 1;
+        }
+    }
+
     /// Effective P/E of a block: oxide-stress based under adaptive erase,
     /// identical to the raw erase count otherwise.
     fn block_pe(&self, local: u32) -> u32 {
@@ -442,6 +475,7 @@ impl FgmFtl {
             let block = self.actives[chip].expect("just ensured");
             let page = self.blocks[block as usize].programmed_pages;
             self.blocks[block as usize].programmed_pages += 1;
+            self.note_closed(block);
             self.rr = chip + 1;
             return (block, page);
         }
@@ -518,39 +552,32 @@ impl FgmFtl {
         now
     }
 
-    /// Picks a GC victim: greedy min-valid, or — with wear leveling on —
-    /// the least-worn block among those within a small valid-count slack of
-    /// the greedy choice, so GC pressure spreads across the wear range.
+    /// Picks a GC victim under the configured policy (greedy by default —
+    /// bit-identical to the historical min-valid scan), composing the
+    /// wear-leveling valid-count slack when enabled.
     fn pick_victim(&self) -> Option<u32> {
-        let (greedy, best_valid) = self
-            .blocks
-            .iter()
-            .enumerate()
-            .filter(|(i, b)| {
-                b.programmed_pages >= self.pages_per_block
-                    && !b.retired
-                    && !self.is_active(*i as u32)
-            })
-            .min_by_key(|(_, b)| b.valid_count)
-            .map(|(i, b)| (i as u32, b.valid_count))?;
-        if !self.wear_leveling || best_valid >= self.subpages_per_block() {
-            return Some(greedy);
+        let mut candidates = Vec::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.programmed_pages < self.pages_per_block || b.retired || self.is_active(i as u32) {
+                continue;
+            }
+            candidates.push(VictimCandidate {
+                index: i as u32,
+                valid: b.valid_count,
+                capacity: self.subpages_per_block(),
+                age: self.closed_seq_counter.saturating_sub(b.closed_seq),
+                wear: if self.wear_leveling {
+                    self.block_pe(i as u32)
+                } else {
+                    0
+                },
+            });
         }
-        let slack = (self.subpages_per_block() >> VICTIM_WEAR_SLACK_SHIFT).max(1);
-        let limit = best_valid
-            .saturating_add(slack)
-            .min(self.subpages_per_block() - 1);
-        self.blocks
-            .iter()
-            .enumerate()
-            .filter(|(i, b)| {
-                b.programmed_pages >= self.pages_per_block
-                    && !b.retired
-                    && !self.is_active(*i as u32)
-                    && b.valid_count <= limit
-            })
-            .min_by_key(|(i, b)| (self.block_pe(*i as u32), b.valid_count, *i))
-            .map(|(i, _)| i as u32)
+        select_victim(
+            self.gc_policy,
+            SelectOpts::standard(self.wear_leveling),
+            &candidates,
+        )
     }
 
     /// Collects one GC victim, or returns `None` when no victim exists,
@@ -626,6 +653,7 @@ impl FgmFtl {
                 b.valid.fill(false);
                 b.valid_count = 0;
                 b.programmed_pages = 0;
+                b.closed_seq = 0;
                 self.free.push(victim);
             }
             Err(f) if f.error == esp_nand::NandError::EraseFailed => {
@@ -636,6 +664,7 @@ impl FgmFtl {
                 let b = &mut self.blocks[victim as usize];
                 b.valid.fill(false);
                 b.valid_count = 0;
+                b.closed_seq = 0;
                 self.retire_block(victim);
                 self.stats.erase_failures += 1;
                 self.stats.blocks_retired += 1;
@@ -668,6 +697,7 @@ impl FgmFtl {
                 }
             }
             self.blocks[victim as usize].programmed_pages = self.pages_per_block;
+            self.note_closed(victim);
             // Copy-out needs allocatable space; GC here may collect (and
             // thereby scrub) the victim itself, so re-check before taking
             // it — a completed erase already reset its sense count.
@@ -787,7 +817,17 @@ impl FgmFtl {
                 for i in idx..end {
                     group.push((c.start_lsn + i as u64, self.next_seq()));
                 }
-                let t = self.ensure_space(issue);
+                let mut t = self.ensure_space(issue);
+                // Demand-cached mapping: dirtying each sector's translation
+                // page may fault it in (TP read) and push out a dirty TP
+                // (TP program); both serialize ahead of the data program.
+                if let Some(cache) = self.map_cache.as_mut() {
+                    let mut at = t.max(issue);
+                    for &(lsn, _) in group.iter() {
+                        at = cache.access(lsn, true, at);
+                    }
+                    t = at;
+                }
                 if !self.ssd.halted() && !self.can_alloc_page() {
                     // End of life: the flush has nowhere to land. Latch the
                     // refusal so subsequent writes are dropped up front;
@@ -900,6 +940,14 @@ impl Ftl for FgmFtl {
             groups.push((b, p, s, slot));
         }
         groups.sort_by_key(|&(b, p, _, _)| (b, p));
+        // Demand-cached mapping: faulting in each flash-resident sector's
+        // translation page serializes ahead of the data reads.
+        let mut issue = issue;
+        if let Some(cache) = self.map_cache.as_mut() {
+            for &(_, _, s, _) in groups.iter() {
+                issue = cache.access(s, false, issue);
+            }
+        }
         let mut done = issue;
         let mut faulted = false;
         let mut reclaim: Vec<(u64, u64)> = Vec::new();
@@ -1054,7 +1102,14 @@ impl Ftl for FgmFtl {
     }
 
     fn mapping_memory_bytes(&self) -> u64 {
-        (self.l2p.len() * std::mem::size_of::<u32>()) as u64
+        match &self.map_cache {
+            Some(cache) => cache.resident_bytes(),
+            None => (self.l2p.len() * std::mem::size_of::<u32>()) as u64,
+        }
+    }
+
+    fn map_cache_stats(&self) -> Option<MapCacheStats> {
+        self.map_cache.as_ref().map(MapCache::stats)
     }
 
     fn stats(&self) -> &FtlStats {

@@ -34,6 +34,7 @@ use esp_ssd::Ssd;
 use esp_workload::SECTORS_PER_PAGE;
 
 use crate::eol::SpaceExhausted;
+use crate::gc_policy::{select_victim, GcPolicyKind, SelectOpts, VictimCandidate};
 use crate::stats::FtlStats;
 
 const NO_PTR: u32 = u32::MAX;
@@ -41,11 +42,6 @@ const NO_PTR: u32 = u32::MAX;
 /// The watermark never shrinks below this floor: one erased block must stay
 /// in reserve so GC copy-out has somewhere to land.
 const WATERMARK_FLOOR: u32 = 1;
-
-/// Wear-biased victim selection tolerates this many extra valid pages (as a
-/// fraction of the block: 1/8) over the strict greedy minimum in exchange
-/// for collecting a less-worn block.
-const VICTIM_WEAR_SLACK_SHIFT: u32 = 3;
 
 #[derive(Debug, Clone)]
 struct FullBlock {
@@ -61,6 +57,10 @@ struct FullBlock {
     programmed: u32,
     /// Donated to another region; never used again under this engine.
     retired: bool,
+    /// Monotone stamp taken when the block became fully programmed; 0 for
+    /// blocks restored by recovery (maximally old to the age-aware GC
+    /// policies). Reset on erase.
+    closed_seq: u64,
 }
 
 impl FullBlock {
@@ -72,6 +72,7 @@ impl FullBlock {
             valid_count: 0,
             programmed: 0,
             retired: false,
+            closed_seq: 0,
         }
     }
 
@@ -108,6 +109,12 @@ pub struct FullRegionEngine {
     watermark: u32,
     /// Wear-aware victim selection and cold-block rotation enabled.
     wear_leveling: bool,
+    /// GC victim-selection policy (greedy by default — bit-identical to
+    /// the historical hard-coded scan).
+    gc_policy: GcPolicyKind,
+    /// Next close stamp (starts at 1 so restored blocks' stamp 0 reads as
+    /// oldest).
+    closed_seq_counter: u64,
     /// Allocation failed at the watermark floor: the engine is end-of-life
     /// (or overcommitted) and refuses further space-consuming work.
     exhausted: bool,
@@ -166,6 +173,8 @@ impl FullRegionEngine {
             l2p: vec![NO_PTR; lpn_count as usize],
             watermark,
             wear_leveling: false,
+            gc_policy: GcPolicyKind::Greedy,
+            closed_seq_counter: 1,
             exhausted: false,
             retired_bad: 0,
             trace: EventBuffer::disabled(),
@@ -222,6 +231,28 @@ impl FullRegionEngine {
     #[must_use]
     pub fn wear_leveling(&self) -> bool {
         self.wear_leveling
+    }
+
+    /// Selects the GC victim policy. Greedy (the default) is bit-identical
+    /// to the historical behaviour; see [`crate::GcPolicyKind`].
+    pub fn set_gc_policy(&mut self, policy: GcPolicyKind) {
+        self.gc_policy = policy;
+    }
+
+    /// The active GC victim policy.
+    #[must_use]
+    pub fn gc_policy(&self) -> GcPolicyKind {
+        self.gc_policy
+    }
+
+    /// Stamps `local` with the next close sequence if it just became fully
+    /// programmed (feeds the age term of the age-aware GC policies).
+    fn note_closed(&mut self, local: u32) {
+        let blk = &mut self.blocks[local as usize];
+        if blk.programmed >= self.pages_per_block && blk.closed_seq == 0 {
+            blk.closed_seq = self.closed_seq_counter;
+            self.closed_seq_counter += 1;
+        }
     }
 
     /// Current GC watermark (free blocks kept in reserve). Shrinks toward
@@ -536,6 +567,7 @@ impl FullRegionEngine {
             let block = self.actives[chip].expect("just ensured");
             let page = self.blocks[block as usize].programmed;
             self.blocks[block as usize].programmed += 1;
+            self.note_closed(block);
             self.rr = chip + 1;
             return (block, page);
         }
@@ -692,6 +724,7 @@ impl FullRegionEngine {
                 }
             }
             self.blocks[victim as usize].programmed = self.pages_per_block;
+            self.note_closed(victim);
             // Copy-out needs allocatable space; GC here may collect (and
             // thereby scrub) the victim itself, so re-check before taking
             // it — a completed erase already reset its sense count.
@@ -712,47 +745,36 @@ impl FullRegionEngine {
         now
     }
 
-    /// Greedy victim choice: the full, non-retired, non-active block with
-    /// the fewest valid pages. With wear leveling on, candidates within a
-    /// small valid-count slack (1/8 of a block, at least one page) of the
-    /// greedy minimum compete on effective wear instead — collecting the
-    /// least-worn of them cycles cold blocks back into service (dynamic
-    /// wear leveling). With it off the choice is bit-identical to the plain
-    /// greedy scan.
+    /// Policy-driven victim choice over the full, non-retired, non-active
+    /// blocks (see [`crate::GcPolicyKind`]; greedy — the default — picks
+    /// the fewest valid pages, bit-identical to the historical scan). With
+    /// wear leveling on, candidates within a small valid-count slack (1/8
+    /// of a block, at least one page) of the policy's choice compete on
+    /// effective wear instead — collecting the least-worn of them cycles
+    /// cold blocks back into service (dynamic wear leveling).
     fn pick_victim(&self, ssd: &Ssd) -> Option<u32> {
-        let greedy = self
-            .blocks
-            .iter()
-            .enumerate()
-            .filter(|(i, b)| {
-                b.is_full(self.pages_per_block) && !b.retired && !self.is_active(*i as u32)
-            })
-            .min_by_key(|(_, b)| b.valid_count)
-            .map(|(i, _)| i as u32)?;
-        if !self.wear_leveling {
-            return Some(greedy);
+        let mut candidates = Vec::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            if !b.is_full(self.pages_per_block) || b.retired || self.is_active(i as u32) {
+                continue;
+            }
+            candidates.push(VictimCandidate {
+                index: i as u32,
+                valid: b.valid_count,
+                capacity: self.pages_per_block,
+                age: self.closed_seq_counter.saturating_sub(b.closed_seq),
+                wear: if self.wear_leveling {
+                    self.block_pe(i as u32, ssd)
+                } else {
+                    0
+                },
+            });
         }
-        let best_valid = self.blocks[greedy as usize].valid_count;
-        if best_valid >= self.pages_per_block {
-            return Some(greedy); // unprofitable either way; let callers judge
-        }
-        let slack = (self.pages_per_block >> VICTIM_WEAR_SLACK_SHIFT).max(1);
-        // Never widen into fully-valid blocks: a wear-preferred victim must
-        // still reclaim at least one page.
-        let limit = best_valid
-            .saturating_add(slack)
-            .min(self.pages_per_block - 1);
-        self.blocks
-            .iter()
-            .enumerate()
-            .filter(|(i, b)| {
-                b.is_full(self.pages_per_block)
-                    && !b.retired
-                    && !self.is_active(*i as u32)
-                    && b.valid_count <= limit
-            })
-            .min_by_key(|(i, b)| (self.block_pe(*i as u32, ssd), b.valid_count, *i))
-            .map(|(i, _)| i as u32)
+        select_victim(
+            self.gc_policy,
+            SelectOpts::standard(self.wear_leveling),
+            &candidates,
+        )
     }
 
     /// Collects one victim block (copy valid pages out, erase, free) if one
@@ -902,6 +924,7 @@ impl FullRegionEngine {
                 blk.programmed = 0;
                 blk.valid.fill(false);
                 blk.valid_count = 0;
+                blk.closed_seq = 0;
                 self.free.push(victim);
             }
             Err(f) if f.error == esp_nand::NandError::EraseFailed => {
@@ -913,6 +936,7 @@ impl FullRegionEngine {
                 blk.retired = true;
                 blk.valid.fill(false);
                 blk.valid_count = 0;
+                blk.closed_seq = 0;
                 self.retired_bad += 1;
                 stats.erase_failures += 1;
                 stats.blocks_retired += 1;
@@ -1055,6 +1079,9 @@ impl FullRegionEngine {
             self.blocks[b].programmed = p;
             self.blocks[b].valid.fill(false);
             self.blocks[b].valid_count = 0;
+            // Recovered blocks carry stamp 0: maximally old to the
+            // age-aware policies, the safe direction after a crash.
+            self.blocks[b].closed_seq = 0;
         }
         for l in &mut self.l2p {
             *l = NO_PTR;

@@ -56,6 +56,8 @@ mod crash_harness;
 mod eol;
 mod fgm;
 mod full_region;
+mod gc_policy;
+mod map_cache;
 mod read_path;
 mod recovery;
 mod report;
@@ -75,6 +77,10 @@ pub use crash_harness::{
 pub use eol::SpaceExhausted;
 pub use fgm::FgmFtl;
 pub use full_region::{FullRegionEngine, PagePtr};
+pub use gc_policy::{
+    select_victim, GcPolicyKind, SelectOpts, VictimCandidate, VICTIM_WEAR_SLACK_SHIFT,
+};
+pub use map_cache::{MapCache, MapCacheConfig, MapCacheStats, ENTRIES_PER_TP};
 pub use report::{
     latency_json, run_json, tenant_json, tenants_json, validate_bench, BenchReport,
     BENCH_SCHEMA_NAME, BENCH_SCHEMA_VERSION, REQUIRED_RUN_FIELDS,

@@ -451,6 +451,19 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
         .and_then(Json::as_arr)
         .ok_or("missing array `runs`")?;
     for (i, run) in runs.iter().enumerate() {
+        // Reject duplicate member keys: `push_run_with` splices extras
+        // with no collision check, so two producers writing the same
+        // namespace (e.g. `array.*` and a future cache counter both
+        // claiming `mapping_memory_bytes`) would otherwise shadow each
+        // other silently — `benchcmp` and jq both read whichever copy
+        // their parser keeps, hiding the regression the gate exists for.
+        if let Some(members) = run.as_obj() {
+            let mut keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+            keys.sort_unstable();
+            if let Some(w) = keys.windows(2).find(|w| w[0] == w[1]) {
+                return Err(format!("runs[{i}] has duplicate member `{}`", w[0]));
+            }
+        }
         for field in REQUIRED_RUN_FIELDS {
             let v = run
                 .path(field)
@@ -576,6 +589,51 @@ mod tests {
         }
         let err = validate_bench(&j).unwrap_err();
         assert!(err.contains("iops"), "error should name the field: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_colliding_extras() {
+        let mut ftl = SubFtl::new(&FtlConfig::tiny());
+        let trace = generate(&SyntheticConfig {
+            footprint_sectors: 64,
+            requests: 50,
+            r_small: 1.0,
+            r_synch: 1.0,
+            ..SyntheticConfig::default()
+        });
+        let run = run_trace(&mut ftl, &trace);
+        let mut b = BenchReport::new("dup_extras");
+        // Two extras producers claim the same member name — as array and
+        // map-cache reporting both could for `mapping_memory_bytes`.
+        b.push_run_with(
+            "collision",
+            &run,
+            [
+                ("mapping_memory_bytes".to_string(), Json::from(1u64)),
+                ("mapping_memory_bytes".to_string(), Json::from(2u64)),
+            ],
+        );
+        let err = validate_bench(&b.to_json()).unwrap_err();
+        assert!(
+            err.contains("duplicate") && err.contains("mapping_memory_bytes"),
+            "error should name the duplicated member: {err}"
+        );
+        // An extra colliding with a standard member is caught too.
+        let mut b = BenchReport::new("dup_standard");
+        b.push_run_with("collision", &run, [("iops".to_string(), Json::from(0u64))]);
+        let err = validate_bench(&b.to_json()).unwrap_err();
+        assert!(err.contains("duplicate") && err.contains("iops"), "{err}");
+        // Distinct namespaces coexist fine.
+        let mut b = BenchReport::new("ok_extras");
+        b.push_run_with(
+            "no_collision",
+            &run,
+            [
+                ("array.mapping_memory_bytes".to_string(), Json::from(1u64)),
+                ("map_cache.resident_bytes".to_string(), Json::from(2u64)),
+            ],
+        );
+        validate_bench(&b.to_json()).unwrap();
     }
 
     #[test]

@@ -283,6 +283,13 @@ pub trait Ftl {
     /// page grain.
     fn mapping_memory_bytes(&self) -> u64;
 
+    /// Demand-cached mapping counters, when the FTL runs with
+    /// [`crate::FtlConfig::map_cache`] enabled. `None` for FTLs without a
+    /// cache (including FTLs that support one but run with it off).
+    fn map_cache_stats(&self) -> Option<crate::MapCacheStats> {
+        None
+    }
+
     /// FTL counters.
     fn stats(&self) -> &FtlStats;
 

@@ -23,6 +23,7 @@ use esp_workload::SECTORS_PER_PAGE;
 use crate::buffer::{FlushChunk, WriteBuffer};
 use crate::config::FtlConfig;
 use crate::full_region::FullRegionEngine;
+use crate::gc_policy::{select_victim, GcPolicyKind, SelectOpts, VictimCandidate};
 use crate::read_path::{note_read_result, ReadReliability};
 use crate::runner::Ftl;
 use crate::stats::FtlStats;
@@ -38,6 +39,10 @@ struct LogBlock {
     programmed_pages: u32,
     /// Bad block (factory-marked or grown): never appended to again.
     retired: bool,
+    /// Monotone stamp taken when the block filled; 0 means "never stamped
+    /// this mount" (erased, or recovered — treated as maximally old by
+    /// age-aware GC policies).
+    closed_seq: u64,
 }
 
 impl LogBlock {
@@ -49,6 +54,7 @@ impl LogBlock {
             valid_count: 0,
             programmed_pages: 0,
             retired: false,
+            closed_seq: 0,
         }
     }
 }
@@ -84,6 +90,14 @@ pub struct SectorLogFtl {
     pages_per_block: u32,
     nsub: u32,
     watermark: u32,
+    /// Victim-selection policy for log-merge GC (the data region's engine
+    /// carries its own copy).
+    gc_policy: GcPolicyKind,
+    /// Source for [`LogBlock::closed_seq`] stamps; starts at 1 so stamp 0
+    /// stays reserved for "never closed".
+    closed_seq_counter: u64,
+    /// Background GC into host idle windows (`FtlConfig::background_gc`).
+    background_gc: bool,
     /// Wear-delta bias in log-merge victim selection plus wear-aware log
     /// allocation (off by default for bit-identity with the seed).
     wear_leveling: bool,
@@ -159,6 +173,7 @@ impl SectorLogFtl {
             config.gc_free_watermark,
         );
         data.set_wear_leveling(config.wear_leveling);
+        data.set_gc_policy(config.gc_policy);
         let log_blocks: Vec<LogBlock> = log_gbis
             .iter()
             .map(|&gbi| LogBlock::new(gbi, gbi / bpc, g.pages_per_block, g.subpages_per_page))
@@ -181,6 +196,9 @@ impl SectorLogFtl {
             pages_per_block: g.pages_per_block,
             nsub: g.subpages_per_page,
             watermark: config.gc_free_watermark,
+            gc_policy: config.gc_policy,
+            closed_seq_counter: 1,
+            background_gc: config.background_gc,
             wear_leveling: config.wear_leveling,
             wear_delta: config.wear_delta_threshold,
             next_wear_check: 0,
@@ -581,7 +599,12 @@ impl SectorLogFtl {
             }
             let block = self.log_actives[chip].expect("just ensured");
             let page = self.log_blocks[block as usize].programmed_pages;
-            self.log_blocks[block as usize].programmed_pages += 1;
+            let blk = &mut self.log_blocks[block as usize];
+            blk.programmed_pages += 1;
+            if blk.programmed_pages >= self.pages_per_block && blk.closed_seq == 0 {
+                blk.closed_seq = self.closed_seq_counter;
+                self.closed_seq_counter += 1;
+            }
             self.rr = chip + 1;
             return (block, page);
         }
@@ -681,34 +704,37 @@ impl SectorLogFtl {
         })
     }
 
-    /// Picks a merge victim: greedy min-valid, or — with wear leveling on —
-    /// the least-worn log block among those within a small valid-count
-    /// slack of the greedy choice.
+    /// Picks a merge victim among full log blocks via the configured
+    /// [`GcPolicyKind`], with the wear-leveling slack re-rank composed on
+    /// top (see [`crate::select_victim`]).
     fn pick_log_victim(&self) -> Option<u32> {
-        let candidate = |i: usize, b: &LogBlock| {
-            !b.retired
-                && !self.log_actives.contains(&Some(i as u32))
-                && b.programmed_pages >= self.pages_per_block
-        };
-        let (greedy, best_valid) = self
+        let subs_per_block = self.pages_per_block * self.nsub;
+        let candidates: Vec<VictimCandidate> = self
             .log_blocks
             .iter()
             .enumerate()
-            .filter(|(i, b)| candidate(*i, b))
-            .min_by_key(|(_, b)| b.valid_count)
-            .map(|(i, b)| (i as u32, b.valid_count))?;
-        let subs_per_block = self.pages_per_block * self.nsub;
-        if !self.wear_leveling || best_valid >= subs_per_block {
-            return Some(greedy);
-        }
-        let slack = (subs_per_block >> 3).max(1);
-        let limit = best_valid.saturating_add(slack).min(subs_per_block - 1);
-        self.log_blocks
-            .iter()
-            .enumerate()
-            .filter(|(i, b)| candidate(*i, b) && b.valid_count <= limit)
-            .min_by_key(|(i, b)| (self.log_block_pe(*i as u32), b.valid_count, *i))
-            .map(|(i, _)| i as u32)
+            .filter(|(i, b)| {
+                !b.retired
+                    && !self.log_actives.contains(&Some(*i as u32))
+                    && b.programmed_pages >= self.pages_per_block
+            })
+            .map(|(i, b)| VictimCandidate {
+                index: i as u32,
+                valid: b.valid_count,
+                capacity: subs_per_block,
+                age: self.closed_seq_counter.saturating_sub(b.closed_seq),
+                wear: if self.wear_leveling {
+                    self.log_block_pe(i as u32)
+                } else {
+                    0
+                },
+            })
+            .collect();
+        select_victim(
+            self.gc_policy,
+            SelectOpts::standard(self.wear_leveling),
+            &candidates,
+        )
     }
 
     /// Log GC: full merge — every live sector of the victim (and every
@@ -775,6 +801,7 @@ impl SectorLogFtl {
                 let b = &mut self.log_blocks[victim as usize];
                 b.valid.fill(false);
                 b.programmed_pages = 0;
+                b.closed_seq = 0;
                 self.log_free.push(victim);
                 self.maybe_log_wear_swap();
             }
@@ -1105,6 +1132,42 @@ impl Ftl for SectorLogFtl {
         let done = self.flush_chunks(&mut chunks, issue);
         self.chunks_scratch = chunks;
         done
+    }
+
+    fn idle(&mut self, from: SimTime, until: SimTime) {
+        if !self.background_gc || self.ssd.device_failed() {
+            return;
+        }
+        // Refill the data-region pool first, then pre-merge log blocks: a
+        // merge only starts if its estimate fits the remaining window.
+        let mut now = self.data.background_collect(
+            &mut self.ssd,
+            &mut self.stats,
+            from,
+            until,
+            self.watermark + 2,
+        );
+        use esp_nand::OpKind;
+        let per_page = self.ssd.device().op_cost(OpKind::ReadFull).total()
+            + self.ssd.device().op_cost(OpKind::ProgramFull).total();
+        let erase = self.ssd.device().op_cost(OpKind::Erase).total();
+        while !self.ssd.halted() && (self.log_free.len() as u32) < self.watermark + 2 {
+            let Some(victim) = self.pick_log_victim() else {
+                break;
+            };
+            let valid = self.log_blocks[victim as usize].valid_count;
+            if valid >= self.pages_per_block * self.nsub {
+                break; // nothing reclaimable
+            }
+            let estimate = per_page * u64::from(valid.div_ceil(self.nsub).max(1) + 1) + erase;
+            if now + estimate > until {
+                break;
+            }
+            match self.merge_block(victim, now) {
+                Some(done) if !self.ssd.halted() => now = done,
+                _ => break,
+            }
+        }
     }
 
     fn trim(&mut self, lsn: u64, sectors: u32) {

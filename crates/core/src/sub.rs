@@ -29,6 +29,7 @@ use esp_workload::SECTORS_PER_PAGE;
 use crate::buffer::{FlushChunk, WriteBuffer};
 use crate::config::{EvictionPolicy, FtlConfig};
 use crate::full_region::FullRegionEngine;
+use crate::gc_policy::{select_victim, GcPolicyKind, SelectOpts, VictimCandidate};
 use crate::read_path::{note_read_result, ReadReliability};
 use crate::runner::Ftl;
 use crate::stats::FtlStats;
@@ -51,6 +52,10 @@ struct SubBlock {
     valid_count: u32,
     /// Handed to the full-page region by wear leveling; never used again.
     retired: bool,
+    /// Monotone stamp taken when the block exhausted its last lap
+    /// (`level == N_sub`); 0 means "never stamped this mount" (erased, or
+    /// recovered — treated as maximally old by age-aware GC policies).
+    closed_seq: u64,
 }
 
 impl SubBlock {
@@ -63,6 +68,7 @@ impl SubBlock {
             page_valid: vec![None; pages as usize],
             valid_count: 0,
             retired: false,
+            closed_seq: 0,
         }
     }
 
@@ -114,6 +120,12 @@ pub struct SubFtl {
     gc_batch: u32,
     eviction: EvictionPolicy,
     background_gc: bool,
+    /// Victim-selection policy for subpage-region GC (the full-page
+    /// region's engine carries its own copy).
+    gc_policy: GcPolicyKind,
+    /// Source for [`SubBlock::closed_seq`] stamps; starts at 1 so stamp 0
+    /// stays reserved for "never closed".
+    closed_seq_counter: u64,
     /// Durability-first variants of lap migration, same-sector overwrite,
     /// and GC/scrub handling of buffer-shadowed copies (see
     /// [`FtlConfig::crash_safe_mode`]).
@@ -188,6 +200,7 @@ impl SubFtl {
             config.gc_free_watermark,
         );
         full.set_wear_leveling(config.wear_leveling);
+        full.set_gc_policy(config.gc_policy);
         let blocks: Vec<SubBlock> = sub_gbis
             .iter()
             .map(|&gbi| SubBlock::new(gbi, gbi / bpc, g.pages_per_block))
@@ -215,6 +228,8 @@ impl SubFtl {
             gc_batch: config.subpage_gc_batch,
             eviction: config.eviction_policy,
             background_gc: config.background_gc,
+            gc_policy: config.gc_policy,
+            closed_seq_counter: 1,
             crash_safe_mode: config.crash_safe_mode,
             reliability: ReadReliability::new(config),
             trace: EventBuffer::disabled(),
@@ -332,6 +347,7 @@ impl SubFtl {
             config.gc_free_watermark,
         );
         full.set_wear_leveling(config.wear_leveling);
+        full.set_gc_policy(config.gc_policy);
 
         // Rebuild subpage-region block skeletons (lap state; validity comes
         // from the winner resolution below).
@@ -515,6 +531,8 @@ impl SubFtl {
             gc_batch: config.subpage_gc_batch,
             eviction: config.eviction_policy,
             background_gc: config.background_gc,
+            gc_policy: config.gc_policy,
+            closed_seq_counter: 1,
             crash_safe_mode: config.crash_safe_mode,
             reliability: ReadReliability::new(config),
             trace: EventBuffer::disabled(),
@@ -578,6 +596,7 @@ impl SubFtl {
                 vblk.level = 0;
                 vblk.cursor = 0;
                 vblk.page_valid.fill(None);
+                vblk.closed_seq = 0;
             }
             Err(f) if f.error == esp_nand::NandError::EraseFailed => {
                 let vblk = &mut self.blocks[victim as usize];
@@ -666,6 +685,19 @@ impl SubFtl {
         }
     }
 
+    /// Stamps `closed_seq` once a block exhausts its last lap. Idempotent
+    /// (a stamped block keeps its first stamp) and policy-independent:
+    /// greedy ignores the stamps entirely, so running them unconditionally
+    /// leaves default behavior bit-identical.
+    fn note_closed(&mut self, b: u32) {
+        let nsub = self.nsub;
+        let blk = &mut self.blocks[b as usize];
+        if u32::from(blk.level) >= nsub && blk.closed_seq == 0 {
+            blk.closed_seq = self.closed_seq_counter;
+            self.closed_seq_counter += 1;
+        }
+    }
+
     /// Consumes the active block's current slot position.
     fn advance_cursor(&mut self, b: u32) {
         let pages = self.pages_per_block;
@@ -678,6 +710,7 @@ impl SubFtl {
             if self.actives[chip] == Some(b) {
                 self.actives[chip] = None;
             }
+            self.note_closed(b);
         }
     }
 
@@ -970,39 +1003,40 @@ impl SubFtl {
         }
     }
 
-    /// Picks the subpage-region GC victim among exhausted blocks: greedy
-    /// min-valid, or — with wear leveling on — the least-worn block among
-    /// those within a small valid-count slack of the greedy choice.
+    /// Picks the subpage-region GC victim among exhausted blocks via the
+    /// configured [`GcPolicyKind`], with the wear-leveling slack re-rank
+    /// composed on top (see [`crate::select_victim`]).
     fn pick_sub_victim(&self) -> Option<u32> {
-        let candidate = |i: usize, b: &SubBlock| {
-            !b.retired
-                && i as u32 != self.reserve
-                && !self.actives.contains(&Some(i as u32))
-                && u32::from(b.level) == self.nsub
-        };
-        let (greedy, best_valid) = self
+        let wear_leveling = self.full.wear_leveling();
+        let candidates: Vec<VictimCandidate> = self
             .blocks
             .iter()
             .enumerate()
-            .filter(|(i, b)| candidate(*i, b))
-            .min_by_key(|(_, b)| b.valid_count)
-            .map(|(i, b)| (i as u32, b.valid_count))?;
-        if !self.full.wear_leveling() {
-            return Some(greedy);
-        }
-        let slack = (self.pages_per_block >> 3).max(1);
-        let limit = best_valid.saturating_add(slack);
-        let pe = |i: u32| {
-            self.ssd
-                .device()
-                .effective_pe(self.ssd.geometry().block_addr(self.blocks[i as usize].gbi))
-        };
-        self.blocks
-            .iter()
-            .enumerate()
-            .filter(|(i, b)| candidate(*i, b) && b.valid_count <= limit)
-            .min_by_key(|(i, b)| (pe(*i as u32), b.valid_count, *i))
-            .map(|(i, _)| i as u32)
+            .filter(|(i, b)| {
+                !b.retired
+                    && *i as u32 != self.reserve
+                    && !self.actives.contains(&Some(*i as u32))
+                    && u32::from(b.level) == self.nsub
+            })
+            .map(|(i, b)| VictimCandidate {
+                index: i as u32,
+                valid: b.valid_count,
+                capacity: self.pages_per_block,
+                age: self.closed_seq_counter.saturating_sub(b.closed_seq),
+                wear: if wear_leveling {
+                    self.ssd
+                        .device()
+                        .effective_pe(self.ssd.geometry().block_addr(b.gbi))
+                } else {
+                    0
+                },
+            })
+            .collect();
+        select_victim(
+            self.gc_policy,
+            SelectOpts::subpage(wear_leveling),
+            &candidates,
+        )
     }
 
     /// Subpage-region garbage collection (§4.2): pick the block with the
@@ -1108,13 +1142,15 @@ impl SubFtl {
                                 written_at: now,
                             },
                         );
+                        let pages = self.pages_per_block;
                         let rblk = &mut self.blocks[reserve as usize];
                         rblk.page_valid[rp as usize] = Some(lsn);
                         rblk.valid_count += 1;
                         rblk.cursor += 1;
-                        if rblk.cursor == self.pages_per_block {
+                        if rblk.cursor == pages {
                             rblk.level = 1;
                             rblk.cursor = 0;
+                            self.note_closed(reserve);
                         }
                         self.stats.gc_copied_sectors += 1;
                         self.stats.gc_flash_sectors += 1;
@@ -1127,11 +1163,13 @@ impl SubFtl {
                         self.stats.program_failures += 1;
                         self.stats.write_retries += 1;
                         now = f.at;
+                        let pages = self.pages_per_block;
                         let rblk = &mut self.blocks[reserve as usize];
                         rblk.cursor += 1;
-                        if rblk.cursor == self.pages_per_block {
+                        if rblk.cursor == pages {
                             rblk.level = 1;
                             rblk.cursor = 0;
+                            self.note_closed(reserve);
                         }
                         now = self.evict_to_full(&[(lsn, oob)], now);
                     }
@@ -1157,6 +1195,7 @@ impl SubFtl {
                 vblk.level = 0;
                 vblk.cursor = 0;
                 vblk.page_valid.fill(None);
+                vblk.closed_seq = 0;
                 self.reserve = victim;
             }
             Err(f) if f.error == esp_nand::NandError::EraseFailed => {
@@ -1598,6 +1637,7 @@ impl SubFtl {
                     vblk.level = 0;
                     vblk.cursor = 0;
                     vblk.page_valid.fill(None);
+                    vblk.closed_seq = 0;
                     self.stats.disturb_scrubs += 1;
                 }
                 Err(f) if f.error == esp_nand::NandError::EraseFailed => {

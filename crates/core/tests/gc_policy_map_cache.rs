@@ -1,0 +1,271 @@
+//! Properties of the pluggable GC-policy framework and the demand-cached
+//! mapping tier:
+//!
+//! 1. **Policy transparency**: victim selection decides *where* GC copies
+//!    valid data, never *which* data is durable — after the same op
+//!    sequence (including fault injection and wear leveling), every
+//!    policy must agree with the greedy baseline on the stored sequence
+//!    number of every logical sector.
+//! 2. **Cache transparency**: the demand cache (`map_cache`) only charges
+//!    simulated time; the host-visible mapping must be bit-identical to
+//!    an uncached run, even at the minimum CMT size where every other
+//!    access evicts.
+//! 3. **Crash round-trip**: a mount from flash contents with the cache
+//!    enabled rebuilds a cold cache and loses no committed mapping —
+//!    translation-page state is reconstructible because the in-DRAM map
+//!    stays authoritative and recovery scans the OOB spare area.
+//!
+//! Random cases use the deterministic `esp_sim::Rng` (reproducible from
+//! the printed seed).
+
+use esp_core::{
+    CgmFtl, FgmFtl, Ftl, FtlConfig, GcPolicyKind, MapCacheConfig, SectorLogFtl, SubFtl,
+};
+use esp_nand::FaultConfig;
+use esp_sim::{Rng, SimTime};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write { lsn: u64, sectors: u32, sync: bool },
+    Read { lsn: u64, sectors: u32 },
+    Trim { lsn: u64, sectors: u32 },
+    Flush,
+}
+
+/// Write-heavy mix over a narrow hot set, so GC runs often enough for the
+/// victim-selection policies to actually diverge.
+fn random_ops(rng: &mut Rng, logical: u64, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| {
+            let max_start = logical / 2 - 4;
+            match rng.next_below(10) {
+                0..=5 => Op::Write {
+                    lsn: rng.next_below(max_start),
+                    sectors: rng.next_in(1, 4) as u32,
+                    sync: rng.chance(0.6),
+                },
+                6 | 7 => Op::Read {
+                    lsn: rng.next_below(max_start),
+                    sectors: rng.next_in(1, 4) as u32,
+                },
+                8 => Op::Trim {
+                    lsn: rng.next_below(max_start),
+                    sectors: rng.next_in(1, 4) as u32,
+                },
+                _ => Op::Flush,
+            }
+        })
+        .collect()
+}
+
+fn apply(ftl: &mut dyn Ftl, ops: &[Op]) {
+    let mut clock = SimTime::ZERO;
+    for op in ops {
+        match *op {
+            Op::Write { lsn, sectors, sync } => {
+                let done = ftl.write(lsn, sectors, sync, clock);
+                if sync {
+                    clock = done;
+                }
+            }
+            Op::Read { lsn, sectors } => clock = ftl.read(lsn, sectors, clock),
+            Op::Trim { lsn, sectors } => ftl.trim(lsn, sectors),
+            Op::Flush => clock = ftl.flush(clock),
+        }
+    }
+    ftl.flush(clock);
+}
+
+/// The host-visible mapping: stored sequence number per logical sector.
+fn durable_map(ftl: &dyn Ftl, logical: u64) -> Vec<Option<u64>> {
+    (0..logical).map(|lsn| ftl.stored_seq(lsn)).collect()
+}
+
+fn build(name: &str, cfg: &FtlConfig) -> Box<dyn Ftl> {
+    match name {
+        "sub" => Box::new(SubFtl::new(cfg)),
+        "cgm" => Box::new(CgmFtl::new(cfg)),
+        "fgm" => Box::new(FgmFtl::new(cfg)),
+        "sectorlog" => Box::new(SectorLogFtl::new(cfg)),
+        _ => unreachable!(),
+    }
+}
+
+const FTLS: [&str; 4] = ["sub", "cgm", "fgm", "sectorlog"];
+const LOGICAL: u64 = 128;
+const CASES: u64 = 12;
+
+/// Fault + wear soak configuration: failures force retries and block
+/// retirement mid-GC, wear leveling re-ranks every policy's choice.
+fn soak_config(policy: GcPolicyKind, fault_seed: u64) -> FtlConfig {
+    let mut cfg = FtlConfig::tiny();
+    cfg.gc_policy = policy;
+    cfg.wear_leveling = true;
+    cfg.fault = Some(FaultConfig {
+        seed: fault_seed,
+        program_fail_prob: 0.005,
+        erase_fail_prob: 0.0003,
+        factory_bad_blocks: 1,
+        ..FaultConfig::default()
+    });
+    cfg
+}
+
+/// Property 1: every policy preserves exactly the host-visible data the
+/// greedy baseline preserves, for all four FTLs, under fault + wear soak.
+#[test]
+fn policies_preserve_host_data() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0x6C9A ^ seed);
+        let ops = random_ops(&mut rng, LOGICAL, 600);
+        for name in FTLS {
+            let mut baseline = build(name, &soak_config(GcPolicyKind::Greedy, seed));
+            apply(baseline.as_mut(), &ops);
+            let want = durable_map(baseline.as_ref(), LOGICAL);
+            for policy in [GcPolicyKind::CostBenefit, GcPolicyKind::WindowedGreedy] {
+                let mut ftl = build(name, &soak_config(policy, seed));
+                apply(ftl.as_mut(), &ops);
+                assert_eq!(
+                    durable_map(ftl.as_ref(), LOGICAL),
+                    want,
+                    "{name} seed {seed}: {policy} diverged from greedy on host data"
+                );
+                assert_eq!(
+                    ftl.stats().read_faults,
+                    0,
+                    "{name} seed {seed}: {policy} surfaced read faults"
+                );
+            }
+        }
+    }
+}
+
+/// Property 2: the demand cache is invisible to correctness even at the
+/// minimum CMT size (2 pages — maximum eviction churn), and its counters
+/// prove the eviction path actually ran.
+#[test]
+fn map_cache_transparent_under_eviction_pressure() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0x3CA0 ^ seed);
+        let ops = random_ops(&mut rng, LOGICAL, 400);
+        for name in ["cgm", "fgm"] {
+            let plain_cfg = FtlConfig::tiny();
+            let mut plain = build(name, &plain_cfg);
+            apply(plain.as_mut(), &ops);
+            let want = durable_map(plain.as_ref(), LOGICAL);
+
+            let mut cached_cfg = FtlConfig::tiny();
+            cached_cfg.map_cache = Some(MapCacheConfig { cmt_pages: 2 });
+            let mut cached = build(name, &cached_cfg);
+            apply(cached.as_mut(), &ops);
+            assert_eq!(
+                durable_map(cached.as_ref(), LOGICAL),
+                want,
+                "{name} seed {seed}: cache changed host-visible data"
+            );
+            let stats = cached
+                .map_cache_stats()
+                .expect("cache enabled but no stats");
+            assert!(
+                stats.hits + stats.misses > 0,
+                "{name} seed {seed}: cache never consulted"
+            );
+            assert!(plain.map_cache_stats().is_none(), "uncached FTL has stats");
+        }
+    }
+}
+
+/// A scattered write pattern over a device with several translation pages
+/// but a 2-page CMT, guaranteeing misses, dirty evictions and charged
+/// translation-page program traffic — and still losing no data.
+#[test]
+fn map_cache_charges_miss_and_evict_traffic() {
+    // 128 blocks x 64 pages x 4 subpages = 32768 sectors, 24576 logical:
+    // fgm maps one entry per sector = 6 translation pages (4096 each).
+    let cfg = {
+        let mut c = FtlConfig::paper_default();
+        c.geometry = esp_nand::Geometry {
+            channels: 2,
+            chips_per_channel: 2,
+            blocks_per_chip: 32,
+            pages_per_block: 64,
+            subpages_per_page: 4,
+            subpage_bytes: 4096,
+        };
+        c.write_buffer_sectors = 16;
+        c.map_cache = Some(MapCacheConfig { cmt_pages: 2 });
+        c
+    };
+    let logical = cfg.logical_sectors();
+    let mut ftl = FgmFtl::new(&cfg);
+    let mut clock = SimTime::ZERO;
+    // Alternate a hot region (stays resident in one CMT slot, producing
+    // hits) with a pseudo-random stride whose consecutive writes land on
+    // different translation pages (thrashing the other slot).
+    for i in 0..1000u64 {
+        clock = ftl.write(i % 2048, 1, true, clock);
+        clock = ftl.write(2048 + (i * 4099) % (logical - 2049), 1, true, clock);
+    }
+    clock = ftl.flush(clock);
+    let s = ftl.map_cache_stats().expect("cache enabled");
+    assert!(s.misses > 0, "expected CMT misses, got {s:?}");
+    assert!(s.hits > 0, "expected CMT hits, got {s:?}");
+    assert!(s.evictions > 0, "expected CMT evictions, got {s:?}");
+    assert!(s.dirty_evictions > 0, "expected dirty evictions, got {s:?}");
+    assert!(s.tp_programs > 0, "expected charged TP programs, got {s:?}");
+    assert!(s.charged_ns > 0, "expected charged time, got {s:?}");
+    // Cache pressure never costs data: read everything written back.
+    for i in 0..1000u64 {
+        clock = ftl.read(i % 2048, 1, clock);
+        clock = ftl.read(2048 + (i * 4099) % (logical - 2049), 1, clock);
+    }
+    assert_eq!(ftl.stats().read_faults, 0, "cache pressure lost data");
+}
+
+/// Property 3: mounting from flash with the cache enabled rebuilds a cold
+/// cache and recovers every committed mapping — before and after the
+/// crash point the in-DRAM map is authoritative, so no translation-page
+/// write can strand a newer mapping.
+#[test]
+fn map_cache_recovery_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from(0x3CEC ^ seed);
+        let ops = random_ops(&mut rng, LOGICAL, 300);
+        let mut cfg = FtlConfig::tiny();
+        cfg.map_cache = Some(MapCacheConfig { cmt_pages: 2 });
+
+        let mut ftl = CgmFtl::new(&cfg);
+        apply(&mut ftl, &ops);
+        let mut recovered = CgmFtl::recover(ftl.ssd().clone(), &cfg);
+        for lsn in 0..LOGICAL {
+            if let Some(seq) = ftl.stored_seq(lsn) {
+                assert_eq!(
+                    recovered.stored_seq(lsn),
+                    Some(seq),
+                    "cgm seed {seed}: sector {lsn} lost or regressed across mount"
+                );
+            }
+        }
+        // The recovered instance still runs with a (cold) cache.
+        let mut clock = recovered.ssd().makespan();
+        for i in 0..32 {
+            clock = recovered.write(i % (LOGICAL - 1), 1, true, clock);
+        }
+        recovered.flush(clock);
+        let s = recovered.map_cache_stats().expect("cache survives mount");
+        assert!(s.hits + s.misses > 0, "seed {seed}: cold cache never used");
+
+        let mut fgm = FgmFtl::new(&cfg);
+        apply(&mut fgm, &ops);
+        let rec = FgmFtl::recover(fgm.ssd().clone(), &cfg);
+        for lsn in 0..LOGICAL {
+            if let Some(seq) = fgm.stored_seq(lsn) {
+                assert_eq!(
+                    rec.stored_seq(lsn),
+                    Some(seq),
+                    "fgm seed {seed}: sector {lsn} lost or regressed across mount"
+                );
+            }
+        }
+    }
+}

@@ -18,8 +18,8 @@ use std::process::ExitCode;
 use esp_storage::array::{shard_configs, ArrayConfig, EspArray, KillSpec};
 use esp_storage::ftl::{
     precondition, random_workload, run_tenants_qd, run_trace_qd, BenchReport, CgmFtl, CrashHarness,
-    CrashOp, CrashTarget, FgmFtl, Ftl, FtlConfig, RunReport, SectorLogFtl, SubFtl, TenantConfig,
-    TenantReport, TenantSet,
+    CrashOp, CrashTarget, FgmFtl, Ftl, FtlConfig, GcPolicyKind, MapCacheConfig, RunReport,
+    SectorLogFtl, SubFtl, TenantConfig, TenantReport, TenantSet,
 };
 use esp_storage::nand::{FaultConfig, Geometry, RetryLadder};
 use esp_storage::sim::SimDuration;
@@ -97,6 +97,14 @@ DEVICE / FTL FLAGS:
                          [default 8x4x16x64]
     --op <0..1>          over-provisioning (hidden capacity) [default 0.25]
     --planes <n>         planes per chip               [default 1]
+    --gc-policy <name>   GC victim selection: greedy | cost-benefit |
+                         windowed-greedy               [default greedy]
+    --background-gc <bool>  collect into host idle windows (all FTLs)
+                                                       [default false]
+    --map-cache <n>      demand-cache the page map (cgm / fgm): keep n
+                         translation pages resident (DFTL-style CMT,
+                         n >= 2); miss / evict traffic is charged to
+                         the device timeline            [default off]
     --out <file>         (gen) output path
 
 OBSERVABILITY FLAGS (run / compare / replay):
@@ -296,6 +304,18 @@ fn config_from(flags: &Flags) -> Result<FtlConfig, Box<dyn Error>> {
     cfg.wear_leveling = flags.parse_or("wear-leveling", false)?;
     cfg.adaptive_erase = flags.parse_or("adaptive-erase", false)?;
     cfg.wear_delta_threshold = flags.parse_or("wear-delta", cfg.wear_delta_threshold)?;
+    cfg.background_gc = flags.parse_or("background-gc", false)?;
+    if let Some(v) = flags.get("gc-policy") {
+        cfg.gc_policy = v
+            .parse::<GcPolicyKind>()
+            .map_err(|e| format!("bad --gc-policy: {e}"))?;
+    }
+    if let Some(v) = flags.get("map-cache") {
+        let pages: usize = v
+            .parse()
+            .map_err(|_| format!("bad --map-cache `{v}`: expected a page count"))?;
+        cfg.map_cache = Some(MapCacheConfig { cmt_pages: pages });
+    }
     cfg.validate().map_err(|e| format!("invalid config: {e}"))?;
     Ok(cfg)
 }
@@ -504,6 +524,20 @@ fn print_report(r: &RunReport, lifetime: &esp_storage::ftl::FtlStats) {
             lifetime.program_failures, lifetime.erase_failures
         );
         println!("  blocks retired  {}", lifetime.blocks_retired);
+    }
+}
+
+/// One-line demand-cache summary after the main report; silent when the
+/// FTL runs without `--map-cache`.
+fn print_map_cache(ftl: &dyn Ftl) {
+    if let Some(s) = ftl.map_cache_stats() {
+        println!(
+            "  map cache       {:.1}% hit ({} miss, {} dirty evict, {} TP programs)",
+            s.hit_rate() * 100.0,
+            s.misses,
+            s.dirty_evictions,
+            s.tp_programs
+        );
     }
 }
 
@@ -862,7 +896,39 @@ fn bench_report(name: &str, flags: &Flags, cfg: &FtlConfig, requests: u64) -> Be
     if cfg.adaptive_erase {
         b.meta("adaptive_erase", Json::from(true));
     }
+    if cfg.background_gc {
+        b.meta("background_gc", Json::from(true));
+    }
+    if cfg.gc_policy != GcPolicyKind::Greedy {
+        b.meta("gc_policy", Json::from(cfg.gc_policy.name()));
+    }
+    if let Some(mc) = &cfg.map_cache {
+        b.meta("map_cache_pages", Json::from(mc.cmt_pages as u64));
+    }
     b
+}
+
+/// Demand-cache counters for the BENCH report, namespaced `map_cache.*`
+/// alongside the other extras. Empty when the FTL runs without a cache,
+/// so default runs stay bit-identical to their committed baselines.
+fn map_cache_extras(ftl: &dyn Ftl) -> Vec<(String, Json)> {
+    let Some(s) = ftl.map_cache_stats() else {
+        return Vec::new();
+    };
+    vec![
+        ("map_cache.hits".into(), Json::from(s.hits)),
+        ("map_cache.misses".into(), Json::from(s.misses)),
+        ("map_cache.hit_rate".into(), Json::from(s.hit_rate())),
+        ("map_cache.evictions".into(), Json::from(s.evictions)),
+        (
+            "map_cache.dirty_evictions".into(),
+            Json::from(s.dirty_evictions),
+        ),
+        ("map_cache.tp_reads".into(), Json::from(s.tp_reads)),
+        ("map_cache.tp_programs".into(), Json::from(s.tp_programs)),
+        ("map_cache.tp_erases".into(), Json::from(s.tp_erases)),
+        ("map_cache.charged_ns".into(), Json::from(s.charged_ns)),
+    ]
 }
 
 /// Writes the report where `--json` points, plus the newest `--events n`
@@ -970,15 +1036,14 @@ fn cmd_run(flags: &Flags, force_file: bool) -> Result<(), Box<dyn Error>> {
     }
     let report = run_trace_qd(ftl.as_mut(), &trace, qd);
     print_report(&report, ftl.stats());
+    print_map_cache(ftl.as_ref());
     let mut bench = bench_report("espsim_run", flags, &cfg, trace.len() as u64);
-    bench.push_run_with(
-        report.ftl,
-        &report,
-        [(
-            "mapping_memory_bytes".to_string(),
-            Json::from(ftl.mapping_memory_bytes()),
-        )],
-    );
+    let mut extras = vec![(
+        "mapping_memory_bytes".to_string(),
+        Json::from(ftl.mapping_memory_bytes()),
+    )];
+    extras.extend(map_cache_extras(ftl.as_ref()));
+    bench.push_run_with(report.ftl, &report, extras);
     emit_json(flags, bench, (events > 0).then_some(ftl.as_ref()))
 }
 
@@ -1007,14 +1072,12 @@ fn cmd_compare(flags: &Flags) -> Result<(), Box<dyn Error>> {
             r.stats.small_request_waf(),
             ftl.mapping_memory_bytes(),
         );
-        bench.push_run_with(
-            r.ftl,
-            &r,
-            [(
-                "mapping_memory_bytes".to_string(),
-                Json::from(ftl.mapping_memory_bytes()),
-            )],
-        );
+        let mut extras = vec![(
+            "mapping_memory_bytes".to_string(),
+            Json::from(ftl.mapping_memory_bytes()),
+        )];
+        extras.extend(map_cache_extras(ftl.as_ref()));
+        bench.push_run_with(r.ftl, &r, extras);
     }
     emit_json(flags, bench, None)
 }
